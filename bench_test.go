@@ -1,0 +1,492 @@
+package netalytics
+
+// One benchmark per evaluation table/figure of the paper, plus ablation
+// benches for the design choices DESIGN.md calls out. The full series
+// reproductions (exact rows per figure) live in cmd/experiments; these
+// benches regenerate each figure's underlying measurement as a testing.B
+// target so `go test -bench=.` sweeps the whole evaluation.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/core"
+	"netalytics/internal/monitor"
+	"netalytics/internal/mq"
+	"netalytics/internal/parsers"
+	"netalytics/internal/placement"
+	"netalytics/internal/query"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+	"netalytics/internal/workload"
+)
+
+// --- Table 1: the common parsers ---
+
+func BenchmarkTable1Parsers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"tcp_flow_key", "tcp_conn_time", "tcp_pkt_size", "http_get", "memcached_get", "mysql_query"} {
+		factory, err := parsers.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl := workload.NewHTTPGetBlaster(64, 100, rng)
+		b.Run(name, func(b *testing.B) {
+			p := factory()
+			pkt := &monitor.Packet{TS: time.Now()}
+			raw := bl.Next()
+			if err := pkt.Frame.Decode(raw); err != nil {
+				b.Fatal(err)
+			}
+			ft, _ := pkt.Frame.FlowTuple()
+			pkt.Tuple = ft
+			pkt.FlowID = ft.CanonicalHash()
+			emit := func(tuple.Tuple) {}
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Handle(pkt, emit)
+			}
+		})
+	}
+}
+
+// --- Table 2: the topology building blocks ---
+
+func BenchmarkTable2Blocks(b *testing.B) {
+	sample := tuple.Tuple{FlowID: 7, Key: "/videos/0001.mp4", DstIP: "10.0.0.1", Val: 3}
+	blocks := []struct {
+		name string
+		bolt stream.Bolt
+	}{
+		{"top-k_count", stream.NewRollingCountBolt(5)},
+		{"top-k_rank", stream.NewRankBolt(10)},
+		{"sum", stream.NewSumBolt("dstIP")},
+		{"avg", stream.NewAvgBolt("dstIP")},
+		{"max", stream.NewMaxBolt("dstIP")},
+		{"min", stream.NewMinBolt("dstIP")},
+		{"diff", stream.NewDiffBolt("", "")},
+		{"group", stream.NewGroupBolt("dstIP", stream.AggCount, true)},
+	}
+	emit := func(tuple.Tuple) {}
+	for _, blk := range blocks {
+		b.Run(blk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				blk.bolt.Execute(sample, emit)
+			}
+		})
+	}
+}
+
+// --- Table 3: the query language ---
+
+func BenchmarkTable3QueryParse(b *testing.B) {
+	in := `PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)`
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 5: monitor throughput vs packet size ---
+
+func BenchmarkFig5MonitorThroughput(b *testing.B) {
+	for _, parserName := range []string{"tcp_conn_time", "http_get"} {
+		for _, size := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/%dB", parserName, size), func(b *testing.B) {
+				factory, err := parsers.Lookup(parserName)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mon, err := monitor.New(monitor.Config{
+					Parsers:    []monitor.Factory{factory},
+					Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+					QueueDepth: 1 << 15,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: size, Flows: 64}, rand.New(rand.NewSource(2)))
+				mon.Start()
+				b.SetBytes(int64(bl.FrameSize()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for !mon.Deliver(bl.Next(), time.Time{}) {
+					}
+				}
+				b.StopTimer()
+				mon.Stop()
+			})
+		}
+	}
+}
+
+// --- Fig. 6: aggregation + processing scalability ---
+
+func BenchmarkFig6AnalyticsScaling(b *testing.B) {
+	batch := &tuple.Batch{Parser: "p"}
+	for i := 0; i < 64; i++ {
+		batch.Tuples = append(batch.Tuples, tuple.Tuple{FlowID: uint64(i), Key: "/v"})
+	}
+	for _, brokers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("brokers-%d", brokers), func(b *testing.B) {
+			cluster := mq.NewCluster(brokers, mq.Config{Partitions: brokers, BufferBatches: 1 << 16})
+			prod := cluster.Producer("bench")
+			cons := cluster.Consumer("bench")
+			b.SetBytes(int64(batch.WireSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prod.Send(batch); err != nil {
+					b.Fatal(err)
+				}
+				if i%64 == 63 {
+					cons.Poll(64)
+				}
+			}
+		})
+	}
+}
+
+// --- Figs. 7 & 8: placement cost sweep ---
+
+func benchPlacement(b *testing.B, pol placement.Policy) {
+	topo := topology.MustNew(16)
+	topo.RandomizeResources(rand.New(rand.NewSource(1)))
+	all := workload.StaggeredFlows(topo, 100000, workload.FlowConfig{}, rand.New(rand.NewSource(2)))
+	monitored := workload.Sample(all, 20000, rand.New(rand.NewSource(3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := placement.Place(topo, monitored, pol, placement.Params{}, rand.New(rand.NewSource(4)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = placement.Evaluate(topo, monitored, p, placement.Params{}, all)
+	}
+}
+
+func BenchmarkFig7PlacementNetworkCost(b *testing.B) {
+	for _, pol := range []placement.Policy{placement.LocalRandom, placement.NetalyticsNode, placement.NetalyticsNetwork} {
+		b.Run(pol.Name, func(b *testing.B) { benchPlacement(b, pol) })
+	}
+}
+
+func BenchmarkFig8PlacementResourceCost(b *testing.B) {
+	// Resource cost comes from the same placement pass as Fig. 7; this
+	// target measures the counting path explicitly.
+	topo := topology.MustNew(16)
+	topo.RandomizeResources(rand.New(rand.NewSource(1)))
+	all := workload.StaggeredFlows(topo, 100000, workload.FlowConfig{}, rand.New(rand.NewSource(2)))
+	monitored := workload.Sample(all, 20000, rand.New(rand.NewSource(3)))
+	p, err := placement.Place(topo, monitored, placement.NetalyticsNode, placement.Params{}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.ProcessCount() == 0 {
+			b.Fatal("empty placement")
+		}
+	}
+}
+
+// --- Figs. 9–14 use cases: end-to-end query pipeline ---
+
+// BenchmarkUseCaseQueryPipeline measures a full query round trip: mirrored
+// frames -> monitor -> aggregation -> diff-group topology -> result, the
+// data path behind Figs. 9–14.
+func BenchmarkUseCaseQueryPipeline(b *testing.B) {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{TickInterval: 20 * time.Millisecond})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	server, client := hosts[0], hosts[12]
+	web, err := apps.StartApp(engine.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer web.Stop()
+
+	sess, err := engine.Submit(fmt.Sprintf(
+		"PARSE tcp_conn_time FROM * TO %s:80 PROCESS (diff-group: group=dstIP)", server.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Stop()
+	go func() {
+		for range sess.Results() {
+		}
+	}()
+	ep := engine.Network().Endpoint(client)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := ep.Dial(server.Addr, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Request([]byte("GET / HTTP/1.1\r\nHost: h\r\n\r\n"), time.Second); err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+// --- §7.2 comparison: MySQL query-log overhead vs passive monitoring ---
+
+func BenchmarkMySQLQueryLogOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		log  bool
+	}{{"log-off", false}, {"log-on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			topo := topology.MustNew(4)
+			engine := core.NewEngine(topo, core.Config{})
+			defer engine.Close()
+			hosts := topo.Hosts()
+			cfg := apps.MySQLConfig{DefaultCost: 200 * time.Microsecond}
+			if mode.log {
+				cfg.QueryLog = discardWriter{}
+				cfg.LogOverhead = 50 * time.Microsecond
+			}
+			srv, err := apps.StartMySQL(engine.Network(), hosts[0], cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Stop()
+			cli, err := apps.DialMySQL(engine.Network(), hosts[12], hosts[0], 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cli.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cli.Query("SELECT 1", time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// --- Fig. 16/17 data path: the top-k topology ---
+
+func BenchmarkFig16TopKTopology(b *testing.B) {
+	var fed int
+	spout := stream.SpoutFunc(func() []tuple.Tuple {
+		if fed >= b.N {
+			return nil
+		}
+		n := 256
+		if b.N-fed < n {
+			n = b.N - fed
+		}
+		out := make([]tuple.Tuple, n)
+		for i := range out {
+			out[i] = tuple.Tuple{Key: workload.URL((fed + i) % 100)}
+		}
+		fed += n
+		return out
+	})
+	topo, err := stream.BuildTopology(
+		stream.ProcessorSpec{Name: "top-k", Args: map[string]string{"k": "10"}},
+		func() stream.Spout { return spout }, 1, func(tuple.Tuple) {}, 50*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := stream.NewExecutor(topo, stream.WithTickInterval(50*time.Millisecond), stream.WithQueueDepth(1<<14))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	ex.Start()
+	ex.Stop() // spouts drain b.N tuples, then the DAG flushes
+}
+
+// --- Ablation: shared descriptors vs per-parser copies (DESIGN.md #1) ---
+
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		copy bool
+	}{{"shared-descriptors", false}, {"copy-per-parser", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			factories := []monitor.Factory{}
+			for _, name := range []string{"tcp_flow_key", "tcp_conn_time", "tcp_pkt_size"} {
+				f, err := parsers.Lookup(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				factories = append(factories, f)
+			}
+			mon, err := monitor.New(monitor.Config{
+				Parsers:    factories,
+				Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+				QueueDepth: 1 << 15,
+				CopyMode:   mode.copy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: 512, Flows: 64}, rand.New(rand.NewSource(3)))
+			mon.Start()
+			b.SetBytes(int64(bl.FrameSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !mon.Deliver(bl.Next(), time.Time{}) {
+				}
+			}
+			b.StopTimer()
+			mon.Stop()
+		})
+	}
+}
+
+// --- Ablation: RSS collector scaling (§5.2) ---
+
+func BenchmarkAblationCollectors(b *testing.B) {
+	for _, collectors := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("collectors-%d", collectors), func(b *testing.B) {
+			factory, err := parsers.Lookup("tcp_conn_time")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon, err := monitor.New(monitor.Config{
+				Parsers:    []monitor.Factory{factory},
+				Collectors: collectors,
+				Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+				QueueDepth: 1 << 14,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: 256, Flows: 256}, rand.New(rand.NewSource(6)))
+			mon.Start()
+			b.SetBytes(int64(bl.FrameSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !mon.Deliver(bl.Next(), time.Time{}) {
+				}
+			}
+			b.StopTimer()
+			mon.Stop()
+		})
+	}
+}
+
+// --- Ablation: output batching (DESIGN.md #2) ---
+
+func BenchmarkAblationOutputBatching(b *testing.B) {
+	for _, batchSize := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch-%d", batchSize), func(b *testing.B) {
+			cluster := mq.NewCluster(1, mq.Config{BufferBatches: 1 << 20})
+			factory, err := parsers.Lookup("tcp_pkt_size")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon, err := monitor.New(monitor.Config{
+				Parsers:    []monitor.Factory{factory},
+				Sink:       cluster.Producer("t"),
+				BatchSize:  batchSize,
+				QueueDepth: 1 << 15,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: 256, Flows: 64}, rand.New(rand.NewSource(4)))
+			mon.Start()
+			cons := cluster.Consumer("t")
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					if cons.PollWait(64, 50*time.Millisecond) == nil {
+						return
+					}
+				}
+			}()
+			b.SetBytes(int64(bl.FrameSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !mon.Deliver(bl.Next(), time.Time{}) {
+				}
+			}
+			b.StopTimer()
+			mon.Stop()
+			<-done
+		})
+	}
+}
+
+// --- Ablation: flow sampling rate (DESIGN.md #3) ---
+
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, rate := range []float64{1.0, 0.1} {
+		b.Run(fmt.Sprintf("rate-%.1f", rate), func(b *testing.B) {
+			factory, err := parsers.Lookup("http_get")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon, err := monitor.New(monitor.Config{
+				Parsers:    []monitor.Factory{factory},
+				Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+				QueueDepth: 1 << 15,
+				SampleRate: rate,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl := workload.NewHTTPGetBlaster(256, 100, rand.New(rand.NewSource(5)))
+			mon.Start()
+			b.SetBytes(int64(bl.FrameSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !mon.Deliver(bl.Next(), time.Time{}) {
+				}
+			}
+			b.StopTimer()
+			mon.Stop()
+		})
+	}
+}
+
+// --- Ablation: mq persistence mode (DESIGN.md #5) ---
+
+func BenchmarkAblationPersistence(b *testing.B) {
+	batch := &tuple.Batch{Parser: "p"}
+	for i := 0; i < 64; i++ {
+		batch.Tuples = append(batch.Tuples, tuple.Tuple{FlowID: uint64(i), Key: "/v"})
+	}
+	for _, mode := range []struct {
+		name string
+		cfg  mq.Config
+	}{
+		{"ram", mq.Config{BufferBatches: 1 << 20}},
+		{"disk-70MBps", mq.Config{BufferBatches: 1 << 20, Persist: mq.PersistDisk}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cluster := mq.NewCluster(1, mode.cfg)
+			prod := cluster.Producer("t")
+			cons := cluster.Consumer("t")
+			b.SetBytes(int64(batch.WireSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prod.Send(batch); err != nil {
+					b.Fatal(err)
+				}
+				if i%64 == 63 {
+					cons.Poll(64)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates every figure and table of the NetAlytics
+// paper's evaluation (§6) and use cases (§7) on the simulated substrate.
+//
+// Usage:
+//
+//	experiments [-run name[,name...]] [-out dir] [-quick]
+//
+// Each experiment prints the series it reproduces and writes a TSV file to
+// the output directory. `-run all` (the default) runs everything;
+// EXPERIMENTS.md records the comparison against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// runCtx carries shared experiment settings and memoized sweep results.
+type runCtx struct {
+	outDir string
+	quick  bool
+
+	// Figs. 7 and 8 share one expensive placement sweep.
+	placementDone bool
+	placementRows []placementRow
+}
+
+// writeTSV writes rows (first row = header) to outDir/name.tsv.
+func (c *runCtx) writeTSV(name string, rows [][]string) error {
+	path := filepath.Join(c.outDir, name+".tsv")
+	var b strings.Builder
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("  -> %s\n", path)
+	return nil
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*runCtx) error
+}
+
+func experimentsList() []experiment {
+	return []experiment{
+		{"fig5", "monitor throughput vs packet size (tcp_conn_time, http_get)", runFig5},
+		{"fig6", "analytics input rate vs NetAlytics process count", runFig6},
+		{"fig7", "placement network cost vs monitored flows", runFig7},
+		{"fig8", "placement resource cost vs monitored flows", runFig8},
+		{"fig9", "use case 1: per-tier response times", runFig9to11},
+		{"fig10", "use case 1: client response-time histogram (with fig9)", nil},
+		{"fig11", "use case 1: per-backend throughput (with fig9)", nil},
+		{"fig12", "use case 2: web response-time histogram", runFig12to14},
+		{"fig13", "use case 2: per-URL response-time CDFs (with fig12)", nil},
+		{"fig14", "use case 2: buggy vs correct page CDF (with fig12)", nil},
+		{"fig15", "use case 2: per-SQL-query latency histogram", runFig15},
+		{"qlog", "use case 2: MySQL query-log overhead", runQueryLog},
+		{"fig16", "use case 3: video popularity over time", runFig16},
+		{"fig17", "use case 3: autoscaling on popularity surges", runFig17},
+	}
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment names, or 'all'")
+	outFlag := flag.String("out", "results", "output directory for TSV series")
+	quickFlag := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experimentsList()
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	ctx := &runCtx{outDir: *outFlag, quick: *quickFlag}
+
+	want := map[string]bool{}
+	all := *runFlag == "all"
+	for _, name := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+
+	failed := false
+	for _, e := range exps {
+		if e.run == nil {
+			continue // produced by a sibling experiment
+		}
+		if !all && !want[e.name] {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", e.name, e.desc)
+		start := time.Now()
+		if err := e.run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("   done in %.1fs\n\n", time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netalytics/internal/metrics"
+	"netalytics/internal/packet"
+	"netalytics/internal/proto"
+)
+
+func TestWriteTSV(t *testing.T) {
+	dir := t.TempDir()
+	ctx := &runCtx{outDir: dir}
+	rows := [][]string{{"a", "b"}, {"1", "2"}}
+	if err := ctx.writeTSV("sample", rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sample.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "a\tb\n1\t2\n" {
+		t.Errorf("tsv = %q", got)
+	}
+}
+
+func TestExperimentListWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	runnable := 0
+	for _, e := range experimentsList() {
+		if e.name == "" || e.desc == "" {
+			t.Errorf("experiment %+v missing name/desc", e)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.run != nil {
+			runnable++
+		}
+	}
+	if runnable < 9 {
+		t.Errorf("only %d runnable experiments", runnable)
+	}
+	for _, want := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "fig15", "qlog", "fig16", "fig17"} {
+		if !seen[want] {
+			t.Errorf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestHTTPPayloadOfSize(t *testing.T) {
+	const headers = packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.TCPHeaderLen
+	for _, size := range []int{64, 128, 256, 1024} {
+		payload := httpPayloadOfSize(size, nil)(0)
+		if got := len(payload) + headers; got != size {
+			t.Errorf("size %d: frame = %d bytes", size, got)
+		}
+		if size >= 128 {
+			if _, err := proto.ParseHTTPRequest(payload); err != nil {
+				t.Errorf("size %d: payload not a parseable GET: %v", size, err)
+			}
+		}
+	}
+}
+
+func TestWriteHistogramAndCDFs(t *testing.T) {
+	dir := t.TempDir()
+	ctx := &runCtx{outDir: dir}
+	var s metrics.Series
+	for _, v := range []float64{1, 2, 12, 13} {
+		s.Add(v)
+	}
+	if err := writeHistogram(ctx, "hist", &s, 10); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "hist.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 { // header + 2 bins
+		t.Errorf("histogram rows = %d: %q", len(lines), data)
+	}
+
+	if err := writeCDFs(ctx, "cdfs", map[string]*metrics.Series{"k": &s}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "cdfs.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "k\t") {
+		t.Errorf("cdf output missing key rows: %q", data)
+	}
+}

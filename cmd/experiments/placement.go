@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netalytics/internal/placement"
+	"netalytics/internal/topology"
+	"netalytics/internal/workload"
+)
+
+type placementRow struct {
+	flows  int
+	policy string
+	bwPct  float64
+	wbwPct float64
+	procs  int
+}
+
+func placementPolicies() []placement.Policy {
+	return []placement.Policy{placement.LocalRandom, placement.NetalyticsNode, placement.NetalyticsNetwork}
+}
+
+// runPlacementSweep performs the §6.2 simulation: a k=16 fat tree
+// (1024 hosts), ~1000 K staggered flows at ~1.2 Tbps, monitored subsets from
+// 1 K to 300 K flows, three placement policies, averaged over seeds.
+func runPlacementSweep(ctx *runCtx) error {
+	if ctx.placementDone {
+		return nil
+	}
+	k := 16
+	totalFlows := 1000000
+	points := []int{1000, 50000, 100000, 150000, 200000, 250000, 300000}
+	seeds := 3
+	if ctx.quick {
+		k = 8
+		totalFlows = 50000
+		points = []int{1000, 10000, 25000}
+		seeds = 2
+	}
+
+	topo := topology.MustNew(k)
+	topo.RandomizeResources(rand.New(rand.NewSource(1)))
+	all := workload.StaggeredFlows(topo, totalFlows, workload.FlowConfig{}, rand.New(rand.NewSource(2)))
+	fmt.Printf("   workload: %d flows, %.2f Tbps over %d hosts\n",
+		len(all), workload.TotalRate(all)/1e12, len(topo.Hosts()))
+
+	for _, nFlows := range points {
+		for _, pol := range placementPolicies() {
+			var bw, wbw, procs float64
+			for s := 0; s < seeds; s++ {
+				rng := rand.New(rand.NewSource(int64(100 + s)))
+				monitored := workload.Sample(all, nFlows, rng)
+				p, err := placement.Place(topo, monitored, pol, placement.Params{}, rng)
+				if err != nil {
+					return fmt.Errorf("placing %s at %d flows: %w", pol.Name, nFlows, err)
+				}
+				c := placement.Evaluate(topo, monitored, p, placement.Params{}, all)
+				bw += c.ExtraBandwidthPct
+				wbw += c.WeightedExtraBandwidthPct
+				procs += float64(c.Processes)
+			}
+			ctx.placementRows = append(ctx.placementRows, placementRow{
+				flows:  nFlows,
+				policy: pol.Name,
+				bwPct:  bw / float64(seeds),
+				wbwPct: wbw / float64(seeds),
+				procs:  int(procs / float64(seeds)),
+			})
+		}
+	}
+	ctx.placementDone = true
+	return nil
+}
+
+// runFig7 reproduces Fig. 7: extra bandwidth (plain and weighted) consumed
+// by each placement policy as the monitored flow count grows.
+func runFig7(ctx *runCtx) error {
+	if err := runPlacementSweep(ctx); err != nil {
+		return err
+	}
+	rows := [][]string{{"monitoring_flows", "policy", "extra_bandwidth_pct", "weighted_extra_bandwidth_pct"}}
+	fmt.Printf("   %-10s %-22s %10s %12s\n", "flows", "policy", "bw%", "weighted bw%")
+	for _, r := range ctx.placementRows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.flows), r.policy,
+			fmt.Sprintf("%.4f", r.bwPct), fmt.Sprintf("%.4f", r.wbwPct),
+		})
+		fmt.Printf("   %-10d %-22s %10.4f %12.4f\n", r.flows, r.policy, r.bwPct, r.wbwPct)
+	}
+	return ctx.writeTSV("fig7_placement_network_cost", rows)
+}
+
+// runFig8 reproduces Fig. 8: total NetAlytics processes placed by each
+// policy as the monitored flow count grows.
+func runFig8(ctx *runCtx) error {
+	if err := runPlacementSweep(ctx); err != nil {
+		return err
+	}
+	rows := [][]string{{"monitoring_flows", "policy", "processes"}}
+	fmt.Printf("   %-10s %-22s %10s\n", "flows", "policy", "processes")
+	for _, r := range ctx.placementRows {
+		rows = append(rows, []string{fmt.Sprint(r.flows), r.policy, fmt.Sprint(r.procs)})
+		fmt.Printf("   %-10d %-22s %10d\n", r.flows, r.policy, r.procs)
+	}
+	return ctx.writeTSV("fig8_placement_resource_cost", rows)
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/core"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+	"netalytics/internal/workload"
+)
+
+// runFig16 reproduces Fig. 16: the popularity of individual videos
+// fluctuates over time even among the most popular content.
+//
+// Substitution: the Zink et al. YouTube gateway trace is proprietary-ish
+// test data; a Zipf popularity process with rank churn reproduces the
+// relevant dynamics. Requests stream through the same top-k topology
+// NetAlytics deploys (Fig. 4), and the series tracks the two videos that
+// start as the 2nd and 3rd most popular.
+func runFig16(ctx *runCtx) error {
+	intervals := 40
+	perInterval := 1500
+	if ctx.quick {
+		intervals, perInterval = 12, 600
+	}
+
+	// Channel-fed spout into the top-k topology.
+	feed := make(chan []tuple.Tuple, 4)
+	spout := stream.SpoutFunc(func() []tuple.Tuple {
+		select {
+		case batch := <-feed:
+			return batch
+		default:
+			return nil
+		}
+	})
+	var mu sync.Mutex
+	var latest []stream.RankEntry
+	out := func(t tuple.Tuple) {
+		if entries, ok := stream.DecodeRankings(t); ok {
+			mu.Lock()
+			latest = entries
+			mu.Unlock()
+		}
+	}
+	topo, err := stream.BuildTopology(
+		stream.ProcessorSpec{Name: "top-k", Args: map[string]string{"k": "10", "w": "100ms"}},
+		func() stream.Spout { return spout }, 1, out, 50*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	ex, err := stream.NewExecutor(topo, stream.WithTickInterval(50*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	ex.Start()
+	defer ex.Stop()
+
+	rng := rand.New(rand.NewSource(16))
+	trace := workload.NewPopularityTrace(200, 1.4, 12, rng)
+	video1, video2 := workload.URL(1), workload.URL(2) // 2nd and 3rd most popular at t=0
+
+	rows := [][]string{{"t", "video1_popularity", "video2_popularity", "top_url"}}
+	fmt.Printf("   %-4s %8s %8s  %s\n", "t", "video1", "video2", "top")
+	for t := 0; t < intervals; t++ {
+		ids := trace.Interval(perInterval)
+		batch := make([]tuple.Tuple, len(ids))
+		for i, id := range ids {
+			batch[i] = tuple.Tuple{FlowID: uint64(i), Key: workload.URL(id)}
+		}
+		feed <- batch
+		time.Sleep(120 * time.Millisecond) // ~2 window slots
+
+		mu.Lock()
+		entries := append([]stream.RankEntry(nil), latest...)
+		mu.Unlock()
+		var maxCount, v1, v2 float64
+		top := ""
+		for i, e := range entries {
+			if i == 0 {
+				maxCount = e.Count
+				top = e.Key
+			}
+			switch e.Key {
+			case video1:
+				v1 = e.Count
+			case video2:
+				v2 = e.Count
+			}
+		}
+		p1, p2 := 0.0, 0.0
+		if maxCount > 0 {
+			p1, p2 = v1/maxCount*100, v2/maxCount*100
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(t), fmt.Sprintf("%.1f", p1), fmt.Sprintf("%.1f", p2), top,
+		})
+		if t%5 == 0 {
+			fmt.Printf("   %-4d %8.1f %8.1f  %s\n", t, p1, p2, top)
+		}
+	}
+	return ctx.writeTSV("fig16_popularity_over_time", rows)
+}
+
+// runFig17 reproduces Fig. 17: NetAlytics's top-k feed drives the §7.3
+// Updater, which replicates popular content onto additional web servers when
+// a surge hits; the proxy redistributes load within seconds.
+func runFig17(ctx *runCtx) error {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{TickInterval: 50 * time.Millisecond})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	proxyHost := hosts[0]
+	serverHosts := []*topology.Host{hosts[1], hosts[2], hosts[3]}
+	client1, client2 := hosts[12], hosts[13]
+	net := engine.Network()
+
+	routes := map[string]apps.Route{"/videos/": {Cost: 2 * time.Millisecond, BodySize: 512}}
+	names := make([]string, len(serverHosts))
+	for i, h := range serverHosts {
+		srv, err := apps.StartApp(net, h, apps.AppConfig{Routes: routes})
+		if err != nil {
+			return err
+		}
+		defer srv.Stop()
+		names[i] = h.Name
+	}
+	kv := apps.NewKVStore()
+	proxy, err := apps.StartProxy(net, proxyHost, apps.ProxyConfig{Store: kv})
+	if err != nil {
+		return err
+	}
+	defer proxy.Stop()
+
+	scaler := apps.NewAutoscaler(apps.AutoscalerConfig{
+		Store:          kv,
+		AllServers:     names,
+		MinServers:     1,
+		UpperThreshold: 40, // hot-content requests per ranking window
+		LowerThreshold: 3,
+		Backoff:        800 * time.Millisecond,
+	})
+
+	// The monitoring query: top URLs through the proxy, every 500 ms.
+	sess, err := engine.Submit(fmt.Sprintf(
+		"PARSE http_get FROM * TO %s:80 PROCESS (top-k: k=10, w=500ms)", proxyHost.Name))
+	if err != nil {
+		return err
+	}
+	go func() {
+		for tu := range sess.Results() {
+			if entries, ok := stream.DecodeRankings(tu); ok {
+				scaler.OnRankings(entries)
+			}
+		}
+	}()
+
+	phaseA, phaseB := 3*time.Second, 4*time.Second
+	if ctx.quick {
+		phaseA, phaseB = 1500*time.Millisecond, 2*time.Second
+	}
+
+	// Timeline sampler: per-server request deltas every 250 ms.
+	type sample struct {
+		t       float64
+		perHost map[string]uint64
+		active  int
+	}
+	var samples []sample
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	start := time.Now()
+	go func() {
+		defer samplerWG.Done()
+		ticker := time.NewTicker(250 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				samples = append(samples, sample{
+					t:       time.Since(start).Seconds(),
+					perHost: proxy.PerHost(),
+					active:  scaler.Active(),
+				})
+			case <-stopSampling:
+				return
+			}
+		}
+	}()
+
+	// Phase A: moderate, uniform load over 1000 URLs from client 1.
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		apps.RunHTTPLoad(net, client1, apps.LoadConfig{
+			Requests: int(phaseA.Seconds() * 150), Concurrency: 2, Gap: 8 * time.Millisecond,
+			Target: proxyHost,
+			URL:    func(i int) string { return workload.URL(i % 1000) },
+		})
+	}()
+	time.Sleep(phaseA)
+
+	// Phase B: client 2 hammers 10 hot videos.
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		apps.RunHTTPLoad(net, client2, apps.LoadConfig{
+			Requests: int(phaseB.Seconds() * 600), Concurrency: 6, Gap: time.Millisecond,
+			Target: proxyHost,
+			URL:    func(i int) string { return workload.URL(i % 10) },
+		})
+	}()
+	loadWG.Wait()
+	close(stopSampling)
+	samplerWG.Wait()
+	sess.Stop()
+
+	// Emit per-interval request counts per server.
+	rows := [][]string{{"t_s", "active_servers", "server1_req", "server2_req", "server3_req"}}
+	prev := map[string]uint64{}
+	for _, s := range samples {
+		row := []string{fmt.Sprintf("%.2f", s.t), fmt.Sprint(s.active)}
+		for _, name := range names {
+			delta := s.perHost[name] - prev[name]
+			row = append(row, fmt.Sprint(delta))
+		}
+		prev = s.perHost
+		rows = append(rows, row)
+	}
+	actions := scaler.Actions()
+	fmt.Printf("   scaling actions: %d\n", len(actions))
+	for _, a := range actions {
+		dir := "down"
+		if a.Up {
+			dir = "up"
+		}
+		fmt.Printf("   t=%.2fs scale %s -> %d servers (top freq %.0f)\n",
+			a.Time.Sub(start).Seconds(), dir, a.Servers, a.TopFreq)
+	}
+	final := proxy.PerHost()
+	keys := make([]string, 0, len(final))
+	for k := range final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("   %s served %d requests\n", k, final[k])
+	}
+	if scaler.Active() < 2 {
+		fmt.Printf("   warning: surge did not trigger scale-up\n")
+	}
+	return ctx.writeTSV("fig17_autoscaling_timeline", rows)
+}

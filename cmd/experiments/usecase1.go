@@ -1,0 +1,251 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/core"
+	"netalytics/internal/metrics"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+)
+
+// runFig9to11 reproduces the §7.1 multi-tier debugging scenario (Figs. 9,
+// 10, 11): a proxy load-balances over two app servers backed by MySQL and
+// Memcached; App Server 1 is misconfigured so requests that should hit the
+// cache go to the database. NetAlytics queries expose (a) the per-tier
+// response-time asymmetry and (b) the backend throughput asymmetry, without
+// touching the applications.
+//
+// Timing model (scaled ~10x down from the paper's testbed so the experiment
+// runs in seconds): MySQL query 24 ms, Memcached get 1 ms, app compute 1 ms.
+func runFig9to11(ctx *runCtx) error {
+	tb := newUseCase1Testbed()
+	defer tb.engine.Close()
+	defer tb.stopAll()
+
+	requests := 240
+	if ctx.quick {
+		requests = 80
+	}
+
+	// Query 1 (Fig. 9): per-tier average connection times.
+	connQ := fmt.Sprintf(
+		"PARSE tcp_conn_time FROM * TO %s:80, %s:80, %s:80, %s:3306, %s:11211 PROCESS (diff-group: group=ips)",
+		tb.proxy.Name, tb.app1.Name, tb.app2.Name, tb.mysql.Name, tb.memcached.Name)
+	connSess, err := tb.engine.Submit(connQ)
+	if err != nil {
+		return fmt.Errorf("submitting conn-time query: %w", err)
+	}
+
+	// Query 2 (Fig. 11): per-pair traffic volume.
+	sizeQ := fmt.Sprintf(
+		"PARSE tcp_pkt_size FROM * TO %s:3306, %s:11211 PROCESS (group-sum: group=ips)",
+		tb.mysql.Name, tb.memcached.Name)
+	sizeSess, err := tb.engine.Submit(sizeQ)
+	if err != nil {
+		return fmt.Errorf("submitting pkt-size query: %w", err)
+	}
+
+	// Drive the workload: 80% cacheable pages, 20% database pages.
+	load := apps.RunHTTPLoad(tb.engine.Network(), tb.client, apps.LoadConfig{
+		Requests: requests, Concurrency: 8, Target: tb.proxy,
+		URL: func(i int) string {
+			if i%5 == 0 {
+				return "/db"
+			}
+			return "/cache"
+		},
+	})
+	if load.Errors > 0 {
+		return fmt.Errorf("%d load errors", load.Errors)
+	}
+	time.Sleep(300 * time.Millisecond)
+	connSess.Stop()
+	sizeSess.Stop()
+
+	// Fig. 10: client-side response-time histogram (the anomaly as users
+	// see it — bimodal because half the traffic lands on the broken tier).
+	if err := writeHistogram(ctx, "fig10_client_response_hist", load.Latencies, 5); err != nil {
+		return err
+	}
+	fmt.Printf("   client latency: %s\n", load.Latencies.Summary())
+
+	// Fig. 9: per-edge averages from NetAlytics.
+	avgs := lastByKey(connSess)
+	edges := []struct {
+		label    string
+		from, to *topology.Host
+	}{
+		{"client->proxy", tb.client, tb.proxy},
+		{"proxy->app1", tb.proxy, tb.app1},
+		{"proxy->app2", tb.proxy, tb.app2},
+		{"app1->mysql", tb.app1, tb.mysql},
+		{"app1->memcached", tb.app1, tb.memcached},
+		{"app2->mysql", tb.app2, tb.mysql},
+		{"app2->memcached", tb.app2, tb.memcached},
+	}
+	rows := [][]string{{"edge", "avg_response_ms"}}
+	fmt.Printf("   %-18s %12s\n", "edge", "avg ms")
+	var app1ms, app2ms float64
+	for _, e := range edges {
+		key := e.from.Addr.String() + "->" + e.to.Addr.String()
+		ms := avgs[key] / 1e6
+		rows = append(rows, []string{e.label, fmt.Sprintf("%.2f", ms)})
+		fmt.Printf("   %-18s %12.2f\n", e.label, ms)
+		switch e.label {
+		case "proxy->app1":
+			app1ms = ms
+		case "proxy->app2":
+			app2ms = ms
+		}
+	}
+	if err := ctx.writeTSV("fig9_tier_response_times", rows); err != nil {
+		return err
+	}
+	if app2ms > 0 {
+		fmt.Printf("   proxy->app1 / proxy->app2 = %.1fx (paper: ~4x)\n", app1ms/app2ms)
+	}
+
+	// Fig. 11: per-backend bytes from the pkt-size query (both directions
+	// of each app/backend pair combined).
+	sums := lastByKey(sizeSess)
+	volRows := [][]string{{"app_server", "backend", "kbytes"}}
+	fmt.Printf("   %-12s %-12s %10s\n", "app", "backend", "KBytes")
+	for _, app := range []*topology.Host{tb.app1, tb.app2} {
+		for _, backend := range []struct {
+			name string
+			h    *topology.Host
+		}{{"mysql", tb.mysql}, {"memcached", tb.memcached}} {
+			total := sums[app.Addr.String()+"->"+backend.h.Addr.String()] +
+				sums[backend.h.Addr.String()+"->"+app.Addr.String()]
+			appName := "AppServer1"
+			if app == tb.app2 {
+				appName = "AppServer2"
+			}
+			volRows = append(volRows, []string{appName, backend.name, fmt.Sprintf("%.1f", total/1024)})
+			fmt.Printf("   %-12s %-12s %10.1f\n", appName, backend.name, total/1024)
+		}
+	}
+	return ctx.writeTSV("fig11_backend_throughput", volRows)
+}
+
+// useCase1Testbed bundles the §7.1 two-tier deployment.
+type useCase1Testbed struct {
+	engine    *core.Engine
+	proxy     *topology.Host
+	app1      *topology.Host
+	app2      *topology.Host
+	mysql     *topology.Host
+	memcached *topology.Host
+	client    *topology.Host
+	servers   []interface{ Stop() }
+}
+
+func (tb *useCase1Testbed) stopAll() {
+	for _, s := range tb.servers {
+		s.Stop()
+	}
+}
+
+func newUseCase1Testbed() *useCase1Testbed {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{TickInterval: 50 * time.Millisecond})
+	hosts := topo.Hosts()
+	tb := &useCase1Testbed{
+		engine:    engine,
+		proxy:     hosts[0],
+		app1:      hosts[1],
+		app2:      hosts[2],
+		mysql:     hosts[4],
+		memcached: hosts[5],
+		client:    hosts[12],
+	}
+	net := engine.Network()
+
+	mustStart := func(s interface{ Stop() }, err error) {
+		if err != nil {
+			panic(err)
+		}
+		tb.servers = append(tb.servers, s)
+	}
+	mustStart(apps.StartMySQL(net, tb.mysql, apps.MySQLConfig{DefaultCost: 24 * time.Millisecond}))
+	mustStart(apps.StartMemcached(net, tb.memcached, apps.MemcachedConfig{Cost: time.Millisecond}))
+
+	// App Server 1 is misconfigured: its cache route points at MySQL.
+	mustStart(apps.StartApp(net, tb.app1, apps.AppConfig{Routes: map[string]apps.Route{
+		"/db":    {Cost: time.Millisecond, Backend: apps.BackendMySQL, BackendHost: tb.mysql, Query: "SELECT * FROM orders"},
+		"/cache": {Cost: time.Millisecond, Backend: apps.BackendMySQL, BackendHost: tb.mysql, Query: "SELECT * FROM sessions"},
+	}}))
+	mustStart(apps.StartApp(net, tb.app2, apps.AppConfig{Routes: map[string]apps.Route{
+		"/db":    {Cost: time.Millisecond, Backend: apps.BackendMySQL, BackendHost: tb.mysql, Query: "SELECT * FROM orders"},
+		"/cache": {Cost: time.Millisecond, Backend: apps.BackendMemcached, BackendHost: tb.memcached, Query: "session"},
+	}}))
+
+	kv := apps.NewKVStore()
+	kv.SetPool([]string{tb.app1.Name, tb.app2.Name})
+	proxy, err := apps.StartProxy(net, tb.proxy, apps.ProxyConfig{Store: kv})
+	if err != nil {
+		panic(err)
+	}
+	tb.servers = append(tb.servers, proxy)
+	return tb
+}
+
+// lastByKey drains a stopped session's results, keeping the latest value per
+// key (grouping bolts emit cumulative aggregates every tick).
+func lastByKey(sess *core.Session) map[string]float64 {
+	out := map[string]float64{}
+	for tu := range sess.Results() {
+		out[tu.Key] = tu.Val
+	}
+	return out
+}
+
+// collectVals drains a stopped session, returning every tuple value
+// (optionally filtered by key).
+func collectVals(sess *core.Session, keep func(tuple.Tuple) bool) map[string]*metrics.Series {
+	out := map[string]*metrics.Series{}
+	for tu := range sess.Results() {
+		if keep != nil && !keep(tu) {
+			continue
+		}
+		s, ok := out[tu.Key]
+		if !ok {
+			s = &metrics.Series{}
+			out[tu.Key] = s
+		}
+		s.Add(tu.Val)
+	}
+	return out
+}
+
+// writeHistogram emits a metrics series as TSV histogram rows with the given
+// bin width in milliseconds.
+func writeHistogram(ctx *runCtx, name string, s *metrics.Series, binMs float64) error {
+	rows := [][]string{{"bin_lo_ms", "bin_hi_ms", "count"}}
+	for _, b := range s.Histogram(binMs) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", b.Lo), fmt.Sprintf("%.1f", b.Hi), fmt.Sprint(b.Count),
+		})
+	}
+	return ctx.writeTSV(name, rows)
+}
+
+// writeCDFs emits per-key CDFs as TSV (key, x_ms, p).
+func writeCDFs(ctx *runCtx, name string, series map[string]*metrics.Series) error {
+	rows := [][]string{{"key", "x_ms", "p"}}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, pt := range series[k].CDF() {
+			rows = append(rows, []string{k, fmt.Sprintf("%.3f", pt.X), fmt.Sprintf("%.4f", pt.P)})
+		}
+	}
+	return ctx.writeTSV(name, rows)
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/core"
+	"netalytics/internal/metrics"
+	"netalytics/internal/topology"
+)
+
+// Page mix for the §7.2 coordinated performance analysis: a PHP-like web app
+// executing Sakila-style queries with very different costs. Scaled ~10x down
+// from the paper's response times.
+var usecase2Pages = []struct {
+	url  string
+	sql  string
+	cost time.Duration
+}{
+	{"/simple.php", "SELECT 1", 2 * time.Millisecond},
+	{"/country-max-payments.php", "SELECT country, MAX(amount) FROM payment GROUP BY country", 40 * time.Millisecond},
+	{"/expensive-films.php", "SELECT title FROM film WHERE rental_rate > 4", 110 * time.Millisecond},
+	{"/polyglot-actors.php", "SELECT actor FROM film_actor GROUP BY lang", 320 * time.Millisecond},
+}
+
+// runFig12to14 reproduces Figs. 12–14: the web+DB response-time histogram,
+// per-URL response-time CDFs built by joining tcp_conn_time with http_get,
+// and the buggy-page detection (overdue-bug.php skips its database query so
+// its latency collapses).
+func runFig12to14(ctx *runCtx) error {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{TickInterval: 50 * time.Millisecond})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	web, db, client := hosts[0], hosts[2], hosts[12]
+	net := engine.Network()
+
+	costs := map[string]time.Duration{}
+	routes := map[string]apps.Route{}
+	for _, p := range usecase2Pages {
+		costs[p.sql] = p.cost
+		routes[p.url] = apps.Route{Backend: apps.BackendMySQL, BackendHost: db, Query: p.sql}
+	}
+	// Fig. 14's pair: the correct page and its buggy variant that forgets
+	// to issue the query.
+	costs["SELECT * FROM rental WHERE overdue"] = 150 * time.Millisecond
+	routes["/overdue.php"] = apps.Route{Backend: apps.BackendMySQL, BackendHost: db, Query: "SELECT * FROM rental WHERE overdue"}
+	routes["/overdue-bug.php"] = apps.Route{Backend: apps.BackendMySQL, BackendHost: db, Query: "SELECT * FROM rental WHERE overdue", Broken: true}
+
+	mysqlSrv, err := apps.StartMySQL(net, db, apps.MySQLConfig{DefaultCost: 2 * time.Millisecond, Costs: costs})
+	if err != nil {
+		return err
+	}
+	defer mysqlSrv.Stop()
+	webSrv, err := apps.StartApp(net, web, apps.AppConfig{Routes: routes})
+	if err != nil {
+		return err
+	}
+	defer webSrv.Stop()
+
+	// The §7.2 query: both parsers, joined by flow ID in the diff bolt, so
+	// every connection duration comes out keyed by its URL.
+	sess, err := engine.Submit(fmt.Sprintf(
+		"PARSE tcp_conn_time, http_get FROM * TO %s:80 PROCESS (diff)", web.Name))
+	if err != nil {
+		return err
+	}
+
+	requests := 300
+	if ctx.quick {
+		requests = 100
+	}
+	urls := make([]string, 0, len(usecase2Pages)+2)
+	for _, p := range usecase2Pages {
+		urls = append(urls, p.url)
+	}
+	urls = append(urls, "/overdue.php", "/overdue-bug.php")
+	load := apps.RunHTTPLoad(net, client, apps.LoadConfig{
+		Requests: requests, Concurrency: 8, Target: web,
+		URL: func(i int) string { return urls[i%len(urls)] },
+	})
+	if load.Errors > 0 {
+		return fmt.Errorf("%d load errors", load.Errors)
+	}
+	time.Sleep(300 * time.Millisecond)
+	sess.Stop()
+
+	// Per-URL latency series from the NetAlytics join (ns -> ms).
+	perURL := map[string]*metrics.Series{}
+	var all metrics.Series
+	for tu := range sess.Results() {
+		ms := tu.Val / 1e6
+		s, ok := perURL[tu.Key]
+		if !ok {
+			s = &metrics.Series{}
+			perURL[tu.Key] = s
+		}
+		s.Add(ms)
+		all.Add(ms)
+	}
+	if all.Len() == 0 {
+		return fmt.Errorf("no joined response-time tuples")
+	}
+
+	// Fig. 12: overall histogram.
+	if err := writeHistogram(ctx, "fig12_web_response_hist", &all, 25); err != nil {
+		return err
+	}
+	fmt.Printf("   all pages: %s\n", all.Summary())
+
+	// Fig. 13: CDFs for the four content pages.
+	fig13 := map[string]*metrics.Series{}
+	for _, p := range usecase2Pages {
+		if s, ok := perURL[p.url]; ok {
+			fig13[p.url] = s
+			fmt.Printf("   %-28s p50=%7.1fms n=%d\n", p.url, s.Percentile(50), s.Len())
+		}
+	}
+	if err := writeCDFs(ctx, "fig13_per_url_cdf", fig13); err != nil {
+		return err
+	}
+
+	// Fig. 14: correct vs buggy page.
+	fig14 := map[string]*metrics.Series{}
+	for _, u := range []string{"/overdue.php", "/overdue-bug.php"} {
+		if s, ok := perURL[u]; ok {
+			fig14[u] = s
+			fmt.Printf("   %-28s p50=%7.1fms n=%d\n", u, s.Percentile(50), s.Len())
+		}
+	}
+	good, bug := fig14["/overdue.php"], fig14["/overdue-bug.php"]
+	if good != nil && bug != nil && bug.Percentile(50) >= good.Percentile(50) {
+		fmt.Printf("   warning: buggy page not faster than correct page\n")
+	}
+	return writeCDFs(ctx, "fig14_bug_detection_cdf", fig14)
+}
+
+// runFig15 reproduces Fig. 15: per-SQL-query response times, observable only
+// by the mysql parser because several queries share each TCP connection.
+func runFig15(ctx *runCtx) error {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{TickInterval: 50 * time.Millisecond})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	db, client := hosts[0], hosts[12]
+
+	costs := map[string]time.Duration{}
+	for _, p := range usecase2Pages {
+		costs[p.sql] = p.cost / 10 // query-level costs are smaller than page costs
+	}
+	mysqlSrv, err := apps.StartMySQL(engine.Network(), db, apps.MySQLConfig{DefaultCost: time.Millisecond, Costs: costs})
+	if err != nil {
+		return err
+	}
+	defer mysqlSrv.Stop()
+
+	sess, err := engine.Submit(fmt.Sprintf(
+		"PARSE mysql_query FROM * TO %s:3306 PROCESS (passthrough)", db.Name))
+	if err != nil {
+		return err
+	}
+
+	conns := 10
+	queriesPerConn := 12
+	if ctx.quick {
+		conns, queriesPerConn = 4, 6
+	}
+	for c := 0; c < conns; c++ {
+		cli, err := apps.DialMySQL(engine.Network(), client, db, 0)
+		if err != nil {
+			return err
+		}
+		for q := 0; q < queriesPerConn; q++ {
+			sql := usecase2Pages[q%len(usecase2Pages)].sql
+			if err := cli.Query(sql, 5*time.Second); err != nil {
+				cli.Close()
+				return fmt.Errorf("query %d/%d: %w", c, q, err)
+			}
+		}
+		cli.Close()
+	}
+	time.Sleep(300 * time.Millisecond)
+	sess.Stop()
+
+	var all metrics.Series
+	perQuery := map[string]*metrics.Series{}
+	for tu := range sess.Results() {
+		if tu.Parser != "mysql_query" {
+			continue
+		}
+		ms := tu.Val / 1e6
+		all.Add(ms)
+		s, ok := perQuery[tu.Key]
+		if !ok {
+			s = &metrics.Series{}
+			perQuery[tu.Key] = s
+		}
+		s.Add(ms)
+	}
+	want := conns * queriesPerConn
+	fmt.Printf("   captured %d/%d query latencies across %d statements\n", all.Len(), want, len(perQuery))
+	if all.Len() == 0 {
+		return fmt.Errorf("mysql parser captured nothing")
+	}
+	for sql, s := range perQuery {
+		display := sql
+		if len(display) > 40 {
+			display = display[:40] + "..."
+		}
+		fmt.Printf("   %-45s p50=%6.1fms n=%d\n", display, s.Percentile(50), s.Len())
+	}
+	return writeHistogram(ctx, "fig15_mysql_query_hist", &all, 2)
+}
+
+// runQueryLog reproduces the §7.2 overhead comparison: MySQL throughput with
+// and without the general query log (the paper measured 40.8 K → 33 K qps,
+// a 20 % drop; NetAlytics itself adds no server-side overhead).
+func runQueryLog(ctx *runCtx) error {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	db, client := hosts[0], hosts[12]
+
+	n := 400
+	if ctx.quick {
+		n = 100
+	}
+	measure := func(logger io.Writer) (float64, error) {
+		srv, err := apps.StartMySQL(engine.Network(), db, apps.MySQLConfig{
+			DefaultCost: 4 * time.Millisecond,
+			QueryLog:    logger,
+			LogOverhead: 800 * time.Microsecond,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Stop()
+		cli, err := apps.DialMySQL(engine.Network(), client, db, 0)
+		if err != nil {
+			return 0, err
+		}
+		defer cli.Close()
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := cli.Query("SELECT 1", 5*time.Second); err != nil {
+				return 0, err
+			}
+		}
+		return float64(n) / time.Since(start).Seconds(), nil
+	}
+
+	off, err := measure(nil)
+	if err != nil {
+		return err
+	}
+	on, err := measure(io.Discard)
+	if err != nil {
+		return err
+	}
+	drop := (off - on) / off * 100
+	fmt.Printf("   query log off: %8.0f qps\n", off)
+	fmt.Printf("   query log on:  %8.0f qps  (drop %.1f%%, paper: ~20%%)\n", on, drop)
+	fmt.Printf("   NetAlytics:    %8.0f qps  (passive mirror, no server overhead)\n", off)
+	return ctx.writeTSV("qlog_overhead", [][]string{
+		{"config", "qps"},
+		{"no_query_log", fmt.Sprintf("%.0f", off)},
+		{"query_log", fmt.Sprintf("%.0f", on)},
+		{"netalytics_monitoring", fmt.Sprintf("%.0f", off)},
+	})
+}

@@ -1,0 +1,375 @@
+// Command netalytics runs a NetAlytics query against an in-process demo
+// testbed: a k=4 fat tree carrying traffic for a small multi-tier web
+// application (proxy → two app servers → MySQL + Memcached), with the full
+// monitoring pipeline (SDN mirror rules → NFV monitors → aggregation →
+// stream processing) deployed on demand by the query.
+//
+// Usage:
+//
+//	netalytics [-duration 5s] [-requests 200] "<query>"
+//
+// Example queries against the demo testbed (hosts are named h<pod>-<rack>-<n>):
+//
+//	netalytics "PARSE http_get FROM * TO h0-0-0:80 LIMIT 5s PROCESS (top-k: k=5, w=1s)"
+//	netalytics "PARSE tcp_conn_time FROM * TO h0-0-1:80, h0-1-0:80 PROCESS (diff-group: group=ips)"
+//	netalytics "PARSE mysql_query FROM * TO h1-0-0:3306 PROCESS (passthrough)"
+//
+// Run with -describe to print the demo topology and deployed services.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"netalytics"
+	"netalytics/internal/apps"
+	"netalytics/internal/pcap"
+	"netalytics/internal/report"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+	"netalytics/internal/workload"
+)
+
+// captureToPcap opens extra taps on the session's monitor hosts and streams
+// every mirrored frame into a pcap file until stop is called.
+func captureToPcap(tb *netalytics.Testbed, sess *netalytics.Session, path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var mu sync.Mutex // serialize writes from multiple taps
+	var wg sync.WaitGroup
+	var taps []*vnet.Tap
+	for _, h := range sess.MonitorHosts() {
+		tap := tb.Network().OpenTap(h.ID, 8192)
+		taps = append(taps, tap)
+		wg.Add(1)
+		go func(tap *vnet.Tap) {
+			defer wg.Done()
+			for tf := range tap.C {
+				mu.Lock()
+				_ = w.WritePacket(tf.TS, tf.Raw)
+				mu.Unlock()
+			}
+		}(tap)
+	}
+	return func() {
+		for _, tap := range taps {
+			tb.Network().CloseTap(tap)
+		}
+		wg.Wait()
+		fmt.Printf("wrote %d mirrored frames to %s\n", w.Packets(), path)
+		f.Close()
+	}, nil
+}
+
+func main() {
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive traffic and collect results")
+	requests := flag.Int("requests", 300, "client requests to issue while the query runs")
+	describe := flag.Bool("describe", false, "print the demo testbed layout and exit")
+	pcapPath := flag.String("pcap", "", "also dump the mirrored frames to this pcap file")
+	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
+	flag.Parse()
+
+	var err error
+	if *interactive {
+		err = runInteractive()
+	} else {
+		err = run(flag.Arg(0), *duration, *requests, *describe, *pcapPath)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netalytics: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runInteractive drives a REPL: continuous background traffic flows through
+// the demo app, and each line submits a query whose results stream until the
+// query's LIMIT fires or the user enters a blank line.
+func runInteractive() error {
+	d, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	defer d.close()
+	d.describe()
+	fmt.Println()
+	fmt.Println("continuous background traffic is flowing; type a query, e.g.")
+	fmt.Println(`  PARSE http_get FROM * TO h0-0-0:80 LIMIT 5s PROCESS (top-k: k=5, w=1s)`)
+	fmt.Println("blank line stops the running query; 'exit' quits.")
+
+	// Background load, forever (until the REPL exits).
+	stopLoad := make(chan struct{})
+	defer close(stopLoad)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			apps.RunHTTPLoad(d.tb.Network(), d.client, apps.LoadConfig{
+				Requests: 50, Concurrency: 2, Gap: 5 * time.Millisecond, Target: d.proxy,
+				URL: func(j int) string {
+					switch (i + j) % 4 {
+					case 0:
+						return "/db"
+					case 1, 2:
+						return "/cache"
+					default:
+						return workload.URL(j % 25)
+					}
+				},
+			})
+		}
+	}()
+
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		scanner := bufio.NewScanner(os.Stdin)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+	}()
+
+	for {
+		fmt.Print("netalytics> ")
+		line, ok := <-lines
+		if !ok {
+			return nil
+		}
+		line = strings.TrimSpace(line)
+		switch line {
+		case "":
+			continue
+		case "exit", "quit":
+			return nil
+		case "stats":
+			printStats(d.tb)
+			continue
+		}
+		sess, err := d.tb.Submit(line)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Printf("[%s] %d monitor(s) deployed; blank line to stop\n", sess.ID, sess.MonitorCount())
+	stream:
+		for {
+			select {
+			case tu, open := <-sess.Results():
+				if !open {
+					fmt.Printf("[%s] done: %d packets, %d tuples\n", sess.ID, sess.Packets(), sess.MonitorStats().Tuples)
+					break stream
+				}
+				printResult(tu)
+			case l, open := <-lines:
+				if !open || strings.TrimSpace(l) == "" {
+					sess.Stop()
+					for range sess.Results() {
+					}
+					fmt.Printf("[%s] stopped: %d packets, %d tuples\n", sess.ID, sess.Packets(), sess.MonitorStats().Tuples)
+					break stream
+				}
+				fmt.Println("(finish the running query with a blank line first)")
+			}
+		}
+	}
+}
+
+// printStats summarizes the deployment: network counters, installed rules,
+// live monitor instances and aggregation topics.
+func printStats(tb *netalytics.Testbed) {
+	st := tb.Network().Stats()
+	fmt.Printf("network: %d frames (%d KB), %d mirrored (%d KB), %d tap drops\n",
+		st.Frames, st.Bytes/1024, st.Mirrored, st.MirroredBytes/1024, st.TapDrops)
+	fmt.Printf("locality: %d KB in-rack, %d KB in-pod, %d KB cross-core\n",
+		st.BytesSameRack/1024, st.BytesSamePod/1024, st.BytesCore/1024)
+	fmt.Printf("control: %d mirror rules installed, %d sessions, %d monitor instances\n",
+		tb.Controller().RuleCount(), len(tb.Engine().Sessions()), tb.Engine().Orchestrator().InstanceCount())
+	for _, topic := range tb.Aggregation().Topics() {
+		ts := tb.Aggregation().Stats(topic)
+		fmt.Printf("topic %-24s appended=%d consumed=%d buffered=%d dropped=%d\n",
+			topic, ts.Appended, ts.Consumed, ts.Buffered, ts.Dropped)
+	}
+}
+
+func printResult(tu netalytics.Tuple) {
+	if entries, ok := netalytics.DecodeRankings(tu); ok {
+		fmt.Print(report.Rankings("top-k", entries))
+		return
+	}
+	fmt.Printf("  parser=%-14s key=%-32q val=%.2f src=%s dst=%s\n",
+		tu.Parser, tu.Key, tu.Val, tu.SrcIP, tu.DstIP)
+}
+
+type demo struct {
+	tb        *netalytics.Testbed
+	proxy     *topology.Host
+	app1      *topology.Host
+	app2      *topology.Host
+	mysql     *topology.Host
+	memcached *topology.Host
+	client    *topology.Host
+	stops     []func()
+}
+
+func (d *demo) close() {
+	for _, stop := range d.stops {
+		stop()
+	}
+	d.tb.Close()
+}
+
+func buildDemo() (*demo, error) {
+	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{FatTreeK: 4, ResourceSeed: 7})
+	if err != nil {
+		return nil, err
+	}
+	hosts := tb.Topology().Hosts()
+	d := &demo{
+		tb:        tb,
+		proxy:     hosts[0],
+		app1:      hosts[1],
+		app2:      hosts[2],
+		mysql:     hosts[4],
+		memcached: hosts[5],
+		client:    hosts[12],
+	}
+	net := tb.Network()
+
+	db, err := apps.StartMySQL(net, d.mysql, apps.MySQLConfig{DefaultCost: 12 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	d.stops = append(d.stops, db.Stop)
+	cache, err := apps.StartMemcached(net, d.memcached, apps.MemcachedConfig{Cost: time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	d.stops = append(d.stops, cache.Stop)
+
+	routes := map[string]apps.Route{
+		"/db":     {Cost: time.Millisecond, Backend: apps.BackendMySQL, BackendHost: d.mysql, Query: "SELECT * FROM film"},
+		"/cache":  {Cost: time.Millisecond, Backend: apps.BackendMemcached, BackendHost: d.memcached, Query: "page"},
+		"/videos": {Cost: 2 * time.Millisecond},
+	}
+	for _, h := range []*topology.Host{d.app1, d.app2} {
+		app, err := apps.StartApp(net, h, apps.AppConfig{Routes: routes})
+		if err != nil {
+			return nil, err
+		}
+		d.stops = append(d.stops, app.Stop)
+	}
+	kv := apps.NewKVStore()
+	kv.SetPool([]string{d.app1.Name, d.app2.Name})
+	proxy, err := apps.StartProxy(net, d.proxy, apps.ProxyConfig{Store: kv})
+	if err != nil {
+		return nil, err
+	}
+	d.stops = append(d.stops, proxy.Stop)
+	return d, nil
+}
+
+func (d *demo) describe() {
+	fmt.Println("demo testbed (fat tree k=4, 16 hosts):")
+	fmt.Printf("  %-10s %-16s proxy :80 (load balancer)\n", d.proxy.Name, d.proxy.Addr)
+	fmt.Printf("  %-10s %-16s app server :80\n", d.app1.Name, d.app1.Addr)
+	fmt.Printf("  %-10s %-16s app server :80\n", d.app2.Name, d.app2.Addr)
+	fmt.Printf("  %-10s %-16s mini-MySQL :3306\n", d.mysql.Name, d.mysql.Addr)
+	fmt.Printf("  %-10s %-16s memcached :11211\n", d.memcached.Name, d.memcached.Addr)
+	fmt.Printf("  %-10s %-16s load client\n", d.client.Name, d.client.Addr)
+}
+
+func run(queryText string, duration time.Duration, requests int, describe bool, pcapPath string) error {
+	d, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	defer d.close()
+
+	if describe {
+		d.describe()
+		return nil
+	}
+	if queryText == "" {
+		return fmt.Errorf("no query given; try -describe or see the command documentation")
+	}
+
+	sess, err := d.tb.Submit(queryText)
+	if err != nil {
+		return err
+	}
+
+	if pcapPath != "" {
+		// A second tap on each monitor host receives the same mirrored
+		// frames the monitors do; dump them for offline tooling.
+		stop, err := captureToPcap(d.tb, sess, pcapPath)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	fmt.Printf("query deployed: %d monitors on", sess.MonitorCount())
+	for _, h := range sess.MonitorHosts() {
+		fmt.Printf(" %s", h.Name)
+	}
+	fmt.Printf("; %d mirror rules installed\n", len(d.tb.Controller().QueryRules(sess.ID)))
+
+	// Drive background traffic through the demo app while the query runs.
+	go apps.RunHTTPLoad(d.tb.Network(), d.client, apps.LoadConfig{
+		Requests: requests, Concurrency: 4, Target: d.proxy,
+		URL: func(i int) string {
+			switch i % 4 {
+			case 0:
+				return "/db"
+			case 1, 2:
+				return "/cache"
+			default:
+				return workload.URL(i % 25)
+			}
+		},
+	})
+
+	timer := time.NewTimer(duration)
+	defer timer.Stop()
+	results := 0
+	fmt.Println("results:")
+	for {
+		select {
+		case tu, ok := <-sess.Results():
+			if !ok {
+				fmt.Printf("session ended after %d results\n", results)
+				return nil
+			}
+			results++
+			if entries, isRanking := netalytics.DecodeRankings(tu); isRanking {
+				fmt.Printf("  top-%d:", len(entries))
+				for _, e := range entries {
+					fmt.Printf(" %s=%.0f", e.Key, e.Count)
+				}
+				fmt.Println()
+				continue
+			}
+			fmt.Printf("  parser=%-14s key=%-32q val=%.2f src=%s dst=%s\n",
+				tu.Parser, tu.Key, tu.Val, tu.SrcIP, tu.DstIP)
+		case <-timer.C:
+			sess.Stop()
+			stats := sess.MonitorStats()
+			fmt.Printf("stopped: %d packets mirrored, %d tuples, %d batches; %d results shown\n",
+				sess.Packets(), stats.Tuples, stats.Batches, results)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildDemoAndDescribe(t *testing.T) {
+	d, err := buildDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.close()
+	d.describe() // must not panic
+	if d.proxy == nil || d.client == nil {
+		t.Fatal("demo hosts missing")
+	}
+}
+
+func TestRunQueryAgainstDemo(t *testing.T) {
+	err := run("PARSE http_get FROM * TO h0-0-0:80 PROCESS (top-k: k=3, w=500ms)",
+		1500*time.Millisecond, 40, false, "")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithPcap(t *testing.T) {
+	path := t.TempDir() + "/cap.pcap"
+	err := run("PARSE tcp_conn_time FROM * TO h0-0-1:80 PROCESS (diff)",
+		time.Second, 20, false, path)
+	if err != nil {
+		t.Fatalf("run with pcap: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", time.Second, 1, false, ""); err == nil {
+		t.Error("empty query accepted")
+	}
+	if err := run("PARSE nope FROM h0-0-0:80 PROCESS (passthrough)", time.Second, 1, false, ""); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run("", time.Second, 1, true, ""); err != nil {
+		t.Errorf("describe path: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command placesim runs the §6.2 placement simulation standalone: it builds
+// a k-ary fat tree, generates a staggered data-center workload, places
+// NetAlytics monitors and analytics engines with a chosen policy, and prints
+// the network and resource costs.
+//
+// Usage:
+//
+//	placesim [-k 16] [-flows 1000000] [-monitored 100000] [-policy network|node|local] [-seeds 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"netalytics/internal/placement"
+	"netalytics/internal/topology"
+	"netalytics/internal/workload"
+)
+
+func main() {
+	k := flag.Int("k", 16, "fat-tree arity (even)")
+	totalFlows := flag.Int("flows", 1000000, "total workload flows")
+	monitored := flag.Int("monitored", 100000, "monitored flow count")
+	policyName := flag.String("policy", "all", "placement policy: local, node, network or all")
+	seeds := flag.Int("seeds", 3, "random repetitions to average")
+	flag.Parse()
+
+	if err := run(*k, *totalFlows, *monitored, *policyName, *seeds); err != nil {
+		fmt.Fprintf(os.Stderr, "placesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, totalFlows, monitored int, policyName string, seeds int) error {
+	var policies []placement.Policy
+	switch policyName {
+	case "local":
+		policies = []placement.Policy{placement.LocalRandom}
+	case "node":
+		policies = []placement.Policy{placement.NetalyticsNode}
+	case "network":
+		policies = []placement.Policy{placement.NetalyticsNetwork}
+	case "all":
+		policies = []placement.Policy{placement.LocalRandom, placement.NetalyticsNode, placement.NetalyticsNetwork}
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	if monitored > totalFlows {
+		return fmt.Errorf("monitored (%d) exceeds total flows (%d)", monitored, totalFlows)
+	}
+
+	topo, err := topology.New(k)
+	if err != nil {
+		return err
+	}
+	topo.RandomizeResources(rand.New(rand.NewSource(1)))
+	all := workload.StaggeredFlows(topo, totalFlows, workload.FlowConfig{}, rand.New(rand.NewSource(2)))
+	fmt.Printf("topology: k=%d (%d hosts); workload: %d flows, %.2f Tbps; monitoring %d flows\n",
+		k, len(topo.Hosts()), len(all), workload.TotalRate(all)/1e12, monitored)
+
+	fmt.Printf("%-22s %10s %12s %10s %10s %12s\n",
+		"policy", "bw%", "weighted bw%", "monitors", "aggs+procs", "processes")
+	for _, pol := range policies {
+		var bw, wbw, procs, mons, analytics float64
+		for s := 0; s < seeds; s++ {
+			rng := rand.New(rand.NewSource(int64(100 + s)))
+			flows := workload.Sample(all, monitored, rng)
+			p, err := placement.Place(topo, flows, pol, placement.Params{}, rng)
+			if err != nil {
+				return fmt.Errorf("placing %s: %w", pol.Name, err)
+			}
+			c := placement.Evaluate(topo, flows, p, placement.Params{}, all)
+			bw += c.ExtraBandwidthPct
+			wbw += c.WeightedExtraBandwidthPct
+			procs += float64(c.Processes)
+			mons += float64(len(p.Monitors))
+			analytics += float64(len(p.Aggregators) + len(p.Processors))
+		}
+		n := float64(seeds)
+		fmt.Printf("%-22s %10.4f %12.4f %10.0f %10.0f %12.0f\n",
+			pol.Name, bw/n, wbw/n, mons/n, analytics/n, procs/n)
+	}
+	return nil
+}

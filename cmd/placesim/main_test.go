@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"local", "node", "network", "all"} {
+		if err := run(4, 2000, 500, policy, 1); err != nil {
+			t.Errorf("run(%s): %v", policy, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(4, 1000, 100, "bogus", 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run(4, 100, 1000, "all", 1); err == nil {
+		t.Error("monitored > total accepted")
+	}
+	if err := run(3, 100, 10, "all", 1); err == nil {
+		t.Error("odd k accepted")
+	}
+}

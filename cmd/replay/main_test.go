@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/pcap"
+	"netalytics/internal/proto"
+)
+
+func writeTestCapture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b packet.Builder
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	frames := [][]byte{
+		b.TCP(packet.TCPSpec{Src: src, Dst: dst, SrcPort: 5000, DstPort: 80, Flags: packet.TCPFlagSYN}),
+		b.TCP(packet.TCPSpec{Src: src, Dst: dst, SrcPort: 5000, DstPort: 80, Flags: packet.TCPFlagPSH,
+			Payload: proto.BuildHTTPGet("/replayed", "h")}),
+		b.TCP(packet.TCPSpec{Src: src, Dst: dst, SrcPort: 5000, DstPort: 80, Flags: packet.TCPFlagFIN}),
+	}
+	for i, raw := range frames {
+		if err := w.WritePacket(time.Unix(int64(i), 0), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeTestCapture(t)
+	if err := run(path, []string{"http_get", "tcp_conn_time"}, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := writeTestCapture(t)
+	if err := run(path, []string{"http_get"}, true); err != nil {
+		t.Fatalf("run json: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.pcap"), []string{"http_get"}, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTestCapture(t)
+	if err := run(path, []string{"no_such_parser"}, false); err == nil {
+		t.Error("unknown parser accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := os.WriteFile(bad, []byte("not a pcap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, []string{"http_get"}, false); err == nil {
+		t.Error("garbage capture accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package netalytics_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netalytics/internal/placement"
+	"netalytics/internal/query"
+	"netalytics/internal/report"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+)
+
+// The query language accepts the paper's §3.3 examples verbatim and renders
+// back canonically.
+func Example_queryLanguage() {
+	q, err := query.Parse(`PARSE tcp_conn_time, http_get
+		FROM 10.0.2.8:5555 TO 10.0.2.9:80
+		LIMIT 90s SAMPLE auto
+		PROCESS (top-k: k=10, w=10s)`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(q)
+	fmt.Println("parsers:", q.Parsers)
+	fmt.Println("limit:", q.Limit.Duration)
+	// Output:
+	// PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 LIMIT 1m30s SAMPLE auto PROCESS (top-k: k=10, w=10s)
+	// parsers: [tcp_conn_time http_get]
+	// limit: 1m30s
+}
+
+// Placement runs standalone: given a topology and a flow set, the paper's
+// Algorithm 1 & 2 heuristics decide where monitors and analytics engines go.
+func Example_placement() {
+	topo := topology.MustNew(4)
+	topo.RandomizeResources(rand.New(rand.NewSource(1)))
+	hosts := topo.Hosts()
+	flows := []placement.Flow{
+		{Src: hosts[0], Dst: hosts[8], Rate: 1e6},
+		{Src: hosts[1], Dst: hosts[9], Rate: 1e6},
+		{Src: hosts[4], Dst: hosts[12], Rate: 1e6},
+	}
+	p, err := placement.Place(topo, flows, placement.NetalyticsNetwork, placement.Params{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("monitors:", len(p.Monitors))
+	fmt.Println("aggregators:", len(p.Aggregators))
+	fmt.Println("every flow covered:", len(p.FlowMonitor) == len(flows))
+	// Output:
+	// monitors: 2
+	// aggregators: 2
+	// every flow covered: true
+}
+
+// The report package renders results for terminals.
+func Example_report() {
+	fmt.Print(report.Rankings("top pages", []stream.RankEntry{
+		{Key: "/home", Count: 40},
+		{Key: "/search", Count: 10},
+	}))
+	// Output:
+	// top pages
+	//    1. /home         40 ########################
+	//    2. /search       10 ######
+}

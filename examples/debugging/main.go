@@ -1,0 +1,139 @@
+// Debugging: the §7.1 multi-tier performance-debugging walkthrough.
+//
+// A proxy load-balances over two app servers backed by MySQL and Memcached.
+// Clients see bimodal response times; CPU metrics look fine everywhere. Two
+// NetAlytics queries localize the problem from the network alone:
+//
+//  1. tcp_conn_time + diff-group  → proxy→App1 is ~4x slower than proxy→App2
+//
+//  2. tcp_pkt_size + group-sum    → App1 sends all its backend traffic to
+//     MySQL and none to the cache: a misconfiguration.
+//
+//     go run ./examples/debugging
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netalytics"
+	"netalytics/internal/apps"
+	"netalytics/internal/topology"
+)
+
+func main() {
+	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{FatTreeK: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+	net := tb.Network()
+	hosts := tb.Topology().Hosts()
+	proxyH, app1H, app2H, dbH, cacheH, clientH :=
+		hosts[0], hosts[1], hosts[2], hosts[4], hosts[5], hosts[12]
+
+	// Backends: a 24ms database and a 1ms cache.
+	db, err := apps.StartMySQL(net, dbH, apps.MySQLConfig{DefaultCost: 24 * time.Millisecond})
+	must(err)
+	defer db.Stop()
+	cache, err := apps.StartMemcached(net, cacheH, apps.MemcachedConfig{Cost: time.Millisecond})
+	must(err)
+	defer cache.Stop()
+
+	// App Server 1 is misconfigured: its /cache route points at MySQL.
+	app1, err := apps.StartApp(net, app1H, apps.AppConfig{Routes: map[string]apps.Route{
+		"/db":    {Backend: apps.BackendMySQL, BackendHost: dbH, Query: "SELECT * FROM orders"},
+		"/cache": {Backend: apps.BackendMySQL, BackendHost: dbH, Query: "SELECT * FROM sessions"},
+	}})
+	must(err)
+	defer app1.Stop()
+	app2, err := apps.StartApp(net, app2H, apps.AppConfig{Routes: map[string]apps.Route{
+		"/db":    {Backend: apps.BackendMySQL, BackendHost: dbH, Query: "SELECT * FROM orders"},
+		"/cache": {Backend: apps.BackendMemcached, BackendHost: cacheH, Query: "session"},
+	}})
+	must(err)
+	defer app2.Stop()
+
+	kv := apps.NewKVStore()
+	kv.SetPool([]string{app1H.Name, app2H.Name})
+	proxy, err := apps.StartProxy(net, proxyH, apps.ProxyConfig{Store: kv})
+	must(err)
+	defer proxy.Stop()
+
+	// Step 0: the symptom. Clients see anomalous, bimodal latency.
+	fmt.Println("step 0: clients report anomalous response times")
+	load := apps.RunHTTPLoad(net, clientH, apps.LoadConfig{
+		Requests: 150, Concurrency: 8, Target: proxyH,
+		URL: func(i int) string {
+			if i%5 == 0 {
+				return "/db"
+			}
+			return "/cache"
+		},
+	})
+	fmt.Printf("  client latency: %s\n\n", load.Latencies.Summary())
+
+	// Step 1: per-tier response-time breakdown, no server access needed.
+	fmt.Println("step 1: NetAlytics query — per-tier connection times")
+	connQ := fmt.Sprintf(
+		"PARSE tcp_conn_time FROM * TO %s:80, %s:80, %s:80, %s:3306, %s:11211 PROCESS (diff-group: group=ips)",
+		proxyH.Name, app1H.Name, app2H.Name, dbH.Name, cacheH.Name)
+	avgs := runAndCollect(tb, connQ, net, clientH, proxyH)
+	edge := func(from, to *topology.Host) float64 {
+		return avgs[from.Addr.String()+"->"+to.Addr.String()] / 1e6
+	}
+	fmt.Printf("  proxy -> app1: %6.1f ms\n", edge(proxyH, app1H))
+	fmt.Printf("  proxy -> app2: %6.1f ms   <- app1 is ~%.0fx slower\n",
+		edge(proxyH, app2H), edge(proxyH, app1H)/edge(proxyH, app2H))
+	fmt.Printf("  app1  -> db:   %6.1f ms\n", edge(app1H, dbH))
+	fmt.Printf("  app2  -> db:   %6.1f ms\n", edge(app2H, dbH))
+	fmt.Printf("  app2  -> cache:%6.1f ms\n\n", edge(app2H, cacheH))
+
+	// Step 2: where does each app server's traffic go?
+	fmt.Println("step 2: NetAlytics query — per-backend traffic volume")
+	sizeQ := fmt.Sprintf(
+		"PARSE tcp_pkt_size FROM * TO %s:3306, %s:11211 PROCESS (group-sum: group=ips)",
+		dbH.Name, cacheH.Name)
+	sums := runAndCollect(tb, sizeQ, net, clientH, proxyH)
+	vol := func(from, to *topology.Host) float64 {
+		return (sums[from.Addr.String()+"->"+to.Addr.String()] +
+			sums[to.Addr.String()+"->"+from.Addr.String()]) / 1024
+	}
+	fmt.Printf("  app1 -> mysql:     %7.1f KB\n", vol(app1H, dbH))
+	fmt.Printf("  app1 -> memcached: %7.1f KB   <- app1 never touches the cache!\n", vol(app1H, cacheH))
+	fmt.Printf("  app2 -> mysql:     %7.1f KB\n", vol(app2H, dbH))
+	fmt.Printf("  app2 -> memcached: %7.1f KB\n\n", vol(app2H, cacheH))
+
+	fmt.Println("diagnosis: App Server 1 is misconfigured — its cacheable requests")
+	fmt.Println("are served by MySQL instead of Memcached (cf. paper §7.1).")
+}
+
+// runAndCollect submits a query, drives a standard load burst, stops the
+// session and returns the last value per result key.
+func runAndCollect(tb *netalytics.Testbed, q string, net *netalytics.Network, client, target *topology.Host) map[string]float64 {
+	sess, err := tb.Submit(q)
+	must(err)
+	apps.RunHTTPLoad(net, client, apps.LoadConfig{
+		Requests: 150, Concurrency: 8, Target: target,
+		URL: func(i int) string {
+			if i%5 == 0 {
+				return "/db"
+			}
+			return "/cache"
+		},
+	})
+	time.Sleep(300 * time.Millisecond)
+	sess.Stop()
+	out := map[string]float64{}
+	for tu := range sess.Results() {
+		out[tu.Key] = tu.Val
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Microservices: tracing a service graph from the network.
+//
+// The paper's introduction motivates NetAlytics with microservices: "a large
+// application is broken into many smaller components", overwhelming
+// per-process debuggers and log spelunking. This example deploys a small
+// service graph —
+//
+//	client → frontend → auth    → memcached
+//	                  → catalog → mysql
+//	                  → recs    (CPU-bound)
+//
+// — and derives a per-edge latency map from one NetAlytics query, without
+// touching a single service.
+//
+//	go run ./examples/microservices
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netalytics"
+	"netalytics/internal/apps"
+	"netalytics/internal/report"
+	"netalytics/internal/topology"
+)
+
+func main() {
+	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{FatTreeK: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+	net := tb.Network()
+	hosts := tb.Topology().Hosts()
+	frontend, auth, catalog, recs := hosts[0], hosts[1], hosts[2], hosts[3]
+	db, cache, client := hosts[4], hosts[5], hosts[12]
+
+	// Leaf dependencies.
+	mysql, err := apps.StartMySQL(net, db, apps.MySQLConfig{DefaultCost: 15 * time.Millisecond})
+	must(err)
+	defer mysql.Stop()
+	mc, err := apps.StartMemcached(net, cache, apps.MemcachedConfig{Cost: time.Millisecond})
+	must(err)
+	defer mc.Stop()
+
+	// Services.
+	authSrv, err := apps.StartApp(net, auth, apps.AppConfig{Routes: map[string]apps.Route{
+		"/verify": {Cost: time.Millisecond, Backend: apps.BackendMemcached, BackendHost: cache, Query: "token"},
+	}})
+	must(err)
+	defer authSrv.Stop()
+	catalogSrv, err := apps.StartApp(net, catalog, apps.AppConfig{Routes: map[string]apps.Route{
+		"/items": {Cost: 2 * time.Millisecond, Backend: apps.BackendMySQL, BackendHost: db, Query: "SELECT * FROM items"},
+	}})
+	must(err)
+	defer catalogSrv.Stop()
+	recsSrv, err := apps.StartApp(net, recs, apps.AppConfig{Routes: map[string]apps.Route{
+		"/suggest": {Cost: 12 * time.Millisecond}, // CPU-bound: no backend
+	}})
+	must(err)
+	defer recsSrv.Stop()
+
+	// The frontend fans out to all three services per request.
+	frontSrv, err := apps.StartApp(net, frontend, apps.AppConfig{Routes: map[string]apps.Route{
+		"/home": {Cost: time.Millisecond, Calls: []apps.BackendCall{
+			{Kind: apps.BackendHTTP, Host: auth, Query: "/verify"},
+			{Kind: apps.BackendHTTP, Host: catalog, Query: "/items"},
+			{Kind: apps.BackendHTTP, Host: recs, Query: "/suggest"},
+		}},
+	}})
+	must(err)
+	defer frontSrv.Stop()
+
+	// One query covers every tier of the graph.
+	sess, err := tb.Submit(fmt.Sprintf(
+		"PARSE tcp_conn_time FROM * TO %s:80, %s:80, %s:80, %s:80, %s:3306, %s:11211 PROCESS (diff-group: group=ips)",
+		frontend.Name, auth.Name, catalog.Name, recs.Name, db.Name, cache.Name))
+	must(err)
+
+	res := apps.RunHTTPLoad(net, client, apps.LoadConfig{
+		Requests: 120, Concurrency: 6, Target: frontend,
+		URL: func(int) string { return "/home" },
+	})
+	if res.Errors > 0 {
+		log.Fatalf("load errors: %d", res.Errors)
+	}
+	time.Sleep(300 * time.Millisecond)
+	sess.Stop()
+
+	avgs := map[string]float64{}
+	for tu := range sess.Results() {
+		avgs[tu.Key] = tu.Val
+	}
+	name := func(h *topology.Host) string {
+		switch h {
+		case frontend:
+			return "frontend"
+		case auth:
+			return "auth"
+		case catalog:
+			return "catalog"
+		case recs:
+			return "recs"
+		case db:
+			return "mysql"
+		case cache:
+			return "memcached"
+		case client:
+			return "client"
+		default:
+			return h.Name
+		}
+	}
+	edges := []struct{ from, to *topology.Host }{
+		{client, frontend},
+		{frontend, auth}, {frontend, catalog}, {frontend, recs},
+		{auth, cache}, {catalog, db},
+	}
+	table := map[string]float64{}
+	for _, e := range edges {
+		key := e.from.Addr.String() + "->" + e.to.Addr.String()
+		if v, ok := avgs[key]; ok {
+			table[fmt.Sprintf("%s -> %s", name(e.from), name(e.to))] = v / 1e6
+		}
+	}
+	fmt.Print(report.GroupTable("service-graph edge latencies (avg)", table, "ms"))
+	fmt.Println()
+	fmt.Println("reading the map: the client-facing latency decomposes into the three")
+	fmt.Println("fan-out calls; catalog dominates because of its mysql dependency —")
+	fmt.Println("found from mirrored packets alone, across six services (paper §1, §7.1).")
+	fmt.Printf("client latency: %s\n", res.Latencies.Summary())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

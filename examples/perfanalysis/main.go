@@ -1,0 +1,152 @@
+// Perfanalysis: the §7.2 coordinated performance-analysis walkthrough.
+//
+// A PHP-like web app executes database queries of very different costs. One
+// NetAlytics query combines two parsers — tcp_conn_time for timing and
+// http_get for URLs — joined by flow ID, so every connection duration comes
+// out labeled with its page. A second query uses the mysql parser to time
+// individual SQL statements even when several share one TCP connection, and
+// the run demonstrates catching a buggy page that silently skips its query.
+//
+//	go run ./examples/perfanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"netalytics"
+	"netalytics/internal/apps"
+	"netalytics/internal/metrics"
+)
+
+func main() {
+	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{FatTreeK: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+	net := tb.Network()
+	hosts := tb.Topology().Hosts()
+	webH, dbH, clientH := hosts[0], hosts[2], hosts[12]
+
+	pages := map[string]struct {
+		sql  string
+		cost time.Duration
+	}{
+		"/simple.php":          {"SELECT 1", 2 * time.Millisecond},
+		"/expensive-films.php": {"SELECT title FROM film WHERE rental_rate > 4", 90 * time.Millisecond},
+		"/polyglot-actors.php": {"SELECT actor FROM film_actor GROUP BY lang", 250 * time.Millisecond},
+		"/overdue.php":         {"SELECT * FROM rental WHERE overdue", 120 * time.Millisecond},
+	}
+	costs := map[string]time.Duration{}
+	routes := map[string]apps.Route{}
+	for url, p := range pages {
+		costs[p.sql] = p.cost
+		routes[url] = apps.Route{Backend: apps.BackendMySQL, BackendHost: dbH, Query: p.sql}
+	}
+	// The bug: this page forgets to issue its query and returns instantly.
+	routes["/overdue-bug.php"] = apps.Route{
+		Backend: apps.BackendMySQL, BackendHost: dbH,
+		Query: "SELECT * FROM rental WHERE overdue", Broken: true,
+	}
+
+	db, err := apps.StartMySQL(net, dbH, apps.MySQLConfig{DefaultCost: 2 * time.Millisecond, Costs: costs})
+	must(err)
+	defer db.Stop()
+	web, err := apps.StartApp(net, webH, apps.AppConfig{Routes: routes})
+	must(err)
+	defer web.Stop()
+
+	// Query 1: per-page response times via the two-parser join.
+	fmt.Println("query 1: PARSE tcp_conn_time, http_get ... PROCESS (diff)")
+	sess, err := tb.Submit(fmt.Sprintf(
+		"PARSE tcp_conn_time, http_get FROM * TO %s:80 PROCESS (diff)", webH.Name))
+	must(err)
+
+	urls := make([]string, 0, len(routes))
+	for u := range routes {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	load := apps.RunHTTPLoad(net, clientH, apps.LoadConfig{
+		Requests: 150, Concurrency: 6, Target: webH,
+		URL: func(i int) string { return urls[i%len(urls)] },
+	})
+	if load.Errors > 0 {
+		log.Fatalf("%d load errors", load.Errors)
+	}
+	time.Sleep(300 * time.Millisecond)
+	sess.Stop()
+
+	perURL := map[string]*metrics.Series{}
+	for tu := range sess.Results() {
+		s, ok := perURL[tu.Key]
+		if !ok {
+			s = &metrics.Series{}
+			perURL[tu.Key] = s
+		}
+		s.Add(tu.Val / 1e6)
+	}
+	fmt.Printf("  %-26s %8s %8s %5s\n", "page", "p50 ms", "p95 ms", "n")
+	for _, u := range urls {
+		if s := perURL[u]; s != nil {
+			fmt.Printf("  %-26s %8.1f %8.1f %5d\n", u, s.Percentile(50), s.Percentile(95), s.Len())
+		}
+	}
+	good, bug := perURL["/overdue.php"], perURL["/overdue-bug.php"]
+	if good != nil && bug != nil {
+		fmt.Printf("\n  /overdue-bug.php responds %.0fx faster than /overdue.php —\n",
+			good.Percentile(50)/max(bug.Percentile(50), 0.01))
+		fmt.Println("  a page that cheap is not doing its work: the missing-query bug (§7.2).")
+	}
+
+	// Query 2: individual SQL statement latencies on shared connections.
+	fmt.Println("\nquery 2: PARSE mysql_query ... PROCESS (passthrough)")
+	sess2, err := tb.Submit(fmt.Sprintf(
+		"PARSE mysql_query FROM * TO %s:3306 PROCESS (passthrough)", dbH.Name))
+	must(err)
+	for c := 0; c < 4; c++ {
+		cli, err := apps.DialMySQL(net, clientH, dbH, 0)
+		must(err)
+		for _, p := range pages {
+			must(cli.Query(p.sql, 5*time.Second))
+		}
+		cli.Close()
+	}
+	time.Sleep(300 * time.Millisecond)
+	sess2.Stop()
+
+	perSQL := map[string]*metrics.Series{}
+	for tu := range sess2.Results() {
+		s, ok := perSQL[tu.Key]
+		if !ok {
+			s = &metrics.Series{}
+			perSQL[tu.Key] = s
+		}
+		s.Add(tu.Val / 1e6)
+	}
+	fmt.Printf("  %-50s %8s %5s\n", "statement", "p50 ms", "n")
+	sqls := make([]string, 0, len(perSQL))
+	for q := range perSQL {
+		sqls = append(sqls, q)
+	}
+	sort.Strings(sqls)
+	for _, q := range sqls {
+		s := perSQL[q]
+		display := q
+		if len(display) > 48 {
+			display = display[:48] + ".."
+		}
+		fmt.Printf("  %-50s %8.1f %5d\n", display, s.Percentile(50), s.Len())
+	}
+	fmt.Println("\n(the MySQL query log would capture the same data at ~20% throughput cost;")
+	fmt.Println(" NetAlytics observes it from mirrored packets with zero server overhead)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module netalytics
+
+go 1.22

@@ -1,0 +1,501 @@
+package apps
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/sdn"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+)
+
+func testNet(t *testing.T) (*vnet.Network, []*topology.Host) {
+	t.Helper()
+	ft := topology.MustNew(4)
+	return vnet.New(ft, sdn.NewController()), ft.Hosts()
+}
+
+func TestMySQLServerQueryRoundTrip(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartMySQL(net, hosts[0], MySQLConfig{DefaultCost: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	cli, err := DialMySQL(net, hosts[1], hosts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := time.Now()
+	if err := cli.Query("SELECT 1", time.Second); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("query returned in %v, cost not applied", elapsed)
+	}
+	if srv.Queries() != 1 {
+		t.Errorf("Queries = %d", srv.Queries())
+	}
+}
+
+func TestMySQLSharedConnectionMultipleQueries(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartMySQL(net, hosts[0], MySQLConfig{
+		Costs: map[string]time.Duration{"slow": 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	cli, err := DialMySQL(net, hosts[1], hosts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for _, sql := range []string{"SELECT fast", "SELECT slow_thing", "SELECT fast2"} {
+		if err := cli.Query(sql, time.Second); err != nil {
+			t.Fatalf("Query(%q): %v", sql, err)
+		}
+	}
+	if srv.Queries() != 3 {
+		t.Errorf("Queries = %d, want 3", srv.Queries())
+	}
+}
+
+func TestMySQLQueryLogWritesAndSlowsDown(t *testing.T) {
+	net, hosts := testNet(t)
+	var log strings.Builder
+	var logMu sync.Mutex
+	safeLog := writerFunc(func(p []byte) (int, error) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return log.Write(p)
+	})
+	srv, err := StartMySQL(net, hosts[0], MySQLConfig{
+		DefaultCost: 2 * time.Millisecond,
+		QueryLog:    safeLog,
+		LogOverhead: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	cli, err := DialMySQL(net, hosts[1], hosts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	if err := cli.Query("SELECT logged", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("logged query took %v, want >= cost+overhead", elapsed)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if !strings.Contains(log.String(), "SELECT logged") {
+		t.Errorf("query log = %q", log.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestMemcachedServer(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartMemcached(net, hosts[0], MemcachedConfig{ValueSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	conn, err := net.Endpoint(hosts[1]).Dial(hosts[0].Addr, 11211)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := conn.Request([]byte("get user:9\r\n"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(resp), "VALUE user:9 0 32") {
+		t.Errorf("resp = %q", resp)
+	}
+	if srv.Gets() != 1 {
+		t.Errorf("Gets = %d", srv.Gets())
+	}
+}
+
+func TestAppServerRoutesAndBackends(t *testing.T) {
+	net, hosts := testNet(t)
+	db, err := StartMySQL(net, hosts[0], MySQLConfig{DefaultCost: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Stop()
+	cache, err := StartMemcached(net, hosts[1], MemcachedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Stop()
+
+	app, err := StartApp(net, hosts[2], AppConfig{
+		Routes: map[string]Route{
+			"/db":     {Backend: BackendMySQL, BackendHost: hosts[0], Query: "SELECT x"},
+			"/cache":  {Backend: BackendMemcached, BackendHost: hosts[1], Query: "k"},
+			"/static": {Cost: time.Millisecond},
+			"/broken": {Backend: BackendMySQL, BackendHost: hosts[0], Query: "SELECT y", Broken: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	client := hosts[4]
+	res := RunHTTPLoad(net, client, LoadConfig{
+		Requests: 4, Target: app.Host(),
+		URL: func(i int) string {
+			return []string{"/db", "/cache", "/static", "/broken"}[i]
+		},
+	})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if db.Queries() != 1 {
+		t.Errorf("db queries = %d, want 1 (broken route must skip the DB)", db.Queries())
+	}
+	if cache.Gets() != 1 {
+		t.Errorf("cache gets = %d, want 1", cache.Gets())
+	}
+	if app.Requests() != 4 {
+		t.Errorf("app requests = %d", app.Requests())
+	}
+}
+
+func TestAppServerHTTPBackendChain(t *testing.T) {
+	// frontend -> middle -> mysql: a microservice chain over BackendHTTP.
+	net, hosts := testNet(t)
+	db, err := StartMySQL(net, hosts[0], MySQLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Stop()
+	middle, err := StartApp(net, hosts[1], AppConfig{Routes: map[string]Route{
+		"/inner": {Backend: BackendMySQL, BackendHost: hosts[0], Query: "SELECT 1"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer middle.Stop()
+	front, err := StartApp(net, hosts[2], AppConfig{Routes: map[string]Route{
+		"/outer": {Calls: []BackendCall{
+			{Kind: BackendHTTP, Host: hosts[1], Query: "/inner"},
+			{Kind: BackendHTTP, Host: hosts[1], Query: "/inner"},
+		}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Stop()
+
+	res := RunHTTPLoad(net, hosts[4], LoadConfig{
+		Requests: 3, Target: front.Host(), URL: func(int) string { return "/outer" },
+	})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if got := middle.Requests(); got != 6 {
+		t.Errorf("middle requests = %d, want 6 (two calls per request)", got)
+	}
+	if got := db.Queries(); got != 6 {
+		t.Errorf("db queries = %d, want 6", got)
+	}
+}
+
+func TestAppServerHTTPBackendPropagatesFailure(t *testing.T) {
+	net, hosts := testNet(t)
+	// Middle returns 404 for the URL the frontend asks for.
+	middle, err := StartApp(net, hosts[1], AppConfig{Routes: map[string]Route{"/known": {}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer middle.Stop()
+	front, err := StartApp(net, hosts[2], AppConfig{Routes: map[string]Route{
+		"/outer": {Calls: []BackendCall{{Kind: BackendHTTP, Host: hosts[1], Query: "/missing"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Stop()
+
+	res := RunHTTPLoad(net, hosts[4], LoadConfig{
+		Requests: 1, Target: front.Host(), URL: func(int) string { return "/outer" },
+	})
+	if res.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (502 from broken downstream)", res.Errors)
+	}
+}
+
+func TestAppServer404(t *testing.T) {
+	net, hosts := testNet(t)
+	app, err := StartApp(net, hosts[0], AppConfig{Routes: map[string]Route{"/known": {}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	res := RunHTTPLoad(net, hosts[1], LoadConfig{
+		Requests: 1, Target: app.Host(), URL: func(int) string { return "/unknown" },
+	})
+	if res.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (404 is a failed request)", res.Errors)
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	kv := NewKVStore()
+	if _, ok := kv.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	rev := kv.Revision()
+	kv.Set("a", "1")
+	if v, ok := kv.Get("a"); !ok || v != "1" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if kv.Revision() == rev {
+		t.Error("revision not bumped")
+	}
+	kv.SetPool([]string{"h1", "h2"})
+	if got := kv.Pool(); len(got) != 2 || got[0] != "h1" {
+		t.Errorf("Pool = %v", got)
+	}
+	kv.SetPool(nil)
+	if got := kv.Pool(); got != nil {
+		t.Errorf("empty Pool = %v", got)
+	}
+}
+
+func TestProxyRoundRobinAndDynamicPool(t *testing.T) {
+	net, hosts := testNet(t)
+	routes := map[string]Route{"/": {}}
+	app1, err := StartApp(net, hosts[0], AppConfig{Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app1.Stop()
+	app2, err := StartApp(net, hosts[1], AppConfig{Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Stop()
+
+	kv := NewKVStore()
+	kv.SetPool([]string{hosts[0].Name})
+	proxy, err := StartProxy(net, hosts[2], ProxyConfig{Store: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Stop()
+
+	client := hosts[4]
+	res := RunHTTPLoad(net, client, LoadConfig{Requests: 4, Target: hosts[2], URL: func(int) string { return "/x" }})
+	if res.Errors != 0 {
+		t.Fatalf("phase 1 errors = %d", res.Errors)
+	}
+	if got := proxy.PerHost()[hosts[0].Name]; got != 4 {
+		t.Errorf("app1 got %d requests, want 4", got)
+	}
+
+	// Grow the pool: traffic must now split across both servers.
+	kv.SetPool([]string{hosts[0].Name, hosts[1].Name})
+	res = RunHTTPLoad(net, client, LoadConfig{Requests: 10, Target: hosts[2], URL: func(int) string { return "/x" }})
+	if res.Errors != 0 {
+		t.Fatalf("phase 2 errors = %d", res.Errors)
+	}
+	per := proxy.PerHost()
+	if per[hosts[1].Name] == 0 {
+		t.Errorf("app2 received no traffic after pool grow: %v", per)
+	}
+}
+
+func TestProxyEmptyPool(t *testing.T) {
+	net, hosts := testNet(t)
+	kv := NewKVStore()
+	proxy, err := StartProxy(net, hosts[0], ProxyConfig{Store: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Stop()
+	res := RunHTTPLoad(net, hosts[1], LoadConfig{Requests: 1, Target: hosts[0]})
+	if res.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (503)", res.Errors)
+	}
+	if proxy.Errors() != 1 {
+		t.Errorf("proxy errors = %d", proxy.Errors())
+	}
+}
+
+func TestProxyNeedsStore(t *testing.T) {
+	net, hosts := testNet(t)
+	if _, err := StartProxy(net, hosts[0], ProxyConfig{}); err == nil {
+		t.Error("proxy without store accepted")
+	}
+}
+
+func TestLoadConcurrency(t *testing.T) {
+	net, hosts := testNet(t)
+	app, err := StartApp(net, hosts[0], AppConfig{Routes: map[string]Route{"/": {Cost: 2 * time.Millisecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	start := time.Now()
+	res := RunHTTPLoad(net, hosts[1], LoadConfig{Requests: 20, Concurrency: 10, Target: app.Host()})
+	elapsed := time.Since(start)
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Latencies.Len() != 20 {
+		t.Errorf("latencies = %d", res.Latencies.Len())
+	}
+	// Sequential would be >= 40ms; concurrent should be well under.
+	if elapsed > 35*time.Millisecond {
+		t.Errorf("20 requests at concurrency 10 took %v", elapsed)
+	}
+}
+
+func TestLoadExpGap(t *testing.T) {
+	net, hosts := testNet(t)
+	app, err := StartApp(net, hosts[0], AppConfig{Routes: map[string]Route{"/": {}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	start := time.Now()
+	res := RunHTTPLoad(net, hosts[1], LoadConfig{
+		Requests: 20, Target: app.Host(),
+		Gap: 3 * time.Millisecond, ExpGap: true,
+	})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	// Mean gap 3ms over 20 requests: the run must take noticeable time but
+	// not the worst case of a fixed-gap run many times over.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("exp-gap run finished in %v; gaps not applied", elapsed)
+	}
+}
+
+func TestAutoscaler(t *testing.T) {
+	kv := NewKVStore()
+	now := time.Unix(0, 0)
+	var replicated []string
+	a := NewAutoscaler(AutoscalerConfig{
+		Store:          kv,
+		AllServers:     []string{"s1", "s2", "s3"},
+		MinServers:     1,
+		UpperThreshold: 100,
+		LowerThreshold: 10,
+		Backoff:        time.Second,
+		Replicate:      func(s string, _ []stream.RankEntry) { replicated = append(replicated, s) },
+		Now:            func() time.Time { return now },
+	})
+	if a.Active() != 1 || len(kv.Pool()) != 1 {
+		t.Fatalf("initial pool = %v", kv.Pool())
+	}
+
+	hot := []stream.RankEntry{{Key: "/v1", Count: 500}}
+	now = now.Add(2 * time.Second)
+	a.OnRankings(hot)
+	if a.Active() != 2 {
+		t.Fatalf("after surge: active = %d, want 2", a.Active())
+	}
+	if len(replicated) != 1 || replicated[0] != "s2" {
+		t.Errorf("replicated = %v", replicated)
+	}
+
+	// Backoff: an immediate second surge is ignored.
+	a.OnRankings(hot)
+	if a.Active() != 2 {
+		t.Errorf("backoff violated: active = %d", a.Active())
+	}
+	// After backoff, scale again.
+	now = now.Add(2 * time.Second)
+	a.OnRankings(hot)
+	if a.Active() != 3 {
+		t.Errorf("second scale-up failed: active = %d", a.Active())
+	}
+	// Pool is capped at AllServers.
+	now = now.Add(2 * time.Second)
+	a.OnRankings(hot)
+	if a.Active() != 3 {
+		t.Errorf("scaled past cap: active = %d", a.Active())
+	}
+
+	// Cool down: scale back to the floor.
+	cold := []stream.RankEntry{{Key: "/v1", Count: 1}}
+	for i := 0; i < 5; i++ {
+		now = now.Add(2 * time.Second)
+		a.OnRankings(cold)
+	}
+	if a.Active() != 1 {
+		t.Errorf("after cooldown: active = %d, want 1", a.Active())
+	}
+	if len(a.Actions()) != 5 { // 2 up + ... wait: 2 up, then cap no-op, then 2 down
+		// 2 scale-ups + 2 scale-downs = 4 actions
+		t.Logf("actions = %+v", a.Actions())
+	}
+	actions := a.Actions()
+	if len(actions) != 4 {
+		t.Errorf("actions = %d, want 4", len(actions))
+	}
+	// Empty rankings are ignored.
+	a.OnRankings(nil)
+}
+
+func TestMySQLThroughputLogOverheadShape(t *testing.T) {
+	// §7.2's comparison: enabling the query log costs ~20 % throughput.
+	net, hosts := testNet(t)
+	measure := func(logger io.Writer) float64 {
+		cfg := MySQLConfig{DefaultCost: 4 * time.Millisecond, QueryLog: logger}
+		srv, err := StartMySQL(net, hosts[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Stop()
+		cli, err := DialMySQL(net, hosts[1], hosts[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		const n = 50
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := cli.Query("SELECT 1", time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n / time.Since(start).Seconds()
+	}
+	off := measure(nil)
+	on := measure(io.Discard)
+	drop := (off - on) / off
+	if drop < 0.05 {
+		t.Errorf("query log dropped throughput by %.1f%%, want noticeable overhead (~20%%)", drop*100)
+	}
+	if on >= off {
+		t.Errorf("logged throughput %f >= unlogged %f", on, off)
+	}
+}

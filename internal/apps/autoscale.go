@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"sync"
+	"time"
+
+	"netalytics/internal/stream"
+)
+
+// AutoscalerConfig parameterizes the §7.3 Updater: it watches the top-k
+// rankings NetAlytics produces and grows or shrinks the proxy's backend pool
+// when content popularity crosses thresholds, backing off between actions to
+// avoid oscillation.
+type AutoscalerConfig struct {
+	// Store is the KV store holding the proxy pool; required.
+	Store *KVStore
+	// AllServers is the ordered server pool to grow into; the first
+	// MinServers entries are always active.
+	AllServers []string
+	// MinServers is the floor of active servers (default 1).
+	MinServers int
+	// UpperThreshold adds a server when the top item's frequency exceeds it.
+	UpperThreshold float64
+	// LowerThreshold removes a server when the top frequency falls below it.
+	LowerThreshold float64
+	// Backoff is the minimum time between scaling actions (default 2s).
+	Backoff time.Duration
+	// Replicate, when non-nil, is invoked with the server name and the
+	// current top-k before the server joins the pool — content replication.
+	Replicate func(server string, top []stream.RankEntry)
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// Autoscaler consumes rankings (wire it as the top-k topology's database
+// bolt) and adjusts the active server pool.
+type Autoscaler struct {
+	cfg AutoscalerConfig
+
+	mu         sync.Mutex
+	active     int
+	lastAction time.Time
+	actions    []ScaleAction
+}
+
+// ScaleAction records one pool change for inspection.
+type ScaleAction struct {
+	Time    time.Time
+	Up      bool
+	Servers int // active servers after the action
+	TopFreq float64
+}
+
+// NewAutoscaler creates the updater and initializes the pool to MinServers.
+func NewAutoscaler(cfg AutoscalerConfig) *Autoscaler {
+	if cfg.MinServers < 1 {
+		cfg.MinServers = 1
+	}
+	if cfg.MinServers > len(cfg.AllServers) {
+		cfg.MinServers = len(cfg.AllServers)
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 2 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	a := &Autoscaler{cfg: cfg, active: cfg.MinServers}
+	cfg.Store.SetPool(cfg.AllServers[:a.active])
+	return a
+}
+
+// Active returns the current number of active servers.
+func (a *Autoscaler) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}
+
+// Actions returns the scaling history.
+func (a *Autoscaler) Actions() []ScaleAction {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]ScaleAction(nil), a.actions...)
+}
+
+// OnRankings feeds one top-k result into the updater; wire it via
+// stream.NewDatabaseBolt(a.OnRankings).
+func (a *Autoscaler) OnRankings(top []stream.RankEntry) {
+	if len(top) == 0 {
+		return
+	}
+	topFreq := top[0].Count
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.Now()
+	if now.Sub(a.lastAction) < a.cfg.Backoff {
+		return
+	}
+	switch {
+	case topFreq > a.cfg.UpperThreshold && a.active < len(a.cfg.AllServers):
+		server := a.cfg.AllServers[a.active]
+		if a.cfg.Replicate != nil {
+			a.cfg.Replicate(server, top)
+		}
+		a.active++
+		a.cfg.Store.SetPool(a.cfg.AllServers[:a.active])
+		a.lastAction = now
+		a.actions = append(a.actions, ScaleAction{Time: now, Up: true, Servers: a.active, TopFreq: topFreq})
+	case topFreq < a.cfg.LowerThreshold && a.active > a.cfg.MinServers:
+		a.active--
+		a.cfg.Store.SetPool(a.cfg.AllServers[:a.active])
+		a.lastAction = now
+		a.actions = append(a.actions, ScaleAction{Time: now, Up: false, Servers: a.active, TopFreq: topFreq})
+	}
+}

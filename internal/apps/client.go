@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"netalytics/internal/metrics"
+	"netalytics/internal/proto"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+)
+
+// LoadConfig parameterizes a closed-loop HTTP load run.
+type LoadConfig struct {
+	// Requests is the total request count.
+	Requests int
+	// Concurrency is the number of parallel workers (default 1).
+	Concurrency int
+	// URL supplies the URL of the i-th request.
+	URL func(i int) string
+	// Target is the server (proxy or app) host and port.
+	Target *topology.Host
+	Port   uint16
+	// Timeout per request (default 5s).
+	Timeout time.Duration
+	// Gap, when non-zero, sleeps between requests per worker, giving an
+	// open-ish arrival rate.
+	Gap time.Duration
+	// ExpGap draws each gap from an exponential distribution with mean
+	// Gap — Poisson-like arrivals instead of a fixed pace.
+	ExpGap bool
+	// Rand seeds the exponential gaps (default: a fixed-seed source).
+	Rand *rand.Rand
+}
+
+// LoadResult aggregates a load run.
+type LoadResult struct {
+	// Latencies holds per-request response times in milliseconds.
+	Latencies *metrics.Series
+	// Errors counts failed requests.
+	Errors int
+}
+
+// RunHTTPLoad issues closed-loop HTTP GETs from a client host, one
+// connection per request so connection-time parsers observe request
+// latencies — the access pattern of the §7.1/§7.3 experiments.
+func RunHTTPLoad(net *vnet.Network, from *topology.Host, cfg LoadConfig) *LoadResult {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 80
+	}
+	if cfg.URL == nil {
+		cfg.URL = func(int) string { return "/" }
+	}
+
+	result := &LoadResult{Latencies: &metrics.Series{}}
+	var errMu sync.Mutex
+	ep := net.Endpoint(from)
+
+	var gapMu sync.Mutex
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	nextGap := func() time.Duration {
+		if cfg.Gap <= 0 {
+			return 0
+		}
+		if !cfg.ExpGap {
+			return cfg.Gap
+		}
+		gapMu.Lock()
+		defer gapMu.Unlock()
+		return time.Duration(rng.ExpFloat64() * float64(cfg.Gap))
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.Requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				ok := doRequest(ep, cfg.Target, cfg.Port, cfg.URL(i), cfg.Timeout)
+				elapsed := time.Since(start)
+				if ok {
+					result.Latencies.Add(float64(elapsed.Nanoseconds()) / 1e6)
+				} else {
+					errMu.Lock()
+					result.Errors++
+					errMu.Unlock()
+				}
+				if gap := nextGap(); gap > 0 {
+					time.Sleep(gap)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return result
+}
+
+func doRequest(ep *vnet.Endpoint, target *topology.Host, port uint16, url string, timeout time.Duration) bool {
+	conn, err := ep.Dial(target.Addr, port)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	respBytes, err := conn.Request(proto.BuildHTTPGet(url, target.Name), timeout)
+	if err != nil {
+		return false
+	}
+	resp, err := proto.ParseHTTPResponse(respBytes)
+	return err == nil && resp.Status == 200
+}

@@ -1,0 +1,221 @@
+// Package apps provides the emulated distributed applications the use-case
+// experiments (§7) run on the virtual network: a mini-MySQL database server
+// (with the general-query-log overhead toggle of §7.2), a memcached server,
+// HTTP application servers with configurable backend behavior, a
+// load-balancing proxy whose backend pool lives in a small in-memory KV
+// store, closed-loop load clients, and the autoscaling Updater of §7.3.
+//
+// All servers speak the real wire encodings of internal/proto over
+// internal/vnet connections, so NetAlytics monitors observe genuine traffic.
+package apps
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/proto"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+)
+
+const serverRecvTimeout = 5 * time.Second
+
+// MySQLConfig parameterizes a mini-MySQL server.
+type MySQLConfig struct {
+	// Port to listen on (default 3306).
+	Port uint16
+	// DefaultCost is the simulated execution time per query.
+	DefaultCost time.Duration
+	// Costs overrides the cost for queries containing a substring key.
+	Costs map[string]time.Duration
+	// QueryLog, when non-nil, receives one line per query — the "general
+	// query log" whose overhead §7.2 measures.
+	QueryLog io.Writer
+	// LogOverhead is the additional per-query time charged when QueryLog
+	// is enabled (defaults to 25 % of the query's cost, reproducing the
+	// paper's ~20 % throughput drop).
+	LogOverhead time.Duration
+}
+
+// MySQLServer is the emulated database tier.
+type MySQLServer struct {
+	cfg     MySQLConfig
+	ln      *vnet.Listener
+	queries atomic.Uint64
+
+	logMu sync.Mutex
+}
+
+// StartMySQL launches a mini-MySQL server on the host.
+func StartMySQL(net *vnet.Network, host *topology.Host, cfg MySQLConfig) (*MySQLServer, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 3306
+	}
+	ln, err := net.Endpoint(host).Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: starting mysql on %s: %w", host.Name, err)
+	}
+	s := &MySQLServer{cfg: cfg, ln: ln}
+	go ln.Serve(s.handle)
+	return s, nil
+}
+
+// Stop shuts the listener down.
+func (s *MySQLServer) Stop() { s.ln.Close() }
+
+// Queries returns the number of queries served.
+func (s *MySQLServer) Queries() uint64 { return s.queries.Load() }
+
+func (s *MySQLServer) handle(c *vnet.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv(serverRecvTimeout)
+		if err != nil {
+			return
+		}
+		// A message may carry several pipelined frames.
+		for len(msg) > 0 {
+			frame, n, err := proto.ParseMySQLFrame(msg)
+			if err != nil {
+				return
+			}
+			msg = msg[n:]
+			if frame.Command != proto.MySQLComQuery {
+				continue
+			}
+			sql := string(frame.Body)
+			cost := s.cost(sql)
+			if s.cfg.QueryLog != nil {
+				s.logMu.Lock()
+				fmt.Fprintf(s.cfg.QueryLog, "%d Query\t%s\n", time.Now().UnixNano(), sql)
+				s.logMu.Unlock()
+				over := s.cfg.LogOverhead
+				if over == 0 {
+					over = cost / 4
+				}
+				cost += over
+			}
+			if cost > 0 {
+				time.Sleep(cost)
+			}
+			s.queries.Add(1)
+			if err := c.Send(proto.BuildMySQLOK(frame.Seq+1, []byte("rows"))); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *MySQLServer) cost(sql string) time.Duration {
+	for substr, cost := range s.cfg.Costs {
+		if strings.Contains(sql, substr) {
+			return cost
+		}
+	}
+	return s.cfg.DefaultCost
+}
+
+// MySQLClient issues queries over one shared connection — the situation that
+// hides per-query times from connection-level monitoring (§7.2, Fig. 15).
+type MySQLClient struct {
+	conn *vnet.Conn
+	seq  uint8
+}
+
+// DialMySQL connects a client host to a mini-MySQL server.
+func DialMySQL(net *vnet.Network, from *topology.Host, server *topology.Host, port uint16) (*MySQLClient, error) {
+	if port == 0 {
+		port = 3306
+	}
+	conn, err := net.Endpoint(from).Dial(server.Addr, port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: dialing mysql: %w", err)
+	}
+	return &MySQLClient{conn: conn}, nil
+}
+
+// Query executes one SQL statement and waits for its response.
+func (c *MySQLClient) Query(sql string, timeout time.Duration) error {
+	c.seq += 2
+	resp, err := c.conn.Request(proto.BuildMySQLQuery(c.seq, sql), timeout)
+	if err != nil {
+		return fmt.Errorf("apps: mysql query: %w", err)
+	}
+	frame, _, err := proto.ParseMySQLFrame(resp)
+	if err != nil {
+		return fmt.Errorf("apps: mysql response: %w", err)
+	}
+	if frame.Command == proto.MySQLComErr {
+		return fmt.Errorf("apps: mysql error: %s", frame.Body)
+	}
+	return nil
+}
+
+// Close terminates the connection.
+func (c *MySQLClient) Close() error { return c.conn.Close() }
+
+// MemcachedConfig parameterizes a memcached server.
+type MemcachedConfig struct {
+	// Port to listen on (default 11211).
+	Port uint16
+	// Cost is the simulated per-get latency.
+	Cost time.Duration
+	// ValueSize is the size of returned values (default 64 bytes).
+	ValueSize int
+}
+
+// MemcachedServer is the emulated cache tier.
+type MemcachedServer struct {
+	cfg  MemcachedConfig
+	ln   *vnet.Listener
+	gets atomic.Uint64
+}
+
+// StartMemcached launches a memcached server on the host.
+func StartMemcached(net *vnet.Network, host *topology.Host, cfg MemcachedConfig) (*MemcachedServer, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 11211
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	ln, err := net.Endpoint(host).Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: starting memcached on %s: %w", host.Name, err)
+	}
+	s := &MemcachedServer{cfg: cfg, ln: ln}
+	go ln.Serve(s.handle)
+	return s, nil
+}
+
+// Stop shuts the listener down.
+func (s *MemcachedServer) Stop() { s.ln.Close() }
+
+// Gets returns the number of get commands served.
+func (s *MemcachedServer) Gets() uint64 { return s.gets.Load() }
+
+func (s *MemcachedServer) handle(c *vnet.Conn) {
+	defer c.Close()
+	value := make([]byte, s.cfg.ValueSize)
+	for {
+		msg, err := c.Recv(serverRecvTimeout)
+		if err != nil {
+			return
+		}
+		key, err := proto.ParseMemcachedGet(msg)
+		if err != nil {
+			return
+		}
+		if s.cfg.Cost > 0 {
+			time.Sleep(s.cfg.Cost)
+		}
+		s.gets.Add(1)
+		if err := c.Send(proto.BuildMemcachedValue(key, value)); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/proto"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+)
+
+// BackendKind selects the tier an app-server route calls into.
+type BackendKind int
+
+// Backend kinds.
+const (
+	BackendNone BackendKind = iota
+	BackendMySQL
+	BackendMemcached
+	// BackendHTTP issues an HTTP GET to another app server — the
+	// service-to-service call of a microservice graph.
+	BackendHTTP
+)
+
+// BackendCall is one downstream call a route performs.
+type BackendCall struct {
+	Kind BackendKind
+	Host *topology.Host
+	Port uint16
+	// Query is the SQL text (MySQL), key (memcached) or URL path (HTTP).
+	Query string
+}
+
+// Route describes how an app server handles one URL.
+type Route struct {
+	// Cost is local compute time before answering.
+	Cost time.Duration
+	// Backend, when not BackendNone, is called once per request.
+	Backend BackendKind
+	// BackendHost and BackendPort locate the backend server.
+	BackendHost *topology.Host
+	BackendPort uint16
+	// Query is the SQL text (MySQL) or key (memcached) sent to the backend.
+	Query string
+	// Calls, when non-empty, is executed in order instead of the single
+	// Backend fields — a microservice route fanning out to several
+	// downstream services.
+	Calls []BackendCall
+	// BodySize is the response body size (default 128).
+	BodySize int
+	// Broken simulates the §7.2 PHP bug: the backend call is silently
+	// skipped, so the page returns fast without doing its work.
+	Broken bool
+}
+
+// AppConfig parameterizes an HTTP application server.
+type AppConfig struct {
+	// Port to listen on (default 80).
+	Port uint16
+	// Routes maps URL prefixes to behavior; the longest matching prefix
+	// wins. A "/" route acts as the default.
+	Routes map[string]Route
+	// Timeout bounds each backend call (default 5s).
+	Timeout time.Duration
+}
+
+// AppServer is an emulated web/application tier server.
+type AppServer struct {
+	cfg      AppConfig
+	net      *vnet.Network
+	host     *topology.Host
+	ln       *vnet.Listener
+	requests atomic.Uint64
+
+	prefixes []string // sorted longest-first for matching
+}
+
+// StartApp launches an application server on the host.
+func StartApp(net *vnet.Network, host *topology.Host, cfg AppConfig) (*AppServer, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 80
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	ln, err := net.Endpoint(host).Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: starting app on %s: %w", host.Name, err)
+	}
+	s := &AppServer{cfg: cfg, net: net, host: host, ln: ln}
+	for p := range cfg.Routes {
+		s.prefixes = append(s.prefixes, p)
+	}
+	sort.Slice(s.prefixes, func(i, j int) bool { return len(s.prefixes[i]) > len(s.prefixes[j]) })
+	go ln.Serve(s.handle)
+	return s, nil
+}
+
+// Stop shuts the listener down.
+func (s *AppServer) Stop() { s.ln.Close() }
+
+// Host returns the server's topology host.
+func (s *AppServer) Host() *topology.Host { return s.host }
+
+// Requests returns the number of requests served.
+func (s *AppServer) Requests() uint64 { return s.requests.Load() }
+
+func (s *AppServer) handle(c *vnet.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv(serverRecvTimeout)
+		if err != nil {
+			return
+		}
+		req, err := proto.ParseHTTPRequest(msg)
+		if err != nil {
+			return
+		}
+		status := s.serveRoute(req.URL)
+		bodySize := 128
+		if r, ok := s.route(req.URL); ok && r.BodySize > 0 {
+			bodySize = r.BodySize
+		}
+		s.requests.Add(1)
+		if err := c.Send(proto.BuildHTTPResponse(status, make([]byte, bodySize))); err != nil {
+			return
+		}
+	}
+}
+
+func (s *AppServer) route(url string) (Route, bool) {
+	for _, p := range s.prefixes {
+		if strings.HasPrefix(url, p) {
+			return s.cfg.Routes[p], true
+		}
+	}
+	return Route{}, false
+}
+
+func (s *AppServer) serveRoute(url string) int {
+	r, ok := s.route(url)
+	if !ok {
+		return 404
+	}
+	if r.Cost > 0 {
+		time.Sleep(r.Cost)
+	}
+	if r.Broken {
+		return 200
+	}
+	calls := r.Calls
+	if len(calls) == 0 && r.Backend != BackendNone {
+		calls = []BackendCall{{Kind: r.Backend, Host: r.BackendHost, Port: r.BackendPort, Query: r.Query}}
+	}
+	for _, call := range calls {
+		if status := s.doCall(call); status != 200 {
+			return status
+		}
+	}
+	return 200
+}
+
+// doCall performs one downstream request and maps failures to HTTP statuses.
+func (s *AppServer) doCall(call BackendCall) int {
+	switch call.Kind {
+	case BackendMySQL:
+		cli, err := DialMySQL(s.net, s.host, call.Host, call.Port)
+		if err != nil {
+			return 503
+		}
+		defer cli.Close()
+		if err := cli.Query(call.Query, s.cfg.Timeout); err != nil {
+			return 500
+		}
+	case BackendMemcached:
+		port := call.Port
+		if port == 0 {
+			port = 11211
+		}
+		conn, err := s.net.Endpoint(s.host).Dial(call.Host.Addr, port)
+		if err != nil {
+			return 503
+		}
+		defer conn.Close()
+		if _, err := conn.Request(proto.BuildMemcachedGet(call.Query), s.cfg.Timeout); err != nil {
+			return 500
+		}
+	case BackendHTTP:
+		port := call.Port
+		if port == 0 {
+			port = 80
+		}
+		conn, err := s.net.Endpoint(s.host).Dial(call.Host.Addr, port)
+		if err != nil {
+			return 503
+		}
+		defer conn.Close()
+		respBytes, err := conn.Request(proto.BuildHTTPGet(call.Query, call.Host.Name), s.cfg.Timeout)
+		if err != nil {
+			return 500
+		}
+		resp, err := proto.ParseHTTPResponse(respBytes)
+		if err != nil || resp.Status != 200 {
+			return 502
+		}
+	}
+	return 200
+}
+
+// KVStore is the small in-memory key/value store standing in for Redis: the
+// top-k database bolt writes the popular-content list and server pool here,
+// and the proxy reads its backend pool from it (§7.3).
+type KVStore struct {
+	mu       sync.RWMutex
+	m        map[string]string
+	revision uint64
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{m: make(map[string]string)}
+}
+
+// Set stores a value.
+func (kv *KVStore) Set(key, value string) {
+	kv.mu.Lock()
+	kv.m[key] = value
+	kv.revision++
+	kv.mu.Unlock()
+}
+
+// Get fetches a value.
+func (kv *KVStore) Get(key string) (string, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.m[key]
+	return v, ok
+}
+
+// Revision increments on every write; pollers use it to detect changes.
+func (kv *KVStore) Revision() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.revision
+}
+
+// poolKey is where the proxy's backend pool lives in the KV store.
+const poolKey = "proxy/pool"
+
+// SetPool stores the proxy backend pool as host names.
+func (kv *KVStore) SetPool(hosts []string) {
+	kv.Set(poolKey, strings.Join(hosts, ","))
+}
+
+// Pool reads the proxy backend pool.
+func (kv *KVStore) Pool() []string {
+	v, ok := kv.Get(poolKey)
+	if !ok || v == "" {
+		return nil
+	}
+	return strings.Split(v, ",")
+}
+
+// ProxyConfig parameterizes the load-balancing proxy.
+type ProxyConfig struct {
+	// Port to listen on (default 80).
+	Port uint16
+	// BackendPort is the app servers' port (default 80).
+	BackendPort uint16
+	// Store supplies the backend pool (host names); required.
+	Store *KVStore
+	// Timeout bounds each proxied request (default 5s).
+	Timeout time.Duration
+}
+
+// Proxy is the NGINX-like front end: it forwards each request to a backend
+// chosen round-robin from the KV-store pool, re-reading the pool on every
+// request so §7.3's dynamic replication takes effect immediately.
+type Proxy struct {
+	cfg      ProxyConfig
+	net      *vnet.Network
+	host     *topology.Host
+	ln       *vnet.Listener
+	rr       atomic.Uint64
+	forwards atomic.Uint64
+	errors   atomic.Uint64
+
+	mu      sync.Mutex
+	perHost map[string]uint64 // forwarded requests per backend host
+}
+
+// StartProxy launches the proxy on the host.
+func StartProxy(net *vnet.Network, host *topology.Host, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("apps: proxy on %s needs a pool store", host.Name)
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 80
+	}
+	if cfg.BackendPort == 0 {
+		cfg.BackendPort = 80
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	ln, err := net.Endpoint(host).Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: starting proxy on %s: %w", host.Name, err)
+	}
+	p := &Proxy{cfg: cfg, net: net, host: host, ln: ln, perHost: make(map[string]uint64)}
+	go ln.Serve(p.handle)
+	return p, nil
+}
+
+// Stop shuts the listener down.
+func (p *Proxy) Stop() { p.ln.Close() }
+
+// Forwards returns the number of successfully proxied requests.
+func (p *Proxy) Forwards() uint64 { return p.forwards.Load() }
+
+// Errors returns the number of failed proxied requests.
+func (p *Proxy) Errors() uint64 { return p.errors.Load() }
+
+// PerHost snapshots forwarded-request counts per backend.
+func (p *Proxy) PerHost() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.perHost))
+	for k, v := range p.perHost {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Proxy) handle(c *vnet.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv(serverRecvTimeout)
+		if err != nil {
+			return
+		}
+		resp := p.forward(msg)
+		if resp == nil {
+			resp = proto.BuildHTTPResponse(503, nil)
+			p.errors.Add(1)
+		} else {
+			p.forwards.Add(1)
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (p *Proxy) forward(reqBytes []byte) []byte {
+	pool := p.cfg.Store.Pool()
+	if len(pool) == 0 {
+		return nil
+	}
+	name := pool[p.rr.Add(1)%uint64(len(pool))]
+	backend := p.net.Topology().HostByName(name)
+	if backend == nil {
+		return nil
+	}
+	conn, err := p.net.Endpoint(p.host).Dial(backend.Addr, p.cfg.BackendPort)
+	if err != nil {
+		return nil
+	}
+	defer conn.Close()
+	resp, err := conn.Request(reqBytes, p.cfg.Timeout)
+	if err != nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.perHost[name]++
+	p.mu.Unlock()
+	return resp
+}

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/mq"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	topo := topology.MustNew(4)
+	topo.RandomizeResources(rand.New(rand.NewSource(5)))
+	e := NewEngine(topo, Config{TickInterval: 20 * time.Millisecond})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestSubmitRejectsBadQueries(t *testing.T) {
+	e := newEngine(t)
+	tests := []struct {
+		name, q string
+	}{
+		{"syntax", "PARSE"},
+		{"unknown parser", "PARSE nope FROM h0-0-0:80 PROCESS (passthrough)"},
+		{"unknown processor", "PARSE http_get FROM h0-0-0:80 PROCESS (nope)"},
+		{"unknown host", "PARSE http_get FROM nosuchhost:80 PROCESS (passthrough)"},
+		{"unknown ip", "PARSE http_get FROM 99.9.9.9:80 PROCESS (passthrough)"},
+		{"double wildcard", "PARSE http_get FROM * TO * PROCESS (passthrough)"},
+		{"bad processor arg", "PARSE http_get FROM h0-0-0:80 PROCESS (top-k: k=banana)"},
+		{"bad window arg", "PARSE http_get FROM h0-0-0:80 PROCESS (top-k: w=banana)"},
+		{"bad agg arg", "PARSE http_get FROM h0-0-0:80 PROCESS (group-sum: agg=median)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := e.Submit(tt.q); err == nil {
+				t.Errorf("Submit(%q) succeeded", tt.q)
+			}
+		})
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	topo := topology.MustNew(4)
+	e := NewEngine(topo, Config{})
+	e.Close()
+	if _, err := e.Submit("PARSE http_get FROM h0-0-0:80 PROCESS (passthrough)"); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestHTTPGetEndToEnd drives the whole pipeline: web server + client traffic
+// on the vnet, a query mirroring the server's port into an http_get monitor,
+// and a passthrough topology delivering URL tuples.
+func TestHTTPGetEndToEnd(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+		Requests: 20, Target: server,
+		URL: func(i int) string { return fmt.Sprintf("/page-%d", i%4) },
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+
+	// Collect URL tuples until we have all 20 requests or time out.
+	urls := map[string]int{}
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < 20 {
+		select {
+		case tu, ok := <-sess.Results():
+			if !ok {
+				t.Fatalf("results closed early with %d tuples", got)
+			}
+			if tu.Parser == "http_get" && tu.Key != "" {
+				urls[tu.Key]++
+				got++
+			}
+		case <-deadline:
+			t.Fatalf("timed out with %d/20 url tuples (stats %+v)", got, sess.MonitorStats())
+		}
+	}
+	sess.Stop()
+	if len(urls) != 4 {
+		t.Errorf("distinct urls = %d, want 4: %v", len(urls), urls)
+	}
+	for u, n := range urls {
+		if n != 5 {
+			t.Errorf("url %s count = %d, want 5", u, n)
+		}
+	}
+	if sess.Packets() == 0 {
+		t.Error("no packets recorded")
+	}
+	if sess.MonitorCount() == 0 {
+		t.Error("no monitors deployed")
+	}
+}
+
+// TestConnTimeDiffGroup reproduces the §7.1 style query: per-destination
+// average connection time via tcp_conn_time + diff-group.
+func TestConnTimeDiffGroup(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	fast, slow, client := hosts[0], hosts[2], hosts[12]
+
+	appFast, err := apps.StartApp(e.Network(), fast, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {Cost: 2 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appFast.Stop()
+	appSlow, err := apps.StartApp(e.Network(), slow, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {Cost: 20 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appSlow.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE tcp_conn_time FROM * TO %s:80, %s:80 PROCESS (diff-group: group=dstIP)",
+		fast.Name, slow.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, target := range []*topology.Host{fast, slow} {
+		res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{Requests: 10, Target: target})
+		if res.Errors != 0 {
+			t.Fatalf("load errors = %d", res.Errors)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	sess.Stop()
+
+	avgs := map[string]float64{}
+	for tu := range sess.Results() {
+		avgs[tu.Key] = tu.Val // cumulative aggregates: last wins
+	}
+	fastAvg, slowAvg := avgs[fast.Addr.String()], avgs[slow.Addr.String()]
+	if fastAvg == 0 || slowAvg == 0 {
+		t.Fatalf("missing per-tier averages: %v", avgs)
+	}
+	if slowAvg < 2*fastAvg {
+		t.Errorf("slow tier avg %.1fms not >> fast tier %.1fms",
+			slowAvg/1e6, fastAvg/1e6)
+	}
+}
+
+// TestTopKEndToEnd checks the full Fig. 4 pipeline over live traffic.
+func TestTopKEndToEnd(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE http_get FROM * TO %s:80 LIMIT 30s PROCESS (top-k: k=3, w=1s)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Skewed workload: /hot gets 60%, others split the rest.
+	res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+		Requests: 50, Target: server,
+		URL: func(i int) string {
+			if i%5 < 3 {
+				return "/hot"
+			}
+			return fmt.Sprintf("/cold-%d", i%7)
+		},
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+	time.Sleep(200 * time.Millisecond)
+	sess.Stop()
+
+	var best []stream.RankEntry
+	for tu := range sess.Results() {
+		if entries, ok := stream.DecodeRankings(tu); ok && len(entries) > 0 {
+			if len(best) == 0 || entries[0].Count > best[0].Count {
+				best = entries
+			}
+		}
+	}
+	if len(best) == 0 {
+		t.Fatal("no rankings produced")
+	}
+	if best[0].Key != "/hot" {
+		t.Errorf("top entry = %+v, want /hot", best[0])
+	}
+}
+
+func TestPacketLimitStopsSession(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE tcp_flow_key FROM * TO %s:80 LIMIT 10p PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{Requests: 30, Target: server})
+
+	select {
+	case <-sess.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not stop at packet limit")
+	}
+	if got := sess.Packets(); got < 10 {
+		t.Errorf("packets = %d, want >= 10", got)
+	}
+}
+
+func TestDurationLimitStopsSession(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE tcp_flow_key FROM * TO %s:80 LIMIT 50ms PROCESS (passthrough)", hosts[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sess.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not stop at duration limit")
+	}
+}
+
+func TestRulesRemovedOnStop(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE tcp_flow_key FROM * TO %s:80 PROCESS (passthrough)", hosts[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Controller().RuleCount() == 0 {
+		t.Fatal("no rules installed")
+	}
+	sess.Stop()
+	if got := e.Controller().RuleCount(); got != 0 {
+		t.Errorf("rules after stop = %d, want 0", got)
+	}
+	sess.Stop() // idempotent
+}
+
+func TestFixedSampleRateApplied(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE tcp_flow_key FROM * TO %s:80 SAMPLE 0.25 PROCESS (passthrough)", hosts[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	for _, rate := range sess.SampleRates() {
+		if rate < 0.24 || rate > 0.26 {
+			t.Errorf("sample rate = %v, want 0.25", rate)
+		}
+	}
+}
+
+func TestMultipleConcurrentSessions(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	s1, err := e.Submit(fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.Submit(fmt.Sprintf("PARSE tcp_conn_time FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{Requests: 10, Target: server})
+	time.Sleep(200 * time.Millisecond)
+	s1.Stop()
+	s2.Stop()
+
+	count := func(s *Session, parser string) int {
+		n := 0
+		for tu := range s.Results() {
+			if tu.Parser == parser {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count(s1, "http_get"); n == 0 {
+		t.Error("session 1 saw no http_get tuples")
+	}
+	if n := count(s2, "tcp_conn_time"); n == 0 {
+		t.Error("session 2 saw no tcp_conn_time tuples")
+	}
+}
+
+// TestJoinGroupQuery exercises the explicit join processor end to end:
+// per-URL byte volumes from http_get × tcp_pkt_size.
+func TestJoinGroupQuery(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{
+			"/big":   {BodySize: 4000},
+			"/small": {BodySize: 50},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE http_get, tcp_pkt_size FROM * TO %s:80 PROCESS (join-group: left=http_get, right=tcp_pkt_size, agg=sum)",
+		server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+		Requests: 10, Target: server,
+		URL: func(i int) string {
+			if i%2 == 0 {
+				return "/big"
+			}
+			return "/small"
+		},
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+	time.Sleep(250 * time.Millisecond)
+	sess.Stop()
+
+	sums := map[string]float64{}
+	for tu := range sess.Results() {
+		sums[tu.Key] = tu.Val
+	}
+	if sums["/big"] == 0 || sums["/small"] == 0 {
+		t.Fatalf("per-url sums missing: %v", sums)
+	}
+	if sums["/big"] < 5*sums["/small"] {
+		t.Errorf("/big bytes (%v) not dominating /small (%v)", sums["/big"], sums["/small"])
+	}
+}
+
+// TestMultipleProcessorsOneQuery checks the processor-list form of the
+// grammar: both PROCESS topologies must see the full data stream (they read
+// the topics through independent consumer groups).
+func TestMultipleProcessorsOneQuery(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE http_get FROM * TO %s:80 PROCESS (passthrough), (top-k: k=3, w=500ms)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+		Requests: 12, Target: server, URL: func(int) string { return "/only" },
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+	time.Sleep(250 * time.Millisecond)
+	sess.Stop()
+
+	raw := 0
+	var topCount float64
+	for tu := range sess.Results() {
+		if entries, ok := stream.DecodeRankings(tu); ok {
+			if len(entries) > 0 && entries[0].Count > topCount {
+				topCount = entries[0].Count
+			}
+			continue
+		}
+		if tu.Key == "/only" {
+			raw++
+		}
+	}
+	if raw != 12 {
+		t.Errorf("passthrough saw %d url tuples, want 12", raw)
+	}
+	if topCount != 12 {
+		t.Errorf("top-k counted %v, want 12 (processors must not split the stream)", topCount)
+	}
+}
+
+func TestEngineCloseStopsSessions(t *testing.T) {
+	topo := topology.MustNew(4)
+	e := NewEngine(topo, Config{})
+	sess, err := e.Submit("PARSE tcp_flow_key FROM h0-0-0:80 PROCESS (passthrough)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	select {
+	case <-sess.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not stop session")
+	}
+}
+
+// TestSubnetAddressQuery exercises the grammar's subnet:port form: the
+// query targets a whole rack by CIDR, and traffic to any host in it is
+// monitored.
+func TestSubnetAddressQuery(t *testing.T) {
+	e := newEngine(t)
+	hosts := e.Topology().Hosts()
+	// hosts[0] and hosts[1] share rack 10.0.0.0/24 on k=4.
+	s1, s2, client := hosts[0], hosts[1], hosts[12]
+	for _, h := range []*topology.Host{s1, s2} {
+		app, err := apps.StartApp(e.Network(), h, apps.AppConfig{
+			Routes: map[string]apps.Route{"/": {}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer app.Stop()
+	}
+
+	sess, err := e.Submit("PARSE http_get FROM * TO 10.0.0.0/24:80 PROCESS (passthrough)")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for _, target := range []*topology.Host{s1, s2} {
+		res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+			Requests: 5, Target: target, URL: func(int) string { return "/r" },
+		})
+		if res.Errors != 0 {
+			t.Fatalf("load errors = %d", res.Errors)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	sess.Stop()
+
+	perDst := map[string]int{}
+	for tu := range sess.Results() {
+		if tu.Key != "" {
+			perDst[tu.DstIP]++
+		}
+	}
+	if perDst[s1.Addr.String()] != 5 || perDst[s2.Addr.String()] != 5 {
+		t.Errorf("per-destination url tuples = %v, want 5 for both rack hosts", perDst)
+	}
+
+	// An empty subnet is rejected.
+	if _, err := e.Submit("PARSE http_get FROM * TO 192.168.0.0/24:80 PROCESS (passthrough)"); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("empty subnet: err = %v", err)
+	}
+}
+
+// TestFeedbackSamplingUnderOverload drives the aggregation layer past its
+// high watermark and asserts the §4.2 loop: monitors cut their sampling rate
+// under back pressure and recover when the buffers drain (DESIGN.md #6).
+func TestFeedbackSamplingUnderOverload(t *testing.T) {
+	topo := topology.MustNew(4)
+	e := NewEngine(topo, Config{
+		TickInterval: 10 * time.Millisecond,
+		MQ:           mq.Config{BufferBatches: 300, HighWatermark: 0.3},
+	})
+	defer e.Close()
+	hosts := e.Topology().Hosts()
+
+	sess, err := e.Submit(fmt.Sprintf(
+		"PARSE http_get FROM * TO %s:80 SAMPLE auto PROCESS (passthrough)", hosts[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	for _, rate := range sess.SampleRates() {
+		if rate != 1 {
+			t.Fatalf("initial sample rate = %v, want 1", rate)
+		}
+	}
+
+	// Flood the session topic directly, faster than the spout drains it.
+	topic := sess.ID + "/http_get"
+	prod := e.Aggregation().Producer(topic)
+	big := &tupleBatch{}
+	for i := 0; i < 64; i++ {
+		big.add(tuple.Tuple{FlowID: uint64(i), Key: "/x"})
+	}
+	overloaded := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !overloaded {
+		for i := 0; i < 200; i++ {
+			_ = prod.Send(big.batch())
+		}
+		for _, rate := range sess.SampleRates() {
+			if rate < 1 {
+				overloaded = true
+			}
+		}
+	}
+	if !overloaded {
+		t.Fatal("monitors never reduced their sampling rate under overload")
+	}
+
+	// Stop flooding: the spout drains, a recovery status fires, and rates
+	// rise again (additive increase).
+	low := minRate(sess)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if minRate(sess) > low {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sample rate never recovered above %v", low)
+}
+
+func minRate(sess *Session) float64 {
+	min := 1.0
+	for _, r := range sess.SampleRates() {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// tupleBatch is a tiny helper for building reusable batches in tests.
+type tupleBatch struct{ tuples []tuple.Tuple }
+
+func (b *tupleBatch) add(t tuple.Tuple) { b.tuples = append(b.tuples, t) }
+func (b *tupleBatch) batch() *tuple.Batch {
+	return &tuple.Batch{Parser: "http_get", Tuples: b.tuples}
+}
+
+func TestResultDeliveryDropsWhenSlow(t *testing.T) {
+	e := NewEngine(topology.MustNew(4), Config{ResultBuffer: 1})
+	defer e.Close()
+	s := &Session{results: make(chan tuple.Tuple, 1)}
+	s.deliver(tuple.Tuple{Key: "a"})
+	s.deliver(tuple.Tuple{Key: "b"})
+	if s.ResultDrops() != 1 {
+		t.Errorf("drops = %d, want 1", s.ResultDrops())
+	}
+}

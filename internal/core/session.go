@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/mq"
+	"netalytics/internal/nfv"
+	"netalytics/internal/parsers"
+	"netalytics/internal/placement"
+	"netalytics/internal/query"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+)
+
+// drainTimeout bounds how long Stop waits for buffered aggregation data to
+// flow through the processing topology before halting it.
+const drainTimeout = 2 * time.Second
+
+// Session is one running query.
+type Session struct {
+	ID    string
+	Query *query.Query
+
+	engine *Engine
+
+	instances []*nfv.Instance
+	executors []*stream.Executor
+	samplers  []*monitor.AIMDSampler
+	topics    []string
+
+	results     chan tuple.Tuple
+	resultDrops atomic.Uint64
+	packets     atomic.Uint64 // frames delivered to monitors (all instances)
+
+	fbStop   chan struct{}
+	fbWG     sync.WaitGroup
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Results streams processed tuples to the caller. The channel closes when
+// the session stops. For top-k processors, decode entries with
+// stream.DecodeRankings.
+func (s *Session) Results() <-chan tuple.Tuple { return s.results }
+
+// Done is closed when the session has fully stopped.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Packets returns the number of mirrored frames delivered to the session's
+// monitors.
+func (s *Session) Packets() uint64 { return s.packets.Load() }
+
+// ResultDrops returns results discarded because the caller fell behind.
+func (s *Session) ResultDrops() uint64 { return s.resultDrops.Load() }
+
+// MonitorCount returns how many NFV monitors the query deployed.
+func (s *Session) MonitorCount() int { return len(s.instances) }
+
+// MonitorHosts returns the hosts running this session's monitors.
+func (s *Session) MonitorHosts() []*topology.Host {
+	hosts := make([]*topology.Host, len(s.instances))
+	for i, in := range s.instances {
+		hosts[i] = in.Host
+	}
+	return hosts
+}
+
+// SampleRates returns each monitor's current sampling rate.
+func (s *Session) SampleRates() []float64 {
+	rates := make([]float64, len(s.instances))
+	for i, in := range s.instances {
+		rates[i] = in.Monitor.SampleRate()
+	}
+	return rates
+}
+
+// MonitorStats aggregates the session's monitor counters.
+func (s *Session) MonitorStats() monitor.Stats {
+	var total monitor.Stats
+	for _, in := range s.instances {
+		st := in.Monitor.Stats()
+		total.Received += st.Received
+		total.CollectDrops += st.CollectDrops
+		total.Sampled += st.Sampled
+		total.Malformed += st.Malformed
+		total.Dispatched += st.Dispatched
+		total.ParserDrops += st.ParserDrops
+		total.Tuples += st.Tuples
+		total.Batches += st.Batches
+		total.SinkErrors += st.SinkErrors
+	}
+	return total
+}
+
+// start compiles and launches the query. Called once by SubmitQuery.
+func (s *Session) start() error {
+	e := s.engine
+	specs, err := e.compileMatches(s.Query)
+	if err != nil {
+		return err
+	}
+
+	// Placement: anchor flows at the concrete hosts of each match so
+	// monitors land under covering ToR switches.
+	flows := make([]placement.Flow, len(specs))
+	for i, spec := range specs {
+		src, dst := spec.srcHost, spec.dstHost
+		if src == nil {
+			src = spec.anchor
+		}
+		if dst == nil {
+			dst = spec.anchor
+		}
+		flows[i] = placement.Flow{Src: src, Dst: dst}
+	}
+	rng := randFor(e.cfg.Seed, s.ID)
+	place, err := placement.Place(e.topo, flows, e.cfg.Policy, e.cfg.PlacementParams, rng)
+	if err != nil {
+		return err
+	}
+
+	// Topics: one per parser, namespaced by session.
+	sink := &routingSink{producers: make(map[string]*mq.Producer, len(s.Query.Parsers))}
+	for _, p := range s.Query.Parsers {
+		topic := s.ID + "/" + p
+		s.topics = append(s.topics, topic)
+		sink.producers[p] = e.mq.Producer(topic)
+	}
+
+	// Monitors: one per placed monitor host, running every query parser.
+	factories := make([]monitor.Factory, 0, len(s.Query.Parsers))
+	for _, name := range s.Query.Parsers {
+		f, err := parsers.Lookup(name)
+		if err != nil {
+			return err
+		}
+		factories = append(factories, f)
+	}
+	sampleRate := 1.0
+	if s.Query.Sample.Mode == query.SampleRate {
+		sampleRate = s.Query.Sample.Rate
+	}
+	for _, proc := range place.Monitors {
+		in, err := e.nfv.Launch(s.ID, nfv.Spec{
+			Host: proc.Host,
+			Config: monitor.Config{
+				Parsers:          factories,
+				WorkersPerParser: e.cfg.MonitorWorkers,
+				Sink:             sink,
+				SampleRate:       sampleRate,
+			},
+			Counter:     &s.packets,
+			PacketLimit: uint64(s.Query.Limit.Packets),
+			OnLimit:     func() { go s.Stop() },
+		})
+		if err != nil {
+			return err
+		}
+		s.instances = append(s.instances, in)
+	}
+
+	// SDN rules: mirror each match (and its reverse, so monitors see both
+	// directions of the flows) at the assigned monitor's ToR switch.
+	for i, spec := range specs {
+		monHost := place.Monitors[place.FlowMonitor[i]].Host
+		e.ctrl.InstallMirror(s.ID, monHost.Edge, spec.match, monHost.ID, 100)
+		e.ctrl.InstallMirror(s.ID, monHost.Edge, spec.match.Reverse(), monHost.ID, 100)
+	}
+
+	// Stream topologies: one executor per PROCESS entry, fed by spouts
+	// polling every session topic. Each processor gets its own consumer
+	// group, so several PROCESS entries all see the full data stream.
+	for procIdx, proc := range s.Query.Processors {
+		spec := stream.ProcessorSpec{Name: proc.Name, Args: proc.Args}
+		topicsCopy := append([]string(nil), s.topics...)
+		group := fmt.Sprintf("%s-proc%d", s.ID, procIdx)
+		// Register the group before any monitor traffic flows so no early
+		// batches are missed.
+		for _, topic := range topicsCopy {
+			e.mq.GroupConsumer(topic, group)
+		}
+		spoutFactory := func() stream.Spout {
+			consumers := make([]stream.BatchPoller, len(topicsCopy))
+			for i, topic := range topicsCopy {
+				consumers[i] = e.mq.GroupConsumer(topic, group)
+			}
+			return &multiSpout{pollers: consumers}
+		}
+		topo, err := stream.BuildTopology(spec, spoutFactory, e.cfg.SpoutParallelism, s.deliver, e.cfg.TickInterval)
+		if err != nil {
+			return err
+		}
+		ex, err := stream.NewExecutor(topo, stream.WithTickInterval(e.cfg.TickInterval))
+		if err != nil {
+			return err
+		}
+		ex.Start()
+		s.executors = append(s.executors, ex)
+	}
+
+	// Feedback-driven sampling (§4.2): aggregation-layer overload statuses
+	// drive every monitor's AIMD controller.
+	s.fbStop = make(chan struct{})
+	if s.Query.Sample.Mode == query.SampleAuto {
+		for _, in := range s.instances {
+			s.samplers = append(s.samplers, monitor.NewAIMDSampler(in.Monitor))
+		}
+		for _, topic := range s.topics {
+			statusCh := e.mq.Subscribe(topic)
+			s.fbWG.Add(1)
+			go s.feedbackLoop(topic, statusCh)
+		}
+	}
+
+	// LIMIT: stop after the duration elapses (packet limits are enforced
+	// inline by pump).
+	if d := s.Query.Limit.Duration; d > 0 {
+		s.fbWG.Add(1)
+		go func() {
+			defer s.fbWG.Done()
+			select {
+			case <-time.After(d):
+				go s.Stop()
+			case <-s.fbStop:
+			}
+		}()
+	}
+	return nil
+}
+
+// feedbackLoop applies aggregation-layer statuses to all samplers. When
+// every monitor has already hit the AIMD floor and overload persists, the
+// feedback escalates to the SDN controller (§4.2): mirror rules themselves
+// start sampling flows at the switch, cutting the target→monitor bandwidth
+// too. Recovery relaxes the rule-level sampling before the monitors'.
+func (s *Session) feedbackLoop(topic string, statusCh <-chan mq.Status) {
+	defer s.fbWG.Done()
+	ruleRate := 1.0
+	apply := func(overloaded bool) {
+		if overloaded && s.allSamplersFloored() {
+			ruleRate /= 2
+			if ruleRate < 0.05 {
+				ruleRate = 0.05
+			}
+			s.engine.ctrl.SetQuerySampling(s.ID, ruleRate)
+			return
+		}
+		if !overloaded && ruleRate < 1 {
+			ruleRate += 0.1
+			if ruleRate > 1 {
+				ruleRate = 1
+			}
+			s.engine.ctrl.SetQuerySampling(s.ID, ruleRate)
+		}
+		for _, a := range s.samplers {
+			a.OnStatus(overloaded)
+		}
+	}
+	// Transition statuses react immediately; the ticker re-observes the
+	// aggregator's occupancy continuously, as the paper's aggregation layer
+	// does, so sampling keeps adapting between transitions.
+	ticker := time.NewTicker(4 * s.engine.cfg.TickInterval)
+	defer ticker.Stop()
+	hw := s.engine.mq.HighWatermark()
+	for {
+		select {
+		case st := <-statusCh:
+			apply(st.Overloaded)
+		case <-ticker.C:
+			occ := s.engine.mq.Pressure(topic)
+			switch {
+			case occ >= hw:
+				apply(true)
+			case occ <= hw/2:
+				apply(false)
+			}
+		case <-s.fbStop:
+			return
+		}
+	}
+}
+
+// allSamplersFloored reports whether every monitor is already sampling at
+// the AIMD floor, i.e. local sampling is exhausted.
+func (s *Session) allSamplersFloored() bool {
+	if len(s.samplers) == 0 {
+		return false
+	}
+	for i, a := range s.samplers {
+		if s.instances[i].Monitor.SampleRate() > a.MinRate+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver pushes a processed tuple to the session's result channel,
+// dropping when the consumer lags.
+func (s *Session) deliver(t tuple.Tuple) {
+	select {
+	case s.results <- t:
+	default:
+		s.resultDrops.Add(1)
+	}
+}
+
+// Stop tears the session down in pipeline order: uninstall mirror rules,
+// close taps, stop monitors (flushing final batches), drain the aggregation
+// topics through the processors, then halt the topologies and close the
+// result stream. Stop is idempotent and safe to call concurrently.
+func (s *Session) Stop() {
+	s.stopOnce.Do(func() {
+		e := s.engine
+		e.ctrl.RemoveQuery(s.ID)
+		e.nfv.StopQuery(s.ID)
+		if s.fbStop != nil {
+			close(s.fbStop)
+		}
+		s.fbWG.Wait()
+
+		s.drainTopics()
+		for _, ex := range s.executors {
+			ex.Stop()
+		}
+		close(s.results)
+		close(s.done)
+
+		e.mu.Lock()
+		delete(e.sessions, s.ID)
+		e.mu.Unlock()
+	})
+}
+
+// drainTopics waits (bounded) for the processors to consume everything the
+// monitors shipped, so final windows include all data.
+func (s *Session) drainTopics() {
+	deadline := time.Now().Add(drainTimeout)
+	for time.Now().Before(deadline) {
+		drained := true
+		for _, topic := range s.topics {
+			st := s.engine.mq.Stats(topic)
+			if st.Buffered > 0 {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			// One extra tick so windowed bolts flush downstream.
+			time.Sleep(s.engine.cfg.TickInterval)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// routingSink routes monitor output batches to per-parser topics.
+type routingSink struct {
+	producers map[string]*mq.Producer
+}
+
+// Deliver implements monitor.Sink.
+func (r *routingSink) Deliver(b *tuple.Batch) error {
+	p, ok := r.producers[b.Parser]
+	if !ok {
+		return fmt.Errorf("core: no topic for parser %q", b.Parser)
+	}
+	return p.Send(b)
+}
+
+// multiSpout polls several topic consumers round-robin.
+type multiSpout struct {
+	pollers []stream.BatchPoller
+	next    int
+}
+
+// Next implements stream.Spout.
+func (m *multiSpout) Next() []tuple.Tuple {
+	for range m.pollers {
+		p := m.pollers[m.next%len(m.pollers)]
+		m.next++
+		batches := p.Poll(16)
+		if len(batches) == 0 {
+			continue
+		}
+		var out []tuple.Tuple
+		for _, b := range batches {
+			out = append(out, b.Tuples...)
+		}
+		return out
+	}
+	return nil
+}
+
+// randFor derives a deterministic rng per session.
+func randFor(seed int64, id string) *rand.Rand {
+	h := int64(0)
+	for _, c := range id {
+		h = h*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed ^ h))
+}

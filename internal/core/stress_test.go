@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/topology"
+)
+
+// TestStressManyQueriesAndTenants runs a larger testbed (k=8, 128 hosts)
+// with several applications and a mix of sequential and concurrent queries
+// using every parser, asserting the engine isolates and reclaims them all.
+func TestStressManyQueriesAndTenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	topo := topology.MustNew(8)
+	topo.RandomizeResources(rand.New(rand.NewSource(2)))
+	e := NewEngine(topo, Config{TickInterval: 20 * time.Millisecond})
+	defer e.Close()
+	hosts := topo.Hosts()
+	net := e.Network()
+
+	web, err := apps.StartApp(net, hosts[0], apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer web.Stop()
+	db, err := apps.StartMySQL(net, hosts[4], apps.MySQLConfig{DefaultCost: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Stop()
+	cache, err := apps.StartMemcached(net, hosts[8], apps.MemcachedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Stop()
+
+	queries := []string{
+		fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (top-k: k=5, w=500ms)", hosts[0].Name),
+		fmt.Sprintf("PARSE tcp_conn_time FROM * TO %s:80 PROCESS (diff-group: group=dstIP)", hosts[0].Name),
+		fmt.Sprintf("PARSE tcp_pkt_size, tcp_flow_key FROM * TO %s:80 PROCESS (group-sum: group=ips)", hosts[0].Name),
+		fmt.Sprintf("PARSE mysql_query FROM * TO %s:3306 PROCESS (passthrough)", hosts[4].Name),
+		fmt.Sprintf("PARSE memcached_get FROM * TO %s:11211 PROCESS (top-k: k=3)", hosts[8].Name),
+		fmt.Sprintf("PARSE tcp_flow_stats FROM * TO %s:80 SAMPLE 0.8 PROCESS (group-sum: group=dstIP)", hosts[0].Name),
+	}
+	sessions := make([]*Session, 0, len(queries))
+	for _, q := range queries {
+		s, err := e.Submit(q)
+		if err != nil {
+			t.Fatalf("Submit(%q): %v", q, err)
+		}
+		sessions = append(sessions, s)
+		// Drain each session's results concurrently.
+		go func(s *Session) {
+			for range s.Results() {
+			}
+		}(s)
+	}
+	if got := len(e.Sessions()); got != len(queries) {
+		t.Fatalf("Sessions = %d, want %d", got, len(queries))
+	}
+	if got := e.Orchestrator().InstanceCount(); got < len(queries) {
+		t.Fatalf("instances = %d, want >= %d", got, len(queries))
+	}
+
+	// Traffic from several tenant clients at once.
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := hosts[64+c]
+			apps.RunHTTPLoad(net, client, apps.LoadConfig{
+				Requests: 40, Concurrency: 4, Target: hosts[0],
+				URL: func(i int) string { return fmt.Sprintf("/p%d", i%5) },
+			})
+			cli, err := apps.DialMySQL(net, client, hosts[4], 0)
+			if err != nil {
+				t.Errorf("mysql dial: %v", err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if err := cli.Query("SELECT x", 5*time.Second); err != nil {
+					t.Errorf("mysql query: %v", err)
+					break
+				}
+			}
+			cli.Close()
+			conn, err := net.Endpoint(client).Dial(hosts[8].Addr, 11211)
+			if err != nil {
+				t.Errorf("memcached dial: %v", err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := conn.Request([]byte(fmt.Sprintf("get k%d\r\n", i%3)), 5*time.Second); err != nil {
+					t.Errorf("memcached get: %v", err)
+					break
+				}
+			}
+			conn.Close()
+		}(c)
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond)
+
+	// Every session observed its traffic.
+	for i, s := range sessions {
+		if s.Packets() == 0 {
+			t.Errorf("session %d (%s) saw no packets", i, queries[i])
+		}
+	}
+
+	// Sequential teardown releases everything.
+	for _, s := range sessions {
+		s.Stop()
+	}
+	if got := len(e.Sessions()); got != 0 {
+		t.Errorf("sessions remain: %d", got)
+	}
+	if got := e.Orchestrator().InstanceCount(); got != 0 {
+		t.Errorf("instances remain: %d", got)
+	}
+	if got := e.Controller().RuleCount(); got != 0 {
+		t.Errorf("rules remain: %d", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package metrics provides the small statistics toolkit the experiments use
+// to reproduce the paper's figures: sample series with percentiles,
+// fixed-width histograms (Figs. 10, 12, 15), empirical CDFs (Figs. 13, 14)
+// and windowed rate meters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Series is a thread-safe collection of float64 samples.
+type Series struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(v float64) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Values returns a copy of the samples.
+func (s *Series) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Min returns the smallest sample, or +Inf for an empty series.
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := math.Inf(1)
+	for _, v := range s.vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or -Inf for an empty series.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := math.Inf(-1)
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank interpolation, or 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 100 {
+		return vals[len(vals)-1]
+	}
+	rank := p / 100 * float64(len(vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := rank - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram buckets the samples into fixed-width bins starting at 0.
+func (s *Series) Histogram(binWidth float64) []Bin {
+	vals := s.Values()
+	if len(vals) == 0 || binWidth <= 0 {
+		return nil
+	}
+	maxIdx := 0
+	counts := map[int]int{}
+	for _, v := range vals {
+		idx := int(v / binWidth)
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]Bin, maxIdx+1)
+	for i := range out {
+		out[i] = Bin{Lo: float64(i) * binWidth, Hi: float64(i+1) * binWidth, Count: counts[i]}
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the empirical CDF of the samples.
+func (s *Series) CDF() []CDFPoint {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	out := make([]CDFPoint, len(vals))
+	n := float64(len(vals))
+	for i, v := range vals {
+		out[i] = CDFPoint{X: v, P: float64(i+1) / n}
+	}
+	return out
+}
+
+// Summary formats a one-line digest of the series.
+func (s *Series) Summary() string {
+	if s.Len() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f min=%.2f max=%.2f",
+		s.Len(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(99), s.Min(), s.Max())
+}
+
+// RateMeter measures an event rate over a sliding window of fixed-width
+// slots, in the style of the rolling counters Storm topologies use.
+type RateMeter struct {
+	mu       sync.Mutex
+	slotDur  time.Duration
+	slots    []float64
+	current  int
+	lastTick time.Time
+	now      func() time.Time
+}
+
+// NewRateMeter creates a meter with the given number of slots of slotDur
+// each; the reported rate covers slots*slotDur of history.
+func NewRateMeter(slots int, slotDur time.Duration) *RateMeter {
+	if slots < 1 {
+		slots = 1
+	}
+	if slotDur <= 0 {
+		slotDur = time.Second
+	}
+	return &RateMeter{
+		slotDur:  slotDur,
+		slots:    make([]float64, slots),
+		now:      time.Now,
+		lastTick: time.Now(),
+	}
+}
+
+// Add records n events at the current time.
+func (r *RateMeter) Add(n float64) {
+	r.mu.Lock()
+	r.advance()
+	r.slots[r.current] += n
+	r.mu.Unlock()
+}
+
+// Rate returns events per second over the window.
+func (r *RateMeter) Rate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance()
+	total := 0.0
+	for _, v := range r.slots {
+		total += v
+	}
+	window := r.slotDur * time.Duration(len(r.slots))
+	return total / window.Seconds()
+}
+
+// advance rotates expired slots. Caller holds the lock.
+func (r *RateMeter) advance() {
+	now := r.now()
+	for now.Sub(r.lastTick) >= r.slotDur {
+		r.current = (r.current + 1) % len(r.slots)
+		r.slots[r.current] = 0
+		r.lastTick = r.lastTick.Add(r.slotDur)
+		if now.Sub(r.lastTick) > r.slotDur*time.Duration(len(r.slots)) {
+			// Far behind: clear everything and realign.
+			for i := range r.slots {
+				r.slots[i] = 0
+			}
+			r.lastTick = now
+			break
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seeded(vals ...float64) *Series {
+	var s Series
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return &s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := seeded(1, 2, 3, 4)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 4 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series mean/percentile not 0")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty series min/max not infinities")
+	}
+	if s.Histogram(10) != nil || s.CDF() != nil {
+		t.Error("empty series histogram/CDF not nil")
+	}
+	if s.Summary() != "n=0" {
+		t.Errorf("Summary = %q", s.Summary())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := seeded(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 100}, {50, 55}, {-5, 10}, {110, 100}, {25, 32.5},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := seeded(5, 15, 15, 25, 95)
+	bins := s.Histogram(10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d, want 10", len(bins))
+	}
+	wantCounts := map[int]int{0: 1, 1: 2, 2: 1, 9: 1}
+	total := 0
+	for i, b := range bins {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bin %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+		if b.Lo != float64(i)*10 || b.Hi != float64(i+1)*10 {
+			t.Errorf("bin %d bounds = [%v,%v)", i, b.Lo, b.Hi)
+		}
+		total += b.Count
+	}
+	if total != s.Len() {
+		t.Errorf("histogram total = %d, want %d", total, s.Len())
+	}
+	if s.Histogram(0) != nil {
+		t.Error("zero bin width should return nil")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := seeded(3, 1, 2)
+	cdf := s.CDF()
+	if len(cdf) != 3 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	wantX := []float64{1, 2, 3}
+	for i, pt := range cdf {
+		if pt.X != wantX[i] {
+			t.Errorf("cdf[%d].X = %v, want %v", i, pt.X, wantX[i])
+		}
+	}
+	if cdf[2].P != 1 {
+		t.Errorf("final P = %v, want 1", cdf[2].P)
+	}
+	if cdf[0].P <= 0 {
+		t.Errorf("first P = %v, want > 0", cdf[0].P)
+	}
+}
+
+// Property: CDF is monotone in both coordinates and ends at probability 1;
+// percentiles are monotone in p and bounded by min/max.
+func TestStatsProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	prop := func() bool {
+		var s Series
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Add(r.NormFloat64() * 100)
+		}
+		cdf := s.CDF()
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+				return false
+			}
+		}
+		if cdf[len(cdf)-1].P != 1 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 5.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min()-1e-9 || v > s.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var s Series
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 8000 {
+		t.Errorf("Len = %d, want 8000", s.Len())
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := seeded(1, 2, 3)
+	got := s.Summary()
+	for _, frag := range []string{"n=3", "mean=2.00", "min=1.00", "max=3.00"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("Summary %q missing %q", got, frag)
+		}
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	r := NewRateMeter(4, 250*time.Millisecond)
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	r.lastTick = now
+
+	r.Add(100)
+	// Window is 1s, so 100 events => 100/s.
+	if got := r.Rate(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Rate = %v, want 100", got)
+	}
+	// Advance past the whole window: rate decays to 0.
+	now = now.Add(2 * time.Second)
+	if got := r.Rate(); got != 0 {
+		t.Errorf("Rate after expiry = %v, want 0", got)
+	}
+	// Partial expiry: half the window elapsed drops old slots only.
+	r.Add(40)
+	now = now.Add(500 * time.Millisecond)
+	if got := r.Rate(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("Rate after partial advance = %v, want 40", got)
+	}
+}
+
+func TestRateMeterDefaults(t *testing.T) {
+	r := NewRateMeter(0, 0)
+	r.Add(5)
+	if r.Rate() < 0 {
+		t.Error("negative rate")
+	}
+}

@@ -1,0 +1,616 @@
+// Package monitor implements the NFV packet monitor of §5.1–5.2: a Collector
+// that polls an input queue and fans packet descriptors out to per-parser
+// worker queues, pluggable parsers that extract tuples, a batching output
+// interface toward the aggregation layer, and flow-hash sampling with a
+// feedback-driven (AIMD) controller.
+//
+// The design mirrors the paper's DPDK pipeline on a virtual substrate:
+//
+//   - Zero-copy, lockless-style: one decoded descriptor per packet is shared
+//     by every parser via a reference count; queues are Go channels.
+//   - Multi-level queuing: a collector queue feeds per-worker parser queues;
+//     dispatch is by flow hash, so stateful parsers see whole flows and need
+//     no locks.
+//   - Batching: tuples leave in per-parser batches, flushed by size or time.
+//   - Sampling: flows (not packets) are dropped early by hashing the
+//     canonical five-tuple against the sampling threshold.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/tuple"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultQueueDepth    = 4096
+	DefaultBatchSize     = 64
+	DefaultFlushInterval = 50 * time.Millisecond
+)
+
+// ErrNoParsers is returned by New when the config names no parsers.
+var ErrNoParsers = errors.New("monitor: config has no parsers")
+
+// Packet is the shared descriptor handed to parsers: a decoded view plus the
+// flow identity and arrival timestamp. Descriptors are pooled and reference
+// counted; parsers must not retain one after Handle returns.
+type Packet struct {
+	Frame packet.Frame
+	Tuple packet.FiveTuple
+	// FlowID is the canonical (direction-independent) flow hash, the ID
+	// field parsers put first in emitted tuples (§3.1).
+	FlowID uint64
+	TS     time.Time
+
+	refs atomic.Int32
+	mon  *Monitor
+}
+
+func (p *Packet) release() {
+	if p.refs.Add(-1) == 0 {
+		p.mon.pool.Put(p)
+	}
+}
+
+// EmitFunc delivers one tuple from a parser to the output interface.
+type EmitFunc func(tuple.Tuple)
+
+// Parser extracts data from packets. Implementations are created per worker
+// (see Factory) so they may keep per-flow state without locking: the
+// dispatcher routes all packets of a flow to one worker.
+type Parser interface {
+	// Name identifies the parser; it is stamped into emitted tuples and
+	// selects the aggregation topic.
+	Name() string
+	// Handle inspects one packet and may emit any number of tuples.
+	Handle(p *Packet, emit EmitFunc)
+}
+
+// Flusher is implemented by parsers holding aggregate state they want to
+// emit when the monitor stops.
+type Flusher interface {
+	Flush(emit EmitFunc)
+}
+
+// Factory creates one parser instance per worker.
+type Factory func() Parser
+
+// Sink receives finished tuple batches; mq producers implement it.
+type Sink interface {
+	Deliver(b *tuple.Batch) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(b *tuple.Batch) error
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(b *tuple.Batch) error { return f(b) }
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Parsers lists the parser factories to run; required.
+	Parsers []Factory
+	// Collectors sets the number of collector threads draining the input
+	// queue (default 1). The paper's design dedicates one collector core
+	// per 10 Gbps port and scales with Receive Side Scaling on faster
+	// links; flow-affine worker dispatch keeps parser state correct
+	// regardless of which collector decoded a frame.
+	Collectors int
+	// WorkersPerParser sets per-parser worker counts (default 1).
+	WorkersPerParser int
+	// QueueDepth bounds the collector and per-worker queues.
+	QueueDepth int
+	// BatchSize is the output batch size per parser.
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch may wait.
+	FlushInterval time.Duration
+	// SampleRate in (0,1] is the initial fraction of flows admitted;
+	// 0 means 1.0 (no sampling).
+	SampleRate float64
+	// Sink receives output batches; required.
+	Sink Sink
+	// CopyMode disables descriptor sharing: each parser gets its own copy
+	// of every packet. Exists for the zero-copy ablation benchmark.
+	CopyMode bool
+}
+
+// Stats is a snapshot of monitor counters.
+type Stats struct {
+	Received     uint64 // packets offered to the collector queue
+	CollectDrops uint64 // packets dropped at the full collector queue
+	Sampled      uint64 // packets dropped by flow sampling
+	Malformed    uint64 // undecodable frames
+	Dispatched   uint64 // descriptor enqueues to parser workers
+	ParserDrops  uint64 // descriptors dropped at full worker queues
+	Tuples       uint64 // tuples emitted by parsers
+	Batches      uint64 // batches delivered to the sink
+	SinkErrors   uint64
+}
+
+// Monitor is one NFV monitor instance.
+type Monitor struct {
+	cfg Config
+	// inputs holds one RX queue per collector; Deliver steers frames by an
+	// RSS-style header hash so all packets of a flow stay in order on one
+	// collector.
+	inputs  []chan rawFrame
+	parsers []*parserRuntime
+	out     *outputBatcher
+	pool    sync.Pool
+
+	// sampleThreshold is a 32-bit admission threshold compared against the
+	// top 32 bits of the canonical flow hash, avoiding the precision loss
+	// of a float64→uint64 conversion at rate 1.0.
+	sampleThreshold atomic.Uint64
+
+	received     atomic.Uint64
+	collectDrops atomic.Uint64
+	sampled      atomic.Uint64
+	malformed    atomic.Uint64
+	dispatched   atomic.Uint64
+	parserDrops  atomic.Uint64
+
+	wg          sync.WaitGroup
+	collectorWG sync.WaitGroup
+	started     bool
+	stopped     bool
+	mu          sync.Mutex
+}
+
+type rawFrame struct {
+	data []byte
+	ts   time.Time
+}
+
+type parserRuntime struct {
+	name    string
+	workers []chan *Packet
+	insts   []Parser
+}
+
+// New builds a monitor from the config. Call Start to begin processing.
+func New(cfg Config) (*Monitor, error) {
+	if len(cfg.Parsers) == 0 {
+		return nil, ErrNoParsers
+	}
+	if cfg.Sink == nil {
+		return nil, errors.New("monitor: config needs a sink")
+	}
+	if cfg.Collectors <= 0 {
+		cfg.Collectors = 1
+	}
+	if cfg.WorkersPerParser <= 0 {
+		cfg.WorkersPerParser = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+
+	m := &Monitor{cfg: cfg}
+	for c := 0; c < cfg.Collectors; c++ {
+		m.inputs = append(m.inputs, make(chan rawFrame, cfg.QueueDepth))
+	}
+	m.pool.New = func() any { return &Packet{mon: m} }
+	m.SetSampleRate(cfg.SampleRate)
+
+	names := make(map[string]bool, len(cfg.Parsers))
+	for _, factory := range cfg.Parsers {
+		probe := factory()
+		if names[probe.Name()] {
+			return nil, fmt.Errorf("monitor: duplicate parser %q", probe.Name())
+		}
+		names[probe.Name()] = true
+		rt := &parserRuntime{name: probe.Name()}
+		rt.insts = append(rt.insts, probe)
+		for w := 1; w < cfg.WorkersPerParser; w++ {
+			rt.insts = append(rt.insts, factory())
+		}
+		for w := 0; w < cfg.WorkersPerParser; w++ {
+			rt.workers = append(rt.workers, make(chan *Packet, cfg.QueueDepth))
+		}
+		m.parsers = append(m.parsers, rt)
+	}
+	m.out = newOutputBatcher(cfg.BatchSize, cfg.FlushInterval, cfg.Sink)
+	return m, nil
+}
+
+// Start launches the collector, parser workers and output flusher.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+
+	m.out.start(&m.wg)
+	for _, rt := range m.parsers {
+		for w := range rt.workers {
+			emit := m.out.emitFunc(rt.name) // register writer before launch
+			m.wg.Add(1)
+			go m.runWorker(rt, w, emit)
+		}
+	}
+	m.collectorWG.Add(m.cfg.Collectors)
+	for c := 0; c < m.cfg.Collectors; c++ {
+		m.wg.Add(1)
+		go m.runCollector(m.inputs[c])
+	}
+	// Parser queues close once every collector has drained.
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.collectorWG.Wait()
+		m.shutdownWorkers()
+	}()
+}
+
+// Stop drains in-flight packets, flushes parser state and output batches,
+// and waits for all goroutines. The monitor cannot be restarted.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+
+	for _, in := range m.inputs {
+		close(in)
+	}
+	m.wg.Wait()
+}
+
+// Deliver offers a frame to the monitor, returning false when the target
+// collector queue is full (the frame is dropped, as a saturated NIC RX
+// queue would). With multiple collectors the RX queue is chosen by hashing
+// the frame's address bytes, like hardware RSS, so a flow's packets stay in
+// order on one collector.
+func (m *Monitor) Deliver(data []byte, ts time.Time) bool {
+	m.received.Add(1)
+	in := m.inputs[0]
+	if len(m.inputs) > 1 {
+		in = m.inputs[rssHash(data)%uint64(len(m.inputs))]
+	}
+	select {
+	case in <- rawFrame{data: data, ts: ts}:
+		return true
+	default:
+		m.collectDrops.Add(1)
+		return false
+	}
+}
+
+// rssHash hashes the IPv4 source/destination address bytes at their fixed
+// offsets in an untagged Ethernet frame (what symmetric hardware RSS does).
+// The two addresses are hashed independently and combined commutatively so
+// both directions of a connection land on the same collector — stateful
+// parsers then see each conversation in order. Frames too short for an
+// IPv4 header hash over their whole contents.
+func rssHash(data []byte) uint64 {
+	const srcOff, dstOff = 26, 30
+	if len(data) < dstOff+4 {
+		return fnv64(data)
+	}
+	return fnv64(data[srcOff:srcOff+4]) ^ fnv64(data[dstOff:dstOff+4])
+}
+
+func fnv64(b []byte) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// SetSampleRate updates the admitted fraction of flows, clamped to [0, 1].
+func (m *Monitor) SetSampleRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	m.sampleThreshold.Store(uint64(rate * math.MaxUint32))
+}
+
+// SampleRate returns the current admitted fraction of flows.
+func (m *Monitor) SampleRate() float64 {
+	return float64(m.sampleThreshold.Load()) / math.MaxUint32
+}
+
+// PerParserTuples snapshots how many tuples each parser has emitted.
+func (m *Monitor) PerParserTuples() map[string]uint64 {
+	return m.out.perParserCounts()
+}
+
+// Stats returns a snapshot of the monitor counters.
+func (m *Monitor) Stats() Stats {
+	s := Stats{
+		Received:     m.received.Load(),
+		CollectDrops: m.collectDrops.Load(),
+		Sampled:      m.sampled.Load(),
+		Malformed:    m.malformed.Load(),
+		Dispatched:   m.dispatched.Load(),
+		ParserDrops:  m.parserDrops.Load(),
+	}
+	s.Tuples = m.out.tuples.Load()
+	s.Batches = m.out.batches.Load()
+	s.SinkErrors = m.out.sinkErrors.Load()
+	return s
+}
+
+// runCollector is the Collector of Fig. 3: it decodes arriving frames,
+// applies flow sampling, and fans descriptors out to every parser.
+func (m *Monitor) runCollector(input <-chan rawFrame) {
+	defer m.wg.Done()
+	defer m.collectorWG.Done()
+
+	for rf := range input {
+		pkt := m.pool.Get().(*Packet)
+		if err := pkt.Frame.Decode(rf.data); err != nil {
+			m.malformed.Add(1)
+			m.pool.Put(pkt)
+			continue
+		}
+		ft, ok := pkt.Frame.FlowTuple()
+		if !ok {
+			m.malformed.Add(1)
+			m.pool.Put(pkt)
+			continue
+		}
+		pkt.Tuple = ft
+		pkt.FlowID = ft.CanonicalHash()
+		pkt.TS = rf.ts
+
+		if pkt.FlowID>>32 > m.sampleThreshold.Load() {
+			m.sampled.Add(1)
+			m.pool.Put(pkt)
+			continue
+		}
+
+		if m.cfg.CopyMode {
+			m.dispatchCopies(pkt, rf)
+			continue
+		}
+
+		// Shared-descriptor fast path: one refcount increment per parser,
+		// the descriptor returns to the pool when the last worker is done.
+		pkt.refs.Store(int32(len(m.parsers)))
+		delivered := int32(0)
+		for _, rt := range m.parsers {
+			w := rt.workers[pkt.FlowID%uint64(len(rt.workers))]
+			select {
+			case w <- pkt:
+				m.dispatched.Add(1)
+				delivered++
+			default:
+				m.parserDrops.Add(1)
+			}
+		}
+		if undelivered := int32(len(m.parsers)) - delivered; undelivered > 0 {
+			if pkt.refs.Add(-undelivered) == 0 {
+				m.pool.Put(pkt)
+			}
+		}
+	}
+}
+
+// dispatchCopies is the ablation path: each parser receives its own decoded
+// copy of the frame, as a copying monitor design would.
+func (m *Monitor) dispatchCopies(pkt *Packet, rf rawFrame) {
+	for _, rt := range m.parsers {
+		cp := m.pool.Get().(*Packet)
+		data := make([]byte, len(rf.data))
+		copy(data, rf.data)
+		if err := cp.Frame.Decode(data); err != nil {
+			m.pool.Put(cp)
+			continue
+		}
+		cp.Tuple = pkt.Tuple
+		cp.FlowID = pkt.FlowID
+		cp.TS = pkt.TS
+		cp.refs.Store(1)
+		w := rt.workers[cp.FlowID%uint64(len(rt.workers))]
+		select {
+		case w <- cp:
+			m.dispatched.Add(1)
+		default:
+			m.parserDrops.Add(1)
+			m.pool.Put(cp)
+		}
+	}
+	m.pool.Put(pkt)
+}
+
+func (m *Monitor) shutdownWorkers() {
+	for _, rt := range m.parsers {
+		for _, w := range rt.workers {
+			close(w)
+		}
+	}
+}
+
+func (m *Monitor) runWorker(rt *parserRuntime, idx int, emit EmitFunc) {
+	defer m.wg.Done()
+	inst := rt.insts[idx]
+	for pkt := range rt.workers[idx] {
+		inst.Handle(pkt, emit)
+		pkt.release()
+	}
+	if fl, ok := inst.(Flusher); ok {
+		fl.Flush(emit)
+	}
+	m.out.workerDone(rt.name)
+}
+
+// outputBatcher is the Output Interface of Fig. 3: it accumulates tuples per
+// parser and ships batches to the sink on size or time triggers.
+type outputBatcher struct {
+	batchSize int
+	interval  time.Duration
+	sink      Sink
+
+	mu        sync.Mutex
+	pending   map[string][]tuple.Tuple
+	writers   map[string]int
+	perParser map[string]uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	tuples     atomic.Uint64
+	batches    atomic.Uint64
+	sinkErrors atomic.Uint64
+}
+
+func newOutputBatcher(batchSize int, interval time.Duration, sink Sink) *outputBatcher {
+	return &outputBatcher{
+		batchSize: batchSize,
+		interval:  interval,
+		sink:      sink,
+		pending:   make(map[string][]tuple.Tuple),
+		writers:   make(map[string]int),
+		perParser: make(map[string]uint64),
+		stop:      make(chan struct{}),
+	}
+}
+
+func (o *outputBatcher) start(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(o.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				o.flushAll()
+			case <-o.stop:
+				o.flushAll()
+				return
+			}
+		}
+	}()
+}
+
+func (o *outputBatcher) emitFunc(parser string) EmitFunc {
+	o.mu.Lock()
+	o.writers[parser]++
+	o.mu.Unlock()
+	return func(t tuple.Tuple) {
+		t.Parser = parser
+		o.tuples.Add(1)
+		var full []tuple.Tuple
+		o.mu.Lock()
+		o.perParser[parser]++
+		o.pending[parser] = append(o.pending[parser], t)
+		if len(o.pending[parser]) >= o.batchSize {
+			full = o.pending[parser]
+			o.pending[parser] = nil
+		}
+		o.mu.Unlock()
+		if full != nil {
+			o.ship(parser, full)
+		}
+	}
+}
+
+// workerDone signals that one writer for the parser finished; when the last
+// writer across all parsers is done, the flusher is stopped.
+func (o *outputBatcher) workerDone(parser string) {
+	o.mu.Lock()
+	o.writers[parser]--
+	remaining := 0
+	for _, n := range o.writers {
+		remaining += n
+	}
+	o.mu.Unlock()
+	if remaining == 0 {
+		o.stopOnce.Do(func() { close(o.stop) })
+	}
+}
+
+func (o *outputBatcher) perParserCounts() map[string]uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]uint64, len(o.perParser))
+	for k, v := range o.perParser {
+		out[k] = v
+	}
+	return out
+}
+
+func (o *outputBatcher) flushAll() {
+	o.mu.Lock()
+	drained := o.pending
+	o.pending = make(map[string][]tuple.Tuple, len(drained))
+	o.mu.Unlock()
+	for parser, tuples := range drained {
+		if len(tuples) > 0 {
+			o.ship(parser, tuples)
+		}
+	}
+}
+
+func (o *outputBatcher) ship(parser string, tuples []tuple.Tuple) {
+	b := &tuple.Batch{Parser: parser, Tuples: tuples}
+	if err := o.sink.Deliver(b); err != nil {
+		o.sinkErrors.Add(1)
+		return
+	}
+	o.batches.Add(1)
+}
+
+// AIMDSampler implements the feedback-driven sampling of §4.2: on overload
+// reports from the aggregation layer it halves the monitor's sample rate
+// (multiplicative decrease); on healthy reports it raises the rate additively
+// until sampling is effectively off again.
+type AIMDSampler struct {
+	mon *Monitor
+	// MinRate floors the sample rate (default 0.01).
+	MinRate float64
+	// Step is the additive recovery increment (default 0.05).
+	Step float64
+}
+
+// NewAIMDSampler wraps a monitor with the feedback controller.
+func NewAIMDSampler(m *Monitor) *AIMDSampler {
+	return &AIMDSampler{mon: m, MinRate: 0.01, Step: 0.05}
+}
+
+// OnStatus feeds one aggregation-layer status report into the controller.
+func (a *AIMDSampler) OnStatus(overloaded bool) {
+	rate := a.mon.SampleRate()
+	if overloaded {
+		rate /= 2
+		if rate < a.MinRate {
+			rate = a.MinRate
+		}
+	} else {
+		rate += a.Step
+		if rate > 1 {
+			rate = 1
+		}
+	}
+	a.mon.SetSampleRate(rate)
+}

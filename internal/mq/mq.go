@@ -1,0 +1,485 @@
+// Package mq implements the distributed queuing service of NetAlytics's
+// aggregation layer (§3.2), modeled on Kafka: topics split into partitions
+// hosted by brokers, batching producers, polling consumers, and bounded
+// in-memory buffers that absorb bursts while the analytics engine catches up.
+//
+// Two behaviors from the paper are modeled explicitly:
+//
+//   - Persistence (§6.1): in disk mode every append is throttled to the
+//     broker's simulated disk write rate (the paper measured 70 MB/s);
+//     in RAM mode appends are throttled only by the broker's network ingest
+//     rate, "more than an order of magnitude" faster.
+//   - Back pressure (§4.2): when a partition's occupancy crosses the high
+//     watermark, subscribers (monitors) receive an overload status so they
+//     can lower their sampling rate; recovery is signaled when occupancy
+//     falls below the low watermark.
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultPartitions    = 1
+	DefaultBufferBatches = 1024
+	DefaultHighWatermark = 0.75
+
+	// DefaultDiskBytesPerSec is the paper's measured disk write rate.
+	DefaultDiskBytesPerSec = 70 << 20
+)
+
+// ErrBufferFull is returned when a partition cannot absorb another batch.
+var ErrBufferFull = errors.New("mq: partition buffer full")
+
+// PersistMode selects the durability/throughput trade-off of §6.1.
+type PersistMode int
+
+// Persistence modes.
+const (
+	// PersistRAM buffers batches in memory only (the paper's tuned
+	// configuration: RAM disk + short retention).
+	PersistRAM PersistMode = iota
+	// PersistDisk throttles appends to the simulated disk write rate.
+	PersistDisk
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Partitions per topic (default 1).
+	Partitions int
+	// BufferBatches bounds each partition's buffer (default 1024).
+	BufferBatches int
+	// HighWatermark is the occupancy fraction that triggers overload
+	// statuses (default 0.75). The low watermark is half of it.
+	HighWatermark float64
+	// Persist selects RAM or disk persistence.
+	Persist PersistMode
+	// DiskBytesPerSec is the simulated disk write rate for PersistDisk
+	// (default 70 MB/s).
+	DiskBytesPerSec float64
+	// IngestBytesPerSec throttles each broker's network ingest in RAM mode;
+	// 0 disables throttling (tests). The Fig. 6 harness sets it to model
+	// per-process capacity.
+	IngestBytesPerSec float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions <= 0 {
+		c.Partitions = DefaultPartitions
+	}
+	if c.BufferBatches <= 0 {
+		c.BufferBatches = DefaultBufferBatches
+	}
+	if c.HighWatermark <= 0 || c.HighWatermark > 1 {
+		c.HighWatermark = DefaultHighWatermark
+	}
+	if c.DiskBytesPerSec <= 0 {
+		c.DiskBytesPerSec = DefaultDiskBytesPerSec
+	}
+	return c
+}
+
+// Status is a back-pressure report delivered to subscribers.
+type Status struct {
+	Topic      string
+	Overloaded bool
+	Occupancy  float64 // occupancy of the partition that transitioned
+}
+
+// TopicStats is a snapshot of a topic's counters.
+type TopicStats struct {
+	Appended  uint64
+	Consumed  uint64
+	Dropped   uint64
+	Buffered  int
+	Bytes     uint64 // wire bytes appended
+	Occupancy float64
+}
+
+// broker models one aggregation-layer process; its throttle serializes
+// simulated I/O so that broker count bounds cluster throughput.
+type broker struct {
+	id int
+
+	mu     sync.Mutex
+	freeAt time.Time
+}
+
+// write charges the broker for n bytes at rate bytes/sec. Time debt
+// accumulates across writes and is only slept off once it exceeds a couple
+// of milliseconds, so the modeled rate is honored without paying the OS
+// timer granularity on every small batch.
+func (b *broker) write(n int, rate float64) {
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	const sleepThreshold = 2 * time.Millisecond
+	dur := time.Duration(float64(n) / rate * float64(time.Second))
+	b.mu.Lock()
+	now := time.Now()
+	start := b.freeAt
+	if start.Before(now) {
+		start = now
+	}
+	b.freeAt = start.Add(dur)
+	wait := b.freeAt.Sub(now)
+	b.mu.Unlock()
+	if wait > sleepThreshold {
+		time.Sleep(wait)
+	}
+}
+
+// partition is a bounded in-memory log segment with per-consumer-group
+// offsets, Kafka-style: every group reads the whole stream independently; a
+// record is retained until the slowest group has consumed it.
+type partition struct {
+	topic  *topic
+	broker *broker
+
+	mu      sync.Mutex
+	buf     []*tuple.Batch
+	base    uint64 // log offset of buf[0]
+	next    uint64 // log offset the next append receives
+	groups  map[string]uint64
+	cap     int
+	over    bool
+	dropped atomic.Uint64
+}
+
+// backlog returns the records not yet consumed by the slowest group (or the
+// whole buffer when no group exists yet). Caller holds the lock.
+func (p *partition) backlog() int {
+	slowest := p.next
+	for _, off := range p.groups {
+		if off < slowest {
+			slowest = off
+		}
+	}
+	if len(p.groups) == 0 {
+		slowest = p.base
+	}
+	return int(p.next - slowest)
+}
+
+// trim drops records every group has consumed. Caller holds the lock.
+func (p *partition) trim() {
+	if len(p.groups) == 0 {
+		return
+	}
+	slowest := p.next
+	for _, off := range p.groups {
+		if off < slowest {
+			slowest = off
+		}
+	}
+	for p.base < slowest && len(p.buf) > 0 {
+		p.buf[0] = nil
+		p.buf = p.buf[1:]
+		p.base++
+	}
+}
+
+func (p *partition) append(b *tuple.Batch) error {
+	size := b.WireSize()
+	cfg := p.topic.cluster.cfg
+	switch cfg.Persist {
+	case PersistDisk:
+		p.broker.write(size, cfg.DiskBytesPerSec)
+	default:
+		p.broker.write(size, cfg.IngestBytesPerSec)
+	}
+
+	p.mu.Lock()
+	if p.backlog() >= p.cap {
+		p.mu.Unlock()
+		p.dropped.Add(1)
+		p.topic.dropped.Add(1)
+		return fmt.Errorf("%w: topic %q", ErrBufferFull, p.topic.name)
+	}
+	p.buf = append(p.buf, b)
+	p.next++
+	occ := float64(p.backlog()) / float64(p.cap)
+	transition := false
+	if !p.over && occ >= cfg.HighWatermark {
+		p.over = true
+		transition = true
+	}
+	p.mu.Unlock()
+
+	p.topic.appended.Add(1)
+	p.topic.bytes.Add(uint64(size))
+	if transition {
+		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: true, Occupancy: occ})
+	}
+	return nil
+}
+
+// register ensures the group exists, starting at the earliest retained
+// record (Kafka's earliest auto-offset policy) so a topology attaching just
+// after its query's monitors misses nothing.
+func (p *partition) register(group string) {
+	p.mu.Lock()
+	if _, ok := p.groups[group]; !ok {
+		p.groups[group] = p.base
+	}
+	p.mu.Unlock()
+}
+
+func (p *partition) pop(group string) *tuple.Batch {
+	cfg := p.topic.cluster.cfg
+	p.mu.Lock()
+	off, ok := p.groups[group]
+	if !ok {
+		off = p.base
+	}
+	if off >= p.next {
+		p.mu.Unlock()
+		return nil
+	}
+	b := p.buf[off-p.base]
+	p.groups[group] = off + 1
+	p.trim()
+	occ := float64(p.backlog()) / float64(p.cap)
+	transition := false
+	if p.over && occ <= cfg.HighWatermark/2 {
+		p.over = false
+		transition = true
+	}
+	p.mu.Unlock()
+
+	p.topic.consumed.Add(1)
+	if transition {
+		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: false, Occupancy: occ})
+	}
+	return b
+}
+
+type topic struct {
+	name       string
+	cluster    *Cluster
+	partitions []*partition
+
+	appended atomic.Uint64
+	consumed atomic.Uint64
+	dropped  atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// Cluster is a set of brokers hosting topics.
+type Cluster struct {
+	cfg     Config
+	brokers []*broker
+
+	mu     sync.Mutex
+	topics map[string]*topic
+	subs   map[string][]chan Status
+	nextBk int
+}
+
+// NewCluster creates a cluster with the given number of brokers (minimum 1).
+func NewCluster(numBrokers int, cfg Config) *Cluster {
+	if numBrokers < 1 {
+		numBrokers = 1
+	}
+	c := &Cluster{
+		cfg:    cfg.withDefaults(),
+		topics: make(map[string]*topic),
+		subs:   make(map[string][]chan Status),
+	}
+	for i := 0; i < numBrokers; i++ {
+		c.brokers = append(c.brokers, &broker{id: i})
+	}
+	return c
+}
+
+// BrokerCount returns the number of brokers.
+func (c *Cluster) BrokerCount() int { return len(c.brokers) }
+
+// getTopic returns the topic, creating it with partitions spread across
+// brokers round-robin.
+func (c *Cluster) getTopic(name string) *topic {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.topics[name]
+	if ok {
+		return t
+	}
+	t = &topic{name: name, cluster: c}
+	for i := 0; i < c.cfg.Partitions; i++ {
+		bk := c.brokers[c.nextBk%len(c.brokers)]
+		c.nextBk++
+		t.partitions = append(t.partitions, &partition{
+			topic:  t,
+			broker: bk,
+			groups: make(map[string]uint64),
+			cap:    c.cfg.BufferBatches,
+		})
+	}
+	c.topics[name] = t
+	return t
+}
+
+// Topics lists existing topic names.
+func (c *Cluster) Topics() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.topics))
+	for name := range c.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Subscribe registers for back-pressure statuses on a topic. The channel is
+// buffered; statuses are dropped rather than blocking the data path.
+func (c *Cluster) Subscribe(topicName string) <-chan Status {
+	ch := make(chan Status, 16)
+	c.mu.Lock()
+	c.subs[topicName] = append(c.subs[topicName], ch)
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *Cluster) notify(s Status) {
+	c.mu.Lock()
+	subs := c.subs[s.Topic]
+	c.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+}
+
+// Pressure returns the topic's worst partition occupancy in [0,1].
+func (c *Cluster) Pressure(topicName string) float64 {
+	return c.Stats(topicName).Occupancy
+}
+
+// HighWatermark returns the configured overload threshold.
+func (c *Cluster) HighWatermark() float64 { return c.cfg.HighWatermark }
+
+// Stats snapshots a topic's counters; unknown topics return zeros.
+func (c *Cluster) Stats(topicName string) TopicStats {
+	c.mu.Lock()
+	t := c.topics[topicName]
+	c.mu.Unlock()
+	if t == nil {
+		return TopicStats{}
+	}
+	st := TopicStats{
+		Appended: t.appended.Load(),
+		Consumed: t.consumed.Load(),
+		Dropped:  t.dropped.Load(),
+		Bytes:    t.bytes.Load(),
+	}
+	maxOcc := 0.0
+	for _, p := range t.partitions {
+		p.mu.Lock()
+		st.Buffered += p.backlog()
+		occ := float64(p.backlog()) / float64(p.cap)
+		p.mu.Unlock()
+		if occ > maxOcc {
+			maxOcc = occ
+		}
+	}
+	st.Occupancy = maxOcc
+	return st
+}
+
+// Producer publishes batches to one topic. It implements monitor.Sink.
+type Producer struct {
+	t    *topic
+	next atomic.Uint64
+}
+
+// Producer creates a producer for a topic (creating the topic on demand).
+func (c *Cluster) Producer(topicName string) *Producer {
+	return &Producer{t: c.getTopic(topicName)}
+}
+
+// Send appends a batch to the next partition round-robin.
+func (p *Producer) Send(b *tuple.Batch) error {
+	idx := p.next.Add(1)
+	parts := p.t.partitions
+	return parts[idx%uint64(len(parts))].append(b)
+}
+
+// Deliver implements the monitor sink interface.
+func (p *Producer) Deliver(b *tuple.Batch) error { return p.Send(b) }
+
+// Consumer pulls batches from a topic on behalf of a consumer group:
+// consumers sharing a group split the stream between them (each batch is
+// delivered once per group), while distinct groups each receive the whole
+// stream — exactly Kafka's model, which lets several processing topologies
+// subscribe to one query's data independently.
+type Consumer struct {
+	t     *topic
+	group string
+	next  int
+}
+
+// DefaultGroup is the consumer group used by Consumer.
+const DefaultGroup = "default"
+
+// Consumer creates a consumer in the default group (creating the topic on
+// demand).
+func (c *Cluster) Consumer(topicName string) *Consumer {
+	return c.GroupConsumer(topicName, DefaultGroup)
+}
+
+// GroupConsumer creates a consumer in a named group. The group's offsets
+// start at the earliest retained record.
+func (c *Cluster) GroupConsumer(topicName, group string) *Consumer {
+	if group == "" {
+		group = DefaultGroup
+	}
+	t := c.getTopic(topicName)
+	for _, p := range t.partitions {
+		p.register(group)
+	}
+	return &Consumer{t: t, group: group}
+}
+
+// Poll returns up to max buffered batches without blocking.
+func (cs *Consumer) Poll(max int) []*tuple.Batch {
+	if max <= 0 {
+		max = 1
+	}
+	var out []*tuple.Batch
+	parts := cs.t.partitions
+	for tries := 0; tries < len(parts) && len(out) < max; {
+		p := parts[cs.next%len(parts)]
+		cs.next++
+		b := p.pop(cs.group)
+		if b == nil {
+			tries++
+			continue
+		}
+		tries = 0
+		out = append(out, b)
+	}
+	return out
+}
+
+// PollWait polls until at least one batch arrives or the timeout elapses.
+func (cs *Consumer) PollWait(max int, timeout time.Duration) []*tuple.Batch {
+	deadline := time.Now().Add(timeout)
+	for {
+		if out := cs.Poll(max); len(out) > 0 {
+			return out
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}

@@ -1,0 +1,342 @@
+package mq
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+func batchOf(n int) *tuple.Batch {
+	b := &tuple.Batch{Parser: "p"}
+	for i := 0; i < n; i++ {
+		b.Tuples = append(b.Tuples, tuple.Tuple{FlowID: uint64(i), Key: "/url"})
+	}
+	return b
+}
+
+func TestProduceConsume(t *testing.T) {
+	c := NewCluster(2, Config{Partitions: 3})
+	prod := c.Producer("http_get")
+	cons := c.Consumer("http_get")
+
+	for i := 0; i < 10; i++ {
+		if err := prod.Send(batchOf(2)); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	var got int
+	for {
+		bs := cons.Poll(4)
+		if len(bs) == 0 {
+			break
+		}
+		got += len(bs)
+	}
+	if got != 10 {
+		t.Errorf("consumed %d batches, want 10", got)
+	}
+	st := c.Stats("http_get")
+	if st.Appended != 10 || st.Consumed != 10 || st.Buffered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes == 0 {
+		t.Error("no bytes accounted")
+	}
+}
+
+func TestTopicsAndUnknownStats(t *testing.T) {
+	c := NewCluster(1, Config{})
+	c.Producer("a")
+	c.Producer("b")
+	c.Producer("a") // same topic reused
+	if got := len(c.Topics()); got != 2 {
+		t.Errorf("Topics = %v", c.Topics())
+	}
+	if st := c.Stats("missing"); st != (TopicStats{}) {
+		t.Errorf("unknown topic stats = %+v", st)
+	}
+}
+
+func TestBufferFull(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 4})
+	prod := c.Producer("t")
+	for i := 0; i < 4; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if err := prod.Send(batchOf(1)); !errors.Is(err, ErrBufferFull) {
+		t.Errorf("err = %v, want ErrBufferFull", err)
+	}
+	st := c.Stats("t")
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+	if st.Occupancy != 1 {
+		t.Errorf("Occupancy = %v, want 1", st.Occupancy)
+	}
+}
+
+func TestConsumerGroupSemantics(t *testing.T) {
+	// Two consumers of one topic each receive a disjoint subset.
+	c := NewCluster(1, Config{Partitions: 2})
+	prod := c.Producer("t")
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1 := c.Consumer("t")
+	c2 := c.Consumer("t")
+	total := len(c1.Poll(n)) + len(c2.Poll(n))
+	if total != n {
+		t.Errorf("both consumers saw %d batches total, want %d", total, n)
+	}
+}
+
+func TestConsumerGroupsFanOut(t *testing.T) {
+	// Two groups each receive the full stream; consumers within one group
+	// split it.
+	c := NewCluster(1, Config{Partitions: 2})
+	prod := c.Producer("t")
+	gA := c.GroupConsumer("t", "alpha")
+	gB1 := c.GroupConsumer("t", "beta")
+	gB2 := c.GroupConsumer("t", "beta")
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(gA.Poll(n * 2)); got != n {
+		t.Errorf("group alpha received %d batches, want %d", got, n)
+	}
+	betaTotal := len(gB1.Poll(n*2)) + len(gB2.Poll(n*2))
+	if betaTotal != n {
+		t.Errorf("group beta received %d batches total, want %d", betaTotal, n)
+	}
+	// Everything consumed by both groups: the log is trimmed.
+	if st := c.Stats("t"); st.Buffered != 0 {
+		t.Errorf("Buffered = %d after both groups drained", st.Buffered)
+	}
+}
+
+func TestRetentionWaitsForSlowestGroup(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 8})
+	prod := c.Producer("t")
+	fast := c.GroupConsumer("t", "fast")
+	_ = c.GroupConsumer("t", "slow") // registered but never polls
+
+	for i := 0; i < 8; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fast drains, slow does not: records stay retained and the partition
+	// stays full for the slow group.
+	if got := len(fast.Poll(16)); got != 8 {
+		t.Fatalf("fast group got %d", got)
+	}
+	if st := c.Stats("t"); st.Buffered != 8 {
+		t.Errorf("Buffered = %d, want 8 (slow group unconsumed)", st.Buffered)
+	}
+	if err := prod.Send(batchOf(1)); !errors.Is(err, ErrBufferFull) {
+		t.Errorf("append despite slow group backlog: %v", err)
+	}
+	// A new group attaching now replays the retained history.
+	late := c.GroupConsumer("t", "late")
+	if got := len(late.Poll(16)); got != 8 {
+		t.Errorf("late group replayed %d records, want 8", got)
+	}
+}
+
+func TestEmptyGroupNameDefaults(t *testing.T) {
+	c := NewCluster(1, Config{})
+	prod := c.Producer("t")
+	g := c.GroupConsumer("t", "")
+	def := c.Consumer("t")
+	if err := prod.Send(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	// "" aliases the default group: the two consumers compete.
+	total := len(g.Poll(4)) + len(def.Poll(4))
+	if total != 1 {
+		t.Errorf("default-group consumers received %d copies, want 1", total)
+	}
+}
+
+func TestBackPressureStatuses(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 10, HighWatermark: 0.5})
+	sub := c.Subscribe("t")
+	prod := c.Producer("t")
+	cons := c.Consumer("t")
+
+	// Fill to the high watermark: expect one overloaded=true transition.
+	for i := 0; i < 6; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case s := <-sub:
+		if !s.Overloaded || s.Topic != "t" {
+			t.Errorf("status = %+v, want overloaded on t", s)
+		}
+	default:
+		t.Fatal("no overload status emitted")
+	}
+
+	// Drain below the low watermark (0.25): expect recovery.
+	for i := 0; i < 5; i++ {
+		if cons.Poll(1) == nil {
+			t.Fatal("unexpected empty poll")
+		}
+	}
+	select {
+	case s := <-sub:
+		if s.Overloaded {
+			t.Errorf("status = %+v, want recovery", s)
+		}
+	default:
+		t.Fatal("no recovery status emitted")
+	}
+}
+
+func TestStatusTransitionsNotRepeated(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 10, HighWatermark: 0.5})
+	sub := c.Subscribe("t")
+	prod := c.Producer("t")
+	for i := 0; i < 9; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sub); got != 1 {
+		t.Errorf("received %d statuses while filling, want 1 transition", got)
+	}
+}
+
+func TestPollWait(t *testing.T) {
+	c := NewCluster(1, Config{})
+	cons := c.Consumer("t")
+	prod := c.Producer("t")
+
+	start := time.Now()
+	if got := cons.PollWait(1, 30*time.Millisecond); got != nil {
+		t.Errorf("PollWait on empty topic = %v", got)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("PollWait returned before timeout")
+	}
+
+	done := make(chan []*tuple.Batch, 1)
+	go func() { done <- cons.PollWait(1, time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := prod.Send(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if len(got) != 1 {
+			t.Errorf("PollWait = %d batches, want 1", len(got))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PollWait never returned after Send")
+	}
+}
+
+func TestDiskModeSlowerThanRAM(t *testing.T) {
+	const batches = 200
+	big := batchOf(64)
+
+	measure := func(cfg Config) time.Duration {
+		c := NewCluster(1, cfg)
+		prod := c.Producer("t")
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			if err := prod.Send(big); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	ram := measure(Config{BufferBatches: batches + 1})
+	disk := measure(Config{BufferBatches: batches + 1, Persist: PersistDisk, DiskBytesPerSec: 10 << 20})
+	if disk < 10*ram {
+		t.Errorf("disk mode (%v) not an order of magnitude slower than RAM (%v)", disk, ram)
+	}
+}
+
+func TestIngestThrottleBoundsThroughput(t *testing.T) {
+	// 1 MB/s ingest, ~5KB batches: 20 batches should take ~100ms.
+	c := NewCluster(1, Config{BufferBatches: 64, IngestBytesPerSec: 1 << 20})
+	prod := c.Producer("t")
+	size := batchOf(64).WireSize()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := prod.Send(batchOf(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(float64(20*size) / float64(1<<20) * float64(time.Second))
+	if elapsed < want/2 {
+		t.Errorf("throttled send took %v, want >= %v", elapsed, want/2)
+	}
+}
+
+func TestConcurrentProducersAndConsumers(t *testing.T) {
+	c := NewCluster(4, Config{Partitions: 4, BufferBatches: 10000})
+	const producers, perProducer = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prod := c.Producer("t")
+			for i := 0; i < perProducer; i++ {
+				if err := prod.Send(batchOf(1)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	cons := c.Consumer("t")
+	total := 0
+	for {
+		bs := cons.Poll(64)
+		if len(bs) == 0 {
+			break
+		}
+		total += len(bs)
+	}
+	if total != producers*perProducer {
+		t.Errorf("consumed %d, want %d", total, producers*perProducer)
+	}
+}
+
+func BenchmarkProduceConsumeRAM(b *testing.B) {
+	c := NewCluster(2, Config{Partitions: 4, BufferBatches: 1 << 20})
+	prod := c.Producer("bench")
+	cons := c.Consumer("bench")
+	batch := batchOf(64)
+	b.SetBytes(int64(batch.WireSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prod.Send(batch); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			cons.Poll(64)
+		}
+	}
+}

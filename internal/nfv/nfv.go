@@ -1,0 +1,156 @@
+// Package nfv is the NFV orchestrator of Fig. 1: it instantiates monitor
+// network functions on chosen hosts exactly when a query needs them, wires
+// each to a mirror tap on the virtual network, pumps mirrored frames into
+// the monitor, and tears the instances down when the query ends — the
+// paper's "deployed as virtual network functions ... started exactly when
+// and where they are needed" (§3.1).
+package nfv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+)
+
+// Instance is one deployed monitor network function.
+type Instance struct {
+	Host    *topology.Host
+	Monitor *monitor.Monitor
+
+	tap     *vnet.Tap
+	packets atomic.Uint64
+	counter *atomic.Uint64 // shared across a query's instances
+	onLimit func()
+	limit   uint64
+	pumpWG  sync.WaitGroup
+}
+
+// Packets returns the number of mirrored frames pumped into the instance.
+func (in *Instance) Packets() uint64 { return in.packets.Load() }
+
+// pump moves mirrored frames from the tap into the monitor.
+func (in *Instance) pump() {
+	defer in.pumpWG.Done()
+	for tf := range in.tap.C {
+		in.Monitor.Deliver(tf.Raw, tf.TS)
+		in.packets.Add(1)
+		if n := in.counter.Add(1); in.limit > 0 && n == in.limit && in.onLimit != nil {
+			in.onLimit()
+		}
+	}
+}
+
+// stop closes the tap, waits for the pump to drain, and stops the monitor
+// (flushing its parsers and final batches).
+func (in *Instance) stop(net *vnet.Network) {
+	net.CloseTap(in.tap)
+	in.pumpWG.Wait()
+	in.Monitor.Stop()
+}
+
+// Spec describes one monitor instance to launch.
+type Spec struct {
+	Host *topology.Host
+	// Config is the monitor configuration (parsers, workers, sink, ...).
+	Config monitor.Config
+	// Counter, when non-nil, is shared by all of a query's instances so
+	// PacketLimit applies to the query's total frame count. When nil the
+	// instance counts alone.
+	Counter *atomic.Uint64
+	// PacketLimit, when non-zero, invokes OnLimit once the counter reaches
+	// that many frames.
+	PacketLimit uint64
+	// OnLimit is called (at most once per instance observing the limit) on
+	// the pump's goroutine; it must not block.
+	OnLimit func()
+	// TapBuffer overrides the tap queue depth (0 = default).
+	TapBuffer int
+}
+
+// Orchestrator launches and reclaims monitor instances per query.
+type Orchestrator struct {
+	net *vnet.Network
+
+	mu        sync.Mutex
+	instances map[string][]*Instance
+}
+
+// New creates an orchestrator over the network.
+func New(net *vnet.Network) *Orchestrator {
+	return &Orchestrator{net: net, instances: make(map[string][]*Instance)}
+}
+
+// Launch instantiates one monitor for the query and starts its data path.
+func (o *Orchestrator) Launch(queryID string, spec Spec) (*Instance, error) {
+	mon, err := monitor.New(spec.Config)
+	if err != nil {
+		return nil, fmt.Errorf("nfv: launching monitor on %s: %w", spec.Host.Name, err)
+	}
+	mon.Start()
+	counter := spec.Counter
+	if counter == nil {
+		counter = &atomic.Uint64{}
+	}
+	in := &Instance{
+		Host:    spec.Host,
+		Monitor: mon,
+		tap:     o.net.OpenTap(spec.Host.ID, spec.TapBuffer),
+		counter: counter,
+		limit:   spec.PacketLimit,
+		onLimit: spec.OnLimit,
+	}
+	in.pumpWG.Add(1)
+	go in.pump()
+
+	o.mu.Lock()
+	o.instances[queryID] = append(o.instances[queryID], in)
+	o.mu.Unlock()
+	return in, nil
+}
+
+// Instances returns the live instances of a query.
+func (o *Orchestrator) Instances(queryID string) []*Instance {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Instance(nil), o.instances[queryID]...)
+}
+
+// InstanceCount returns the number of live instances across all queries.
+func (o *Orchestrator) InstanceCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, list := range o.instances {
+		n += len(list)
+	}
+	return n
+}
+
+// StopQuery reclaims every instance of a query: taps close, pumps drain,
+// monitors flush and stop. Idempotent.
+func (o *Orchestrator) StopQuery(queryID string) {
+	o.mu.Lock()
+	list := o.instances[queryID]
+	delete(o.instances, queryID)
+	o.mu.Unlock()
+	for _, in := range list {
+		in.stop(o.net)
+	}
+}
+
+// Close reclaims everything.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	all := o.instances
+	o.instances = make(map[string][]*Instance)
+	o.mu.Unlock()
+	for _, list := range all {
+		for _, in := range list {
+			in.stop(o.net)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package nfv
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/packet"
+	"netalytics/internal/sdn"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+	"netalytics/internal/vnet"
+)
+
+type memSink struct {
+	mu     sync.Mutex
+	tuples int
+}
+
+func (s *memSink) Deliver(b *tuple.Batch) error {
+	s.mu.Lock()
+	s.tuples += len(b.Tuples)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *memSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tuples
+}
+
+type countParser struct{}
+
+func (countParser) Name() string { return "count" }
+func (countParser) Handle(p *monitor.Packet, emit monitor.EmitFunc) {
+	emit(tuple.Tuple{FlowID: p.FlowID, Val: 1})
+}
+
+func testRig(t *testing.T) (*Orchestrator, *vnet.Network, *topology.FatTree) {
+	t.Helper()
+	topo := topology.MustNew(4)
+	net := vnet.New(topo, sdn.NewController())
+	return New(net), net, topo
+}
+
+func monitorConfig(sink monitor.Sink) monitor.Config {
+	return monitor.Config{
+		Parsers: []monitor.Factory{func() monitor.Parser { return countParser{} }},
+		Sink:    sink,
+	}
+}
+
+func frameTo(dst *topology.Host, src netip.Addr) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: src, Dst: dst.Addr, SrcPort: 999, DstPort: 80,
+		Flags: packet.TCPFlagACK, Payload: []byte("x"),
+	})
+}
+
+func TestLaunchPumpsAndStops(t *testing.T) {
+	o, net, topo := testRig(t)
+	hosts := topo.Hosts()
+	monHost, target, src := hosts[1], hosts[0], hosts[4]
+	net.Controller().InstallMirror("q1", target.Edge, sdn.Match{DstIP: target.Addr}, monHost.ID, 10)
+
+	sink := &memSink{}
+	in, err := o.Launch("q1", Spec{Host: monHost, Config: monitorConfig(sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.InstanceCount() != 1 || len(o.Instances("q1")) != 1 {
+		t.Fatalf("instance bookkeeping wrong: %d", o.InstanceCount())
+	}
+
+	for i := 0; i < 10; i++ {
+		if err := net.Inject(frameTo(target, src.Addr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.StopQuery("q1") // drains the pump and flushes the monitor
+	if got := in.Packets(); got != 10 {
+		t.Errorf("Packets = %d, want 10", got)
+	}
+	if got := sink.count(); got != 10 {
+		t.Errorf("sink tuples = %d, want 10", got)
+	}
+	if o.InstanceCount() != 0 {
+		t.Errorf("instances remain after StopQuery: %d", o.InstanceCount())
+	}
+	o.StopQuery("q1") // idempotent
+}
+
+func TestLaunchRejectsBadConfig(t *testing.T) {
+	o, _, topo := testRig(t)
+	if _, err := o.Launch("q", Spec{Host: topo.Hosts()[0], Config: monitor.Config{}}); err == nil {
+		t.Error("bad monitor config accepted")
+	}
+}
+
+func TestSharedCounterAndLimit(t *testing.T) {
+	o, net, topo := testRig(t)
+	hosts := topo.Hosts()
+	targets := []*topology.Host{hosts[0], hosts[2]} // different racks
+	monHosts := []*topology.Host{hosts[1], hosts[3]}
+	src := hosts[4]
+
+	var counter atomic.Uint64
+	var fired atomic.Int32
+	sink := &memSink{}
+	for i, target := range targets {
+		net.Controller().InstallMirror("q", target.Edge, sdn.Match{DstIP: target.Addr}, monHosts[i].ID, 10)
+		_, err := o.Launch("q", Spec{
+			Host:        monHosts[i],
+			Config:      monitorConfig(sink),
+			Counter:     &counter,
+			PacketLimit: 6,
+			OnLimit:     func() { fired.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 frames to each target: the shared counter hits 6 across instances.
+	for i := 0; i < 4; i++ {
+		for _, target := range targets {
+			if err := net.Inject(frameTo(target, src.Addr)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for counter.Load() < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if counter.Load() != 8 {
+		t.Fatalf("shared counter = %d, want 8", counter.Load())
+	}
+	if fired.Load() != 1 {
+		t.Errorf("OnLimit fired %d times, want exactly 1", fired.Load())
+	}
+	o.Close()
+	if o.InstanceCount() != 0 {
+		t.Error("Close left instances")
+	}
+}
+
+func TestQueriesIsolated(t *testing.T) {
+	o, _, topo := testRig(t)
+	hosts := topo.Hosts()
+	sink := &memSink{}
+	if _, err := o.Launch("a", Spec{Host: hosts[0], Config: monitorConfig(sink)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Launch("b", Spec{Host: hosts[1], Config: monitorConfig(sink)}); err != nil {
+		t.Fatal(err)
+	}
+	o.StopQuery("a")
+	if got := len(o.Instances("b")); got != 1 {
+		t.Errorf("query b instances = %d after stopping a", got)
+	}
+	o.Close()
+}

@@ -1,0 +1,151 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// Builder assembles raw frames. The zero value is ready to use; TTL defaults
+// to 64 and MACs are synthesized from the IP addresses so that frames are
+// self-consistent without the caller managing an ARP table.
+type Builder struct {
+	// TTL overrides the default IPv4 TTL of 64 when non-zero.
+	TTL uint8
+	// IPID is stamped into the IPv4 identification field.
+	IPID uint16
+}
+
+// TCPSpec describes a TCP frame to build.
+type TCPSpec struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Payload []byte
+}
+
+// UDPSpec describes a UDP frame to build.
+type UDPSpec struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// TCP builds a complete Ethernet+IPv4+TCP frame.
+func (b *Builder) TCP(spec TCPSpec) []byte {
+	totalLen := IPv4HeaderLen + TCPHeaderLen + len(spec.Payload)
+	raw := make([]byte, EthernetHeaderLen+totalLen)
+	b.ethernet(raw, spec.Src, spec.Dst)
+	b.ipv4(raw[EthernetHeaderLen:], spec.Src, spec.Dst, ProtoTCP, uint16(totalLen))
+
+	t := raw[EthernetHeaderLen+IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(t[0:2], spec.SrcPort)
+	binary.BigEndian.PutUint16(t[2:4], spec.DstPort)
+	binary.BigEndian.PutUint32(t[4:8], spec.Seq)
+	binary.BigEndian.PutUint32(t[8:12], spec.Ack)
+	t[12] = (TCPHeaderLen / 4) << 4
+	t[13] = spec.Flags & 0x3f
+	window := spec.Window
+	if window == 0 {
+		window = 65535
+	}
+	binary.BigEndian.PutUint16(t[14:16], window)
+	copy(t[TCPHeaderLen:], spec.Payload)
+	binary.BigEndian.PutUint16(t[16:18], transportChecksum(spec.Src, spec.Dst, ProtoTCP, t[:TCPHeaderLen+len(spec.Payload)]))
+	return raw
+}
+
+// UDP builds a complete Ethernet+IPv4+UDP frame.
+func (b *Builder) UDP(spec UDPSpec) []byte {
+	totalLen := IPv4HeaderLen + UDPHeaderLen + len(spec.Payload)
+	raw := make([]byte, EthernetHeaderLen+totalLen)
+	b.ethernet(raw, spec.Src, spec.Dst)
+	b.ipv4(raw[EthernetHeaderLen:], spec.Src, spec.Dst, ProtoUDP, uint16(totalLen))
+
+	u := raw[EthernetHeaderLen+IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(u[0:2], spec.SrcPort)
+	binary.BigEndian.PutUint16(u[2:4], spec.DstPort)
+	binary.BigEndian.PutUint16(u[4:6], uint16(UDPHeaderLen+len(spec.Payload)))
+	copy(u[UDPHeaderLen:], spec.Payload)
+	binary.BigEndian.PutUint16(u[6:8], transportChecksum(spec.Src, spec.Dst, ProtoUDP, u[:UDPHeaderLen+len(spec.Payload)]))
+	return raw
+}
+
+func (b *Builder) ethernet(raw []byte, src, dst netip.Addr) {
+	copy(raw[0:6], macFor(dst))
+	copy(raw[6:12], macFor(src))
+	binary.BigEndian.PutUint16(raw[12:14], EtherTypeIPv4)
+}
+
+func (b *Builder) ipv4(ip []byte, src, dst netip.Addr, proto uint8, totalLen uint16) {
+	ip[0] = 4<<4 | IPv4HeaderLen/4
+	binary.BigEndian.PutUint16(ip[2:4], totalLen)
+	binary.BigEndian.PutUint16(ip[4:6], b.IPID)
+	ttl := b.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip[8] = ttl
+	ip[9] = proto
+	s, d := src.As4(), dst.As4()
+	copy(ip[12:16], s[:])
+	copy(ip[16:20], d[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
+}
+
+// macFor derives a stable locally-administered MAC from an IPv4 address.
+func macFor(ip netip.Addr) []byte {
+	a := ip.As4()
+	return []byte{0x02, 0x00, a[0], a[1], a[2], a[3]}
+}
+
+// VerifyIPv4Checksum reports whether the IPv4 header checksum of a raw frame
+// is valid. The frame must be at least MinFrameLen bytes.
+func VerifyIPv4Checksum(raw []byte) bool {
+	if len(raw) < MinFrameLen {
+		return false
+	}
+	return Checksum(raw[EthernetHeaderLen:EthernetHeaderLen+IPv4HeaderLen]) == 0
+}
+
+// transportChecksum computes the TCP/UDP checksum over the IPv4 pseudo-header
+// and the transport segment, with the checksum field zeroed by construction.
+func transportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	pseudo := make([]byte, 12, 12+len(segment)+1)
+	s, d := src.As4(), dst.As4()
+	copy(pseudo[0:4], s[:])
+	copy(pseudo[4:8], d[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	pseudo = append(pseudo, segment...)
+	sum := Checksum(pseudo)
+	if sum == 0 && proto == ProtoUDP {
+		sum = 0xffff
+	}
+	return sum
+}
+
+// VerifyTransportChecksum reports whether the TCP/UDP checksum of a decoded
+// frame is valid.
+func VerifyTransportChecksum(f *Frame) bool {
+	ihl := IPv4HeaderLen
+	segment := f.Raw[EthernetHeaderLen+ihl : EthernetHeaderLen+int(f.IP.TotalLen)]
+	seg := make([]byte, len(segment))
+	copy(seg, segment)
+	switch f.IP.Protocol {
+	case ProtoTCP:
+		seg[16], seg[17] = 0, 0
+		return transportChecksum(f.IP.Src, f.IP.Dst, ProtoTCP, seg) == f.TCP.Checksum
+	case ProtoUDP:
+		seg[6], seg[7] = 0, 0
+		return transportChecksum(f.IP.Src, f.IP.Dst, ProtoUDP, seg) == f.UDP.Checksum
+	default:
+		return false
+	}
+}

@@ -1,0 +1,330 @@
+// Package packet implements wire-format encoding and decoding for the
+// Ethernet, IPv4, TCP and UDP headers that NetAlytics monitors inspect.
+//
+// The package is the substrate equivalent of the slice of DPDK and libpcap
+// functionality the paper's monitors rely on: frames are flat byte slices in
+// network byte order, decoding is allocation-light, and a decoded Frame keeps
+// pointers into the original buffer (zero-copy views) so that many parsers can
+// inspect one packet concurrently.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// EtherType values understood by the virtual network.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// Header sizes in bytes. The implementation supports options-free IPv4 and
+// TCP headers, which is what the monitor's fast path assumes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	TCPHeaderLen      = 20
+	UDPHeaderLen      = 8
+
+	// MinFrameLen is the smallest frame Decode accepts: an Ethernet header
+	// followed by an options-free IPv4 header.
+	MinFrameLen = EthernetHeaderLen + IPv4HeaderLen
+)
+
+// TCP flag bits.
+const (
+	TCPFlagFIN uint8 = 1 << 0
+	TCPFlagSYN uint8 = 1 << 1
+	TCPFlagRST uint8 = 1 << 2
+	TCPFlagPSH uint8 = 1 << 3
+	TCPFlagACK uint8 = 1 << 4
+	TCPFlagURG uint8 = 1 << 5
+)
+
+// Decoding errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated frame")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 frame")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+	ErrBadIHL      = errors.New("packet: unsupported IP header length")
+	ErrBadProtocol = errors.New("packet: unsupported transport protocol")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in the conventional colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// IPv4 is a decoded options-free IPv4 header.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      netip.Addr
+	Dst      netip.Addr
+}
+
+// TCP is a decoded options-free TCP header.
+type TCP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+}
+
+// FIN reports whether the FIN flag is set.
+func (t *TCP) FIN() bool { return t.Flags&TCPFlagFIN != 0 }
+
+// SYN reports whether the SYN flag is set.
+func (t *TCP) SYN() bool { return t.Flags&TCPFlagSYN != 0 }
+
+// RST reports whether the RST flag is set.
+func (t *TCP) RST() bool { return t.Flags&TCPFlagRST != 0 }
+
+// ACK reports whether the ACK flag is set.
+func (t *TCP) ACK() bool { return t.Flags&TCPFlagACK != 0 }
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// Frame is a decoded view over a raw frame buffer. Payload aliases the
+// original buffer; callers that retain a Frame past the lifetime of the
+// buffer must copy Payload themselves.
+type Frame struct {
+	Eth     Ethernet
+	IP      IPv4
+	TCP     *TCP // non-nil when IP.Protocol == ProtoTCP
+	UDP     *UDP // non-nil when IP.Protocol == ProtoUDP
+	Payload []byte
+	Raw     []byte
+
+	tcp TCP
+	udp UDP
+}
+
+// Decode parses raw into f, overwriting any previous contents. It is the
+// allocation-free entry point used by the monitor fast path: the Frame and
+// its embedded header structs are reused across packets.
+func (f *Frame) Decode(raw []byte) error {
+	if len(raw) < MinFrameLen {
+		return ErrTruncated
+	}
+	f.Raw = raw
+	f.TCP = nil
+	f.UDP = nil
+	f.Payload = nil
+
+	f.Eth.Dst = MAC(raw[0:6])
+	f.Eth.Src = MAC(raw[6:12])
+	f.Eth.EtherType = binary.BigEndian.Uint16(raw[12:14])
+	if f.Eth.EtherType != EtherTypeIPv4 {
+		return ErrNotIPv4
+	}
+
+	ip := raw[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl != IPv4HeaderLen {
+		return ErrBadIHL
+	}
+	f.IP.TOS = ip[1]
+	f.IP.TotalLen = binary.BigEndian.Uint16(ip[2:4])
+	f.IP.ID = binary.BigEndian.Uint16(ip[4:6])
+	f.IP.TTL = ip[8]
+	f.IP.Protocol = ip[9]
+	f.IP.Checksum = binary.BigEndian.Uint16(ip[10:12])
+	f.IP.Src = netip.AddrFrom4([4]byte(ip[12:16]))
+	f.IP.Dst = netip.AddrFrom4([4]byte(ip[16:20]))
+
+	end := EthernetHeaderLen + int(f.IP.TotalLen)
+	if end > len(raw) {
+		return ErrTruncated
+	}
+	transport := raw[EthernetHeaderLen+ihl : end]
+
+	switch f.IP.Protocol {
+	case ProtoTCP:
+		if len(transport) < TCPHeaderLen {
+			return ErrTruncated
+		}
+		f.tcp.SrcPort = binary.BigEndian.Uint16(transport[0:2])
+		f.tcp.DstPort = binary.BigEndian.Uint16(transport[2:4])
+		f.tcp.Seq = binary.BigEndian.Uint32(transport[4:8])
+		f.tcp.Ack = binary.BigEndian.Uint32(transport[8:12])
+		dataOff := int(transport[12]>>4) * 4
+		if dataOff < TCPHeaderLen || dataOff > len(transport) {
+			return ErrTruncated
+		}
+		f.tcp.Flags = transport[13] & 0x3f
+		f.tcp.Window = binary.BigEndian.Uint16(transport[14:16])
+		f.tcp.Checksum = binary.BigEndian.Uint16(transport[16:18])
+		f.TCP = &f.tcp
+		f.Payload = transport[dataOff:]
+	case ProtoUDP:
+		if len(transport) < UDPHeaderLen {
+			return ErrTruncated
+		}
+		f.udp.SrcPort = binary.BigEndian.Uint16(transport[0:2])
+		f.udp.DstPort = binary.BigEndian.Uint16(transport[2:4])
+		f.udp.Length = binary.BigEndian.Uint16(transport[4:6])
+		f.udp.Checksum = binary.BigEndian.Uint16(transport[6:8])
+		f.UDP = &f.udp
+		f.Payload = transport[UDPHeaderLen:]
+	default:
+		return ErrBadProtocol
+	}
+	return nil
+}
+
+// Decode parses a raw frame into a freshly allocated Frame.
+func Decode(raw []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := f.Decode(raw); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FiveTuple identifies a transport flow.
+type FiveTuple struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// FlowTuple extracts the five-tuple of a decoded frame. The second return
+// value is false for frames without a TCP or UDP header.
+func (f *Frame) FlowTuple() (FiveTuple, bool) {
+	ft := FiveTuple{Src: f.IP.Src, Dst: f.IP.Dst, Proto: f.IP.Protocol}
+	switch {
+	case f.TCP != nil:
+		ft.SrcPort = f.TCP.SrcPort
+		ft.DstPort = f.TCP.DstPort
+	case f.UDP != nil:
+		ft.SrcPort = f.UDP.SrcPort
+		ft.DstPort = f.UDP.DstPort
+	default:
+		return FiveTuple{}, false
+	}
+	return ft, true
+}
+
+// Reverse returns the tuple with the endpoints swapped.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		Src: ft.Dst, Dst: ft.Src,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// Canonical returns a direction-independent form of the tuple: the
+// lexicographically smaller endpoint is placed first. Both directions of a
+// connection therefore share one canonical tuple, which is what per-flow
+// sampling and per-connection parsers key on.
+func (ft FiveTuple) Canonical() FiveTuple {
+	a := endpointKey(ft.Src, ft.SrcPort)
+	b := endpointKey(ft.Dst, ft.DstPort)
+	if a <= b {
+		return ft
+	}
+	return ft.Reverse()
+}
+
+func endpointKey(ip netip.Addr, port uint16) uint64 {
+	b := ip.As4()
+	return uint64(binary.BigEndian.Uint32(b[:]))<<16 | uint64(port)
+}
+
+// Hash returns an FNV-1a hash of the tuple, suitable for sampling decisions
+// and worker dispatch.
+func (ft FiveTuple) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	src, dst := ft.Src.As4(), ft.Dst.As4()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(ft.SrcPort >> 8))
+	mix(byte(ft.SrcPort))
+	mix(byte(ft.DstPort >> 8))
+	mix(byte(ft.DstPort))
+	mix(ft.Proto)
+	return h
+}
+
+// CanonicalHash returns the hash of the canonical (direction-independent)
+// tuple, so both directions of a connection hash identically.
+func (ft FiveTuple) CanonicalHash() uint64 { return ft.Canonical().Hash() }
+
+// String renders the tuple as "proto src:port->dst:port".
+func (ft FiveTuple) String() string {
+	proto := "ip"
+	switch ft.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d->%s:%d", proto, ft.Src, ft.SrcPort, ft.Dst, ft.DstPort)
+}
+
+// Checksum computes the RFC 1071 internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,283 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcAddr = netip.MustParseAddr("10.0.2.8")
+	dstAddr = netip.MustParseAddr("10.0.2.9")
+)
+
+func buildTCP(t *testing.T, flags uint8, payload []byte) []byte {
+	t.Helper()
+	var b Builder
+	return b.TCP(TCPSpec{
+		Src: srcAddr, Dst: dstAddr,
+		SrcPort: 5555, DstPort: 80,
+		Seq: 1000, Ack: 2000,
+		Flags: flags, Payload: payload,
+	})
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	payload := []byte("GET /index.html HTTP/1.1\r\n\r\n")
+	raw := buildTCP(t, TCPFlagPSH|TCPFlagACK, payload)
+
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if f.IP.Src != srcAddr || f.IP.Dst != dstAddr {
+		t.Errorf("IP addrs = %v -> %v, want %v -> %v", f.IP.Src, f.IP.Dst, srcAddr, dstAddr)
+	}
+	if f.IP.Protocol != ProtoTCP {
+		t.Errorf("Protocol = %d, want %d", f.IP.Protocol, ProtoTCP)
+	}
+	if f.TCP == nil {
+		t.Fatal("TCP header missing")
+	}
+	if f.TCP.SrcPort != 5555 || f.TCP.DstPort != 80 {
+		t.Errorf("ports = %d -> %d, want 5555 -> 80", f.TCP.SrcPort, f.TCP.DstPort)
+	}
+	if f.TCP.Seq != 1000 || f.TCP.Ack != 2000 {
+		t.Errorf("seq/ack = %d/%d, want 1000/2000", f.TCP.Seq, f.TCP.Ack)
+	}
+	if !f.TCP.ACK() || f.TCP.SYN() || f.TCP.FIN() || f.TCP.RST() {
+		t.Errorf("flags = %06b, want only PSH|ACK set", f.TCP.Flags)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Errorf("payload = %q, want %q", f.Payload, payload)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	var b Builder
+	payload := []byte("get somekey\r\n")
+	raw := b.UDP(UDPSpec{Src: srcAddr, Dst: dstAddr, SrcPort: 4000, DstPort: 11211, Payload: payload})
+
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if f.UDP == nil {
+		t.Fatal("UDP header missing")
+	}
+	if f.UDP.SrcPort != 4000 || f.UDP.DstPort != 11211 {
+		t.Errorf("ports = %d -> %d, want 4000 -> 11211", f.UDP.SrcPort, f.UDP.DstPort)
+	}
+	if int(f.UDP.Length) != UDPHeaderLen+len(payload) {
+		t.Errorf("UDP length = %d, want %d", f.UDP.Length, UDPHeaderLen+len(payload))
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Errorf("payload = %q, want %q", f.Payload, payload)
+	}
+}
+
+func TestChecksumsValid(t *testing.T) {
+	raw := buildTCP(t, TCPFlagSYN, nil)
+	if !VerifyIPv4Checksum(raw) {
+		t.Error("IPv4 checksum invalid on built frame")
+	}
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !VerifyTransportChecksum(f) {
+		t.Error("TCP checksum invalid on built frame")
+	}
+
+	// Corrupt one payload-free header byte and the transport checksum must fail.
+	raw2 := buildTCP(t, TCPFlagSYN, []byte("x"))
+	raw2[len(raw2)-1] ^= 0xff
+	f2, err := Decode(raw2)
+	if err != nil {
+		t.Fatalf("Decode corrupted: %v", err)
+	}
+	if VerifyTransportChecksum(f2) {
+		t.Error("TCP checksum verified on corrupted frame")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var b Builder
+	good := b.TCP(TCPSpec{Src: srcAddr, Dst: dstAddr, SrcPort: 1, DstPort: 2})
+
+	tests := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", good[:10], ErrTruncated},
+		{"truncated transport", good[:MinFrameLen+4], ErrTruncated},
+		{"not ipv4 ethertype", withByte(good, 12, 0x08, 0x06), ErrNotIPv4},
+		{"bad ip version", withByte(good, EthernetHeaderLen, 0x65), ErrBadVersion},
+		{"options ihl", withByte(good, EthernetHeaderLen, 0x46), ErrBadIHL},
+		{"unknown protocol", withByte(good, EthernetHeaderLen+9, 99), ErrBadProtocol},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.raw); !errors.Is(err, tt.want) {
+				t.Errorf("Decode: err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func withByte(raw []byte, off int, vals ...byte) []byte {
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	copy(out[off:], vals)
+	return out
+}
+
+func TestFlowTuple(t *testing.T) {
+	raw := buildTCP(t, TCPFlagACK, nil)
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	ft, ok := f.FlowTuple()
+	if !ok {
+		t.Fatal("FlowTuple: not ok")
+	}
+	want := FiveTuple{Src: srcAddr, Dst: dstAddr, SrcPort: 5555, DstPort: 80, Proto: ProtoTCP}
+	if ft != want {
+		t.Errorf("tuple = %v, want %v", ft, want)
+	}
+	if got := ft.String(); got != "tcp 10.0.2.8:5555->10.0.2.9:80" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCanonicalSymmetry(t *testing.T) {
+	ft := FiveTuple{Src: srcAddr, Dst: dstAddr, SrcPort: 5555, DstPort: 80, Proto: ProtoTCP}
+	rev := ft.Reverse()
+	if ft.Canonical() != rev.Canonical() {
+		t.Errorf("Canonical differs across directions: %v vs %v", ft.Canonical(), rev.Canonical())
+	}
+	if ft.CanonicalHash() != rev.CanonicalHash() {
+		t.Error("CanonicalHash differs across directions")
+	}
+	if ft.Hash() == rev.Hash() {
+		t.Error("directional Hash unexpectedly identical; hash too weak")
+	}
+}
+
+func randomTuple(r *rand.Rand) FiveTuple {
+	var a, b [4]byte
+	r.Read(a[:])
+	r.Read(b[:])
+	return FiveTuple{
+		Src:     netip.AddrFrom4(a),
+		Dst:     netip.AddrFrom4(b),
+		SrcPort: uint16(r.Intn(65536)),
+		DstPort: uint16(r.Intn(65536)),
+		Proto:   ProtoTCP,
+	}
+}
+
+// Property: canonicalization is idempotent and direction-independent for
+// arbitrary tuples.
+func TestCanonicalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		ft := randomTuple(r)
+		c := ft.Canonical()
+		return c.Canonical() == c && ft.Reverse().Canonical() == c
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: build→decode round-trips arbitrary payloads bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var b Builder
+	prop := func() bool {
+		ft := randomTuple(r)
+		payload := make([]byte, r.Intn(1200))
+		r.Read(payload)
+		raw := b.TCP(TCPSpec{
+			Src: ft.Src, Dst: ft.Dst, SrcPort: ft.SrcPort, DstPort: ft.DstPort,
+			Seq: r.Uint32(), Flags: TCPFlagACK, Payload: payload,
+		})
+		f, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		got, ok := f.FlowTuple()
+		return ok && got == ft && bytes.Equal(f.Payload, payload) &&
+			VerifyIPv4Checksum(raw) && VerifyTransportChecksum(f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumKnownValues(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d (ones complement of 0xddf2).
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd-length input exercises the trailing-byte path.
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd Checksum = %#04x", got)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0x00, 0x0a, 0x00, 0x02, 0x08}
+	if got := m.String(); got != "02:00:0a:00:02:08" {
+		t.Errorf("MAC.String = %q", got)
+	}
+}
+
+func TestDecodeReuse(t *testing.T) {
+	var f Frame
+	rawTCP := buildTCP(t, TCPFlagSYN, nil)
+	var b Builder
+	rawUDP := b.UDP(UDPSpec{Src: srcAddr, Dst: dstAddr, SrcPort: 9, DstPort: 10})
+
+	if err := f.Decode(rawTCP); err != nil {
+		t.Fatalf("Decode tcp: %v", err)
+	}
+	if f.TCP == nil || f.UDP != nil {
+		t.Fatal("want TCP view after first decode")
+	}
+	if err := f.Decode(rawUDP); err != nil {
+		t.Fatalf("Decode udp: %v", err)
+	}
+	if f.UDP == nil || f.TCP != nil {
+		t.Fatal("stale TCP view after reuse")
+	}
+}
+
+func BenchmarkDecodeTCP(b *testing.B) {
+	var builder Builder
+	raw := builder.TCP(TCPSpec{Src: srcAddr, Dst: dstAddr, SrcPort: 5555, DstPort: 80, Payload: make([]byte, 512)})
+	var f Frame
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiveTupleHash(b *testing.B) {
+	ft := FiveTuple{Src: srcAddr, Dst: dstAddr, SrcPort: 5555, DstPort: 80, Proto: ProtoTCP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ft.Hash()
+	}
+}

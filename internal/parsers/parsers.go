@@ -1,0 +1,359 @@
+// Package parsers provides the common NetAlytics parsers of Table 1:
+//
+//	tcp_flow_key    Net  extract src_ip, dst_ip, src_port, dst_port
+//	tcp_conn_time   Net  detect SYN/FIN/RST flags
+//	tcp_pkt_size    Net  calculate tcp packet size
+//	memcached_get   App  parse memcached get request
+//	http_get        App  parse http get request and response
+//	mysql_query     App  parse mysql query and response
+//
+// plus tcp_flow_stats, a NetFlow-style per-flow accounting parser added as
+// an extension (§2's custom-parser interface makes this a few dozen lines).
+//
+// Parsers are deliberately lightweight (§3.1): they extract a small amount
+// of data per packet and defer all heavier processing to the streaming
+// analytics layer. Thanks to the monitor's flow-affinity dispatch, each
+// instance may keep per-flow state without locks.
+package parsers
+
+import (
+	"fmt"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/proto"
+	"netalytics/internal/tuple"
+)
+
+// Event keys used by the network-layer parsers.
+const (
+	KeyFlow  = "flow"
+	KeyStart = "start"
+	KeyEnd   = "end"
+	KeySize  = "size"
+	KeyBytes = "bytes"
+	KeyPkts  = "pkts"
+)
+
+// Registry maps parser names to factories; the query compiler validates
+// PARSE clauses against it.
+var Registry = map[string]monitor.Factory{
+	"tcp_flow_key":   func() monitor.Parser { return NewTCPFlowKey() },
+	"tcp_conn_time":  func() monitor.Parser { return NewTCPConnTime() },
+	"tcp_pkt_size":   func() monitor.Parser { return NewTCPPktSize() },
+	"http_get":       func() monitor.Parser { return NewHTTPGet() },
+	"memcached_get":  func() monitor.Parser { return NewMemcachedGet() },
+	"mysql_query":    func() monitor.Parser { return NewMySQLQuery() },
+	"tcp_flow_stats": func() monitor.Parser { return NewTCPFlowStats() },
+}
+
+// Lookup returns the factory for a parser name.
+func Lookup(name string) (monitor.Factory, error) {
+	f, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("parsers: unknown parser %q", name)
+	}
+	return f, nil
+}
+
+// Names lists the registered parser names.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	return out
+}
+
+// base fills the shared tuple fields from a packet descriptor.
+func base(p *monitor.Packet) tuple.Tuple {
+	return tuple.Tuple{
+		FlowID:  p.FlowID,
+		TS:      p.TS.UnixNano(),
+		SrcIP:   p.Tuple.Src.String(),
+		DstIP:   p.Tuple.Dst.String(),
+		SrcPort: p.Tuple.SrcPort,
+		DstPort: p.Tuple.DstPort,
+	}
+}
+
+// TCPFlowKey emits the five-tuple of each flow exactly once, on the flow's
+// first observed packet.
+type TCPFlowKey struct {
+	seen map[uint64]struct{}
+}
+
+// NewTCPFlowKey returns a tcp_flow_key parser instance.
+func NewTCPFlowKey() *TCPFlowKey {
+	return &TCPFlowKey{seen: make(map[uint64]struct{})}
+}
+
+// Name implements monitor.Parser.
+func (p *TCPFlowKey) Name() string { return "tcp_flow_key" }
+
+// Handle implements monitor.Parser.
+func (p *TCPFlowKey) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	if pkt.Frame.TCP == nil {
+		return
+	}
+	if _, ok := p.seen[pkt.FlowID]; ok {
+		return
+	}
+	p.seen[pkt.FlowID] = struct{}{}
+	t := base(pkt)
+	t.Key = KeyFlow
+	emit(t)
+}
+
+// TCPConnTime watches SYN/FIN/RST flags and emits a "start" tuple when a
+// connection opens and an "end" tuple when it terminates; the diff topology
+// block downstream subtracts the two to produce connection durations (§7.1).
+type TCPConnTime struct {
+	open map[uint64]struct{}
+}
+
+// NewTCPConnTime returns a tcp_conn_time parser instance.
+func NewTCPConnTime() *TCPConnTime {
+	return &TCPConnTime{open: make(map[uint64]struct{})}
+}
+
+// Name implements monitor.Parser.
+func (p *TCPConnTime) Name() string { return "tcp_conn_time" }
+
+// Handle implements monitor.Parser.
+func (p *TCPConnTime) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	tcp := pkt.Frame.TCP
+	if tcp == nil {
+		return
+	}
+	switch {
+	case tcp.SYN() && !tcp.ACK():
+		if _, dup := p.open[pkt.FlowID]; dup {
+			return // retransmitted SYN
+		}
+		p.open[pkt.FlowID] = struct{}{}
+		t := base(pkt)
+		t.Key = KeyStart
+		t.Val = float64(pkt.TS.UnixNano())
+		emit(t)
+	case tcp.FIN() || tcp.RST():
+		if _, ok := p.open[pkt.FlowID]; !ok {
+			return // already ended (second FIN) or never seen
+		}
+		delete(p.open, pkt.FlowID)
+		t := base(pkt)
+		t.Key = KeyEnd
+		t.Val = float64(pkt.TS.UnixNano())
+		emit(t)
+	}
+}
+
+// TCPPktSize emits the TCP payload size of every packet, feeding throughput
+// analyses such as the group-sum processor of §7.1.
+type TCPPktSize struct{}
+
+// NewTCPPktSize returns a tcp_pkt_size parser instance.
+func NewTCPPktSize() *TCPPktSize { return &TCPPktSize{} }
+
+// Name implements monitor.Parser.
+func (p *TCPPktSize) Name() string { return "tcp_pkt_size" }
+
+// Handle implements monitor.Parser.
+func (p *TCPPktSize) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	if pkt.Frame.TCP == nil {
+		return
+	}
+	t := base(pkt)
+	t.Key = KeySize
+	t.Val = float64(len(pkt.Frame.Payload))
+	emit(t)
+}
+
+// HTTPGet parses HTTP GET requests (emitting the URL) and responses
+// (emitting the status code). Per the paper, the application-specific logic
+// is a handful of lines over the protocol library.
+type HTTPGet struct{}
+
+// NewHTTPGet returns an http_get parser instance.
+func NewHTTPGet() *HTTPGet { return &HTTPGet{} }
+
+// Name implements monitor.Parser.
+func (p *HTTPGet) Name() string { return "http_get" }
+
+// Handle implements monitor.Parser.
+func (p *HTTPGet) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	payload := pkt.Frame.Payload
+	if pkt.Frame.TCP == nil || len(payload) == 0 {
+		return
+	}
+	if req, err := proto.ParseHTTPRequest(payload); err == nil {
+		if req.Method != "GET" {
+			return
+		}
+		t := base(pkt)
+		t.Key = req.URL
+		emit(t)
+		return
+	}
+	if resp, err := proto.ParseHTTPResponse(payload); err == nil {
+		// Responses carry no countable key: the status rides in Val so
+		// URL-counting topologies are not polluted by response tuples.
+		t := base(pkt)
+		t.Val = float64(resp.Status)
+		emit(t)
+	}
+}
+
+// MemcachedGet extracts the key of memcached get requests.
+type MemcachedGet struct{}
+
+// NewMemcachedGet returns a memcached_get parser instance.
+func NewMemcachedGet() *MemcachedGet { return &MemcachedGet{} }
+
+// Name implements monitor.Parser.
+func (p *MemcachedGet) Name() string { return "memcached_get" }
+
+// Handle implements monitor.Parser.
+func (p *MemcachedGet) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	payload := pkt.Frame.Payload
+	if len(payload) == 0 {
+		return
+	}
+	key, err := proto.ParseMemcachedGet(payload)
+	if err != nil {
+		return
+	}
+	t := base(pkt)
+	t.Key = key
+	emit(t)
+}
+
+// TCPFlowStats accumulates NetFlow-style per-flow records — packet and
+// payload byte counts — and emits them when the flow terminates (FIN/RST)
+// or the monitor shuts down. It extends Table 1 with the aggregate-record
+// style of export the paper contrasts NetAlytics against (NetFlow), but on
+// the same on-demand deployment path. Each finished flow produces two
+// tuples sharing the flow ID: one keyed "bytes" and one keyed "pkts".
+type TCPFlowStats struct {
+	flows map[uint64]*flowStats
+	// closed remembers exported flows so trailing segments (the peer's
+	// FIN|ACK, retransmissions) do not spawn a second record.
+	closed map[uint64]struct{}
+}
+
+type flowStats struct {
+	sample  tuple.Tuple // header fields of the first packet
+	packets float64
+	bytes   float64
+}
+
+// NewTCPFlowStats returns a tcp_flow_stats parser instance.
+func NewTCPFlowStats() *TCPFlowStats {
+	return &TCPFlowStats{
+		flows:  make(map[uint64]*flowStats),
+		closed: make(map[uint64]struct{}),
+	}
+}
+
+// Name implements monitor.Parser.
+func (p *TCPFlowStats) Name() string { return "tcp_flow_stats" }
+
+// Handle implements monitor.Parser.
+func (p *TCPFlowStats) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	tcp := pkt.Frame.TCP
+	if tcp == nil {
+		return
+	}
+	if _, done := p.closed[pkt.FlowID]; done {
+		return
+	}
+	st, ok := p.flows[pkt.FlowID]
+	if !ok {
+		st = &flowStats{sample: base(pkt)}
+		p.flows[pkt.FlowID] = st
+	}
+	st.packets++
+	st.bytes += float64(len(pkt.Frame.Payload))
+	if tcp.FIN() || tcp.RST() {
+		p.emitFlow(pkt.FlowID, st, emit)
+		delete(p.flows, pkt.FlowID)
+		p.closed[pkt.FlowID] = struct{}{}
+	}
+}
+
+// Flush implements monitor.Flusher: still-open flows export their counters
+// at shutdown, like a NetFlow active-timeout export.
+func (p *TCPFlowStats) Flush(emit monitor.EmitFunc) {
+	for id, st := range p.flows {
+		p.emitFlow(id, st, emit)
+	}
+	clear(p.flows)
+}
+
+func (p *TCPFlowStats) emitFlow(id uint64, st *flowStats, emit monitor.EmitFunc) {
+	bytesT := st.sample
+	bytesT.Key = KeyBytes
+	bytesT.Val = st.bytes
+	emit(bytesT)
+	pktsT := st.sample
+	pktsT.Key = KeyPkts
+	pktsT.Val = st.packets
+	emit(pktsT)
+}
+
+// MySQLQuery observes the mini-MySQL stream and pairs each COM_QUERY with
+// its response, emitting per-query latency tuples keyed by the SQL text.
+// Because several queries can share one TCP connection, connection-level
+// timing cannot see individual queries — this parser is the paper's answer
+// (§7.2, Fig. 15).
+type MySQLQuery struct {
+	pending map[uint64]pendingQuery
+}
+
+type pendingQuery struct {
+	sql   string
+	start time.Time
+}
+
+// NewMySQLQuery returns a mysql_query parser instance.
+func NewMySQLQuery() *MySQLQuery {
+	return &MySQLQuery{pending: make(map[uint64]pendingQuery)}
+}
+
+// Name implements monitor.Parser.
+func (p *MySQLQuery) Name() string { return "mysql_query" }
+
+// Handle implements monitor.Parser.
+func (p *MySQLQuery) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	payload := pkt.Frame.Payload
+	if pkt.Frame.TCP == nil || len(payload) == 0 {
+		return
+	}
+	for len(payload) > 0 {
+		frame, n, err := proto.ParseMySQLFrame(payload)
+		if err != nil {
+			return
+		}
+		payload = payload[n:]
+		switch frame.Command {
+		case proto.MySQLComQuery:
+			p.pending[pkt.FlowID] = pendingQuery{sql: string(frame.Body), start: pkt.TS}
+		case proto.MySQLComOK, proto.MySQLComErr:
+			q, ok := p.pending[pkt.FlowID]
+			if !ok {
+				continue
+			}
+			delete(p.pending, pkt.FlowID)
+			t := base(pkt)
+			t.Key = q.sql
+			t.Val = float64(pkt.TS.Sub(q.start).Nanoseconds())
+			emit(t)
+		}
+	}
+}
+
+// Flush implements monitor.Flusher: queries still awaiting responses at
+// shutdown are dropped, but the count could be reported here if needed.
+func (p *MySQLQuery) Flush(emit monitor.EmitFunc) {
+	clear(p.pending)
+}

@@ -1,0 +1,351 @@
+package parsers
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/packet"
+	"netalytics/internal/proto"
+	"netalytics/internal/tuple"
+)
+
+var (
+	cliAddr = netip.MustParseAddr("10.0.2.8")
+	srvAddr = netip.MustParseAddr("10.0.2.9")
+)
+
+// mkPacket builds a monitor packet descriptor from a raw frame.
+func mkPacket(t *testing.T, raw []byte, ts time.Time) *monitor.Packet {
+	t.Helper()
+	pkt := &monitor.Packet{TS: ts}
+	if err := pkt.Frame.Decode(raw); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	ft, ok := pkt.Frame.FlowTuple()
+	if !ok {
+		t.Fatal("no flow tuple")
+	}
+	pkt.Tuple = ft
+	pkt.FlowID = ft.CanonicalHash()
+	return pkt
+}
+
+func tcpFrame(flags uint8, srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: cliAddr, Dst: srvAddr,
+		SrcPort: srcPort, DstPort: dstPort,
+		Flags: flags, Payload: payload,
+	})
+}
+
+// tcpFrameRev builds a server->client frame (the reverse direction of
+// tcpFrame), so both directions share a canonical flow ID.
+func tcpFrameRev(flags uint8, srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: srvAddr, Dst: cliAddr,
+		SrcPort: srcPort, DstPort: dstPort,
+		Flags: flags, Payload: payload,
+	})
+}
+
+// collect runs a parser over raw frames and returns emitted tuples.
+func collect(t *testing.T, p monitor.Parser, frames ...[]byte) []tuple.Tuple {
+	t.Helper()
+	var out []tuple.Tuple
+	emit := func(tu tuple.Tuple) { out = append(out, tu) }
+	ts := time.Unix(1000, 0)
+	for i, raw := range frames {
+		p.Handle(mkPacket(t, raw, ts.Add(time.Duration(i)*time.Millisecond)), emit)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"tcp_flow_key", "tcp_conn_time", "tcp_pkt_size", "http_get", "memcached_get", "mysql_query", "tcp_flow_stats"}
+	if len(Names()) != len(want) {
+		t.Errorf("registry has %d parsers, want %d", len(Names()), len(want))
+	}
+	for _, name := range want {
+		f, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if got := f().Name(); got != name {
+			t.Errorf("factory for %q builds parser named %q", name, got)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestTCPFlowKeyEmitsOncePerFlow(t *testing.T) {
+	p := NewTCPFlowKey()
+	f1 := tcpFrame(packet.TCPFlagSYN, 5555, 80, nil)
+	f2 := tcpFrame(packet.TCPFlagACK, 5555, 80, []byte("data"))
+	f3 := tcpFrame(packet.TCPFlagSYN, 5556, 80, nil) // second flow
+	got := collect(t, p, f1, f2, f3)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d tuples, want 2 (one per flow)", len(got))
+	}
+	tu := got[0]
+	if tu.Key != KeyFlow || tu.SrcIP != "10.0.2.8" || tu.DstIP != "10.0.2.9" ||
+		tu.SrcPort != 5555 || tu.DstPort != 80 {
+		t.Errorf("tuple = %+v", tu)
+	}
+}
+
+func TestTCPConnTimeStartEnd(t *testing.T) {
+	p := NewTCPConnTime()
+	frames := [][]byte{
+		tcpFrame(packet.TCPFlagSYN, 5555, 80, nil),
+		tcpFrame(packet.TCPFlagSYN, 5555, 80, nil), // retransmit: ignored
+		tcpFrame(packet.TCPFlagACK|packet.TCPFlagPSH, 5555, 80, []byte("x")),
+		tcpFrame(packet.TCPFlagFIN, 5555, 80, nil),
+		tcpFrame(packet.TCPFlagFIN|packet.TCPFlagACK, 5555, 80, nil), // post-end: ignored
+	}
+	got := collect(t, p, frames...)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d tuples, want 2", len(got))
+	}
+	if got[0].Key != KeyStart || got[1].Key != KeyEnd {
+		t.Errorf("keys = %q, %q", got[0].Key, got[1].Key)
+	}
+	if got[1].Val <= got[0].Val {
+		t.Errorf("end %v not after start %v", got[1].Val, got[0].Val)
+	}
+	if got[0].FlowID != got[1].FlowID {
+		t.Error("start/end tuples carry different flow IDs")
+	}
+}
+
+func TestTCPConnTimeRSTEndsFlow(t *testing.T) {
+	p := NewTCPConnTime()
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagSYN, 6000, 80, nil),
+		tcpFrame(packet.TCPFlagRST, 6000, 80, nil),
+	)
+	if len(got) != 2 || got[1].Key != KeyEnd {
+		t.Fatalf("tuples = %+v", got)
+	}
+}
+
+func TestTCPConnTimeSynAckIsNotStart(t *testing.T) {
+	p := NewTCPConnTime()
+	got := collect(t, p, tcpFrame(packet.TCPFlagSYN|packet.TCPFlagACK, 80, 5555, nil))
+	if len(got) != 0 {
+		t.Errorf("SYN|ACK emitted %+v, want nothing", got)
+	}
+}
+
+func TestTCPPktSize(t *testing.T) {
+	p := NewTCPPktSize()
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagACK, 5555, 80, make([]byte, 100)),
+		tcpFrame(packet.TCPFlagACK, 5555, 80, make([]byte, 250)),
+	)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d, want 2", len(got))
+	}
+	if got[0].Val != 100 || got[1].Val != 250 {
+		t.Errorf("sizes = %v, %v", got[0].Val, got[1].Val)
+	}
+}
+
+func TestHTTPGetRequestAndResponse(t *testing.T) {
+	p := NewHTTPGet()
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagPSH, 5555, 80, proto.BuildHTTPGet("/films/a.php", "h1")),
+		tcpFrameRev(packet.TCPFlagPSH, 80, 5555, proto.BuildHTTPResponse(200, []byte("ok"))),
+		tcpFrame(packet.TCPFlagACK, 5555, 80, nil),                           // empty: ignored
+		tcpFrame(packet.TCPFlagPSH, 5555, 80, []byte("POST / HTTP/1.1\r\n")), // non-GET: ignored
+	)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d tuples, want 2: %+v", len(got), got)
+	}
+	if got[0].Key != "/films/a.php" {
+		t.Errorf("request key = %q", got[0].Key)
+	}
+	if got[1].Key != "" || got[1].Val != 200 {
+		t.Errorf("response tuple = %+v, want empty key with status in Val", got[1])
+	}
+}
+
+func TestMemcachedGet(t *testing.T) {
+	p := NewMemcachedGet()
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagPSH, 5555, 11211, proto.BuildMemcachedGet("user:7")),
+		tcpFrameRev(packet.TCPFlagPSH, 11211, 5555, proto.BuildMemcachedValue("user:7", []byte("v"))),
+	)
+	if len(got) != 1 {
+		t.Fatalf("emitted %d, want 1 (requests only)", len(got))
+	}
+	if got[0].Key != "user:7" {
+		t.Errorf("key = %q", got[0].Key)
+	}
+}
+
+func TestMySQLQueryLatency(t *testing.T) {
+	p := NewMySQLQuery()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+
+	t0 := time.Unix(1000, 0)
+	q := mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 3306, proto.BuildMySQLQuery(0, "SELECT 1")), t0)
+	r := mkPacket(t, tcpFrameRev(packet.TCPFlagPSH, 3306, 5555, proto.BuildMySQLOK(1, []byte("row"))), t0.Add(7*time.Millisecond))
+	p.Handle(q, emit)
+	p.Handle(r, emit)
+
+	if len(got) != 1 {
+		t.Fatalf("emitted %d, want 1", len(got))
+	}
+	tu := got[0]
+	if tu.Key != "SELECT 1" {
+		t.Errorf("key = %q", tu.Key)
+	}
+	if want := float64(7 * time.Millisecond); tu.Val != want {
+		t.Errorf("latency = %v ns, want %v", tu.Val, want)
+	}
+}
+
+func TestMySQLMultipleQueriesOneConnection(t *testing.T) {
+	// §7.2: several queries share one TCP connection; each must get its own
+	// latency tuple.
+	p := NewMySQLQuery()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	for i, sql := range []string{"SELECT a", "SELECT b", "SELECT c"} {
+		q := mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 3306, proto.BuildMySQLQuery(uint8(i), sql)), t0.Add(time.Duration(i)*time.Second))
+		r := mkPacket(t, tcpFrameRev(packet.TCPFlagPSH, 3306, 5555, proto.BuildMySQLOK(uint8(i), nil)), t0.Add(time.Duration(i)*time.Second+time.Duration(i+1)*time.Millisecond))
+		p.Handle(q, emit)
+		p.Handle(r, emit)
+	}
+	if len(got) != 3 {
+		t.Fatalf("emitted %d, want 3", len(got))
+	}
+	for i, tu := range got {
+		want := float64(time.Duration(i+1) * time.Millisecond)
+		if tu.Val != want {
+			t.Errorf("query %d latency = %v, want %v", i, tu.Val, want)
+		}
+	}
+}
+
+func TestMySQLResponseWithoutQueryIgnored(t *testing.T) {
+	p := NewMySQLQuery()
+	got := collect(t, p, tcpFrameRev(packet.TCPFlagPSH, 3306, 5555, proto.BuildMySQLOK(0, nil)))
+	if len(got) != 0 {
+		t.Errorf("emitted %+v, want nothing", got)
+	}
+}
+
+func TestTCPFlowStats(t *testing.T) {
+	p := NewTCPFlowStats()
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagSYN, 5555, 80, nil),
+		tcpFrame(packet.TCPFlagACK|packet.TCPFlagPSH, 5555, 80, make([]byte, 100)),
+		tcpFrameRev(packet.TCPFlagACK|packet.TCPFlagPSH, 80, 5555, make([]byte, 400)),
+		tcpFrame(packet.TCPFlagFIN, 5555, 80, nil),
+	)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d tuples, want 2 (bytes + pkts)", len(got))
+	}
+	byKey := map[string]float64{}
+	for _, tu := range got {
+		byKey[tu.Key] = tu.Val
+	}
+	if byKey[KeyBytes] != 500 {
+		t.Errorf("bytes = %v, want 500", byKey[KeyBytes])
+	}
+	if byKey[KeyPkts] != 4 {
+		t.Errorf("pkts = %v, want 4", byKey[KeyPkts])
+	}
+}
+
+func TestTCPFlowStatsNoDoubleExport(t *testing.T) {
+	// The peer's FIN|ACK after the flow exported must not create a second
+	// record for the same connection.
+	p := NewTCPFlowStats()
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagSYN, 7000, 80, nil),
+		tcpFrame(packet.TCPFlagFIN, 7000, 80, nil),
+		tcpFrameRev(packet.TCPFlagFIN|packet.TCPFlagACK, 80, 7000, nil),
+	)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d tuples, want 2 (one record)", len(got))
+	}
+}
+
+func TestTCPFlowStatsFlushExportsOpenFlows(t *testing.T) {
+	p := NewTCPFlowStats()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagACK, 6000, 80, make([]byte, 10)), time.Unix(0, 0)), emit)
+	if len(got) != 0 {
+		t.Fatalf("open flow exported early: %+v", got)
+	}
+	p.Flush(emit)
+	if len(got) != 2 {
+		t.Fatalf("flush emitted %d tuples, want 2", len(got))
+	}
+	p.Flush(emit)
+	if len(got) != 2 {
+		t.Errorf("second flush re-exported flows")
+	}
+}
+
+func TestParsersIgnoreNonTCP(t *testing.T) {
+	var b packet.Builder
+	udp := b.UDP(packet.UDPSpec{Src: cliAddr, Dst: srvAddr, SrcPort: 5, DstPort: 6, Payload: []byte("x")})
+	for name, factory := range Registry {
+		if name == "memcached_get" {
+			continue // memcached may legitimately ride UDP
+		}
+		p := factory()
+		if got := collect(t, p, udp); len(got) != 0 {
+			t.Errorf("%s emitted %+v for UDP frame", name, got)
+		}
+	}
+}
+
+func BenchmarkHTTPGetParser(b *testing.B) {
+	p := NewHTTPGet()
+	raw := tcpFrame(packet.TCPFlagPSH, 5555, 80, proto.BuildHTTPGet("/films/very/long/url/path.php", "h1"))
+	pkt := &monitor.Packet{TS: time.Now()}
+	if err := pkt.Frame.Decode(raw); err != nil {
+		b.Fatal(err)
+	}
+	ft, _ := pkt.Frame.FlowTuple()
+	pkt.Tuple = ft
+	pkt.FlowID = ft.CanonicalHash()
+	emit := func(tuple.Tuple) {}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Handle(pkt, emit)
+	}
+}
+
+func BenchmarkTCPConnTimeParser(b *testing.B) {
+	p := NewTCPConnTime()
+	raw := tcpFrame(packet.TCPFlagACK, 5555, 80, make([]byte, 512))
+	pkt := &monitor.Packet{TS: time.Now()}
+	if err := pkt.Frame.Decode(raw); err != nil {
+		b.Fatal(err)
+	}
+	ft, _ := pkt.Frame.FlowTuple()
+	pkt.Tuple = ft
+	pkt.FlowID = ft.CanonicalHash()
+	emit := func(tuple.Tuple) {}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Handle(pkt, emit)
+	}
+}

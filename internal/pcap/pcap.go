@@ -1,0 +1,152 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (tcpdump's native file format), so traffic mirrored by NetAlytics taps can
+// be saved and inspected with standard tools — the escape hatch the paper's
+// related work (tcpdump, OFRewind) provides for offline analysis.
+//
+// Only the original microsecond-resolution format (magic 0xa1b2c3d4,
+// version 2.4, LINKTYPE_ETHERNET) is implemented; that is what tcpdump and
+// wireshark read by default.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicMicroseconds = 0xa1b2c3d4
+	versionMajor      = 2
+	versionMinor      = 4
+	linkTypeEthernet  = 1
+
+	// DefaultSnapLen is the per-packet capture limit.
+	DefaultSnapLen = 65535
+
+	globalHeaderLen = 24
+	recordHeaderLen = 16
+)
+
+// Format errors.
+var (
+	ErrBadMagic  = errors.New("pcap: bad magic (not a microsecond pcap file)")
+	ErrTruncated = errors.New("pcap: truncated file")
+)
+
+// Writer emits a pcap stream. Create one with NewWriter.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	packets uint64
+	hdr     [recordHeaderLen]byte
+}
+
+// NewWriter writes the global header and returns a packet writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [globalHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone (4) and sigfigs (4) stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing header: %w", err)
+	}
+	return &Writer{w: w, snapLen: DefaultSnapLen}, nil
+}
+
+// WritePacket appends one captured frame with the given timestamp. Frames
+// longer than the snap length are truncated, with the original length
+// recorded, as a capturing NIC would.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	captured := data
+	if uint32(len(captured)) > w.snapLen {
+		captured = captured[:w.snapLen]
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(w.hdr[8:12], uint32(len(captured)))
+	binary.LittleEndian.PutUint32(w.hdr[12:16], uint32(len(data)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(captured); err != nil {
+		return fmt.Errorf("pcap: writing record: %w", err)
+	}
+	w.packets++
+	return nil
+}
+
+// Packets returns the number of packets written.
+func (w *Writer) Packets() uint64 { return w.packets }
+
+// Packet is one record read from a capture.
+type Packet struct {
+	TS time.Time
+	// OrigLen is the packet's length on the wire; len(Data) may be smaller
+	// if the capture was truncated at the snap length.
+	OrigLen int
+	Data    []byte
+}
+
+// Reader consumes a pcap stream. Create one with NewReader.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader validates the global header and returns a packet reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [globalHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magicMicroseconds {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next returns the next packet, or io.EOF at the end of the capture.
+func (r *Reader) Next() (Packet, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:4])
+	usec := binary.LittleEndian.Uint32(hdr[4:8])
+	incl := binary.LittleEndian.Uint32(hdr[8:12])
+	orig := binary.LittleEndian.Uint32(hdr[12:16])
+	if incl > DefaultSnapLen {
+		return Packet{}, fmt.Errorf("pcap: implausible record length %d", incl)
+	}
+	data := make([]byte, incl)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	return Packet{
+		TS:      time.Unix(int64(sec), int64(usec)*1000),
+		OrigLen: int(orig),
+		Data:    data,
+	}, nil
+}
+
+// ReadAll drains the capture into memory.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

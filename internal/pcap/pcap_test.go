@@ -1,0 +1,212 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netalytics/internal/packet"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b packet.Builder
+	frames := [][]byte{
+		b.TCP(packet.TCPSpec{Src: addr("10.0.0.1"), Dst: addr("10.0.0.2"), SrcPort: 1, DstPort: 80, Payload: []byte("one")}),
+		b.TCP(packet.TCPSpec{Src: addr("10.0.0.2"), Dst: addr("10.0.0.1"), SrcPort: 80, DstPort: 1, Payload: []byte("two!")}),
+	}
+	ts := time.Unix(1700000000, 123456000)
+	for i, f := range frames {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets() != 2 {
+		t.Errorf("Packets = %d", w.Packets())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p.Data, frames[i]) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		if p.OrigLen != len(frames[i]) {
+			t.Errorf("packet %d OrigLen = %d", i, p.OrigLen)
+		}
+		want := ts.Add(time.Duration(i) * time.Second)
+		if p.TS.Unix() != want.Unix() || p.TS.Nanosecond()/1000 != want.Nanosecond()/1000 {
+			t.Errorf("packet %d ts = %v, want %v", i, p.TS, want)
+		}
+		// Frames in the capture remain decodable.
+		if _, err := packet.Decode(p.Data); err != nil {
+			t.Errorf("packet %d not decodable: %v", i, err)
+		}
+	}
+}
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestHeaderBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header len = %d", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != 0xa1b2c3d4 {
+		t.Errorf("magic = %#x", hdr[0:4])
+	}
+	if binary.LittleEndian.Uint16(hdr[4:6]) != 2 || binary.LittleEndian.Uint16(hdr[6:8]) != 4 {
+		t.Error("version != 2.4")
+	}
+	if binary.LittleEndian.Uint32(hdr[20:24]) != 1 {
+		t.Error("linktype != ethernet")
+	}
+}
+
+func TestTruncationAtSnapLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, DefaultSnapLen+100)
+	if err := w.WritePacket(time.Now(), big); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != DefaultSnapLen {
+		t.Errorf("captured %d bytes, want snaplen %d", len(p.Data), DefaultSnapLen)
+	}
+	if p.OrigLen != len(big) {
+		t.Errorf("OrigLen = %d, want %d", p.OrigLen, len(big))
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: err = %v", err)
+	}
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+
+	// Truncated record body.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Now(), []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated record: err = %v", err)
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty capture Next: err = %v", err)
+	}
+	got, err := r.ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Errorf("ReadAll = %v, %v", got, err)
+	}
+}
+
+// Property: arbitrary payload sets round-trip in order with exact bytes.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func() bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(20)
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			payloads[i] = make([]byte, rng.Intn(2000))
+			rng.Read(payloads[i])
+			if err := w.WritePacket(time.Unix(int64(i), 0), payloads[i]); err != nil {
+				return false
+			}
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Data, payloads[i]) || got[i].TS.Unix() != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 512)
+	ts := time.Now()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if err := w.WritePacket(ts, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package placement
+
+import (
+	"netalytics/internal/topology"
+)
+
+// Cost is the paper's evaluation of a placement (§6.2): the extra bandwidth
+// NetAlytics traffic consumes relative to the monitored workload, in both
+// plain hop-count and topology-weighted forms, plus the process count.
+type Cost struct {
+	// ExtraBandwidthPct is NetAlytics traffic (rate × hops) as a percentage
+	// of the workload's own rate × hops.
+	ExtraBandwidthPct float64
+	// WeightedExtraBandwidthPct weights each hop by its level (host-ToR 1,
+	// ToR-agg 2, agg-core 4) before taking the ratio.
+	WeightedExtraBandwidthPct float64
+	// Processes is the total number of placed NetAlytics processes.
+	Processes int
+}
+
+// Evaluate computes the cost of a placement over the monitored flows.
+// NetAlytics traffic consists of the extracted streams from each monitor to
+// its aggregator and from each aggregator to its processors; the mirror copy
+// from the covering ToR switch to the monitor rides a single rack-local link
+// and is excluded, matching the paper's monitor→aggregator definition.
+//
+// The percentage is taken relative to workload — the data center's entire
+// traffic, of which the monitored flows are a subset (§6.2 monitors up to
+// 300 K of ~1000 K flows). A nil workload falls back to the monitored flows
+// themselves.
+func Evaluate(topo *topology.FatTree, flows []Flow, p *Placement, params Params, workload []Flow) Cost {
+	params = params.withDefaults()
+	if workload == nil {
+		workload = flows
+	}
+
+	var workloadHops, workloadWeighted float64
+	for _, f := range workload {
+		workloadHops += f.Rate * float64(topo.HopCount(f.Src, f.Dst))
+		workloadWeighted += f.Rate * float64(topo.WeightedCost(f.Src, f.Dst))
+	}
+
+	var extraHops, extraWeighted float64
+	// Monitor -> aggregator: each monitor ships its extracted load.
+	for mi, m := range p.Monitors {
+		if mi >= len(p.MonAgg) {
+			break
+		}
+		agg := p.Aggregators[p.MonAgg[mi]]
+		extracted := m.Load * params.ExtractRatio
+		extraHops += extracted * float64(topo.HopCount(m.Host, agg.Host))
+		extraWeighted += extracted * float64(topo.WeightedCost(m.Host, agg.Host))
+	}
+	// Aggregator -> processors: all received data forwarded, split across
+	// the aggregator's processors.
+	for ai, a := range p.Aggregators {
+		if ai >= len(p.AggProcs) || len(p.AggProcs[ai]) == 0 {
+			continue
+		}
+		share := a.Load / float64(len(p.AggProcs[ai]))
+		for _, pi := range p.AggProcs[ai] {
+			proc := p.Processors[pi]
+			extraHops += share * float64(topo.HopCount(a.Host, proc.Host))
+			extraWeighted += share * float64(topo.WeightedCost(a.Host, proc.Host))
+		}
+	}
+
+	c := Cost{Processes: p.ProcessCount()}
+	if workloadHops > 0 {
+		c.ExtraBandwidthPct = extraHops / workloadHops * 100
+	}
+	if workloadWeighted > 0 {
+		c.WeightedExtraBandwidthPct = extraWeighted / workloadWeighted * 100
+	}
+	return c
+}

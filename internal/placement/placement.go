@@ -1,0 +1,509 @@
+// Package placement implements NetAlytics's monitor and analytics-engine
+// placement algorithms (§4.1, Algorithms 1 and 2) and the cost model used to
+// evaluate them (§6.2, Figs. 7–8).
+//
+// Monitors can only be placed under a ToR switch that covers a monitored
+// flow (one of the flow's endpoints racks), while aggregators and processors
+// are unconstrained. Three composed policies are evaluated in the paper:
+//
+//	Local-Random       random monitors, local-random analytics
+//	NetAlytics-Node    random monitors, first-fit analytics (fewest nodes)
+//	NetAlytics-Network greedy-cover monitors, greedy analytics (least traffic)
+//
+// Placement never mutates the topology's host resources; tentative
+// allocations are tracked internally so policies can be compared on one
+// topology.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netalytics/internal/topology"
+)
+
+// Flow is one monitored flow.
+type Flow struct {
+	Src, Dst *topology.Host
+	Rate     float64 // bits per second
+}
+
+// MonitorStrategy selects Algorithm 1's switch-choice rule.
+type MonitorStrategy int
+
+// Monitor strategies.
+const (
+	// MonitorRandom picks a random covering ToR switch each round.
+	MonitorRandom MonitorStrategy = iota + 1
+	// MonitorGreedy picks the ToR switch covering the most unmonitored flows.
+	MonitorGreedy
+)
+
+// AnalyticsStrategy selects how aggregators (and processors) are placed.
+type AnalyticsStrategy int
+
+// Analytics strategies.
+const (
+	// AnalyticsLocalRandom reuses an engine in the source's pod when one
+	// has capacity, otherwise places a new engine on a random host.
+	AnalyticsLocalRandom AnalyticsStrategy = iota + 1
+	// AnalyticsFirstFit fills the current engine completely before
+	// creating another (fewest engines, worst locality).
+	AnalyticsFirstFit
+	// AnalyticsGreedy picks the pod with the most unassigned sources and
+	// places the engine on a host there (Algorithm 2).
+	AnalyticsGreedy
+)
+
+// Policy composes the two strategies under a display name.
+type Policy struct {
+	Name      string
+	Monitor   MonitorStrategy
+	Analytics AnalyticsStrategy
+}
+
+// The paper's three evaluated policies.
+var (
+	LocalRandom       = Policy{Name: "Local-Random", Monitor: MonitorRandom, Analytics: AnalyticsLocalRandom}
+	NetalyticsNode    = Policy{Name: "Netalytics-Node", Monitor: MonitorRandom, Analytics: AnalyticsFirstFit}
+	NetalyticsNetwork = Policy{Name: "Netalytics-Network", Monitor: MonitorGreedy, Analytics: AnalyticsGreedy}
+)
+
+// Params carries the capacity model (§6.2): monitors handle 10 Gbps, one
+// aggregator plus two processors handle 1 Gbps, and monitors extract 10 % of
+// the traffic they observe.
+type Params struct {
+	MonitorCapacityBps float64 // default 10 Gbps
+	AggCapacityBps     float64 // default 1 Gbps of extracted traffic
+	ProcsPerAggregator int     // default 2
+	ExtractRatio       float64 // default 0.1
+	ProcCPU            float64 // cores reserved per process (default 1)
+	ProcMemGB          float64 // memory reserved per process (default 1)
+}
+
+func (p Params) withDefaults() Params {
+	if p.MonitorCapacityBps <= 0 {
+		p.MonitorCapacityBps = 10e9
+	}
+	if p.AggCapacityBps <= 0 {
+		p.AggCapacityBps = 1e9
+	}
+	if p.ProcsPerAggregator <= 0 {
+		p.ProcsPerAggregator = 2
+	}
+	if p.ExtractRatio <= 0 || p.ExtractRatio > 1 {
+		p.ExtractRatio = 0.1
+	}
+	if p.ProcCPU <= 0 {
+		p.ProcCPU = 1
+	}
+	if p.ProcMemGB <= 0 {
+		p.ProcMemGB = 1
+	}
+	return p
+}
+
+// Proc is one placed NetAlytics process.
+type Proc struct {
+	Host *topology.Host
+	// Load is the traffic assigned to the process in bps (raw traffic for
+	// monitors, extracted traffic for aggregators and processors).
+	Load float64
+}
+
+// Placement is the result of Place.
+type Placement struct {
+	Policy      Policy
+	Monitors    []*Proc
+	Aggregators []*Proc
+	Processors  []*Proc
+
+	// FlowMonitor maps each flow index to its monitor index.
+	FlowMonitor []int
+	// MonAgg maps each monitor index to its aggregator index.
+	MonAgg []int
+	// AggProcs maps each aggregator index to its processor indices.
+	AggProcs [][]int
+}
+
+// ProcessCount is the paper's resource-cost metric: total placed processes.
+func (p *Placement) ProcessCount() int {
+	return len(p.Monitors) + len(p.Aggregators) + len(p.Processors)
+}
+
+// Placement errors.
+var (
+	ErrNoFlows     = errors.New("placement: no flows to monitor")
+	ErrUnplaceable = errors.New("placement: a flow has no covering switch")
+)
+
+// placer tracks tentative per-host allocations without mutating topology.
+type placer struct {
+	topo   *topology.FatTree
+	params Params
+	rng    *rand.Rand
+	used   map[topology.NodeID]struct{ cpu, mem float64 }
+}
+
+func (pl *placer) freeCPU(h *topology.Host) float64 {
+	u := pl.used[h.ID]
+	return h.Res.FreeCPU() - u.cpu
+}
+
+func (pl *placer) hasCapacity(h *topology.Host) bool {
+	if h.Res.CPUCores == 0 {
+		return true // resources unmodeled on this topology
+	}
+	u := pl.used[h.ID]
+	return h.Res.FreeCPU()-u.cpu >= pl.params.ProcCPU &&
+		h.Res.FreeMem()-u.mem >= pl.params.ProcMemGB
+}
+
+func (pl *placer) allocate(h *topology.Host) {
+	u := pl.used[h.ID]
+	u.cpu += pl.params.ProcCPU
+	u.mem += pl.params.ProcMemGB
+	pl.used[h.ID] = u
+}
+
+// leastLoadedHost picks the host with maximal free CPU among hosts with
+// capacity; nil when none fits.
+func (pl *placer) leastLoadedHost(hosts []*topology.Host) *topology.Host {
+	var best *topology.Host
+	bestFree := 0.0
+	for _, h := range hosts {
+		if !pl.hasCapacity(h) {
+			continue
+		}
+		if free := pl.freeCPU(h); best == nil || free > bestFree {
+			best, bestFree = h, free
+		}
+	}
+	return best
+}
+
+func (pl *placer) randomHostWithCapacity(hosts []*topology.Host) *topology.Host {
+	start := pl.rng.Intn(len(hosts))
+	for i := 0; i < len(hosts); i++ {
+		h := hosts[(start+i)%len(hosts)]
+		if pl.hasCapacity(h) {
+			return h
+		}
+	}
+	return nil
+}
+
+// Place runs the full placement pipeline: monitors (Algorithm 1), then
+// aggregators over monitors and processors over aggregators (Algorithm 2
+// style, per the policy's analytics strategy).
+func Place(topo *topology.FatTree, flows []Flow, policy Policy, params Params, rng *rand.Rand) (*Placement, error) {
+	if len(flows) == 0 {
+		return nil, ErrNoFlows
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	params = params.withDefaults()
+	pl := &placer{
+		topo:   topo,
+		params: params,
+		rng:    rng,
+		used:   make(map[topology.NodeID]struct{ cpu, mem float64 }),
+	}
+	out := &Placement{Policy: policy, FlowMonitor: make([]int, len(flows))}
+
+	if err := pl.placeMonitors(flows, policy.Monitor, out); err != nil {
+		return nil, err
+	}
+	if err := pl.placeAnalytics(flows, policy.Analytics, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// placeMonitors is Algorithm 1.
+func (pl *placer) placeMonitors(flows []Flow, strategy MonitorStrategy, out *Placement) error {
+	// Index: covering ToR switch -> unmonitored flow indices.
+	cover := make(map[topology.NodeID][]int)
+	for i, f := range flows {
+		if f.Src == nil || f.Dst == nil {
+			return fmt.Errorf("%w: flow %d", ErrUnplaceable, i)
+		}
+		cover[f.Src.Edge] = append(cover[f.Src.Edge], i)
+		if f.Dst.Edge != f.Src.Edge {
+			cover[f.Dst.Edge] = append(cover[f.Dst.Edge], i)
+		}
+	}
+	monitored := make([]bool, len(flows))
+	remaining := len(flows)
+
+	// live returns the unmonitored flows under a switch, compacting as it goes.
+	live := func(sw topology.NodeID) []int {
+		list := cover[sw]
+		kept := list[:0]
+		for _, i := range list {
+			if !monitored[i] {
+				kept = append(kept, i)
+			}
+		}
+		cover[sw] = kept
+		if len(kept) == 0 {
+			delete(cover, sw)
+		}
+		return kept
+	}
+
+	for remaining > 0 {
+		// Candidate switches in deterministic order so a fixed seed yields
+		// a fixed placement (map iteration order is randomized in Go).
+		keys := make([]topology.NodeID, 0, len(cover))
+		for cand := range cover {
+			if len(live(cand)) > 0 {
+				keys = append(keys, cand)
+			}
+		}
+		if len(keys) == 0 {
+			return ErrUnplaceable
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		var sw topology.NodeID
+		switch strategy {
+		case MonitorGreedy:
+			best := -1
+			for _, cand := range keys {
+				if n := len(cover[cand]); n > best {
+					best = n
+					sw = cand
+				}
+			}
+		default: // MonitorRandom
+			sw = keys[pl.rng.Intn(len(keys))]
+		}
+
+		hosts := pl.topo.HostsUnderEdge(sw)
+		h := pl.leastLoadedHost(hosts)
+		if h == nil {
+			// No capacity in this rack: fall back to the least loaded host
+			// anywhere covering is impossible, so treat as unplaceable for
+			// this switch and give the flows to their other covering rack.
+			h = pl.leastLoadedHost(pl.topo.Hosts())
+			if h == nil {
+				return errors.New("placement: cluster out of capacity for monitors")
+			}
+		}
+		pl.allocate(h)
+		mon := &Proc{Host: h}
+		monIdx := len(out.Monitors)
+		out.Monitors = append(out.Monitors, mon)
+
+		for _, fi := range live(sw) {
+			f := flows[fi]
+			if mon.Load+f.Rate > pl.params.MonitorCapacityBps {
+				break
+			}
+			mon.Load += f.Rate
+			monitored[fi] = true
+			out.FlowMonitor[fi] = monIdx
+			remaining--
+		}
+	}
+	return nil
+}
+
+// placeAnalytics places aggregators over monitors, then processors over
+// aggregators, using the same strategy for both layers.
+func (pl *placer) placeAnalytics(flows []Flow, strategy AnalyticsStrategy, out *Placement) error {
+	// Extracted load per monitor.
+	monLoad := make([]float64, len(out.Monitors))
+	for i := range out.Monitors {
+		monLoad[i] = out.Monitors[i].Load * pl.params.ExtractRatio
+	}
+	monHosts := make([]*topology.Host, len(out.Monitors))
+	for i, m := range out.Monitors {
+		monHosts[i] = m.Host
+	}
+
+	assign, procs, err := pl.assignLayer(monHosts, monLoad, strategy)
+	if err != nil {
+		return err
+	}
+	out.Aggregators = procs
+	out.MonAgg = assign
+
+	// Processors: ProcsPerAggregator per aggregator, placed by the same
+	// strategy with each aggregator as a source. Each processor carries an
+	// equal share of the aggregator's load.
+	aggHosts := make([]*topology.Host, 0, len(procs)*pl.params.ProcsPerAggregator)
+	aggLoads := make([]float64, 0, cap(aggHosts))
+	srcAgg := make([]int, 0, cap(aggHosts))
+	for i, a := range procs {
+		share := a.Load / float64(pl.params.ProcsPerAggregator)
+		for p := 0; p < pl.params.ProcsPerAggregator; p++ {
+			aggHosts = append(aggHosts, a.Host)
+			aggLoads = append(aggLoads, share)
+			srcAgg = append(srcAgg, i)
+		}
+	}
+	procAssign, processors, err := pl.assignLayer(aggHosts, aggLoads, strategy)
+	if err != nil {
+		return err
+	}
+	out.Processors = processors
+	out.AggProcs = make([][]int, len(out.Aggregators))
+	for j, pi := range procAssign {
+		a := srcAgg[j]
+		out.AggProcs[a] = appendUnique(out.AggProcs[a], pi)
+	}
+	return nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, have := range s {
+		if have == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// assignLayer places engines for a set of sources (hosts with loads) and
+// returns the per-source engine assignment.
+func (pl *placer) assignLayer(srcHosts []*topology.Host, loads []float64, strategy AnalyticsStrategy) ([]int, []*Proc, error) {
+	n := len(srcHosts)
+	assign := make([]int, n)
+	var engines []*Proc
+	capacity := pl.params.AggCapacityBps
+
+	newEngine := func(h *topology.Host) (*Proc, int, error) {
+		if h == nil {
+			h = pl.randomHostWithCapacity(pl.topo.Hosts())
+		}
+		if h == nil {
+			return nil, 0, errors.New("placement: cluster out of capacity for analytics engines")
+		}
+		pl.allocate(h)
+		e := &Proc{Host: h}
+		engines = append(engines, e)
+		return e, len(engines) - 1, nil
+	}
+
+	switch strategy {
+	case AnalyticsFirstFit:
+		var cur *Proc
+		curIdx := -1
+		for i := 0; i < n; i++ {
+			if cur == nil || cur.Load+loads[i] > capacity {
+				var err error
+				cur, curIdx, err = newEngine(nil)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			cur.Load += loads[i]
+			assign[i] = curIdx
+		}
+
+	case AnalyticsLocalRandom:
+		// Engines indexed by pod for locality lookups.
+		byPod := make(map[int][]int)
+		for i := 0; i < n; i++ {
+			pod := srcHosts[i].Pod
+			placed := false
+			for _, ei := range byPod[pod] {
+				if engines[ei].Load+loads[i] <= capacity {
+					engines[ei].Load += loads[i]
+					assign[i] = ei
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+			e, ei, err := newEngine(nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			e.Load += loads[i]
+			assign[i] = ei
+			byPod[e.Host.Pod] = append(byPod[e.Host.Pod], ei)
+		}
+
+	case AnalyticsGreedy:
+		// Algorithm 2: repeatedly pick the pod (aggregate-switch domain)
+		// with the most unassigned sources and place an engine on a host
+		// there, assigning that pod's sources until the engine is full.
+		unassigned := make([]bool, n)
+		remaining := n
+		for i := range unassigned {
+			unassigned[i] = true
+		}
+		byPod := make(map[int][]int)
+		for i := 0; i < n; i++ {
+			byPod[srcHosts[i].Pod] = append(byPod[srcHosts[i].Pod], i)
+		}
+		pods := make([]int, 0, len(byPod))
+		for pod := range byPod {
+			pods = append(pods, pod)
+		}
+		sort.Ints(pods)
+		for remaining > 0 {
+			bestPod, bestCount := -1, 0
+			for _, pod := range pods {
+				count := 0
+				for _, i := range byPod[pod] {
+					if unassigned[i] {
+						count++
+					}
+				}
+				if count > bestCount {
+					bestPod, bestCount = pod, count
+				}
+			}
+			if bestPod < 0 {
+				return nil, nil, errors.New("placement: inconsistent greedy state")
+			}
+			var podHosts []*topology.Host
+			for _, e := range pl.topo.EdgesOfPod(bestPod) {
+				podHosts = append(podHosts, pl.topo.HostsUnderEdge(e.ID)...)
+			}
+			host := pl.leastLoadedHost(podHosts) // may be nil: newEngine falls back to any host
+			e, ei, err := newEngine(host)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, i := range byPod[bestPod] {
+				if !unassigned[i] {
+					continue
+				}
+				if e.Load+loads[i] > capacity {
+					break
+				}
+				e.Load += loads[i]
+				assign[i] = ei
+				unassigned[i] = false
+				remaining--
+			}
+			// If the engine could not take a single source (oversized
+			// load), force-assign one to avoid livelock.
+			if e.Load == 0 {
+				for _, i := range byPod[bestPod] {
+					if unassigned[i] {
+						e.Load += loads[i]
+						assign[i] = ei
+						unassigned[i] = false
+						remaining--
+						break
+					}
+				}
+			}
+		}
+
+	default:
+		return nil, nil, fmt.Errorf("placement: unknown analytics strategy %d", strategy)
+	}
+	return assign, engines, nil
+}

@@ -1,0 +1,272 @@
+package placement
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netalytics/internal/topology"
+)
+
+func testTopo(t *testing.T, k int) *topology.FatTree {
+	t.Helper()
+	ft := topology.MustNew(k)
+	ft.RandomizeResources(rand.New(rand.NewSource(42)))
+	return ft
+}
+
+// uniformFlows builds n flows between random host pairs at the given rate.
+func uniformFlows(topo *topology.FatTree, n int, rate float64, rng *rand.Rand) []Flow {
+	hosts := topo.Hosts()
+	flows := make([]Flow, n)
+	for i := range flows {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		flows[i] = Flow{Src: src, Dst: dst, Rate: rate}
+	}
+	return flows
+}
+
+func policies() []Policy {
+	return []Policy{LocalRandom, NetalyticsNode, NetalyticsNetwork}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	topo := testTopo(t, 4)
+	if _, err := Place(topo, nil, LocalRandom, Params{}, nil); !errors.Is(err, ErrNoFlows) {
+		t.Errorf("no flows: err = %v", err)
+	}
+	if _, err := Place(topo, []Flow{{}}, LocalRandom, Params{}, nil); !errors.Is(err, ErrUnplaceable) {
+		t.Errorf("nil hosts: err = %v", err)
+	}
+}
+
+// checkInvariants verifies structural correctness of a placement.
+func checkInvariants(t *testing.T, topo *topology.FatTree, flows []Flow, p *Placement, params Params) {
+	t.Helper()
+	params = params.withDefaults()
+
+	if len(p.FlowMonitor) != len(flows) {
+		t.Fatalf("FlowMonitor len = %d, want %d", len(p.FlowMonitor), len(flows))
+	}
+	// Every flow is assigned to a monitor that covers it.
+	for i, f := range flows {
+		mi := p.FlowMonitor[i]
+		if mi < 0 || mi >= len(p.Monitors) {
+			t.Fatalf("flow %d monitor index %d out of range", i, mi)
+		}
+		m := p.Monitors[mi]
+		if m.Host.Edge != f.Src.Edge && m.Host.Edge != f.Dst.Edge {
+			t.Errorf("flow %d monitored from rack %d, not covering src %d / dst %d",
+				i, m.Host.Edge, f.Src.Edge, f.Dst.Edge)
+		}
+	}
+	// Monitor loads respect capacity and match assigned flows.
+	loads := make([]float64, len(p.Monitors))
+	for i, f := range flows {
+		loads[p.FlowMonitor[i]] += f.Rate
+	}
+	for mi, m := range p.Monitors {
+		if m.Load > params.MonitorCapacityBps*1.0001 {
+			t.Errorf("monitor %d overloaded: %.0f bps", mi, m.Load)
+		}
+		if diff := m.Load - loads[mi]; diff > 1 || diff < -1 {
+			t.Errorf("monitor %d load %.0f != assigned %.0f", mi, m.Load, loads[mi])
+		}
+	}
+	// Every monitor has an aggregator; every aggregator has processors.
+	if len(p.MonAgg) != len(p.Monitors) {
+		t.Fatalf("MonAgg len = %d, want %d", len(p.MonAgg), len(p.Monitors))
+	}
+	for mi, ai := range p.MonAgg {
+		if ai < 0 || ai >= len(p.Aggregators) {
+			t.Fatalf("monitor %d aggregator index %d out of range", mi, ai)
+		}
+	}
+	if len(p.AggProcs) != len(p.Aggregators) {
+		t.Fatalf("AggProcs len = %d, want %d", len(p.AggProcs), len(p.Aggregators))
+	}
+	for ai, procs := range p.AggProcs {
+		if len(procs) == 0 {
+			t.Errorf("aggregator %d has no processors", ai)
+		}
+		for _, pi := range procs {
+			if pi < 0 || pi >= len(p.Processors) {
+				t.Fatalf("aggregator %d processor index %d out of range", ai, pi)
+			}
+		}
+	}
+}
+
+func TestPlacementInvariantsAllPolicies(t *testing.T) {
+	topo := testTopo(t, 8)
+	rng := rand.New(rand.NewSource(7))
+	flows := uniformFlows(topo, 500, 2e6, rng)
+	for _, pol := range policies() {
+		t.Run(pol.Name, func(t *testing.T) {
+			p, err := Place(topo, flows, pol, Params{}, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatalf("Place: %v", err)
+			}
+			checkInvariants(t, topo, flows, p, Params{})
+		})
+	}
+}
+
+func TestMonitorCapacityForcesMultipleMonitors(t *testing.T) {
+	topo := testTopo(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	hosts := topo.Hosts()
+	// 30 flows of 1 Gbps between the same two racks: a 10 Gbps monitor can
+	// hold at most 10.
+	var flows []Flow
+	for i := 0; i < 30; i++ {
+		flows = append(flows, Flow{Src: hosts[0], Dst: hosts[2], Rate: 1e9})
+	}
+	p, err := Place(topo, flows, NetalyticsNetwork, Params{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Monitors) < 3 {
+		t.Errorf("monitors = %d, want >= 3 for 30 Gbps at 10 Gbps capacity", len(p.Monitors))
+	}
+	checkInvariants(t, topo, flows, p, Params{})
+}
+
+func TestGreedyUsesFewerMonitorsThanRandom(t *testing.T) {
+	topo := testTopo(t, 8)
+	flows := uniformFlows(topo, 2000, 1e5, rand.New(rand.NewSource(5)))
+
+	avgMonitors := func(strategy MonitorStrategy) float64 {
+		total := 0
+		const rounds = 5
+		for r := 0; r < rounds; r++ {
+			p, err := Place(topo, flows, Policy{Name: "x", Monitor: strategy, Analytics: AnalyticsFirstFit}, Params{}, rand.New(rand.NewSource(int64(r))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(p.Monitors)
+		}
+		return float64(total) / rounds
+	}
+	greedy := avgMonitors(MonitorGreedy)
+	random := avgMonitors(MonitorRandom)
+	if greedy > random {
+		t.Errorf("greedy uses %.1f monitors, random %.1f: greedy should not use more", greedy, random)
+	}
+}
+
+func TestFirstFitUsesFewestProcesses(t *testing.T) {
+	// The paper's headline: NetAlytics-Node consumes the least resources.
+	topo := testTopo(t, 8)
+	flows := uniformFlows(topo, 3000, 1e6, rand.New(rand.NewSource(11)))
+
+	counts := map[string]int{}
+	for _, pol := range policies() {
+		p, err := Place(topo, flows, pol, Params{}, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[pol.Name] = p.ProcessCount()
+	}
+	if counts["Netalytics-Node"] > counts["Local-Random"] {
+		t.Errorf("Node (%d) should use <= processes than Local-Random (%d)",
+			counts["Netalytics-Node"], counts["Local-Random"])
+	}
+}
+
+func TestNetworkPolicyHasLowestNetworkCost(t *testing.T) {
+	// The paper's other headline: NetAlytics-Network consumes the least
+	// network bandwidth (Fig. 7).
+	topo := testTopo(t, 8)
+	flows := uniformFlows(topo, 3000, 1e6, rand.New(rand.NewSource(13)))
+
+	costs := map[string]Cost{}
+	for _, pol := range policies() {
+		p, err := Place(topo, flows, pol, Params{}, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[pol.Name] = Evaluate(topo, flows, p, Params{}, nil)
+	}
+	network := costs["Netalytics-Network"]
+	for _, name := range []string{"Local-Random", "Netalytics-Node"} {
+		if network.ExtraBandwidthPct > costs[name].ExtraBandwidthPct {
+			t.Errorf("Network policy bandwidth %.3f%% > %s %.3f%%",
+				network.ExtraBandwidthPct, name, costs[name].ExtraBandwidthPct)
+		}
+	}
+	// Greedy placement keeps traffic rack/pod-local, so its weighted cost
+	// stays close to its unweighted cost (the overlapping lines in Fig. 7).
+	if network.ExtraBandwidthPct > 0 {
+		ratio := network.WeightedExtraBandwidthPct / network.ExtraBandwidthPct
+		nodeRatio := costs["Netalytics-Node"].WeightedExtraBandwidthPct / costs["Netalytics-Node"].ExtraBandwidthPct
+		if ratio > nodeRatio {
+			t.Errorf("Network weighted/plain ratio %.2f exceeds Node's %.2f; locality not working", ratio, nodeRatio)
+		}
+	}
+}
+
+func TestEvaluateCostPositiveAndBounded(t *testing.T) {
+	topo := testTopo(t, 8)
+	flows := uniformFlows(topo, 1000, 1e6, rand.New(rand.NewSource(17)))
+	p, err := Place(topo, flows, LocalRandom, Params{}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Evaluate(topo, flows, p, Params{}, nil)
+	if c.ExtraBandwidthPct < 0 || c.ExtraBandwidthPct > 100 {
+		t.Errorf("ExtraBandwidthPct = %v", c.ExtraBandwidthPct)
+	}
+	if c.WeightedExtraBandwidthPct < 0 || c.WeightedExtraBandwidthPct > 100 {
+		t.Errorf("WeightedExtraBandwidthPct = %v", c.WeightedExtraBandwidthPct)
+	}
+	if c.Processes != p.ProcessCount() {
+		t.Errorf("Processes = %d, want %d", c.Processes, p.ProcessCount())
+	}
+}
+
+// Property: placements are deterministic for a fixed seed, and every policy
+// places at least one of each process kind.
+func TestPlacementProperty(t *testing.T) {
+	topo := testTopo(t, 4)
+	rng := rand.New(rand.NewSource(23))
+	prop := func() bool {
+		n := 10 + rng.Intn(200)
+		seed := rng.Int63()
+		flows := uniformFlows(topo, n, 1e6, rand.New(rand.NewSource(seed)))
+		for _, pol := range policies() {
+			p1, err1 := Place(topo, flows, pol, Params{}, rand.New(rand.NewSource(seed)))
+			p2, err2 := Place(topo, flows, pol, Params{}, rand.New(rand.NewSource(seed)))
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if len(p1.Monitors) != len(p2.Monitors) || p1.ProcessCount() != p2.ProcessCount() {
+				return false
+			}
+			if len(p1.Monitors) == 0 || len(p1.Aggregators) == 0 || len(p1.Processors) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPlaceGreedyK16(b *testing.B) {
+	topo := topology.MustNew(16)
+	topo.RandomizeResources(rand.New(rand.NewSource(1)))
+	flows := uniformFlows(topo, 10000, 1.2e6, rand.New(rand.NewSource(2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(topo, flows, NetalyticsNetwork, Params{}, rand.New(rand.NewSource(3))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package proto implements minimal application-layer codecs for the
+// protocols the paper's parsers understand: HTTP/1.1 GET requests and
+// responses, the memcached text protocol's get command, and a compact
+// MySQL-style client/server framing.
+//
+// The emulated servers in internal/apps speak these encodings over the
+// virtual network, and the monitor parsers in internal/parsers decode them
+// from raw packet payloads — so the monitoring path exercises genuine wire
+// bytes rather than in-process shortcuts.
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Codec errors.
+var (
+	ErrNotHTTP      = errors.New("proto: not an HTTP message")
+	ErrNotMemcached = errors.New("proto: not a memcached command")
+	ErrShortFrame   = errors.New("proto: short frame")
+	ErrBadFrame     = errors.New("proto: malformed frame")
+)
+
+// --- HTTP ---
+
+// HTTPRequest is a parsed HTTP/1.1 request line plus the headers the
+// monitors care about.
+type HTTPRequest struct {
+	Method string
+	URL    string
+	Host   string
+}
+
+// BuildHTTPGet encodes a minimal HTTP/1.1 GET request.
+func BuildHTTPGet(url, host string) []byte {
+	var b bytes.Buffer
+	b.Grow(len(url) + len(host) + 48)
+	b.WriteString("GET ")
+	b.WriteString(url)
+	b.WriteString(" HTTP/1.1\r\nHost: ")
+	b.WriteString(host)
+	b.WriteString("\r\n\r\n")
+	return b.Bytes()
+}
+
+// ParseHTTPRequest decodes an HTTP request from a packet payload. It only
+// needs the first bytes of the stream; trailing data is ignored.
+func ParseHTTPRequest(payload []byte) (HTTPRequest, error) {
+	line, rest, ok := cutLine(payload)
+	if !ok {
+		return HTTPRequest{}, ErrNotHTTP
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return HTTPRequest{}, ErrNotHTTP
+	}
+	req := HTTPRequest{Method: parts[0], URL: parts[1]}
+	for {
+		var hdr string
+		hdr, rest, ok = cutLine(rest)
+		if !ok || hdr == "" {
+			break
+		}
+		if v, found := strings.CutPrefix(hdr, "Host: "); found {
+			req.Host = v
+		}
+	}
+	return req, nil
+}
+
+// HTTPResponse is a parsed HTTP/1.1 status line and body.
+type HTTPResponse struct {
+	Status int
+	Body   []byte
+}
+
+// BuildHTTPResponse encodes a minimal HTTP/1.1 response.
+func BuildHTTPResponse(status int, body []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(len(body) + 64)
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\nContent-Length: %d\r\n\r\n", status, statusText(status), len(body))
+	b.Write(body)
+	return b.Bytes()
+}
+
+// ParseHTTPResponse decodes an HTTP response from a packet payload.
+func ParseHTTPResponse(payload []byte) (HTTPResponse, error) {
+	line, rest, ok := cutLine(payload)
+	if !ok || !strings.HasPrefix(line, "HTTP/") {
+		return HTTPResponse{}, ErrNotHTTP
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return HTTPResponse{}, ErrNotHTTP
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return HTTPResponse{}, ErrNotHTTP
+	}
+	contentLen := -1
+	for {
+		var hdr string
+		hdr, rest, ok = cutLine(rest)
+		if !ok {
+			return HTTPResponse{}, ErrNotHTTP
+		}
+		if hdr == "" {
+			break
+		}
+		if v, found := strings.CutPrefix(hdr, "Content-Length: "); found {
+			if contentLen, err = strconv.Atoi(v); err != nil {
+				return HTTPResponse{}, ErrNotHTTP
+			}
+		}
+	}
+	body := rest
+	if contentLen >= 0 {
+		if contentLen > len(rest) {
+			return HTTPResponse{}, ErrShortFrame
+		}
+		body = rest[:contentLen]
+	}
+	return HTTPResponse{Status: status, Body: body}, nil
+}
+
+func statusText(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+func cutLine(b []byte) (line string, rest []byte, ok bool) {
+	i := bytes.Index(b, []byte("\r\n"))
+	if i < 0 {
+		return "", nil, false
+	}
+	return string(b[:i]), b[i+2:], true
+}
+
+// --- Memcached text protocol (get subset) ---
+
+// BuildMemcachedGet encodes a memcached text-protocol get command.
+func BuildMemcachedGet(key string) []byte {
+	return []byte("get " + key + "\r\n")
+}
+
+// ParseMemcachedGet extracts the key of a memcached get command.
+func ParseMemcachedGet(payload []byte) (key string, err error) {
+	line, _, ok := cutLine(payload)
+	if !ok {
+		return "", ErrNotMemcached
+	}
+	k, found := strings.CutPrefix(line, "get ")
+	if !found || k == "" {
+		return "", ErrNotMemcached
+	}
+	return k, nil
+}
+
+// BuildMemcachedValue encodes a memcached VALUE response followed by END.
+func BuildMemcachedValue(key string, value []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(len(key) + len(value) + 32)
+	fmt.Fprintf(&b, "VALUE %s 0 %d\r\n", key, len(value))
+	b.Write(value)
+	b.WriteString("\r\nEND\r\n")
+	return b.Bytes()
+}
+
+// ParseMemcachedValue decodes a memcached VALUE response. A bare "END\r\n"
+// (miss) returns ok=false with no error.
+func ParseMemcachedValue(payload []byte) (key string, value []byte, ok bool, err error) {
+	line, rest, found := cutLine(payload)
+	if !found {
+		return "", nil, false, ErrNotMemcached
+	}
+	if line == "END" {
+		return "", nil, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "VALUE" {
+		return "", nil, false, ErrNotMemcached
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n > len(rest) {
+		return "", nil, false, ErrNotMemcached
+	}
+	return fields[1], rest[:n], true, nil
+}
+
+// --- Mini MySQL wire framing ---
+//
+// A simplified MySQL client/server protocol: every message is a frame of
+//
+//	[3-byte little-endian length][1-byte sequence][1-byte command][body]
+//
+// mirroring the real protocol's packet header. Command 0x03 (COM_QUERY)
+// carries the SQL text; responses use command 0x00 (OK, body = rows payload)
+// or 0xff (ERR). Several queries may share one connection, which is exactly
+// the situation the paper's mysql parser exists to disentangle (§7.2).
+
+// MySQL command bytes.
+const (
+	MySQLComQuery byte = 0x03
+	MySQLComOK    byte = 0x00
+	MySQLComErr   byte = 0xff
+)
+
+const mysqlHeaderLen = 5
+
+// MySQLFrame is a decoded mini-MySQL message.
+type MySQLFrame struct {
+	Seq     uint8
+	Command byte
+	Body    []byte
+}
+
+// BuildMySQLQuery encodes a COM_QUERY frame carrying the SQL text.
+func BuildMySQLQuery(seq uint8, sql string) []byte {
+	return buildMySQLFrame(seq, MySQLComQuery, []byte(sql))
+}
+
+// BuildMySQLOK encodes an OK response frame with a result payload.
+func BuildMySQLOK(seq uint8, rows []byte) []byte {
+	return buildMySQLFrame(seq, MySQLComOK, rows)
+}
+
+// BuildMySQLErr encodes an error response frame.
+func BuildMySQLErr(seq uint8, msg string) []byte {
+	return buildMySQLFrame(seq, MySQLComErr, []byte(msg))
+}
+
+func buildMySQLFrame(seq uint8, cmd byte, body []byte) []byte {
+	out := make([]byte, mysqlHeaderLen+len(body))
+	putUint24(out[0:3], uint32(1+len(body)))
+	out[3] = seq
+	out[4] = cmd
+	copy(out[mysqlHeaderLen:], body)
+	return out
+}
+
+// ParseMySQLFrame decodes one frame from the front of payload and returns
+// the number of bytes consumed, so multiple frames per packet can be walked.
+func ParseMySQLFrame(payload []byte) (MySQLFrame, int, error) {
+	if len(payload) < mysqlHeaderLen {
+		return MySQLFrame{}, 0, ErrShortFrame
+	}
+	n := int(uint24(payload[0:3]))
+	if n < 1 {
+		return MySQLFrame{}, 0, ErrBadFrame
+	}
+	total := 4 + n
+	if total > len(payload) {
+		return MySQLFrame{}, 0, ErrShortFrame
+	}
+	return MySQLFrame{
+		Seq:     payload[3],
+		Command: payload[4],
+		Body:    payload[mysqlHeaderLen:total],
+	}, total, nil
+}
+
+func putUint24(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+}
+
+func uint24(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+}

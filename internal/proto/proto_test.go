@@ -1,0 +1,233 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHTTPGetRoundTrip(t *testing.T) {
+	raw := BuildHTTPGet("/videos/42.mp4", "h1:80")
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatalf("ParseHTTPRequest: %v", err)
+	}
+	if req.Method != "GET" || req.URL != "/videos/42.mp4" || req.Host != "h1:80" {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestHTTPRequestErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload string
+	}{
+		{"empty", ""},
+		{"no crlf", "GET / HTTP/1.1"},
+		{"two fields", "GET /\r\n"},
+		{"not http version", "GET / FTP/1.0\r\n\r\n"},
+		{"binary garbage", "\x00\x01\x02\r\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseHTTPRequest([]byte(tt.payload)); !errors.Is(err, ErrNotHTTP) {
+				t.Errorf("err = %v, want ErrNotHTTP", err)
+			}
+		})
+	}
+}
+
+func TestHTTPResponseRoundTrip(t *testing.T) {
+	body := []byte("<html>hello</html>")
+	raw := BuildHTTPResponse(200, body)
+	resp, err := ParseHTTPResponse(raw)
+	if err != nil {
+		t.Fatalf("ParseHTTPResponse: %v", err)
+	}
+	if resp.Status != 200 {
+		t.Errorf("status = %d, want 200", resp.Status)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Errorf("body = %q, want %q", resp.Body, body)
+	}
+}
+
+func TestHTTPResponseStatuses(t *testing.T) {
+	for _, status := range []int{200, 404, 500, 503, 418} {
+		raw := BuildHTTPResponse(status, nil)
+		resp, err := ParseHTTPResponse(raw)
+		if err != nil {
+			t.Fatalf("status %d: %v", status, err)
+		}
+		if resp.Status != status {
+			t.Errorf("status = %d, want %d", resp.Status, status)
+		}
+	}
+}
+
+func TestHTTPResponseTruncatedBody(t *testing.T) {
+	raw := BuildHTTPResponse(200, []byte("full body"))
+	if _, err := ParseHTTPResponse(raw[:len(raw)-3]); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestMemcachedRoundTrip(t *testing.T) {
+	raw := BuildMemcachedGet("user:1001")
+	key, err := ParseMemcachedGet(raw)
+	if err != nil {
+		t.Fatalf("ParseMemcachedGet: %v", err)
+	}
+	if key != "user:1001" {
+		t.Errorf("key = %q", key)
+	}
+
+	val := []byte("cached-value")
+	resp := BuildMemcachedValue("user:1001", val)
+	k, v, ok, err := ParseMemcachedValue(resp)
+	if err != nil || !ok {
+		t.Fatalf("ParseMemcachedValue: ok=%v err=%v", ok, err)
+	}
+	if k != "user:1001" || !bytes.Equal(v, val) {
+		t.Errorf("k=%q v=%q", k, v)
+	}
+}
+
+func TestMemcachedMiss(t *testing.T) {
+	_, _, ok, err := ParseMemcachedValue([]byte("END\r\n"))
+	if err != nil {
+		t.Fatalf("miss parse: %v", err)
+	}
+	if ok {
+		t.Error("miss reported as hit")
+	}
+}
+
+func TestMemcachedErrors(t *testing.T) {
+	if _, err := ParseMemcachedGet([]byte("set k 0 0 5\r\n")); !errors.Is(err, ErrNotMemcached) {
+		t.Errorf("set cmd: err = %v", err)
+	}
+	if _, err := ParseMemcachedGet([]byte("get \r\n")); !errors.Is(err, ErrNotMemcached) {
+		t.Errorf("empty key: err = %v", err)
+	}
+	if _, _, _, err := ParseMemcachedValue([]byte("VALUE k 0\r\n")); !errors.Is(err, ErrNotMemcached) {
+		t.Errorf("short VALUE line: err = %v", err)
+	}
+}
+
+func TestMySQLQueryRoundTrip(t *testing.T) {
+	sql := "SELECT title FROM film WHERE rental_rate > 2.99"
+	raw := BuildMySQLQuery(3, sql)
+	frame, n, err := ParseMySQLFrame(raw)
+	if err != nil {
+		t.Fatalf("ParseMySQLFrame: %v", err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d bytes, want %d", n, len(raw))
+	}
+	if frame.Seq != 3 || frame.Command != MySQLComQuery || string(frame.Body) != sql {
+		t.Errorf("frame = %+v", frame)
+	}
+}
+
+func TestMySQLMultipleFramesPerPacket(t *testing.T) {
+	// The paper's mysql parser must split multiple queries sharing one
+	// connection; pack three frames into one payload and walk them.
+	queries := []string{"SELECT 1", "SELECT 2", "SELECT 3"}
+	var payload []byte
+	for i, q := range queries {
+		payload = append(payload, BuildMySQLQuery(uint8(i), q)...)
+	}
+	var got []string
+	for len(payload) > 0 {
+		frame, n, err := ParseMySQLFrame(payload)
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		got = append(got, string(frame.Body))
+		payload = payload[n:]
+	}
+	if strings.Join(got, ",") != strings.Join(queries, ",") {
+		t.Errorf("got %v, want %v", got, queries)
+	}
+}
+
+func TestMySQLResponses(t *testing.T) {
+	ok := BuildMySQLOK(1, []byte("row1|row2"))
+	frame, _, err := ParseMySQLFrame(ok)
+	if err != nil || frame.Command != MySQLComOK || string(frame.Body) != "row1|row2" {
+		t.Errorf("OK frame = %+v err=%v", frame, err)
+	}
+	errFrame := BuildMySQLErr(2, "table missing")
+	frame, _, err = ParseMySQLFrame(errFrame)
+	if err != nil || frame.Command != MySQLComErr || string(frame.Body) != "table missing" {
+		t.Errorf("ERR frame = %+v err=%v", frame, err)
+	}
+}
+
+func TestMySQLFrameErrors(t *testing.T) {
+	if _, _, err := ParseMySQLFrame([]byte{1, 0}); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short header: err = %v", err)
+	}
+	// Declared length exceeds available bytes.
+	raw := BuildMySQLQuery(0, "SELECT 1")
+	if _, _, err := ParseMySQLFrame(raw[:len(raw)-2]); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("truncated body: err = %v", err)
+	}
+	// Zero-length frame is malformed (must at least carry a command byte).
+	if _, _, err := ParseMySQLFrame([]byte{0, 0, 0, 0, 0}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero length: err = %v", err)
+	}
+}
+
+// Property: mini-MySQL framing round-trips arbitrary bodies and walking
+// concatenated frames recovers each body in order.
+func TestMySQLFrameProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		count := 1 + r.Intn(4)
+		var payload []byte
+		bodies := make([]string, count)
+		for i := range bodies {
+			n := 1 + r.Intn(100)
+			body := make([]byte, n)
+			r.Read(body)
+			bodies[i] = string(body)
+			payload = append(payload, BuildMySQLQuery(uint8(i), bodies[i])...)
+		}
+		for i := 0; i < count; i++ {
+			frame, n, err := ParseMySQLFrame(payload)
+			if err != nil || string(frame.Body) != bodies[i] {
+				return false
+			}
+			payload = payload[n:]
+		}
+		return len(payload) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseHTTPRequest(b *testing.B) {
+	raw := BuildHTTPGet("/films/polyglot-actors.php", "web-1:80")
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseHTTPRequest(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseMySQLFrame(b *testing.B) {
+	raw := BuildMySQLQuery(0, "SELECT * FROM payment WHERE amount > 5")
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParseMySQLFrame(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,548 @@
+// Package query implements the NetAlytics query language of §3.3 (Table 3):
+//
+//	query        ::= parser-clause addr-clause attr-clause process-clause
+//	parser-clause::= PARSE parser-list
+//	addr-clause  ::= FROM address-list TO address-list
+//	address      ::= ip:port | hostname:port | *
+//	attr-clause  ::= LIMIT limit-rate SAMPLE sample-rate
+//	limit-rate   ::= amount_of_time | number_of_packets     (90s | 5000p)
+//	sample-rate  ::= interval | auto | *                    (0.1 | auto | *)
+//	process-clause ::= PROCESS processor-list
+//	processor    ::= (processor_name: argument-list)
+//
+// A parsed Query carries everything the engine needs: which parsers to
+// deploy, which flows to mirror (translated into OpenFlow-style matches by
+// the engine), how long to run, the sampling policy, and the processing
+// topology to instantiate.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// SampleMode selects the sampling policy of the SAMPLE clause.
+type SampleMode int
+
+// Sampling modes.
+const (
+	// SampleAll disables sampling (SAMPLE *), the default.
+	SampleAll SampleMode = iota
+	// SampleAuto enables feedback-driven sampling (SAMPLE auto).
+	SampleAuto
+	// SampleRate samples a fixed fraction of flows (SAMPLE 0.1).
+	SampleRate
+)
+
+// Address is one endpoint filter from a FROM or TO list.
+type Address struct {
+	// Any is true for a bare "*": any host, any port.
+	Any bool
+	// Host is an IP literal or hostname; empty with Any false means "*".
+	Host string
+	// Port 0 matches any port.
+	Port uint16
+}
+
+func (a Address) String() string {
+	if a.Any {
+		return "*"
+	}
+	port := "*"
+	if a.Port != 0 {
+		port = strconv.Itoa(int(a.Port))
+	}
+	host := a.Host
+	if host == "" {
+		host = "*"
+	}
+	return host + ":" + port
+}
+
+// Limit bounds how long monitors and processors run.
+type Limit struct {
+	// Duration, when non-zero, stops the query after the elapsed time.
+	Duration time.Duration
+	// Packets, when non-zero, stops the query after that many packets
+	// have been dispatched to parsers.
+	Packets int
+}
+
+// IsZero reports whether no limit was specified.
+func (l Limit) IsZero() bool { return l.Duration == 0 && l.Packets == 0 }
+
+// Sample is the SAMPLE clause.
+type Sample struct {
+	Mode SampleMode
+	Rate float64 // valid for SampleRate
+}
+
+// ProcessorSpec names a processing topology and its arguments.
+type ProcessorSpec struct {
+	Name string
+	Args map[string]string
+}
+
+// Query is a parsed NetAlytics query.
+type Query struct {
+	Parsers    []string
+	From       []Address
+	To         []Address
+	Limit      Limit
+	Sample     Sample
+	Processors []ProcessorSpec
+}
+
+// ParseError reports a syntax error with its byte offset in the input.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// ErrEmpty is returned for inputs with no tokens.
+var ErrEmpty = errors.New("query: empty query")
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota + 1
+	tokComma
+	tokColon
+	tokLParen
+	tokRParen
+	tokEquals
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	off  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEquals, "=", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '#':
+			// Comment: skip to end of line.
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case isWordByte(c):
+			start := i
+			for i < len(input) && isWordByte(input[i]) {
+				i++
+			}
+			toks = append(toks, token{tokWord, input[start:i], start})
+		default:
+			return nil, &ParseError{Offset: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	return toks, nil
+}
+
+// isWordByte admits identifier characters including those found in IPs,
+// hostnames, durations and URLs (10.0.2.8, h1-2, 90s, /index.php).
+func isWordByte(c byte) bool {
+	return c == '.' || c == '_' || c == '-' || c == '/' ||
+		('0' <= c && c <= '9') || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	n    int // total input length, for EOF offsets
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	off := p.n
+	if t, ok := p.peek(); ok {
+		off = t.off
+	}
+	return &ParseError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) keyword(want string) bool {
+	t, ok := p.peek()
+	if ok && t.kind == tokWord && strings.EqualFold(t.text, want) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Parse parses a query string.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, ErrEmpty
+	}
+	p := &parser{toks: toks, n: len(input)}
+	q := &Query{}
+
+	if !p.keyword("PARSE") {
+		return nil, p.errorf("expected PARSE")
+	}
+	if q.Parsers, err = p.parseNameList(); err != nil {
+		return nil, err
+	}
+
+	if p.keyword("FROM") {
+		if q.From, err = p.parseAddressList(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("TO") {
+		if q.To, err = p.parseAddressList(); err != nil {
+			return nil, err
+		}
+	}
+	if len(q.From) == 0 && len(q.To) == 0 {
+		return nil, p.errorf("query needs a FROM and/or TO clause")
+	}
+
+	if p.keyword("LIMIT") {
+		if q.Limit, err = p.parseLimit(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("SAMPLE") {
+		if q.Sample, err = p.parseSample(); err != nil {
+			return nil, err
+		}
+	}
+
+	if !p.keyword("PROCESS") {
+		return nil, p.errorf("expected PROCESS")
+	}
+	if q.Processors, err = p.parseProcessorList(); err != nil {
+		return nil, err
+	}
+
+	if t, ok := p.peek(); ok {
+		return nil, &ParseError{Offset: t.off, Msg: fmt.Sprintf("unexpected trailing token %q", t.text)}
+	}
+	return q, nil
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	var names []string
+	for {
+		t, ok := p.next()
+		if !ok || t.kind != tokWord {
+			return nil, p.errorf("expected name")
+		}
+		names = append(names, t.text)
+		if t, ok := p.peek(); !ok || t.kind != tokComma {
+			return names, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseAddressList() ([]Address, error) {
+	var addrs []Address
+	for {
+		a, err := p.parseAddress()
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, a)
+		if t, ok := p.peek(); !ok || t.kind != tokComma {
+			return addrs, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseAddress() (Address, error) {
+	t, ok := p.next()
+	if !ok {
+		return Address{}, p.errorf("expected address")
+	}
+	switch t.kind {
+	case tokStar:
+		// "*" or "*:port"
+		if nxt, ok := p.peek(); ok && nxt.kind == tokColon {
+			p.pos++
+			return p.finishAddress("")
+		}
+		return Address{Any: true}, nil
+	case tokWord:
+		host := t.text
+		nxt, ok := p.peek()
+		if !ok || nxt.kind != tokColon {
+			return Address{Host: host}, nil
+		}
+		p.pos++
+		return p.finishAddress(host)
+	default:
+		return Address{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad address token %q", t.text)}
+	}
+}
+
+func (p *parser) finishAddress(host string) (Address, error) {
+	t, ok := p.next()
+	if !ok {
+		return Address{}, p.errorf("expected port after ':'")
+	}
+	switch t.kind {
+	case tokStar:
+		return Address{Host: host}, nil
+	case tokWord:
+		port, err := strconv.ParseUint(t.text, 10, 16)
+		if err != nil {
+			return Address{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad port %q", t.text)}
+		}
+		return Address{Host: host, Port: uint16(port)}, nil
+	default:
+		return Address{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad port token %q", t.text)}
+	}
+}
+
+func (p *parser) parseLimit() (Limit, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokWord {
+		return Limit{}, p.errorf("expected limit (e.g. 90s or 5000p)")
+	}
+	text := t.text
+	if strings.HasSuffix(text, "p") {
+		n, err := strconv.Atoi(strings.TrimSuffix(text, "p"))
+		if err != nil || n <= 0 {
+			return Limit{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad packet limit %q", text)}
+		}
+		return Limit{Packets: n}, nil
+	}
+	d, err := time.ParseDuration(text)
+	if err != nil || d <= 0 {
+		return Limit{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad time limit %q", text)}
+	}
+	return Limit{Duration: d}, nil
+}
+
+func (p *parser) parseSample() (Sample, error) {
+	t, ok := p.next()
+	if !ok {
+		return Sample{}, p.errorf("expected sample rate (0.1, auto or *)")
+	}
+	switch {
+	case t.kind == tokStar:
+		return Sample{Mode: SampleAll}, nil
+	case t.kind == tokWord && strings.EqualFold(t.text, "auto"):
+		return Sample{Mode: SampleAuto}, nil
+	case t.kind == tokWord:
+		rate, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || rate <= 0 || rate > 1 {
+			return Sample{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad sample rate %q (want (0,1], auto or *)", t.text)}
+		}
+		return Sample{Mode: SampleRate, Rate: rate}, nil
+	default:
+		return Sample{}, &ParseError{Offset: t.off, Msg: fmt.Sprintf("bad sample token %q", t.text)}
+	}
+}
+
+func (p *parser) parseProcessorList() ([]ProcessorSpec, error) {
+	var specs []ProcessorSpec
+	for {
+		spec, err := p.parseProcessor()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+		if t, ok := p.peek(); !ok || t.kind != tokComma {
+			return specs, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseProcessor() (ProcessorSpec, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokLParen {
+		return ProcessorSpec{}, p.errorf("expected '(' to open processor")
+	}
+	t, ok = p.next()
+	if !ok || t.kind != tokWord {
+		return ProcessorSpec{}, p.errorf("expected processor name")
+	}
+	spec := ProcessorSpec{Name: t.text, Args: map[string]string{}}
+
+	t, ok = p.next()
+	if !ok {
+		return ProcessorSpec{}, p.errorf("unterminated processor")
+	}
+	if t.kind == tokRParen {
+		return spec, nil
+	}
+	if t.kind != tokColon {
+		return ProcessorSpec{}, &ParseError{Offset: t.off, Msg: "expected ':' or ')' after processor name"}
+	}
+	for {
+		name, ok := p.next()
+		if !ok || name.kind != tokWord {
+			return ProcessorSpec{}, p.errorf("expected argument name")
+		}
+		eq, ok := p.next()
+		if !ok || eq.kind != tokEquals {
+			return ProcessorSpec{}, p.errorf("expected '=' after argument %q", name.text)
+		}
+		val, ok := p.next()
+		if !ok || (val.kind != tokWord && val.kind != tokStar) {
+			return ProcessorSpec{}, p.errorf("expected value for argument %q", name.text)
+		}
+		spec.Args[name.text] = val.text
+
+		t, ok = p.next()
+		if !ok {
+			return ProcessorSpec{}, p.errorf("unterminated processor")
+		}
+		if t.kind == tokRParen {
+			return spec, nil
+		}
+		if t.kind != tokComma {
+			return ProcessorSpec{}, &ParseError{Offset: t.off, Msg: "expected ',' or ')' in argument list"}
+		}
+	}
+}
+
+// Validate checks the query against the sets of known parser and processor
+// names (nil sets skip that check).
+func Validate(q *Query, knownParsers, knownProcessors map[string]bool) error {
+	if len(q.Parsers) == 0 {
+		return errors.New("query: no parsers")
+	}
+	if knownParsers != nil {
+		for _, name := range q.Parsers {
+			if !knownParsers[name] {
+				return fmt.Errorf("query: unknown parser %q", name)
+			}
+		}
+	}
+	if len(q.Processors) == 0 {
+		return errors.New("query: no processors")
+	}
+	if knownProcessors != nil {
+		for _, spec := range q.Processors {
+			if !knownProcessors[spec.Name] {
+				return fmt.Errorf("query: unknown processor %q", spec.Name)
+			}
+		}
+	}
+	seen := make(map[string]bool, len(q.Parsers))
+	for _, name := range q.Parsers {
+		if seen[name] {
+			return fmt.Errorf("query: parser %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// String renders the query back in canonical syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("PARSE ")
+	b.WriteString(strings.Join(q.Parsers, ", "))
+	if len(q.From) > 0 {
+		b.WriteString(" FROM ")
+		writeAddrs(&b, q.From)
+	}
+	if len(q.To) > 0 {
+		b.WriteString(" TO ")
+		writeAddrs(&b, q.To)
+	}
+	if q.Limit.Duration > 0 {
+		fmt.Fprintf(&b, " LIMIT %s", q.Limit.Duration)
+	} else if q.Limit.Packets > 0 {
+		fmt.Fprintf(&b, " LIMIT %dp", q.Limit.Packets)
+	}
+	switch q.Sample.Mode {
+	case SampleAuto:
+		b.WriteString(" SAMPLE auto")
+	case SampleRate:
+		fmt.Fprintf(&b, " SAMPLE %g", q.Sample.Rate)
+	}
+	b.WriteString(" PROCESS ")
+	for i, spec := range q.Processors {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		b.WriteString(spec.Name)
+		if len(spec.Args) > 0 {
+			b.WriteString(":")
+			keys := make([]string, 0, len(spec.Args))
+			for k := range spec.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for j, k := range keys {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, " %s=%s", k, spec.Args[k])
+			}
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeAddrs(b *strings.Builder, addrs []Address) {
+	for i, a := range addrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+}

@@ -1,0 +1,329 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParsePaperQuery1(t *testing.T) {
+	// First example query from §3.3.
+	q, err := Parse(`PARSE tcp_conn_time, http_get
+		FROM 10.0.2.8:5555 TO 10.0.2.9:80
+		LIMIT 90s SAMPLE auto
+		PROCESS (top-k: k=10, w=10s)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Parsers) != 2 || q.Parsers[0] != "tcp_conn_time" || q.Parsers[1] != "http_get" {
+		t.Errorf("parsers = %v", q.Parsers)
+	}
+	if len(q.From) != 1 || q.From[0].Host != "10.0.2.8" || q.From[0].Port != 5555 {
+		t.Errorf("from = %+v", q.From)
+	}
+	if len(q.To) != 1 || q.To[0].Host != "10.0.2.9" || q.To[0].Port != 80 {
+		t.Errorf("to = %+v", q.To)
+	}
+	if q.Limit.Duration != 90*time.Second || q.Limit.Packets != 0 {
+		t.Errorf("limit = %+v", q.Limit)
+	}
+	if q.Sample.Mode != SampleAuto {
+		t.Errorf("sample = %+v", q.Sample)
+	}
+	if len(q.Processors) != 1 {
+		t.Fatalf("processors = %+v", q.Processors)
+	}
+	p := q.Processors[0]
+	if p.Name != "top-k" || p.Args["k"] != "10" || p.Args["w"] != "10s" {
+		t.Errorf("processor = %+v", p)
+	}
+}
+
+func TestParsePaperQuery2(t *testing.T) {
+	// Second example query from §3.3.
+	q, err := Parse(`PARSE http_get FROM * TO h1:80, h2:3306
+		LIMIT 5000p SAMPLE 0.1
+		PROCESS (diff-group: group=get)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.From) != 1 || !q.From[0].Any {
+		t.Errorf("from = %+v, want wildcard", q.From)
+	}
+	if len(q.To) != 2 {
+		t.Fatalf("to = %+v", q.To)
+	}
+	if q.To[0].Host != "h1" || q.To[0].Port != 80 || q.To[1].Host != "h2" || q.To[1].Port != 3306 {
+		t.Errorf("to = %+v", q.To)
+	}
+	if q.Limit.Packets != 5000 || q.Limit.Duration != 0 {
+		t.Errorf("limit = %+v", q.Limit)
+	}
+	if q.Sample.Mode != SampleRate || q.Sample.Rate != 0.1 {
+		t.Errorf("sample = %+v", q.Sample)
+	}
+	if q.Processors[0].Args["group"] != "get" {
+		t.Errorf("processor = %+v", q.Processors[0])
+	}
+}
+
+func TestParseUseCaseQuery(t *testing.T) {
+	// §7.2's query, with SAMPLE *.
+	q, err := Parse(`PARSE tcp_conn_time FROM * TO h1:80, h2:3306 LIMIT 500s SAMPLE * PROCESS (diff-group: group=destIP)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Sample.Mode != SampleAll {
+		t.Errorf("sample = %+v", q.Sample)
+	}
+	if q.Limit.Duration != 500*time.Second {
+		t.Errorf("limit = %+v", q.Limit)
+	}
+}
+
+func TestParseAddressVariants(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Address
+	}{
+		{"h1:80", Address{Host: "h1", Port: 80}},
+		{"h1", Address{Host: "h1"}},
+		{"h1:*", Address{Host: "h1"}},
+		{"*:80", Address{Port: 80}},
+		{"*", Address{Any: true}},
+		{"10.1.2.3:443", Address{Host: "10.1.2.3", Port: 443}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			q, err := Parse("PARSE http_get FROM " + tt.in + " PROCESS (passthrough)")
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if q.From[0] != tt.want {
+				t.Errorf("addr = %+v, want %+v", q.From[0], tt.want)
+			}
+		})
+	}
+}
+
+func TestParseMultipleProcessors(t *testing.T) {
+	q, err := Parse(`PARSE http_get FROM * TO h1:80 PROCESS (top-k: k=5), (group-sum: group=dstIP)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Processors) != 2 || q.Processors[0].Name != "top-k" || q.Processors[1].Name != "group-sum" {
+		t.Errorf("processors = %+v", q.Processors)
+	}
+}
+
+func TestParseProcessorNoArgs(t *testing.T) {
+	q, err := Parse(`PARSE http_get TO h1:80 PROCESS (passthrough)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Processors[0].Name != "passthrough" || len(q.Processors[0].Args) != 0 {
+		t.Errorf("processor = %+v", q.Processors[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"empty", "   "},
+		{"missing parse", "FROM h1:80 PROCESS (x)"},
+		{"missing process", "PARSE http_get FROM h1:80"},
+		{"no from or to", "PARSE http_get LIMIT 5s PROCESS (x)"},
+		{"bad port", "PARSE p FROM h1:99999 PROCESS (x)"},
+		{"bad port word", "PARSE p FROM h1:abc PROCESS (x)"},
+		{"bad limit", "PARSE p FROM h1:80 LIMIT bogus PROCESS (x)"},
+		{"negative limit", "PARSE p FROM h1:80 LIMIT -5s PROCESS (x)"},
+		{"zero packets", "PARSE p FROM h1:80 LIMIT 0p PROCESS (x)"},
+		{"bad sample", "PARSE p FROM h1:80 SAMPLE 1.5 PROCESS (x)"},
+		{"sample zero", "PARSE p FROM h1:80 SAMPLE 0 PROCESS (x)"},
+		{"unterminated processor", "PARSE p FROM h1:80 PROCESS (x"},
+		{"processor missing value", "PARSE p FROM h1:80 PROCESS (x: k=)"},
+		{"processor missing equals", "PARSE p FROM h1:80 PROCESS (x: k 10)"},
+		{"trailing junk", "PARSE p FROM h1:80 PROCESS (x) extra"},
+		{"bad char", "PARSE p FROM h1:80 PROCESS (x) ;"},
+		{"dangling colon", "PARSE p FROM h1: PROCESS (x)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.in); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasOffset(t *testing.T) {
+	_, err := Parse("PARSE p FROM h1:80 PROCESS (x) ;")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *ParseError", err, err)
+	}
+	if pe.Offset != strings.Index("PARSE p FROM h1:80 PROCESS (x) ;", ";") {
+		t.Errorf("offset = %d", pe.Offset)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestComments(t *testing.T) {
+	q, err := Parse(`# watch the web tier
+		PARSE http_get           # request urls
+		FROM * TO h1:80          # the front end
+		PROCESS (top-k: k=5)     # trending pages`)
+	if err != nil {
+		t.Fatalf("Parse with comments: %v", err)
+	}
+	if len(q.Parsers) != 1 || q.To[0].Host != "h1" || q.Processors[0].Name != "top-k" {
+		t.Errorf("q = %+v", q)
+	}
+	if _, err := Parse("# only a comment"); !errors.Is(err, ErrEmpty) {
+		t.Errorf("comment-only input: err = %v", err)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	q, err := Parse(`parse http_get from h1:80 to h2:81 limit 9s sample auto process (top-k)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Parsers) != 1 || q.Sample.Mode != SampleAuto {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	known := map[string]bool{"http_get": true, "tcp_conn_time": true}
+	procs := map[string]bool{"top-k": true}
+
+	ok := &Query{Parsers: []string{"http_get"}, Processors: []ProcessorSpec{{Name: "top-k"}}}
+	if err := Validate(ok, known, procs); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		q    *Query
+	}{
+		{"no parsers", &Query{Processors: []ProcessorSpec{{Name: "top-k"}}}},
+		{"unknown parser", &Query{Parsers: []string{"nope"}, Processors: []ProcessorSpec{{Name: "top-k"}}}},
+		{"no processors", &Query{Parsers: []string{"http_get"}}},
+		{"unknown processor", &Query{Parsers: []string{"http_get"}, Processors: []ProcessorSpec{{Name: "nope"}}}},
+		{"duplicate parser", &Query{Parsers: []string{"http_get", "http_get"}, Processors: []ProcessorSpec{{Name: "top-k"}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Validate(tt.q, known, procs); err == nil {
+				t.Error("invalid query accepted")
+			}
+		})
+	}
+
+	// nil sets skip the registry checks.
+	loose := &Query{Parsers: []string{"anything"}, Processors: []ProcessorSpec{{Name: "whatever"}}}
+	if err := Validate(loose, nil, nil); err != nil {
+		t.Errorf("nil-set validation failed: %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		`PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)`,
+		`PARSE http_get FROM * TO h1:80, h2:3306 LIMIT 5000p SAMPLE 0.1 PROCESS (diff-group: group=get)`,
+		`PARSE tcp_pkt_size TO h1:3306 PROCESS (group-sum: group=dstIP)`,
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed:\n %q\n %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	tests := []struct {
+		a    Address
+		want string
+	}{
+		{Address{Any: true}, "*"},
+		{Address{Host: "h1", Port: 80}, "h1:80"},
+		{Address{Host: "h1"}, "h1:*"},
+		{Address{Port: 80}, "*:80"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestLimitIsZero(t *testing.T) {
+	if !(Limit{}).IsZero() {
+		t.Error("zero limit not IsZero")
+	}
+	if (Limit{Duration: time.Second}).IsZero() || (Limit{Packets: 1}).IsZero() {
+		t.Error("non-zero limit reported IsZero")
+	}
+}
+
+// Property: Parse never panics and either errors or returns a query whose
+// String() reparses, for arbitrary byte soup and for mutations of a valid
+// query.
+func TestParseRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	valid := `PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO h1:80, 10.0.0.0/24:3306 LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)`
+	alphabet := []byte("PARSEFROMTOLIMITSAMPLEPROCESS():=,.*0123456789abchs /-_")
+	prop := func() bool {
+		var input string
+		if rng.Intn(2) == 0 {
+			// Random soup.
+			b := make([]byte, rng.Intn(120))
+			for i := range b {
+				b[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			input = string(b)
+		} else {
+			// Mutated valid query: delete or duplicate a span.
+			start := rng.Intn(len(valid))
+			end := start + rng.Intn(len(valid)-start)
+			if rng.Intn(2) == 0 {
+				input = valid[:start] + valid[end:]
+			} else {
+				input = valid[:start] + valid[start:end] + valid[start:end] + valid[end:]
+			}
+		}
+		q, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		_, err = Parse(q.String())
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	in := `PARSE tcp_conn_time, http_get FROM 10.0.2.8:5555 TO 10.0.2.9:80 LIMIT 90s SAMPLE auto PROCESS (top-k: k=10, w=10s)`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package report renders query results for humans: it is the Result
+// Interface of Fig. 1, turning rankings, group aggregates and latency
+// distributions into aligned text tables and ASCII histograms for the CLI
+// and examples.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netalytics/internal/metrics"
+	"netalytics/internal/stream"
+)
+
+// Rankings renders a top-k result as an aligned two-column table with
+// proportional bars.
+func Rankings(title string, entries []stream.RankEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(entries) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	keyWidth := 0
+	maxCount := entries[0].Count
+	for _, e := range entries {
+		if len(e.Key) > keyWidth {
+			keyWidth = len(e.Key)
+		}
+		if e.Count > maxCount {
+			maxCount = e.Count
+		}
+	}
+	for i, e := range entries {
+		fmt.Fprintf(&b, "  %2d. %-*s %8.0f %s\n", i+1, keyWidth, e.Key, e.Count, bar(e.Count, maxCount, 24))
+	}
+	return b.String()
+}
+
+// Row is one entry of a group table.
+type Row struct {
+	Key string
+	Val float64
+}
+
+// GroupTable renders (group, value) aggregates sorted by descending value.
+// The unit string is appended to each value.
+func GroupTable(title string, rows map[string]float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(rows) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	sorted := make([]Row, 0, len(rows))
+	keyWidth := 0
+	for k, v := range rows {
+		sorted = append(sorted, Row{Key: k, Val: v})
+		if len(k) > keyWidth {
+			keyWidth = len(k)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Val != sorted[j].Val {
+			return sorted[i].Val > sorted[j].Val
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	maxVal := sorted[0].Val
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "  %-*s %12.2f%s %s\n", keyWidth, r.Key, r.Val, unit, bar(r.Val, maxVal, 24))
+	}
+	return b.String()
+}
+
+// Histogram renders a series as an ASCII histogram with the given bin width.
+func Histogram(title string, s *metrics.Series, binWidth float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (%s)\n", title, s.Summary())
+	bins := s.Histogram(binWidth)
+	if len(bins) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	maxCount := 0
+	for _, bin := range bins {
+		if bin.Count > maxCount {
+			maxCount = bin.Count
+		}
+	}
+	for _, bin := range bins {
+		if bin.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  [%8.1f, %8.1f) %6d %s\n",
+			bin.Lo, bin.Hi, bin.Count, bar(float64(bin.Count), float64(maxCount), 32))
+	}
+	return b.String()
+}
+
+// bar renders a proportional bar of at most width characters (always at
+// least one for non-zero values).
+func bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 1 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"netalytics/internal/metrics"
+	"netalytics/internal/stream"
+)
+
+func TestRankings(t *testing.T) {
+	out := Rankings("top urls", []stream.RankEntry{
+		{Key: "/hot", Count: 100},
+		{Key: "/warm", Count: 50},
+		{Key: "/c", Count: 1},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "top urls" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1. /hot") || !strings.Contains(lines[1], "100") {
+		t.Errorf("first row = %q", lines[1])
+	}
+	// Bars are proportional: the top entry's bar is the longest.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+	// Tiny non-zero values still render a bar.
+	if strings.Count(lines[3], "#") != 1 {
+		t.Errorf("minimum bar missing: %q", lines[3])
+	}
+}
+
+func TestRankingsEmpty(t *testing.T) {
+	if out := Rankings("t", nil); !strings.Contains(out, "no data") {
+		t.Errorf("empty rankings = %q", out)
+	}
+}
+
+func TestGroupTableSorted(t *testing.T) {
+	out := GroupTable("per-edge", map[string]float64{
+		"a->b": 5, "c->d": 25, "e->f": 10,
+	}, "ms")
+	idx := func(sub string) int { return strings.Index(out, sub) }
+	if !(idx("c->d") < idx("e->f") && idx("e->f") < idx("a->b")) {
+		t.Errorf("rows not sorted by value:\n%s", out)
+	}
+	if !strings.Contains(out, "25.00ms") {
+		t.Errorf("unit missing:\n%s", out)
+	}
+	if out := GroupTable("t", nil, ""); !strings.Contains(out, "no data") {
+		t.Errorf("empty table = %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s metrics.Series
+	for i := 0; i < 30; i++ {
+		s.Add(5)
+	}
+	s.Add(95)
+	out := Histogram("latency", &s, 10)
+	if !strings.Contains(out, "[     0.0,     10.0)") {
+		t.Errorf("first bin missing:\n%s", out)
+	}
+	if !strings.Contains(out, "30") {
+		t.Errorf("count missing:\n%s", out)
+	}
+	// Empty middle bins are elided.
+	if strings.Contains(out, "[    20.0,") {
+		t.Errorf("empty bin rendered:\n%s", out)
+	}
+	var empty metrics.Series
+	if out := Histogram("x", &empty, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty histogram = %q", out)
+	}
+}

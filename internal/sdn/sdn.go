@@ -1,0 +1,415 @@
+// Package sdn implements the OpenFlow-like control plane NetAlytics uses to
+// steer traffic: per-switch flow tables of prioritized match/action rules and
+// a logically centralized controller that installs and removes them.
+//
+// A NetAlytics query compiles into mirror rules (§3.4): the match portion is
+// derived from the FROM/TO clauses, and the action list carries both the
+// standard forwarding action and a secondary mirror action toward a monitor,
+// so monitoring stays off the critical path.
+package sdn
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/topology"
+)
+
+// Match selects flows by five-tuple fields. The zero value of each field is
+// a wildcard: an invalid netip.Addr matches any address, port 0 matches any
+// port and proto 0 matches any protocol. SrcNet/DstNet, when valid, match by
+// CIDR prefix (the query language's subnet:port addresses); an exact IP and
+// a prefix on the same side must both hold.
+type Match struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcNet  netip.Prefix
+	DstNet  netip.Prefix
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// MatchAll is the fully wildcarded match.
+var MatchAll = Match{}
+
+// Matches reports whether the five-tuple satisfies every non-wildcard field.
+func (m Match) Matches(ft packet.FiveTuple) bool {
+	if m.SrcIP.IsValid() && m.SrcIP != ft.Src {
+		return false
+	}
+	if m.DstIP.IsValid() && m.DstIP != ft.Dst {
+		return false
+	}
+	if m.SrcNet.IsValid() && !m.SrcNet.Contains(ft.Src) {
+		return false
+	}
+	if m.DstNet.IsValid() && !m.DstNet.Contains(ft.Dst) {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != ft.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != ft.DstPort {
+		return false
+	}
+	if m.Proto != 0 && m.Proto != ft.Proto {
+		return false
+	}
+	return true
+}
+
+// Specificity counts the non-wildcard fields; more specific rules win ties
+// at equal priority. Exact IPs count more than prefixes.
+func (m Match) Specificity() int {
+	n := 0
+	if m.SrcIP.IsValid() {
+		n += 2
+	} else if m.SrcNet.IsValid() {
+		n++
+	}
+	if m.DstIP.IsValid() {
+		n += 2
+	} else if m.DstNet.IsValid() {
+		n++
+	}
+	if m.SrcPort != 0 {
+		n++
+	}
+	if m.DstPort != 0 {
+		n++
+	}
+	if m.Proto != 0 {
+		n++
+	}
+	return n
+}
+
+func (m Match) String() string {
+	part := func(ip netip.Addr, net netip.Prefix, port uint16) string {
+		ipStr, portStr := "*", "*"
+		switch {
+		case ip.IsValid():
+			ipStr = ip.String()
+		case net.IsValid():
+			ipStr = net.String()
+		}
+		if port != 0 {
+			portStr = fmt.Sprint(port)
+		}
+		return ipStr + ":" + portStr
+	}
+	return fmt.Sprintf("%s->%s", part(m.SrcIP, m.SrcNet, m.SrcPort), part(m.DstIP, m.DstNet, m.DstPort))
+}
+
+// Reverse returns the match with source and destination sides swapped.
+func (m Match) Reverse() Match {
+	return Match{
+		SrcIP: m.DstIP, DstIP: m.SrcIP,
+		SrcNet: m.DstNet, DstNet: m.SrcNet,
+		SrcPort: m.DstPort, DstPort: m.SrcPort,
+		Proto: m.Proto,
+	}
+}
+
+// ActionType enumerates the supported rule actions.
+type ActionType int
+
+// Supported actions: forward toward the normal destination, or mirror a copy
+// to a monitoring host.
+const (
+	ActionForward ActionType = iota + 1
+	ActionMirror
+)
+
+// Action is one entry in a rule's action list. Dst is the node the frame (or
+// its mirror copy) is sent toward.
+type Action struct {
+	Type ActionType
+	Dst  topology.NodeID
+}
+
+// Rule is an installed flow-table entry.
+type Rule struct {
+	ID       uint64
+	QueryID  string // owning query, for batch removal
+	Priority int
+	Match    Match
+	Actions  []Action
+
+	matches atomic.Uint64
+	// sampleThreshold gates mirror actions by flow hash (top 32 bits),
+	// implementing switch-level flow sampling (§4.2's escalation: when a
+	// monitor is overloaded, the controller reduces the flows sent to it).
+	// Zero means no rule-level sampling.
+	sampleThreshold atomic.Uint64
+}
+
+// SetMirrorSampling sets the fraction of flows (by canonical flow hash) the
+// rule's mirror actions apply to; rate >= 1 disables rule-level sampling.
+func (r *Rule) SetMirrorSampling(rate float64) {
+	if rate >= 1 || rate < 0 {
+		r.sampleThreshold.Store(0)
+		return
+	}
+	r.sampleThreshold.Store(uint64(rate*math.MaxUint32) | 1) // |1: distinguish "set" from "off"
+}
+
+// MirrorSampling returns the rule's mirror sampling rate (1 = no sampling).
+func (r *Rule) MirrorSampling() float64 {
+	t := r.sampleThreshold.Load()
+	if t == 0 {
+		return 1
+	}
+	return float64(t) / math.MaxUint32
+}
+
+// admitsMirror reports whether the flow passes the rule's mirror sampling.
+func (r *Rule) admitsMirror(ft packet.FiveTuple) bool {
+	t := r.sampleThreshold.Load()
+	if t == 0 {
+		return true
+	}
+	return ft.CanonicalHash()>>32 <= t
+}
+
+// MatchCount returns how many lookups this rule has won.
+func (r *Rule) MatchCount() uint64 { return r.matches.Load() }
+
+// FlowTable is one switch's rule set. The zero value is ready to use.
+type FlowTable struct {
+	mu     sync.RWMutex
+	rules  []*Rule // sorted: priority desc, specificity desc, id asc
+	misses atomic.Uint64
+}
+
+// Install adds a rule to the table.
+func (t *FlowTable) Install(r *Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, r)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		a, b := t.rules[i], t.rules[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		sa, sb := a.Match.Specificity(), b.Match.Specificity()
+		if sa != sb {
+			return sa > sb
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Remove deletes the rule with the given ID, reporting whether it existed.
+func (t *FlowTable) Remove(id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rules {
+		if r.ID == id {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// removeByQuery deletes all rules tagged with queryID, returning the count.
+func (t *FlowTable) removeByQuery(queryID string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rules[:0]
+	removed := 0
+	for _, r := range t.rules {
+		if r.QueryID == queryID {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return removed
+}
+
+// Lookup returns the highest-priority rule matching the tuple, or nil on a
+// table miss.
+func (t *FlowTable) Lookup(ft packet.FiveTuple) *Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rules {
+		if r.Match.Matches(ft) {
+			r.matches.Add(1)
+			return r
+		}
+	}
+	t.misses.Add(1)
+	return nil
+}
+
+// MirrorTargets returns the mirror destinations of every rule matching the
+// tuple, deduplicated. Unlike Lookup it scans all matching rules, because
+// several concurrent queries may each mirror the same flow to different
+// monitors.
+func (t *FlowTable) MirrorTargets(ft packet.FiveTuple) []topology.NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []topology.NodeID
+	for _, r := range t.rules {
+		if !r.Match.Matches(ft) {
+			continue
+		}
+		r.matches.Add(1)
+		if !r.admitsMirror(ft) {
+			continue
+		}
+		for _, a := range r.Actions {
+			if a.Type != ActionMirror {
+				continue
+			}
+			dup := false
+			for _, d := range out {
+				if d == a.Dst {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, a.Dst)
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of installed rules.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// Misses returns the number of lookups that matched no rule.
+func (t *FlowTable) Misses() uint64 { return t.misses.Load() }
+
+// Controller is the logically centralized SDN controller: it owns one flow
+// table per switch and provides the northbound API the query interpreter
+// talks to.
+type Controller struct {
+	mu     sync.Mutex
+	tables map[topology.NodeID]*FlowTable
+	nextID atomic.Uint64
+}
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{tables: make(map[topology.NodeID]*FlowTable)}
+}
+
+// Table returns the flow table of a switch, creating it on first use.
+func (c *Controller) Table(sw topology.NodeID) *FlowTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[sw]
+	if !ok {
+		t = &FlowTable{}
+		c.tables[sw] = t
+	}
+	return t
+}
+
+// InstalledRule pairs a rule with the switch it lives on.
+type InstalledRule struct {
+	Switch topology.NodeID
+	Rule   *Rule
+}
+
+// InstallMirror installs a mirror rule on a switch: matched frames keep
+// their normal forwarding and a copy is sent to tap. Returns the rule ID.
+func (c *Controller) InstallMirror(queryID string, sw topology.NodeID, m Match, tap topology.NodeID, priority int) uint64 {
+	r := &Rule{
+		ID:       c.nextID.Add(1),
+		QueryID:  queryID,
+		Priority: priority,
+		Match:    m,
+		Actions: []Action{
+			{Type: ActionForward, Dst: 0},
+			{Type: ActionMirror, Dst: tap},
+		},
+	}
+	c.Table(sw).Install(r)
+	return r.ID
+}
+
+// RemoveQuery uninstalls every rule belonging to a query across all
+// switches, returning the number removed.
+func (c *Controller) RemoveQuery(queryID string) int {
+	c.mu.Lock()
+	tables := make([]*FlowTable, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.Unlock()
+	removed := 0
+	for _, t := range tables {
+		removed += t.removeByQuery(queryID)
+	}
+	return removed
+}
+
+// QueryRules lists every installed rule belonging to a query.
+func (c *Controller) QueryRules(queryID string) []InstalledRule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []InstalledRule
+	for sw, t := range c.tables {
+		t.mu.RLock()
+		for _, r := range t.rules {
+			if r.QueryID == queryID {
+				out = append(out, InstalledRule{Switch: sw, Rule: r})
+			}
+		}
+		t.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.ID < out[j].Rule.ID })
+	return out
+}
+
+// SetQuerySampling applies switch-level mirror sampling to every rule of a
+// query (§4.2's controller escalation), returning the number of rules
+// updated. rate >= 1 disables sampling.
+func (c *Controller) SetQuerySampling(queryID string, rate float64) int {
+	c.mu.Lock()
+	tables := make([]*FlowTable, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.Unlock()
+	updated := 0
+	for _, t := range tables {
+		t.mu.RLock()
+		for _, r := range t.rules {
+			if r.QueryID == queryID {
+				r.SetMirrorSampling(rate)
+				updated++
+			}
+		}
+		t.mu.RUnlock()
+	}
+	return updated
+}
+
+// RuleCount returns the total number of rules installed across all switches.
+func (c *Controller) RuleCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.tables {
+		n += t.Len()
+	}
+	return n
+}

@@ -1,0 +1,330 @@
+package sdn
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/topology"
+)
+
+var (
+	ipA = netip.MustParseAddr("10.0.2.8")
+	ipB = netip.MustParseAddr("10.0.2.9")
+	ipC = netip.MustParseAddr("10.0.3.7")
+)
+
+func tuple(src netip.Addr, sport uint16, dst netip.Addr, dport uint16) packet.FiveTuple {
+	return packet.FiveTuple{Src: src, SrcPort: sport, Dst: dst, DstPort: dport, Proto: packet.ProtoTCP}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	ft := tuple(ipA, 5555, ipB, 80)
+	tests := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"match all", MatchAll, true},
+		{"exact", Match{SrcIP: ipA, SrcPort: 5555, DstIP: ipB, DstPort: 80, Proto: packet.ProtoTCP}, true},
+		{"dst only", Match{DstIP: ipB, DstPort: 80}, true},
+		{"dst ip any port", Match{DstIP: ipB}, true},
+		{"wrong dst port", Match{DstIP: ipB, DstPort: 3306}, false},
+		{"wrong src ip", Match{SrcIP: ipC}, false},
+		{"wrong proto", Match{Proto: packet.ProtoUDP}, false},
+		{"src port only", Match{SrcPort: 5555}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.Matches(ft); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatchSpecificityAndString(t *testing.T) {
+	m := Match{DstIP: ipB, DstPort: 80}
+	if got := m.Specificity(); got != 3 { // exact IP counts 2, port 1
+		t.Errorf("Specificity = %d, want 3", got)
+	}
+	if got := MatchAll.Specificity(); got != 0 {
+		t.Errorf("MatchAll Specificity = %d, want 0", got)
+	}
+	sub := Match{DstNet: netip.MustParsePrefix("10.0.2.0/24"), DstPort: 80}
+	if got := sub.Specificity(); got != 2 { // prefix counts 1, port 1
+		t.Errorf("subnet Specificity = %d, want 2", got)
+	}
+	if got := m.String(); got != "*:*->10.0.2.9:80" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMatchSubnets(t *testing.T) {
+	rack := netip.MustParsePrefix("10.0.2.0/24")
+	m := Match{DstNet: rack, DstPort: 80}
+	if !m.Matches(tuple(ipC, 1, ipA, 80)) {
+		t.Error("in-subnet tuple rejected")
+	}
+	if m.Matches(tuple(ipA, 1, ipC, 80)) {
+		t.Error("out-of-subnet tuple matched")
+	}
+	if m.Matches(tuple(ipC, 1, ipB, 443)) {
+		t.Error("wrong port matched")
+	}
+	src := Match{SrcNet: rack}
+	if !src.Matches(tuple(ipA, 1, ipC, 80)) || src.Matches(tuple(ipC, 1, ipA, 80)) {
+		t.Error("SrcNet matching wrong")
+	}
+	if got := m.String(); got != "*:*->10.0.2.0/24:80" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMatchReverse(t *testing.T) {
+	m := Match{
+		SrcIP: ipA, DstNet: netip.MustParsePrefix("10.0.3.0/24"),
+		SrcPort: 5555, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+	r := m.Reverse()
+	if r.DstIP != ipA || r.SrcNet != m.DstNet || r.SrcPort != 80 || r.DstPort != 5555 || r.Proto != m.Proto {
+		t.Errorf("Reverse = %+v", r)
+	}
+	if rr := r.Reverse(); rr != m {
+		t.Errorf("double Reverse = %+v, want original", rr)
+	}
+}
+
+func TestFlowTablePriorityOrder(t *testing.T) {
+	var ft FlowTable
+	low := &Rule{ID: 1, Priority: 1, Match: MatchAll}
+	high := &Rule{ID: 2, Priority: 10, Match: Match{DstIP: ipB}}
+	ft.Install(low)
+	ft.Install(high)
+
+	got := ft.Lookup(tuple(ipA, 1, ipB, 80))
+	if got != high {
+		t.Errorf("Lookup returned rule %d, want high-priority rule 2", got.ID)
+	}
+	// A tuple missing the specific rule falls through to the wildcard.
+	if got := ft.Lookup(tuple(ipA, 1, ipC, 80)); got != low {
+		t.Errorf("fallthrough returned %v, want low rule", got)
+	}
+	if high.MatchCount() != 1 || low.MatchCount() != 1 {
+		t.Errorf("match counts = %d/%d, want 1/1", high.MatchCount(), low.MatchCount())
+	}
+}
+
+func TestFlowTableSpecificityTieBreak(t *testing.T) {
+	var ft FlowTable
+	wide := &Rule{ID: 1, Priority: 5, Match: Match{DstIP: ipB}}
+	narrow := &Rule{ID: 2, Priority: 5, Match: Match{DstIP: ipB, DstPort: 80}}
+	ft.Install(wide)
+	ft.Install(narrow)
+	if got := ft.Lookup(tuple(ipA, 1, ipB, 80)); got != narrow {
+		t.Errorf("Lookup = rule %d, want the more specific rule 2", got.ID)
+	}
+}
+
+func TestFlowTableMiss(t *testing.T) {
+	var ft FlowTable
+	ft.Install(&Rule{ID: 1, Match: Match{DstIP: ipB}})
+	if got := ft.Lookup(tuple(ipA, 1, ipC, 80)); got != nil {
+		t.Errorf("Lookup = %v, want nil", got)
+	}
+	if ft.Misses() != 1 {
+		t.Errorf("Misses = %d, want 1", ft.Misses())
+	}
+}
+
+func TestFlowTableRemove(t *testing.T) {
+	var ft FlowTable
+	ft.Install(&Rule{ID: 7, Match: MatchAll})
+	if !ft.Remove(7) {
+		t.Error("Remove(7) = false")
+	}
+	if ft.Remove(7) {
+		t.Error("second Remove(7) = true")
+	}
+	if ft.Len() != 0 {
+		t.Errorf("Len = %d, want 0", ft.Len())
+	}
+}
+
+func TestMirrorTargetsDeduplicated(t *testing.T) {
+	var ft FlowTable
+	mon1, mon2 := topology.NodeID(100), topology.NodeID(200)
+	ft.Install(&Rule{ID: 1, Match: Match{DstIP: ipB}, Actions: []Action{{Type: ActionMirror, Dst: mon1}}})
+	ft.Install(&Rule{ID: 2, Match: Match{DstPort: 80}, Actions: []Action{{Type: ActionMirror, Dst: mon1}, {Type: ActionMirror, Dst: mon2}}})
+	ft.Install(&Rule{ID: 3, Match: Match{DstIP: ipC}, Actions: []Action{{Type: ActionMirror, Dst: mon2}}})
+
+	got := ft.MirrorTargets(tuple(ipA, 1, ipB, 80))
+	if len(got) != 2 {
+		t.Fatalf("targets = %v, want two deduplicated monitors", got)
+	}
+	if got[0] != mon1 || got[1] != mon2 {
+		t.Errorf("targets = %v, want [%d %d]", got, mon1, mon2)
+	}
+	// Non-matching tuple yields nothing.
+	if got := ft.MirrorTargets(tuple(ipA, 1, ipC, 443)); len(got) != 1 || got[0] != mon2 {
+		t.Errorf("targets for ipC = %v, want only mon2", got)
+	}
+}
+
+func TestRuleMirrorSampling(t *testing.T) {
+	var ft FlowTable
+	mon := topology.NodeID(42)
+	rule := &Rule{ID: 1, Match: Match{DstPort: 80}, Actions: []Action{{Type: ActionMirror, Dst: mon}}}
+	ft.Install(rule)
+
+	if got := rule.MirrorSampling(); got != 1 {
+		t.Errorf("default MirrorSampling = %v, want 1", got)
+	}
+
+	countMirrored := func() int {
+		n := 0
+		for i := 0; i < 400; i++ {
+			probe := tuple(ipA, uint16(1000+i), ipB, 80)
+			if len(ft.MirrorTargets(probe)) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countMirrored(); got != 400 {
+		t.Fatalf("unsampled rule mirrored %d/400", got)
+	}
+
+	rule.SetMirrorSampling(0.5)
+	if got := rule.MirrorSampling(); got < 0.49 || got > 0.51 {
+		t.Errorf("MirrorSampling = %v, want ~0.5", got)
+	}
+	got := countMirrored()
+	if got < 120 || got > 280 {
+		t.Errorf("rule at rate 0.5 mirrored %d/400, outside [120,280]", got)
+	}
+
+	// Flow-consistency: the same flow is always mirrored or always dropped.
+	probe := tuple(ipA, 1234, ipB, 80)
+	first := len(ft.MirrorTargets(probe)) > 0
+	for i := 0; i < 10; i++ {
+		if (len(ft.MirrorTargets(probe)) > 0) != first {
+			t.Fatal("rule sampling not flow-consistent")
+		}
+	}
+
+	rule.SetMirrorSampling(1.5) // out of range disables sampling
+	if got := countMirrored(); got != 400 {
+		t.Errorf("disabled sampling mirrored %d/400", got)
+	}
+}
+
+func TestControllerSetQuerySampling(t *testing.T) {
+	c := NewController()
+	tap := topology.NodeID(9)
+	c.InstallMirror("q1", 1, Match{DstPort: 80}, tap, 10)
+	c.InstallMirror("q1", 2, Match{DstPort: 80}, tap, 10)
+	c.InstallMirror("q2", 1, Match{DstPort: 81}, tap, 10)
+
+	if updated := c.SetQuerySampling("q1", 0.25); updated != 2 {
+		t.Errorf("updated %d rules, want 2", updated)
+	}
+	for _, ir := range c.QueryRules("q1") {
+		if got := ir.Rule.MirrorSampling(); got > 0.26 || got < 0.24 {
+			t.Errorf("q1 rule sampling = %v, want 0.25", got)
+		}
+	}
+	for _, ir := range c.QueryRules("q2") {
+		if got := ir.Rule.MirrorSampling(); got != 1 {
+			t.Errorf("q2 rule sampling = %v, want untouched 1", got)
+		}
+	}
+}
+
+func TestControllerInstallAndRemoveQuery(t *testing.T) {
+	c := NewController()
+	sw1, sw2 := topology.NodeID(10), topology.NodeID(20)
+	tap := topology.NodeID(99)
+
+	id1 := c.InstallMirror("q1", sw1, Match{DstIP: ipB, DstPort: 80}, tap, 100)
+	id2 := c.InstallMirror("q1", sw2, Match{DstIP: ipB, DstPort: 80}, tap, 100)
+	c.InstallMirror("q2", sw1, Match{DstIP: ipC}, tap, 100)
+
+	if id1 == id2 {
+		t.Error("rule IDs not unique")
+	}
+	if got := c.RuleCount(); got != 3 {
+		t.Errorf("RuleCount = %d, want 3", got)
+	}
+	rules := c.QueryRules("q1")
+	if len(rules) != 2 {
+		t.Fatalf("QueryRules(q1) = %d rules, want 2", len(rules))
+	}
+	for _, ir := range rules {
+		hasMirror := false
+		for _, a := range ir.Rule.Actions {
+			if a.Type == ActionMirror && a.Dst == tap {
+				hasMirror = true
+			}
+		}
+		if !hasMirror {
+			t.Errorf("rule %d has no mirror action to tap", ir.Rule.ID)
+		}
+	}
+
+	if removed := c.RemoveQuery("q1"); removed != 2 {
+		t.Errorf("RemoveQuery(q1) = %d, want 2", removed)
+	}
+	if got := c.RuleCount(); got != 1 {
+		t.Errorf("RuleCount after removal = %d, want 1", got)
+	}
+	if removed := c.RemoveQuery("q1"); removed != 0 {
+		t.Errorf("second RemoveQuery(q1) = %d, want 0", removed)
+	}
+}
+
+func TestControllerTableReuse(t *testing.T) {
+	c := NewController()
+	sw := topology.NodeID(5)
+	if c.Table(sw) != c.Table(sw) {
+		t.Error("Table returned different instances for one switch")
+	}
+}
+
+func TestControllerConcurrentAccess(t *testing.T) {
+	c := NewController()
+	tap := topology.NodeID(999)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sw := topology.NodeID(g % 4)
+			for i := 0; i < 50; i++ {
+				c.InstallMirror("load", sw, Match{DstPort: uint16(i + 1)}, tap, i)
+				c.Table(sw).Lookup(tuple(ipA, 1, ipB, uint16(i+1)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.RuleCount(); got != 8*50 {
+		t.Errorf("RuleCount = %d, want 400", got)
+	}
+	if removed := c.RemoveQuery("load"); removed != 400 {
+		t.Errorf("RemoveQuery = %d, want 400", removed)
+	}
+}
+
+func BenchmarkFlowTableLookup(b *testing.B) {
+	var ft FlowTable
+	for i := 0; i < 64; i++ {
+		ft.Install(&Rule{ID: uint64(i), Priority: i, Match: Match{DstPort: uint16(i + 1000)}})
+	}
+	ft.Install(&Rule{ID: 1000, Priority: -1, Match: MatchAll})
+	probe := tuple(ipA, 1, ipB, 80) // falls through to the wildcard
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ft.Lookup(probe)
+	}
+}

@@ -1,0 +1,491 @@
+// Package stream implements the real-time analytics engine of §3.2 and §5.3,
+// modeled on Apache Storm: a topology is a DAG of spouts (data sources) and
+// bolts (processors) connected by groupings, executed by a pool of task
+// goroutines per node. Fields grouping hashes a tuple attribute so that all
+// tuples sharing a key reach the same task — the property the paper's
+// counting bolts rely on — while shuffle grouping balances load and global
+// grouping funnels everything into a single task (the final ranking reducer).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// DefaultTickInterval is how often bolts with windowed state advance.
+const DefaultTickInterval = 100 * time.Millisecond
+
+// DefaultQueueDepth bounds each task's input queue.
+const DefaultQueueDepth = 1024
+
+// Engine errors.
+var (
+	ErrCycle        = errors.New("stream: topology has a cycle")
+	ErrUnknownNode  = errors.New("stream: unknown upstream node")
+	ErrDuplicate    = errors.New("stream: duplicate node name")
+	ErrEmptyTopo    = errors.New("stream: topology has no spouts")
+	ErrNotConnected = errors.New("stream: bolt has no inputs")
+)
+
+// EmitFunc forwards a tuple to the downstream bolts of the emitting node.
+type EmitFunc func(t tuple.Tuple)
+
+// Spout is a data source. Next returns the next available tuples, or nil
+// when none are ready (the executor backs off briefly before retrying).
+type Spout interface {
+	Next() []tuple.Tuple
+}
+
+// SpoutFunc adapts a function to the Spout interface.
+type SpoutFunc func() []tuple.Tuple
+
+// Next implements Spout.
+func (f SpoutFunc) Next() []tuple.Tuple { return f() }
+
+// Bolt processes tuples. Instances are per task, so implementations may keep
+// state without locking.
+type Bolt interface {
+	Execute(t tuple.Tuple, emit EmitFunc)
+}
+
+// Ticker is implemented by bolts with windowed state that advances on the
+// executor's tick interval (rolling counters, rankers).
+type Ticker interface {
+	Tick(emit EmitFunc)
+}
+
+// Cleaner is implemented by bolts that must flush state at shutdown.
+type Cleaner interface {
+	Cleanup(emit EmitFunc)
+}
+
+// BoltFunc adapts a function to the Bolt interface.
+type BoltFunc func(t tuple.Tuple, emit EmitFunc)
+
+// Execute implements Bolt.
+func (f BoltFunc) Execute(t tuple.Tuple, emit EmitFunc) { f(t, emit) }
+
+// Grouping selects how tuples from an upstream node are distributed across a
+// bolt's tasks.
+type Grouping int
+
+// Supported groupings.
+const (
+	// Shuffle distributes tuples round-robin.
+	Shuffle Grouping = iota + 1
+	// Fields routes tuples by hashing an attribute, so equal keys reach
+	// the same task.
+	Fields
+	// Global routes every tuple to task 0.
+	Global
+)
+
+type edge struct {
+	from     string
+	grouping Grouping
+	field    string // attribute name for Fields ("" = Key)
+}
+
+type nodeDecl struct {
+	name         string
+	parallelism  int
+	spoutFactory func() Spout
+	boltFactory  func() Bolt
+	inputs       []edge
+}
+
+// Topology declares a DAG of spouts and bolts.
+type Topology struct {
+	name  string
+	nodes map[string]*nodeDecl
+	order []string
+}
+
+// NewTopology creates an empty topology.
+func NewTopology(name string) *Topology {
+	return &Topology{name: name, nodes: make(map[string]*nodeDecl)}
+}
+
+// Name returns the topology name.
+func (t *Topology) Name() string { return t.name }
+
+// AddSpout declares a spout with the given parallelism (min 1). The factory
+// is invoked once per task.
+func (t *Topology) AddSpout(name string, factory func() Spout, parallelism int) error {
+	if _, dup := t.nodes[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	t.nodes[name] = &nodeDecl{name: name, parallelism: parallelism, spoutFactory: factory}
+	t.order = append(t.order, name)
+	return nil
+}
+
+// BoltBuilder connects a declared bolt to its inputs.
+type BoltBuilder struct {
+	topo *Topology
+	node *nodeDecl
+	err  error
+}
+
+// AddBolt declares a bolt with the given parallelism (min 1).
+func (t *Topology) AddBolt(name string, factory func() Bolt, parallelism int) *BoltBuilder {
+	if _, dup := t.nodes[name]; dup {
+		return &BoltBuilder{err: fmt.Errorf("%w: %q", ErrDuplicate, name)}
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	n := &nodeDecl{name: name, parallelism: parallelism, boltFactory: factory}
+	t.nodes[name] = n
+	t.order = append(t.order, name)
+	return &BoltBuilder{topo: t, node: n}
+}
+
+// ShuffleFrom subscribes the bolt to an upstream node with shuffle grouping.
+func (b *BoltBuilder) ShuffleFrom(from string) *BoltBuilder {
+	return b.subscribe(from, Shuffle, "")
+}
+
+// FieldsFrom subscribes with fields grouping on the given attribute
+// ("" groups by Key).
+func (b *BoltBuilder) FieldsFrom(from, field string) *BoltBuilder {
+	return b.subscribe(from, Fields, field)
+}
+
+// GlobalFrom subscribes with global grouping.
+func (b *BoltBuilder) GlobalFrom(from string) *BoltBuilder {
+	return b.subscribe(from, Global, "")
+}
+
+func (b *BoltBuilder) subscribe(from string, g Grouping, field string) *BoltBuilder {
+	if b.err != nil {
+		return b
+	}
+	b.node.inputs = append(b.node.inputs, edge{from: from, grouping: g, field: field})
+	return b
+}
+
+// Err returns any error accumulated while building.
+func (b *BoltBuilder) Err() error { return b.err }
+
+// validate checks the topology is a connected DAG.
+func (t *Topology) validate() error {
+	hasSpout := false
+	for _, n := range t.nodes {
+		if n.spoutFactory != nil {
+			hasSpout = true
+		}
+		if n.boltFactory != nil && len(n.inputs) == 0 {
+			return fmt.Errorf("%w: %q", ErrNotConnected, n.name)
+		}
+		for _, in := range n.inputs {
+			if _, ok := t.nodes[in.from]; !ok {
+				return fmt.Errorf("%w: %q <- %q", ErrUnknownNode, n.name, in.from)
+			}
+		}
+	}
+	if !hasSpout {
+		return ErrEmptyTopo
+	}
+	// Kahn's algorithm for cycle detection.
+	indeg := make(map[string]int, len(t.nodes))
+	down := make(map[string][]string, len(t.nodes))
+	for _, n := range t.nodes {
+		indeg[n.name] += 0
+		for _, in := range n.inputs {
+			indeg[n.name]++
+			down[in.from] = append(down[in.from], n.name)
+		}
+	}
+	queue := make([]string, 0, len(t.nodes))
+	for name, d := range indeg {
+		if d == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, next := range down[name] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if seen != len(t.nodes) {
+		return ErrCycle
+	}
+	return nil
+}
+
+// ExecutorOption customizes an Executor.
+type ExecutorOption func(*Executor)
+
+// WithTickInterval overrides the window-advance interval.
+func WithTickInterval(d time.Duration) ExecutorOption {
+	return func(e *Executor) {
+		if d > 0 {
+			e.tickInterval = d
+		}
+	}
+}
+
+// WithQueueDepth overrides each task's input queue depth.
+func WithQueueDepth(n int) ExecutorOption {
+	return func(e *Executor) {
+		if n > 0 {
+			e.queueDepth = n
+		}
+	}
+}
+
+// Executor runs a topology: one goroutine per task.
+type Executor struct {
+	topo         *Topology
+	tickInterval time.Duration
+	queueDepth   int
+
+	queues  map[string][]chan tuple.Tuple
+	pending map[string]*atomic.Int32 // upstream tasks still running
+	counts  map[string]*atomic.Uint64
+
+	spoutStop chan struct{}
+	wg        sync.WaitGroup
+	started   bool
+	stopped   bool
+	mu        sync.Mutex
+}
+
+// NewExecutor validates the topology and prepares an executor.
+func NewExecutor(t *Topology, opts ...ExecutorOption) (*Executor, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	e := &Executor{
+		topo:         t,
+		tickInterval: DefaultTickInterval,
+		queueDepth:   DefaultQueueDepth,
+		queues:       make(map[string][]chan tuple.Tuple),
+		pending:      make(map[string]*atomic.Int32),
+		counts:       make(map[string]*atomic.Uint64),
+		spoutStop:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	for _, name := range t.order {
+		n := t.nodes[name]
+		e.counts[name] = &atomic.Uint64{}
+		if n.boltFactory == nil {
+			continue
+		}
+		chans := make([]chan tuple.Tuple, n.parallelism)
+		for i := range chans {
+			chans[i] = make(chan tuple.Tuple, e.queueDepth)
+		}
+		e.queues[name] = chans
+		p := &atomic.Int32{}
+		for _, in := range n.inputs {
+			p.Add(int32(t.nodes[in.from].parallelism))
+		}
+		e.pending[name] = p
+	}
+	return e, nil
+}
+
+// TaskCount returns the total number of task goroutines the executor runs —
+// the paper's "#processes" unit for the analytics layer.
+func (e *Executor) TaskCount() int {
+	n := 0
+	for _, node := range e.topo.nodes {
+		n += node.parallelism
+	}
+	return n
+}
+
+// Processed returns how many tuples each node has handled (spouts: emitted).
+func (e *Executor) Processed(node string) uint64 {
+	c, ok := e.counts[node]
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Start launches all tasks.
+func (e *Executor) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+
+	for _, name := range e.topo.order {
+		n := e.topo.nodes[name]
+		for i := 0; i < n.parallelism; i++ {
+			if n.spoutFactory != nil {
+				spout := n.spoutFactory()
+				emit := e.emitFunc(n)
+				e.wg.Add(1)
+				go e.runSpout(n, spout, emit)
+			} else {
+				bolt := n.boltFactory()
+				emit := e.emitFunc(n)
+				e.wg.Add(1)
+				go e.runBolt(n, i, bolt, emit)
+			}
+		}
+	}
+}
+
+// Stop halts the spouts, lets every queued tuple drain through the DAG,
+// flushes windowed bolt state, and waits for all tasks to exit.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+
+	close(e.spoutStop)
+	e.wg.Wait()
+}
+
+// emitFunc builds the routing closure for one task of node n.
+func (e *Executor) emitFunc(n *nodeDecl) EmitFunc {
+	type route struct {
+		chans    []chan tuple.Tuple
+		grouping Grouping
+		field    string
+		rr       uint64
+	}
+	var routes []*route
+	for _, name := range e.topo.order {
+		down := e.topo.nodes[name]
+		for _, in := range down.inputs {
+			if in.from != n.name {
+				continue
+			}
+			routes = append(routes, &route{
+				chans:    e.queues[down.name],
+				grouping: in.grouping,
+				field:    in.field,
+			})
+		}
+	}
+	count := e.counts[n.name]
+	return func(t tuple.Tuple) {
+		count.Add(1)
+		for _, r := range routes {
+			var idx int
+			switch r.grouping {
+			case Fields:
+				idx = int(fieldHash(&t, r.field) % uint64(len(r.chans)))
+			case Global:
+				idx = 0
+			default:
+				idx = int(r.rr % uint64(len(r.chans)))
+				r.rr++
+			}
+			r.chans[idx] <- t
+		}
+	}
+}
+
+func fieldHash(t *tuple.Tuple, field string) uint64 {
+	var key string
+	if field == "" {
+		key = t.Key
+	} else {
+		key = t.Attr(field)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func (e *Executor) runSpout(n *nodeDecl, spout Spout, emit EmitFunc) {
+	defer e.wg.Done()
+	defer e.taskFinished(n)
+	for {
+		select {
+		case <-e.spoutStop:
+			return
+		default:
+		}
+		batch := spout.Next()
+		if len(batch) == 0 {
+			select {
+			case <-e.spoutStop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		for _, t := range batch {
+			emit(t)
+		}
+	}
+}
+
+func (e *Executor) runBolt(n *nodeDecl, idx int, bolt Bolt, emit EmitFunc) {
+	defer e.wg.Done()
+	in := e.queues[n.name][idx]
+	ticker := time.NewTicker(e.tickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case t, ok := <-in:
+			if !ok {
+				if c, isCleaner := bolt.(Cleaner); isCleaner {
+					c.Cleanup(emit)
+				}
+				e.taskFinished(n)
+				return
+			}
+			bolt.Execute(t, emit)
+		case <-ticker.C:
+			if tk, isTicker := bolt.(Ticker); isTicker {
+				tk.Tick(emit)
+			}
+		}
+	}
+}
+
+// taskFinished propagates completion downstream: when the last upstream task
+// of a bolt exits, the bolt's input queues are closed so it can drain and
+// clean up.
+func (e *Executor) taskFinished(n *nodeDecl) {
+	for _, name := range e.topo.order {
+		down := e.topo.nodes[name]
+		feeds := 0
+		for _, in := range down.inputs {
+			if in.from == n.name {
+				feeds++
+			}
+		}
+		if feeds == 0 {
+			continue
+		}
+		if e.pending[down.name].Add(int32(-feeds)) == 0 {
+			for _, ch := range e.queues[down.name] {
+				close(ch)
+			}
+		}
+	}
+}

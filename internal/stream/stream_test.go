@@ -1,0 +1,889 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// sliceSpout emits a fixed tuple list once.
+type sliceSpout struct {
+	mu     sync.Mutex
+	tuples []tuple.Tuple
+	done   bool
+}
+
+func (s *sliceSpout) Next() []tuple.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	s.done = true
+	return s.tuples
+}
+
+// gather collects sink tuples thread-safely.
+type gather struct {
+	mu  sync.Mutex
+	out []tuple.Tuple
+}
+
+func (g *gather) add(t tuple.Tuple) {
+	g.mu.Lock()
+	g.out = append(g.out, t)
+	g.mu.Unlock()
+}
+
+func (g *gather) tuples() []tuple.Tuple {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]tuple.Tuple(nil), g.out...)
+}
+
+func keyed(keys ...string) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = tuple.Tuple{Key: k, Val: 1, FlowID: uint64(i)}
+	}
+	return out
+}
+
+func TestTopologyValidation(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		topo := NewTopology("t")
+		if _, err := NewExecutor(topo); !errors.Is(err, ErrEmptyTopo) {
+			t.Errorf("err = %v, want ErrEmptyTopo", err)
+		}
+	})
+	t.Run("unconnected bolt", func(t *testing.T) {
+		topo := NewTopology("t")
+		_ = topo.AddSpout("s", func() Spout { return &sliceSpout{} }, 1)
+		topo.AddBolt("b", func() Bolt { return &ParseBolt{} }, 1)
+		if _, err := NewExecutor(topo); !errors.Is(err, ErrNotConnected) {
+			t.Errorf("err = %v, want ErrNotConnected", err)
+		}
+	})
+	t.Run("unknown upstream", func(t *testing.T) {
+		topo := NewTopology("t")
+		_ = topo.AddSpout("s", func() Spout { return &sliceSpout{} }, 1)
+		topo.AddBolt("b", func() Bolt { return &ParseBolt{} }, 1).ShuffleFrom("ghost")
+		if _, err := NewExecutor(topo); !errors.Is(err, ErrUnknownNode) {
+			t.Errorf("err = %v, want ErrUnknownNode", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		topo := NewTopology("t")
+		_ = topo.AddSpout("s", func() Spout { return &sliceSpout{} }, 1)
+		topo.AddBolt("a", func() Bolt { return &ParseBolt{} }, 1).ShuffleFrom("s").ShuffleFrom("b")
+		topo.AddBolt("b", func() Bolt { return &ParseBolt{} }, 1).ShuffleFrom("a")
+		if _, err := NewExecutor(topo); !errors.Is(err, ErrCycle) {
+			t.Errorf("err = %v, want ErrCycle", err)
+		}
+	})
+	t.Run("duplicate names", func(t *testing.T) {
+		topo := NewTopology("t")
+		_ = topo.AddSpout("x", func() Spout { return &sliceSpout{} }, 1)
+		if err := topo.AddSpout("x", func() Spout { return &sliceSpout{} }, 1); !errors.Is(err, ErrDuplicate) {
+			t.Errorf("spout dup err = %v", err)
+		}
+		if err := topo.AddBolt("x", func() Bolt { return &ParseBolt{} }, 1).ShuffleFrom("x").Err(); !errors.Is(err, ErrDuplicate) {
+			t.Errorf("bolt dup err = %v", err)
+		}
+	})
+}
+
+// run executes a topology until all input drains, then stops it.
+func run(t *testing.T, topo *Topology, opts ...ExecutorOption) *Executor {
+	t.Helper()
+	ex, err := NewExecutor(topo, opts...)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	ex.Start()
+	time.Sleep(50 * time.Millisecond) // let the spout drain through
+	ex.Stop()
+	return ex
+}
+
+func TestWordCountEndToEnd(t *testing.T) {
+	spout := &sliceSpout{tuples: keyed("a", "b", "a", "c", "a", "b")}
+	g := &gather{}
+	topo := NewTopology("wordcount")
+	_ = topo.AddSpout("s", func() Spout { return spout }, 1)
+	if err := topo.AddBolt("count", func() Bolt { return NewGroupBolt("key", AggCount, false) }, 3).
+		FieldsFrom("s", "key").Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddBolt("sink", func() Bolt { return NewCallbackBolt(g.add) }, 1).
+		GlobalFrom("count").Err(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, topo, WithTickInterval(time.Hour)) // only cleanup flushes
+
+	counts := map[string]float64{}
+	for _, tu := range g.tuples() {
+		counts[tu.Key] = tu.Val // cumulative: last write wins
+	}
+	want := map[string]float64{"a": 3, "b": 2, "c": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %v, want %v", k, counts[k], v)
+		}
+	}
+}
+
+func TestFieldsGroupingRoutesConsistently(t *testing.T) {
+	// With 4 stateful counting tasks, per-key counts must still be exact,
+	// proving all tuples of one key reach one task.
+	var tuples []tuple.Tuple
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, tuple.Tuple{Key: fmt.Sprintf("k%d", i%10), Val: 1})
+	}
+	spout := &sliceSpout{tuples: tuples}
+	g := &gather{}
+	topo := NewTopology("t")
+	_ = topo.AddSpout("s", func() Spout { return spout }, 1)
+	_ = topo.AddBolt("count", func() Bolt { return NewGroupBolt("key", AggCount, false) }, 4).
+		FieldsFrom("s", "key").Err()
+	_ = topo.AddBolt("sink", func() Bolt { return NewCallbackBolt(g.add) }, 1).
+		GlobalFrom("count").Err()
+	run(t, topo, WithTickInterval(time.Hour))
+
+	counts := map[string]float64{}
+	for _, tu := range g.tuples() {
+		counts[tu.Key] = tu.Val
+	}
+	if len(counts) != 10 {
+		t.Fatalf("got %d keys, want 10: %v", len(counts), counts)
+	}
+	for k, v := range counts {
+		if v != 20 {
+			t.Errorf("count[%s] = %v, want 20 (key split across tasks?)", k, v)
+		}
+	}
+}
+
+func TestShuffleDistributesAcrossTasks(t *testing.T) {
+	var mu sync.Mutex
+	perTask := map[int]int{}
+	var nextID int
+	factory := func() Bolt {
+		mu.Lock()
+		id := nextID
+		nextID++
+		mu.Unlock()
+		return BoltFunc(func(tuple.Tuple, EmitFunc) {
+			mu.Lock()
+			perTask[id]++
+			mu.Unlock()
+		})
+	}
+	spout := &sliceSpout{tuples: keyed(make([]string, 100)...)}
+	topo := NewTopology("t")
+	_ = topo.AddSpout("s", func() Spout { return spout }, 1)
+	_ = topo.AddBolt("b", factory, 4).ShuffleFrom("s").Err()
+	run(t, topo)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perTask) != 4 {
+		t.Fatalf("tuples reached %d tasks, want 4: %v", len(perTask), perTask)
+	}
+	for id, n := range perTask {
+		if n != 25 {
+			t.Errorf("task %d got %d tuples, want 25 (round-robin)", id, n)
+		}
+	}
+}
+
+func TestRollingCountWindowExpiry(t *testing.T) {
+	b := NewRollingCountBolt(2)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+
+	b.Execute(tuple.Tuple{Key: "x", Val: 3}, emit)
+	b.Tick(emit) // emits x=3, advances
+	if len(got) != 1 || got[0].Val != 3 {
+		t.Fatalf("after first tick: %+v", got)
+	}
+	got = nil
+	b.Execute(tuple.Tuple{Key: "x"}, emit) // Val 0 counts as 1
+	b.Tick(emit)                           // window still holds 3+1
+	if len(got) != 1 || got[0].Val != 4 {
+		t.Fatalf("after second tick: %+v", got)
+	}
+	got = nil
+	b.Tick(emit) // slot with 3 expired; only the 1 remains
+	if len(got) != 1 || got[0].Val != 1 {
+		t.Fatalf("after third tick: %+v", got)
+	}
+	got = nil
+	b.Tick(emit) // everything expired: key evicted, nothing emitted
+	if len(got) != 0 {
+		t.Fatalf("after expiry: %+v", got)
+	}
+}
+
+func TestRankBoltTopKOrder(t *testing.T) {
+	b := NewRankBolt(3)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	for key, count := range map[string]float64{"a": 5, "b": 9, "c": 1, "d": 7, "e": 3} {
+		b.Execute(tuple.Tuple{Key: key, Val: count}, emit)
+	}
+	b.Tick(emit)
+	if len(got) != 1 {
+		t.Fatalf("emitted %d tuples, want 1 encoded ranking", len(got))
+	}
+	entries, ok := DecodeRankings(got[0])
+	if !ok {
+		t.Fatal("tuple is not a ranking")
+	}
+	want := []RankEntry{{"b", 9}, {"d", 7}, {"a", 5}}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, entries[i], want[i])
+		}
+	}
+	// State resets after flush.
+	got = nil
+	b.Tick(emit)
+	if len(got) != 0 {
+		t.Errorf("rank emitted %+v after reset", got)
+	}
+}
+
+func TestRankBoltMergesRankings(t *testing.T) {
+	merge := NewRankBolt(2)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	merge.Execute(EncodeRankings([]RankEntry{{"a", 5}, {"b", 2}}), emit)
+	merge.Execute(EncodeRankings([]RankEntry{{"c", 9}}), emit)
+	merge.Tick(emit)
+	entries, ok := DecodeRankings(got[0])
+	if !ok || len(entries) != 2 || entries[0].Key != "c" || entries[1].Key != "a" {
+		t.Errorf("merged = %+v", entries)
+	}
+}
+
+func TestDecodeRankingsRejectsPlainTuples(t *testing.T) {
+	if _, ok := DecodeRankings(tuple.Tuple{Key: "just a url"}); ok {
+		t.Error("plain tuple decoded as rankings")
+	}
+}
+
+func TestDiffBolt(t *testing.T) {
+	b := NewDiffBolt("", "")
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	b.Execute(tuple.Tuple{FlowID: 1, Key: "start", Val: 100, DstIP: "10.0.0.1"}, emit)
+	b.Execute(tuple.Tuple{FlowID: 2, Key: "end", Val: 300}, emit) // no start: dropped
+	b.Execute(tuple.Tuple{FlowID: 1, Key: "end", Val: 250, DstIP: "10.0.0.1"}, emit)
+	if len(got) != 0 {
+		t.Fatalf("unlabeled diff emitted before tick: %+v", got)
+	}
+	// Unlabeled diffs flush after a full tick.
+	b.Tick(emit)
+	b.Tick(emit)
+	if len(got) != 1 {
+		t.Fatalf("emitted %d after ticks, want 1", len(got))
+	}
+	if got[0].Val != 150 || got[0].Key != "diff" || got[0].DstIP != "10.0.0.1" {
+		t.Errorf("diff tuple = %+v", got[0])
+	}
+	// Each pair fires once.
+	b.Execute(tuple.Tuple{FlowID: 1, Key: "end", Val: 400}, emit)
+	b.Cleanup(emit)
+	if len(got) != 1 {
+		t.Errorf("duplicate end re-emitted: %+v", got)
+	}
+}
+
+func TestDiffBoltLateLabel(t *testing.T) {
+	// The label arriving after the end tuple (cross-topic reordering) must
+	// still join, as long as it beats the tick flush.
+	b := NewDiffBolt("", "")
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	b.Execute(tuple.Tuple{FlowID: 3, Key: "start", Val: 100}, emit)
+	b.Execute(tuple.Tuple{FlowID: 3, Key: "end", Val: 180}, emit)
+	b.Execute(tuple.Tuple{FlowID: 3, Key: "/late.php"}, emit)
+	if len(got) != 1 || got[0].Key != "/late.php" || got[0].Val != 80 {
+		t.Fatalf("late-label join = %+v", got)
+	}
+}
+
+func TestDiffBoltJoinsLabels(t *testing.T) {
+	// §7.2: http_get URL tuples and tcp_conn_time start/end tuples share a
+	// flow ID; the diff must come out keyed by the URL.
+	b := NewDiffBolt("", "")
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	b.Execute(tuple.Tuple{FlowID: 9, Key: "start", Val: 1000}, emit)
+	b.Execute(tuple.Tuple{FlowID: 9, Key: "/films/slow.php", Parser: "http_get"}, emit)
+	b.Execute(tuple.Tuple{FlowID: 9, Key: "", Val: 200}, emit) // response tuple: ignored
+	b.Execute(tuple.Tuple{FlowID: 9, Key: "end", Val: 4000}, emit)
+	if len(got) != 1 {
+		t.Fatalf("emitted %d, want 1", len(got))
+	}
+	if got[0].Key != "/films/slow.php" || got[0].Val != 3000 {
+		t.Errorf("joined diff = %+v", got[0])
+	}
+}
+
+func TestGroupBoltAggregations(t *testing.T) {
+	samples := []tuple.Tuple{
+		{DstIP: "h1", Val: 10},
+		{DstIP: "h1", Val: 30},
+		{DstIP: "h2", Val: 5},
+	}
+	tests := []struct {
+		agg  Agg
+		want map[string]float64
+	}{
+		{AggSum, map[string]float64{"h1": 40, "h2": 5}},
+		{AggAvg, map[string]float64{"h1": 20, "h2": 5}},
+		{AggMax, map[string]float64{"h1": 30, "h2": 5}},
+		{AggMin, map[string]float64{"h1": 10, "h2": 5}},
+		{AggCount, map[string]float64{"h1": 2, "h2": 1}},
+	}
+	for _, tt := range tests {
+		b := NewGroupBolt("dstIP", tt.agg, false)
+		var got []tuple.Tuple
+		emit := func(t tuple.Tuple) { got = append(got, t) }
+		for _, s := range samples {
+			b.Execute(s, emit)
+		}
+		b.Cleanup(emit)
+		result := map[string]float64{}
+		for _, tu := range got {
+			result[tu.Key] = tu.Val
+		}
+		for k, v := range tt.want {
+			if result[k] != v {
+				t.Errorf("agg %d: result[%s] = %v, want %v", tt.agg, k, result[k], v)
+			}
+		}
+	}
+}
+
+func TestJoinBolt(t *testing.T) {
+	b := NewJoinBolt("http_get", "tcp_pkt_size")
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+
+	// Label first, then right tuples.
+	b.Execute(tuple.Tuple{FlowID: 1, Parser: "http_get", Key: "/a"}, emit)
+	b.Execute(tuple.Tuple{FlowID: 1, Parser: "tcp_pkt_size", Key: "size", Val: 100}, emit)
+	b.Execute(tuple.Tuple{FlowID: 1, Parser: "tcp_pkt_size", Key: "size", Val: 200}, emit)
+	if len(got) != 2 || got[0].Key != "/a" || got[1].Val != 200 {
+		t.Fatalf("labeled joins = %+v", got)
+	}
+
+	// Right before left: buffered until the label lands.
+	got = nil
+	b.Execute(tuple.Tuple{FlowID: 2, Parser: "tcp_pkt_size", Val: 50}, emit)
+	if len(got) != 0 {
+		t.Fatalf("unlabeled right emitted early: %+v", got)
+	}
+	b.Execute(tuple.Tuple{FlowID: 2, Parser: "http_get", Key: "/b"}, emit)
+	if len(got) != 1 || got[0].Key != "/b" || got[0].Val != 50 {
+		t.Fatalf("late-label join = %+v", got)
+	}
+
+	// Unkeyed left tuples (HTTP responses) and stale rights are ignored.
+	got = nil
+	b.Execute(tuple.Tuple{FlowID: 3, Parser: "http_get", Key: ""}, emit)
+	b.Execute(tuple.Tuple{FlowID: 4, Parser: "tcp_pkt_size", Val: 9}, emit)
+	for i := 0; i < joinPendingTicks; i++ {
+		b.Tick(emit) // ages flow 4's pending tuple out
+	}
+	b.Execute(tuple.Tuple{FlowID: 4, Parser: "http_get", Key: "/late"}, emit)
+	if len(got) != 0 {
+		t.Fatalf("unexpected emissions: %+v", got)
+	}
+
+	// Cleanup joins pendings whose label already arrived.
+	b.Execute(tuple.Tuple{FlowID: 5, Parser: "tcp_pkt_size", Val: 3}, emit)
+	b.Execute(tuple.Tuple{FlowID: 5, Parser: "http_get", Key: "/c"}, emit) // joins immediately
+	b.Execute(tuple.Tuple{FlowID: 6, Parser: "tcp_pkt_size", Val: 4}, emit)
+	got = nil
+	b.Cleanup(emit)
+	if len(got) != 0 {
+		t.Fatalf("cleanup emitted unlabeled rights: %+v", got)
+	}
+}
+
+func TestBuildTopologyJoinGroup(t *testing.T) {
+	tuples := []tuple.Tuple{
+		{FlowID: 1, Parser: "http_get", Key: "/big"},
+		{FlowID: 1, Parser: "tcp_pkt_size", Val: 1000},
+		{FlowID: 1, Parser: "tcp_pkt_size", Val: 500},
+		{FlowID: 2, Parser: "http_get", Key: "/small"},
+		{FlowID: 2, Parser: "tcp_pkt_size", Val: 10},
+	}
+	spout := &sliceSpout{tuples: tuples}
+	g := &gather{}
+	topo, err := BuildTopology(
+		ProcessorSpec{Name: "join-group", Args: map[string]string{"left": "http_get", "right": "tcp_pkt_size"}},
+		func() Spout { return spout }, 1, g.add, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	time.Sleep(50 * time.Millisecond)
+	ex.Stop()
+
+	sums := map[string]float64{}
+	for _, tu := range g.tuples() {
+		sums[tu.Key] = tu.Val
+	}
+	if sums["/big"] != 1500 || sums["/small"] != 10 {
+		t.Errorf("per-url byte sums = %v", sums)
+	}
+}
+
+func TestPercentileBolt(t *testing.T) {
+	b := NewPercentileBolt("dstIP", []float64{50, 100})
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	for i := 1; i <= 100; i++ {
+		b.Execute(tuple.Tuple{DstIP: "h1", Val: float64(i)}, emit)
+	}
+	b.Execute(tuple.Tuple{DstIP: "h2", Val: 7}, emit)
+	b.Tick(emit)
+
+	result := map[string]map[uint16]float64{}
+	for _, tu := range got {
+		if result[tu.Key] == nil {
+			result[tu.Key] = map[uint16]float64{}
+		}
+		result[tu.Key][tu.SrcPort] = tu.Val
+	}
+	if p50 := result["h1"][50]; p50 < 50 || p50 > 51 {
+		t.Errorf("h1 p50 = %v, want ~50.5", p50)
+	}
+	if p100 := result["h1"][100]; p100 != 100 {
+		t.Errorf("h1 p100 = %v, want 100", p100)
+	}
+	if p50 := result["h2"][50]; p50 != 7 {
+		t.Errorf("h2 p50 = %v, want 7", p50)
+	}
+}
+
+func TestPercentileBoltDefaults(t *testing.T) {
+	b := NewPercentileBolt("", nil)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	b.Execute(tuple.Tuple{Val: 5}, emit)
+	b.Cleanup(emit)
+	if len(got) != 3 { // default p50/p95/p99
+		t.Fatalf("emitted %d, want 3", len(got))
+	}
+	for _, tu := range got {
+		if tu.Key != "all" || tu.Val != 5 {
+			t.Errorf("tuple = %+v", tu)
+		}
+	}
+}
+
+func TestBuildTopologyDiffPercentile(t *testing.T) {
+	var tuples []tuple.Tuple
+	for i := 0; i < 20; i++ {
+		tuples = append(tuples,
+			tuple.Tuple{FlowID: uint64(i), Key: "start", Val: 0, DstIP: "h1"},
+			tuple.Tuple{FlowID: uint64(i), Key: "end", Val: float64((i + 1) * 10), DstIP: "h1"},
+		)
+	}
+	spout := &sliceSpout{tuples: tuples}
+	g := &gather{}
+	topo, err := BuildTopology(
+		ProcessorSpec{Name: "diff-percentile", Args: map[string]string{"group": "dstIP"}},
+		func() Spout { return spout }, 1, g.add, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	time.Sleep(50 * time.Millisecond)
+	ex.Stop()
+
+	pcts := map[uint16]float64{}
+	for _, tu := range g.tuples() {
+		if tu.Key == "h1" {
+			pcts[tu.SrcPort] = tu.Val
+		}
+	}
+	if len(pcts) != 3 {
+		t.Fatalf("percentiles = %v, want p50/p95/p99", pcts)
+	}
+	if pcts[50] < 100 || pcts[50] > 110 {
+		t.Errorf("p50 = %v, want ~105", pcts[50])
+	}
+	if pcts[99] < pcts[95] || pcts[95] < pcts[50] {
+		t.Errorf("percentiles not monotone: %v", pcts)
+	}
+}
+
+func TestGroupBoltRollingResets(t *testing.T) {
+	b := NewGroupBolt("", AggSum, true)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	b.Execute(tuple.Tuple{Val: 5}, emit)
+	b.Tick(emit)
+	if len(got) != 1 || got[0].Key != "all" || got[0].Val != 5 {
+		t.Fatalf("first window: %+v", got)
+	}
+	got = nil
+	b.Tick(emit)
+	if len(got) != 0 {
+		t.Errorf("rolling group emitted %+v after reset", got)
+	}
+}
+
+func TestGroupBoltNegativeAggMinZero(t *testing.T) {
+	// Regression guard: first value must seed max/min even if extreme.
+	b := NewGroupBolt("", AggMin, false)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	b.Execute(tuple.Tuple{Val: -7}, emit)
+	b.Execute(tuple.Tuple{Val: 3}, emit)
+	b.Cleanup(emit)
+	if len(got) != 1 || got[0].Val != -7 {
+		t.Errorf("min = %+v, want -7", got)
+	}
+}
+
+type fakePoller struct {
+	mu      sync.Mutex
+	batches []*tuple.Batch
+}
+
+func (f *fakePoller) Poll(max int) []*tuple.Batch {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.batches) == 0 {
+		return nil
+	}
+	if max > len(f.batches) {
+		max = len(f.batches)
+	}
+	out := f.batches[:max]
+	f.batches = f.batches[max:]
+	return out
+}
+
+func TestKafkaSpout(t *testing.T) {
+	p := &fakePoller{batches: []*tuple.Batch{
+		{Tuples: keyed("a", "b")},
+		{Tuples: keyed("c")},
+	}}
+	s := NewKafkaSpout(p, 8)
+	got := s.Next()
+	if len(got) != 3 {
+		t.Errorf("Next = %d tuples, want 3", len(got))
+	}
+	if s.Next() != nil {
+		t.Error("drained spout returned tuples")
+	}
+}
+
+func TestBuildTopologyTopK(t *testing.T) {
+	urls := []string{"a", "a", "a", "b", "b", "c"}
+	spout := &sliceSpout{tuples: keyed(urls...)}
+	g := &gather{}
+	topo, err := BuildTopology(
+		ProcessorSpec{Name: "top-k", Args: map[string]string{"k": "2", "w": "1h"}},
+		func() Spout { return spout }, 1, g.add, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	time.Sleep(150 * time.Millisecond)
+	ex.Stop()
+
+	var last []RankEntry
+	for _, tu := range g.tuples() {
+		if entries, ok := DecodeRankings(tu); ok && len(entries) > 0 {
+			last = entries
+		}
+	}
+	if len(last) != 2 {
+		t.Fatalf("final ranking = %+v, want 2 entries", last)
+	}
+	if last[0].Key != "a" || last[0].Count != 3 {
+		t.Errorf("top entry = %+v, want a:3", last[0])
+	}
+	if last[1].Key != "b" || last[1].Count != 2 {
+		t.Errorf("second entry = %+v, want b:2", last[1])
+	}
+}
+
+func TestBuildTopologyDiffGroup(t *testing.T) {
+	tuples := []tuple.Tuple{
+		{FlowID: 1, Key: "start", Val: 100, DstIP: "h1"},
+		{FlowID: 1, Key: "end", Val: 400, DstIP: "h1"},
+		{FlowID: 2, Key: "start", Val: 100, DstIP: "h1"},
+		{FlowID: 2, Key: "end", Val: 200, DstIP: "h1"},
+		{FlowID: 3, Key: "start", Val: 0, DstIP: "h2"},
+		{FlowID: 3, Key: "end", Val: 50, DstIP: "h2"},
+	}
+	spout := &sliceSpout{tuples: tuples}
+	g := &gather{}
+	topo, err := BuildTopology(
+		ProcessorSpec{Name: "diff-group", Args: map[string]string{"group": "dstIP"}},
+		func() Spout { return spout }, 1, g.add, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	time.Sleep(50 * time.Millisecond)
+	ex.Stop()
+
+	result := map[string]float64{}
+	for _, tu := range g.tuples() {
+		result[tu.Key] = tu.Val
+	}
+	if result["h1"] != 200 { // avg(300, 100)
+		t.Errorf("h1 avg = %v, want 200", result["h1"])
+	}
+	if result["h2"] != 50 {
+		t.Errorf("h2 avg = %v, want 50", result["h2"])
+	}
+}
+
+func TestBuildTopologyGroupSum(t *testing.T) {
+	tuples := []tuple.Tuple{
+		{DstIP: "db", Val: 100}, {DstIP: "db", Val: 200}, {DstIP: "cache", Val: 10},
+	}
+	spout := &sliceSpout{tuples: tuples}
+	g := &gather{}
+	topo, err := BuildTopology(
+		ProcessorSpec{Name: "group-sum", Args: map[string]string{"group": "dstIP"}},
+		func() Spout { return spout }, 1, g.add, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	time.Sleep(50 * time.Millisecond)
+	ex.Stop()
+
+	result := map[string]float64{}
+	for _, tu := range g.tuples() {
+		result[tu.Key] = tu.Val
+	}
+	if result["db"] != 300 || result["cache"] != 10 {
+		t.Errorf("sums = %v", result)
+	}
+}
+
+func TestBuildTopologyErrors(t *testing.T) {
+	spout := func() Spout { return &sliceSpout{} }
+	out := func(tuple.Tuple) {}
+	if _, err := BuildTopology(ProcessorSpec{Name: "nope"}, spout, 1, out, 0); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	if _, err := BuildTopology(ProcessorSpec{Name: "top-k", Args: map[string]string{"k": "x"}}, spout, 1, out, 0); err == nil {
+		t.Error("bad k accepted")
+	}
+	if _, err := BuildTopology(ProcessorSpec{Name: "top-k", Args: map[string]string{"w": "x"}}, spout, 1, out, 0); err == nil {
+		t.Error("bad window accepted")
+	}
+	if _, err := BuildTopology(ProcessorSpec{Name: "group-sum", Args: map[string]string{"agg": "median"}}, spout, 1, out, 0); err == nil {
+		t.Error("bad agg accepted")
+	}
+}
+
+func TestExecutorCountsAndTaskCount(t *testing.T) {
+	spout := &sliceSpout{tuples: keyed("a", "b", "c")}
+	g := &gather{}
+	topo := NewTopology("t")
+	_ = topo.AddSpout("s", func() Spout { return spout }, 2)
+	_ = topo.AddBolt("sink", func() Bolt { return NewCallbackBolt(g.add) }, 3).ShuffleFrom("s").Err()
+	ex := run(t, topo)
+
+	if got := ex.TaskCount(); got != 5 {
+		t.Errorf("TaskCount = %d, want 5", got)
+	}
+	if got := ex.Processed("s"); got != 3 {
+		t.Errorf("Processed(s) = %d, want 3", got)
+	}
+	if got := ex.Processed("ghost"); got != 0 {
+		t.Errorf("Processed(ghost) = %d, want 0", got)
+	}
+	if len(g.tuples()) != 3 {
+		t.Errorf("sink got %d tuples, want 3", len(g.tuples()))
+	}
+}
+
+// TestTupleConservation: under concurrent multi-task execution, every tuple
+// a spout emits reaches the sink exactly once through a stateless two-stage
+// pipeline — no loss, no duplication.
+func TestTupleConservation(t *testing.T) {
+	const total = 5000
+	var emitted atomic.Int64
+	spoutFactory := func() Spout {
+		return SpoutFunc(func() []tuple.Tuple {
+			out := make([]tuple.Tuple, 0, 100)
+			for len(out) < 100 {
+				n := emitted.Add(1)
+				if n > total {
+					return out
+				}
+				out = append(out, tuple.Tuple{FlowID: uint64(n), Key: fmt.Sprintf("k%d", n%37)})
+			}
+			return out
+		})
+	}
+	var received atomic.Int64
+	seen := sync.Map{}
+	var dups atomic.Int64
+	topo := NewTopology("conserve")
+	_ = topo.AddSpout("s", spoutFactory, 3)
+	_ = topo.AddBolt("relay", func() Bolt {
+		return BoltFunc(func(t tuple.Tuple, emit EmitFunc) { emit(t) })
+	}, 4).ShuffleFrom("s").Err()
+	_ = topo.AddBolt("sink", func() Bolt {
+		return NewCallbackBolt(func(t tuple.Tuple) {
+			received.Add(1)
+			if _, dup := seen.LoadOrStore(t.FlowID, true); dup {
+				dups.Add(1)
+			}
+		})
+	}, 2).FieldsFrom("relay", "flow").Err()
+
+	ex, err := NewExecutor(topo, WithQueueDepth(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() < total && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ex.Stop()
+	if got := received.Load(); got != total {
+		t.Errorf("sink received %d tuples, want %d", got, total)
+	}
+	if dups.Load() != 0 {
+		t.Errorf("%d duplicated tuples", dups.Load())
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	topo := NewTopology("t")
+	_ = topo.AddSpout("s", func() Spout { return &sliceSpout{} }, 1)
+	ex, err := NewExecutor(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	ex.Start()
+	ex.Stop()
+	ex.Stop()
+}
+
+func TestProcessorNamesBuildable(t *testing.T) {
+	for _, name := range ProcessorNames() {
+		topo, err := BuildTopology(ProcessorSpec{Name: name}, func() Spout { return &sliceSpout{} }, 1, func(tuple.Tuple) {}, 0)
+		if err != nil {
+			t.Errorf("BuildTopology(%q): %v", name, err)
+			continue
+		}
+		if _, err := NewExecutor(topo); err != nil {
+			t.Errorf("NewExecutor(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRankingsSortedDeterministically(t *testing.T) {
+	// Equal counts break ties by key so output is stable.
+	b := NewRankBolt(4)
+	var got []tuple.Tuple
+	emit := func(t tuple.Tuple) { got = append(got, t) }
+	for _, k := range []string{"z", "m", "a"} {
+		b.Execute(tuple.Tuple{Key: k, Val: 2}, emit)
+	}
+	b.Tick(emit)
+	entries, _ := DecodeRankings(got[0])
+	keys := []string{entries[0].Key, entries[1].Key, entries[2].Key}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("tie-broken order = %v, want sorted", keys)
+	}
+}
+
+func BenchmarkTopKPipeline(b *testing.B) {
+	urls := make([]string, 1000)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("/video/%d", i%50)
+	}
+	var idx int
+	var mu sync.Mutex
+	spout := SpoutFunc(func() []tuple.Tuple {
+		mu.Lock()
+		defer mu.Unlock()
+		if idx >= b.N {
+			return nil
+		}
+		n := 256
+		if b.N-idx < n {
+			n = b.N - idx
+		}
+		out := make([]tuple.Tuple, n)
+		for i := range out {
+			out[i] = tuple.Tuple{Key: urls[(idx+i)%len(urls)], Val: 1}
+		}
+		idx += n
+		return out
+	})
+	topo, err := BuildTopology(ProcessorSpec{Name: "top-k", Args: map[string]string{"k": "10"}},
+		func() Spout { return spout }, 1, func(tuple.Tuple) {}, 50*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(50*time.Millisecond), WithQueueDepth(8192))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	ex.Start()
+	for {
+		mu.Lock()
+		done := idx >= b.N
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ex.Stop()
+}

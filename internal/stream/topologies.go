@@ -1,0 +1,232 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// ProcessorSpec names a prebuilt topology and its arguments, as produced by
+// a query's PROCESS clause, e.g. (top-k: k=10, w=10s) or
+// (diff-group: group=destIP).
+type ProcessorSpec struct {
+	Name string
+	Args map[string]string
+}
+
+// Arg returns a named argument or the default.
+func (s ProcessorSpec) Arg(name, def string) string {
+	if v, ok := s.Args[name]; ok {
+		return v
+	}
+	return def
+}
+
+// IntArg returns a named integer argument or the default.
+func (s ProcessorSpec) IntArg(name string, def int) (int, error) {
+	v, ok := s.Args[name]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("stream: argument %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// DurationArg returns a named duration argument (e.g. "10s") or the default.
+func (s ProcessorSpec) DurationArg(name string, def time.Duration) (time.Duration, error) {
+	v, ok := s.Args[name]
+	if !ok {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("stream: argument %s=%q is not a duration", name, v)
+	}
+	return d, nil
+}
+
+// ProcessorNames lists the prebuilt topologies a PROCESS clause may use.
+func ProcessorNames() []string {
+	return []string{"top-k", "diff", "diff-group", "diff-group-avg", "diff-percentile", "join", "join-group", "group-sum", "group-avg", "group-count", "passthrough"}
+}
+
+// BuildTopology assembles a named topology reading from spouts built by
+// spoutFactory (spoutPar tasks) and delivering results to out. For "top-k"
+// the result tuples are encoded rankings (use DecodeRankings); for the
+// grouping topologies each result tuple is one (group, aggregate) pair per
+// window.
+//
+// tick is the executor tick interval the topology will run with; window
+// arguments (w=10s) are converted into rolling-count slots against it.
+func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, out func(tuple.Tuple), tick time.Duration) (*Topology, error) {
+	if tick <= 0 {
+		tick = DefaultTickInterval
+	}
+	topo := NewTopology(spec.Name)
+	if err := topo.AddSpout("spout", spoutFactory, spoutPar); err != nil {
+		return nil, err
+	}
+	sink := func() Bolt { return NewCallbackBolt(out) }
+
+	tasks, err := spec.IntArg("tasks", 2)
+	if err != nil {
+		return nil, err
+	}
+
+	switch spec.Name {
+	case "top-k":
+		k, err := spec.IntArg("k", 10)
+		if err != nil {
+			return nil, err
+		}
+		window, err := spec.DurationArg("w", 10*tick)
+		if err != nil {
+			return nil, err
+		}
+		slots := int(window / tick)
+		if slots < 1 {
+			slots = 1
+		}
+		if slots > 600 {
+			slots = 600
+		}
+		if err := topo.AddBolt("parse", func() Bolt { return &ParseBolt{} }, tasks).
+			ShuffleFrom("spout").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("count", func() Bolt { return NewRollingCountBolt(slots) }, tasks).
+			FieldsFrom("parse", "").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("rank", func() Bolt { return NewRankBolt(k) }, tasks).
+			FieldsFrom("count", "").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("merge", func() Bolt { return NewRankBolt(k) }, 1).
+			GlobalFrom("rank").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("merge").Err(); err != nil {
+			return nil, err
+		}
+
+	case "diff":
+		// Raw per-pair differences, e.g. one tuple per TCP connection with
+		// its duration — the input for client-side histograms and CDFs.
+		if err := topo.AddBolt("diff", func() Bolt { return NewDiffBolt("", "") }, tasks).
+			FieldsFrom("spout", "flow").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("diff").Err(); err != nil {
+			return nil, err
+		}
+
+	case "diff-group", "diff-group-avg":
+		group := spec.Arg("group", "dstIP")
+		agg, err := parseAgg(spec.Arg("agg", "avg"))
+		if err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("diff", func() Bolt { return NewDiffBolt("", "") }, tasks).
+			FieldsFrom("spout", "flow").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, false) }, tasks).
+			FieldsFrom("diff", group).Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("group").Err(); err != nil {
+			return nil, err
+		}
+
+	case "diff-percentile":
+		// Connection durations reduced to per-group percentile summaries
+		// inside the topology, e.g. (diff-percentile: group=get).
+		group := spec.Arg("group", "dstIP")
+		if err := topo.AddBolt("diff", func() Bolt { return NewDiffBolt("", "") }, tasks).
+			FieldsFrom("spout", "flow").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("pct", func() Bolt { return NewPercentileBolt(group, nil) }, tasks).
+			FieldsFrom("diff", group).Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("pct").Err(); err != nil {
+			return nil, err
+		}
+
+	case "join", "join-group":
+		// (join: left=http_get, right=tcp_pkt_size) relabels right-parser
+		// tuples with the left parser's key per flow; join-group follows
+		// with an aggregation by that key.
+		left := spec.Arg("left", "http_get")
+		right := spec.Arg("right", "tcp_pkt_size")
+		if err := topo.AddBolt("join", func() Bolt { return NewJoinBolt(left, right) }, tasks).
+			FieldsFrom("spout", "flow").Err(); err != nil {
+			return nil, err
+		}
+		if spec.Name == "join" {
+			if err := topo.AddBolt("sink", sink, 1).GlobalFrom("join").Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		agg, err := parseAgg(spec.Arg("agg", "sum"))
+		if err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt("key", agg, false) }, tasks).
+			FieldsFrom("join", "key").Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("group").Err(); err != nil {
+			return nil, err
+		}
+
+	case "group-sum", "group-avg", "group-count":
+		group := spec.Arg("group", "dstIP")
+		def := map[string]string{"group-sum": "sum", "group-avg": "avg", "group-count": "count"}[spec.Name]
+		agg, err := parseAgg(spec.Arg("agg", def))
+		if err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, false) }, tasks).
+			FieldsFrom("spout", group).Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("group").Err(); err != nil {
+			return nil, err
+		}
+
+	case "passthrough":
+		if err := topo.AddBolt("sink", sink, 1).ShuffleFrom("spout").Err(); err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("stream: unknown processor %q", spec.Name)
+	}
+	return topo, nil
+}
+
+func parseAgg(name string) (Agg, error) {
+	switch name {
+	case "sum":
+		return AggSum, nil
+	case "avg":
+		return AggAvg, nil
+	case "max":
+		return AggMax, nil
+	case "min":
+		return AggMin, nil
+	case "count":
+		return AggCount, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown aggregation %q", name)
+	}
+}

@@ -1,0 +1,329 @@
+// Package topology models the data-center network NetAlytics is deployed
+// into: a three-level k-ary fat tree (Al-Fares et al., SIGCOMM'08) of hosts,
+// top-of-rack (edge) switches, aggregate switches and core switches, plus the
+// per-host CPU/memory capacities the placement algorithms consult.
+//
+// Link weights follow the paper's weighted-bandwidth metric: host↔ToR links
+// weigh 1, ToR↔aggregate links weigh 2, and aggregate↔core links weigh 4,
+// because cross-rack and especially cross-core traffic consumes scarcer
+// resources.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// NodeKind distinguishes the four fat-tree levels.
+type NodeKind int
+
+// Node kinds, host through core.
+const (
+	KindHost NodeKind = iota + 1
+	KindEdge
+	KindAgg
+	KindCore
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindEdge:
+		return "edge"
+	case KindAgg:
+		return "agg"
+	case KindCore:
+		return "core"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NodeID identifies a node (host or switch) within one FatTree.
+type NodeID int32
+
+// Link weights used by the weighted-bandwidth cost metric.
+const (
+	WeightHostToEdge = 1
+	WeightEdgeToAgg  = 2
+	WeightAggToCore  = 4
+)
+
+// Resources describes a host's capacity and current (background) usage.
+type Resources struct {
+	CPUCores float64 // total cores
+	MemGB    float64 // total memory
+	CPUUsed  float64
+	MemUsed  float64
+}
+
+// FreeCPU returns the unreserved cores.
+func (r Resources) FreeCPU() float64 { return r.CPUCores - r.CPUUsed }
+
+// FreeMem returns the unreserved memory in GB.
+func (r Resources) FreeMem() float64 { return r.MemGB - r.MemUsed }
+
+// Host is a server at a fat-tree leaf.
+type Host struct {
+	ID   NodeID
+	Name string
+	Addr netip.Addr
+	Edge NodeID // the ToR switch the host hangs off
+	Pod  int
+	Res  Resources
+}
+
+// Switch is an edge, aggregate or core switch.
+type Switch struct {
+	ID   NodeID
+	Kind NodeKind
+	Pod  int // -1 for core switches
+}
+
+// FatTree is an immutable k-ary fat-tree topology. Use New to build one.
+type FatTree struct {
+	K int
+
+	hosts    []*Host
+	edges    []*Switch
+	aggs     []*Switch
+	cores    []*Switch
+	byID     map[NodeID]any // *Host or *Switch
+	byAddr   map[netip.Addr]*Host
+	byName   map[string]*Host
+	edgeHost map[NodeID][]*Host // ToR -> hosts
+	podEdges map[int][]*Switch
+	podAggs  map[int][]*Switch
+}
+
+// New builds a fat tree with parameter k (k must be even and >= 2). The tree
+// has k pods, each with k/2 edge and k/2 aggregate switches, k/2 hosts per
+// edge switch, and (k/2)^2 core switches — k=16 yields the paper's simulated
+// topology: 1024 hosts, 128 edge, 128 aggregate and 64 core switches.
+func New(k int) (*FatTree, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: k must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	nHosts := k * half * half
+	t := &FatTree{
+		K:        k,
+		hosts:    make([]*Host, 0, nHosts),
+		edges:    make([]*Switch, 0, k*half),
+		aggs:     make([]*Switch, 0, k*half),
+		cores:    make([]*Switch, 0, half*half),
+		byID:     make(map[NodeID]any, nHosts+2*k*half+half*half),
+		byAddr:   make(map[netip.Addr]*Host, nHosts),
+		byName:   make(map[string]*Host, nHosts),
+		edgeHost: make(map[NodeID][]*Host, k*half),
+		podEdges: make(map[int][]*Switch, k),
+		podAggs:  make(map[int][]*Switch, k),
+	}
+
+	next := NodeID(0)
+	alloc := func() NodeID { id := next; next++; return id }
+
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			sw := &Switch{ID: alloc(), Kind: KindEdge, Pod: pod}
+			t.edges = append(t.edges, sw)
+			t.byID[sw.ID] = sw
+			t.podEdges[pod] = append(t.podEdges[pod], sw)
+			for h := 0; h < half; h++ {
+				host := &Host{
+					ID:   alloc(),
+					Name: fmt.Sprintf("h%d-%d-%d", pod, e, h),
+					Addr: netip.AddrFrom4([4]byte{10, byte(pod), byte(e), byte(h + 2)}),
+					Edge: sw.ID,
+					Pod:  pod,
+				}
+				t.hosts = append(t.hosts, host)
+				t.byID[host.ID] = host
+				t.byAddr[host.Addr] = host
+				t.byName[host.Name] = host
+				t.edgeHost[sw.ID] = append(t.edgeHost[sw.ID], host)
+			}
+		}
+		for a := 0; a < half; a++ {
+			sw := &Switch{ID: alloc(), Kind: KindAgg, Pod: pod}
+			t.aggs = append(t.aggs, sw)
+			t.byID[sw.ID] = sw
+			t.podAggs[pod] = append(t.podAggs[pod], sw)
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		sw := &Switch{ID: alloc(), Kind: KindCore, Pod: -1}
+		t.cores = append(t.cores, sw)
+		t.byID[sw.ID] = sw
+	}
+	return t, nil
+}
+
+// MustNew is New for parameters known valid at compile time; it panics on error.
+func MustNew(k int) *FatTree {
+	t, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Hosts returns all hosts in construction order.
+func (t *FatTree) Hosts() []*Host { return t.hosts }
+
+// EdgeSwitches returns all ToR switches.
+func (t *FatTree) EdgeSwitches() []*Switch { return t.edges }
+
+// AggSwitches returns all aggregate switches.
+func (t *FatTree) AggSwitches() []*Switch { return t.aggs }
+
+// CoreSwitches returns all core switches.
+func (t *FatTree) CoreSwitches() []*Switch { return t.cores }
+
+// HostByAddr resolves an IP address to its host, or nil.
+func (t *FatTree) HostByAddr(a netip.Addr) *Host { return t.byAddr[a] }
+
+// HostByName resolves a hostname to its host, or nil.
+func (t *FatTree) HostByName(name string) *Host { return t.byName[name] }
+
+// HostByID resolves a node ID to a host, or nil when the ID names a switch.
+func (t *FatTree) HostByID(id NodeID) *Host {
+	h, _ := t.byID[id].(*Host)
+	return h
+}
+
+// SwitchByID resolves a node ID to a switch, or nil when the ID names a host.
+func (t *FatTree) SwitchByID(id NodeID) *Switch {
+	s, _ := t.byID[id].(*Switch)
+	return s
+}
+
+// HostsUnderEdge returns the hosts attached to a ToR switch.
+func (t *FatTree) HostsUnderEdge(edge NodeID) []*Host { return t.edgeHost[edge] }
+
+// EdgesOfPod returns the ToR switches of a pod.
+func (t *FatTree) EdgesOfPod(pod int) []*Switch { return t.podEdges[pod] }
+
+// AggsOfPod returns the aggregate switches of a pod.
+func (t *FatTree) AggsOfPod(pod int) []*Switch { return t.podAggs[pod] }
+
+// HostsUnderAgg returns all hosts reachable below an aggregate switch, i.e.
+// every host in the switch's pod.
+func (t *FatTree) HostsUnderAgg(agg NodeID) []*Host {
+	sw := t.SwitchByID(agg)
+	if sw == nil || sw.Kind != KindAgg {
+		return nil
+	}
+	var out []*Host
+	for _, e := range t.podEdges[sw.Pod] {
+		out = append(out, t.edgeHost[e.ID]...)
+	}
+	return out
+}
+
+// HopCount returns the number of switch-to-switch-to-host link traversals
+// between two hosts: 0 within one host, 2 within a rack, 4 within a pod, 6
+// across the core.
+func (t *FatTree) HopCount(a, b *Host) int {
+	switch {
+	case a.ID == b.ID:
+		return 0
+	case a.Edge == b.Edge:
+		return 2
+	case a.Pod == b.Pod:
+		return 4
+	default:
+		return 6
+	}
+}
+
+// WeightedCost returns the paper's weighted path cost between two hosts,
+// summing per-link weights (host-ToR 1, ToR-agg 2, agg-core 4) along the
+// shortest path: 2 within a rack, 6 within a pod, 14 across the core.
+func (t *FatTree) WeightedCost(a, b *Host) int {
+	switch {
+	case a.ID == b.ID:
+		return 0
+	case a.Edge == b.Edge:
+		return 2 * WeightHostToEdge
+	case a.Pod == b.Pod:
+		return 2*WeightHostToEdge + 2*WeightEdgeToAgg
+	default:
+		return 2*WeightHostToEdge + 2*WeightEdgeToAgg + 2*WeightAggToCore
+	}
+}
+
+// SwitchPath returns the ordered switch IDs a frame traverses from host a to
+// host b. ECMP-style choices (which aggregate, which core) are resolved
+// deterministically from a hash of the endpoint pair so that a flow is pinned
+// to one path.
+func (t *FatTree) SwitchPath(a, b *Host) []NodeID {
+	if a.ID == b.ID {
+		return nil
+	}
+	if a.Edge == b.Edge {
+		return []NodeID{a.Edge}
+	}
+	h := pathHash(a.ID, b.ID)
+	if a.Pod == b.Pod {
+		aggs := t.podAggs[a.Pod]
+		agg := aggs[h%uint64(len(aggs))]
+		return []NodeID{a.Edge, agg.ID, b.Edge}
+	}
+	upAggs := t.podAggs[a.Pod]
+	downAggs := t.podAggs[b.Pod]
+	up := upAggs[h%uint64(len(upAggs))]
+	core := t.cores[h%uint64(len(t.cores))]
+	down := downAggs[h%uint64(len(downAggs))]
+	return []NodeID{a.Edge, up.ID, core.ID, down.ID, b.Edge}
+}
+
+func pathHash(a, b NodeID) uint64 {
+	x := uint64(a)<<32 | uint64(uint32(b))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// RandomizeResources assigns each host a capacity and background utilization
+// drawn from the paper's simulation ranges: 32–128 GB memory, 12–24 CPU
+// cores, both 40–80 % utilized.
+func (t *FatTree) RandomizeResources(rng *rand.Rand) {
+	for _, h := range t.hosts {
+		mem := 32 + rng.Float64()*(128-32)
+		cpu := 12 + rng.Float64()*(24-12)
+		util := 0.4 + rng.Float64()*0.4
+		h.Res = Resources{
+			CPUCores: cpu,
+			MemGB:    mem,
+			CPUUsed:  cpu * util,
+			MemUsed:  mem * util,
+		}
+	}
+}
+
+// Allocate reserves cpu cores and mem GB on the host, returning false
+// without side effects when capacity is insufficient.
+func (h *Host) Allocate(cpu, mem float64) bool {
+	if h.Res.FreeCPU() < cpu || h.Res.FreeMem() < mem {
+		return false
+	}
+	h.Res.CPUUsed += cpu
+	h.Res.MemUsed += mem
+	return true
+}
+
+// Release returns previously allocated resources.
+func (h *Host) Release(cpu, mem float64) {
+	h.Res.CPUUsed -= cpu
+	h.Res.MemUsed -= mem
+	if h.Res.CPUUsed < 0 {
+		h.Res.CPUUsed = 0
+	}
+	if h.Res.MemUsed < 0 {
+		h.Res.MemUsed = 0
+	}
+}

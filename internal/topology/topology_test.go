@@ -1,0 +1,264 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7, -4} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d): want error", k)
+		}
+	}
+}
+
+func TestFatTreeCountsK16(t *testing.T) {
+	// The paper's simulated topology (§6.2): k=16 → 1024 hosts, 128 edge,
+	// 128 aggregate and 64 core switches.
+	ft := MustNew(16)
+	if got := len(ft.Hosts()); got != 1024 {
+		t.Errorf("hosts = %d, want 1024", got)
+	}
+	if got := len(ft.EdgeSwitches()); got != 128 {
+		t.Errorf("edges = %d, want 128", got)
+	}
+	if got := len(ft.AggSwitches()); got != 128 {
+		t.Errorf("aggs = %d, want 128", got)
+	}
+	if got := len(ft.CoreSwitches()); got != 64 {
+		t.Errorf("cores = %d, want 64", got)
+	}
+}
+
+func TestFatTreeStructureK4(t *testing.T) {
+	ft := MustNew(4)
+	if got := len(ft.Hosts()); got != 16 {
+		t.Fatalf("hosts = %d, want 16", got)
+	}
+	for pod := 0; pod < 4; pod++ {
+		if got := len(ft.EdgesOfPod(pod)); got != 2 {
+			t.Errorf("pod %d edges = %d, want 2", pod, got)
+		}
+		if got := len(ft.AggsOfPod(pod)); got != 2 {
+			t.Errorf("pod %d aggs = %d, want 2", pod, got)
+		}
+	}
+	for _, e := range ft.EdgeSwitches() {
+		hosts := ft.HostsUnderEdge(e.ID)
+		if len(hosts) != 2 {
+			t.Errorf("edge %d hosts = %d, want 2", e.ID, len(hosts))
+		}
+		for _, h := range hosts {
+			if h.Edge != e.ID || h.Pod != e.Pod {
+				t.Errorf("host %s edge/pod mismatch", h.Name)
+			}
+		}
+	}
+	for _, a := range ft.AggSwitches() {
+		if got := len(ft.HostsUnderAgg(a.ID)); got != 4 {
+			t.Errorf("agg %d covers %d hosts, want 4", a.ID, got)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	ft := MustNew(4)
+	h := ft.Hosts()[5]
+	if got := ft.HostByAddr(h.Addr); got != h {
+		t.Errorf("HostByAddr(%v) = %v", h.Addr, got)
+	}
+	if got := ft.HostByName(h.Name); got != h {
+		t.Errorf("HostByName(%q) = %v", h.Name, got)
+	}
+	if got := ft.HostByID(h.ID); got != h {
+		t.Errorf("HostByID = %v", got)
+	}
+	if ft.HostByID(h.Edge) != nil {
+		t.Error("HostByID(switch id) should be nil")
+	}
+	if sw := ft.SwitchByID(h.Edge); sw == nil || sw.Kind != KindEdge {
+		t.Errorf("SwitchByID(edge) = %v", sw)
+	}
+	if ft.SwitchByID(h.ID) != nil {
+		t.Error("SwitchByID(host id) should be nil")
+	}
+	if ft.HostsUnderAgg(h.Edge) != nil {
+		t.Error("HostsUnderAgg(edge id) should be nil")
+	}
+}
+
+func TestUniqueAddresses(t *testing.T) {
+	ft := MustNew(8)
+	seen := make(map[string]bool, len(ft.Hosts()))
+	for _, h := range ft.Hosts() {
+		key := h.Addr.String()
+		if seen[key] {
+			t.Fatalf("duplicate host address %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestHopAndWeightedCost(t *testing.T) {
+	ft := MustNew(4)
+	hosts := ft.Hosts()
+	sameRack := []*Host{hosts[0], hosts[1]} // first edge switch
+	samePod := []*Host{hosts[0], hosts[2]}  // pod 0, different edges
+	crossPod := []*Host{hosts[0], hosts[len(hosts)-1]}
+
+	tests := []struct {
+		name       string
+		a, b       *Host
+		hops       int
+		weighted   int
+		pathLength int
+	}{
+		{"same host", hosts[0], hosts[0], 0, 0, 0},
+		{"same rack", sameRack[0], sameRack[1], 2, 2, 1},
+		{"same pod", samePod[0], samePod[1], 4, 6, 3},
+		{"cross pod", crossPod[0], crossPod[1], 6, 14, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.name == "same pod" && (tt.a.Pod != tt.b.Pod || tt.a.Edge == tt.b.Edge) {
+				t.Fatalf("fixture wrong: %+v %+v", tt.a, tt.b)
+			}
+			if got := ft.HopCount(tt.a, tt.b); got != tt.hops {
+				t.Errorf("HopCount = %d, want %d", got, tt.hops)
+			}
+			if got := ft.WeightedCost(tt.a, tt.b); got != tt.weighted {
+				t.Errorf("WeightedCost = %d, want %d", got, tt.weighted)
+			}
+			if got := len(ft.SwitchPath(tt.a, tt.b)); got != tt.pathLength {
+				t.Errorf("len(SwitchPath) = %d, want %d", got, tt.pathLength)
+			}
+		})
+	}
+}
+
+func TestSwitchPathShape(t *testing.T) {
+	ft := MustNew(8)
+	hosts := ft.Hosts()
+	a, b := hosts[0], hosts[len(hosts)-1]
+	path := ft.SwitchPath(a, b)
+	if len(path) != 5 {
+		t.Fatalf("cross-pod path length = %d, want 5", len(path))
+	}
+	kinds := []NodeKind{KindEdge, KindAgg, KindCore, KindAgg, KindEdge}
+	for i, id := range path {
+		sw := ft.SwitchByID(id)
+		if sw == nil || sw.Kind != kinds[i] {
+			t.Errorf("path[%d] = %v, want kind %v", i, sw, kinds[i])
+		}
+	}
+	if path[0] != a.Edge || path[4] != b.Edge {
+		t.Error("path endpoints are not the hosts' ToR switches")
+	}
+	// Pinned paths: repeated computation is deterministic.
+	again := ft.SwitchPath(a, b)
+	for i := range path {
+		if path[i] != again[i] {
+			t.Fatal("SwitchPath not deterministic")
+		}
+	}
+}
+
+// Property: for random host pairs, the weighted cost is consistent with the
+// hop count (2/2, 4/6, 6/14) and the switch path visits first-hop and
+// last-hop ToR switches.
+func TestPathCostProperty(t *testing.T) {
+	ft := MustNew(8)
+	hosts := ft.Hosts()
+	r := rand.New(rand.NewSource(11))
+	prop := func() bool {
+		a := hosts[r.Intn(len(hosts))]
+		b := hosts[r.Intn(len(hosts))]
+		hops, w := ft.HopCount(a, b), ft.WeightedCost(a, b)
+		switch hops {
+		case 0:
+			return w == 0 && a == b
+		case 2:
+			return w == 2 && a.Edge == b.Edge
+		case 4:
+			return w == 6 && a.Pod == b.Pod
+		case 6:
+			return w == 14 && a.Pod != b.Pod
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizeResourcesRanges(t *testing.T) {
+	ft := MustNew(4)
+	ft.RandomizeResources(rand.New(rand.NewSource(3)))
+	for _, h := range ft.Hosts() {
+		r := h.Res
+		if r.MemGB < 32 || r.MemGB > 128 {
+			t.Errorf("%s mem = %.1f outside [32,128]", h.Name, r.MemGB)
+		}
+		if r.CPUCores < 12 || r.CPUCores > 24 {
+			t.Errorf("%s cpu = %.1f outside [12,24]", h.Name, r.CPUCores)
+		}
+		cpuUtil := r.CPUUsed / r.CPUCores
+		memUtil := r.MemUsed / r.MemGB
+		if cpuUtil < 0.4-1e-9 || cpuUtil > 0.8+1e-9 {
+			t.Errorf("%s cpu util = %.2f outside [0.4,0.8]", h.Name, cpuUtil)
+		}
+		if memUtil < 0.4-1e-9 || memUtil > 0.8+1e-9 {
+			t.Errorf("%s mem util = %.2f outside [0.4,0.8]", h.Name, memUtil)
+		}
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	h := &Host{Res: Resources{CPUCores: 4, MemGB: 8}}
+	if !h.Allocate(2, 4) {
+		t.Fatal("first Allocate failed")
+	}
+	if h.Allocate(3, 1) {
+		t.Error("over-allocation of CPU succeeded")
+	}
+	if h.Allocate(1, 5) {
+		t.Error("over-allocation of memory succeeded")
+	}
+	if !h.Allocate(2, 4) {
+		t.Error("exact-fit Allocate failed")
+	}
+	h.Release(10, 20) // over-release clamps to zero
+	if h.Res.CPUUsed != 0 || h.Res.MemUsed != 0 {
+		t.Errorf("after over-release: %+v", h.Res)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	want := map[NodeKind]string{KindHost: "host", KindEdge: "edge", KindAgg: "agg", KindCore: "core", NodeKind(9): "kind(9)"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func BenchmarkNewK16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwitchPath(b *testing.B) {
+	ft := MustNew(16)
+	hosts := ft.Hosts()
+	a, c := hosts[0], hosts[len(hosts)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ft.SwitchPath(a, c)
+	}
+}

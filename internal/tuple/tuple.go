@@ -1,0 +1,97 @@
+// Package tuple defines the data records that flow from NFV monitors through
+// the aggregation layer into the stream-processing engine.
+//
+// Per §3.1 of the paper, a parser emits tuples that are miniscule compared to
+// the packets they derive from: the first element is an ID (usually a hash of
+// the packet's n-tuple) that lets processors join information produced by
+// different parsers about the same flow, followed by a small number of fields.
+package tuple
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Tuple is one monitoring record.
+type Tuple struct {
+	// FlowID is the join key: a hash of the packet's n-tuple, or a
+	// parser-chosen ID for data aggregated across flows.
+	FlowID uint64 `json:"id"`
+	// Parser names the parser that produced the tuple; it selects the
+	// aggregation-layer topic.
+	Parser string `json:"parser"`
+	// TS is the observation time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+
+	SrcIP   string `json:"sip,omitempty"`
+	DstIP   string `json:"dip,omitempty"`
+	SrcPort uint16 `json:"sport,omitempty"`
+	DstPort uint16 `json:"dport,omitempty"`
+
+	// Key carries the string payload: a URL, a SQL statement, a memcached
+	// key, or an event kind such as "start"/"end" for connection timing.
+	Key string `json:"key,omitempty"`
+	// Val carries the numeric payload: a byte count, a latency in
+	// nanoseconds, or an increment.
+	Val float64 `json:"val,omitempty"`
+}
+
+// Attr returns a named attribute for group-by processing. Recognized names
+// mirror the query language's group arguments: "srcIP", "dstIP", "src",
+// "dst", "pair", "ips", "get"/"key", "parser" and "flow".
+func (t *Tuple) Attr(name string) string {
+	switch name {
+	case "srcIP":
+		return t.SrcIP
+	case "dstIP", "destIP":
+		return t.DstIP
+	case "src":
+		return fmt.Sprintf("%s:%d", t.SrcIP, t.SrcPort)
+	case "dst":
+		return fmt.Sprintf("%s:%d", t.DstIP, t.DstPort)
+	case "pair":
+		return fmt.Sprintf("%s:%d->%s:%d", t.SrcIP, t.SrcPort, t.DstIP, t.DstPort)
+	case "ips":
+		return fmt.Sprintf("%s->%s", t.SrcIP, t.DstIP)
+	case "get", "key", "url":
+		return t.Key
+	case "parser":
+		return t.Parser
+	case "flow":
+		return fmt.Sprintf("%d", t.FlowID)
+	default:
+		return ""
+	}
+}
+
+// Batch is the unit monitors ship to the aggregation layer: tuples from one
+// parser, sent together to amortize per-message overhead (§3.1).
+type Batch struct {
+	Parser string  `json:"parser"`
+	Tuples []Tuple `json:"tuples"`
+}
+
+// EncodeJSON serializes the batch in the monitors' output format.
+func (b *Batch) EncodeJSON() ([]byte, error) {
+	return json.Marshal(b)
+}
+
+// DecodeJSON parses a batch previously encoded with EncodeJSON.
+func DecodeJSON(data []byte) (*Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("tuple: decoding batch: %w", err)
+	}
+	return &b, nil
+}
+
+// WireSize estimates the encoded size of the batch in bytes without
+// serializing it; the aggregation layer uses it for rate accounting.
+func (b *Batch) WireSize() int {
+	n := 24 + len(b.Parser)
+	for i := range b.Tuples {
+		t := &b.Tuples[i]
+		n += 48 + len(t.Parser) + len(t.SrcIP) + len(t.DstIP) + len(t.Key)
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Tuple {
+	return Tuple{
+		FlowID: 0xdeadbeef, Parser: "http_get", TS: 1234567890,
+		SrcIP: "10.0.2.8", DstIP: "10.0.2.9", SrcPort: 5555, DstPort: 80,
+		Key: "/index.html", Val: 42,
+	}
+}
+
+func TestAttr(t *testing.T) {
+	tu := sample()
+	tests := []struct {
+		name, want string
+	}{
+		{"srcIP", "10.0.2.8"},
+		{"dstIP", "10.0.2.9"},
+		{"destIP", "10.0.2.9"},
+		{"src", "10.0.2.8:5555"},
+		{"dst", "10.0.2.9:80"},
+		{"pair", "10.0.2.8:5555->10.0.2.9:80"},
+		{"ips", "10.0.2.8->10.0.2.9"},
+		{"get", "/index.html"},
+		{"key", "/index.html"},
+		{"url", "/index.html"},
+		{"parser", "http_get"},
+		{"flow", "3735928559"},
+		{"bogus", ""},
+	}
+	for _, tt := range tests {
+		if got := tu.Attr(tt.name); got != tt.want {
+			t.Errorf("Attr(%q) = %q, want %q", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestBatchJSONRoundTrip(t *testing.T) {
+	b := &Batch{Parser: "http_get", Tuples: []Tuple{sample(), {FlowID: 1, Parser: "http_get", Key: "/a"}}}
+	data, err := b.EncodeJSON()
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	got, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if got.Parser != b.Parser || len(got.Tuples) != len(b.Tuples) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range b.Tuples {
+		if got.Tuples[i] != b.Tuples[i] {
+			t.Errorf("tuple %d = %+v, want %+v", i, got.Tuples[i], b.Tuples[i])
+		}
+	}
+}
+
+func TestDecodeJSONError(t *testing.T) {
+	if _, err := DecodeJSON([]byte("{not json")); err == nil {
+		t.Error("DecodeJSON accepted garbage")
+	}
+}
+
+// Property: WireSize is a usable stand-in for the encoded size — positive,
+// monotone in tuple count, and within a small factor of actual JSON size.
+func TestWireSizeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	prop := func() bool {
+		n := 1 + r.Intn(50)
+		b := &Batch{Parser: "p"}
+		for i := 0; i < n; i++ {
+			b.Tuples = append(b.Tuples, Tuple{
+				FlowID: r.Uint64(), Parser: "p", TS: r.Int63(),
+				SrcIP: "10.1.2.3", DstIP: "10.4.5.6", Key: "/some/url",
+				Val: r.Float64() * 1000,
+			})
+		}
+		est := b.WireSize()
+		data, err := b.EncodeJSON()
+		if err != nil || est <= 0 {
+			return false
+		}
+		ratio := float64(est) / float64(len(data))
+		return ratio > 0.25 && ratio < 4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	batch := &Batch{Parser: "http_get"}
+	for i := 0; i < 64; i++ {
+		batch.Tuples = append(batch.Tuples, sample())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batch.EncodeJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package vnet
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/topology"
+)
+
+// MSS is the maximum TCP payload per frame; larger messages are segmented,
+// so multi-frame messages look realistic to packet-size parsers.
+const MSS = 1460
+
+const (
+	dialTimeout   = 2 * time.Second
+	inboxSize     = 256
+	acceptBacklog = 256
+)
+
+// Endpoint is a host's attachment to the network: it owns the host's
+// listeners and connections and handles frames addressed to the host.
+type Endpoint struct {
+	net  *Network
+	host *topology.Host
+
+	mu        sync.Mutex
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	udp       map[uint16]func(src netip.Addr, srcPort uint16, payload []byte)
+
+	nextPort atomic.Uint32
+	refused  atomic.Uint64
+	orphaned atomic.Uint64
+
+	builder packet.Builder
+}
+
+type connKey struct {
+	localPort  uint16
+	remoteIP   netip.Addr
+	remotePort uint16
+}
+
+// Host returns the topology host this endpoint is attached to.
+func (e *Endpoint) Host() *topology.Host { return e.host }
+
+// Addr returns the endpoint's IP address.
+func (e *Endpoint) Addr() netip.Addr { return e.host.Addr }
+
+// Refused returns the count of SYNs that arrived for ports with no listener.
+func (e *Endpoint) Refused() uint64 { return e.refused.Load() }
+
+// Orphaned returns the count of non-SYN segments with no matching connection.
+func (e *Endpoint) Orphaned() uint64 { return e.orphaned.Load() }
+
+// Listen binds a TCP-like listener to a port.
+func (e *Endpoint) Listen(port uint16) (*Listener, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns == nil {
+		e.conns = make(map[connKey]*Conn)
+	}
+	if _, exists := e.listeners[port]; exists {
+		return nil, fmt.Errorf("%w: %s:%d", ErrPortInUse, e.host.Addr, port)
+	}
+	l := &Listener{
+		ep:     e,
+		port:   port,
+		accept: make(chan *Conn, acceptBacklog),
+		done:   make(chan struct{}),
+	}
+	e.listeners[port] = l
+	return l, nil
+}
+
+// HandleDatagram registers a UDP receive handler on a port. The handler runs
+// on the sender's goroutine and must not block.
+func (e *Endpoint) HandleDatagram(port uint16, h func(src netip.Addr, srcPort uint16, payload []byte)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.udp == nil {
+		e.udp = make(map[uint16]func(netip.Addr, uint16, []byte))
+	}
+	if _, exists := e.udp[port]; exists {
+		return fmt.Errorf("%w: udp %s:%d", ErrPortInUse, e.host.Addr, port)
+	}
+	e.udp[port] = h
+	return nil
+}
+
+// SendDatagram transmits a UDP frame.
+func (e *Endpoint) SendDatagram(dst netip.Addr, srcPort, dstPort uint16, payload []byte) error {
+	raw := e.builder.UDP(packet.UDPSpec{
+		Src: e.host.Addr, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	})
+	return e.net.Inject(raw)
+}
+
+// Dial opens a connection to a remote host and port, completing the
+// SYN / SYN-ACK handshake through the network so monitors observe it.
+func (e *Endpoint) Dial(dst netip.Addr, dstPort uint16) (*Conn, error) {
+	localPort := uint16(e.nextPort.Add(1))
+	if localPort < 1024 { // wrapped
+		localPort += 40000
+	}
+	c := &Conn{
+		ep:          e,
+		localAddr:   e.host.Addr,
+		localPort:   localPort,
+		remoteAddr:  dst,
+		remotePort:  dstPort,
+		established: make(chan struct{}),
+		done:        make(chan struct{}),
+		inbox:       make(chan []byte, inboxSize),
+	}
+	key := connKey{localPort: localPort, remoteIP: dst, remotePort: dstPort}
+	e.mu.Lock()
+	if e.conns == nil {
+		e.conns = make(map[connKey]*Conn)
+	}
+	e.conns[key] = c
+	e.mu.Unlock()
+
+	if err := c.sendFlags(packet.TCPFlagSYN, nil); err != nil {
+		e.unregister(key)
+		return nil, err
+	}
+	select {
+	case <-c.established:
+		return c, nil
+	case <-time.After(dialTimeout):
+		e.unregister(key)
+		return nil, fmt.Errorf("%w: dial %s:%d", ErrNoListener, dst, dstPort)
+	}
+}
+
+func (e *Endpoint) unregister(key connKey) {
+	e.mu.Lock()
+	delete(e.conns, key)
+	e.mu.Unlock()
+}
+
+// handleFrame dispatches an arriving frame. It runs on the sender's
+// goroutine; everything it does is non-blocking.
+func (e *Endpoint) handleFrame(raw []byte, f *packet.Frame, ft packet.FiveTuple) {
+	if f.UDP != nil {
+		e.mu.Lock()
+		h := e.udp[ft.DstPort]
+		e.mu.Unlock()
+		if h != nil {
+			h(ft.Src, ft.SrcPort, f.Payload)
+		} else {
+			e.orphaned.Add(1)
+		}
+		return
+	}
+	if f.TCP == nil {
+		return
+	}
+	flags := f.TCP.Flags
+	key := connKey{localPort: ft.DstPort, remoteIP: ft.Src, remotePort: ft.SrcPort}
+
+	switch {
+	case flags&packet.TCPFlagSYN != 0 && flags&packet.TCPFlagACK == 0:
+		e.acceptSYN(key)
+	case flags&packet.TCPFlagSYN != 0 && flags&packet.TCPFlagACK != 0:
+		if c := e.lookup(key); c != nil {
+			c.markEstablished()
+		} else {
+			e.orphaned.Add(1)
+		}
+	case flags&packet.TCPFlagRST != 0:
+		if c := e.lookup(key); c != nil {
+			e.unregister(key)
+			c.markDone()
+		}
+	case flags&packet.TCPFlagFIN != 0:
+		c := e.lookup(key)
+		if c == nil {
+			e.orphaned.Add(1)
+			return
+		}
+		e.unregister(key)
+		if flags&packet.TCPFlagACK == 0 {
+			// Passive close: acknowledge with FIN|ACK before tearing down.
+			_ = c.sendFlags(packet.TCPFlagFIN|packet.TCPFlagACK, nil)
+		}
+		c.markDone()
+	default:
+		c := e.lookup(key)
+		if c == nil {
+			e.orphaned.Add(1)
+			return
+		}
+		c.receiveSegment(f.Payload, flags&packet.TCPFlagPSH != 0)
+	}
+}
+
+func (e *Endpoint) lookup(key connKey) *Conn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.conns[key]
+}
+
+// acceptSYN creates the server half of a connection and replies SYN|ACK.
+func (e *Endpoint) acceptSYN(key connKey) {
+	e.mu.Lock()
+	l := e.listeners[key.localPort]
+	if l == nil {
+		e.mu.Unlock()
+		e.refused.Add(1)
+		return
+	}
+	if _, dup := e.conns[key]; dup {
+		e.mu.Unlock()
+		return // retransmitted SYN
+	}
+	c := &Conn{
+		ep:          e,
+		server:      true,
+		localAddr:   e.host.Addr,
+		localPort:   key.localPort,
+		remoteAddr:  key.remoteIP,
+		remotePort:  key.remotePort,
+		established: make(chan struct{}),
+		done:        make(chan struct{}),
+		inbox:       make(chan []byte, inboxSize),
+	}
+	c.markEstablished()
+	if e.conns == nil {
+		e.conns = make(map[connKey]*Conn)
+	}
+	e.conns[key] = c
+	accepted := true
+	select {
+	case l.accept <- c:
+	default:
+		delete(e.conns, key) // backlog full: behave like a dropped SYN
+		accepted = false
+	}
+	e.mu.Unlock()
+	if accepted {
+		_ = c.sendFlags(packet.TCPFlagSYN|packet.TCPFlagACK, nil)
+	}
+}
+
+// Listener accepts inbound connections on one port.
+type Listener struct {
+	ep     *Endpoint
+	port   uint16
+	accept chan *Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Port returns the bound port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept(timeout time.Duration) (*Conn, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+// Serve accepts connections until the listener closes, invoking handler on a
+// new goroutine per connection. It returns when the listener is closed.
+func (l *Listener) Serve(handler func(*Conn)) {
+	for {
+		select {
+		case c := <-l.accept:
+			go handler(c)
+		case <-l.done:
+			return
+		}
+	}
+}
+
+// Close unbinds the listener. Established connections are unaffected.
+func (l *Listener) Close() {
+	l.once.Do(func() {
+		l.ep.mu.Lock()
+		delete(l.ep.listeners, l.port)
+		l.ep.mu.Unlock()
+		close(l.done)
+	})
+}
+
+// Conn is a reliable, message-oriented connection. Messages are segmented
+// into MSS-sized TCP frames on the wire with the final segment PSH-marked,
+// so parsers observe realistic packet trains while applications exchange
+// whole requests and responses.
+//
+// Send must not be called concurrently from multiple goroutines for one
+// direction; request/response usage (one outstanding message) is the
+// intended pattern.
+type Conn struct {
+	ep         *Endpoint
+	server     bool
+	localAddr  netip.Addr
+	localPort  uint16
+	remoteAddr netip.Addr
+	remotePort uint16
+
+	established chan struct{}
+	done        chan struct{}
+	estOnce     sync.Once
+	doneOnce    sync.Once
+	inbox       chan []byte
+
+	asmMu sync.Mutex
+	asm   []byte
+
+	seq atomic.Uint32
+}
+
+// LocalAddr returns the local IP address.
+func (c *Conn) LocalAddr() netip.Addr { return c.localAddr }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr returns the remote IP address.
+func (c *Conn) RemoteAddr() netip.Addr { return c.remoteAddr }
+
+// RemotePort returns the remote port.
+func (c *Conn) RemotePort() uint16 { return c.remotePort }
+
+func (c *Conn) markEstablished() {
+	c.estOnce.Do(func() { close(c.established) })
+}
+
+func (c *Conn) markDone() {
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// Closed reports whether the connection has terminated.
+func (c *Conn) Closed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Conn) sendFlags(flags uint8, payload []byte) error {
+	raw := c.ep.builder.TCP(packet.TCPSpec{
+		Src: c.localAddr, Dst: c.remoteAddr,
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: c.seq.Add(uint32(len(payload))), Flags: flags,
+		Payload: payload,
+	})
+	return c.ep.net.Inject(raw)
+}
+
+// Send transmits one message, segmenting it into MSS-sized frames.
+func (c *Conn) Send(payload []byte) error {
+	if c.Closed() {
+		return ErrClosed
+	}
+	for off := 0; ; off += MSS {
+		end := off + MSS
+		last := end >= len(payload)
+		if last {
+			end = len(payload)
+		}
+		flags := packet.TCPFlagACK
+		if last {
+			flags |= packet.TCPFlagPSH
+		}
+		if err := c.sendFlags(flags, payload[off:end]); err != nil {
+			return err
+		}
+		if last {
+			return nil
+		}
+	}
+}
+
+// receiveSegment reassembles inbound segments into messages.
+func (c *Conn) receiveSegment(payload []byte, push bool) {
+	c.asmMu.Lock()
+	c.asm = append(c.asm, payload...)
+	if !push {
+		c.asmMu.Unlock()
+		return
+	}
+	msg := c.asm
+	c.asm = nil
+	c.asmMu.Unlock()
+
+	select {
+	case c.inbox <- msg:
+	default:
+		c.ep.net.inboxDrops.Add(1)
+	}
+}
+
+// Recv waits for the next complete message. Buffered messages remain
+// readable after the peer closes; once drained, Recv returns ErrClosed.
+func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
+	select {
+	case msg := <-c.inbox:
+		return msg, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-c.inbox:
+		return msg, nil
+	case <-c.done:
+		select {
+		case msg := <-c.inbox:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+// Request sends a message and waits for the reply: the client side of the
+// request/response pattern all emulated applications use.
+func (c *Conn) Request(payload []byte, timeout time.Duration) ([]byte, error) {
+	if err := c.Send(payload); err != nil {
+		return nil, err
+	}
+	return c.Recv(timeout)
+}
+
+// Close terminates the connection, emitting a FIN so connection-time parsers
+// observe the end of the flow. Closing an already-closed connection is a
+// no-op.
+func (c *Conn) Close() error {
+	if c.Closed() {
+		return nil
+	}
+	key := connKey{localPort: c.localPort, remoteIP: c.remoteAddr, remotePort: c.remotePort}
+	c.ep.unregister(key)
+	err := c.sendFlags(packet.TCPFlagFIN, nil)
+	c.markDone()
+	return err
+}

@@ -1,0 +1,567 @@
+package vnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/sdn"
+	"netalytics/internal/topology"
+)
+
+const testTimeout = 2 * time.Second
+
+func newTestNet(t *testing.T) (*Network, *topology.FatTree) {
+	t.Helper()
+	ft := topology.MustNew(4)
+	return New(ft, sdn.NewController()), ft
+}
+
+// echoServer starts a listener that echoes each message back, prefixed.
+func echoServer(t *testing.T, n *Network, h *topology.Host, port uint16) *Listener {
+	t.Helper()
+	ln, err := n.Endpoint(h).Listen(port)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go ln.Serve(func(c *Conn) {
+		for {
+			msg, err := c.Recv(testTimeout)
+			if err != nil {
+				return
+			}
+			if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+				return
+			}
+		}
+	})
+	t.Cleanup(ln.Close)
+	return ln
+}
+
+func TestDialSendRecvClose(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[len(hosts)-1] // cross-pod
+	echoServer(t, n, server, 80)
+
+	c, err := n.Endpoint(client).Dial(server.Addr, 80)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	resp, err := c.Request([]byte("hello"), testTimeout)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Errorf("resp = %q", resp)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if !c.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	dstEP := n.Endpoint(hosts[1]) // attached but not listening
+	_, err := n.Endpoint(hosts[0]).Dial(hosts[1].Addr, 9999)
+	if !errors.Is(err, ErrNoListener) {
+		t.Errorf("err = %v, want ErrNoListener", err)
+	}
+	if got := dstEP.Refused(); got != 1 {
+		t.Errorf("Refused = %d, want 1", got)
+	}
+}
+
+func TestListenPortInUse(t *testing.T) {
+	n, ft := newTestNet(t)
+	ep := n.Endpoint(ft.Hosts()[0])
+	if _, err := ep.Listen(80); err != nil {
+		t.Fatalf("first Listen: %v", err)
+	}
+	if _, err := ep.Listen(80); !errors.Is(err, ErrPortInUse) {
+		t.Errorf("err = %v, want ErrPortInUse", err)
+	}
+}
+
+func TestListenerCloseReleasesPort(t *testing.T) {
+	n, ft := newTestNet(t)
+	ep := n.Endpoint(ft.Hosts()[0])
+	ln, err := ep.Listen(80)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ln.Close()
+	ln.Close() // idempotent
+	if _, err := ep.Listen(80); err != nil {
+		t.Errorf("Listen after Close: %v", err)
+	}
+	if _, err := ln.Accept(10 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Errorf("Accept on closed listener: err = %v", err)
+	}
+}
+
+func TestLargeMessageSegmentation(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	echoServer(t, n, hosts[0], 80)
+
+	big := bytes.Repeat([]byte("x"), 4*MSS+100)
+	c, err := n.Endpoint(hosts[2]).Dial(hosts[0].Addr, 80)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	resp, err := c.Request(big, testTimeout)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if len(resp) != len(big)+5 || !bytes.Equal(resp[5:], big) {
+		t.Errorf("large message corrupted: got %d bytes, want %d", len(resp), len(big)+5)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	ln, err := n.Endpoint(hosts[0]).Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ln.Serve(func(c *Conn) { /* never respond */ })
+	defer ln.Close()
+
+	c, err := n.Endpoint(hosts[1]).Dial(hosts[0].Addr, 80)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPeerCloseDeliversErrClosed(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	ln, err := n.Endpoint(hosts[0]).Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ln.Serve(func(c *Conn) {
+		_ = c.Send([]byte("parting gift"))
+		_ = c.Close()
+	})
+	defer ln.Close()
+
+	c, err := n.Endpoint(hosts[1]).Dial(hosts[0].Addr, 80)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	// The buffered message survives the close...
+	msg, err := c.Recv(testTimeout)
+	if err != nil || string(msg) != "parting gift" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	// ...then the connection reports closed.
+	deadline := time.Now().Add(testTimeout)
+	for {
+		_, err = c.Recv(20 * time.Millisecond)
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw ErrClosed, last err = %v", err)
+		}
+	}
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	echoServer(t, n, hosts[0], 80)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := hosts[1+i%(len(hosts)-1)]
+			c, err := n.Endpoint(client).Dial(hosts[0].Addr, 80)
+			if err != nil {
+				errCh <- fmt.Errorf("dial %d: %w", i, err)
+				return
+			}
+			defer c.Close()
+			msg := []byte(fmt.Sprintf("req-%d", i))
+			resp, err := c.Request(msg, testTimeout)
+			if err != nil {
+				errCh <- fmt.Errorf("request %d: %w", i, err)
+				return
+			}
+			if string(resp) != "echo:"+string(msg) {
+				errCh <- fmt.Errorf("resp %d = %q", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestMirrorDeliversToTap(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[4] // different pods on k=4? hosts[4] is pod 1
+	if server.Pod == client.Pod {
+		t.Fatal("fixture: expected cross-pod pair")
+	}
+	monitor := hosts[1] // same rack as server
+	tap := n.OpenTap(monitor.ID, 64)
+
+	// Mirror everything to server:80 at the server's ToR switch.
+	n.Controller().InstallMirror("q1", server.Edge, sdn.Match{DstIP: server.Addr, DstPort: 80}, monitor.ID, 100)
+
+	echoServer(t, n, server, 80)
+	c, err := n.Endpoint(client).Dial(server.Addr, 80)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := c.Request([]byte("payload"), testTimeout); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	c.Close()
+
+	// Expect at least SYN + data + FIN mirrored (client->server direction).
+	var flags []uint8
+	deadline := time.After(testTimeout)
+loop:
+	for {
+		select {
+		case tf := <-tap.C:
+			f, err := packet.Decode(tf.Raw)
+			if err != nil {
+				t.Fatalf("decode mirrored: %v", err)
+			}
+			if f.IP.Dst != server.Addr {
+				t.Errorf("mirrored frame for %s, rule matched only dst %s", f.IP.Dst, server.Addr)
+			}
+			flags = append(flags, f.TCP.Flags)
+			if f.TCP.FIN() {
+				break loop
+			}
+		case <-deadline:
+			break loop
+		}
+	}
+	if len(flags) < 3 {
+		t.Fatalf("mirrored %d frames, want >= 3 (SYN, data, FIN)", len(flags))
+	}
+	if flags[0]&packet.TCPFlagSYN == 0 {
+		t.Errorf("first mirrored frame flags = %06b, want SYN", flags[0])
+	}
+	st := n.Stats()
+	if st.Mirrored == 0 || st.MirroredBytes == 0 {
+		t.Errorf("stats = %+v, want mirrored counters > 0", st)
+	}
+}
+
+func TestMirrorDedupAcrossSwitches(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[len(hosts)-1]
+	monitor := hosts[1]
+	tap := n.OpenTap(monitor.ID, 64)
+
+	// Install the same mirror on both endpoints' ToR switches: each frame
+	// must still be delivered to the tap exactly once.
+	m := sdn.Match{DstIP: server.Addr, DstPort: 80}
+	n.Controller().InstallMirror("q", server.Edge, m, monitor.ID, 100)
+	n.Controller().InstallMirror("q", client.Edge, m, monitor.ID, 100)
+
+	raw := buildFrame(client, server, 80, packet.TCPFlagSYN)
+	if err := n.Inject(raw); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if got := len(tap.C); got != 1 {
+		t.Errorf("tap received %d copies, want 1", got)
+	}
+}
+
+func TestTapOverflowDrops(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client, monitor := hosts[0], hosts[4], hosts[1]
+	tap := n.OpenTap(monitor.ID, 2)
+	n.Controller().InstallMirror("q", server.Edge, sdn.Match{DstIP: server.Addr}, monitor.ID, 100)
+
+	raw := buildFrame(client, server, 80, packet.TCPFlagACK)
+	for i := 0; i < 5; i++ {
+		if err := n.Inject(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tap.Drops() != 3 {
+		t.Errorf("tap drops = %d, want 3", tap.Drops())
+	}
+	if n.Stats().TapDrops != 3 {
+		t.Errorf("network tap drops = %d, want 3", n.Stats().TapDrops)
+	}
+}
+
+func TestCloseTapStopsDelivery(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client, monitor := hosts[0], hosts[4], hosts[1]
+	tap := n.OpenTap(monitor.ID, 8)
+	n.Controller().InstallMirror("q", server.Edge, sdn.Match{DstIP: server.Addr}, monitor.ID, 100)
+	n.CloseTap(tap)
+
+	if err := n.Inject(buildFrame(client, server, 80, packet.TCPFlagACK)); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-tap.C; open {
+		t.Error("tap channel still open / delivered after CloseTap")
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	n, _ := newTestNet(t)
+	if err := n.Inject([]byte{1, 2, 3}); !errors.Is(err, ErrFrameRejected) {
+		t.Errorf("garbage: err = %v", err)
+	}
+	var b packet.Builder
+	outside := b.TCP(packet.TCPSpec{
+		Src: mustAddr("192.168.1.1"), Dst: mustAddr("192.168.1.2"),
+		SrcPort: 1, DstPort: 2,
+	})
+	if err := n.Inject(outside); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("outside topology: err = %v", err)
+	}
+}
+
+func TestUDPDatagram(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[3]
+
+	got := make(chan string, 1)
+	ep := n.Endpoint(server)
+	err := ep.HandleDatagram(11211, func(src netip.Addr, srcPort uint16, payload []byte) {
+		got <- fmt.Sprintf("%s:%d %s", src, srcPort, payload)
+	})
+	if err != nil {
+		t.Fatalf("HandleDatagram: %v", err)
+	}
+	if err := ep.HandleDatagram(11211, func(netip.Addr, uint16, []byte) {}); !errors.Is(err, ErrPortInUse) {
+		t.Errorf("duplicate handler: err = %v, want ErrPortInUse", err)
+	}
+
+	if err := n.Endpoint(client).SendDatagram(server.Addr, 5000, 11211, []byte("get k")); err != nil {
+		t.Fatalf("SendDatagram: %v", err)
+	}
+	select {
+	case s := <-got:
+		want := fmt.Sprintf("%s:5000 get k", client.Addr)
+		if s != want {
+			t.Errorf("datagram = %q, want %q", s, want)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("datagram never delivered")
+	}
+
+	// Datagram to a port with no handler is counted, not delivered.
+	if err := n.Endpoint(client).SendDatagram(server.Addr, 5000, 9999, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Orphaned() == 0 {
+		t.Error("Orphaned = 0, want > 0 after unhandled datagram")
+	}
+}
+
+func TestFrameToUnattachedHost(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	raw := buildFrame(hosts[1], hosts[0], 80, packet.TCPFlagSYN)
+	if err := n.Inject(raw); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if n.Stats().UnknownDst != 1 {
+		t.Errorf("UnknownDst = %d, want 1", n.Stats().UnknownDst)
+	}
+}
+
+func TestTrafficLocalityAccounting(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	sameRack := buildFrame(hosts[1], hosts[0], 80, packet.TCPFlagACK) // rack 0
+	samePod := buildFrame(hosts[2], hosts[0], 80, packet.TCPFlagACK)  // pod 0, other rack
+	crossPod := buildFrame(hosts[4], hosts[0], 80, packet.TCPFlagACK) // pod 1
+
+	for i, raw := range [][]byte{sameRack, samePod, samePod, crossPod, crossPod, crossPod} {
+		if err := n.Inject(raw); err != nil {
+			t.Fatalf("inject %d: %v", i, err)
+		}
+	}
+	st := n.Stats()
+	frameLen := uint64(len(sameRack))
+	if st.BytesSameRack != frameLen {
+		t.Errorf("BytesSameRack = %d, want %d", st.BytesSameRack, frameLen)
+	}
+	if st.BytesSamePod != 2*frameLen {
+		t.Errorf("BytesSamePod = %d, want %d", st.BytesSamePod, 2*frameLen)
+	}
+	if st.BytesCore != 3*frameLen {
+		t.Errorf("BytesCore = %d, want %d", st.BytesCore, 3*frameLen)
+	}
+	if st.BytesSameRack+st.BytesSamePod+st.BytesCore != st.Bytes {
+		t.Errorf("locality classes do not sum to total: %+v", st)
+	}
+}
+
+func TestEndpointAccessors(t *testing.T) {
+	n, ft := newTestNet(t)
+	h := ft.Hosts()[3]
+	ep := n.Endpoint(h)
+	if ep != n.Endpoint(h) {
+		t.Error("Endpoint not idempotent")
+	}
+	if ep.Host() != h || ep.Addr() != h.Addr {
+		t.Error("endpoint host/addr wrong")
+	}
+	if n.EndpointByAddr(h.Addr) != ep {
+		t.Error("EndpointByAddr mismatch")
+	}
+	if n.EndpointByAddr(mustAddr("192.0.2.1")) != nil {
+		t.Error("EndpointByAddr for foreign address not nil")
+	}
+	if n.Controller() == nil || n.Topology() != ft {
+		t.Error("network accessors wrong")
+	}
+}
+
+func TestConnAccessors(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	echoServer(t, n, hosts[0], 8080)
+	c, err := n.Endpoint(hosts[1]).Dial(hosts[0].Addr, 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.LocalAddr() != hosts[1].Addr || c.RemoteAddr() != hosts[0].Addr {
+		t.Errorf("addrs = %v -> %v", c.LocalAddr(), c.RemoteAddr())
+	}
+	if c.RemotePort() != 8080 || c.LocalPort() == 0 {
+		t.Errorf("ports = %d -> %d", c.LocalPort(), c.RemotePort())
+	}
+}
+
+func TestListenerBacklogOverflow(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	// Listener that never accepts: the backlog fills at acceptBacklog.
+	if _, err := n.Endpoint(hosts[0]).Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < acceptBacklog; i++ {
+		if _, err := n.Endpoint(hosts[1+i%3]).Dial(hosts[0].Addr, 80); err != nil {
+			t.Fatalf("dial %d within backlog failed: %v", i, err)
+		}
+	}
+	if _, err := n.Endpoint(hosts[4]).Dial(hosts[0].Addr, 80); !errors.Is(err, ErrNoListener) {
+		t.Errorf("dial past backlog: err = %v, want timeout/refused", err)
+	}
+}
+
+// Property: arbitrary messages between random host pairs round trip intact
+// through the echo server, regardless of size (segmentation) and distance.
+func TestRandomTrafficProperty(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	echoServer(t, n, hosts[0], 80)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		client := hosts[1+rng.Intn(len(hosts)-1)]
+		msg := make([]byte, rng.Intn(3*MSS))
+		rng.Read(msg)
+		c, err := n.Endpoint(client).Dial(hosts[0].Addr, 80)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		resp, err := c.Request(msg, testTimeout)
+		if err != nil {
+			t.Fatalf("request %d (%d bytes): %v", i, len(msg), err)
+		}
+		if len(resp) != len(msg)+5 || !bytes.Equal(resp[5:], msg) {
+			t.Fatalf("round trip %d corrupted (%d bytes)", i, len(msg))
+		}
+		c.Close()
+	}
+}
+
+func TestPerHopDelay(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	sameRack := hosts[1]  // 1 switch, 2 links from hosts[0]
+	crossPod := hosts[15] // 5 switches, 6 links from hosts[0]
+	echoServer(t, n, hosts[0], 80)
+
+	measure := func(client *topology.Host) time.Duration {
+		c, err := n.Endpoint(client).Dial(hosts[0].Addr, 80)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if _, err := c.Request([]byte("ping"), testTimeout); err != nil {
+			t.Fatalf("Request: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	n.SetPerHopDelay(2 * time.Millisecond)
+	if got := n.PerHopDelay(); got != 2*time.Millisecond {
+		t.Fatalf("PerHopDelay = %v", got)
+	}
+	near := measure(sameRack) // 2 links × 2ms × 2 directions ≈ 8ms/RTT
+	far := measure(crossPod)  // 6 links × 2ms × 2 directions ≈ 24ms/RTT
+	if far < near+8*time.Millisecond {
+		t.Errorf("cross-pod RTT %v not sufficiently above same-rack %v", far, near)
+	}
+
+	n.SetPerHopDelay(-1) // negative clamps to disabled
+	if got := n.PerHopDelay(); got != 0 {
+		t.Errorf("clamped PerHopDelay = %v", got)
+	}
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func buildFrame(src, dst *topology.Host, dstPort uint16, flags uint8) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: src.Addr, Dst: dst.Addr,
+		SrcPort: 30000, DstPort: dstPort,
+		Flags: flags,
+	})
+}

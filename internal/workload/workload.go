@@ -1,0 +1,274 @@
+// Package workload generates the synthetic workloads the evaluation uses:
+//
+//   - Data-center flow sets with the staggered locality distribution of the
+//     paper's placement simulation (§6.2): 50 % of flows stay inside the
+//     rack, 30 % inside the pod, 20 % cross the core, with heavy-tailed
+//     per-flow rates calibrated so ~1000 K flows carry ~1.2 Tbps.
+//   - Zipf-distributed content popularity with rank churn, standing in for
+//     the YouTube request trace of §7.3 (Fig. 16).
+//   - A packet blaster producing fixed-size frames, substituting for
+//     PktGen-DPDK in the monitor throughput experiment (Fig. 5).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/placement"
+	"netalytics/internal/proto"
+	"netalytics/internal/topology"
+)
+
+// Locality is the staggered traffic distribution: fractions must sum to 1.
+type Locality struct {
+	ToR  float64 // same rack
+	Pod  float64 // same pod, different rack
+	Core float64 // different pod
+}
+
+// DefaultLocality is the paper's ToRP=0.5, PodP=0.3, CoreP=0.2.
+var DefaultLocality = Locality{ToR: 0.5, Pod: 0.3, Core: 0.2}
+
+// FlowConfig parameterizes flow-set generation.
+type FlowConfig struct {
+	Locality Locality
+	// MeanRateBps is the mean per-flow rate (default 1.2 Mbps, matching
+	// ~1.2 Tbps over ~1000 K flows).
+	MeanRateBps float64
+	// Sigma is the lognormal shape parameter for the heavy tail
+	// (default 1.5, Benson-style skew).
+	Sigma float64
+}
+
+func (c FlowConfig) withDefaults() FlowConfig {
+	if c.Locality == (Locality{}) {
+		c.Locality = DefaultLocality
+	}
+	if c.MeanRateBps <= 0 {
+		c.MeanRateBps = 1.2e6
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 1.5
+	}
+	return c
+}
+
+// StaggeredFlows draws n flows over the topology with the configured
+// locality and a lognormal rate distribution whose mean is MeanRateBps.
+func StaggeredFlows(topo *topology.FatTree, n int, cfg FlowConfig, rng *rand.Rand) []placement.Flow {
+	cfg = cfg.withDefaults()
+	hosts := topo.Hosts()
+	// Lognormal with mean m: mu = ln(m) - sigma^2/2.
+	mu := math.Log(cfg.MeanRateBps) - cfg.Sigma*cfg.Sigma/2
+
+	flows := make([]placement.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := pickDst(topo, src, cfg.Locality, rng)
+		rate := math.Exp(mu + cfg.Sigma*rng.NormFloat64())
+		flows = append(flows, placement.Flow{Src: src, Dst: dst, Rate: rate})
+	}
+	return flows
+}
+
+func pickDst(topo *topology.FatTree, src *topology.Host, loc Locality, rng *rand.Rand) *topology.Host {
+	r := rng.Float64()
+	switch {
+	case r < loc.ToR:
+		rack := topo.HostsUnderEdge(src.Edge)
+		for tries := 0; tries < 8; tries++ {
+			if h := rack[rng.Intn(len(rack))]; h != src {
+				return h
+			}
+		}
+		return rack[rng.Intn(len(rack))]
+	case r < loc.ToR+loc.Pod:
+		edges := topo.EdgesOfPod(src.Pod)
+		for tries := 0; tries < 8; tries++ {
+			e := edges[rng.Intn(len(edges))]
+			if e.ID != src.Edge {
+				rack := topo.HostsUnderEdge(e.ID)
+				return rack[rng.Intn(len(rack))]
+			}
+		}
+		fallthrough
+	default:
+		hosts := topo.Hosts()
+		for tries := 0; tries < 8; tries++ {
+			if h := hosts[rng.Intn(len(hosts))]; h.Pod != src.Pod {
+				return h
+			}
+		}
+		return hosts[rng.Intn(len(hosts))]
+	}
+}
+
+// TotalRate sums the flow rates in bps.
+func TotalRate(flows []placement.Flow) float64 {
+	total := 0.0
+	for _, f := range flows {
+		total += f.Rate
+	}
+	return total
+}
+
+// Sample selects k flows uniformly at random without replacement (k > len
+// returns all, shuffled).
+func Sample(flows []placement.Flow, k int, rng *rand.Rand) []placement.Flow {
+	idx := rng.Perm(len(flows))
+	if k > len(flows) {
+		k = len(flows)
+	}
+	out := make([]placement.Flow, k)
+	for i := 0; i < k; i++ {
+		out[i] = flows[idx[i]]
+	}
+	return out
+}
+
+// PopularityTrace emulates the request dynamics of the Zink et al. YouTube
+// trace: a Zipf popularity law over a content catalog whose ranking slowly
+// churns, so the identity of the top items shifts over time (Fig. 16).
+type PopularityTrace struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	ranking []int // rank -> content id
+	churn   int   // adjacent swaps per interval
+}
+
+// NewPopularityTrace creates a trace over catalog items with Zipf skew s
+// (>1) and the given churn (rank swaps per interval).
+func NewPopularityTrace(catalog int, s float64, churn int, rng *rand.Rand) *PopularityTrace {
+	if catalog < 1 {
+		catalog = 1
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	if churn < 0 {
+		churn = 0
+	}
+	ranking := make([]int, catalog)
+	for i := range ranking {
+		ranking[i] = i
+	}
+	return &PopularityTrace{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, s, 1, uint64(catalog-1)),
+		ranking: ranking,
+		churn:   churn,
+	}
+}
+
+// Interval draws n requests for the current interval (returning content IDs)
+// and then churns the ranking.
+func (p *PopularityTrace) Interval(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		rank := int(p.zipf.Uint64())
+		out[i] = p.ranking[rank]
+	}
+	for s := 0; s < p.churn; s++ {
+		i := p.rng.Intn(len(p.ranking) - 1)
+		p.ranking[i], p.ranking[i+1] = p.ranking[i+1], p.ranking[i]
+	}
+	return out
+}
+
+// URL renders a content ID as the video URL form used by the examples.
+func URL(id int) string { return fmt.Sprintf("/videos/%04d.mp4", id) }
+
+// Blaster generates fixed-size TCP frames over a set of synthetic flows,
+// standing in for PktGen-DPDK.
+type Blaster struct {
+	frames [][]byte
+	next   int
+}
+
+// BlasterConfig parameterizes frame generation.
+type BlasterConfig struct {
+	// FrameSize is the total frame length in bytes (>= 64). Payload is
+	// FrameSize minus the Ethernet+IPv4+TCP headers.
+	FrameSize int
+	// Flows is the number of distinct five-tuples to cycle through.
+	Flows int
+	// PayloadFor, when non-nil, supplies application bytes per flow (e.g.
+	// an HTTP GET); the frame grows to fit it and FrameSize is ignored.
+	PayloadFor func(flow int) []byte
+	// SrcNet/DstNet pick the address pools; defaults 10.200.0.0/16 and
+	// 10.201.0.0/16 so blaster traffic is outside fat-tree host ranges.
+	SrcBase, DstBase [4]byte
+}
+
+// NewBlaster pre-builds one frame per flow so the generation cost is paid
+// up front, like a hardware traffic generator.
+func NewBlaster(cfg BlasterConfig, rng *rand.Rand) *Blaster {
+	if cfg.FrameSize < 64 {
+		cfg.FrameSize = 64
+	}
+	if cfg.Flows < 1 {
+		cfg.Flows = 1
+	}
+	if cfg.SrcBase == ([4]byte{}) {
+		cfg.SrcBase = [4]byte{10, 200, 0, 0}
+	}
+	if cfg.DstBase == ([4]byte{}) {
+		cfg.DstBase = [4]byte{10, 201, 0, 0}
+	}
+	payloadLen := cfg.FrameSize - packet.EthernetHeaderLen - packet.IPv4HeaderLen - packet.TCPHeaderLen
+	if payloadLen < 0 {
+		payloadLen = 0
+	}
+	fixed := make([]byte, payloadLen)
+	rng.Read(fixed)
+
+	var b packet.Builder
+	frames := make([][]byte, cfg.Flows)
+	for i := range frames {
+		payload := fixed
+		if cfg.PayloadFor != nil {
+			payload = cfg.PayloadFor(i)
+		}
+		src := cfg.SrcBase
+		src[2], src[3] = byte(i>>8), byte(i)
+		dst := cfg.DstBase
+		dst[2], dst[3] = byte(i>>8), byte(i)
+		frames[i] = b.TCP(packet.TCPSpec{
+			Src:     netip.AddrFrom4(src),
+			Dst:     netip.AddrFrom4(dst),
+			SrcPort: uint16(10000 + i%50000),
+			DstPort: 80,
+			Flags:   packet.TCPFlagACK | packet.TCPFlagPSH,
+			Payload: payload,
+		})
+	}
+	return &Blaster{frames: frames}
+}
+
+// NewHTTPGetBlaster builds a blaster whose frames carry HTTP GET requests
+// drawn from a URL catalog, for exercising the http_get parser at line rate.
+func NewHTTPGetBlaster(flows, urls int, rng *rand.Rand) *Blaster {
+	if urls < 1 {
+		urls = 1
+	}
+	cfg := BlasterConfig{
+		Flows: flows,
+		PayloadFor: func(int) []byte {
+			return proto.BuildHTTPGet(URL(rng.Intn(urls)), "blast")
+		},
+	}
+	return NewBlaster(cfg, rng)
+}
+
+// Next returns the next frame, cycling over the flow set.
+func (bl *Blaster) Next() []byte {
+	f := bl.frames[bl.next]
+	bl.next = (bl.next + 1) % len(bl.frames)
+	return f
+}
+
+// FrameSize returns the size of the generated frames in bytes.
+func (bl *Blaster) FrameSize() int { return len(bl.frames[0]) }

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/proto"
+	"netalytics/internal/topology"
+)
+
+func TestStaggeredFlowsLocality(t *testing.T) {
+	topo := topology.MustNew(8)
+	rng := rand.New(rand.NewSource(1))
+	flows := StaggeredFlows(topo, 20000, FlowConfig{}, rng)
+	if len(flows) != 20000 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	var tor, pod, core int
+	for _, f := range flows {
+		switch {
+		case f.Src.Edge == f.Dst.Edge:
+			tor++
+		case f.Src.Pod == f.Dst.Pod:
+			pod++
+		default:
+			core++
+		}
+	}
+	n := float64(len(flows))
+	if p := float64(tor) / n; math.Abs(p-0.5) > 0.05 {
+		t.Errorf("ToR fraction = %.3f, want ~0.5", p)
+	}
+	if p := float64(pod) / n; math.Abs(p-0.3) > 0.05 {
+		t.Errorf("pod fraction = %.3f, want ~0.3", p)
+	}
+	if p := float64(core) / n; math.Abs(p-0.2) > 0.05 {
+		t.Errorf("core fraction = %.3f, want ~0.2", p)
+	}
+}
+
+func TestStaggeredFlowsRateDistribution(t *testing.T) {
+	topo := topology.MustNew(4)
+	rng := rand.New(rand.NewSource(2))
+	flows := StaggeredFlows(topo, 50000, FlowConfig{MeanRateBps: 1.2e6}, rng)
+	mean := TotalRate(flows) / float64(len(flows))
+	if mean < 0.8e6 || mean > 1.8e6 {
+		t.Errorf("mean rate = %.0f bps, want ~1.2e6", mean)
+	}
+	// Heavy tail: the largest flow should far exceed the mean.
+	maxRate := 0.0
+	for _, f := range flows {
+		if f.Rate > maxRate {
+			maxRate = f.Rate
+		}
+	}
+	if maxRate < 10*mean {
+		t.Errorf("max rate %.0f not heavy-tailed vs mean %.0f", maxRate, mean)
+	}
+	// All rates positive.
+	for _, f := range flows[:100] {
+		if f.Rate <= 0 {
+			t.Fatalf("non-positive rate %v", f.Rate)
+		}
+	}
+}
+
+func TestPaperScaleWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale workload generation")
+	}
+	// §6.2: ~1000K flows over k=16 should carry roughly 1.2 Tbps.
+	topo := topology.MustNew(16)
+	rng := rand.New(rand.NewSource(3))
+	flows := StaggeredFlows(topo, 1000000, FlowConfig{}, rng)
+	total := TotalRate(flows)
+	if total < 0.8e12 || total > 1.8e12 {
+		t.Errorf("total rate = %.2f Tbps, want ~1.2", total/1e12)
+	}
+}
+
+func TestSample(t *testing.T) {
+	topo := topology.MustNew(4)
+	rng := rand.New(rand.NewSource(4))
+	flows := StaggeredFlows(topo, 100, FlowConfig{}, rng)
+	sampled := Sample(flows, 30, rng)
+	if len(sampled) != 30 {
+		t.Errorf("sampled = %d", len(sampled))
+	}
+	all := Sample(flows, 1000, rng)
+	if len(all) != 100 {
+		t.Errorf("oversample = %d, want 100", len(all))
+	}
+}
+
+func TestPopularityTraceChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trace := NewPopularityTrace(100, 1.5, 20, rng)
+
+	topAt := func() int {
+		counts := map[int]int{}
+		for _, id := range trace.Interval(5000) {
+			counts[id]++
+		}
+		best, bestN := -1, 0
+		for id, n := range counts {
+			if n > bestN {
+				best, bestN = id, n
+			}
+		}
+		return best
+	}
+	first := topAt()
+	changed := false
+	for i := 0; i < 50; i++ {
+		if topAt() != first {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("top content never changed despite churn")
+	}
+}
+
+func TestPopularityTraceSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	trace := NewPopularityTrace(1000, 1.5, 0, rng)
+	counts := map[int]int{}
+	reqs := trace.Interval(20000)
+	for _, id := range reqs {
+		counts[id]++
+	}
+	// Zipf: the most popular item should dwarf the median.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(reqs)/10 {
+		t.Errorf("top item has %d/%d requests; distribution not skewed", max, len(reqs))
+	}
+}
+
+func TestPopularityTraceDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trace := NewPopularityTrace(0, 0.5, -1, rng)
+	if got := trace.Interval(10); len(got) != 10 {
+		t.Errorf("Interval = %d ids", len(got))
+	}
+}
+
+func TestURLFormat(t *testing.T) {
+	if got := URL(42); got != "/videos/0042.mp4" {
+		t.Errorf("URL(42) = %q", got)
+	}
+}
+
+func TestBlasterFrameSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, size := range []int{64, 128, 256, 512, 1024} {
+		bl := NewBlaster(BlasterConfig{FrameSize: size, Flows: 16}, rng)
+		if got := bl.FrameSize(); got != size {
+			t.Errorf("FrameSize(%d) = %d", size, got)
+		}
+		f, err := packet.Decode(bl.Next())
+		if err != nil {
+			t.Fatalf("decode %d-byte frame: %v", size, err)
+		}
+		if f.TCP == nil {
+			t.Fatalf("%d-byte frame has no TCP header", size)
+		}
+	}
+	// Undersized requests clamp to 64.
+	bl := NewBlaster(BlasterConfig{FrameSize: 10, Flows: 1}, rng)
+	if bl.FrameSize() != 64 {
+		t.Errorf("clamped FrameSize = %d, want 64", bl.FrameSize())
+	}
+}
+
+func TestBlasterCyclesFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bl := NewBlaster(BlasterConfig{FrameSize: 128, Flows: 4}, rng)
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		f, err := packet.Decode(bl.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, _ := f.FlowTuple()
+		seen[ft.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct flows = %d, want 4", len(seen))
+	}
+}
+
+func TestHTTPGetBlasterParseable(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	bl := NewHTTPGetBlaster(8, 100, rng)
+	f, err := packet.Decode(bl.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := proto.ParseHTTPRequest(f.Payload)
+	if err != nil {
+		t.Fatalf("blaster payload not an HTTP request: %v", err)
+	}
+	if req.Method != "GET" {
+		t.Errorf("method = %q", req.Method)
+	}
+}
+
+func BenchmarkStaggeredFlows100K(b *testing.B) {
+	topo := topology.MustNew(16)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = StaggeredFlows(topo, 100000, FlowConfig{}, rng)
+	}
+}

@@ -1,0 +1,130 @@
+// Package netalytics is a reproduction of "NetAlytics: Cloud-Scale
+// Application Performance Monitoring with SDN and NFV" (Liu, Trotter, Ren,
+// Wood — ACM Middleware 2016): a non-intrusive distributed performance
+// monitoring system for cloud data centers.
+//
+// A NetAlytics deployment answers SQL-like monitoring queries:
+//
+//	PARSE tcp_conn_time, http_get
+//	FROM 10.0.2.8:5555 TO 10.0.2.9:80
+//	LIMIT 90s SAMPLE auto
+//	PROCESS (top-k: k=10, w=10s)
+//
+// The query compiles into SDN mirror rules that steer copies of the matching
+// flows to dynamically placed NFV packet monitors; parser output tuples flow
+// through a Kafka-style aggregation layer into a Storm-style streaming
+// topology, and results come back on the session's channel — all without
+// touching the monitored applications.
+//
+// This package is the public facade. A Testbed bundles a fat-tree topology,
+// virtual network, SDN controller, aggregation cluster and query engine:
+//
+//	tb, _ := netalytics.NewTestbed(netalytics.TestbedConfig{FatTreeK: 4})
+//	defer tb.Close()
+//	// ... start emulated servers on tb.Network(), drive traffic ...
+//	sess, _ := tb.Submit(`PARSE http_get FROM * TO h0-0-0:80 PROCESS (top-k: k=10)`)
+//	for t := range sess.Results() { ... }
+//
+// The subsystems are available as internal packages; the facade re-exports
+// the types needed to operate the system end to end.
+package netalytics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netalytics/internal/core"
+	"netalytics/internal/mq"
+	"netalytics/internal/placement"
+	"netalytics/internal/sdn"
+	"netalytics/internal/stream"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+	"netalytics/internal/vnet"
+)
+
+// Re-exported core types: the facade's vocabulary.
+type (
+	// Session is a running query; see Engine.Submit.
+	Session = core.Session
+	// EngineConfig tunes the query engine.
+	EngineConfig = core.Config
+	// Tuple is a monitoring record flowing out of Session.Results.
+	Tuple = tuple.Tuple
+	// RankEntry is one entry of a top-k ranking.
+	RankEntry = stream.RankEntry
+	// Topology is the emulated data-center fat tree.
+	Topology = topology.FatTree
+	// Host is a server in the topology.
+	Host = topology.Host
+	// Network is the virtual network applications attach to.
+	Network = vnet.Network
+	// Controller is the SDN controller.
+	Controller = sdn.Controller
+	// PlacementPolicy selects monitor/analytics placement trade-offs.
+	PlacementPolicy = placement.Policy
+)
+
+// The paper's placement policies (§4.1, §6.2).
+var (
+	PolicyLocalRandom       = placement.LocalRandom
+	PolicyNetalyticsNode    = placement.NetalyticsNode
+	PolicyNetalyticsNetwork = placement.NetalyticsNetwork
+)
+
+// DecodeRankings extracts top-k entries from a result tuple produced by the
+// top-k processor; ok is false for other tuples.
+func DecodeRankings(t Tuple) ([]RankEntry, bool) { return stream.DecodeRankings(t) }
+
+// TestbedConfig parameterizes NewTestbed.
+type TestbedConfig struct {
+	// FatTreeK is the fat-tree arity (even, >= 2; default 4 → 16 hosts).
+	FatTreeK int
+	// Engine tunes the query engine; zero values take defaults.
+	Engine EngineConfig
+	// ResourceSeed randomizes host capacities when non-zero.
+	ResourceSeed int64
+}
+
+// Testbed is a self-contained NetAlytics deployment: topology, network,
+// controller, aggregation cluster and engine, ready for queries.
+type Testbed struct {
+	engine *core.Engine
+}
+
+// NewTestbed builds a testbed.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	k := cfg.FatTreeK
+	if k == 0 {
+		k = 4
+	}
+	topo, err := topology.New(k)
+	if err != nil {
+		return nil, fmt.Errorf("netalytics: %w", err)
+	}
+	if cfg.ResourceSeed != 0 {
+		topo.RandomizeResources(rand.New(rand.NewSource(cfg.ResourceSeed)))
+	}
+	return &Testbed{engine: core.NewEngine(topo, cfg.Engine)}, nil
+}
+
+// Topology returns the testbed's fat tree.
+func (tb *Testbed) Topology() *Topology { return tb.engine.Topology() }
+
+// Network returns the virtual network for attaching emulated applications.
+func (tb *Testbed) Network() *Network { return tb.engine.Network() }
+
+// Controller returns the SDN controller.
+func (tb *Testbed) Controller() *Controller { return tb.engine.Controller() }
+
+// Aggregation returns the aggregation (mq) cluster.
+func (tb *Testbed) Aggregation() *mq.Cluster { return tb.engine.Aggregation() }
+
+// Engine returns the underlying query engine.
+func (tb *Testbed) Engine() *core.Engine { return tb.engine }
+
+// Submit parses and launches a query.
+func (tb *Testbed) Submit(query string) (*Session, error) { return tb.engine.Submit(query) }
+
+// Close stops all sessions.
+func (tb *Testbed) Close() { tb.engine.Close() }

@@ -1,0 +1,104 @@
+package netalytics
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netalytics/internal/apps"
+)
+
+func TestNewTestbedValidation(t *testing.T) {
+	if _, err := NewTestbed(TestbedConfig{FatTreeK: 3}); err == nil {
+		t.Error("odd k accepted")
+	}
+	tb, err := NewTestbed(TestbedConfig{})
+	if err != nil {
+		t.Fatalf("default testbed: %v", err)
+	}
+	defer tb.Close()
+	if got := len(tb.Topology().Hosts()); got != 16 {
+		t.Errorf("default hosts = %d, want 16 (k=4)", got)
+	}
+	if tb.Network() == nil || tb.Controller() == nil || tb.Aggregation() == nil || tb.Engine() == nil {
+		t.Error("testbed accessors returned nil")
+	}
+}
+
+func TestTestbedResourceSeed(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{ResourceSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	h := tb.Topology().Hosts()[0]
+	if h.Res.CPUCores == 0 {
+		t.Error("ResourceSeed did not randomize host resources")
+	}
+}
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: testbed, emulated server, query, traffic, rankings.
+func TestFacadeEndToEnd(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{FatTreeK: 4, Engine: EngineConfig{TickInterval: 20 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	hosts := tb.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+	web, err := apps.StartApp(tb.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer web.Stop()
+
+	sess, err := tb.Submit(fmt.Sprintf(
+		"PARSE http_get FROM * TO %s:80 LIMIT 10s PROCESS (top-k: k=2, w=200ms)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := apps.RunHTTPLoad(tb.Network(), client, apps.LoadConfig{
+		Requests: 30, Target: server,
+		URL: func(i int) string {
+			if i%3 != 0 {
+				return "/hot"
+			}
+			return "/cold"
+		},
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+	time.Sleep(150 * time.Millisecond)
+	sess.Stop()
+
+	var best []RankEntry
+	for tu := range sess.Results() {
+		if entries, ok := DecodeRankings(tu); ok && len(entries) > 0 {
+			if len(best) == 0 || entries[0].Count > best[0].Count {
+				best = entries
+			}
+		}
+	}
+	if len(best) == 0 || best[0].Key != "/hot" {
+		t.Errorf("best ranking = %+v, want /hot on top", best)
+	}
+}
+
+func TestPoliciesExported(t *testing.T) {
+	names := map[string]PlacementPolicy{
+		"Local-Random":       PolicyLocalRandom,
+		"Netalytics-Node":    PolicyNetalyticsNode,
+		"Netalytics-Network": PolicyNetalyticsNetwork,
+	}
+	for want, pol := range names {
+		if pol.Name != want {
+			t.Errorf("policy name = %q, want %q", pol.Name, want)
+		}
+	}
+}
