@@ -126,6 +126,91 @@ func BenchmarkFig5MonitorThroughput(b *testing.B) {
 	}
 }
 
+// deliverBurstN pushes exactly total frames through DeliverBurst in chunks
+// of burstSize, spinning on the undelivered tail like the single-packet
+// benches spin on Deliver.
+func deliverBurstN(mon *monitor.Monitor, bl *workload.Blaster, total, burstSize int) {
+	for delivered := 0; delivered < total; {
+		n := burstSize
+		if total-delivered < n {
+			n = total - delivered
+		}
+		frames := bl.NextBurst(n)
+		for len(frames) > 0 {
+			frames = frames[mon.DeliverBurst(frames, time.Time{}):]
+		}
+		delivered += n
+	}
+}
+
+// BenchmarkFig5MonitorThroughputBurst is the Fig. 5 measurement on the
+// burst datapath: frames arrive via DeliverBurst at the default burst size,
+// the way the nfv pump and a DPDK rx_burst loop hand them over.
+func BenchmarkFig5MonitorThroughputBurst(b *testing.B) {
+	for _, parserName := range []string{"tcp_conn_time", "http_get"} {
+		for _, size := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/%dB", parserName, size), func(b *testing.B) {
+				factory, err := parsers.Lookup(parserName)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mon, err := monitor.New(monitor.Config{
+					Parsers:    []monitor.Factory{factory},
+					Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+					QueueDepth: 1 << 15,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: size, Flows: 64}, rand.New(rand.NewSource(2)))
+				mon.Start()
+				b.SetBytes(int64(bl.FrameSize()))
+				b.ResetTimer()
+				deliverBurstN(mon, bl, b.N, monitor.DefaultBurstSize)
+				b.StopTimer()
+				mon.Stop()
+			})
+		}
+	}
+}
+
+// --- Ablation: burst size (DESIGN.md #7) ---
+
+// BenchmarkAblationBurstSize sweeps the burst size at the Fig. 5 worst case
+// (64 B frames) with two parsers, so the per-packet channel and lock costs
+// the burst datapath amortizes dominate. burst-1 approximates the
+// single-packet path; throughput should improve monotonically toward 32.
+func BenchmarkAblationBurstSize(b *testing.B) {
+	for _, burst := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("burst-%d", burst), func(b *testing.B) {
+			var factories []monitor.Factory
+			for _, name := range []string{"tcp_flow_key", "tcp_conn_time"} {
+				f, err := parsers.Lookup(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				factories = append(factories, f)
+			}
+			mon, err := monitor.New(monitor.Config{
+				Parsers:    factories,
+				BurstSize:  burst,
+				Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+				QueueDepth: 1 << 15,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: 64, Flows: 64}, rand.New(rand.NewSource(7)))
+			mon.Start()
+			b.SetBytes(int64(bl.FrameSize()))
+			b.ResetTimer()
+			deliverBurstN(mon, bl, b.N, burst)
+			b.StopTimer()
+			mon.Stop()
+		})
+	}
+}
+
 // --- Fig. 6: aggregation + processing scalability ---
 
 func BenchmarkFig6AnalyticsScaling(b *testing.B) {

@@ -1,0 +1,34 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// report on stdout, so CI can archive monitor throughput as a machine-read
+// artifact (BENCH_monitor.json) and diff it across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkAblationBurstSize . | benchjson > BENCH_monitor.json
+//
+// Each benchmark line becomes one entry with its ns/op and, since every
+// monitor benchmark counts one delivered frame per op, a derived pkts/sec.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"netalytics/internal/benchparse"
+)
+
+func main() {
+	report, err := benchparse.Parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+// Package benchparse turns the text output of `go test -bench` into a
+// structured report. It exists so CI can publish monitor throughput numbers
+// (pkts/sec) as JSON without external tooling.
+package benchparse
+
+import (
+	"bufio"
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name exactly as printed (including the
+	// -<procs> suffix when GOMAXPROCS > 1): a "-N" tail is ambiguous
+	// between a procs count and a subtest name like "burst-32", so it is
+	// kept verbatim rather than guessed at.
+	Name string `json:"name"`
+	// Iterations is the b.N the timing was measured over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// PktsPerSec is 1e9/NsPerOp: monitor benchmarks deliver one frame per
+	// op, so ns/op inverts directly to packet throughput.
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// MBPerSec is the MB/s column when the benchmark calls b.SetBytes
+	// (0 otherwise).
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the full parse of one `go test -bench` run.
+type Report struct {
+	// Context carries the goos/goarch/pkg/cpu header lines, keyed by field.
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+// ErrNoBenchmarks is returned when the input contains no benchmark lines.
+var ErrNoBenchmarks = errors.New("benchparse: no benchmark lines in input")
+
+// Parse reads `go test -bench` output line by line. Unrecognized lines
+// (PASS, ok, test logs) are skipped; malformed benchmark lines are an error.
+func Parse(sc *bufio.Scanner) (*Report, error) {
+	report := &Report{Context: make(map[string]string)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			report.Context[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			report.Results = append(report.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Results) == 0 {
+		return nil, ErrNoBenchmarks
+	}
+	return report, nil
+}
+
+// parseLine parses one line of the form
+//
+//	BenchmarkName-8   1000000   1256 ns/op   50.97 MB/s
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, errors.New("benchparse: short benchmark line: " + line)
+	}
+	name := fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, errors.New("benchparse: bad iteration count: " + line)
+	}
+	res := Result{Name: name, Iterations: iters}
+	// Remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, errors.New("benchparse: bad metric value: " + line)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			if val > 0 {
+				res.PktsPerSec = 1e9 / val
+			}
+		case "MB/s":
+			res.MBPerSec = val
+		}
+	}
+	if res.NsPerOp == 0 {
+		return Result{}, errors.New("benchparse: no ns/op metric: " + line)
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package benchparse
+
+import (
+	"bufio"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: netalytics
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAblationBurstSize/burst-1         	 1000000	      1256 ns/op	  50.97 MB/s
+BenchmarkAblationBurstSize/burst-32        	 6189668	       358.7 ns/op	 178.42 MB/s
+BenchmarkPlacementGreedy-8   	     100	  11000000 ns/op
+PASS
+ok  	netalytics	9.872s
+`
+
+func TestParse(t *testing.T) {
+	report, err := Parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Context["pkg"]; got != "netalytics" {
+		t.Errorf("context pkg = %q", got)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(report.Results))
+	}
+
+	r := report.Results[1]
+	if r.Name != "BenchmarkAblationBurstSize/burst-32" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Iterations != 6189668 || r.NsPerOp != 358.7 || r.MBPerSec != 178.42 {
+		t.Errorf("metrics = %+v", r)
+	}
+	if want := 1e9 / 358.7; math.Abs(r.PktsPerSec-want) > 1 {
+		t.Errorf("pkts/sec = %f, want %f", r.PktsPerSec, want)
+	}
+
+	// Names are kept verbatim: a "-N" tail is ambiguous between a procs
+	// suffix and a subtest name like burst-32, so no stripping.
+	if got := report.Results[2].Name; got != "BenchmarkPlacementGreedy-8" {
+		t.Errorf("suffixed name = %q", got)
+	}
+	if got := report.Results[0].Name; got != "BenchmarkAblationBurstSize/burst-1" {
+		t.Errorf("burst-1 name = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); !errors.Is(err, ErrNoBenchmarks) {
+		t.Errorf("empty input error = %v", err)
+	}
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("BenchmarkX 12 nonsense ns/op"))); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("BenchmarkX 12 34 widgets"))); err == nil {
+		t.Error("line without ns/op accepted")
+	}
+}

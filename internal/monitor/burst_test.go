@@ -1,0 +1,306 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// deliverAll pushes every frame through the single-packet path, retrying
+// transient queue-full rejections.
+func deliverAll(t *testing.T, m *Monitor, frames [][]byte) {
+	t.Helper()
+	for _, raw := range frames {
+		for !m.Deliver(raw, time.Time{}) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// deliverAllBurst pushes every frame through DeliverBurst in chunks,
+// retrying the undelivered tail like a short write.
+func deliverAllBurst(t *testing.T, m *Monitor, frames [][]byte, chunk int) {
+	t.Helper()
+	for len(frames) > 0 {
+		n := chunk
+		if n > len(frames) {
+			n = len(frames)
+		}
+		burst := frames[:n]
+		for len(burst) > 0 {
+			k := m.DeliverBurst(burst, time.Time{})
+			burst = burst[k:]
+			if k == 0 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		frames = frames[n:]
+	}
+}
+
+func TestDeliverAfterStopReturnsFalse(t *testing.T) {
+	m, err := New(Config{
+		Parsers: []Factory{func() Parser { return &countParser{name: "c"} }},
+		Sink:    &memSink{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	raw := frameWithPorts(1, 2)
+
+	// Hammer Deliver/DeliverBurst from several goroutines while Stop runs
+	// concurrently: no send may panic on the closed input channels.
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 5000; i++ {
+				m.Deliver(raw, time.Time{})
+				m.DeliverBurst([][]byte{raw, raw}, time.Time{})
+			}
+		}()
+	}
+	close(start)
+	m.Stop()
+	wg.Wait()
+
+	if m.Deliver(raw, time.Time{}) {
+		t.Error("Deliver after Stop returned true")
+	}
+	if n := m.DeliverBurst([][]byte{raw, raw}, time.Time{}); n != 0 {
+		t.Errorf("DeliverBurst after Stop accepted %d frames, want 0", n)
+	}
+}
+
+func TestDeliverBurstCountsAndStats(t *testing.T) {
+	sink := &memSink{}
+	m, err := New(Config{
+		Parsers:   []Factory{func() Parser { return &countParser{name: "c"} }},
+		Sink:      sink,
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	frames := make([][]byte, 10)
+	for i := range frames {
+		frames[i] = frameWithPorts(uint16(6000+i), 80)
+	}
+	deliverAllBurst(t, m, frames, 4)
+	m.Stop()
+
+	if got := len(sink.tuples()); got != 10 {
+		t.Fatalf("sink received %d tuples, want 10", got)
+	}
+	st := m.Stats()
+	if st.Received != 10 || st.Dispatched != 10 || st.Tuples != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if live := m.live.Load(); live != 0 {
+		t.Errorf("live descriptors after Stop = %d, want 0", live)
+	}
+}
+
+func TestDeliverBurstShortWriteOnFullQueue(t *testing.T) {
+	m, err := New(Config{
+		Parsers:    []Factory{func() Parser { return &countParser{name: "c"} }},
+		Sink:       &memSink{},
+		QueueDepth: 2,
+		BurstSize:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the single collector's RX queue holds QueueDepth chunk
+	// slots of up to BurstSize frames each, so a 20-frame burst must stop at
+	// 8 like a short write, dropping the chunk that found the queue full.
+	frames := make([][]byte, 20)
+	for i := range frames {
+		frames[i] = frameWithPorts(1, 2)
+	}
+	if n := m.DeliverBurst(frames, time.Time{}); n != 8 {
+		t.Errorf("DeliverBurst accepted %d, want 8", n)
+	}
+	st := m.Stats()
+	if st.Received != 12 || st.CollectDrops != 4 {
+		t.Errorf("stats after short write = %+v, want Received=12 CollectDrops=4", st)
+	}
+	m.Start()
+	m.Stop()
+}
+
+// TestBurstSingleParity runs the same workload through Deliver and
+// DeliverBurst and demands identical per-parser tuple counts and zero
+// descriptor leaks on both paths.
+func TestBurstSingleParity(t *testing.T) {
+	const flows, perFlow = 30, 4
+	frames := make([][]byte, 0, flows*perFlow)
+	for f := 0; f < flows; f++ {
+		raw := frameWithPorts(uint16(9000+f), 80)
+		for p := 0; p < perFlow; p++ {
+			frames = append(frames, raw)
+		}
+	}
+
+	run := func(t *testing.T, collectors int, burst bool) map[string]uint64 {
+		sink := &memSink{}
+		m, err := New(Config{
+			Parsers: []Factory{
+				func() Parser { return &countParser{name: "a"} },
+				func() Parser { return &countParser{name: "b"} },
+			},
+			Collectors:       collectors,
+			WorkersPerParser: 2,
+			BurstSize:        8,
+			QueueDepth:       1 << 12,
+			Sink:             sink,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		if burst {
+			deliverAllBurst(t, m, frames, 7) // odd chunk, not a BurstSize multiple
+		} else {
+			deliverAll(t, m, frames)
+		}
+		m.Stop()
+		if live := m.live.Load(); live != 0 {
+			t.Errorf("collectors=%d burst=%v: live descriptors after Stop = %d, want 0",
+				collectors, burst, live)
+		}
+		st := m.Stats()
+		if st.ParserDrops != 0 || st.CollectDrops != 0 {
+			t.Fatalf("collectors=%d burst=%v: unexpected drops: %+v", collectors, burst, st)
+		}
+		return m.PerParserTuples()
+	}
+
+	want := uint64(flows * perFlow)
+	// Collectors=1 exercises the chunked single-queue fast path;
+	// Collectors=2 the per-frame RSS-steered path.
+	for _, collectors := range []int{1, 2} {
+		single := run(t, collectors, false)
+		burst := run(t, collectors, true)
+		for _, name := range []string{"a", "b"} {
+			if single[name] != want || burst[name] != want {
+				t.Errorf("collectors=%d parser %s: single=%d burst=%d, want %d both",
+					collectors, name, single[name], burst[name], want)
+			}
+		}
+	}
+}
+
+// TestCopyModeStats pins the copy-mode ablation path's accounting: every
+// packet is dispatched once per parser, decodable copies are never counted
+// malformed, and no descriptor leaks.
+func TestCopyModeStats(t *testing.T) {
+	sink := &memSink{}
+	m, err := New(Config{
+		Parsers: []Factory{
+			func() Parser { return &countParser{name: "a"} },
+			func() Parser { return &countParser{name: "b"} },
+		},
+		Sink:     sink,
+		CopyMode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	const n = 16
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = frameWithPorts(uint16(3500+i), 80)
+	}
+	deliverAllBurst(t, m, frames, 5)
+	m.Stop()
+
+	st := m.Stats()
+	if st.Dispatched != 2*n {
+		t.Errorf("Dispatched = %d, want %d (one copy per parser)", st.Dispatched, 2*n)
+	}
+	if st.Malformed != 0 {
+		t.Errorf("Malformed = %d, want 0", st.Malformed)
+	}
+	if st.Tuples != 2*n {
+		t.Errorf("Tuples = %d, want %d", st.Tuples, 2*n)
+	}
+	if live := m.live.Load(); live != 0 {
+		t.Errorf("live descriptors after Stop = %d, want 0", live)
+	}
+}
+
+// snapshotSink records each delivered batch pointer alongside a deep copy
+// taken at delivery time, to detect later mutation of shipped slices.
+type snapshotSink struct {
+	mu        sync.Mutex
+	batches   []*tuple.Batch
+	snapshots [][]tuple.Tuple
+}
+
+func (s *snapshotSink) Deliver(b *tuple.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = append(s.batches, b)
+	s.snapshots = append(s.snapshots, append([]tuple.Tuple(nil), b.Tuples...))
+	return nil
+}
+
+// TestShippedBatchesNotReused verifies the Sink ownership contract the mq
+// partition buffer relies on: once a batch ships, the monitor never writes
+// to its tuple slice again, even as later tuples keep flowing.
+func TestShippedBatchesNotReused(t *testing.T) {
+	sink := &snapshotSink{}
+	m, err := New(Config{
+		Parsers:   []Factory{func() Parser { return &countParser{name: "c"} }},
+		Sink:      sink,
+		BatchSize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	for i := 0; i < 31; i++ {
+		raw := frameWithPorts(uint16(2500+i), 80)
+		for !m.Deliver(raw, time.Time{}) {
+		}
+	}
+	m.Stop()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	total := 0
+	for i, b := range sink.batches {
+		total += len(b.Tuples)
+		if len(b.Tuples) != len(sink.snapshots[i]) {
+			t.Fatalf("batch %d length changed after delivery", i)
+		}
+		for j := range b.Tuples {
+			if b.Tuples[j] != sink.snapshots[i][j] {
+				t.Fatalf("batch %d tuple %d mutated after delivery", i, j)
+			}
+		}
+	}
+	if total != 31 {
+		t.Fatalf("sink holds %d tuples, want 31", total)
+	}
+}
+
+func TestRSSHashShortFrameTail(t *testing.T) {
+	// The word-at-a-time fallback must still distinguish tail-byte order
+	// and word order.
+	if fnv64([]byte{1, 2, 3, 4, 5}) == fnv64([]byte{1, 2, 3, 4, 6}) {
+		t.Error("tail byte ignored")
+	}
+	if fnv64([]byte{1, 2, 3, 4, 5, 6, 7, 8}) == fnv64([]byte{5, 6, 7, 8, 1, 2, 3, 4}) {
+		t.Error("word order ignored")
+	}
+}

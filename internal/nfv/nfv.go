@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"netalytics/internal/monitor"
 	"netalytics/internal/topology"
@@ -32,13 +33,45 @@ type Instance struct {
 // Packets returns the number of mirrored frames pumped into the instance.
 func (in *Instance) Packets() uint64 { return in.packets.Load() }
 
-// pump moves mirrored frames from the tap into the monitor.
+const (
+	// pumpBurst is how many mirrored frames one pump wakeup drains from the
+	// tap, matching the monitor's default rx_burst size.
+	pumpBurst = 32
+	// burstTSSlack bounds the mirror-timestamp precision a burst delivery
+	// may collapse: frames whose tap timestamps are farther apart than this
+	// start a new sub-burst, so connection-timing parsers keep their
+	// millisecond-scale fidelity even when the tap queue backs up.
+	burstTSSlack = 200 * time.Microsecond
+)
+
+// pump moves mirrored frames from the tap into the monitor in bursts: each
+// wakeup drains up to pumpBurst frames and hands them to DeliverBurst,
+// split wherever tap timestamps drift beyond burstTSSlack.
 func (in *Instance) pump() {
 	defer in.pumpWG.Done()
-	for tf := range in.tap.C {
-		in.Monitor.Deliver(tf.Raw, tf.TS)
-		in.packets.Add(1)
-		if n := in.counter.Add(1); in.limit > 0 && n == in.limit && in.onLimit != nil {
+	buf := make([]vnet.TapFrame, pumpBurst)
+	frames := make([][]byte, 0, pumpBurst)
+	for {
+		n := in.tap.ReadBurst(buf)
+		if n == 0 {
+			return
+		}
+		for start := 0; start < n; {
+			ts := buf[start].TS
+			end := start + 1
+			for end < n && buf[end].TS.Sub(ts) <= burstTSSlack {
+				end++
+			}
+			frames = frames[:0]
+			for _, tf := range buf[start:end] {
+				frames = append(frames, tf.Raw)
+			}
+			in.Monitor.DeliverBurst(frames, ts)
+			start = end
+		}
+		in.packets.Add(uint64(n))
+		prev := in.counter.Add(uint64(n)) - uint64(n)
+		if in.limit > 0 && prev < in.limit && prev+uint64(n) >= in.limit && in.onLimit != nil {
 			in.onLimit()
 		}
 	}

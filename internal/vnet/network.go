@@ -53,6 +53,36 @@ type Tap struct {
 // Host returns the monitor host this tap is attached to.
 func (t *Tap) Host() topology.NodeID { return t.host }
 
+// ReadBurst blocks until at least one mirrored frame is available, then
+// greedily drains up to len(buf) frames without blocking again — the tap
+// analogue of a DPDK rx_burst, letting pumps amortize per-frame costs when
+// mirror traffic backs up. It returns the number of frames stored in buf;
+// 0 means the tap was closed and fully drained (or buf was empty).
+func (t *Tap) ReadBurst(buf []TapFrame) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	tf, ok := <-t.ch
+	if !ok {
+		return 0
+	}
+	buf[0] = tf
+	n := 1
+	for n < len(buf) {
+		select {
+		case tf, ok := <-t.ch:
+			if !ok {
+				return n
+			}
+			buf[n] = tf
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 // Drops returns the number of mirrored frames dropped at this tap.
 func (t *Tap) Drops() uint64 { return t.drops.Load() }
 

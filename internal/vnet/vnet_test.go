@@ -565,3 +565,35 @@ func buildFrame(src, dst *topology.Host, dstPort uint16, flags uint8) []byte {
 		Flags: flags,
 	})
 }
+
+func TestTapReadBurst(t *testing.T) {
+	n, ft := newTestNet(t)
+	tap := n.OpenTap(ft.Hosts()[1].ID, 64)
+
+	// Queue five frames directly, then drain: the first read blocks for one
+	// frame and greedily takes the rest without blocking again.
+	for i := 0; i < 5; i++ {
+		tap.ch <- TapFrame{Raw: []byte{byte(i)}, TS: time.Now()}
+	}
+	buf := make([]TapFrame, 3)
+	if got := tap.ReadBurst(buf); got != 3 {
+		t.Fatalf("first ReadBurst = %d, want 3 (capped by buf)", got)
+	}
+	for i, tf := range buf {
+		if tf.Raw[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %v", i, tf.Raw)
+		}
+	}
+	if got := tap.ReadBurst(buf); got != 2 {
+		t.Fatalf("second ReadBurst = %d, want 2 (queue drained)", got)
+	}
+
+	// Closed and drained tap reports 0.
+	n.CloseTap(tap)
+	if got := tap.ReadBurst(buf); got != 0 {
+		t.Fatalf("ReadBurst on closed tap = %d, want 0", got)
+	}
+	if got := tap.ReadBurst(nil); got != 0 {
+		t.Fatalf("ReadBurst with empty buf = %d, want 0", got)
+	}
+}

@@ -186,6 +186,7 @@ func URL(id int) string { return fmt.Sprintf("/videos/%04d.mp4", id) }
 type Blaster struct {
 	frames [][]byte
 	next   int
+	burst  [][]byte
 }
 
 // BlasterConfig parameterizes frame generation.
@@ -268,6 +269,21 @@ func (bl *Blaster) Next() []byte {
 	f := bl.frames[bl.next]
 	bl.next = (bl.next + 1) % len(bl.frames)
 	return f
+}
+
+// NextBurst returns the next n frames as one burst, cycling over the flow
+// set — the generator-side counterpart of Monitor.DeliverBurst. The
+// returned slice is reused by the next NextBurst call, like a hardware
+// generator's descriptor ring.
+func (bl *Blaster) NextBurst(n int) [][]byte {
+	if cap(bl.burst) < n {
+		bl.burst = make([][]byte, n)
+	}
+	out := bl.burst[:n]
+	for i := range out {
+		out[i] = bl.Next()
+	}
+	return out
 }
 
 // FrameSize returns the size of the generated frames in bytes.

@@ -221,3 +221,28 @@ func BenchmarkStaggeredFlows100K(b *testing.B) {
 		_ = StaggeredFlows(topo, 100000, FlowConfig{}, rng)
 	}
 }
+
+func TestBlasterNextBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bl := NewBlaster(BlasterConfig{FrameSize: 128, Flows: 4}, rng)
+
+	// A burst must contain the same frame sequence Next would produce.
+	single := NewBlaster(BlasterConfig{FrameSize: 128, Flows: 4}, rand.New(rand.NewSource(11)))
+	burst := bl.NextBurst(7)
+	if len(burst) != 7 {
+		t.Fatalf("burst length = %d, want 7", len(burst))
+	}
+	for i, raw := range burst {
+		want := single.Next()
+		if string(raw) != string(want) {
+			t.Fatalf("burst frame %d differs from Next sequence", i)
+		}
+	}
+
+	// The backing slice is reused across calls.
+	first := &bl.NextBurst(3)[0]
+	second := &bl.NextBurst(3)[0]
+	if first != second {
+		t.Error("NextBurst allocated a fresh slice for a smaller burst")
+	}
+}
