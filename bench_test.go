@@ -20,6 +20,7 @@ import (
 	"netalytics/internal/placement"
 	"netalytics/internal/query"
 	"netalytics/internal/stream"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/tuple"
 	"netalytics/internal/workload"
@@ -542,6 +543,109 @@ func BenchmarkAblationSampling(b *testing.B) {
 			mon.Stop()
 		})
 	}
+}
+
+// --- Telemetry overhead: the registry + tracer cost on the hot path ---
+
+// BenchmarkTelemetryOverhead measures the monitor datapath with telemetry
+// off, at the default 1-in-64 trace sampling, and at the pathological
+// trace-everything setting. "off" vs "sampled-64" is the number the tentpole
+// budget constrains: the default sampling rate must stay within 5% of the
+// untelemetered path, and counters alone (which "sampled-64" also carries)
+// should be in the noise.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		every int // 0 = telemetry off entirely
+	}{{"off", 0}, {"sampled-64", telemetry.DefaultSampleEvery}, {"sampled-1", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			factory, err := parsers.Lookup("tcp_conn_time")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := monitor.Config{
+				Parsers:    []monitor.Factory{factory},
+				Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+				QueueDepth: 1 << 15,
+			}
+			if mode.every > 0 {
+				reg := telemetry.NewRegistry()
+				cfg.Metrics = reg
+				cfg.Tracer = telemetry.NewTracer(reg, mode.every)
+			}
+			mon, err := monitor.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl := workload.NewBlaster(workload.BlasterConfig{FrameSize: 256, Flows: 64}, rand.New(rand.NewSource(8)))
+			mon.Start()
+			b.SetBytes(int64(bl.FrameSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !mon.Deliver(bl.Next(), time.Time{}) {
+				}
+			}
+			b.StopTimer()
+			mon.Stop()
+		})
+	}
+}
+
+// --- Figs. 13-14: end-to-end pipeline latency percentiles ---
+
+// BenchmarkPipelineLatency drives the full query pipeline with tracing on
+// every tuple and publishes the capture-to-sink latency percentiles as
+// custom metrics (e2e-p50-ns etc.), the shape behind the paper's latency
+// CDFs. benchparse picks the extra metrics up into BENCH_pipeline.json.
+func BenchmarkPipelineLatency(b *testing.B) {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{
+		TickInterval:     20 * time.Millisecond,
+		TraceSampleEvery: 1,
+	})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	server, client := hosts[0], hosts[12]
+	web, err := apps.StartApp(engine.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer web.Stop()
+
+	sess, err := engine.Submit(fmt.Sprintf(
+		"PARSE tcp_conn_time FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Stop()
+	go func() {
+		for range sess.Results() {
+		}
+	}()
+	ep := engine.Network().Endpoint(client)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := ep.Dial(server.Addr, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Request([]byte("GET / HTTP/1.1\r\nHost: h\r\n\r\n"), time.Second); err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+	b.StopTimer()
+	// Let in-flight tuples reach the sink so the histograms cover the run.
+	deadline := time.Now().Add(2 * time.Second)
+	for sess.Telemetry().Stage(telemetry.StageEndToEnd).Count == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	e2e := sess.Telemetry().Stage(telemetry.StageEndToEnd)
+	b.ReportMetric(e2e.P50NS, "e2e-p50-ns")
+	b.ReportMetric(e2e.P95NS, "e2e-p95-ns")
+	b.ReportMetric(e2e.P99NS, "e2e-p99-ns")
 }
 
 // --- Ablation: mq persistence mode (DESIGN.md #5) ---

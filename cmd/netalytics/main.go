@@ -8,6 +8,11 @@
 //
 //	netalytics [-duration 5s] [-requests 200] "<query>"
 //
+// Telemetry: -metrics addr serves live registry snapshots at
+// http://addr/metrics, -telemetry-json path dumps them periodically to a
+// file, and -trace-every N sets the stage-latency trace sampling period
+// (0 = default 1-in-64, negative disables tracing).
+//
 // Example queries against the demo testbed (hosts are named h<pod>-<rack>-<n>):
 //
 //	netalytics "PARSE http_get FROM * TO h0-0-0:80 LIMIT 5s PROCESS (top-k: k=5, w=1s)"
@@ -21,6 +26,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -30,6 +37,7 @@ import (
 	"netalytics/internal/apps"
 	"netalytics/internal/pcap"
 	"netalytics/internal/report"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/vnet"
 	"netalytics/internal/workload"
@@ -73,19 +81,38 @@ func captureToPcap(tb *netalytics.Testbed, sess *netalytics.Session, path string
 	}, nil
 }
 
+// runOpts collects the command's knobs; flags fill one in main.
+type runOpts struct {
+	query             string
+	duration          time.Duration
+	requests          int
+	describe          bool
+	pcapPath          string
+	metricsAddr       string // serve /metrics here when non-empty
+	telemetryJSON     string // dump registry snapshots to this file
+	telemetryInterval time.Duration
+	traceEvery        int // 0 = default, negative disables
+}
+
 func main() {
-	duration := flag.Duration("duration", 5*time.Second, "how long to drive traffic and collect results")
-	requests := flag.Int("requests", 300, "client requests to issue while the query runs")
-	describe := flag.Bool("describe", false, "print the demo testbed layout and exit")
-	pcapPath := flag.String("pcap", "", "also dump the mirrored frames to this pcap file")
+	var o runOpts
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "how long to drive traffic and collect results")
+	flag.IntVar(&o.requests, "requests", 300, "client requests to issue while the query runs")
+	flag.BoolVar(&o.describe, "describe", false, "print the demo testbed layout and exit")
+	flag.StringVar(&o.pcapPath, "pcap", "", "also dump the mirrored frames to this pcap file")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "serve live telemetry at http://<addr>/metrics (e.g. localhost:9090)")
+	flag.StringVar(&o.telemetryJSON, "telemetry-json", "", "periodically dump telemetry snapshots to this JSON file")
+	flag.DurationVar(&o.telemetryInterval, "telemetry-interval", telemetry.DefaultExportInterval, "period between telemetry JSON dumps")
+	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, negative disables)")
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
+	o.query = flag.Arg(0)
 
 	var err error
 	if *interactive {
-		err = runInteractive()
+		err = runInteractive(o.traceEvery)
 	} else {
-		err = run(flag.Arg(0), *duration, *requests, *describe, *pcapPath)
+		err = run(o)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netalytics: %v\n", err)
@@ -96,8 +123,8 @@ func main() {
 // runInteractive drives a REPL: continuous background traffic flows through
 // the demo app, and each line submits a query whose results stream until the
 // query's LIMIT fires or the user enters a blank line.
-func runInteractive() error {
-	d, err := buildDemo()
+func runInteractive(traceEvery int) error {
+	d, err := buildDemo(traceEvery)
 	if err != nil {
 		return err
 	}
@@ -232,8 +259,12 @@ func (d *demo) close() {
 	d.tb.Close()
 }
 
-func buildDemo() (*demo, error) {
-	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{FatTreeK: 4, ResourceSeed: 7})
+func buildDemo(traceEvery int) (*demo, error) {
+	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{
+		FatTreeK:     4,
+		ResourceSeed: 7,
+		Engine:       netalytics.EngineConfig{TraceSampleEvery: traceEvery},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -292,30 +323,85 @@ func (d *demo) describe() {
 	fmt.Printf("  %-10s %-16s load client\n", d.client.Name, d.client.Addr)
 }
 
-func run(queryText string, duration time.Duration, requests int, describe bool, pcapPath string) error {
-	d, err := buildDemo()
+// serveMetrics starts an HTTP server exposing the registry at /metrics,
+// returning the bound address and a shutdown func.
+func serveMetrics(addr string, reg *netalytics.MetricsRegistry) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("telemetry: serving http://%s/metrics\n", ln.Addr())
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// printTelemetry reports the session's end-of-run pipeline health: where
+// data was lost at each layer, and the sampled per-stage latency digests.
+func printTelemetry(sess *netalytics.Session) {
+	tel := sess.Telemetry()
+	st := tel.Monitor
+	var mqDropped uint64
+	for _, ts := range tel.Topics {
+		mqDropped += ts.Dropped
+	}
+	fmt.Printf("losses: tap=%d collect=%d malformed=%d parser=%d sink=%d mq=%d result=%d\n",
+		tel.TapDrops, st.CollectDrops, st.Malformed, st.ParserDrops, st.SinkErrors,
+		mqDropped, tel.ResultDrops)
+	for _, stage := range tel.Stages {
+		if stage.Count == 0 {
+			continue
+		}
+		fmt.Printf("latency %-16s n=%-6d p50=%-10s p95=%-10s p99=%s\n",
+			stage.Stage, stage.Count,
+			time.Duration(stage.P50NS), time.Duration(stage.P95NS), time.Duration(stage.P99NS))
+	}
+}
+
+func run(o runOpts) error {
+	d, err := buildDemo(o.traceEvery)
 	if err != nil {
 		return err
 	}
 	defer d.close()
 
-	if describe {
+	if o.describe {
 		d.describe()
 		return nil
 	}
-	if queryText == "" {
+	if o.query == "" {
 		return fmt.Errorf("no query given; try -describe or see the command documentation")
 	}
 
-	sess, err := d.tb.Submit(queryText)
+	if o.metricsAddr != "" {
+		_, stop, err := serveMetrics(o.metricsAddr, d.tb.Metrics())
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	finalExport := func() {}
+	if o.telemetryJSON != "" {
+		exp := telemetry.NewFileExporter(d.tb.Metrics(), o.telemetryJSON, o.telemetryInterval)
+		exp.Start()
+		defer exp.Stop()
+		// Session stop retires the session's registry series, so the
+		// exporter's final flush has to land before it for the file to keep
+		// the run's data (Stop is idempotent; the deferred call is a no-op).
+		finalExport = exp.Stop
+	}
+
+	sess, err := d.tb.Submit(o.query)
 	if err != nil {
 		return err
 	}
 
-	if pcapPath != "" {
+	if o.pcapPath != "" {
 		// A second tap on each monitor host receives the same mirrored
 		// frames the monitors do; dump them for offline tooling.
-		stop, err := captureToPcap(d.tb, sess, pcapPath)
+		stop, err := captureToPcap(d.tb, sess, o.pcapPath)
 		if err != nil {
 			return err
 		}
@@ -329,7 +415,7 @@ func run(queryText string, duration time.Duration, requests int, describe bool, 
 
 	// Drive background traffic through the demo app while the query runs.
 	go apps.RunHTTPLoad(d.tb.Network(), d.client, apps.LoadConfig{
-		Requests: requests, Concurrency: 4, Target: d.proxy,
+		Requests: o.requests, Concurrency: 4, Target: d.proxy,
 		URL: func(i int) string {
 			switch i % 4 {
 			case 0:
@@ -342,7 +428,7 @@ func run(queryText string, duration time.Duration, requests int, describe bool, 
 		},
 	})
 
-	timer := time.NewTimer(duration)
+	timer := time.NewTimer(o.duration)
 	defer timer.Stop()
 	results := 0
 	fmt.Println("results:")
@@ -351,6 +437,7 @@ func run(queryText string, duration time.Duration, requests int, describe bool, 
 		case tu, ok := <-sess.Results():
 			if !ok {
 				fmt.Printf("session ended after %d results\n", results)
+				printTelemetry(sess)
 				return nil
 			}
 			results++
@@ -365,10 +452,12 @@ func run(queryText string, duration time.Duration, requests int, describe bool, 
 			fmt.Printf("  parser=%-14s key=%-32q val=%.2f src=%s dst=%s\n",
 				tu.Parser, tu.Key, tu.Val, tu.SrcIP, tu.DstIP)
 		case <-timer.C:
+			finalExport()
 			sess.Stop()
 			stats := sess.MonitorStats()
 			fmt.Printf("stopped: %d packets mirrored, %d tuples, %d batches; %d results shown\n",
 				sess.Packets(), stats.Tuples, stats.Batches, results)
+			printTelemetry(sess)
 			return nil
 		}
 	}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"os"
 	"testing"
 	"time"
 )
 
 func TestBuildDemoAndDescribe(t *testing.T) {
-	d, err := buildDemo()
+	d, err := buildDemo(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,30 +21,97 @@ func TestBuildDemoAndDescribe(t *testing.T) {
 }
 
 func TestRunQueryAgainstDemo(t *testing.T) {
-	err := run("PARSE http_get FROM * TO h0-0-0:80 PROCESS (top-k: k=3, w=500ms)",
-		1500*time.Millisecond, 40, false, "")
+	err := run(runOpts{
+		query:    "PARSE http_get FROM * TO h0-0-0:80 PROCESS (top-k: k=3, w=500ms)",
+		duration: 1500 * time.Millisecond,
+		requests: 40,
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithPcap(t *testing.T) {
-	path := t.TempDir() + "/cap.pcap"
-	err := run("PARSE tcp_conn_time FROM * TO h0-0-1:80 PROCESS (diff)",
-		time.Second, 20, false, path)
+	err := run(runOpts{
+		query:    "PARSE tcp_conn_time FROM * TO h0-0-1:80 PROCESS (diff)",
+		duration: time.Second,
+		requests: 20,
+		pcapPath: t.TempDir() + "/cap.pcap",
+	})
 	if err != nil {
 		t.Fatalf("run with pcap: %v", err)
 	}
 }
 
+func TestRunWithTelemetryExports(t *testing.T) {
+	path := t.TempDir() + "/telemetry.json"
+	err := run(runOpts{
+		query:             "PARSE http_get FROM * TO h0-0-0:80 PROCESS (passthrough)",
+		duration:          time.Second,
+		requests:          30,
+		telemetryJSON:     path,
+		telemetryInterval: 100 * time.Millisecond,
+		traceEvery:        1,
+	})
+	if err != nil {
+		t.Fatalf("run with telemetry: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("telemetry dump missing: %v", err)
+	}
+	var dump struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("telemetry dump not JSON: %v", err)
+	}
+	if len(dump.Metrics) == 0 {
+		t.Error("telemetry dump has no metrics")
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	d, err := buildDemo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.close()
+	addr, stop, err := serveMetrics("127.0.0.1:0", d.tb.Metrics())
+	if err != nil {
+		t.Fatalf("serveMetrics: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	var dump struct {
+		TS      time.Time         `json:"ts"`
+		Metrics []json.RawMessage `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	if dump.TS.IsZero() {
+		t.Error("/metrics dump has no timestamp")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", time.Second, 1, false, ""); err == nil {
+	if err := run(runOpts{duration: time.Second, requests: 1}); err == nil {
 		t.Error("empty query accepted")
 	}
-	if err := run("PARSE nope FROM h0-0-0:80 PROCESS (passthrough)", time.Second, 1, false, ""); err == nil {
+	if err := run(runOpts{query: "PARSE nope FROM h0-0-0:80 PROCESS (passthrough)", duration: time.Second, requests: 1}); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run("", time.Second, 1, true, ""); err != nil {
+	if err := run(runOpts{duration: time.Second, requests: 1, describe: true}); err != nil {
 		t.Errorf("describe path: %v", err)
 	}
 }

@@ -27,6 +27,10 @@ type Result struct {
 	// MBPerSec is the MB/s column when the benchmark calls b.SetBytes
 	// (0 otherwise).
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// Extra holds every other "value unit" pair on the line, keyed by unit —
+	// custom metrics published with b.ReportMetric, such as the pipeline
+	// benchmark's e2e-p50-ns latency percentiles.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the full parse of one `go test -bench` run.
@@ -98,6 +102,11 @@ func parseLine(line string) (Result, error) {
 			}
 		case "MB/s":
 			res.MBPerSec = val
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[fields[i+1]] = val
 		}
 	}
 	if res.NsPerOp == 0 {

@@ -63,3 +63,32 @@ func TestParseErrors(t *testing.T) {
 		t.Error("line without ns/op accepted")
 	}
 }
+
+func TestParseExtraMetrics(t *testing.T) {
+	in := "BenchmarkPipelineLatency-8   10   1200000 ns/op   845000 e2e-p50-ns   2310000 e2e-p95-ns   4100000 e2e-p99-ns\n"
+	report, err := Parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := report.Results[0]
+	want := map[string]float64{
+		"e2e-p50-ns": 845000,
+		"e2e-p95-ns": 2310000,
+		"e2e-p99-ns": 4100000,
+	}
+	if len(r.Extra) != len(want) {
+		t.Fatalf("Extra = %v", r.Extra)
+	}
+	for unit, v := range want {
+		if r.Extra[unit] != v {
+			t.Errorf("Extra[%q] = %v, want %v", unit, r.Extra[unit], v)
+		}
+	}
+	// Known units never leak into Extra.
+	if _, ok := r.Extra["ns/op"]; ok {
+		t.Error("ns/op landed in Extra")
+	}
+	if r.NsPerOp != 1200000 {
+		t.Errorf("NsPerOp = %v", r.NsPerOp)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"netalytics/internal/query"
 	"netalytics/internal/sdn"
 	"netalytics/internal/stream"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/tuple"
 	"netalytics/internal/vnet"
@@ -52,6 +53,13 @@ type Config struct {
 	Seed int64
 	// ResultBuffer bounds each session's result channel (default 4096).
 	ResultBuffer int
+	// Metrics is the telemetry registry every pipeline layer reports into.
+	// Nil gets a fresh registry, so Engine.Metrics() is always usable.
+	Metrics *telemetry.Registry
+	// TraceSampleEvery sets the stage-latency trace sampling period: one
+	// traced tuple per N emitted. 0 means telemetry.DefaultSampleEvery;
+	// negative disables tracing entirely (zero hot-path cost).
+	TraceSampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +83,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultBuffer <= 0 {
 		c.ResultBuffer = 4096
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = telemetry.DefaultSampleEvery
 	}
 	return c
 }
@@ -100,6 +114,8 @@ func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	ctrl := sdn.NewController()
 	net := vnet.New(topo, ctrl)
+	net.RegisterMetrics(cfg.Metrics)
+	cfg.MQ.Metrics = cfg.Metrics
 	return &Engine{
 		cfg:      cfg,
 		topo:     topo,
@@ -125,6 +141,9 @@ func (e *Engine) Controller() *sdn.Controller { return e.ctrl }
 
 // Aggregation returns the mq cluster.
 func (e *Engine) Aggregation() *mq.Cluster { return e.mq }
+
+// Metrics returns the engine's telemetry registry (never nil).
+func (e *Engine) Metrics() *telemetry.Registry { return e.cfg.Metrics }
 
 // Sessions lists the currently running query sessions.
 func (e *Engine) Sessions() []*Session {

@@ -14,6 +14,7 @@ import (
 	"netalytics/internal/placement"
 	"netalytics/internal/query"
 	"netalytics/internal/stream"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/tuple"
 )
@@ -33,9 +34,10 @@ type Session struct {
 	executors []*stream.Executor
 	samplers  []*monitor.AIMDSampler
 	topics    []string
+	tracer    *telemetry.Tracer
 
 	results     chan tuple.Tuple
-	resultDrops atomic.Uint64
+	resultDrops atomic.Uint64 // exported as session_result_drops{session=ID}
 	packets     atomic.Uint64 // frames delivered to monitors (all instances)
 
 	fbStop   chan struct{}
@@ -146,6 +148,19 @@ func (s *Session) start() error {
 	if s.Query.Sample.Mode == query.SampleRate {
 		sampleRate = s.Query.Sample.Rate
 	}
+
+	// Telemetry: every layer of this session reports into the engine
+	// registry under a session label; the tracer stamps 1-in-N tuples at
+	// monitor emit so Telemetry() can digest per-stage latencies.
+	reg := e.cfg.Metrics
+	sessLabel := telemetry.L("session", s.ID)
+	traceEvery := e.cfg.TraceSampleEvery
+	if traceEvery < 0 {
+		traceEvery = 0
+	}
+	s.tracer = telemetry.NewTracer(reg, traceEvery, sessLabel)
+	reg.GaugeFunc("session_result_drops", func() float64 { return float64(s.resultDrops.Load()) }, sessLabel)
+
 	for _, proc := range place.Monitors {
 		in, err := e.nfv.Launch(s.ID, nfv.Spec{
 			Host: proc.Host,
@@ -154,10 +169,15 @@ func (s *Session) start() error {
 				WorkersPerParser: e.cfg.MonitorWorkers,
 				Sink:             sink,
 				SampleRate:       sampleRate,
+				Metrics:          reg,
+				MetricLabels:     []telemetry.Label{sessLabel, telemetry.L("host", proc.Host.Name)},
+				Tracer:           s.tracer,
 			},
-			Counter:     &s.packets,
-			PacketLimit: uint64(s.Query.Limit.Packets),
-			OnLimit:     func() { go s.Stop() },
+			Counter:      &s.packets,
+			PacketLimit:  uint64(s.Query.Limit.Packets),
+			OnLimit:      func() { go s.Stop() },
+			Metrics:      reg,
+			MetricLabels: []telemetry.Label{sessLabel},
 		})
 		if err != nil {
 			return err
@@ -202,6 +222,8 @@ func (s *Session) start() error {
 		}
 		ex.Start()
 		s.executors = append(s.executors, ex)
+		reg.GaugeFunc("stream_queue_lag", func() float64 { return float64(ex.QueueLag()) },
+			sessLabel, telemetry.L("proc", fmt.Sprintf("proc%d-%s", procIdx, proc.Name)))
 	}
 
 	// Feedback-driven sampling (§4.2): aggregation-layer overload statuses
@@ -301,8 +323,12 @@ func (s *Session) allSamplersFloored() bool {
 }
 
 // deliver pushes a processed tuple to the session's result channel,
-// dropping when the consumer lags.
+// dropping when the consumer lags. Traced tuples complete their latency
+// record here: delivery is the sink boundary.
 func (s *Session) deliver(t tuple.Tuple) {
+	if t.Trace != nil {
+		s.tracer.ObserveSink(t.Trace, time.Now().UnixNano())
+	}
 	select {
 	case s.results <- t:
 	default:
@@ -334,6 +360,11 @@ func (s *Session) Stop() {
 		e.mu.Lock()
 		delete(e.sessions, s.ID)
 		e.mu.Unlock()
+
+		// Retire the session's registry series so long-lived processes don't
+		// accumulate dead metrics; Telemetry() keeps working from the layer
+		// pointers the session still holds.
+		e.cfg.Metrics.DropLabeled("session", s.ID)
 	})
 }
 
@@ -379,7 +410,9 @@ type multiSpout struct {
 	next    int
 }
 
-// Next implements stream.Spout.
+// Next implements stream.Spout. The poll is the mq→stream boundary: any
+// traced tuples in the polled batches get their produce/consume stamps here
+// (cloned per consumer group, since batches are shared read-only).
 func (m *multiSpout) Next() []tuple.Tuple {
 	for range m.pollers {
 		p := m.pollers[m.next%len(m.pollers)]
@@ -389,8 +422,16 @@ func (m *multiSpout) Next() []tuple.Tuple {
 			continue
 		}
 		var out []tuple.Tuple
+		var nowNS int64
 		for _, b := range batches {
+			start := len(out)
 			out = append(out, b.Tuples...)
+			if b.ProduceNS != 0 {
+				if nowNS == 0 {
+					nowNS = time.Now().UnixNano()
+				}
+				telemetry.PropagateBatch(out[start:], b.ProduceNS, nowNS)
+			}
 		}
 		return out
 	}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/mq"
+	"netalytics/internal/telemetry"
+)
+
+// Telemetry is one coherent snapshot of a session's pipeline health, layer by
+// layer: frames pumped out of the taps, monitor counters, per-topic
+// aggregation stats, stream-engine backlog, result-sink drops, and the
+// sampled per-stage latency digests of Figs. 13-14. Assembled from live layer
+// pointers, so it stays accurate even after Stop retires the session's
+// registry series.
+type Telemetry struct {
+	SessionID string    `json:"session_id"`
+	TS        time.Time `json:"ts"`
+
+	// Capture/NFV layer.
+	Packets    uint64 `json:"packets"`     // frames delivered to the session's monitors
+	PumpFrames uint64 `json:"pump_frames"` // frames pumped from taps (= Packets, per instance)
+	TapDrops   uint64 `json:"tap_drops"`   // RX overruns at the mirror taps
+	TapDepth   int    `json:"tap_depth"`   // current tap backlog across instances
+
+	// Monitor layer: aggregated across the session's instances.
+	Monitor monitor.Stats `json:"monitor"`
+
+	// Aggregation layer: per-topic counters and occupancy.
+	Topics map[string]mq.TopicStats `json:"topics"`
+
+	// Stream layer: tuples queued inside the processing topologies.
+	StreamQueueLag int `json:"stream_queue_lag"`
+
+	// Result sink.
+	ResultDrops uint64 `json:"result_drops"`
+
+	// Stage-latency digests in pipeline order (capture→parse, parse→mq,
+	// mq→stream, stream→sink, end-to-end). Always all five stages.
+	Stages []telemetry.StageSummary `json:"stages"`
+
+	// Registry is the engine-wide metric snapshot at the same instant.
+	Registry []telemetry.Point `json:"registry,omitempty"`
+}
+
+// Stage returns the named stage digest, or a zero summary when absent.
+func (t Telemetry) Stage(name string) telemetry.StageSummary {
+	for _, st := range t.Stages {
+		if st.Stage == name {
+			return st
+		}
+	}
+	return telemetry.StageSummary{Stage: name}
+}
+
+// Telemetry assembles the session's pipeline snapshot. Safe to call while the
+// session runs and after it stops.
+func (s *Session) Telemetry() Telemetry {
+	t := Telemetry{
+		SessionID:   s.ID,
+		TS:          time.Now(),
+		Packets:     s.packets.Load(),
+		Monitor:     s.MonitorStats(),
+		Topics:      make(map[string]mq.TopicStats, len(s.topics)),
+		ResultDrops: s.ResultDrops(),
+		Stages:      s.tracer.StageSummaries(),
+	}
+	for _, in := range s.instances {
+		t.PumpFrames += in.Packets()
+		t.TapDrops += in.TapDrops()
+		t.TapDepth += in.TapDepth()
+	}
+	for _, topic := range s.topics {
+		t.Topics[topic] = s.engine.mq.Stats(topic)
+	}
+	for _, ex := range s.executors {
+		t.StreamQueueLag += ex.QueueLag()
+	}
+	if s.engine != nil {
+		t.Registry = s.engine.cfg.Metrics.Snapshot()
+	}
+	return t
+}

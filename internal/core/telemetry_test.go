@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/monitor"
+	"netalytics/internal/nfv"
+	"netalytics/internal/packet"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/tuple"
+)
+
+// tickParser emits one tuple per TCP packet.
+type tickParser struct{}
+
+func (tickParser) Name() string { return "tick" }
+func (tickParser) Handle(p *monitor.Packet, emit monitor.EmitFunc) {
+	if p.Frame.TCP != nil {
+		emit(tuple.Tuple{FlowID: p.FlowID, TS: p.TS.UnixNano(), Val: 1})
+	}
+}
+
+// drivenMonitor builds, drives and stops a standalone monitor: frames valid
+// TCP packets plus malformed garbage, so several Stats fields go non-zero.
+func drivenMonitor(t *testing.T, frames, malformed int) *monitor.Monitor {
+	t.Helper()
+	m, err := monitor.New(monitor.Config{
+		Parsers:   []monitor.Factory{func() monitor.Parser { return tickParser{} }},
+		Sink:      monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	src := netip.MustParseAddr("10.0.0.2")
+	dst := netip.MustParseAddr("10.0.0.3")
+	for i := 0; i < frames; i++ {
+		var b packet.Builder
+		raw := b.TCP(packet.TCPSpec{
+			Src: src, Dst: dst, SrcPort: uint16(1000 + i), DstPort: 80,
+			Flags: packet.TCPFlagACK, Payload: []byte("x"),
+		})
+		m.Deliver(raw, time.Now())
+	}
+	for i := 0; i < malformed; i++ {
+		m.Deliver([]byte{0xde, 0xad}, time.Now())
+	}
+	m.Stop()
+	return m
+}
+
+// TestMonitorStatsAggregation pins MonitorStats' contract: every field of
+// monitor.Stats is the sum across instances. The check walks the struct with
+// reflection so a field added to monitor.Stats but forgotten in MonitorStats
+// fails here instead of silently reading zero.
+func TestMonitorStatsAggregation(t *testing.T) {
+	m1 := drivenMonitor(t, 30, 3)
+	m2 := drivenMonitor(t, 20, 0)
+	s := &Session{instances: []*nfv.Instance{{Monitor: m1}, {Monitor: m2}}}
+
+	got := reflect.ValueOf(s.MonitorStats())
+	st1 := reflect.ValueOf(m1.Stats())
+	st2 := reflect.ValueOf(m2.Stats())
+	typ := got.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		want := st1.Field(i).Uint() + st2.Field(i).Uint()
+		if have := got.Field(i).Uint(); have != want {
+			t.Errorf("MonitorStats.%s = %d, want %d (sum of instances)", name, have, want)
+		}
+	}
+	// Sanity: the fields this test exercises really are non-zero.
+	total := s.MonitorStats()
+	if total.Received != 53 || total.Malformed != 3 || total.Tuples != 50 {
+		t.Errorf("unexpected driven counts: %+v", total)
+	}
+
+	var empty Session
+	if empty.MonitorStats() != (monitor.Stats{}) {
+		t.Errorf("zero-instance MonitorStats = %+v, want zeros", empty.MonitorStats())
+	}
+}
+
+// TestSessionTelemetry runs a traced query end to end and checks the
+// coherent snapshot: every pipeline stage has latency samples, every layer
+// reports counters, and the registry holds the session's series.
+func TestSessionTelemetry(t *testing.T) {
+	e := newEngine(t)
+	e.cfg.TraceSampleEvery = 1 // trace every tuple so short runs yield samples
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+		Requests: 30, Target: server,
+		URL: func(i int) string { return fmt.Sprintf("/p-%d", i%3) },
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+
+	// Wait for results to flow so traces complete at the sink.
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < 10 {
+		select {
+		case _, ok := <-sess.Results():
+			if !ok {
+				t.Fatalf("results closed early with %d tuples", got)
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("timed out with %d tuples", got)
+		}
+	}
+
+	tel := sess.Telemetry()
+	if tel.SessionID != sess.ID {
+		t.Errorf("SessionID = %q", tel.SessionID)
+	}
+	if len(tel.Stages) != len(telemetry.Stages) {
+		t.Fatalf("Stages count = %d, want %d", len(tel.Stages), len(telemetry.Stages))
+	}
+	for i, name := range telemetry.Stages {
+		if tel.Stages[i].Stage != name {
+			t.Errorf("Stages[%d] = %q, want %q", i, tel.Stages[i].Stage, name)
+		}
+	}
+	e2e := tel.Stage(telemetry.StageEndToEnd)
+	if e2e.Count == 0 {
+		t.Error("end_to_end stage has no samples")
+	}
+	if e2e.P99NS < e2e.P50NS {
+		t.Errorf("e2e p99 %v < p50 %v", e2e.P99NS, e2e.P50NS)
+	}
+	for _, name := range []string{telemetry.StageCaptureToParse, telemetry.StageParseToMQ,
+		telemetry.StageMQToStream, telemetry.StageStreamToSink} {
+		if tel.Stage(name).Count == 0 {
+			t.Errorf("stage %s has no samples", name)
+		}
+	}
+
+	if tel.Packets == 0 || tel.PumpFrames == 0 {
+		t.Errorf("no packets recorded: %+v", tel)
+	}
+	if tel.Monitor.Tuples == 0 {
+		t.Error("monitor layer reports no tuples")
+	}
+	if len(tel.Topics) == 0 {
+		t.Error("no topic stats")
+	}
+	for topic, ts := range tel.Topics {
+		if ts.Appended == 0 {
+			t.Errorf("topic %s has no appends", topic)
+		}
+	}
+	if len(tel.Registry) == 0 {
+		t.Error("registry snapshot empty")
+	}
+	found := map[string]bool{}
+	for _, p := range tel.Registry {
+		found[p.Name] = true
+	}
+	for _, name := range []string{"monitor_received", "mq_appended", "pipeline_latency_ns",
+		"nfv_pump_frames", "session_result_drops", "stream_queue_lag", "vnet_mirrored"} {
+		if !found[name] {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+
+	// Stop retires the session's registry series; the snapshot keeps working
+	// from layer pointers.
+	sess.Stop()
+	for _, p := range e.Metrics().Snapshot() {
+		if p.Labels["session"] == sess.ID {
+			t.Errorf("series %s{session=%s} survived Stop", p.Name, sess.ID)
+		}
+	}
+	after := sess.Telemetry()
+	if after.Stage(telemetry.StageEndToEnd).Count < e2e.Count {
+		t.Error("post-Stop telemetry lost stage samples")
+	}
+	if after.Monitor.Tuples == 0 {
+		t.Error("post-Stop telemetry lost monitor stats")
+	}
+}
+
+// TestTracingDisabled checks that a negative TraceSampleEvery session still
+// reports all stages, with zero samples and no stamped tuples.
+func TestTracingDisabled(t *testing.T) {
+	e := newEngine(t)
+	e.cfg.TraceSampleEvery = -1
+	hosts := e.Topology().Hosts()
+	server, client := hosts[0], hosts[12]
+
+	app, err := apps.StartApp(e.Network(), server, apps.AppConfig{
+		Routes: map[string]apps.Route{"/": {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+
+	sess, err := e.Submit(fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := apps.RunHTTPLoad(e.Network(), client, apps.LoadConfig{
+		Requests: 10, Target: server,
+		URL: func(int) string { return "/" },
+	})
+	if res.Errors != 0 {
+		t.Fatalf("load errors = %d", res.Errors)
+	}
+	deadline := time.After(5 * time.Second)
+	got := 0
+	for got < 5 {
+		select {
+		case tu, ok := <-sess.Results():
+			if !ok {
+				t.Fatalf("results closed early with %d tuples", got)
+			}
+			if tu.Trace != nil {
+				t.Error("tuple carries a trace with tracing disabled")
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("timed out with %d tuples", got)
+		}
+	}
+	tel := sess.Telemetry()
+	if len(tel.Stages) != len(telemetry.Stages) {
+		t.Fatalf("Stages count = %d", len(tel.Stages))
+	}
+	for _, st := range tel.Stages {
+		if st.Count != 0 {
+			t.Errorf("stage %s has %d samples with tracing disabled", st.Stage, st.Count)
+		}
+	}
+}

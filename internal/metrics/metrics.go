@@ -81,8 +81,10 @@ func (s *Series) Max() float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank interpolation, or 0 for an empty series.
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between the two closest ranks (the "exclusive" variant at
+// rank p/100*(n-1), as numpy's default percentile computes), or 0 for an
+// empty series. p <= 0 returns the minimum, p >= 100 the maximum.
 func (s *Series) Percentile(p float64) float64 {
 	vals := s.Values()
 	if len(vals) == 0 {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -201,5 +202,53 @@ func TestRateMeterDefaults(t *testing.T) {
 	r.Add(5)
 	if r.Rate() < 0 {
 		t.Error("negative rate")
+	}
+}
+
+// TestPercentileInterpolation pins Percentile's contract: linear
+// interpolation between the two closest order statistics at rank
+// p/100*(n-1), NOT nearest-rank. The two-sample case distinguishes the two
+// unambiguously — nearest-rank can only ever return an actual sample.
+func TestPercentileInterpolation(t *testing.T) {
+	if got := seeded(10, 20).Percentile(50); got != 15 {
+		t.Fatalf("Percentile(50) of {10,20} = %v, want 15 (linear interpolation)", got)
+	}
+	if got := seeded(0, 100).Percentile(25); got != 25 {
+		t.Fatalf("Percentile(25) of {0,100} = %v, want 25", got)
+	}
+
+	prop := func(raw []float64, pRaw float64) bool {
+		vals := raw[:0:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && math.Abs(v) < 1e6 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		s := seeded(vals...)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		n := len(sorted)
+		// Grid points: percentile i/(n-1)*100 recovers the i-th order
+		// statistic exactly.
+		for i := 0; i < n; i++ {
+			p := float64(i) / float64(n-1) * 100
+			if got := s.Percentile(p); math.Abs(got-sorted[i]) > 1e-6 {
+				return false
+			}
+		}
+		// Arbitrary p: the result lies between the two bracketing order
+		// statistics of rank p/100*(n-1).
+		p := math.Mod(math.Abs(pRaw), 100)
+		rank := p / 100 * float64(n-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		got := s.Percentile(p)
+		return got >= sorted[lo]-1e-6 && got <= sorted[hi]+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"netalytics/internal/packet"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/tuple"
 )
 
@@ -138,6 +139,17 @@ type Config struct {
 	// CopyMode disables descriptor sharing: each parser gets its own copy
 	// of every packet. Exists for the zero-copy ablation benchmark.
 	CopyMode bool
+	// Metrics, when non-nil, registers every monitor counter in the
+	// telemetry registry under monitor_* names with MetricLabels attached.
+	// Counters are identical atomics either way; a nil registry just leaves
+	// them unexported.
+	Metrics *telemetry.Registry
+	// MetricLabels are attached to every registered metric (typically the
+	// owning session and host), keeping per-instance series distinct.
+	MetricLabels []telemetry.Label
+	// Tracer, when enabled, stamps sampled tuples on the emit path with
+	// capture and parse timestamps for the pipeline latency breakdown.
+	Tracer *telemetry.Tracer
 }
 
 // Stats is a snapshot of monitor counters.
@@ -180,12 +192,15 @@ type Monitor struct {
 	// of a float64→uint64 conversion at rate 1.0.
 	sampleThreshold atomic.Uint64
 
-	received     atomic.Uint64
-	collectDrops atomic.Uint64
-	sampled      atomic.Uint64
-	malformed    atomic.Uint64
-	dispatched   atomic.Uint64
-	parserDrops  atomic.Uint64
+	// The pipeline counters live in the telemetry registry when one is
+	// configured (standalone atomics otherwise); either way each is one
+	// atomic add on the hot path.
+	received     *telemetry.Counter
+	collectDrops *telemetry.Counter
+	sampled      *telemetry.Counter
+	malformed    *telemetry.Counter
+	dispatched   *telemetry.Counter
+	parserDrops  *telemetry.Counter
 
 	// deliverMu fences Deliver/DeliverBurst against Stop closing the input
 	// channels: senders hold the read side only around a non-blocking send,
@@ -251,6 +266,14 @@ func New(cfg Config) (*Monitor, error) {
 	}
 
 	m := &Monitor{cfg: cfg}
+	// A nil registry hands back live, unregistered counters — same atomics,
+	// nothing exported.
+	m.received = cfg.Metrics.Counter("monitor_received", cfg.MetricLabels...)
+	m.collectDrops = cfg.Metrics.Counter("monitor_collect_drops", cfg.MetricLabels...)
+	m.sampled = cfg.Metrics.Counter("monitor_sampled_drops", cfg.MetricLabels...)
+	m.malformed = cfg.Metrics.Counter("monitor_malformed", cfg.MetricLabels...)
+	m.dispatched = cfg.Metrics.Counter("monitor_dispatched", cfg.MetricLabels...)
+	m.parserDrops = cfg.Metrics.Counter("monitor_parser_drops", cfg.MetricLabels...)
 	for c := 0; c < cfg.Collectors; c++ {
 		m.inputs = append(m.inputs, make(chan rawBurst, cfg.QueueDepth))
 	}
@@ -277,6 +300,16 @@ func New(cfg Config) (*Monitor, error) {
 		m.parsers = append(m.parsers, rt)
 	}
 	m.out = newOutputBatcher(cfg.BatchSize, cfg.FlushInterval, cfg.Sink)
+	m.out.batches = cfg.Metrics.Counter("monitor_batches", cfg.MetricLabels...)
+	m.out.sinkErrors = cfg.Metrics.Counter("monitor_sink_errors", cfg.MetricLabels...)
+	if tr := cfg.Tracer; tr.Enabled() {
+		m.out.tracer = tr
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeFunc("monitor_tuples", func() float64 {
+			return float64(m.out.tuplesTotal())
+		}, cfg.MetricLabels...)
+	}
 	return m, nil
 }
 
@@ -517,16 +550,16 @@ func (m *Monitor) PerParserTuples() map[string]uint64 {
 // Stats returns a snapshot of the monitor counters.
 func (m *Monitor) Stats() Stats {
 	s := Stats{
-		Received:     m.received.Load(),
-		CollectDrops: m.collectDrops.Load(),
-		Sampled:      m.sampled.Load(),
-		Malformed:    m.malformed.Load(),
-		Dispatched:   m.dispatched.Load(),
-		ParserDrops:  m.parserDrops.Load(),
+		Received:     m.received.Value(),
+		CollectDrops: m.collectDrops.Value(),
+		Sampled:      m.sampled.Value(),
+		Malformed:    m.malformed.Value(),
+		Dispatched:   m.dispatched.Value(),
+		ParserDrops:  m.parserDrops.Value(),
 	}
 	s.Tuples = m.out.tuplesTotal()
-	s.Batches = m.out.batches.Load()
-	s.SinkErrors = m.out.sinkErrors.Load()
+	s.Batches = m.out.batches.Value()
+	s.SinkErrors = m.out.sinkErrors.Value()
 	return s
 }
 
@@ -738,6 +771,10 @@ type outputBatcher struct {
 	batchSize int
 	interval  time.Duration
 	sink      Sink
+	// tracer, when non-nil, samples tuples on the emit path for the
+	// stage-latency breakdown. It is left nil for a disabled tracer so the
+	// per-tuple cost of tracing-off is a single nil check.
+	tracer *telemetry.Tracer
 
 	mu      sync.Mutex
 	shards  []*outputShard
@@ -746,8 +783,8 @@ type outputBatcher struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
-	batches    atomic.Uint64
-	sinkErrors atomic.Uint64
+	batches    *telemetry.Counter
+	sinkErrors *telemetry.Counter
 }
 
 // outputShard is one worker's private slice of the output interface. Only
@@ -768,10 +805,12 @@ type outputShard struct {
 
 func newOutputBatcher(batchSize int, interval time.Duration, sink Sink) *outputBatcher {
 	return &outputBatcher{
-		batchSize: batchSize,
-		interval:  interval,
-		sink:      sink,
-		stop:      make(chan struct{}),
+		batchSize:  batchSize,
+		interval:   interval,
+		sink:       sink,
+		stop:       make(chan struct{}),
+		batches:    &telemetry.Counter{},
+		sinkErrors: &telemetry.Counter{},
 	}
 }
 
@@ -809,6 +848,9 @@ func (o *outputBatcher) newShard(parser string) *outputShard {
 func (s *outputShard) emit(t tuple.Tuple) {
 	t.Parser = s.parser
 	s.count.Add(1)
+	if s.out.tracer != nil {
+		s.out.tracer.MaybeStamp(&t)
+	}
 	var full []tuple.Tuple
 	s.mu.Lock()
 	if s.pending == nil {

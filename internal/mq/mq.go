@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netalytics/internal/telemetry"
 	"netalytics/internal/tuple"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	// 0 disables throttling (tests). The Fig. 6 harness sets it to model
 	// per-process capacity.
 	IngestBytesPerSec float64
+	// Metrics, when non-nil, registers per-topic counters (mq_appended,
+	// mq_consumed, mq_dropped, mq_bytes, mq_overloads) and occupancy/backlog
+	// gauges in the telemetry registry, labeled topic=<name>.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +192,10 @@ func (p *partition) trim() {
 }
 
 func (p *partition) append(b *tuple.Batch) error {
+	// Stamp the aggregation-layer arrival time for latency tracing. Written
+	// by the single producer before the batch becomes visible to consumers
+	// (publication happens under the lock below), so readers never race it.
+	b.ProduceNS = time.Now().UnixNano()
 	size := b.WireSize()
 	cfg := p.topic.cluster.cfg
 	switch cfg.Persist {
@@ -216,6 +225,7 @@ func (p *partition) append(b *tuple.Batch) error {
 	p.topic.appended.Add(1)
 	p.topic.bytes.Add(uint64(size))
 	if transition {
+		p.topic.overloads.Add(1)
 		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: true, Occupancy: occ})
 	}
 	return nil
@@ -266,10 +276,13 @@ type topic struct {
 	cluster    *Cluster
 	partitions []*partition
 
-	appended atomic.Uint64
-	consumed atomic.Uint64
-	dropped  atomic.Uint64
-	bytes    atomic.Uint64
+	// Registry-backed when the cluster config carries a telemetry registry;
+	// standalone atomics otherwise. Same hot-path cost either way.
+	appended  *telemetry.Counter
+	consumed  *telemetry.Counter
+	dropped   *telemetry.Counter
+	bytes     *telemetry.Counter
+	overloads *telemetry.Counter // high-watermark transitions (back-pressure events)
 }
 
 // Cluster is a set of brokers hosting topics.
@@ -303,27 +316,58 @@ func NewCluster(numBrokers int, cfg Config) *Cluster {
 func (c *Cluster) BrokerCount() int { return len(c.brokers) }
 
 // getTopic returns the topic, creating it with partitions spread across
-// brokers round-robin.
+// brokers round-robin. Metric registration happens outside the cluster lock:
+// registry snapshots evaluate the occupancy gauges (registry lock → cluster
+// lock), so registering under the cluster lock (cluster lock → registry
+// lock) would invert the order and risk deadlock. Registry accessors are
+// idempotent, so losing a creation race just re-resolves the same series.
 func (c *Cluster) getTopic(name string) *topic {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	t, ok := c.topics[name]
+	c.mu.Unlock()
 	if ok {
 		return t
 	}
-	t = &topic{name: name, cluster: c}
+
+	reg := c.cfg.Metrics
+	label := telemetry.L("topic", name)
+	cand := &topic{
+		name:      name,
+		cluster:   c,
+		appended:  reg.Counter("mq_appended", label),
+		consumed:  reg.Counter("mq_consumed", label),
+		dropped:   reg.Counter("mq_dropped", label),
+		bytes:     reg.Counter("mq_bytes", label),
+		overloads: reg.Counter("mq_overloads", label),
+	}
+	if reg != nil {
+		// Occupancy and backlog are sampled at snapshot time; Stats takes
+		// the cluster and partition locks only, never the registry's.
+		reg.GaugeFunc("mq_occupancy", func() float64 {
+			return c.Stats(name).Occupancy
+		}, label)
+		reg.GaugeFunc("mq_buffered", func() float64 {
+			return float64(c.Stats(name).Buffered)
+		}, label)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok = c.topics[name]; ok {
+		return t
+	}
 	for i := 0; i < c.cfg.Partitions; i++ {
 		bk := c.brokers[c.nextBk%len(c.brokers)]
 		c.nextBk++
-		t.partitions = append(t.partitions, &partition{
-			topic:  t,
+		cand.partitions = append(cand.partitions, &partition{
+			topic:  cand,
 			broker: bk,
 			groups: make(map[string]uint64),
 			cap:    c.cfg.BufferBatches,
 		})
 	}
-	c.topics[name] = t
-	return t
+	c.topics[name] = cand
+	return cand
 }
 
 // Topics lists existing topic names.
@@ -376,10 +420,10 @@ func (c *Cluster) Stats(topicName string) TopicStats {
 		return TopicStats{}
 	}
 	st := TopicStats{
-		Appended: t.appended.Load(),
-		Consumed: t.consumed.Load(),
-		Dropped:  t.dropped.Load(),
-		Bytes:    t.bytes.Load(),
+		Appended: t.appended.Value(),
+		Consumed: t.consumed.Value(),
+		Dropped:  t.dropped.Value(),
+		Bytes:    t.bytes.Value(),
 	}
 	maxOcc := 0.0
 	for _, p := range t.partitions {

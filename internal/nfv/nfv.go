@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"netalytics/internal/monitor"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/vnet"
 )
@@ -24,7 +25,8 @@ type Instance struct {
 
 	tap     *vnet.Tap
 	packets atomic.Uint64
-	counter *atomic.Uint64 // shared across a query's instances
+	pumped  *telemetry.Counter // registry mirror of packets (nfv_pump_frames)
+	counter *atomic.Uint64     // shared across a query's instances
 	onLimit func()
 	limit   uint64
 	pumpWG  sync.WaitGroup
@@ -32,6 +34,23 @@ type Instance struct {
 
 // Packets returns the number of mirrored frames pumped into the instance.
 func (in *Instance) Packets() uint64 { return in.packets.Load() }
+
+// TapDrops returns the mirrored frames dropped at the instance's tap because
+// its queue was full — RX overruns the pump could not keep up with.
+func (in *Instance) TapDrops() uint64 {
+	if in.tap == nil {
+		return 0
+	}
+	return in.tap.Drops()
+}
+
+// TapDepth returns the instance tap's current RX backlog.
+func (in *Instance) TapDepth() int {
+	if in.tap == nil {
+		return 0
+	}
+	return in.tap.Depth()
+}
 
 const (
 	// pumpBurst is how many mirrored frames one pump wakeup drains from the
@@ -70,6 +89,7 @@ func (in *Instance) pump() {
 			start = end
 		}
 		in.packets.Add(uint64(n))
+		in.pumped.Add(uint64(n))
 		prev := in.counter.Add(uint64(n)) - uint64(n)
 		if in.limit > 0 && prev < in.limit && prev+uint64(n) >= in.limit && in.onLimit != nil {
 			in.onLimit()
@@ -102,6 +122,12 @@ type Spec struct {
 	OnLimit func()
 	// TapBuffer overrides the tap queue depth (0 = default).
 	TapBuffer int
+	// Metrics, when non-nil, registers the instance's pump counter
+	// (nfv_pump_frames) and tap backlog gauge (nfv_tap_depth) under
+	// MetricLabels plus host=<name>.
+	Metrics *telemetry.Registry
+	// MetricLabels are attached to every instance metric (e.g. the session).
+	MetricLabels []telemetry.Label
 }
 
 // Orchestrator launches and reclaims monitor instances per query.
@@ -128,13 +154,19 @@ func (o *Orchestrator) Launch(queryID string, spec Spec) (*Instance, error) {
 	if counter == nil {
 		counter = &atomic.Uint64{}
 	}
+	labels := append([]telemetry.Label{telemetry.L("host", spec.Host.Name)}, spec.MetricLabels...)
 	in := &Instance{
 		Host:    spec.Host,
 		Monitor: mon,
 		tap:     o.net.OpenTap(spec.Host.ID, spec.TapBuffer),
+		pumped:  spec.Metrics.Counter("nfv_pump_frames", labels...),
 		counter: counter,
 		limit:   spec.PacketLimit,
 		onLimit: spec.OnLimit,
+	}
+	if spec.Metrics != nil {
+		tap := in.tap
+		spec.Metrics.GaugeFunc("nfv_tap_depth", func() float64 { return float64(tap.Depth()) }, labels...)
 	}
 	in.pumpWG.Add(1)
 	go in.pump()

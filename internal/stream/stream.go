@@ -315,6 +315,19 @@ func (e *Executor) TaskCount() int {
 	return n
 }
 
+// QueueLag returns the total number of tuples sitting in bolt input queues —
+// the executor's internal backlog. The queues map is built once in
+// NewExecutor and read-only afterwards, so sampling needs no lock.
+func (e *Executor) QueueLag() int {
+	total := 0
+	for _, chans := range e.queues {
+		for _, ch := range chans {
+			total += len(ch)
+		}
+	}
+	return total
+}
+
 // Processed returns how many tuples each node has handled (spouts: emitted).
 func (e *Executor) Processed(node string) uint64 {
 	c, ok := e.counts[node]

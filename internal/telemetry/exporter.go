@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Dump is the on-disk/HTTP export format: one registry snapshot with its
+// wall-clock capture time.
+type Dump struct {
+	TS      time.Time `json:"ts"`
+	Metrics []Point   `json:"metrics"`
+}
+
+// snapshotDump captures the registry now.
+func snapshotDump(r *Registry) Dump {
+	points := r.Snapshot()
+	if points == nil {
+		points = []Point{}
+	}
+	return Dump{TS: time.Now(), Metrics: points}
+}
+
+// Handler returns an expvar-style HTTP handler serving the registry as a
+// JSON Dump — mount it at /metrics to watch the pipeline live.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshotDump(r))
+	})
+}
+
+// Exporter periodically writes registry snapshots to a JSON file, replacing
+// it atomically (write-then-rename) so experiment harnesses can poll the
+// path without ever reading a torn dump. A final snapshot is written on
+// Stop, so short runs always leave a complete export behind.
+type Exporter struct {
+	reg      *Registry
+	path     string
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// DefaultExportInterval is the default dump period.
+const DefaultExportInterval = time.Second
+
+// NewFileExporter creates an exporter writing to path every interval
+// (default 1s). Call Start to begin and Stop to flush the final snapshot.
+func NewFileExporter(reg *Registry, path string, interval time.Duration) *Exporter {
+	if interval <= 0 {
+		interval = DefaultExportInterval
+	}
+	return &Exporter{
+		reg:      reg,
+		path:     path,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the export loop.
+func (e *Exporter) Start() {
+	go func() {
+		defer close(e.done)
+		ticker := time.NewTicker(e.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_ = e.Export()
+			case <-e.stop:
+				_ = e.Export()
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop after one final export and waits for it to land.
+func (e *Exporter) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// Export writes one snapshot now. Safe to call without Start for one-shot
+// dumps at the end of an experiment.
+func (e *Exporter) Export() error {
+	data, err := json.MarshalIndent(snapshotDump(e.reg), "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := e.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Clean(e.path))
+}

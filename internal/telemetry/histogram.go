@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i covers [2^i, 2^(i+1))
+// nanoseconds, so 64 buckets span sub-microsecond dispatch costs through
+// multi-minute stalls with ~2x resolution — the right shape for latency,
+// where relative error matters and tail buckets must never saturate.
+const histBuckets = 64
+
+// Histogram is a lock-free latency histogram over power-of-two nanosecond
+// buckets. Observe is three atomic adds and never allocates; quantiles are
+// interpolated from bucket boundaries at read time. The zero value is ready
+// to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value (nanoseconds for latency histograms). Negative
+// values clamp to zero; zero lands in the first bucket.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// bucketFor maps a value to its power-of-two bucket index.
+func bucketFor(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) - 1
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) }
+
+// Mean returns the arithmetic mean of the observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by locating the bucket
+// holding the target rank and interpolating linearly between its bounds.
+// Accuracy is bounded by the 2x bucket width, which is ample for the p50/p95/
+// p99 stage breakdowns the exporter reports. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			lo := float64(uint64(1) << uint(i))
+			if i == 0 {
+				lo = 0
+			}
+			hi := lo * 2
+			if i == 0 {
+				hi = 2
+			}
+			// Position of the target rank within this bucket.
+			frac := float64(target-(cum-c)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return float64(uint64(1) << (histBuckets - 1))
+}

@@ -1,0 +1,324 @@
+// Package telemetry is the pipeline's self-monitoring plane: a process-wide
+// registry of atomic counters, gauges and lock-free histograms with
+// name+label identity, a sampled stage-latency tracer that follows tuples
+// from vnet capture to the session result sink, and exporters (periodic JSON
+// dumps, an HTTP /metrics handler) that publish live snapshots.
+//
+// The paper's evaluation (Figs. 13-14) needs per-stage latency CDFs and
+// per-layer throughput counters for the monitoring system itself; DRST and
+// D-STREAMON argue this self-telemetry must be near-zero cost on the data
+// path. Every instrument here is a single atomic operation on the hot path,
+// tracing is sampled 1-in-N, and all aggregation happens at snapshot time.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use; counters obtained from a Registry are additionally exported by
+// snapshots. All methods are safe for concurrent use, cost one atomic
+// operation, and tolerate a nil receiver (increments vanish) so structs
+// embedding an optional counter work uninitialized.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Kind names in snapshot points.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Point is one metric in a registry snapshot. Counters and gauges carry
+// Value; histograms carry Count/Sum and the interpolated percentiles.
+type Point struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value"`
+	Count  uint64            `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P95    float64           `json:"p95,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+}
+
+// entry is one registered metric; exactly one of the instrument fields is
+// non-nil.
+type entry struct {
+	name    string
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// Registry holds metrics by name+label identity. Get-or-create accessors
+// return the same instrument for the same identity, so layers created at
+// different times share series naturally. A nil *Registry is valid
+// everywhere: accessors return live but unregistered instruments and
+// registration methods are no-ops, which lets instrumented packages run
+// without a telemetry plane at zero configuration cost.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// ident builds the canonical identity string, sorting labels so declaration
+// order never splits a series.
+func ident(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the entry for an identity, creating it via make when absent.
+// A kind mismatch (same identity registered as a different instrument)
+// returns nil and the caller hands back a standalone instrument.
+func (r *Registry) lookup(name string, labels []Label, make func(*entry)) *entry {
+	key := ident(name, labels)
+	r.mu.RLock()
+	e, ok := r.entries[key]
+	r.mu.RUnlock()
+	if ok {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.entries[key]; ok {
+		return e
+	}
+	e = &entry{name: name, labels: append([]Label(nil), labels...)}
+	make(e)
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	e := r.lookup(name, labels, func(e *entry) { e.counter = &Counter{} })
+	if e.counter == nil {
+		return &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	e := r.lookup(name, labels, func(e *entry) { e.gauge = &Gauge{} })
+	if e.gauge == nil {
+		return &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram returns the histogram for name+labels, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	e := r.lookup(name, labels, func(e *entry) { e.hist = &Histogram{} })
+	if e.hist == nil {
+		return &Histogram{}
+	}
+	return e.hist
+}
+
+// GaugeFunc registers a gauge whose value is sampled at snapshot time —
+// the idiom for occupancy-style metrics (queue depths, buffer backlogs) that
+// are cheap to read but wasteful to push. fn must not call back into the
+// registry. Re-registering the same identity replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	e := r.lookup(name, labels, func(e *entry) { e.fn = fn })
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// DropLabeled removes every metric carrying label key=value. Sessions use it
+// to retire their per-session series when they stop, so long-lived processes
+// (the REPL, the live exporter) don't accumulate dead series.
+func (r *Registry) DropLabeled(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, e := range r.entries {
+		for _, l := range e.labels {
+			if l.Key == key && l.Value == value {
+				delete(r.entries, id)
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Snapshot returns every metric as a Point, sorted by name then labels, so
+// exports are deterministic and diffable.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+
+	points := make([]Point, 0, len(entries))
+	for _, e := range entries {
+		p := Point{Name: e.name}
+		if len(e.labels) > 0 {
+			p.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		switch {
+		case e.counter != nil:
+			p.Kind = KindCounter
+			p.Value = float64(e.counter.Value())
+		case e.gauge != nil:
+			p.Kind = KindGauge
+			p.Value = e.gauge.Value()
+		case e.fn != nil:
+			p.Kind = KindGauge
+			p.Value = e.fn()
+		case e.hist != nil:
+			p.Kind = KindHistogram
+			p.Count = e.hist.Count()
+			p.Sum = e.hist.Sum()
+			p.P50 = e.hist.Quantile(0.50)
+			p.P95 = e.hist.Quantile(0.95)
+			p.P99 = e.hist.Quantile(0.99)
+		}
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Name != points[j].Name {
+			return points[i].Name < points[j].Name
+		}
+		return labelString(points[i].Labels) < labelString(points[j].Labels)
+	})
+	return points
+}
+
+func labelString(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as an indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	points := r.Snapshot()
+	if points == nil {
+		points = []Point{}
+	}
+	return enc.Encode(points)
+}

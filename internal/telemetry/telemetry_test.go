@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("host", "h1"), L("session", "q1"))
+	b := r.Counter("hits", L("session", "q1"), L("host", "h1")) // label order irrelevant
+	if a != b {
+		t.Error("same identity returned distinct counters")
+	}
+	c := r.Counter("hits", L("host", "h2"), L("session", "q1"))
+	if a == c {
+		t.Error("distinct labels shared a counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Errorf("Value = %d, want 3", a.Value())
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	g := r.Gauge("x") // same identity, different kind: standalone fallback
+	g.Set(5)
+	if g.Value() != 5 {
+		t.Error("standalone gauge not live")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(7)
+	if c.Value() != 7 {
+		t.Error("nil-registry counter not live")
+	}
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	r.GaugeFunc("f", func() float64 { return 0 })
+	r.DropLabeled("a", "b")
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Error("nil registry not empty")
+	}
+}
+
+func TestNilCounter(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter returned non-zero")
+	}
+}
+
+func TestSnapshotSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_count").Add(4)
+	r.Gauge("a_gauge").Set(2.5)
+	r.GaugeFunc("c_fn", func() float64 { return 9 })
+	h := r.Histogram("d_hist")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	points := r.Snapshot()
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	names := []string{"a_gauge", "b_count", "c_fn", "d_hist"}
+	kinds := []string{KindGauge, KindCounter, KindGauge, KindHistogram}
+	for i, p := range points {
+		if p.Name != names[i] || p.Kind != kinds[i] {
+			t.Errorf("points[%d] = %s/%s, want %s/%s", i, p.Name, p.Kind, names[i], kinds[i])
+		}
+	}
+	if points[0].Value != 2.5 || points[1].Value != 4 || points[2].Value != 9 {
+		t.Errorf("values: %+v", points[:3])
+	}
+	hp := points[3]
+	if hp.Count != 100 || hp.Sum != 5050 {
+		t.Errorf("hist count/sum = %d/%v", hp.Count, hp.Sum)
+	}
+	if hp.P50 <= 0 || hp.P50 > hp.P95 || hp.P95 > hp.P99 {
+		t.Errorf("percentiles not monotone: %v %v %v", hp.P50, hp.P95, hp.P99)
+	}
+}
+
+func TestDropLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", L("session", "q1"))
+	r.Counter("a", L("session", "q2"))
+	r.Counter("b")
+	r.DropLabeled("session", "q1")
+	if r.Len() != 2 {
+		t.Errorf("Len after drop = %d, want 2", r.Len())
+	}
+	for _, p := range r.Snapshot() {
+		if p.Labels["session"] == "q1" {
+			t.Error("dropped series still snapshotted")
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative clamp: count=%d sum=%v", h.Count(), h.Sum())
+	}
+
+	var u Histogram
+	// 1000 uniform samples in [0, 1e6): quantiles must land within the
+	// power-of-two bucket of the true value.
+	for i := int64(0); i < 1000; i++ {
+		u.Observe(i * 1000)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := u.Quantile(q)
+		want := q * 1e6
+		if got < want/2-1 || got > want*2+1 {
+			t.Errorf("Quantile(%v) = %v, want within 2x of %v", q, got, want)
+		}
+	}
+	if u.Quantile(0.5) > u.Quantile(0.95) || u.Quantile(0.95) > u.Quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+	if m := u.Mean(); math.Abs(m-499500) > 1 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, 4)
+	if !tr.Enabled() || tr.SampleEvery() != 4 {
+		t.Fatal("tracer not enabled at every=4")
+	}
+	stamped := 0
+	for i := 0; i < 100; i++ {
+		tu := tuple.Tuple{TS: int64(1000 + i)}
+		tr.MaybeStamp(&tu)
+		if tu.Trace != nil {
+			stamped++
+			if tu.Trace.CaptureNS != tu.TS {
+				t.Error("capture stamp != tuple TS")
+			}
+			if tu.Trace.ParseNS == 0 {
+				t.Error("parse stamp missing")
+			}
+		}
+	}
+	if stamped != 25 {
+		t.Errorf("stamped = %d, want 25 (1-in-4 of 100)", stamped)
+	}
+}
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	var nilTracer *Tracer
+	if nilTracer.Enabled() || nilTracer.SampleEvery() != 0 {
+		t.Error("nil tracer not disabled")
+	}
+	tu := tuple.Tuple{TS: 1}
+	nilTracer.MaybeStamp(&tu)
+	nilTracer.ObserveSink(&tuple.Trace{}, 1)
+	if nilTracer.StageSummaries() != nil {
+		t.Error("nil tracer summaries not nil")
+	}
+
+	off := NewTracer(NewRegistry(), -1)
+	if off.Enabled() {
+		t.Error("every<=0 tracer enabled")
+	}
+	off.MaybeStamp(&tu)
+	if tu.Trace != nil {
+		t.Error("disabled tracer stamped a tuple")
+	}
+	sums := off.StageSummaries()
+	if len(sums) != len(Stages) {
+		t.Fatalf("summaries = %d, want %d", len(sums), len(Stages))
+	}
+	for _, s := range sums {
+		if s.Count != 0 {
+			t.Errorf("stage %s count = %d", s.Stage, s.Count)
+		}
+	}
+}
+
+func TestObserveSinkStageMath(t *testing.T) {
+	tr := NewTracer(NewRegistry(), 1, L("session", "q1"))
+	trace := &tuple.Trace{CaptureNS: 100, ParseNS: 300, ProduceNS: 700, ConsumeNS: 1500}
+	tr.ObserveSink(trace, 3100)
+	want := map[string]float64{
+		StageCaptureToParse: 200,  // 300-100
+		StageParseToMQ:      400,  // 700-300
+		StageMQToStream:     800,  // 1500-700
+		StageStreamToSink:   1600, // 3100-1500
+		StageEndToEnd:       3000, // 3100-100
+	}
+	for _, s := range tr.StageSummaries() {
+		if s.Count != 1 {
+			t.Errorf("stage %s count = %d", s.Stage, s.Count)
+			continue
+		}
+		if math.Abs(s.MeanNS-want[s.Stage]) > 0.5 {
+			t.Errorf("stage %s mean = %v, want %v", s.Stage, s.MeanNS, want[s.Stage])
+		}
+	}
+
+	// Partial traces record only the stages whose stamps exist; out-of-order
+	// clocks clamp to zero rather than recording negatives.
+	tr2 := NewTracer(NewRegistry(), 1)
+	tr2.ObserveSink(&tuple.Trace{ParseNS: 500}, 400)
+	for _, s := range tr2.StageSummaries() {
+		switch s.Stage {
+		case StageCaptureToParse, StageParseToMQ, StageMQToStream, StageStreamToSink, StageEndToEnd:
+			if s.Count != 0 {
+				t.Errorf("stage %s recorded from partial trace", s.Stage)
+			}
+		}
+	}
+}
+
+func TestPropagateBatchClones(t *testing.T) {
+	orig := &tuple.Trace{CaptureNS: 10, ParseNS: 20}
+	tuples := []tuple.Tuple{{Trace: orig}, {}, {Trace: orig}}
+	PropagateBatch(tuples, 100, 200)
+	if orig.ProduceNS != 0 || orig.ConsumeNS != 0 {
+		t.Error("PropagateBatch mutated the shared trace")
+	}
+	for _, i := range []int{0, 2} {
+		tr := tuples[i].Trace
+		if tr == orig {
+			t.Errorf("tuple %d trace not cloned", i)
+		}
+		if tr.CaptureNS != 10 || tr.ParseNS != 20 || tr.ProduceNS != 100 || tr.ConsumeNS != 200 {
+			t.Errorf("tuple %d trace = %+v", i, tr)
+		}
+	}
+	if tuples[1].Trace != nil {
+		t.Error("untraced tuple gained a trace")
+	}
+}
+
+func TestFileExporter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(3)
+	path := t.TempDir() + "/dump.json"
+	exp := NewFileExporter(r, path, 10*time.Millisecond)
+	exp.Start()
+	time.Sleep(35 * time.Millisecond)
+	exp.Stop()
+	exp.Stop() // idempotent
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("dump missing: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if d.TS.IsZero() || len(d.Metrics) != 1 || d.Metrics[0].Name != "x" || d.Metrics[0].Value != 3 {
+		t.Errorf("dump = %+v", d)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").Set(12)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var d Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Metrics) != 1 || d.Metrics[0].Name != "depth" || d.Metrics[0].Value != 12 {
+		t.Errorf("dump = %+v", d)
+	}
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// DefaultSampleEvery is the default trace sampling period: one traced tuple
+// per 64 emitted. At typical batch sizes this keeps tracing cost well under
+// the 5% budget while still gathering thousands of latency samples per
+// second under load.
+const DefaultSampleEvery = 64
+
+// Stage names, in pipeline order. They match the paper's Fig. 13-14 latency
+// breakdown: the time from packet capture to parser emit, emit to
+// aggregation-layer append (includes output batching wait), append to stream
+// spout poll (queue occupancy), and poll to result delivery (stream
+// processing), plus the full capture-to-sink path.
+const (
+	StageCaptureToParse = "capture_to_parse"
+	StageParseToMQ      = "parse_to_mq"
+	StageMQToStream     = "mq_to_stream"
+	StageStreamToSink   = "stream_to_sink"
+	StageEndToEnd       = "end_to_end"
+)
+
+// Stages lists the stage names in pipeline order.
+var Stages = []string{StageCaptureToParse, StageParseToMQ, StageMQToStream, StageStreamToSink, StageEndToEnd}
+
+// StageSummary is the percentile digest of one stage's latency histogram.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P95NS  float64 `json:"p95_ns"`
+	P99NS  float64 `json:"p99_ns"`
+}
+
+// Tracer samples 1-in-N tuples at monitor emit and accumulates their
+// per-stage latencies into registry histograms. A nil or disabled tracer
+// costs one branch per tuple on the emit path and nothing elsewhere; an
+// enabled tracer costs one atomic increment per tuple plus a timestamp and a
+// small allocation for each sampled tuple.
+type Tracer struct {
+	every uint64 // 0 = disabled
+	seq   Counter
+	stage [5]*Histogram // one per entry of Stages, pipeline order
+}
+
+// NewTracer creates a tracer sampling one in every tuples, registering its
+// stage histograms as pipeline_latency_ns{stage=...} plus the given labels.
+// every <= 0 disables sampling entirely (Enabled reports false and MaybeStamp
+// is a no-op); the stage histograms still exist so summaries always cover
+// all stages.
+func NewTracer(reg *Registry, every int, labels ...Label) *Tracer {
+	t := &Tracer{}
+	if every > 0 {
+		t.every = uint64(every)
+	}
+	for i, name := range Stages {
+		ls := append([]Label{L("stage", name)}, labels...)
+		t.stage[i] = reg.Histogram("pipeline_latency_ns", ls...)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer stamps tuples.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// SampleEvery returns the sampling period (0 when disabled).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// MaybeStamp attaches a trace record to one in every N tuples, recording the
+// capture timestamp (the tuple's observation time) and the parse-emit time.
+// Called on the monitor's emit path; unsampled tuples cost one atomic
+// increment, and a nil/disabled tracer costs one branch.
+func (t *Tracer) MaybeStamp(tu *tuple.Tuple) {
+	if t == nil || t.every == 0 {
+		return
+	}
+	if t.seq.v.Add(1)%t.every != 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	tr := &tuple.Trace{ParseNS: now}
+	if tu.TS > 0 {
+		tr.CaptureNS = tu.TS
+	}
+	tu.Trace = tr
+}
+
+// ObserveSink completes a trace at result delivery, recording every stage
+// whose boundary stamps are present. Latencies are clamped at zero so clock
+// re-reads across goroutines never record negative durations.
+func (t *Tracer) ObserveSink(tr *tuple.Trace, sinkNS int64) {
+	if t == nil || tr == nil {
+		return
+	}
+	if tr.CaptureNS > 0 && tr.ParseNS > 0 {
+		t.stage[0].Observe(clampNS(tr.ParseNS - tr.CaptureNS))
+	}
+	if tr.ParseNS > 0 && tr.ProduceNS > 0 {
+		t.stage[1].Observe(clampNS(tr.ProduceNS - tr.ParseNS))
+	}
+	if tr.ProduceNS > 0 && tr.ConsumeNS > 0 {
+		t.stage[2].Observe(clampNS(tr.ConsumeNS - tr.ProduceNS))
+	}
+	if tr.ConsumeNS > 0 {
+		t.stage[3].Observe(clampNS(sinkNS - tr.ConsumeNS))
+	}
+	if tr.CaptureNS > 0 {
+		t.stage[4].Observe(clampNS(sinkNS - tr.CaptureNS))
+	}
+}
+
+func clampNS(d int64) int64 {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// StageSummaries digests every stage histogram, in pipeline order. All five
+// stages are always present (with zero counts when no samples completed), so
+// consumers can rely on the shape.
+func (t *Tracer) StageSummaries() []StageSummary {
+	if t == nil {
+		return nil
+	}
+	out := make([]StageSummary, len(Stages))
+	for i, name := range Stages {
+		h := t.stage[i]
+		out[i] = StageSummary{
+			Stage:  name,
+			Count:  h.Count(),
+			MeanNS: h.Mean(),
+			P50NS:  h.Quantile(0.50),
+			P95NS:  h.Quantile(0.95),
+			P99NS:  h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// PropagateBatch copies batch-level stamps into the traces of any sampled
+// tuples just polled from the aggregation layer, cloning each trace record
+// because the underlying batch (and its trace pointers) is shared across
+// consumer groups. consumeNS is the spout's poll time — the mq→stream
+// boundary. Free function so spouts need no tracer handle: untraced tuples
+// cost one nil check each.
+func PropagateBatch(tuples []tuple.Tuple, produceNS, consumeNS int64) {
+	for i := range tuples {
+		tr := tuples[i].Trace
+		if tr == nil {
+			continue
+		}
+		clone := *tr
+		clone.ProduceNS = produceNS
+		clone.ConsumeNS = consumeNS
+		tuples[i].Trace = &clone
+	}
+}

@@ -34,6 +34,25 @@ type Tuple struct {
 	// Val carries the numeric payload: a byte count, a latency in
 	// nanoseconds, or an increment.
 	Val float64 `json:"val,omitempty"`
+
+	// Trace carries per-stage timestamps when the telemetry tracer sampled
+	// this tuple; nil for the (vast) untraced majority. Excluded from the
+	// wire format: it is pipeline self-telemetry, not monitoring data.
+	Trace *Trace `json:"-"`
+}
+
+// Trace is the stage-timestamp record of one sampled tuple, in Unix
+// nanoseconds. Stages are stamped as the tuple crosses layer boundaries:
+// capture at the vnet mirror tap, parse at monitor emit, produce at the mq
+// partition append, consume at the stream spout poll; the sink time is taken
+// when the session delivers the result. Each stage that forwards a traced
+// tuple across a sharing boundary (mq consumer groups) clones the record, so
+// stamps never race.
+type Trace struct {
+	CaptureNS int64
+	ParseNS   int64
+	ProduceNS int64
+	ConsumeNS int64
 }
 
 // Attr returns a named attribute for group-by processing. Recognized names
@@ -69,6 +88,12 @@ func (t *Tuple) Attr(name string) string {
 type Batch struct {
 	Parser string  `json:"parser"`
 	Tuples []Tuple `json:"tuples"`
+
+	// ProduceNS is stamped by the aggregation layer when the batch is
+	// appended to a partition; spouts copy it into the Trace of any sampled
+	// tuples the batch carries. Written once by the single producer before
+	// the batch becomes visible to consumers. Not part of the wire format.
+	ProduceNS int64 `json:"-"`
 }
 
 // EncodeJSON serializes the batch in the monitors' output format.

@@ -18,6 +18,7 @@ import (
 
 	"netalytics/internal/packet"
 	"netalytics/internal/sdn"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 )
 
@@ -85,6 +86,11 @@ func (t *Tap) ReadBurst(buf []TapFrame) int {
 
 // Drops returns the number of mirrored frames dropped at this tap.
 func (t *Tap) Drops() uint64 { return t.drops.Load() }
+
+// Depth returns the number of mirrored frames currently queued — the tap's
+// RX backlog. A depth near the tap's buffer size means the pump is falling
+// behind mirror traffic and drops are imminent.
+func (t *Tap) Depth() int { return len(t.ch) }
 
 // Stats is a snapshot of network counters.
 type Stats struct {
@@ -309,6 +315,37 @@ func (n *Network) forward(raw []byte, f *packet.Frame) error {
 	}
 	ep.handleFrame(raw, f, ft)
 	return nil
+}
+
+// TapQueueDepth returns the total number of mirrored frames queued across
+// all open taps.
+func (n *Network) TapQueueDepth() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	total := 0
+	for _, list := range n.taps {
+		for _, t := range list {
+			total += len(t.ch)
+		}
+	}
+	return total
+}
+
+// RegisterMetrics publishes the network counters as gauges in the telemetry
+// registry, sampled lazily at snapshot time so the frame path pays nothing.
+// A nil registry is a no-op.
+func (n *Network) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("vnet_frames", func() float64 { return float64(n.frames.Load()) })
+	reg.GaugeFunc("vnet_bytes", func() float64 { return float64(n.bytes.Load()) })
+	reg.GaugeFunc("vnet_mirrored", func() float64 { return float64(n.mirrored.Load()) })
+	reg.GaugeFunc("vnet_mirrored_bytes", func() float64 { return float64(n.mirroredBytes.Load()) })
+	reg.GaugeFunc("vnet_tap_drops", func() float64 { return float64(n.tapDrops.Load()) })
+	reg.GaugeFunc("vnet_tap_queue_depth", func() float64 { return float64(n.TapQueueDepth()) })
+	reg.GaugeFunc("vnet_unknown_dst", func() float64 { return float64(n.unknownDst.Load()) })
+	reg.GaugeFunc("vnet_inbox_drops", func() float64 { return float64(n.inboxDrops.Load()) })
 }
 
 // Stats returns a snapshot of the network counters.

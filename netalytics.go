@@ -38,6 +38,7 @@ import (
 	"netalytics/internal/placement"
 	"netalytics/internal/sdn"
 	"netalytics/internal/stream"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/tuple"
 	"netalytics/internal/vnet"
@@ -63,6 +64,10 @@ type (
 	Controller = sdn.Controller
 	// PlacementPolicy selects monitor/analytics placement trade-offs.
 	PlacementPolicy = placement.Policy
+	// Telemetry is a session's pipeline health snapshot; see Session.Telemetry.
+	Telemetry = core.Telemetry
+	// MetricsRegistry is the telemetry registry every layer reports into.
+	MetricsRegistry = telemetry.Registry
 )
 
 // The paper's placement policies (§4.1, §6.2).
@@ -122,6 +127,10 @@ func (tb *Testbed) Aggregation() *mq.Cluster { return tb.engine.Aggregation() }
 
 // Engine returns the underlying query engine.
 func (tb *Testbed) Engine() *core.Engine { return tb.engine }
+
+// Metrics returns the testbed's telemetry registry (never nil); serve it
+// live with telemetry.Handler or dump it with a telemetry.Exporter.
+func (tb *Testbed) Metrics() *MetricsRegistry { return tb.engine.Metrics() }
 
 // Submit parses and launches a query.
 func (tb *Testbed) Submit(query string) (*Session, error) { return tb.engine.Submit(query) }
