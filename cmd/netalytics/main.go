@@ -92,6 +92,7 @@ type runOpts struct {
 	telemetryJSON     string // dump registry snapshots to this file
 	telemetryInterval time.Duration
 	traceEvery        int // 0 = default, negative disables
+	streamBatch       int // stream executor sub-batch size, 0 = default
 }
 
 func main() {
@@ -104,13 +105,14 @@ func main() {
 	flag.StringVar(&o.telemetryJSON, "telemetry-json", "", "periodically dump telemetry snapshots to this JSON file")
 	flag.DurationVar(&o.telemetryInterval, "telemetry-interval", telemetry.DefaultExportInterval, "period between telemetry JSON dumps")
 	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, negative disables)")
+	flag.IntVar(&o.streamBatch, "stream-batch", 0, "stream executor sub-batch size: tuples per channel send between tasks (0 = default 32, 1 disables batching)")
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
 	o.query = flag.Arg(0)
 
 	var err error
 	if *interactive {
-		err = runInteractive(o.traceEvery)
+		err = runInteractive(o.traceEvery, o.streamBatch)
 	} else {
 		err = run(o)
 	}
@@ -123,8 +125,8 @@ func main() {
 // runInteractive drives a REPL: continuous background traffic flows through
 // the demo app, and each line submits a query whose results stream until the
 // query's LIMIT fires or the user enters a blank line.
-func runInteractive(traceEvery int) error {
-	d, err := buildDemo(traceEvery)
+func runInteractive(traceEvery, streamBatch int) error {
+	d, err := buildDemo(traceEvery, streamBatch)
 	if err != nil {
 		return err
 	}
@@ -259,11 +261,14 @@ func (d *demo) close() {
 	d.tb.Close()
 }
 
-func buildDemo(traceEvery int) (*demo, error) {
+func buildDemo(traceEvery, streamBatch int) (*demo, error) {
 	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{
 		FatTreeK:     4,
 		ResourceSeed: 7,
-		Engine:       netalytics.EngineConfig{TraceSampleEvery: traceEvery},
+		Engine: netalytics.EngineConfig{
+			TraceSampleEvery: traceEvery,
+			StreamBatchSize:  streamBatch,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -361,7 +366,7 @@ func printTelemetry(sess *netalytics.Session) {
 }
 
 func run(o runOpts) error {
-	d, err := buildDemo(o.traceEvery)
+	d, err := buildDemo(o.traceEvery, o.streamBatch)
 	if err != nil {
 		return err
 	}

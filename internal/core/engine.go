@@ -45,6 +45,10 @@ type Config struct {
 	SpoutParallelism int
 	// TickInterval is the stream engine's window-advance interval.
 	TickInterval time.Duration
+	// StreamBatchSize is the stream executor's sub-batch size: tuples per
+	// channel send between topology tasks. 0 keeps the engine default
+	// (stream.DefaultBatchSize); 1 disables batching.
+	StreamBatchSize int
 	// Policy selects the placement policy (default NetAlytics-Network).
 	Policy placement.Policy
 	// PlacementParams tunes capacities for placement.

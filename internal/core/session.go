@@ -216,14 +216,20 @@ func (s *Session) start() error {
 		if err != nil {
 			return err
 		}
-		ex, err := stream.NewExecutor(topo, stream.WithTickInterval(e.cfg.TickInterval))
+		procLabel := telemetry.L("proc", fmt.Sprintf("proc%d-%s", procIdx, proc.Name))
+		ex, err := stream.NewExecutor(topo,
+			stream.WithTickInterval(e.cfg.TickInterval),
+			stream.WithBatchSize(e.cfg.StreamBatchSize),
+			stream.WithMetrics(reg, sessLabel, procLabel))
 		if err != nil {
 			return err
 		}
 		ex.Start()
 		s.executors = append(s.executors, ex)
+		// Tuples in flight inside the topology (queued between tasks or
+		// executing), not channel occupancy — see Executor.QueueLag.
 		reg.GaugeFunc("stream_queue_lag", func() float64 { return float64(ex.QueueLag()) },
-			sessLabel, telemetry.L("proc", fmt.Sprintf("proc%d-%s", procIdx, proc.Name)))
+			sessLabel, procLabel)
 	}
 
 	// Feedback-driven sampling (§4.2): aggregation-layer overload statuses
@@ -417,25 +423,66 @@ func (m *multiSpout) Next() []tuple.Tuple {
 	for range m.pollers {
 		p := m.pollers[m.next%len(m.pollers)]
 		m.next++
-		batches := p.Poll(16)
-		if len(batches) == 0 {
-			continue
+		if batches := p.Poll(16); len(batches) > 0 {
+			return flattenStamped(batches)
 		}
-		var out []tuple.Tuple
-		var nowNS int64
-		for _, b := range batches {
-			start := len(out)
-			out = append(out, b.Tuples...)
-			if b.ProduceNS != 0 {
-				if nowNS == 0 {
-					nowNS = time.Now().UnixNano()
-				}
-				telemetry.PropagateBatch(out[start:], b.ProduceNS, nowNS)
-			}
-		}
-		return out
 	}
 	return nil
+}
+
+// NextWait implements stream.WaitSpout: an idle executor parks here instead
+// of sleep-retrying Next. Each consumer gets a slice of the timeout; mq
+// consumers park in their wakeup-driven PollWait, so with the usual single
+// topic a new batch wakes the spout within a scheduler hop.
+func (m *multiSpout) NextWait(timeout time.Duration) []tuple.Tuple {
+	per := timeout
+	if len(m.pollers) > 1 {
+		per = timeout / time.Duration(len(m.pollers))
+		if per < time.Millisecond {
+			per = time.Millisecond
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		p := m.pollers[m.next%len(m.pollers)]
+		m.next++
+		if wp, ok := p.(stream.WaitPoller); ok {
+			if batches := wp.PollWait(16, per); len(batches) > 0 {
+				return flattenStamped(batches)
+			}
+		} else {
+			if batches := p.Poll(16); len(batches) > 0 {
+				return flattenStamped(batches)
+			}
+			time.Sleep(per)
+		}
+		if !time.Now().Before(deadline) {
+			return nil
+		}
+	}
+}
+
+// flattenStamped copies polled batches into one tuple slice, stamping the
+// ConsumeNS of any sampled traces at batch granularity (one clock read per
+// poll) with per-trace clones preserved by PropagateBatch.
+func flattenStamped(batches []*tuple.Batch) []tuple.Tuple {
+	n := 0
+	for _, b := range batches {
+		n += len(b.Tuples)
+	}
+	out := make([]tuple.Tuple, 0, n)
+	var nowNS int64
+	for _, b := range batches {
+		start := len(out)
+		out = append(out, b.Tuples...)
+		if b.ProduceNS != 0 {
+			if nowNS == 0 {
+				nowNS = time.Now().UnixNano()
+			}
+			telemetry.PropagateBatch(out[start:], b.ProduceNS, nowNS)
+		}
+	}
+	return out
 }
 
 // randFor derives a deterministic rng per session.

@@ -30,7 +30,8 @@ type Telemetry struct {
 	// Aggregation layer: per-topic counters and occupancy.
 	Topics map[string]mq.TopicStats `json:"topics"`
 
-	// Stream layer: tuples queued inside the processing topologies.
+	// Stream layer: tuples in flight inside the processing topologies —
+	// sent between tasks or executing, not yet fully processed.
 	StreamQueueLag int `json:"stream_queue_lag"`
 
 	// Result sink.

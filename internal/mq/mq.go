@@ -224,6 +224,7 @@ func (p *partition) append(b *tuple.Batch) error {
 
 	p.topic.appended.Add(1)
 	p.topic.bytes.Add(uint64(size))
+	p.topic.signalData()
 	if transition {
 		p.topic.overloads.Add(1)
 		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: true, Occupancy: occ})
@@ -283,6 +284,39 @@ type topic struct {
 	dropped   *telemetry.Counter
 	bytes     *telemetry.Counter
 	overloads *telemetry.Counter // high-watermark transitions (back-pressure events)
+
+	// Blocking-poll wakeup: PollWait parks on dataCh and append closes it,
+	// but only when someone is actually waiting — the waiters guard keeps
+	// the producer hot path at a single atomic load.
+	waiters atomic.Int32
+	dataMu  sync.Mutex
+	dataCh  chan struct{}
+}
+
+// dataSignal returns the channel the next append will close. Consumers must
+// register in waiters before calling it and re-poll afterwards: an append
+// racing the registration may have found waiters still zero.
+func (t *topic) dataSignal() <-chan struct{} {
+	t.dataMu.Lock()
+	if t.dataCh == nil {
+		t.dataCh = make(chan struct{})
+	}
+	ch := t.dataCh
+	t.dataMu.Unlock()
+	return ch
+}
+
+// signalData wakes parked PollWait callers after new data became visible.
+func (t *topic) signalData() {
+	if t.waiters.Load() == 0 {
+		return
+	}
+	t.dataMu.Lock()
+	if t.dataCh != nil {
+		close(t.dataCh)
+		t.dataCh = nil
+	}
+	t.dataMu.Unlock()
 }
 
 // Cluster is a set of brokers hosting topics.
@@ -514,16 +548,37 @@ func (cs *Consumer) Poll(max int) []*tuple.Batch {
 	return out
 }
 
-// PollWait polls until at least one batch arrives or the timeout elapses.
+// PollWait polls until at least one batch arrives or the timeout elapses
+// (returning nil). Waiting is wakeup-driven rather than poll-driven: the
+// consumer parks on the topic's data signal and the producer's append wakes
+// it, so an idle consumer costs nothing between batches and a new batch is
+// seen within a scheduler hop instead of a sleep quantum.
 func (cs *Consumer) PollWait(max int, timeout time.Duration) []*tuple.Batch {
-	deadline := time.Now().Add(timeout)
+	if out := cs.Poll(max); len(out) > 0 {
+		return out
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
+		cs.t.waiters.Add(1)
+		sig := cs.t.dataSignal()
+		// Re-poll after registering: an append that raced the registration
+		// saw no waiters and skipped the signal.
 		if out := cs.Poll(max); len(out) > 0 {
+			cs.t.waiters.Add(-1)
 			return out
 		}
-		if time.Now().After(deadline) {
-			return nil
+		select {
+		case <-sig:
+			cs.t.waiters.Add(-1)
+			// Another consumer in the group may have taken the batch; loop
+			// and park again if so.
+			if out := cs.Poll(max); len(out) > 0 {
+				return out
+			}
+		case <-timer.C:
+			cs.t.waiters.Add(-1)
+			return cs.Poll(max)
 		}
-		time.Sleep(500 * time.Microsecond)
 	}
 }

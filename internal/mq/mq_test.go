@@ -250,6 +250,39 @@ func TestPollWait(t *testing.T) {
 	}
 }
 
+// TestPollWaitWakeupPrompt checks that PollWait is wakeup-driven: a parked
+// consumer must see a new batch well before its (long) timeout, and the
+// producer path must not leave waiter state behind that breaks later waits.
+func TestPollWaitWakeupPrompt(t *testing.T) {
+	c := NewCluster(1, Config{})
+	cons := c.Consumer("w")
+	prod := c.Producer("w")
+
+	for round := 0; round < 3; round++ {
+		done := make(chan []*tuple.Batch, 1)
+		go func() { done <- cons.PollWait(1, 10*time.Second) }()
+		time.Sleep(10 * time.Millisecond) // let the consumer park
+		sent := time.Now()
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case got := <-done:
+			if len(got) != 1 {
+				t.Fatalf("round %d: PollWait = %d batches, want 1", round, len(got))
+			}
+			if lat := time.Since(sent); lat > 500*time.Millisecond {
+				t.Errorf("round %d: wakeup took %v, want prompt", round, lat)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("round %d: PollWait never woke after Send", round)
+		}
+	}
+	if w := c.getTopic("w").waiters.Load(); w != 0 {
+		t.Errorf("waiters = %d after all waits returned, want 0", w)
+	}
+}
+
 func TestDiskModeSlowerThanRAM(t *testing.T) {
 	const batches = 200
 	big := batchOf(64)

@@ -3,6 +3,7 @@ package stream
 import (
 	"encoding/json"
 	"sort"
+	"time"
 
 	"netalytics/internal/tuple"
 )
@@ -23,6 +24,13 @@ func (b *ParseBolt) Execute(t tuple.Tuple, emit EmitFunc) {
 	}
 	t.Val = 1
 	emit(t)
+}
+
+// ExecuteBatch implements BatchBolt.
+func (b *ParseBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	for i := range ts {
+		b.Execute(ts[i], emit)
+	}
 }
 
 // RollingCountBolt maintains per-key rolling counts over a window of slots,
@@ -55,6 +63,30 @@ func (b *RollingCountBolt) Execute(t tuple.Tuple, emit EmitFunc) {
 		v = 1
 	}
 	ring[b.current] += v
+}
+
+// ExecuteBatch implements BatchBolt: adjacent tuples for the same key (the
+// common case after fields grouping) reuse one ring lookup.
+func (b *RollingCountBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	var ring []float64
+	var last string
+	for i := range ts {
+		t := &ts[i]
+		if ring == nil || t.Key != last {
+			var ok bool
+			ring, ok = b.counts[t.Key]
+			if !ok {
+				ring = make([]float64, b.slots)
+				b.counts[t.Key] = ring
+			}
+			last = t.Key
+		}
+		v := t.Val
+		if v == 0 {
+			v = 1
+		}
+		ring[b.current] += v
+	}
 }
 
 // Tick implements Ticker: emit totals and advance the window.
@@ -369,6 +401,13 @@ func (b *GroupBolt) Execute(t tuple.Tuple, emit EmitFunc) {
 	}
 }
 
+// ExecuteBatch implements BatchBolt.
+func (b *GroupBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	for i := range ts {
+		b.Execute(ts[i], emit)
+	}
+}
+
 // Tick implements Ticker.
 func (b *GroupBolt) Tick(emit EmitFunc) {
 	b.flush(emit)
@@ -593,10 +632,44 @@ func (b *CallbackBolt) Execute(t tuple.Tuple, emit EmitFunc) {
 	}
 }
 
+// ExecuteBatch implements BatchBolt.
+func (b *CallbackBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	if b.fn == nil {
+		return
+	}
+	for i := range ts {
+		b.fn(ts[i])
+	}
+}
+
 // BatchPoller abstracts the aggregation layer a KafkaSpout pulls from;
 // *mq.Consumer satisfies it.
 type BatchPoller interface {
 	Poll(max int) []*tuple.Batch
+}
+
+// WaitPoller is a BatchPoller that can block until data arrives instead of
+// returning empty; *mq.Consumer satisfies it via its wakeup-driven PollWait.
+type WaitPoller interface {
+	BatchPoller
+	PollWait(max int, timeout time.Duration) []*tuple.Batch
+}
+
+// FlattenBatches copies polled batches into one contiguous tuple slice —
+// the shape spouts hand to the executor's batch path.
+func FlattenBatches(batches []*tuple.Batch) []tuple.Tuple {
+	if len(batches) == 0 {
+		return nil
+	}
+	n := 0
+	for _, b := range batches {
+		n += len(b.Tuples)
+	}
+	out := make([]tuple.Tuple, 0, n)
+	for _, b := range batches {
+		out = append(out, b.Tuples...)
+	}
+	return out
 }
 
 // KafkaSpout adapts an aggregation-layer consumer into a spout (the Kafka
@@ -616,13 +689,19 @@ func NewKafkaSpout(poller BatchPoller, max int) *KafkaSpout {
 
 // Next implements Spout.
 func (s *KafkaSpout) Next() []tuple.Tuple {
-	batches := s.poller.Poll(s.max)
-	if len(batches) == 0 {
-		return nil
+	return FlattenBatches(s.poller.Poll(s.max))
+}
+
+// NextWait implements WaitSpout: when the poller supports blocking polls
+// (mq consumers do) the spout parks in it; otherwise it falls back to a
+// short sleep-then-poll so behavior degrades to the old retry loop.
+func (s *KafkaSpout) NextWait(timeout time.Duration) []tuple.Tuple {
+	if wp, ok := s.poller.(WaitPoller); ok {
+		return FlattenBatches(wp.PollWait(s.max, timeout))
 	}
-	var out []tuple.Tuple
-	for _, b := range batches {
-		out = append(out, b.Tuples...)
+	if timeout > time.Millisecond {
+		timeout = time.Millisecond
 	}
-	return out
+	time.Sleep(timeout)
+	return s.Next()
 }

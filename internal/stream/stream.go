@@ -5,24 +5,41 @@
 // tuples sharing a key reach the same task — the property the paper's
 // counting bolts rely on — while shuffle grouping balances load and global
 // grouping funnels everything into a single task (the final ranking reducer).
+//
+// The executor is batch-vectorized: task input queues carry []tuple.Tuple,
+// emitters scatter tuples into per-route per-task sub-batch buffers, and one
+// channel send moves a whole sub-batch, so per-tuple synchronization
+// amortizes over the batch size. Latency stays bounded at low rates by the
+// flush policy: a sub-batch flushes when full, when its task is about to
+// block on input, on every tick, and at task exit.
 package stream
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netalytics/internal/telemetry"
 	"netalytics/internal/tuple"
 )
 
 // DefaultTickInterval is how often bolts with windowed state advance.
 const DefaultTickInterval = 100 * time.Millisecond
 
-// DefaultQueueDepth bounds each task's input queue.
+// DefaultQueueDepth bounds each task's input queue (in batches).
 const DefaultQueueDepth = 1024
+
+// DefaultBatchSize is the sub-batch size: how many tuples ride one channel
+// send between tasks. 32 matches the monitor burst size — past it the sends
+// are already amortized while queueing latency keeps growing.
+const DefaultBatchSize = 32
+
+// spoutWaitQuantum bounds how long a WaitSpout may park per NextWait call so
+// the executor still observes Stop promptly while the topology idles.
+const spoutWaitQuantum = 20 * time.Millisecond
 
 // Engine errors.
 var (
@@ -37,9 +54,19 @@ var (
 type EmitFunc func(t tuple.Tuple)
 
 // Spout is a data source. Next returns the next available tuples, or nil
-// when none are ready (the executor backs off briefly before retrying).
+// when none are ready (the executor backs off before retrying).
 type Spout interface {
 	Next() []tuple.Tuple
+}
+
+// WaitSpout is an optional spout extension for sources that can block until
+// data arrives (mq-backed spouts use Consumer.PollWait). When Next returns
+// nothing the executor parks in NextWait instead of sleep-retrying, so idle
+// topologies stop burning periodic wakeups. NextWait must return — possibly
+// with no tuples — within roughly the given timeout.
+type WaitSpout interface {
+	Spout
+	NextWait(timeout time.Duration) []tuple.Tuple
 }
 
 // SpoutFunc adapts a function to the Spout interface.
@@ -52,6 +79,16 @@ func (f SpoutFunc) Next() []tuple.Tuple { return f() }
 // state without locking.
 type Bolt interface {
 	Execute(t tuple.Tuple, emit EmitFunc)
+}
+
+// BatchBolt is an optional bolt fast path: the executor hands over whole
+// sub-batches as they arrive instead of unrolling to per-tuple Execute
+// calls. The slice belongs to the executor and is recycled as soon as
+// ExecuteBatch returns — implementations must not retain it (copy tuples
+// out if they need them later).
+type BatchBolt interface {
+	Bolt
+	ExecuteBatch(ts []tuple.Tuple, emit EmitFunc)
 }
 
 // Ticker is implemented by bolts with windowed state that advances on the
@@ -242,7 +279,7 @@ func WithTickInterval(d time.Duration) ExecutorOption {
 	}
 }
 
-// WithQueueDepth overrides each task's input queue depth.
+// WithQueueDepth overrides each task's input queue depth (in batches).
 func WithQueueDepth(n int) ExecutorOption {
 	return func(e *Executor) {
 		if n > 0 {
@@ -251,15 +288,40 @@ func WithQueueDepth(n int) ExecutorOption {
 	}
 }
 
+// WithBatchSize overrides the sub-batch size — how many tuples one channel
+// send carries between tasks. 1 disables batching (every tuple is its own
+// send, the pre-vectorization behavior); values ≤ 0 keep the default.
+func WithBatchSize(n int) ExecutorOption {
+	return func(e *Executor) {
+		if n > 0 {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithMetrics registers the executor's instruments — currently the
+// stream_batch_len histogram of flushed sub-batch sizes — on a telemetry
+// registry under the given labels.
+func WithMetrics(reg *telemetry.Registry, labels ...telemetry.Label) ExecutorOption {
+	return func(e *Executor) {
+		e.batchLen = reg.Histogram("stream_batch_len", labels...)
+	}
+}
+
 // Executor runs a topology: one goroutine per task.
 type Executor struct {
 	topo         *Topology
 	tickInterval time.Duration
 	queueDepth   int
+	batchSize    int
 
-	queues  map[string][]chan tuple.Tuple
+	queues  map[string][]chan []tuple.Tuple
 	pending map[string]*atomic.Int32 // upstream tasks still running
 	counts  map[string]*atomic.Uint64
+
+	inflight atomic.Int64         // tuples sent downstream, not yet executed
+	bufPool  sync.Pool            // *[]tuple.Tuple, cap batchSize
+	batchLen *telemetry.Histogram // flushed sub-batch sizes
 
 	spoutStop chan struct{}
 	wg        sync.WaitGroup
@@ -277,7 +339,8 @@ func NewExecutor(t *Topology, opts ...ExecutorOption) (*Executor, error) {
 		topo:         t,
 		tickInterval: DefaultTickInterval,
 		queueDepth:   DefaultQueueDepth,
-		queues:       make(map[string][]chan tuple.Tuple),
+		batchSize:    DefaultBatchSize,
+		queues:       make(map[string][]chan []tuple.Tuple),
 		pending:      make(map[string]*atomic.Int32),
 		counts:       make(map[string]*atomic.Uint64),
 		spoutStop:    make(chan struct{}),
@@ -285,15 +348,23 @@ func NewExecutor(t *Topology, opts ...ExecutorOption) (*Executor, error) {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.batchLen == nil {
+		e.batchLen = &telemetry.Histogram{} // unregistered, still observable
+	}
+	size := e.batchSize
+	e.bufPool.New = func() any {
+		b := make([]tuple.Tuple, 0, size)
+		return &b
+	}
 	for _, name := range t.order {
 		n := t.nodes[name]
 		e.counts[name] = &atomic.Uint64{}
 		if n.boltFactory == nil {
 			continue
 		}
-		chans := make([]chan tuple.Tuple, n.parallelism)
+		chans := make([]chan []tuple.Tuple, n.parallelism)
 		for i := range chans {
-			chans[i] = make(chan tuple.Tuple, e.queueDepth)
+			chans[i] = make(chan []tuple.Tuple, e.queueDepth)
 		}
 		e.queues[name] = chans
 		p := &atomic.Int32{}
@@ -315,17 +386,16 @@ func (e *Executor) TaskCount() int {
 	return n
 }
 
-// QueueLag returns the total number of tuples sitting in bolt input queues —
-// the executor's internal backlog. The queues map is built once in
-// NewExecutor and read-only afterwards, so sampling needs no lock.
+// QueueLag returns the number of tuples in flight inside the executor:
+// emitted into a downstream task queue (or being executed right now) but
+// not yet fully processed. Counting tuples rather than channel occupancy
+// keeps the gauge's meaning independent of the batch size.
 func (e *Executor) QueueLag() int {
-	total := 0
-	for _, chans := range e.queues {
-		for _, ch := range chans {
-			total += len(ch)
-		}
+	n := e.inflight.Load()
+	if n < 0 {
+		n = 0
 	}
-	return total
+	return int(n)
 }
 
 // Processed returns how many tuples each node has handled (spouts: emitted).
@@ -351,14 +421,12 @@ func (e *Executor) Start() {
 		for i := 0; i < n.parallelism; i++ {
 			if n.spoutFactory != nil {
 				spout := n.spoutFactory()
-				emit := e.emitFunc(n)
 				e.wg.Add(1)
-				go e.runSpout(n, spout, emit)
+				go e.runSpout(n, spout, e.newEmitter(n))
 			} else {
 				bolt := n.boltFactory()
-				emit := e.emitFunc(n)
 				e.wg.Add(1)
-				go e.runBolt(n, i, bolt, emit)
+				go e.runBolt(n, i, bolt, e.newEmitter(n))
 			}
 		}
 	}
@@ -379,62 +447,170 @@ func (e *Executor) Stop() {
 	e.wg.Wait()
 }
 
-// emitFunc builds the routing closure for one task of node n.
-func (e *Executor) emitFunc(n *nodeDecl) EmitFunc {
-	type route struct {
-		chans    []chan tuple.Tuple
-		grouping Grouping
-		field    string
-		rr       uint64
+func (e *Executor) getBuf() []tuple.Tuple {
+	return (*e.bufPool.Get().(*[]tuple.Tuple))[:0]
+}
+
+func (e *Executor) putBuf(b []tuple.Tuple) {
+	if cap(b) == 0 {
+		return
 	}
-	var routes []*route
+	b = b[:0]
+	e.bufPool.Put(&b)
+}
+
+// routeState is one downstream subscription of an emitting task: the target
+// channels, the grouping that picks among them, and a sub-batch buffer per
+// target task. rr and bufs are task-local (each task owns its emitter), so
+// no locking is needed.
+type routeState struct {
+	chans    []chan []tuple.Tuple
+	grouping Grouping
+	field    string
+	rr       uint64
+	bufs     [][]tuple.Tuple
+}
+
+// emitter is the batched routing state for one task. Tuples scatter into
+// per-route, per-task sub-batch buffers; each buffer is flushed as a single
+// channel send when it reaches the batch size, when the owning task is
+// about to block, on tick, and at task exit.
+type emitter struct {
+	ex     *Executor
+	count  *atomic.Uint64
+	routes []*routeState
+}
+
+// newEmitter builds the routing state for one task of node n.
+func (e *Executor) newEmitter(n *nodeDecl) *emitter {
+	em := &emitter{ex: e, count: e.counts[n.name]}
 	for _, name := range e.topo.order {
 		down := e.topo.nodes[name]
 		for _, in := range down.inputs {
 			if in.from != n.name {
 				continue
 			}
-			routes = append(routes, &route{
+			em.routes = append(em.routes, &routeState{
 				chans:    e.queues[down.name],
 				grouping: in.grouping,
 				field:    in.field,
+				bufs:     make([][]tuple.Tuple, len(e.queues[down.name])),
 			})
 		}
 	}
-	count := e.counts[n.name]
-	return func(t tuple.Tuple) {
-		count.Add(1)
-		for _, r := range routes {
-			var idx int
-			switch r.grouping {
-			case Fields:
-				idx = int(fieldHash(&t, r.field) % uint64(len(r.chans)))
-			case Global:
-				idx = 0
-			default:
-				idx = int(r.rr % uint64(len(r.chans)))
+	return em
+}
+
+// emit routes a single tuple — the EmitFunc handed to bolts and spouts.
+func (em *emitter) emit(t tuple.Tuple) {
+	em.count.Add(1)
+	for _, r := range em.routes {
+		var idx int
+		switch r.grouping {
+		case Fields:
+			idx = int(fieldHash(&t, r.field) % uint64(len(r.chans)))
+		case Global:
+			idx = 0
+		default:
+			idx = int(r.rr % uint64(len(r.chans)))
+			r.rr++
+		}
+		em.push(r, idx, t)
+	}
+}
+
+// emitBatch scatters a whole tuple batch. Routing runs batch-at-a-time —
+// the grouping switch is hoisted out of the per-tuple loop — and produces
+// the same per-task tuple sequences as per-tuple emit: tuples are visited
+// in emission order within each route, so the round-robin counter and the
+// per-task buffers advance identically.
+func (em *emitter) emitBatch(ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	em.count.Add(uint64(len(ts)))
+	for _, r := range em.routes {
+		switch r.grouping {
+		case Fields:
+			n := uint64(len(r.chans))
+			for i := range ts {
+				em.push(r, int(fieldHash(&ts[i], r.field)%n), ts[i])
+			}
+		case Global:
+			for i := range ts {
+				em.push(r, 0, ts[i])
+			}
+		default:
+			n := uint64(len(r.chans))
+			for i := range ts {
+				em.push(r, int(r.rr%n), ts[i])
 				r.rr++
 			}
-			r.chans[idx] <- t
 		}
 	}
 }
 
-func fieldHash(t *tuple.Tuple, field string) uint64 {
-	var key string
-	if field == "" {
-		key = t.Key
-	} else {
-		key = t.Attr(field)
+// push appends a tuple to a route's sub-batch buffer, flushing the buffer
+// downstream when it reaches the batch size.
+func (em *emitter) push(r *routeState, idx int, t tuple.Tuple) {
+	buf := r.bufs[idx]
+	if buf == nil {
+		buf = em.ex.getBuf()
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return h.Sum64()
+	buf = append(buf, t)
+	if len(buf) >= em.ex.batchSize {
+		r.bufs[idx] = nil
+		em.send(r.chans[idx], buf)
+		return
+	}
+	r.bufs[idx] = buf
 }
 
-func (e *Executor) runSpout(n *nodeDecl, spout Spout, emit EmitFunc) {
+func (em *emitter) send(ch chan []tuple.Tuple, buf []tuple.Tuple) {
+	em.ex.inflight.Add(int64(len(buf)))
+	em.ex.batchLen.Observe(int64(len(buf)))
+	ch <- buf
+}
+
+// flush sends every partially filled sub-batch buffer downstream.
+func (em *emitter) flush() {
+	for _, r := range em.routes {
+		for idx, buf := range r.bufs {
+			if len(buf) > 0 {
+				r.bufs[idx] = nil
+				em.send(r.chans[idx], buf)
+			}
+		}
+	}
+}
+
+// fieldHash hashes the routing key with inline FNV-1a — bit-identical to
+// hash/fnv's Sum64a but with no hasher allocation and no string→[]byte
+// copy, so fields routing costs zero allocations per tuple.
+func fieldHash(t *tuple.Tuple, field string) uint64 {
+	key := t.Key
+	if field != "" {
+		key = t.Attr(field)
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (e *Executor) runSpout(n *nodeDecl, spout Spout, em *emitter) {
 	defer e.wg.Done()
+	// LIFO: flush residual sub-batches first, then cascade completion.
 	defer e.taskFinished(n)
+	defer em.flush()
+	ws, canWait := spout.(WaitSpout)
+	idle := 0
 	for {
 		select {
 		case <-e.spoutStop:
@@ -442,40 +618,102 @@ func (e *Executor) runSpout(n *nodeDecl, spout Spout, emit EmitFunc) {
 		default:
 		}
 		batch := spout.Next()
-		if len(batch) == 0 {
-			select {
-			case <-e.spoutStop:
-				return
-			case <-time.After(time.Millisecond):
+		if len(batch) > 0 {
+			em.emitBatch(batch)
+			idle = 0
+			continue
+		}
+		// The source is idle: flush residual sub-batches so a trickle of
+		// tuples doesn't wait on a buffer filling, then back off — spin,
+		// then short growing sleeps, or the spout's own blocking wait.
+		em.flush()
+		if canWait {
+			if batch := ws.NextWait(spoutWaitQuantum); len(batch) > 0 {
+				em.emitBatch(batch)
+				idle = 0
 			}
 			continue
 		}
-		for _, t := range batch {
-			emit(t)
+		idle++
+		if idle <= 4 {
+			runtime.Gosched()
+			continue
+		}
+		d := time.Duration(idle-4) * 50 * time.Microsecond
+		if d > time.Millisecond {
+			d = time.Millisecond
+		}
+		select {
+		case <-e.spoutStop:
+			return
+		case <-time.After(d):
 		}
 	}
 }
 
-func (e *Executor) runBolt(n *nodeDecl, idx int, bolt Bolt, emit EmitFunc) {
+func (e *Executor) runBolt(n *nodeDecl, idx int, bolt Bolt, em *emitter) {
 	defer e.wg.Done()
 	in := e.queues[n.name][idx]
 	ticker := time.NewTicker(e.tickInterval)
 	defer ticker.Stop()
+	// Bind the method value once: evaluating em.emit allocates a closure,
+	// which must not happen per tuple on the Execute fallback path.
+	emit := EmitFunc(em.emit)
+	bb, isBatch := bolt.(BatchBolt)
+	exec := func(batch []tuple.Tuple) {
+		if isBatch {
+			bb.ExecuteBatch(batch, emit)
+		} else {
+			for i := range batch {
+				bolt.Execute(batch[i], emit)
+			}
+		}
+		e.inflight.Add(int64(-len(batch)))
+		e.putBuf(batch)
+	}
+	cleanup := func() {
+		if c, isCleaner := bolt.(Cleaner); isCleaner {
+			c.Cleanup(emit)
+		}
+		em.flush()
+		e.taskFinished(n)
+	}
+	tick := func() {
+		if tk, isTicker := bolt.(Ticker); isTicker {
+			tk.Tick(emit)
+		}
+		em.flush()
+	}
 	for {
+		// Fast path: drain whatever is queued without flushing, but keep
+		// serving ticks so windows still advance under sustained load.
 		select {
-		case t, ok := <-in:
+		case batch, ok := <-in:
 			if !ok {
-				if c, isCleaner := bolt.(Cleaner); isCleaner {
-					c.Cleanup(emit)
-				}
-				e.taskFinished(n)
+				cleanup()
 				return
 			}
-			bolt.Execute(t, emit)
-		case <-ticker.C:
-			if tk, isTicker := bolt.(Ticker); isTicker {
-				tk.Tick(emit)
+			exec(batch)
+			select {
+			case <-ticker.C:
+				tick()
+			default:
 			}
+			continue
+		default:
+		}
+		// About to block: flush this task's own residual sub-batches so
+		// downstream sees them before the pipeline goes quiet.
+		em.flush()
+		select {
+		case batch, ok := <-in:
+			if !ok {
+				cleanup()
+				return
+			}
+			exec(batch)
+		case <-ticker.C:
+			tick()
 		}
 	}
 }

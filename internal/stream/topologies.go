@@ -63,6 +63,11 @@ func ProcessorNames() []string {
 //
 // tick is the executor tick interval the topology will run with; window
 // arguments (w=10s) are converted into rolling-count slots against it.
+//
+// The built topologies need no batching awareness: the executor moves
+// sub-batches between tasks and unrolls them for bolts that only implement
+// Execute, while bolts with an ExecuteBatch fast path (the parsing,
+// counting, grouping, and callback blocks here) receive whole sub-batches.
 func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, out func(tuple.Tuple), tick time.Duration) (*Topology, error) {
 	if tick <= 0 {
 		tick = DefaultTickInterval
