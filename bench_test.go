@@ -17,13 +17,16 @@ import (
 	"netalytics/internal/core"
 	"netalytics/internal/monitor"
 	"netalytics/internal/mq"
+	"netalytics/internal/packet"
 	"netalytics/internal/parsers"
 	"netalytics/internal/placement"
 	"netalytics/internal/query"
+	"netalytics/internal/sdn"
 	"netalytics/internal/stream"
 	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 	"netalytics/internal/tuple"
+	"netalytics/internal/vnet"
 	"netalytics/internal/workload"
 )
 
@@ -747,5 +750,103 @@ func BenchmarkAblationPersistence(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Ablation: vnet forwarding fast path (flow-decision cache) ---
+
+// BenchmarkVnetForward measures the per-frame cost of Network.forward with
+// and without the flow-decision cache, sweeping flow-table pressure (rules
+// per on-path switch) and mirror fan-out. 256 flows cycle through a
+// cross-pod 5-switch path; the cached configurations report their hit rate
+// (~255/256: one compulsory miss per flow). CI emits this as
+// BENCH_vnet.json. The destination host has no endpoint, so the numbers
+// isolate the fabric: path resolution, flow-table walks, mirror dedup and
+// tap delivery, not endpoint inbox handling.
+func BenchmarkVnetForward(b *testing.B) {
+	for _, rules := range []int{2, 8} {
+		for _, mirrors := range []int{0, 2} {
+			for _, cached := range []bool{false, true} {
+				name := fmt.Sprintf("rules=%d/mirrors=%d/cache=%v", rules, mirrors, cached)
+				b.Run(name, func(b *testing.B) {
+					topo := topology.MustNew(4)
+					ctrl := sdn.NewController()
+					net := vnet.New(topo, ctrl)
+					if cached {
+						net.SetFlowCacheSize(vnet.DefaultFlowCacheSize)
+					}
+					hosts := topo.Hosts()
+					src, dst := hosts[12], hosts[0] // cross-pod: 5-switch path
+					path := topo.SwitchPath(src, dst)
+
+					// Mirror rules on every on-path switch (the dedup worst
+					// case), each tap drained by a burst reader.
+					var taps []*vnet.Tap
+					var wg sync.WaitGroup
+					for m := 0; m < mirrors; m++ {
+						mon := hosts[1+m]
+						tap := net.OpenTap(mon.ID, 8192)
+						taps = append(taps, tap)
+						wg.Add(1)
+						go func(tap *vnet.Tap) {
+							defer wg.Done()
+							buf := make([]vnet.TapFrame, 256)
+							for tap.ReadBurst(buf) > 0 {
+							}
+						}(tap)
+						for _, sw := range path {
+							ctrl.InstallMirror("bench", sw, sdn.Match{DstIP: dst.Addr}, mon.ID, 100)
+						}
+					}
+					// Decoy rules fill each table to the target size: higher
+					// priority, never matching, so every lookup walks them.
+					id := uint64(1 << 32)
+					for _, sw := range path {
+						for d := mirrors; d < rules; d++ {
+							id++
+							ctrl.Table(sw).Install(&sdn.Rule{
+								ID: id, Priority: 1000 + d,
+								Match: sdn.Match{DstIP: hosts[15].Addr, DstPort: 9},
+							})
+						}
+					}
+
+					frames := make([][]byte, 256)
+					for i := range frames {
+						var pb packet.Builder
+						frames[i] = pb.TCP(packet.TCPSpec{
+							Src: src.Addr, Dst: dst.Addr,
+							SrcPort: uint16(20000 + i), DstPort: 80,
+							Flags: packet.TCPFlagACK,
+						})
+					}
+					for _, f := range frames { // warm the cache
+						if err := net.Inject(f); err != nil {
+							b.Fatal(err)
+						}
+					}
+
+					start := net.FlowCacheStats()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := net.Inject(frames[i&255]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					if cached {
+						cs := net.FlowCacheStats()
+						if lookups := (cs.Hits - start.Hits) + (cs.Misses - start.Misses); lookups > 0 {
+							b.ReportMetric(float64(cs.Hits-start.Hits)/float64(lookups), "hit-rate")
+						}
+					}
+					for _, tap := range taps {
+						net.CloseTap(tap)
+					}
+					wg.Wait()
+				})
+			}
+		}
 	}
 }

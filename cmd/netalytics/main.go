@@ -93,6 +93,7 @@ type runOpts struct {
 	telemetryInterval time.Duration
 	traceEvery        int // 0 = default, negative disables
 	streamBatch       int // stream executor sub-batch size, 0 = default
+	vnetFlowCache     int // forwarding-decision cache entries, <=0 disables
 }
 
 func main() {
@@ -106,13 +107,14 @@ func main() {
 	flag.DurationVar(&o.telemetryInterval, "telemetry-interval", telemetry.DefaultExportInterval, "period between telemetry JSON dumps")
 	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, negative disables)")
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "stream executor sub-batch size: tuples per channel send between tasks (0 = default 32, 1 disables batching)")
+	flag.IntVar(&o.vnetFlowCache, "vnet-flowcache", vnet.DefaultFlowCacheSize, "per-flow forwarding-decision cache entries (0 disables caching for A/B runs)")
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
 	o.query = flag.Arg(0)
 
 	var err error
 	if *interactive {
-		err = runInteractive(o.traceEvery, o.streamBatch)
+		err = runInteractive(o.traceEvery, o.streamBatch, o.vnetFlowCache)
 	} else {
 		err = run(o)
 	}
@@ -125,8 +127,8 @@ func main() {
 // runInteractive drives a REPL: continuous background traffic flows through
 // the demo app, and each line submits a query whose results stream until the
 // query's LIMIT fires or the user enters a blank line.
-func runInteractive(traceEvery, streamBatch int) error {
-	d, err := buildDemo(traceEvery, streamBatch)
+func runInteractive(traceEvery, streamBatch, vnetFlowCache int) error {
+	d, err := buildDemo(traceEvery, streamBatch, vnetFlowCache)
 	if err != nil {
 		return err
 	}
@@ -261,13 +263,18 @@ func (d *demo) close() {
 	d.tb.Close()
 }
 
-func buildDemo(traceEvery, streamBatch int) (*demo, error) {
+func buildDemo(traceEvery, streamBatch, vnetFlowCache int) (*demo, error) {
+	// The flag's 0-disables contract maps onto Config's 0-means-default one.
+	if vnetFlowCache <= 0 {
+		vnetFlowCache = -1
+	}
 	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{
 		FatTreeK:     4,
 		ResourceSeed: 7,
 		Engine: netalytics.EngineConfig{
-			TraceSampleEvery: traceEvery,
-			StreamBatchSize:  streamBatch,
+			TraceSampleEvery:  traceEvery,
+			StreamBatchSize:   streamBatch,
+			VnetFlowCacheSize: vnetFlowCache,
 		},
 	})
 	if err != nil {
@@ -366,7 +373,7 @@ func printTelemetry(sess *netalytics.Session) {
 }
 
 func run(o runOpts) error {
-	d, err := buildDemo(o.traceEvery, o.streamBatch)
+	d, err := buildDemo(o.traceEvery, o.streamBatch, o.vnetFlowCache)
 	if err != nil {
 		return err
 	}

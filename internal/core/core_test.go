@@ -9,9 +9,11 @@ import (
 
 	"netalytics/internal/apps"
 	"netalytics/internal/mq"
+	"netalytics/internal/packet"
 	"netalytics/internal/stream"
 	"netalytics/internal/topology"
 	"netalytics/internal/tuple"
+	"netalytics/internal/vnet"
 )
 
 func newEngine(t *testing.T) *Engine {
@@ -596,4 +598,56 @@ func TestResultDeliveryDropsWhenSlow(t *testing.T) {
 	if s.ResultDrops() != 1 {
 		t.Errorf("drops = %d, want 1", s.ResultDrops())
 	}
+}
+
+func TestVnetFlowCacheConfig(t *testing.T) {
+	topo := topology.MustNew(4)
+
+	// Default: the engine enables the forwarding-decision cache.
+	e := NewEngine(topo, Config{})
+	defer e.Close()
+	hosts := topo.Hosts()
+	raw := testFrame(hosts[12], hosts[0])
+	if err := e.Network().Inject(raw); err != nil {
+		t.Fatal(err)
+	}
+	if cs := e.Network().FlowCacheStats(); cs.Misses != 1 {
+		t.Errorf("default engine cache stats = %+v, want the first frame to miss", cs)
+	}
+	// The cache and controller gauges surface through the engine registry.
+	want := map[string]bool{
+		"vnet_flowcache_hits": false, "vnet_flowcache_misses": false,
+		"vnet_flowcache_evictions": false, "sdn_flowtable_misses": false,
+		"sdn_rules_total": false,
+	}
+	for _, p := range e.Metrics().Snapshot() {
+		if _, ok := want[p.Name]; ok {
+			want[p.Name] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+
+	// Negative disables the cache — the A/B baseline.
+	off := NewEngine(topo, Config{VnetFlowCacheSize: -1})
+	defer off.Close()
+	if err := off.Network().Inject(raw); err != nil {
+		t.Fatal(err)
+	}
+	if cs := off.Network().FlowCacheStats(); cs != (vnet.FlowCacheStats{}) {
+		t.Errorf("disabled engine cache stats = %+v, want zeros", cs)
+	}
+}
+
+// testFrame builds one TCP frame between two topology hosts.
+func testFrame(src, dst *topology.Host) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: src.Addr, Dst: dst.Addr,
+		SrcPort: 30000, DstPort: 80,
+		Flags: packet.TCPFlagACK,
+	})
 }

@@ -49,6 +49,11 @@ type Config struct {
 	// channel send between topology tasks. 0 keeps the engine default
 	// (stream.DefaultBatchSize); 1 disables batching.
 	StreamBatchSize int
+	// VnetFlowCacheSize bounds the network's per-flow forwarding-decision
+	// cache (see "Forwarding fast path" in DESIGN.md). 0 keeps the default
+	// (vnet.DefaultFlowCacheSize); negative disables the cache, the A/B
+	// baseline where every frame re-resolves its path and mirror targets.
+	VnetFlowCacheSize int
 	// Policy selects the placement policy (default NetAlytics-Network).
 	Policy placement.Policy
 	// PlacementParams tunes capacities for placement.
@@ -94,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceSampleEvery == 0 {
 		c.TraceSampleEvery = telemetry.DefaultSampleEvery
 	}
+	if c.VnetFlowCacheSize == 0 {
+		c.VnetFlowCacheSize = vnet.DefaultFlowCacheSize
+	}
 	return c
 }
 
@@ -117,7 +125,11 @@ type Engine struct {
 func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	ctrl := sdn.NewController()
+	ctrl.RegisterMetrics(cfg.Metrics)
 	net := vnet.New(topo, ctrl)
+	if cfg.VnetFlowCacheSize > 0 {
+		net.SetFlowCacheSize(cfg.VnetFlowCacheSize)
+	}
 	net.RegisterMetrics(cfg.Metrics)
 	cfg.MQ.Metrics = cfg.Metrics
 	return &Engine{

@@ -13,10 +13,12 @@ import (
 	"math"
 	"net/netip"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"netalytics/internal/packet"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 )
 
@@ -186,6 +188,20 @@ type FlowTable struct {
 	mu     sync.RWMutex
 	rules  []*Rule // sorted: priority desc, specificity desc, id asc
 	misses atomic.Uint64
+
+	// epoch, when non-nil, is the owning controller's rule-generation
+	// counter, shared by every table the controller owns. It is bumped
+	// after each mutation completes, so a reader that loads the epoch
+	// before consulting tables can detect any later rule change by
+	// comparing epochs (seqlock-style) — the invalidation signal the
+	// vnet flow-decision cache relies on.
+	epoch *atomic.Uint64
+}
+
+func (t *FlowTable) bumpEpoch() {
+	if t.epoch != nil {
+		t.epoch.Add(1)
+	}
 }
 
 // Install adds a rule to the table.
@@ -204,6 +220,7 @@ func (t *FlowTable) Install(r *Rule) {
 		}
 		return a.ID < b.ID
 	})
+	t.bumpEpoch()
 }
 
 // Remove deletes the rule with the given ID, reporting whether it existed.
@@ -213,6 +230,7 @@ func (t *FlowTable) Remove(id uint64) bool {
 	for i, r := range t.rules {
 		if r.ID == id {
 			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			t.bumpEpoch()
 			return true
 		}
 	}
@@ -233,6 +251,9 @@ func (t *FlowTable) removeByQuery(queryID string) int {
 		kept = append(kept, r)
 	}
 	t.rules = kept
+	if removed > 0 {
+		t.bumpEpoch()
+	}
 	return removed
 }
 
@@ -256,9 +277,25 @@ func (t *FlowTable) Lookup(ft packet.FiveTuple) *Rule {
 // several concurrent queries may each mirror the same flow to different
 // monitors.
 func (t *FlowTable) MirrorTargets(ft packet.FiveTuple) []topology.NodeID {
+	return t.MirrorTargetsAppend(ft, nil)
+}
+
+// smallTargetSet is the mirror-target count up to which dedup stays a linear
+// scan of the output slice; beyond it a map takes over. Nearly every flow is
+// mirrored to a handful of monitors at most, so the map path exists only to
+// keep pathological rule sets (hundreds of monitors on one flow) linear.
+const smallTargetSet = 16
+
+// MirrorTargetsAppend is MirrorTargets appending into a caller-owned buffer:
+// matching mirror destinations are appended to out, deduplicated against
+// everything already in it, and the extended slice is returned. Passing one
+// buffer across the switches of a path both amortizes the per-switch slice
+// allocation MirrorTargets pays and performs the cross-switch dedup (one
+// query mirroring at several levels must deliver one copy) in the same pass.
+func (t *FlowTable) MirrorTargetsAppend(ft packet.FiveTuple, out []topology.NodeID) []topology.NodeID {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []topology.NodeID
+	var seen map[topology.NodeID]struct{} // built once out outgrows smallTargetSet
 	for _, r := range t.rules {
 		if !r.Match.Matches(ft) {
 			continue
@@ -269,6 +306,19 @@ func (t *FlowTable) MirrorTargets(ft packet.FiveTuple) []topology.NodeID {
 		}
 		for _, a := range r.Actions {
 			if a.Type != ActionMirror {
+				continue
+			}
+			if seen == nil && len(out) >= smallTargetSet {
+				seen = make(map[topology.NodeID]struct{}, 2*len(out))
+				for _, d := range out {
+					seen[d] = struct{}{}
+				}
+			}
+			if seen != nil {
+				if _, dup := seen[a.Dst]; !dup {
+					seen[a.Dst] = struct{}{}
+					out = append(out, a.Dst)
+				}
 				continue
 			}
 			dup := false
@@ -303,6 +353,15 @@ type Controller struct {
 	mu     sync.Mutex
 	tables map[topology.NodeID]*FlowTable
 	nextID atomic.Uint64
+	reg    *telemetry.Registry
+
+	// epoch counts rule-set generations across every table the controller
+	// owns: it advances after each Install, Remove, RemoveQuery and
+	// SetQuerySampling completes. Consumers caching per-flow forwarding
+	// decisions (internal/vnet's flow cache) stamp the epoch they resolved
+	// under and re-resolve on mismatch, so a new query's mirror rules take
+	// effect on the very next frame of already-cached flows.
+	epoch atomic.Uint64
 }
 
 // NewController returns an empty controller.
@@ -310,16 +369,68 @@ func NewController() *Controller {
 	return &Controller{tables: make(map[topology.NodeID]*FlowTable)}
 }
 
+// Epoch returns the controller's rule-generation counter. Read it before
+// consulting flow tables: if Epoch still returns the same value later, no
+// rule changed in between (direct Rule.SetMirrorSampling calls excepted —
+// the controller's SetQuerySampling is the epoch-visible path).
+func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
+
 // Table returns the flow table of a switch, creating it on first use.
 func (c *Controller) Table(sw topology.NodeID) *FlowTable {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	t, ok := c.tables[sw]
 	if !ok {
-		t = &FlowTable{}
+		t = &FlowTable{epoch: &c.epoch}
 		c.tables[sw] = t
 	}
+	reg := c.reg
+	c.mu.Unlock()
+	if !ok && reg != nil {
+		registerTable(reg, sw, t)
+	}
 	return t
+}
+
+// registerTable publishes one switch's rule count. Called outside c.mu:
+// snapshotting takes registry lock then layer locks, so registering under
+// c.mu would invert the order against the sdn_flowtable_misses gauge.
+func registerTable(reg *telemetry.Registry, sw topology.NodeID, t *FlowTable) {
+	reg.GaugeFunc("sdn_rules", func() float64 { return float64(t.Len()) },
+		telemetry.L("switch", strconv.Itoa(int(sw))))
+}
+
+// RegisterMetrics publishes flow-table pressure in the telemetry registry:
+// sdn_flowtable_misses (lookups matching no rule, summed across switches),
+// sdn_rules_total, and a per-switch sdn_rules{switch=<id>} gauge for every
+// table, present and future. All are gauge funcs sampled at snapshot time,
+// so the lookup path pays nothing. A nil registry is a no-op.
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.reg = reg
+	existing := make(map[topology.NodeID]*FlowTable, len(c.tables))
+	for sw, t := range c.tables {
+		existing[sw] = t
+	}
+	c.mu.Unlock()
+	reg.GaugeFunc("sdn_flowtable_misses", func() float64 { return float64(c.Misses()) })
+	reg.GaugeFunc("sdn_rules_total", func() float64 { return float64(c.RuleCount()) })
+	for sw, t := range existing {
+		registerTable(reg, sw, t)
+	}
+}
+
+// Misses sums the table-miss counts across all switches.
+func (c *Controller) Misses() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, t := range c.tables {
+		n += t.Misses()
+	}
+	return n
 }
 
 // InstalledRule pairs a rule with the switch it lives on.
@@ -399,6 +510,9 @@ func (c *Controller) SetQuerySampling(queryID string, rate float64) int {
 			}
 		}
 		t.mu.RUnlock()
+	}
+	if updated > 0 {
+		c.epoch.Add(1)
 	}
 	return updated
 }

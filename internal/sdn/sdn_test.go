@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"netalytics/internal/packet"
+	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
 )
 
@@ -326,5 +327,146 @@ func BenchmarkFlowTableLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ft.Lookup(probe)
+	}
+}
+
+func TestControllerEpoch(t *testing.T) {
+	c := NewController()
+	tap := topology.NodeID(9)
+	probe := tuple(ipA, 1, ipB, 80)
+
+	start := c.Epoch()
+	id := c.InstallMirror("q", 1, Match{DstPort: 80}, tap, 10)
+	if got := c.Epoch(); got != start+1 {
+		t.Errorf("Epoch after InstallMirror = %d, want %d", got, start+1)
+	}
+
+	// Reads never bump: cached flow decisions stay valid across lookups.
+	c.Table(1).Lookup(probe)
+	c.Table(1).MirrorTargets(probe)
+	if got := c.Epoch(); got != start+1 {
+		t.Errorf("Epoch after lookups = %d, want unchanged %d", got, start+1)
+	}
+
+	if updated := c.SetQuerySampling("q", 0.5); updated != 1 {
+		t.Fatalf("SetQuerySampling updated %d, want 1", updated)
+	}
+	if got := c.Epoch(); got != start+2 {
+		t.Errorf("Epoch after SetQuerySampling = %d, want %d", got, start+2)
+	}
+	// Sampling a query with no rules leaves the epoch alone.
+	if updated := c.SetQuerySampling("missing", 0.5); updated != 0 {
+		t.Fatalf("SetQuerySampling(missing) updated %d, want 0", updated)
+	}
+	if got := c.Epoch(); got != start+2 {
+		t.Errorf("Epoch after no-op sampling = %d, want unchanged %d", got, start+2)
+	}
+
+	if !c.Table(1).Remove(id) {
+		t.Fatal("Remove failed")
+	}
+	if got := c.Epoch(); got != start+3 {
+		t.Errorf("Epoch after Remove = %d, want %d", got, start+3)
+	}
+	// Removing a rule that is already gone is not a visible change.
+	if c.Table(1).Remove(id) {
+		t.Fatal("second Remove succeeded")
+	}
+	if got := c.Epoch(); got != start+3 {
+		t.Errorf("Epoch after no-op Remove = %d, want unchanged %d", got, start+3)
+	}
+
+	c.InstallMirror("q2", 2, Match{DstPort: 81}, tap, 10)
+	after := c.Epoch()
+	if removed := c.RemoveQuery("q2"); removed != 1 {
+		t.Fatalf("RemoveQuery removed %d, want 1", removed)
+	}
+	if got := c.Epoch(); got != after+1 {
+		t.Errorf("Epoch after RemoveQuery = %d, want %d", got, after+1)
+	}
+	if removed := c.RemoveQuery("q2"); removed != 0 {
+		t.Fatalf("second RemoveQuery removed %d, want 0", removed)
+	}
+	if got := c.Epoch(); got != after+1 {
+		t.Errorf("Epoch after no-op RemoveQuery = %d, want unchanged %d", got, after+1)
+	}
+}
+
+func TestMirrorTargetsAppend(t *testing.T) {
+	var ft FlowTable
+	mon1, mon2 := topology.NodeID(100), topology.NodeID(200)
+	ft.Install(&Rule{ID: 1, Match: Match{DstIP: ipB}, Actions: []Action{{Type: ActionMirror, Dst: mon1}}})
+	ft.Install(&Rule{ID: 2, Match: Match{DstPort: 80}, Actions: []Action{{Type: ActionMirror, Dst: mon2}}})
+	probe := tuple(ipA, 1, ipB, 80)
+
+	// Appends into the caller's buffer, deduplicating against what is
+	// already there — the cross-switch dedup the forward path relies on.
+	buf := []topology.NodeID{mon1, 7}
+	got := ft.MirrorTargetsAppend(probe, buf)
+	want := []topology.NodeID{mon1, 7, mon2}
+	if len(got) != len(want) {
+		t.Fatalf("MirrorTargetsAppend = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MirrorTargetsAppend = %v, want %v", got, want)
+		}
+	}
+	// Nil buffer behaves like MirrorTargets.
+	if got := ft.MirrorTargetsAppend(probe, nil); len(got) != 2 {
+		t.Fatalf("MirrorTargetsAppend(nil) = %v, want 2 targets", got)
+	}
+}
+
+func TestMirrorTargetsAppendLargeSet(t *testing.T) {
+	// Past smallTargetSet entries the dedup switches from a linear scan to
+	// a map; duplicates must still be suppressed across the boundary.
+	var ft FlowTable
+	const total = 3 * smallTargetSet
+	for i := 0; i < total; i++ {
+		ft.Install(&Rule{ID: uint64(i + 1), Match: Match{DstPort: 80}, Actions: []Action{
+			{Type: ActionMirror, Dst: topology.NodeID(1000 + i)},
+			{Type: ActionMirror, Dst: topology.NodeID(1000 + (i+1)%total)}, // overlaps neighbor
+		}})
+	}
+	got := ft.MirrorTargetsAppend(tuple(ipA, 1, ipB, 80), nil)
+	if len(got) != total {
+		t.Fatalf("got %d targets, want %d deduplicated", len(got), total)
+	}
+	seen := make(map[topology.NodeID]bool, len(got))
+	for _, tgt := range got {
+		if seen[tgt] {
+			t.Fatalf("duplicate target %d in %v", tgt, got)
+		}
+		seen[tgt] = true
+	}
+}
+
+func TestControllerRegisterMetrics(t *testing.T) {
+	c := NewController()
+	tap := topology.NodeID(9)
+	c.InstallMirror("q", 1, Match{DstPort: 80}, tap, 10) // table exists pre-registration
+	reg := telemetry.NewRegistry()
+	c.RegisterMetrics(reg)
+	c.InstallMirror("q", 2, Match{DstPort: 80}, tap, 10) // and post-registration
+	c.Table(1).Lookup(tuple(ipA, 1, ipB, 443))           // one miss
+
+	points := map[string]float64{}
+	for _, p := range reg.Snapshot() {
+		key := p.Name
+		if sw, ok := p.Labels["switch"]; ok {
+			key += ":" + sw
+		}
+		points[key] = p.Value
+	}
+	if points["sdn_rules_total"] != 2 {
+		t.Errorf("sdn_rules_total = %v, want 2", points["sdn_rules_total"])
+	}
+	if points["sdn_flowtable_misses"] != 1 {
+		t.Errorf("sdn_flowtable_misses = %v, want 1", points["sdn_flowtable_misses"])
+	}
+	if points["sdn_rules:1"] != 1 || points["sdn_rules:2"] != 1 {
+		t.Errorf("per-switch sdn_rules = %v/%v, want 1/1 (pre- and post-registration tables)",
+			points["sdn_rules:1"], points["sdn_rules:2"])
 	}
 }

@@ -1,0 +1,157 @@
+package vnet
+
+// The flow-decision cache is the vnet analogue of Open vSwitch's microflow
+// cache: the first frame of a flow pays the full forwarding resolution —
+// host lookups, the fat-tree switch path, a walk of every on-path flow
+// table, mirror-target dedup, tap and endpoint registry reads — and every
+// subsequent frame replays the memoized decision with zero allocations and
+// zero lock acquisitions. Correctness against control-plane churn comes
+// from generation counters: decisions are stamped with the SDN controller's
+// rule epoch and the network's tap/endpoint epoch as they were before
+// resolution started, and a stamped-stale entry is re-resolved on its next
+// frame (seqlock-style validation), so a freshly installed query's mirror
+// rules take effect on the very next frame of an already-cached flow.
+//
+// The cache is bounded: power-of-two shards of cacheWays entries each, with
+// a per-shard clock hand picking eviction victims, so long-tail flows
+// recycle slots instead of growing the table. Entries are immutable once
+// published through atomic pointers — insertion and eviction are plain
+// pointer stores, making every path lock-free.
+
+import (
+	"sync/atomic"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/topology"
+)
+
+// DefaultFlowCacheSize is the default capacity, in cached flow decisions,
+// of the forwarding-decision cache (see Network.SetFlowCacheSize).
+const DefaultFlowCacheSize = 8192
+
+// cacheWays is the shard associativity: how many flows hashing to one shard
+// can be cached before the clock hand starts evicting.
+const cacheWays = 4
+
+// Traffic-locality classes, in the order of Stats' byte counters.
+const (
+	localitySameRack = iota
+	localitySamePod
+	localityCore
+)
+
+// flowDecision is one flow's memoized forwarding decision. Immutable after
+// publication; re-resolution replaces the pointer, never the contents.
+type flowDecision struct {
+	ft       packet.FiveTuple
+	sdnEpoch uint64 // sdn.Controller.Epoch at resolution
+	netEpoch uint64 // Network tap/endpoint epoch at resolution
+
+	src, dst *topology.Host
+	links    int   // path link traversals charged by per-hop delay
+	locality uint8 // localitySameRack / localitySamePod / localityCore
+	taps     []*Tap
+	ep       *Endpoint // nil: destination host has no endpoint attached
+}
+
+type flowShard struct {
+	ways [cacheWays]atomic.Pointer[flowDecision]
+	hand atomic.Uint32
+}
+
+type flowCache struct {
+	shards []flowShard // power-of-two length
+	mask   uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func newFlowCache(entries int) *flowCache {
+	shards := 1
+	for shards*cacheWays < entries {
+		shards <<= 1
+	}
+	return &flowCache{shards: make([]flowShard, shards), mask: uint64(shards - 1)}
+}
+
+// lookup returns the cached decision for the flow, or nil when none is
+// cached or the cached one was resolved under an older rule or registry
+// epoch. Stale entries are left for insert to overwrite in place.
+func (c *flowCache) lookup(h uint64, ft packet.FiveTuple, sdnEpoch, netEpoch uint64) *flowDecision {
+	s := &c.shards[h&c.mask]
+	for i := range s.ways {
+		d := s.ways[i].Load()
+		if d == nil || d.ft != ft {
+			continue
+		}
+		if d.sdnEpoch == sdnEpoch && d.netEpoch == netEpoch {
+			c.hits.Add(1)
+			return d
+		}
+		break // stale: the re-resolution's insert refreshes this way
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// insert publishes a freshly resolved decision, preferring the flow's own
+// (stale) slot, then an empty way, then the shard's clock victim.
+func (c *flowCache) insert(h uint64, d *flowDecision) {
+	s := &c.shards[h&c.mask]
+	victim := -1
+	for i := range s.ways {
+		old := s.ways[i].Load()
+		if old == nil {
+			if victim < 0 {
+				victim = i
+			}
+			continue
+		}
+		if old.ft == d.ft {
+			s.ways[i].Store(d)
+			return
+		}
+	}
+	if victim < 0 {
+		victim = int(s.hand.Add(1)) % cacheWays
+		c.evictions.Add(1)
+	}
+	s.ways[victim].Store(d)
+}
+
+// FlowCacheStats is a snapshot of the forwarding-decision cache counters.
+// Misses include frames forwarded with a stale cached decision (which
+// re-resolve in line); evictions count live entries displaced by capacity.
+type FlowCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// SetFlowCacheSize installs a forwarding-decision cache of the given
+// capacity (rounded up to a power-of-two shard count), replacing any
+// existing one and its counters; entries <= 0 disables caching, the A/B
+// baseline. The default network starts with no cache.
+func (n *Network) SetFlowCacheSize(entries int) {
+	if entries <= 0 {
+		n.cache.Store(nil)
+		return
+	}
+	n.cache.Store(newFlowCache(entries))
+}
+
+// FlowCacheStats returns the flow-decision cache counters; zeros when the
+// cache is disabled.
+func (n *Network) FlowCacheStats() FlowCacheStats {
+	c := n.cache.Load()
+	if c == nil {
+		return FlowCacheStats{}
+	}
+	return FlowCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,290 @@
+package vnet
+
+// Tests for the per-flow forwarding-decision cache: hit/miss accounting,
+// epoch-driven invalidation (every control-plane mutation must be visible on
+// the very next frame of an already-cached flow), bounded eviction, and
+// race-detector coverage of injection racing control-plane churn.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/sdn"
+	"netalytics/internal/topology"
+)
+
+// buildFlowFrame is buildFrame with a caller-chosen source port, so tests
+// can mint distinct flows that all target the same server.
+func buildFlowFrame(src, dst *topology.Host, srcPort, dstPort uint16, flags uint8) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: src.Addr, Dst: dst.Addr,
+		SrcPort: srcPort, DstPort: dstPort,
+		Flags: flags,
+	})
+}
+
+func TestFlowCacheHitReplay(t *testing.T) {
+	n, ft := newTestNet(t)
+	n.SetFlowCacheSize(DefaultFlowCacheSize)
+	hosts := ft.Hosts()
+	server, client, monitor := hosts[0], hosts[len(hosts)-1], hosts[1]
+	tap := n.OpenTap(monitor.ID, 64)
+	n.Controller().InstallMirror("q", server.Edge, sdn.Match{DstIP: server.Addr, DstPort: 80}, monitor.ID, 100)
+
+	raw := buildFrame(client, server, 80, packet.TCPFlagACK)
+	const frames = 10
+	for i := 0; i < frames; i++ {
+		if err := n.Inject(raw); err != nil {
+			t.Fatalf("Inject %d: %v", i, err)
+		}
+	}
+
+	cs := n.FlowCacheStats()
+	if cs.Misses != 1 || cs.Hits != frames-1 {
+		t.Errorf("cache stats = %+v, want 1 miss and %d hits", cs, frames-1)
+	}
+	if got := len(tap.C); got != frames {
+		t.Errorf("tap received %d copies, want %d (replay must keep mirroring)", got, frames)
+	}
+	st := n.Stats()
+	if st.Frames != frames || st.BytesCore != st.Bytes {
+		t.Errorf("stats = %+v, want %d cross-pod frames counted on the hit path", st, frames)
+	}
+}
+
+func TestFlowCacheDisabled(t *testing.T) {
+	n, ft := newTestNet(t)
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[len(hosts)-1]
+	raw := buildFrame(client, server, 80, packet.TCPFlagACK)
+
+	// The cache starts disabled: no counters move.
+	if err := n.Inject(raw); err != nil {
+		t.Fatal(err)
+	}
+	if cs := n.FlowCacheStats(); cs != (FlowCacheStats{}) {
+		t.Errorf("cache stats with cache off = %+v, want zeros", cs)
+	}
+
+	// Enable, warm, then disable again: SetFlowCacheSize(0) is the A/B off
+	// switch and must drop both the entries and the counters.
+	n.SetFlowCacheSize(64)
+	if err := n.Inject(raw); err != nil {
+		t.Fatal(err)
+	}
+	if cs := n.FlowCacheStats(); cs.Misses != 1 {
+		t.Errorf("cache stats after enable = %+v, want 1 miss", cs)
+	}
+	n.SetFlowCacheSize(0)
+	if err := n.Inject(raw); err != nil {
+		t.Fatal(err)
+	}
+	if cs := n.FlowCacheStats(); cs != (FlowCacheStats{}) {
+		t.Errorf("cache stats after disable = %+v, want zeros", cs)
+	}
+}
+
+// TestFlowCacheInvalidation drives one flow through every control-plane
+// mutation the epochs guard and asserts the frame injected immediately after
+// each mutation observes it — the correctness core of the cache.
+func TestFlowCacheInvalidation(t *testing.T) {
+	n, ft := newTestNet(t)
+	n.SetFlowCacheSize(DefaultFlowCacheSize)
+	hosts := ft.Hosts()
+	server, client, monitor := hosts[0], hosts[len(hosts)-1], hosts[1]
+	raw := buildFrame(client, server, 80, packet.TCPFlagACK)
+	inject := func() {
+		t.Helper()
+		if err := n.Inject(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm the cache with no rules, no taps, no endpoint.
+	inject()
+	if st := n.Stats(); st.UnknownDst != 1 {
+		t.Fatalf("UnknownDst = %d, want 1 (no endpoint attached yet)", st.UnknownDst)
+	}
+
+	// 1. InstallMirror on a cached flow: rule visible on the next frame
+	//    (the tap already exists, so delivery must start immediately).
+	tap := n.OpenTap(monitor.ID, 64)
+	n.Controller().InstallMirror("q", server.Edge, sdn.Match{DstIP: server.Addr, DstPort: 80}, monitor.ID, 100)
+	inject()
+	if got := len(tap.C); got != 1 {
+		t.Fatalf("after InstallMirror: tap has %d frames, want 1", got)
+	}
+
+	// 2. OpenTap on a host already targeted by a cached mirror decision:
+	//    the second tap must receive the very next frame too.
+	tap2 := n.OpenTap(monitor.ID, 64)
+	inject()
+	if got, got2 := len(tap.C), len(tap2.C); got != 2 || got2 != 1 {
+		t.Fatalf("after OpenTap: taps have %d/%d frames, want 2/1", got, got2)
+	}
+
+	// 3. SetQuerySampling to zero: the flow stops being mirrored on the
+	//    next frame even though the rule is still installed.
+	if updated := n.Controller().SetQuerySampling("q", 0); updated != 1 {
+		t.Fatalf("SetQuerySampling updated %d rules, want 1", updated)
+	}
+	inject()
+	if got, got2 := len(tap.C), len(tap2.C); got != 2 || got2 != 1 {
+		t.Fatalf("after SetQuerySampling(0): taps grew to %d/%d frames, want 2/1", got, got2)
+	}
+	if updated := n.Controller().SetQuerySampling("q", 1); updated != 1 {
+		t.Fatalf("SetQuerySampling restore updated %d rules, want 1", updated)
+	}
+
+	// 4. CloseTap: the closed tap is dropped from the decision on the next
+	//    frame; the surviving tap keeps receiving.
+	n.CloseTap(tap2)
+	inject()
+	if got := len(tap.C); got != 3 {
+		t.Fatalf("after CloseTap: surviving tap has %d frames, want 3", got)
+	}
+
+	// 5. Endpoint attach: a flow cached with "no endpoint" must reach the
+	//    endpoint attached mid-stream.
+	n.Endpoint(server)
+	before := n.Stats().UnknownDst
+	inject()
+	if got := n.Stats().UnknownDst; got != before {
+		t.Fatalf("after Endpoint attach: UnknownDst grew %d -> %d, want unchanged", before, got)
+	}
+
+	// 6. RemoveQuery: mirroring stops on the next frame.
+	if removed := n.Controller().RemoveQuery("q"); removed == 0 {
+		t.Fatal("RemoveQuery removed no rules")
+	}
+	inject()
+	if got := len(tap.C); got != 4 {
+		t.Fatalf("after RemoveQuery: tap has %d frames, want 4 (no new mirror)", got)
+	}
+}
+
+func TestFlowCacheEviction(t *testing.T) {
+	n, ft := newTestNet(t)
+	n.SetFlowCacheSize(cacheWays) // one shard: flows 5..N must evict
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[len(hosts)-1]
+
+	const flows = 3 * cacheWays
+	for p := 0; p < flows; p++ {
+		raw := buildFlowFrame(client, server, uint16(20000+p), 80, packet.TCPFlagACK)
+		if err := n.Inject(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := n.FlowCacheStats()
+	if cs.Misses != flows {
+		t.Errorf("misses = %d, want %d (every flow distinct)", cs.Misses, flows)
+	}
+	if cs.Evictions != flows-cacheWays {
+		t.Errorf("evictions = %d, want %d (bounded shard must recycle)", cs.Evictions, flows-cacheWays)
+	}
+}
+
+func TestMirrorDedupAcrossSwitchesCached(t *testing.T) {
+	n, ft := newTestNet(t)
+	n.SetFlowCacheSize(DefaultFlowCacheSize)
+	hosts := ft.Hosts()
+	server, client := hosts[0], hosts[len(hosts)-1]
+	monitor := hosts[1]
+	tap := n.OpenTap(monitor.ID, 64)
+
+	// Same mirror on both ToR switches: one copy per frame, on the miss
+	// path (first frame) and the cached replay path (second) alike.
+	m := sdn.Match{DstIP: server.Addr, DstPort: 80}
+	n.Controller().InstallMirror("q", server.Edge, m, monitor.ID, 100)
+	n.Controller().InstallMirror("q", client.Edge, m, monitor.ID, 100)
+
+	raw := buildFrame(client, server, 80, packet.TCPFlagSYN)
+	for i := 0; i < 2; i++ {
+		if err := n.Inject(raw); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+	}
+	if got := len(tap.C); got != 2 {
+		t.Errorf("tap received %d copies over 2 frames, want 2", got)
+	}
+	if cs := n.FlowCacheStats(); cs.Hits != 1 {
+		t.Errorf("cache stats = %+v, want the second frame to hit", cs)
+	}
+}
+
+// TestFlowCacheConcurrentControlChurn races injectors against continuous
+// control-plane churn — rule install/remove, sampling flips, taps opening
+// and closing — under the race detector. It asserts only invariants (no
+// panic from a send on a closed channel, drained taps, sane counters):
+// interleavings decide the actual mirror counts.
+func TestFlowCacheConcurrentControlChurn(t *testing.T) {
+	n, ft := newTestNet(t)
+	n.SetFlowCacheSize(64) // small: exercise eviction under load too
+	hosts := ft.Hosts()
+	server, monitor := hosts[0], hosts[1]
+	clients := []*topology.Host{hosts[2], hosts[4], hosts[len(hosts)-1]}
+	n.Endpoint(server)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var injected atomic.Uint64
+
+	for i, client := range clients {
+		wg.Add(1)
+		go func(i int, client *topology.Host) {
+			defer wg.Done()
+			for p := 0; ; p++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := buildFlowFrame(client, server, uint16(20000+i*100+p%8), 80, packet.TCPFlagACK)
+				if err := n.Inject(raw); err != nil {
+					t.Errorf("Inject: %v", err)
+					return
+				}
+				injected.Add(1)
+			}
+		}(i, client)
+	}
+
+	// Control loop: open a tap, install mirrors, flip sampling, tear it
+	// all down — repeatedly, while frames are in flight.
+	m := sdn.Match{DstIP: server.Addr, DstPort: 80}
+	deadline := time.After(300 * time.Millisecond)
+	for round := 0; ; round++ {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			if injected.Load() == 0 {
+				t.Fatal("no frames injected during churn")
+			}
+			if st := n.Stats(); st.Frames != injected.Load() {
+				t.Errorf("frames = %d, want %d", st.Frames, injected.Load())
+			}
+			return
+		default:
+		}
+		tap := n.OpenTap(monitor.ID, 16)
+		drained := make(chan struct{})
+		go func() {
+			for range tap.C {
+			}
+			close(drained)
+		}()
+		n.Controller().InstallMirror("churn", server.Edge, m, monitor.ID, 100)
+		n.Controller().InstallMirror("churn", clients[round%len(clients)].Edge, m, monitor.ID, 100)
+		n.Controller().SetQuerySampling("churn", 0.5)
+		n.Controller().SetQuerySampling("churn", 1)
+		n.Controller().RemoveQuery("churn")
+		n.CloseTap(tap)
+		<-drained
+	}
+}

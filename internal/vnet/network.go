@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,15 @@ type Tap struct {
 	host  topology.NodeID
 	ch    chan TapFrame
 	drops atomic.Uint64
+
+	// closed + inflight implement the lock-free close protocol: senders
+	// announce themselves in inflight and recheck closed before touching
+	// the channel; CloseTap flips closed, waits for inflight to drain and
+	// only then closes ch. A sender holding this tap's pointer — from a
+	// registry snapshot or a cached flow decision — therefore can never
+	// send on a closed channel, without any lock on the delivery path.
+	closed   atomic.Bool
+	inflight atomic.Int64
 }
 
 // Host returns the monitor host this tap is attached to.
@@ -92,6 +102,28 @@ func (t *Tap) Drops() uint64 { return t.drops.Load() }
 // behind mirror traffic and drops are imminent.
 func (t *Tap) Depth() int { return len(t.ch) }
 
+// deliver attempts a non-blocking mirror send, counting the outcome on the
+// network. See the closed/inflight protocol note on the Tap struct.
+func (t *Tap) deliver(n *Network, raw []byte, now time.Time) {
+	if t.closed.Load() {
+		return
+	}
+	t.inflight.Add(1)
+	if t.closed.Load() {
+		t.inflight.Add(-1)
+		return
+	}
+	select {
+	case t.ch <- TapFrame{Raw: raw, TS: now}:
+		n.mirrored.Add(1)
+		n.mirroredBytes.Add(uint64(len(raw)))
+	default:
+		t.drops.Add(1)
+		n.tapDrops.Add(1)
+	}
+	t.inflight.Add(-1)
+}
+
 // Stats is a snapshot of network counters.
 type Stats struct {
 	Frames        uint64 // frames delivered end to end
@@ -116,9 +148,20 @@ type Network struct {
 	topo *topology.FatTree
 	ctrl *sdn.Controller
 
-	mu        sync.RWMutex
-	endpoints map[topology.NodeID]*Endpoint
-	taps      map[topology.NodeID][]*Tap
+	// mu serializes the registry writers (endpoint attach, tap open/close).
+	// The frame path never takes it: it reads the copy-on-write snapshots
+	// below, which writers replace wholesale under mu and then bump epoch —
+	// mutation first, bump second, so a reader that loaded the epoch before
+	// a snapshot can detect the change (seqlock-style).
+	mu        sync.Mutex
+	endpoints atomic.Pointer[map[topology.NodeID]*Endpoint]
+	taps      atomic.Pointer[map[topology.NodeID][]*Tap]
+
+	// epoch counts tap/endpoint registry generations; with the controller's
+	// rule epoch it validates cached flow decisions (see flowcache.go).
+	epoch atomic.Uint64
+
+	cache atomic.Pointer[flowCache]
 
 	// perHopDelay, when non-zero, charges each link traversal (host-switch
 	// and switch-switch) a fixed latency, so cross-pod connections are
@@ -137,14 +180,15 @@ type Network struct {
 	bytesCore     atomic.Uint64
 }
 
-// New creates a network over the given topology and controller.
+// New creates a network over the given topology and controller. The flow-
+// decision cache starts disabled; see SetFlowCacheSize.
 func New(topo *topology.FatTree, ctrl *sdn.Controller) *Network {
-	return &Network{
-		topo:      topo,
-		ctrl:      ctrl,
-		endpoints: make(map[topology.NodeID]*Endpoint),
-		taps:      make(map[topology.NodeID][]*Tap),
-	}
+	n := &Network{topo: topo, ctrl: ctrl}
+	endpoints := make(map[topology.NodeID]*Endpoint)
+	taps := make(map[topology.NodeID][]*Tap)
+	n.endpoints.Store(&endpoints)
+	n.taps.Store(&taps)
+	return n
 }
 
 // Topology returns the underlying fat tree.
@@ -170,18 +214,28 @@ func (n *Network) Controller() *sdn.Controller { return n.ctrl }
 
 // Endpoint attaches (or returns the existing) network endpoint for a host.
 func (n *Network) Endpoint(h *topology.Host) *Endpoint {
+	if ep, ok := (*n.endpoints.Load())[h.ID]; ok {
+		return ep
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ep, ok := n.endpoints[h.ID]
-	if !ok {
-		ep = &Endpoint{
-			net:       n,
-			host:      h,
-			listeners: make(map[uint16]*Listener),
-		}
-		ep.nextPort.Store(40000)
-		n.endpoints[h.ID] = ep
+	old := *n.endpoints.Load()
+	if ep, ok := old[h.ID]; ok {
+		return ep
 	}
+	ep := &Endpoint{
+		net:       n,
+		host:      h,
+		listeners: make(map[uint16]*Listener),
+	}
+	ep.nextPort.Store(40000)
+	next := make(map[topology.NodeID]*Endpoint, len(old)+1)
+	for id, e := range old {
+		next[id] = e
+	}
+	next[h.ID] = ep
+	n.endpoints.Store(&next)
+	n.epoch.Add(1) // cached decisions for this destination resolved ep == nil
 	return ep
 }
 
@@ -205,7 +259,16 @@ func (n *Network) OpenTap(host topology.NodeID, buffer int) *Tap {
 	t.C = t.ch
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.taps[host] = append(n.taps[host], t)
+	old := *n.taps.Load()
+	next := make(map[topology.NodeID][]*Tap, len(old)+1)
+	for h, list := range old {
+		next[h] = list
+	}
+	// The modified host's slice is rebuilt, never appended in place:
+	// readers iterate snapshot slices without a lock.
+	next[host] = append(append(make([]*Tap, 0, len(old[host])+1), old[host]...), t)
+	n.taps.Store(&next)
+	n.epoch.Add(1)
 	return t
 }
 
@@ -213,117 +276,180 @@ func (n *Network) OpenTap(host topology.NodeID, buffer int) *Tap {
 // Closing an already-closed tap is a no-op.
 func (n *Network) CloseTap(t *Tap) {
 	n.mu.Lock()
-	list := n.taps[t.host]
-	found := false
+	old := *n.taps.Load()
+	list := old[t.host]
+	idx := -1
 	for i, have := range list {
 		if have == t {
-			n.taps[t.host] = append(list[:i], list[i+1:]...)
-			if len(n.taps[t.host]) == 0 {
-				delete(n.taps, t.host)
-			}
-			found = true
+			idx = i
 			break
 		}
 	}
-	n.mu.Unlock()
-	if found {
-		close(t.ch)
+	if idx >= 0 {
+		next := make(map[topology.NodeID][]*Tap, len(old))
+		for h, l := range old {
+			next[h] = l
+		}
+		if len(list) == 1 {
+			delete(next, t.host)
+		} else {
+			rest := make([]*Tap, 0, len(list)-1)
+			rest = append(rest, list[:idx]...)
+			next[t.host] = append(rest, list[idx+1:]...)
+		}
+		n.taps.Store(&next)
+		n.epoch.Add(1)
 	}
+	n.mu.Unlock()
+	if idx < 0 {
+		return
+	}
+	// Snapshot readers and cached decisions may still hold the tap: flip
+	// closed, wait out in-flight deliveries, and only then close the
+	// channel (see Tap.deliver).
+	t.closed.Store(true)
+	for t.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	close(t.ch)
 }
+
+// framePool recycles decode scratch Frames across Inject calls. Decode's
+// self-referential f.TCP = &f.tcp forces any fresh Frame to the heap, which
+// would put one allocation on every injected frame; the pool amortizes it
+// away. Pooling is safe because forward and handleFrame run synchronously
+// and retain only f.Payload, which aliases raw, never the Frame itself.
+var framePool = sync.Pool{New: func() any { return new(packet.Frame) }}
 
 // Inject pushes a raw frame into the network as if a host transmitted it:
 // the frame traverses the fat-tree switch path between its source and
 // destination hosts, mirror rules fire along the way, and the frame is
 // finally handed to the destination endpoint if one is attached.
 func (n *Network) Inject(raw []byte) error {
-	var f packet.Frame
-	if err := f.Decode(raw); err != nil {
-		return fmt.Errorf("%w: %w", ErrFrameRejected, err)
+	f := framePool.Get().(*packet.Frame)
+	err := f.Decode(raw)
+	if err == nil {
+		err = n.forward(raw, f)
+	} else {
+		err = fmt.Errorf("%w: %w", ErrFrameRejected, err)
 	}
-	return n.forward(raw, &f)
+	framePool.Put(f)
+	return err
 }
 
 func (n *Network) forward(raw []byte, f *packet.Frame) error {
-	src := n.topo.HostByAddr(f.IP.Src)
-	dst := n.topo.HostByAddr(f.IP.Dst)
-	if src == nil || dst == nil {
-		return fmt.Errorf("%w: %s->%s", ErrUnknownHost, f.IP.Src, f.IP.Dst)
-	}
 	ft, ok := f.FlowTuple()
 	if !ok {
 		return ErrFrameRejected
 	}
 
-	if d := n.perHopDelay.Load(); d > 0 {
-		// Links traversed: host->ToR, inter-switch hops, ToR->host.
-		links := len(n.topo.SwitchPath(src, dst)) + 1
-		time.Sleep(time.Duration(d) * time.Duration(links))
+	// Fast path: replay the flow's memoized decision. A hit costs the hash,
+	// one shard probe and two epoch loads — no locks, no allocations, no
+	// path or flow-table walks (see flowcache.go).
+	var h uint64
+	var dec *flowDecision
+	cache := n.cache.Load()
+	if cache != nil {
+		h = ft.Hash()
+		dec = cache.lookup(h, ft, n.ctrl.Epoch(), n.epoch.Load())
+	}
+	if dec == nil {
+		var err error
+		dec, err = n.resolve(ft)
+		if err != nil {
+			return err
+		}
+		if cache != nil {
+			cache.insert(h, dec)
+		}
 	}
 
-	// Walk the switch path and collect mirror targets, deduplicated across
-	// switches so one query mirroring at several levels delivers one copy.
-	var targets []topology.NodeID
-	for _, sw := range n.topo.SwitchPath(src, dst) {
-		for _, tgt := range n.ctrl.Table(sw).MirrorTargets(ft) {
-			dup := false
-			for _, have := range targets {
-				if have == tgt {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				targets = append(targets, tgt)
-			}
-		}
+	if d := n.perHopDelay.Load(); d > 0 {
+		// Links traversed: host->ToR, inter-switch hops, ToR->host.
+		time.Sleep(time.Duration(d) * time.Duration(dec.links))
 	}
-	now := time.Now()
-	for _, tgt := range targets {
-		// The non-blocking sends stay under the read lock: CloseTap closes
-		// the channel under the write lock, so a send can never race a close.
-		n.mu.RLock()
-		for _, tap := range n.taps[tgt] {
-			select {
-			case tap.ch <- TapFrame{Raw: raw, TS: now}:
-				n.mirrored.Add(1)
-				n.mirroredBytes.Add(uint64(len(raw)))
-			default:
-				tap.drops.Add(1)
-				n.tapDrops.Add(1)
-			}
+
+	if len(dec.taps) > 0 {
+		now := time.Now()
+		for _, t := range dec.taps {
+			t.deliver(n, raw, now)
 		}
-		n.mu.RUnlock()
 	}
 
 	n.frames.Add(1)
 	n.bytes.Add(uint64(len(raw)))
-	switch {
-	case src.Edge == dst.Edge:
+	switch dec.locality {
+	case localitySameRack:
 		n.bytesSameRack.Add(uint64(len(raw)))
-	case src.Pod == dst.Pod:
+	case localitySamePod:
 		n.bytesSamePod.Add(uint64(len(raw)))
 	default:
 		n.bytesCore.Add(uint64(len(raw)))
 	}
 
-	n.mu.RLock()
-	ep := n.endpoints[dst.ID]
-	n.mu.RUnlock()
-	if ep == nil {
+	if dec.ep == nil {
 		n.unknownDst.Add(1)
 		return nil // delivered into the void: host exists but nothing attached
 	}
-	ep.handleFrame(raw, f, ft)
+	dec.ep.handleFrame(raw, f, ft)
 	return nil
+}
+
+// resolve computes a flow's forwarding decision from scratch — the slow path
+// every flow pays once (and again after control-plane churn). The epochs are
+// read before the tables and registries, mirroring the writers' mutate-then-
+// bump order: a writer racing the resolution leaves the decision stamped
+// with the pre-mutation epoch, so it fails validation and re-resolves on the
+// flow's next frame instead of serving stale state indefinitely.
+func (n *Network) resolve(ft packet.FiveTuple) (*flowDecision, error) {
+	sdnEpoch := n.ctrl.Epoch()
+	netEpoch := n.epoch.Load()
+
+	src := n.topo.HostByAddr(ft.Src)
+	dst := n.topo.HostByAddr(ft.Dst)
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("%w: %s->%s", ErrUnknownHost, ft.Src, ft.Dst)
+	}
+	path := n.topo.SwitchPath(src, dst)
+	dec := &flowDecision{
+		ft:       ft,
+		sdnEpoch: sdnEpoch,
+		netEpoch: netEpoch,
+		src:      src,
+		dst:      dst,
+		links:    len(path) + 1, // host->ToR, inter-switch hops, ToR->host
+	}
+	switch {
+	case src.Edge == dst.Edge:
+		dec.locality = localitySameRack
+	case src.Pod == dst.Pod:
+		dec.locality = localitySamePod
+	default:
+		dec.locality = localityCore
+	}
+
+	// Walk the switch path and collect mirror targets into one shared
+	// buffer, deduplicated across switches so one query mirroring at
+	// several levels delivers one copy.
+	var targets []topology.NodeID
+	for _, sw := range path {
+		targets = n.ctrl.Table(sw).MirrorTargetsAppend(ft, targets)
+	}
+	if len(targets) > 0 {
+		taps := *n.taps.Load()
+		for _, tgt := range targets {
+			dec.taps = append(dec.taps, taps[tgt]...)
+		}
+	}
+	dec.ep = (*n.endpoints.Load())[dst.ID]
+	return dec, nil
 }
 
 // TapQueueDepth returns the total number of mirrored frames queued across
 // all open taps.
 func (n *Network) TapQueueDepth() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	total := 0
-	for _, list := range n.taps {
+	for _, list := range *n.taps.Load() {
 		for _, t := range list {
 			total += len(t.ch)
 		}
@@ -346,6 +472,9 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("vnet_tap_queue_depth", func() float64 { return float64(n.TapQueueDepth()) })
 	reg.GaugeFunc("vnet_unknown_dst", func() float64 { return float64(n.unknownDst.Load()) })
 	reg.GaugeFunc("vnet_inbox_drops", func() float64 { return float64(n.inboxDrops.Load()) })
+	reg.GaugeFunc("vnet_flowcache_hits", func() float64 { return float64(n.FlowCacheStats().Hits) })
+	reg.GaugeFunc("vnet_flowcache_misses", func() float64 { return float64(n.FlowCacheStats().Misses) })
+	reg.GaugeFunc("vnet_flowcache_evictions", func() float64 { return float64(n.FlowCacheStats().Evictions) })
 }
 
 // Stats returns a snapshot of the network counters.
