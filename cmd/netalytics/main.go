@@ -35,6 +35,7 @@ import (
 
 	"netalytics"
 	"netalytics/internal/apps"
+	"netalytics/internal/fault"
 	"netalytics/internal/pcap"
 	"netalytics/internal/report"
 	"netalytics/internal/telemetry"
@@ -91,9 +92,10 @@ type runOpts struct {
 	metricsAddr       string // serve /metrics here when non-empty
 	telemetryJSON     string // dump registry snapshots to this file
 	telemetryInterval time.Duration
-	traceEvery        int // 0 = default, negative disables
-	streamBatch       int // stream executor sub-batch size, 0 = default
-	vnetFlowCache     int // forwarding-decision cache entries, <=0 disables
+	traceEvery        int    // 0 = default, negative disables
+	streamBatch       int    // stream executor sub-batch size, 0 = default
+	vnetFlowCache     int    // forwarding-decision cache entries, <=0 disables
+	faultSpec         string // deterministic fault schedule, "" disables
 }
 
 func main() {
@@ -108,12 +110,16 @@ func main() {
 	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, negative disables)")
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "stream executor sub-batch size: tuples per channel send between tasks (0 = default 32, 1 disables batching)")
 	flag.IntVar(&o.vnetFlowCache, "vnet-flowcache", vnet.DefaultFlowCacheSize, "per-flow forwarding-decision cache entries (0 disables caching for A/B runs)")
+	flag.StringVar(&o.faultSpec, "fault-spec", "", `deterministic fault schedule, e.g. "seed=42,horizon=4s,events=8,kinds=loss+latency+mqdown+crash" (see DESIGN.md "Failure model & fault injection")`)
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
 	o.query = flag.Arg(0)
 
 	var err error
 	if *interactive {
+		if o.faultSpec != "" {
+			fmt.Fprintln(os.Stderr, "netalytics: -fault-spec is ignored in interactive mode")
+		}
 		err = runInteractive(o.traceEvery, o.streamBatch, o.vnetFlowCache)
 	} else {
 		err = run(o)
@@ -128,7 +134,7 @@ func main() {
 // the demo app, and each line submits a query whose results stream until the
 // query's LIMIT fires or the user enters a blank line.
 func runInteractive(traceEvery, streamBatch, vnetFlowCache int) error {
-	d, err := buildDemo(traceEvery, streamBatch, vnetFlowCache)
+	d, err := buildDemo(traceEvery, streamBatch, vnetFlowCache, "")
 	if err != nil {
 		return err
 	}
@@ -254,6 +260,9 @@ type demo struct {
 	memcached *topology.Host
 	client    *topology.Host
 	stops     []func()
+
+	faults   *fault.Injector // nil unless -fault-spec was given
+	schedule []fault.Event
 }
 
 func (d *demo) close() {
@@ -263,19 +272,36 @@ func (d *demo) close() {
 	d.tb.Close()
 }
 
-func buildDemo(traceEvery, streamBatch, vnetFlowCache int) (*demo, error) {
+func buildDemo(traceEvery, streamBatch, vnetFlowCache int, faultSpec string) (*demo, error) {
 	// The flag's 0-disables contract maps onto Config's 0-means-default one.
 	if vnetFlowCache <= 0 {
 		vnetFlowCache = -1
 	}
+	engCfg := netalytics.EngineConfig{
+		TraceSampleEvery:  traceEvery,
+		StreamBatchSize:   streamBatch,
+		VnetFlowCacheSize: vnetFlowCache,
+	}
+	var inj *fault.Injector
+	var schedule []fault.Event
+	if faultSpec != "" {
+		spec, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			return nil, err
+		}
+		// Injector counters land in the same registry as the pipeline's, so
+		// -metrics / -telemetry-json show fault_injected next to mq_retries
+		// and nfv_restarts.
+		reg := telemetry.NewRegistry()
+		inj = fault.NewInjector(spec.Seed, reg)
+		engCfg.Metrics = reg
+		engCfg.Faults = inj
+		schedule = spec.Schedule()
+	}
 	tb, err := netalytics.NewTestbed(netalytics.TestbedConfig{
 		FatTreeK:     4,
 		ResourceSeed: 7,
-		Engine: netalytics.EngineConfig{
-			TraceSampleEvery:  traceEvery,
-			StreamBatchSize:   streamBatch,
-			VnetFlowCacheSize: vnetFlowCache,
-		},
+		Engine:       engCfg,
 	})
 	if err != nil {
 		return nil, err
@@ -283,6 +309,8 @@ func buildDemo(traceEvery, streamBatch, vnetFlowCache int) (*demo, error) {
 	hosts := tb.Topology().Hosts()
 	d := &demo{
 		tb:        tb,
+		faults:    inj,
+		schedule:  schedule,
 		proxy:     hosts[0],
 		app1:      hosts[1],
 		app2:      hosts[2],
@@ -373,7 +401,7 @@ func printTelemetry(sess *netalytics.Session) {
 }
 
 func run(o runOpts) error {
-	d, err := buildDemo(o.traceEvery, o.streamBatch, o.vnetFlowCache)
+	d, err := buildDemo(o.traceEvery, o.streamBatch, o.vnetFlowCache, o.faultSpec)
 	if err != nil {
 		return err
 	}
@@ -425,6 +453,22 @@ func run(o runOpts) error {
 	}
 	fmt.Printf("; %d mirror rules installed\n", len(d.tb.Controller().QueryRules(sess.ID)))
 
+	// Chaos mode: play the deterministic fault schedule against the live
+	// pipeline, narrating each window as it opens and closes.
+	if d.faults != nil {
+		d.faults.SetOnEvent(func(ev fault.Event, cleared bool) {
+			verb := "inject"
+			if cleared {
+				verb = "clear"
+			}
+			fmt.Printf("fault: %-6s %s\n", verb, ev)
+		})
+		fmt.Printf("fault schedule: %d events over the run\n", len(d.schedule))
+		stopFaults := make(chan struct{})
+		defer close(stopFaults)
+		go d.faults.Run(fault.RealClock{}, d.schedule, stopFaults)
+	}
+
 	// Drive background traffic through the demo app while the query runs.
 	go apps.RunHTTPLoad(d.tb.Network(), d.client, apps.LoadConfig{
 		Requests: o.requests, Concurrency: 4, Target: d.proxy,
@@ -440,6 +484,19 @@ func run(o runOpts) error {
 		},
 	})
 
+	printChaos := func() {
+		if d.faults == nil {
+			return
+		}
+		fc := d.faults.Counts()
+		var retries uint64
+		for _, ts := range sess.Telemetry().Topics {
+			retries += ts.Retries
+		}
+		fmt.Printf("chaos: frame_drops=%d frame_delays=%d produce_faults=%d consume_faults=%d mq_retries=%d monitor_restarts=%d\n",
+			fc.FrameDrops, fc.FrameDelays, fc.ProduceFaults, fc.ConsumeFaults, retries, sess.MonitorRestarts())
+	}
+
 	timer := time.NewTimer(o.duration)
 	defer timer.Stop()
 	results := 0
@@ -450,6 +507,7 @@ func run(o runOpts) error {
 			if !ok {
 				fmt.Printf("session ended after %d results\n", results)
 				printTelemetry(sess)
+				printChaos()
 				return nil
 			}
 			results++
@@ -470,6 +528,7 @@ func run(o runOpts) error {
 			fmt.Printf("stopped: %d packets mirrored, %d tuples, %d batches; %d results shown\n",
 				sess.Packets(), stats.Tuples, stats.Batches, results)
 			printTelemetry(sess)
+			printChaos()
 			return nil
 		}
 	}

@@ -1,0 +1,475 @@
+package core
+
+// Chaos soak harness: the full capture→parse→mq→stream pipeline runs under a
+// deterministic, seed-driven fault schedule (link loss, latency, pod
+// partitions, mq outages, monitor crashes) and must come out balanced. Every
+// frame and tuple is accounted for by the conservation ledger below — a
+// fault may drop data, but only into a counted bucket — and the pipeline
+// must re-converge (keep producing results) after every fault clears,
+// including monitor crashes answered by session failover. The tests are
+// Chaos-named so CI's dedicated chaos job selects them with -run Chaos; set
+// CHAOS_LEDGER_FILE to append one JSON ledger line per seed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netalytics/internal/fault"
+	"netalytics/internal/mq"
+	"netalytics/internal/packet"
+	"netalytics/internal/proto"
+	"netalytics/internal/stream"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+)
+
+// chaosLedger is one soak's conservation record, written (one JSON line per
+// seed) to CHAOS_LEDGER_FILE so CI can publish the tuple accounting.
+type chaosLedger struct {
+	Seed           int64  `json:"seed"`
+	Injected       uint64 `json:"injected"`
+	Frames         uint64 `json:"frames"`
+	FaultDrops     uint64 `json:"fault_drops"`
+	Mirrored       uint64 `json:"mirrored"`
+	TapDrops       uint64 `json:"tap_drops"`
+	Delivered      uint64 `json:"delivered"`
+	Crashes        uint64 `json:"crashes"`
+	CrashLost      uint64 `json:"crash_lost"`
+	Restarts       uint64 `json:"restarts"`
+	MonitorTuples  uint64 `json:"monitor_tuples"`
+	MQRetries      uint64 `json:"mq_retries"`
+	AppendedTuples uint64 `json:"appended_tuples"`
+	DroppedTuples  uint64 `json:"dropped_tuples"`
+	ConsumedTuples uint64 `json:"consumed_tuples"`
+	Results        uint64 `json:"results"`
+	ResultDrops    uint64 `json:"result_drops"`
+}
+
+func (l chaosLedger) append(t *testing.T) {
+	path := os.Getenv("CHAOS_LEDGER_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("chaos ledger: %v", err)
+		return
+	}
+	defer f.Close()
+	line, _ := json.Marshal(l)
+	f.Write(append(line, '\n'))
+}
+
+// settleGoroutines polls until the goroutine count drops to at most limit,
+// reporting the final count. Used for both the pre-soak baseline (letting
+// earlier tests' stragglers exit) and the post-soak leak check.
+func settleGoroutines(limit int, wait time.Duration) int {
+	deadline := time.Now().Add(wait)
+	n := runtime.NumGoroutine()
+	for n > limit && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestChaosSoak(t *testing.T) {
+	for _, seed := range []int64{11, 23, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { chaosSoak(t, seed) })
+	}
+}
+
+func chaosSoak(t *testing.T, seed int64) {
+	baseline := settleGoroutines(runtime.NumGoroutine(), 200*time.Millisecond)
+
+	reg := telemetry.NewRegistry()
+	inj := fault.NewInjector(seed, reg)
+	topo := topology.MustNew(4)
+	e := NewEngine(topo, Config{
+		TickInterval:     20 * time.Millisecond,
+		TraceSampleEvery: -1,
+		ResultBuffer:     1 << 16,
+		Seed:             seed,
+		Metrics:          reg,
+		Faults:           inj,
+		MQ: mq.Config{
+			Partitions:      2,
+			ProduceRetries:  6,
+			RetryBackoff:    200 * time.Microsecond,
+			RetryBackoffMax: 5 * time.Millisecond,
+		},
+	})
+	hosts := topo.Hosts()
+	server, clients := hosts[0], hosts[8:12]
+
+	sess, err := e.Submit(fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := sess.ID + "/http_get"
+
+	var results atomic.Uint64
+	resultsDone := make(chan struct{})
+	go func() {
+		defer close(resultsDone)
+		for range sess.Results() {
+			results.Add(1)
+		}
+	}()
+
+	// The fault schedule is a pure function of the spec: same seed, same
+	// faults, in the same order at the same offsets.
+	spec := fault.Spec{
+		Seed:             seed,
+		Horizon:          1500 * time.Millisecond,
+		Events:           10,
+		Kinds:            fault.AllKinds(),
+		LossRate:         0.2,
+		Latency:          100 * time.Microsecond,
+		ErrRate:          0.5,
+		MaxFaultDuration: 250 * time.Millisecond,
+	}
+	sched := spec.Schedule()
+	if again := spec.Schedule(); fmt.Sprint(again) != fmt.Sprint(sched) {
+		t.Fatalf("schedule not deterministic:\n%v\n%v", sched, again)
+	}
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		inj.Run(fault.RealClock{}, sched, nil)
+	}()
+
+	// Drive crafted HTTP GETs through the vnet for the whole horizon. Inject
+	// is synchronous, so every accepted frame is accounted by the time the
+	// loop exits. injected only counts accepted frames (Inject err == nil).
+	var injected uint64
+	var b packet.Builder
+	deadline := time.Now().Add(spec.Horizon + 200*time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		client := clients[i%len(clients)]
+		raw := b.TCP(packet.TCPSpec{
+			Src: client.Addr, Dst: server.Addr,
+			SrcPort: uint16(20000 + i%512), DstPort: 80,
+			Flags:   packet.TCPFlagACK,
+			Payload: proto.BuildHTTPGet(fmt.Sprintf("/u%d", i%8), server.Name),
+		})
+		if err := e.Network().Inject(raw); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		injected++
+		if i%32 == 31 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	<-runnerDone // every scheduled fault has been applied and cleared
+
+	// Failover coverage is mandatory: when the drawn schedule happened to
+	// skip MonitorCrash, kill a monitor directly through the injector.
+	if crashes, _ := e.Orchestrator().CrashStats(); crashes == 0 {
+		inj.Apply(fault.Event{Kind: fault.MonitorCrash, Pick: uint64(seed)})
+	}
+	crashes, crashLost := e.Orchestrator().CrashStats()
+	if crashes == 0 {
+		t.Fatal("soak finished without a monitor crash")
+	}
+	if got := sess.MonitorRestarts(); got != crashes {
+		t.Fatalf("monitor restarts = %d, want %d (one failover per crash)", got, crashes)
+	}
+	if sess.MonitorCount() == 0 {
+		t.Fatal("no live monitor after failover")
+	}
+
+	// Re-convergence: with every fault cleared and the crashed monitor
+	// replaced, new traffic must keep producing results with no operator
+	// intervention.
+	pre := results.Load()
+	convergeBy := time.Now().Add(5 * time.Second)
+	for i := 0; results.Load() == pre; i++ {
+		if !time.Now().Before(convergeBy) {
+			t.Fatalf("pipeline did not re-converge after faults cleared (results stuck at %d)", pre)
+		}
+		raw := b.TCP(packet.TCPSpec{
+			Src: clients[i%len(clients)].Addr, Dst: server.Addr,
+			SrcPort: uint16(30000 + i%128), DstPort: 80,
+			Flags:   packet.TCPFlagACK,
+			Payload: proto.BuildHTTPGet("/converge", server.Name),
+		})
+		if err := e.Network().Inject(raw); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+		injected++
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sess.Stop()
+	<-resultsDone
+
+	// Conservation ledger: every frame and tuple the soak produced is in
+	// exactly one bucket.
+	vst := e.Network().Stats()
+	mon := sess.MonitorStats()
+	ts := e.Aggregation().Stats(topic)
+	led := chaosLedger{
+		Seed:           seed,
+		Injected:       injected,
+		Frames:         vst.Frames,
+		FaultDrops:     vst.FaultDrops,
+		Mirrored:       vst.Mirrored,
+		TapDrops:       vst.TapDrops,
+		Delivered:      sess.Packets(),
+		Crashes:        crashes,
+		CrashLost:      crashLost,
+		Restarts:       sess.MonitorRestarts(),
+		MonitorTuples:  mon.Tuples,
+		MQRetries:      ts.Retries,
+		AppendedTuples: ts.AppendedTuples,
+		DroppedTuples:  ts.DroppedTuples,
+		ConsumedTuples: ts.ConsumedTuples,
+		Results:        results.Load(),
+		ResultDrops:    sess.ResultDrops(),
+	}
+	led.append(t)
+
+	// (1) A frame is forwarded or dropped by an injected fault, never lost.
+	if led.Injected != led.Frames+led.FaultDrops {
+		t.Errorf("frame ledger: injected %d != frames %d + fault drops %d", led.Injected, led.Frames, led.FaultDrops)
+	}
+	// (2) A mirrored copy reaches a monitor or dies with a crashed tap.
+	if led.Mirrored != led.Delivered+led.CrashLost {
+		t.Errorf("mirror ledger: mirrored %d != delivered %d + crash lost %d", led.Mirrored, led.Delivered, led.CrashLost)
+	}
+	// (3) Monitors saw exactly the frames the pumps delivered.
+	if mon.Received != led.Delivered {
+		t.Errorf("monitor received %d, pumps delivered %d", mon.Received, led.Delivered)
+	}
+	// (4) Every parsed tuple lands in the topic or is attributed to an mq
+	// drop after its retry budget.
+	if led.MonitorTuples != led.AppendedTuples+led.DroppedTuples {
+		t.Errorf("tuple ledger: parsed %d != appended %d + dropped %d", led.MonitorTuples, led.AppendedTuples, led.DroppedTuples)
+	}
+	// (5) Every Send is resolved: the batch landed or was dropped.
+	if ts.Attempts != ts.Appended+ts.Dropped {
+		t.Errorf("batch ledger: attempts %d != appended %d + dropped %d", ts.Attempts, ts.Appended, ts.Dropped)
+	}
+	// (6) Stop's drain consumed the whole topic once the outages cleared
+	// (offset-preserving reconnect: an outage delays consumption, never
+	// skips it).
+	if ts.ConsumedTuples != ts.AppendedTuples || ts.Buffered != 0 {
+		t.Errorf("drain ledger: consumed %d / appended %d, buffered %d", ts.ConsumedTuples, ts.AppendedTuples, ts.Buffered)
+	}
+	// (7) Passthrough is 1:1, so every consumed tuple surfaced as a result
+	// or a counted result drop.
+	if led.Results+led.ResultDrops != led.ConsumedTuples {
+		t.Errorf("result ledger: results %d + drops %d != consumed %d", led.Results, led.ResultDrops, led.ConsumedTuples)
+	}
+
+	e.Close()
+	if n := settleGoroutines(baseline, 5*time.Second); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestChaosFailoverResumesResults isolates the failover path: kill one
+// monitor directly through the orchestrator and assert the session replaces
+// it, re-installs its mirror rules, and keeps producing results.
+func TestChaosFailoverResumesResults(t *testing.T) {
+	topo := topology.MustNew(4)
+	e := NewEngine(topo, Config{TickInterval: 10 * time.Millisecond, TraceSampleEvery: -1})
+	defer e.Close()
+	hosts := topo.Hosts()
+	server, client := hosts[0], hosts[12]
+
+	sess, err := e.Submit(fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", server.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results atomic.Uint64
+	go func() {
+		for range sess.Results() {
+			results.Add(1)
+		}
+	}()
+	rules := len(e.Controller().QueryRules(sess.ID))
+	if rules == 0 {
+		t.Fatal("no mirror rules installed")
+	}
+
+	var b packet.Builder
+	inject := func(i int) {
+		raw := b.TCP(packet.TCPSpec{
+			Src: client.Addr, Dst: server.Addr,
+			SrcPort: uint16(40000 + i%64), DstPort: 80,
+			Flags:   packet.TCPFlagACK,
+			Payload: proto.BuildHTTPGet("/r", server.Name),
+		})
+		if err := e.Network().Inject(raw); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+	}
+	waitResults := func(min uint64, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for i := 0; results.Load() < min; i++ {
+			if !time.Now().Before(deadline) {
+				t.Fatalf("%s: results stuck at %d, want >= %d", what, results.Load(), min)
+			}
+			inject(i)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitResults(1, "before crash")
+
+	ins := e.Orchestrator().Instances(sess.ID)
+	if len(ins) == 0 {
+		t.Fatal("no instances")
+	}
+	// Crash is synchronous through the failover callback: when it returns
+	// the replacement is launched and its mirror rules are live.
+	if !e.Orchestrator().Crash(ins[0]) {
+		t.Fatal("Crash returned false for a live instance")
+	}
+	if got := sess.MonitorRestarts(); got != 1 {
+		t.Fatalf("restarts = %d, want 1", got)
+	}
+	if got := sess.MonitorCount(); got != len(ins) {
+		t.Fatalf("monitor count = %d, want %d", got, len(ins))
+	}
+	if got := len(e.Controller().QueryRules(sess.ID)); got != rules {
+		t.Fatalf("mirror rules after failover = %d, want %d", got, rules)
+	}
+	for _, in := range e.Orchestrator().Instances(sess.ID) {
+		if in == ins[0] {
+			t.Fatal("crashed instance still in the roster")
+		}
+	}
+	waitResults(results.Load()+1, "after failover")
+	sess.Stop()
+}
+
+// gateSpout polls one batch at a time and trips the fault injector after
+// `gate` polled batches, so the outage lands at a deterministic stream
+// position regardless of scheduling. Single-task use only (no locking).
+type gateSpout struct {
+	poller stream.BatchPoller
+	polled int
+	gate   int
+	trip   func()
+}
+
+func (s *gateSpout) Next() []tuple.Tuple {
+	if s.polled == s.gate && s.trip != nil {
+		s.trip()
+		s.trip = nil
+	}
+	bs := s.poller.Poll(1)
+	if len(bs) == 0 {
+		return nil
+	}
+	s.polled++
+	return append([]tuple.Tuple(nil), bs[0].Tuples...)
+}
+
+// TestChaosStreamDrainOnMQUnavailable takes the mq topic down mid-stream —
+// tripped between two spout polls, so the outage lands at an exact batch —
+// and asserts the executor's Stop neither hangs nor loses a polled tuple,
+// and that the outage delayed (not skipped) the rest of the topic.
+func TestChaosStreamDrainOnMQUnavailable(t *testing.T) {
+	inj := fault.NewInjector(1, nil)
+	cl := mq.NewCluster(1, mq.Config{Partitions: 1, BufferBatches: 2048})
+	cl.SetFaultHook(inj)
+
+	const batches, perBatch = 300, 4
+	prod := cl.Producer("t")
+	for i := 0; i < batches; i++ {
+		tuples := make([]tuple.Tuple, perBatch)
+		for j := range tuples {
+			tuples[j] = tuple.Tuple{Parser: "p", Key: fmt.Sprintf("k%d", i*perBatch+j), Val: 1}
+		}
+		if err := prod.Send(&tuple.Batch{Parser: "p", Tuples: tuples}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The spout trips the outage after 50 polled batches: the topic becomes
+	// unavailable at an exact point mid-stream, with 250 batches still
+	// buffered behind the group offset.
+	var delivered atomic.Uint64
+	deliver := func(tuple.Tuple) { delivered.Add(1) }
+	spoutFactory := func() stream.Spout {
+		return &gateSpout{
+			poller: cl.GroupConsumer("t", "g"),
+			gate:   50,
+			trip:   func() { inj.Apply(fault.Event{Kind: fault.MQDown}) },
+		}
+	}
+	topo, err := stream.BuildTopology(stream.ProcessorSpec{Name: "passthrough"}, spoutFactory, 1, deliver, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := stream.NewExecutor(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for inj.ActiveCount() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("outage never tripped: delivered %d", delivered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stop against an unavailable topic must drain in-flight tuples and
+	// return; a poll of a downed partition returns empty, it never blocks.
+	stopped := make(chan struct{})
+	go func() {
+		ex.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Executor.Stop hung with the topic unavailable")
+	}
+
+	st := cl.Stats("t")
+	if delivered.Load() != st.ConsumedTuples {
+		t.Fatalf("tuple loss across Stop: delivered %d, consumed %d", delivered.Load(), st.ConsumedTuples)
+	}
+	if st.ConsumedTuples != 50*perBatch {
+		t.Fatalf("outage position drifted: consumed %d, want %d", st.ConsumedTuples, 50*perBatch)
+	}
+
+	// Offset-preserving reconnect: the same group resumes exactly where the
+	// outage froze it and drains the remainder, nothing skipped.
+	inj.ClearAll()
+	rest := uint64(0)
+	c := cl.GroupConsumer("t", "g")
+	for idle := 0; idle < 3; {
+		bs := c.Poll(16)
+		if len(bs) == 0 {
+			idle++
+			continue
+		}
+		idle = 0
+		for _, b := range bs {
+			rest += uint64(len(b.Tuples))
+		}
+	}
+	st = cl.Stats("t")
+	if total := delivered.Load() + rest; total != batches*perBatch || st.ConsumedTuples != batches*perBatch {
+		t.Fatalf("post-outage drain: delivered %d + rest %d != %d (consumed %d)",
+			delivered.Load(), rest, batches*perBatch, st.ConsumedTuples)
+	}
+	if st.Buffered != 0 {
+		t.Fatalf("buffered = %d after full drain", st.Buffered)
+	}
+}

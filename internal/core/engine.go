@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"netalytics/internal/fault"
 	"netalytics/internal/mq"
 	"netalytics/internal/nfv"
 	"netalytics/internal/parsers"
@@ -69,6 +70,12 @@ type Config struct {
 	// traced tuple per N emitted. 0 means telemetry.DefaultSampleEvery;
 	// negative disables tracing entirely (zero hot-path cost).
 	TraceSampleEvery int
+	// Faults, when non-nil, wires the deterministic fault injector into
+	// every layer: the vnet frame path (loss/latency/partitions), the mq
+	// produce/consume paths (unavailability, errors) and the NFV
+	// orchestrator (monitor crashes, answered by session failover). Nil —
+	// the default — leaves the pipeline entirely fault-free.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -132,7 +139,7 @@ func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 	}
 	net.RegisterMetrics(cfg.Metrics)
 	cfg.MQ.Metrics = cfg.Metrics
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		topo:     topo,
 		ctrl:     ctrl,
@@ -141,6 +148,27 @@ func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 		nfv:      nfv.New(net),
 		sessions: make(map[string]*Session),
 	}
+	// Monitor failover: a crashed instance dispatches to its session, which
+	// relaunches it and re-installs its mirror rules (see handleMonitorCrash).
+	// Wired unconditionally — Crash is also reachable directly through the
+	// orchestrator, not only through the fault injector.
+	e.nfv.SetOnCrash(func(queryID string, in *nfv.Instance) {
+		if s := e.Session(queryID); s != nil {
+			s.handleMonitorCrash(in)
+		}
+	})
+	if inj := cfg.Faults; inj != nil {
+		net.SetFaultHook(inj)
+		e.mq.SetFaultHook(inj)
+		inj.SetMonitorCrashFn(e.nfv.CrashOne)
+		inj.SetPods(topo.K)
+		parts := cfg.MQ.Partitions
+		if parts <= 0 {
+			parts = mq.DefaultPartitions
+		}
+		inj.SetMQPartitions(parts)
+	}
+	return e
 }
 
 // Orchestrator returns the NFV orchestrator managing monitor instances.

@@ -13,6 +13,7 @@ import (
 	"netalytics/internal/parsers"
 	"netalytics/internal/placement"
 	"netalytics/internal/query"
+	"netalytics/internal/sdn"
 	"netalytics/internal/stream"
 	"netalytics/internal/telemetry"
 	"netalytics/internal/topology"
@@ -35,6 +36,15 @@ type Session struct {
 	samplers  []*monitor.AIMDSampler
 	topics    []string
 	tracer    *telemetry.Tracer
+
+	// failMu guards the monitor roster (instances, samplers, slots) against
+	// concurrent mutation by monitor failover. Readers that walk the roster
+	// take it; handleMonitorCrash swaps entries under it; Stop sets stopped
+	// under it so no zombie relaunch can race teardown.
+	failMu   sync.Mutex
+	stopped  bool
+	slots    []*monitorSlot
+	restarts *telemetry.Counter // nfv_restarts{session=ID}
 
 	results     chan tuple.Tuple
 	resultDrops atomic.Uint64 // exported as session_result_drops{session=ID}
@@ -61,11 +71,31 @@ func (s *Session) Packets() uint64 { return s.packets.Load() }
 // ResultDrops returns results discarded because the caller fell behind.
 func (s *Session) ResultDrops() uint64 { return s.resultDrops.Load() }
 
+// monitorSlot is the durable record of one monitor placement: everything the
+// session needs to recreate the monitor and its mirror rules after a crash —
+// the launch spec (host, parsers, shared counter) and the matches whose rules
+// currently point at the slot, with their live rule IDs.
+type monitorSlot struct {
+	host    *topology.Host
+	spec    nfv.Spec
+	matches []sdn.Match
+	ruleIDs []uint64
+}
+
 // MonitorCount returns how many NFV monitors the query deployed.
-func (s *Session) MonitorCount() int { return len(s.instances) }
+func (s *Session) MonitorCount() int {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return len(s.instances)
+}
+
+// MonitorRestarts returns how many monitor failovers the session performed.
+func (s *Session) MonitorRestarts() uint64 { return s.restarts.Value() }
 
 // MonitorHosts returns the hosts running this session's monitors.
 func (s *Session) MonitorHosts() []*topology.Host {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
 	hosts := make([]*topology.Host, len(s.instances))
 	for i, in := range s.instances {
 		hosts[i] = in.Host
@@ -75,6 +105,8 @@ func (s *Session) MonitorHosts() []*topology.Host {
 
 // SampleRates returns each monitor's current sampling rate.
 func (s *Session) SampleRates() []float64 {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
 	rates := make([]float64, len(s.instances))
 	for i, in := range s.instances {
 		rates[i] = in.Monitor.SampleRate()
@@ -82,8 +114,13 @@ func (s *Session) SampleRates() []float64 {
 	return rates
 }
 
-// MonitorStats aggregates the session's monitor counters.
+// MonitorStats aggregates the session's monitor counters. The counters are
+// registry-backed and label-addressed, so a failover replacement on the same
+// host resumes the same series: the aggregate stays cumulative across
+// restarts.
 func (s *Session) MonitorStats() monitor.Stats {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
 	var total monitor.Stats
 	for _, in := range s.instances {
 		st := in.Monitor.Stats()
@@ -103,6 +140,7 @@ func (s *Session) MonitorStats() monitor.Stats {
 // start compiles and launches the query. Called once by SubmitQuery.
 func (s *Session) start() error {
 	e := s.engine
+	s.restarts = e.cfg.Metrics.Counter("nfv_restarts", telemetry.L("session", s.ID))
 	specs, err := e.compileMatches(s.Query)
 	if err != nil {
 		return err
@@ -162,7 +200,7 @@ func (s *Session) start() error {
 	reg.GaugeFunc("session_result_drops", func() float64 { return float64(s.resultDrops.Load()) }, sessLabel)
 
 	for _, proc := range place.Monitors {
-		in, err := e.nfv.Launch(s.ID, nfv.Spec{
+		launchSpec := nfv.Spec{
 			Host: proc.Host,
 			Config: monitor.Config{
 				Parsers:          factories,
@@ -178,19 +216,28 @@ func (s *Session) start() error {
 			OnLimit:      func() { go s.Stop() },
 			Metrics:      reg,
 			MetricLabels: []telemetry.Label{sessLabel},
-		})
+		}
+		in, err := e.nfv.Launch(s.ID, launchSpec)
 		if err != nil {
 			return err
 		}
 		s.instances = append(s.instances, in)
+		// Retain the spec so monitor failover can relaunch an identical
+		// instance on the same host (same parsers, sink and shared counter).
+		s.slots = append(s.slots, &monitorSlot{host: proc.Host, spec: launchSpec})
 	}
 
 	// SDN rules: mirror each match (and its reverse, so monitors see both
-	// directions of the flows) at the assigned monitor's ToR switch.
+	// directions of the flows) at the assigned monitor's ToR switch. Each
+	// slot records its matches and live rule IDs so failover can retire and
+	// re-install exactly the rules pointing at a crashed monitor.
 	for i, spec := range specs {
-		monHost := place.Monitors[place.FlowMonitor[i]].Host
-		e.ctrl.InstallMirror(s.ID, monHost.Edge, spec.match, monHost.ID, 100)
-		e.ctrl.InstallMirror(s.ID, monHost.Edge, spec.match.Reverse(), monHost.ID, 100)
+		slot := s.slots[place.FlowMonitor[i]]
+		for _, m := range []sdn.Match{spec.match, spec.match.Reverse()} {
+			id := e.ctrl.InstallMirror(s.ID, slot.host.Edge, m, slot.host.ID, 100)
+			slot.matches = append(slot.matches, m)
+			slot.ruleIDs = append(slot.ruleIDs, id)
+		}
 	}
 
 	// Stream topologies: one executor per PROCESS entry, fed by spouts
@@ -262,6 +309,52 @@ func (s *Session) start() error {
 	return nil
 }
 
+// handleMonitorCrash is the failover path, invoked (synchronously, on the
+// crashing goroutine) by the orchestrator's crash callback after the dead
+// instance has been removed and torn down. It retires the SDN mirror rules
+// that pointed at the dead monitor, relaunches an identical instance on the
+// same host from the slot's retained spec, swaps it into the roster (with a
+// fresh AIMD sampler when feedback sampling is active), and re-installs the
+// mirror rules — so the query resumes producing results without operator
+// intervention. No-op once the session is stopping: Stop owns teardown then.
+func (s *Session) handleMonitorCrash(dead *nfv.Instance) {
+	e := s.engine
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.stopped {
+		return
+	}
+	idx := -1
+	for i, in := range s.instances {
+		if in == dead {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	slot := s.slots[idx]
+	for _, id := range slot.ruleIDs {
+		e.ctrl.RemoveRule(slot.host.Edge, id)
+	}
+	in, err := e.nfv.Launch(s.ID, slot.spec)
+	if err != nil {
+		// Relaunch can only fail on a config the original launch accepted;
+		// leave the slot dark rather than crash the pipeline.
+		return
+	}
+	s.instances[idx] = in
+	if idx < len(s.samplers) {
+		s.samplers[idx] = monitor.NewAIMDSampler(in.Monitor)
+	}
+	slot.ruleIDs = slot.ruleIDs[:0]
+	for _, m := range slot.matches {
+		slot.ruleIDs = append(slot.ruleIDs, e.ctrl.InstallMirror(s.ID, slot.host.Edge, m, slot.host.ID, 100))
+	}
+	s.restarts.Add(1)
+}
+
 // feedbackLoop applies aggregation-layer statuses to all samplers. When
 // every monitor has already hit the AIMD floor and overload persists, the
 // feedback escalates to the SDN controller (§4.2): mirror rules themselves
@@ -271,6 +364,9 @@ func (s *Session) feedbackLoop(topic string, statusCh <-chan mq.Status) {
 	defer s.fbWG.Done()
 	ruleRate := 1.0
 	apply := func(overloaded bool) {
+		// Under failMu: failover may swap instances/samplers concurrently.
+		s.failMu.Lock()
+		defer s.failMu.Unlock()
 		if overloaded && s.allSamplersFloored() {
 			ruleRate /= 2
 			if ruleRate < 0.05 {
@@ -315,7 +411,7 @@ func (s *Session) feedbackLoop(topic string, statusCh <-chan mq.Status) {
 }
 
 // allSamplersFloored reports whether every monitor is already sampling at
-// the AIMD floor, i.e. local sampling is exhausted.
+// the AIMD floor, i.e. local sampling is exhausted. Caller holds failMu.
 func (s *Session) allSamplersFloored() bool {
 	if len(s.samplers) == 0 {
 		return false
@@ -349,6 +445,11 @@ func (s *Session) deliver(t tuple.Tuple) {
 func (s *Session) Stop() {
 	s.stopOnce.Do(func() {
 		e := s.engine
+		// Close the failover window first: a monitor crash arriving from here
+		// on must not relaunch anything Stop is about to reclaim.
+		s.failMu.Lock()
+		s.stopped = true
+		s.failMu.Unlock()
 		e.ctrl.RemoveQuery(s.ID)
 		e.nfv.StopQuery(s.ID)
 		if s.fbStop != nil {

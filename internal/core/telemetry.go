@@ -67,11 +67,13 @@ func (s *Session) Telemetry() Telemetry {
 		ResultDrops: s.ResultDrops(),
 		Stages:      s.tracer.StageSummaries(),
 	}
+	s.failMu.Lock()
 	for _, in := range s.instances {
 		t.PumpFrames += in.Packets()
 		t.TapDrops += in.TapDrops()
 		t.TapDepth += in.TapDepth()
 	}
+	s.failMu.Unlock()
 	for _, topic := range s.topics {
 		t.Topics[topic] = s.engine.mq.Stats(topic)
 	}

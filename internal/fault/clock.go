@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the fault runner so unit tests can drive a fault
+// schedule deterministically with ManualClock while the soak harness and the
+// CLI use RealClock. Only the two methods the runner needs are modeled.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+func (RealClock) Now() time.Time                         { return time.Now() }
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// ManualClock is a test clock that only moves when Advance is called. After
+// channels fire synchronously inside Advance once their deadline is reached,
+// so a test can step through a fault schedule event by event.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManualClock starts a manual clock at the given instant.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := c.now.Add(d)
+	if d <= 0 {
+		ch <- deadline
+		return ch
+	}
+	c.waiters = append(c.waiters, manualWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline has
+// been reached, in deadline order.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []manualWaiter
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.deadline.After(c.now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	now := c.now
+	c.mu.Unlock()
+	for i := range due {
+		for j := i + 1; j < len(due); j++ {
+			if due[j].deadline.Before(due[i].deadline) {
+				due[i], due[j] = due[j], due[i]
+			}
+		}
+	}
+	for _, w := range due {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,252 @@
+// Package fault is the deterministic fault-injection layer for the NetAlytics
+// testbed. A seeded Spec expands into a fixed schedule of fault windows —
+// vnet link loss, added latency, pod partitions, mq partition unavailability,
+// produce/consume errors, NFV monitor crashes — and an Injector applies and
+// clears those windows against the live pipeline through narrow hooks the
+// datapath layers expose (vnet.FaultHook, mq.FaultHook, the orchestrator's
+// crash entry point).
+//
+// Determinism contract: the schedule is a pure function of Spec (identical
+// seed ⇒ identical event list, regardless of runtime timing), and every
+// per-frame / per-batch probability draw comes from the Injector's own
+// splitmix64 stream, never from the global PRNG. Wall-clock interleaving of
+// *effects* still varies run to run — what is reproducible is the fault plan
+// and the invariants the chaos harness asserts under it, not the exact frame
+// counts.
+//
+// The package sits below every datapath layer: it imports only topology,
+// telemetry and the standard library, so vnet, mq, nfv and core can all
+// depend on it (or, for vnet/mq, merely be structurally satisfied by it)
+// without cycles.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the fault classes the injector knows how to apply.
+type Kind uint8
+
+const (
+	// LinkLoss drops a Bernoulli fraction of frames on the virtual network.
+	LinkLoss Kind = iota
+	// LinkLatency adds a fixed per-frame delay on the virtual network.
+	LinkLatency
+	// Partition drops every frame crossing into or out of one pod.
+	Partition
+	// MQDown makes mq partitions reject produce and consume: one partition
+	// ordinal when the injector knows the partition count, all otherwise.
+	MQDown
+	// MQProduceErr fails a Bernoulli fraction of produce attempts.
+	MQProduceErr
+	// MQConsumeErr fails a Bernoulli fraction of consume polls.
+	MQConsumeErr
+	// MonitorCrash kills one live NFV monitor instance (instantaneous: the
+	// fault has no window to clear; recovery is the orchestrator's failover).
+	MonitorCrash
+)
+
+var kindNames = map[Kind]string{
+	LinkLoss:     "loss",
+	LinkLatency:  "latency",
+	Partition:    "partition",
+	MQDown:       "mqdown",
+	MQProduceErr: "produce-err",
+	MQConsumeErr: "consume-err",
+	MonitorCrash: "crash",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AllKinds is every fault class, in declaration order.
+func AllKinds() []Kind {
+	return []Kind{LinkLoss, LinkLatency, Partition, MQDown, MQProduceErr, MQConsumeErr, MonitorCrash}
+}
+
+// Event is one scheduled fault window. At and Duration are offsets from the
+// start of the run; Param carries the kind-specific magnitude (loss or error
+// probability, or latency in nanoseconds); Pick deterministically selects the
+// victim for targeted kinds (partitioned pod, downed mq partition, crashed
+// monitor) via modulo over the live population.
+type Event struct {
+	At       time.Duration
+	Duration time.Duration
+	Kind     Kind
+	Param    float64
+	Pick     uint64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case LinkLoss, MQProduceErr, MQConsumeErr:
+		return fmt.Sprintf("%s p=%.2f at=%s for=%s", e.Kind, e.Param, e.At, e.Duration)
+	case LinkLatency:
+		return fmt.Sprintf("%s +%s at=%s for=%s", e.Kind, time.Duration(e.Param), e.At, e.Duration)
+	case MonitorCrash:
+		return fmt.Sprintf("%s pick=%d at=%s", e.Kind, e.Pick, e.At)
+	default:
+		return fmt.Sprintf("%s pick=%d at=%s for=%s", e.Kind, e.Pick, e.At, e.Duration)
+	}
+}
+
+// Spec describes a randomized-but-seeded fault schedule. Schedule() is a pure
+// function of the Spec value: every draw comes from rand.NewSource(Seed) in a
+// fixed order, so the same Spec always yields the same []Event.
+type Spec struct {
+	Seed    int64
+	Horizon time.Duration // window over which event start times are drawn
+	Events  int           // number of fault events
+	Kinds   []Kind        // kinds to draw from (default: AllKinds)
+
+	LossRate float64       // LinkLoss drop probability (default 0.15)
+	Latency  time.Duration // LinkLatency per-frame delay (default 200µs)
+	ErrRate  float64       // MQProduceErr/MQConsumeErr probability (default 0.25)
+
+	MinFaultDuration time.Duration // shortest window (default Horizon/20)
+	MaxFaultDuration time.Duration // longest window (default Horizon/5)
+}
+
+func (sp Spec) withDefaults() Spec {
+	if sp.Horizon <= 0 {
+		sp.Horizon = 2 * time.Second
+	}
+	if sp.Events <= 0 {
+		sp.Events = 6
+	}
+	if len(sp.Kinds) == 0 {
+		sp.Kinds = AllKinds()
+	}
+	if sp.LossRate <= 0 {
+		sp.LossRate = 0.15
+	}
+	if sp.Latency <= 0 {
+		sp.Latency = 200 * time.Microsecond
+	}
+	if sp.ErrRate <= 0 {
+		sp.ErrRate = 0.25
+	}
+	if sp.MinFaultDuration <= 0 {
+		sp.MinFaultDuration = sp.Horizon / 20
+	}
+	if sp.MaxFaultDuration <= 0 {
+		sp.MaxFaultDuration = sp.Horizon / 5
+	}
+	if sp.MaxFaultDuration < sp.MinFaultDuration {
+		sp.MaxFaultDuration = sp.MinFaultDuration
+	}
+	return sp
+}
+
+// Schedule expands the spec into its deterministic event list, sorted by
+// start time. All randomness is drawn from rand.NewSource(Seed) in a fixed
+// per-event order before the sort, so identical seeds produce identical
+// schedules byte for byte.
+func (sp Spec) Schedule() []Event {
+	sp = sp.withDefaults()
+	rng := rand.New(rand.NewSource(sp.Seed))
+	evs := make([]Event, 0, sp.Events)
+	for i := 0; i < sp.Events; i++ {
+		k := sp.Kinds[rng.Intn(len(sp.Kinds))]
+		at := time.Duration(rng.Int63n(int64(sp.Horizon)))
+		dur := sp.MinFaultDuration
+		if span := int64(sp.MaxFaultDuration - sp.MinFaultDuration); span > 0 {
+			dur += time.Duration(rng.Int63n(span + 1))
+		}
+		ev := Event{At: at, Duration: dur, Kind: k, Pick: rng.Uint64()}
+		switch k {
+		case LinkLoss:
+			ev.Param = sp.LossRate
+		case LinkLatency:
+			ev.Param = float64(sp.Latency)
+		case MQProduceErr, MQConsumeErr:
+			ev.Param = sp.ErrRate
+		case MonitorCrash:
+			ev.Duration = 0
+		}
+		evs = append(evs, ev)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// ParseSpec parses the -fault-spec grammar: comma-separated key=value pairs.
+//
+//	seed=42,horizon=4s,events=8,kinds=loss+latency+crash,lossrate=0.3,
+//	latency=2ms,errrate=0.5,mindur=50ms,maxdur=500ms
+//
+// Unknown keys are an error; omitted keys take the Spec defaults. The kinds
+// value is a +-separated list of Kind names (loss, latency, partition,
+// mqdown, produce-err, consume-err, crash).
+func ParseSpec(s string) (Spec, error) {
+	var sp Spec
+	if strings.TrimSpace(s) == "" {
+		return sp.withDefaults(), nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return sp, fmt.Errorf("fault: bad spec field %q (want key=value)", field)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "seed":
+			sp.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "horizon":
+			sp.Horizon, err = time.ParseDuration(val)
+		case "events":
+			sp.Events, err = strconv.Atoi(val)
+		case "kinds":
+			sp.Kinds, err = parseKinds(val)
+		case "lossrate":
+			sp.LossRate, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			sp.Latency, err = time.ParseDuration(val)
+		case "errrate":
+			sp.ErrRate, err = strconv.ParseFloat(val, 64)
+		case "mindur":
+			sp.MinFaultDuration, err = time.ParseDuration(val)
+		case "maxdur":
+			sp.MaxFaultDuration, err = time.ParseDuration(val)
+		default:
+			return sp, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("fault: bad value for %q: %v", key, err)
+		}
+	}
+	return sp.withDefaults(), nil
+}
+
+func parseKinds(val string) ([]Kind, error) {
+	var kinds []Kind
+	for _, name := range strings.Split(val, "+") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		found := false
+		for k, kn := range kindNames {
+			if kn == name || (name == "mqerr" && k == MQProduceErr) {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown fault kind %q", name)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds, nil
+}

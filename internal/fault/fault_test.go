@@ -1,0 +1,250 @@
+package fault
+
+// Unit tests for the fault layer itself: schedule determinism (the seed
+// contract the chaos harness rests on), spec parsing, the injector's active-
+// window state machine, and the runner driven by a manual clock. All tests
+// are Chaos-named so the dedicated CI chaos job (-run Chaos) picks them up.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+)
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, Horizon: 3 * time.Second, Events: 12}
+	a := spec.Schedule()
+	b := spec.Schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seed produced different schedules")
+	}
+	if len(a) != 12 {
+		t.Fatalf("schedule has %d events, want 12", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted: event %d at %s after %s", i, a[i].At, a[i-1].At)
+		}
+	}
+	for _, ev := range a {
+		if ev.At < 0 || ev.At >= spec.Horizon {
+			t.Errorf("event start %s outside horizon", ev.At)
+		}
+		if ev.Kind == MonitorCrash && ev.Duration != 0 {
+			t.Errorf("crash event has a duration: %s", ev)
+		}
+	}
+	diff := (Spec{Seed: 43, Horizon: 3 * time.Second, Events: 12}).Schedule()
+	if reflect.DeepEqual(a, diff) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChaosParseSpec(t *testing.T) {
+	sp, err := ParseSpec("seed=7,horizon=4s,events=9,kinds=loss+crash+mqdown,lossrate=0.3,latency=2ms,errrate=0.5,maxdur=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Seed != 7 || sp.Horizon != 4*time.Second || sp.Events != 9 {
+		t.Fatalf("parsed spec = %+v", sp)
+	}
+	if want := []Kind{LinkLoss, MQDown, MonitorCrash}; !reflect.DeepEqual(sp.Kinds, want) {
+		t.Fatalf("kinds = %v, want %v", sp.Kinds, want)
+	}
+	if sp.LossRate != 0.3 || sp.Latency != 2*time.Millisecond || sp.ErrRate != 0.5 {
+		t.Fatalf("rates = %+v", sp)
+	}
+	if sp.MaxFaultDuration != 500*time.Millisecond {
+		t.Fatalf("maxdur = %s", sp.MaxFaultDuration)
+	}
+	// Defaults fill the rest.
+	if sp.MinFaultDuration <= 0 {
+		t.Fatal("mindur default not applied")
+	}
+
+	for _, bad := range []string{"nope", "seed=x", "kinds=warp", "zorp=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestChaosInjectorWindows(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	in := NewInjector(1, reg)
+	topo := topology.MustNew(4)
+	hosts := topo.Hosts()
+	crossPod := func() (src, dst *topology.Host) { return hosts[0], hosts[len(hosts)-1] }
+
+	// No active faults: clean pass-through.
+	src, dst := crossPod()
+	if drop, delay := in.FrameFault(src, dst); drop || delay != 0 {
+		t.Fatal("fault effects with no active windows")
+	}
+
+	// Total loss drops every frame; clearing restores the path.
+	loss := Event{Kind: LinkLoss, Param: 1.0, Duration: time.Second}
+	in.Apply(loss)
+	if drop, _ := in.FrameFault(src, dst); !drop {
+		t.Fatal("lossrate=1 did not drop")
+	}
+	in.Clear(loss)
+	if drop, _ := in.FrameFault(src, dst); drop {
+		t.Fatal("cleared loss still dropping")
+	}
+
+	// Latency windows delay without dropping.
+	lat := Event{Kind: LinkLatency, Param: float64(3 * time.Millisecond), Duration: time.Second}
+	in.Apply(lat)
+	if drop, delay := in.FrameFault(src, dst); drop || delay != 3*time.Millisecond {
+		t.Fatalf("latency window: drop=%v delay=%s", drop, delay)
+	}
+	in.Clear(lat)
+
+	// Partition: cross-pod traffic into the targeted pod dies, intra-pod
+	// traffic survives.
+	in.SetPods(4)
+	part := Event{Kind: Partition, Pick: uint64(src.Pod), Duration: time.Second}
+	in.Apply(part)
+	if drop, _ := in.FrameFault(src, dst); !drop {
+		t.Fatal("partition did not cut cross-pod traffic")
+	}
+	samePod := hosts[1]
+	if samePod.Pod != src.Pod {
+		t.Fatalf("test topology assumption broken: hosts[1] in pod %d", samePod.Pod)
+	}
+	if drop, _ := in.FrameFault(src, samePod); drop {
+		t.Fatal("partition cut intra-pod traffic")
+	}
+	in.Clear(part)
+
+	// MQ down with no partition hint: every partition unavailable, both ways.
+	down := Event{Kind: MQDown, Duration: time.Second}
+	in.Apply(down)
+	if !in.ProduceUnavailable("t", 0) || !in.ConsumeUnavailable("t", 1) {
+		t.Fatal("mqdown did not make partitions unavailable")
+	}
+	in.Clear(down)
+	if in.ProduceUnavailable("t", 0) {
+		t.Fatal("cleared mqdown still unavailable")
+	}
+
+	// With a partition hint, only Pick%parts goes down.
+	in.SetMQPartitions(2)
+	in.Apply(Event{Kind: MQDown, Pick: 1, Duration: time.Second})
+	if in.ProduceUnavailable("t", 0) {
+		t.Fatal("mqdown took down an untargeted partition")
+	}
+	if !in.ProduceUnavailable("t", 1) {
+		t.Fatal("mqdown missed the targeted partition")
+	}
+	in.ClearAll()
+	if in.ActiveCount() != 0 {
+		t.Fatal("ClearAll left active windows")
+	}
+
+	c := in.Counts()
+	if c.FrameDrops == 0 || c.ProduceFaults == 0 {
+		t.Fatalf("effect counters did not move: %+v", c)
+	}
+	if c.Injected[LinkLoss.String()] != 1 || c.Injected[MQDown.String()] != 2 {
+		t.Fatalf("injected counters = %v", c.Injected)
+	}
+}
+
+func TestChaosRunnerManualClock(t *testing.T) {
+	in := NewInjector(3, nil)
+	schedule := []Event{
+		{At: 10 * time.Millisecond, Duration: 30 * time.Millisecond, Kind: LinkLoss, Param: 1.0},
+		{At: 20 * time.Millisecond, Kind: MonitorCrash, Pick: 5},
+	}
+	var crashed []uint64
+	in.SetMonitorCrashFn(func(pick uint64) bool { crashed = append(crashed, pick); return true })
+
+	var events []string
+	applied := make(chan struct{}, 8)
+	in.SetOnEvent(func(ev Event, cleared bool) {
+		if cleared {
+			events = append(events, "clear:"+ev.Kind.String())
+		} else {
+			events = append(events, "apply:"+ev.Kind.String())
+		}
+		applied <- struct{}{}
+	})
+
+	clock := NewManualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in.Run(clock, schedule, nil)
+	}()
+
+	step := func(d time.Duration, wantEvents int) {
+		t.Helper()
+		// Nudge the clock until the runner has parked on its next After; the
+		// manual clock fires waiters synchronously inside Advance.
+		deadline := time.Now().Add(2 * time.Second)
+		fired := 0
+		for fired < wantEvents {
+			clock.Advance(d)
+			select {
+			case <-applied:
+				fired++
+			case <-time.After(time.Millisecond):
+				if time.Now().After(deadline) {
+					t.Fatalf("runner did not fire %d events (got %d); log=%v", wantEvents, fired, events)
+				}
+			}
+		}
+	}
+
+	step(10*time.Millisecond, 1) // loss applies at t=10ms
+	if in.ActiveCount() != 1 {
+		t.Fatalf("active = %d after loss apply", in.ActiveCount())
+	}
+	step(10*time.Millisecond, 1) // crash fires at t=20ms
+	if len(crashed) != 1 || crashed[0] != 5 {
+		t.Fatalf("crashFn calls = %v", crashed)
+	}
+	step(20*time.Millisecond, 1) // loss clears at t=40ms
+	<-done
+	if in.ActiveCount() != 0 {
+		t.Fatal("runner finished with active windows")
+	}
+	want := []string{"apply:loss", "apply:crash", "clear:loss"}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("event log = %v, want %v", events, want)
+	}
+}
+
+func TestChaosRunnerStopClears(t *testing.T) {
+	in := NewInjector(4, nil)
+	schedule := []Event{
+		{At: 0, Duration: time.Hour, Kind: LinkLoss, Param: 1.0},
+		{At: time.Hour, Duration: time.Hour, Kind: MQDown},
+	}
+	clock := NewManualClock(time.Unix(0, 0))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in.Run(clock, schedule, stop)
+	}()
+	// Wait for the loss window to be live, then abort the run.
+	deadline := time.Now().Add(2 * time.Second)
+	for in.ActiveCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first event never applied")
+		}
+		clock.Advance(0)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if in.ActiveCount() != 0 {
+		t.Fatal("stopped runner left active windows")
+	}
+}

@@ -1,0 +1,337 @@
+package fault
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+)
+
+// Injector holds the set of currently active fault windows and answers the
+// datapath hooks from a lock-free snapshot. It structurally satisfies both
+// vnet.FaultHook (FrameFault) and mq.FaultHook (ProduceUnavailable /
+// ConsumeUnavailable), so the layers never import this package.
+//
+// Apply/Clear rebuild the derived snapshot under a mutex (control plane,
+// rare); the hooks read it through an atomic pointer and draw probabilities
+// from a splitmix64 stream seeded from the spec seed (data plane, hot).
+type Injector struct {
+	mu      sync.Mutex
+	applied []Event // active windows, in Apply order
+
+	active  atomic.Pointer[activeState]
+	rng     atomic.Uint64 // splitmix64 state for per-operation draws
+	pods    atomic.Int64  // pod count for Partition targeting (0 = none)
+	mqParts atomic.Int64  // mq partition count for MQDown targeting (0 = all)
+
+	crashFn atomic.Pointer[func(pick uint64) bool]
+	onEvent atomic.Pointer[func(ev Event, cleared bool)]
+
+	// Event-level counters: one fault_injected series per kind.
+	injected map[Kind]*telemetry.Counter
+	// Effect-level counters: what the active faults actually did, for the
+	// chaos ledger's attributed-drop accounting.
+	frameDrops    *telemetry.Counter
+	frameDelays   *telemetry.Counter
+	produceFaults *telemetry.Counter
+	consumeFaults *telemetry.Counter
+}
+
+// activeState is the immutable snapshot the hooks read: the union of every
+// active window, with overlapping windows of the same kind combined (max
+// rate, max latency, union of partitioned pods / downed partitions).
+type activeState struct {
+	lossRate    float64
+	latency     time.Duration
+	partPods    map[int]bool
+	mqDownAll   bool
+	mqDownParts map[int]bool
+	produceErr  float64
+	consumeErr  float64
+}
+
+// NewInjector creates an injector whose probability draws are seeded from
+// seed. reg may be nil; the counters degrade to local atomics either way
+// (telemetry.Registry accessors are nil-safe).
+func NewInjector(seed int64, reg *telemetry.Registry) *Injector {
+	in := &Injector{injected: make(map[Kind]*telemetry.Counter, len(AllKinds()))}
+	in.rng.Store(uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	for _, k := range AllKinds() {
+		in.injected[k] = reg.Counter("fault_injected", telemetry.L("kind", k.String()))
+	}
+	in.frameDrops = reg.Counter("fault_frame_drops")
+	in.frameDelays = reg.Counter("fault_frame_delays")
+	in.produceFaults = reg.Counter("fault_produce_errors")
+	in.consumeFaults = reg.Counter("fault_consume_errors")
+	return in
+}
+
+// SetPods tells the injector how many pods the topology has, so Partition
+// events can target pod Pick%n. Zero disables partition targeting.
+func (in *Injector) SetPods(n int) { in.pods.Store(int64(n)) }
+
+// SetMQPartitions tells the injector how many partitions each mq topic has,
+// so MQDown events can target partition Pick%n. Zero (the default) makes
+// MQDown take every partition down — a whole-broker outage.
+func (in *Injector) SetMQPartitions(n int) { in.mqParts.Store(int64(n)) }
+
+// SetMonitorCrashFn installs the callback MonitorCrash events invoke —
+// typically nfv.Orchestrator.CrashOne.
+func (in *Injector) SetMonitorCrashFn(fn func(pick uint64) bool) {
+	if fn == nil {
+		in.crashFn.Store(nil)
+		return
+	}
+	in.crashFn.Store(&fn)
+}
+
+// SetOnEvent installs an observer called after every Apply (cleared=false)
+// and Clear (cleared=true) — the CLI uses it to narrate the schedule.
+func (in *Injector) SetOnEvent(fn func(ev Event, cleared bool)) {
+	if fn == nil {
+		in.onEvent.Store(nil)
+		return
+	}
+	in.onEvent.Store(&fn)
+}
+
+// Apply activates one fault window (or fires an instantaneous crash).
+func (in *Injector) Apply(ev Event) {
+	if c := in.injected[ev.Kind]; c != nil {
+		c.Add(1)
+	}
+	if ev.Kind == MonitorCrash {
+		if fn := in.crashFn.Load(); fn != nil {
+			(*fn)(ev.Pick)
+		}
+		in.notify(ev, false)
+		return
+	}
+	in.mu.Lock()
+	in.applied = append(in.applied, ev)
+	in.rebuild()
+	in.mu.Unlock()
+	in.notify(ev, false)
+}
+
+// Clear deactivates the first active window equal to ev. Clearing an event
+// that is not active is a no-op.
+func (in *Injector) Clear(ev Event) {
+	if ev.Kind == MonitorCrash {
+		return
+	}
+	in.mu.Lock()
+	for i, have := range in.applied {
+		if have == ev {
+			in.applied = append(in.applied[:i], in.applied[i+1:]...)
+			break
+		}
+	}
+	in.rebuild()
+	in.mu.Unlock()
+	in.notify(ev, true)
+}
+
+// ClearAll deactivates every active window.
+func (in *Injector) ClearAll() {
+	in.mu.Lock()
+	in.applied = in.applied[:0]
+	in.rebuild()
+	in.mu.Unlock()
+}
+
+// ActiveCount reports how many fault windows are currently applied.
+func (in *Injector) ActiveCount() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.applied)
+}
+
+// rebuild recomputes the hook snapshot from the applied set. Caller holds mu.
+func (in *Injector) rebuild() {
+	if len(in.applied) == 0 {
+		in.active.Store(nil)
+		return
+	}
+	st := &activeState{}
+	for _, ev := range in.applied {
+		switch ev.Kind {
+		case LinkLoss:
+			if ev.Param > st.lossRate {
+				st.lossRate = ev.Param
+			}
+		case LinkLatency:
+			if d := time.Duration(ev.Param); d > st.latency {
+				st.latency = d
+			}
+		case Partition:
+			if pods := in.pods.Load(); pods > 0 {
+				if st.partPods == nil {
+					st.partPods = make(map[int]bool, 2)
+				}
+				st.partPods[int(ev.Pick%uint64(pods))] = true
+			}
+		case MQDown:
+			if parts := in.mqParts.Load(); parts > 0 {
+				if st.mqDownParts == nil {
+					st.mqDownParts = make(map[int]bool, 2)
+				}
+				st.mqDownParts[int(ev.Pick%uint64(parts))] = true
+			} else {
+				st.mqDownAll = true
+			}
+		case MQProduceErr:
+			if ev.Param > st.produceErr {
+				st.produceErr = ev.Param
+			}
+		case MQConsumeErr:
+			if ev.Param > st.consumeErr {
+				st.consumeErr = ev.Param
+			}
+		}
+	}
+	in.active.Store(st)
+}
+
+func (in *Injector) notify(ev Event, cleared bool) {
+	if fn := in.onEvent.Load(); fn != nil {
+		(*fn)(ev, cleared)
+	}
+}
+
+// draw returns the next value in [0,1) from the injector's own splitmix64
+// stream — lock-free, and independent of the global PRNG.
+func (in *Injector) draw() float64 {
+	x := in.rng.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// FrameFault implements the vnet fault hook: called once per forwarded frame
+// with the resolved source and destination hosts. It reports whether the
+// frame should be dropped and how much extra latency to add.
+func (in *Injector) FrameFault(src, dst *topology.Host) (drop bool, delay time.Duration) {
+	st := in.active.Load()
+	if st == nil {
+		return false, 0
+	}
+	if st.partPods != nil && src != nil && dst != nil && src.Pod != dst.Pod &&
+		(st.partPods[src.Pod] || st.partPods[dst.Pod]) {
+		in.frameDrops.Add(1)
+		return true, 0
+	}
+	if st.lossRate > 0 && in.draw() < st.lossRate {
+		in.frameDrops.Add(1)
+		return true, 0
+	}
+	if st.latency > 0 {
+		in.frameDelays.Add(1)
+	}
+	return false, st.latency
+}
+
+// ProduceUnavailable implements the mq fault hook for the produce path.
+func (in *Injector) ProduceUnavailable(topic string, partition int) bool {
+	st := in.active.Load()
+	if st == nil {
+		return false
+	}
+	if st.mqDownAll || (st.mqDownParts != nil && st.mqDownParts[partition]) {
+		in.produceFaults.Add(1)
+		return true
+	}
+	if st.produceErr > 0 && in.draw() < st.produceErr {
+		in.produceFaults.Add(1)
+		return true
+	}
+	return false
+}
+
+// ConsumeUnavailable implements the mq fault hook for the consume path.
+func (in *Injector) ConsumeUnavailable(topic string, partition int) bool {
+	st := in.active.Load()
+	if st == nil {
+		return false
+	}
+	if st.mqDownAll || (st.mqDownParts != nil && st.mqDownParts[partition]) {
+		in.consumeFaults.Add(1)
+		return true
+	}
+	if st.consumeErr > 0 && in.draw() < st.consumeErr {
+		in.consumeFaults.Add(1)
+		return true
+	}
+	return false
+}
+
+// Counts is a snapshot of the injector's counters, keyed for the chaos
+// ledger: how many events fired per kind, and what their effects were.
+type Counts struct {
+	Injected      map[string]uint64 `json:"injected"`
+	FrameDrops    uint64            `json:"frame_drops"`
+	FrameDelays   uint64            `json:"frame_delays"`
+	ProduceFaults uint64            `json:"produce_faults"`
+	ConsumeFaults uint64            `json:"consume_faults"`
+}
+
+// Counts snapshots the event and effect counters.
+func (in *Injector) Counts() Counts {
+	c := Counts{
+		Injected:      make(map[string]uint64, len(in.injected)),
+		FrameDrops:    in.frameDrops.Value(),
+		FrameDelays:   in.frameDelays.Value(),
+		ProduceFaults: in.produceFaults.Value(),
+		ConsumeFaults: in.consumeFaults.Value(),
+	}
+	for k, ctr := range in.injected {
+		if v := ctr.Value(); v > 0 {
+			c.Injected[k.String()] = v
+		}
+	}
+	return c
+}
+
+// Run plays a schedule against the injector: each event is applied at its At
+// offset and cleared Duration later, in deadline order on the given clock.
+// Run returns when the last action has fired or stop closes; on stop (and on
+// normal completion) every window the run applied has been cleared, so the
+// pipeline is left fault-free.
+func (in *Injector) Run(clock Clock, schedule []Event, stop <-chan struct{}) {
+	type action struct {
+		at    time.Duration
+		ev    Event
+		clear bool
+	}
+	acts := make([]action, 0, 2*len(schedule))
+	for _, ev := range schedule {
+		acts = append(acts, action{at: ev.At, ev: ev})
+		if ev.Kind != MonitorCrash && ev.Duration > 0 {
+			acts = append(acts, action{at: ev.At + ev.Duration, ev: ev, clear: true})
+		}
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].at < acts[j].at })
+
+	start := clock.Now()
+	for _, a := range acts {
+		if wait := a.at - clock.Now().Sub(start); wait > 0 {
+			select {
+			case <-clock.After(wait):
+			case <-stop:
+				in.ClearAll()
+				return
+			}
+		}
+		if a.clear {
+			in.Clear(a.ev)
+		} else {
+			in.Apply(a.ev)
+		}
+	}
+}

@@ -160,7 +160,7 @@ type Stats struct {
 	Malformed    uint64 // undecodable frames
 	Dispatched   uint64 // descriptor enqueues to parser workers
 	ParserDrops  uint64 // descriptors dropped at full worker queues
-	Tuples       uint64 // tuples emitted by parsers
+	Tuples       uint64 // tuples shipped to the sink (flushed parser output)
 	Batches      uint64 // batches delivered to the sink
 	SinkErrors   uint64
 }
@@ -300,15 +300,11 @@ func New(cfg Config) (*Monitor, error) {
 		m.parsers = append(m.parsers, rt)
 	}
 	m.out = newOutputBatcher(cfg.BatchSize, cfg.FlushInterval, cfg.Sink)
+	m.out.tuples = cfg.Metrics.Counter("monitor_tuples", cfg.MetricLabels...)
 	m.out.batches = cfg.Metrics.Counter("monitor_batches", cfg.MetricLabels...)
 	m.out.sinkErrors = cfg.Metrics.Counter("monitor_sink_errors", cfg.MetricLabels...)
 	if tr := cfg.Tracer; tr.Enabled() {
 		m.out.tracer = tr
-	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.GaugeFunc("monitor_tuples", func() float64 {
-			return float64(m.out.tuplesTotal())
-		}, cfg.MetricLabels...)
 	}
 	return m, nil
 }
@@ -557,7 +553,7 @@ func (m *Monitor) Stats() Stats {
 		Dispatched:   m.dispatched.Value(),
 		ParserDrops:  m.parserDrops.Value(),
 	}
-	s.Tuples = m.out.tuplesTotal()
+	s.Tuples = m.out.tuples.Value()
 	s.Batches = m.out.batches.Value()
 	s.SinkErrors = m.out.sinkErrors.Value()
 	return s
@@ -783,6 +779,11 @@ type outputBatcher struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// tuples counts tuples shipped to the sink. Registry-backed (like
+	// batches), so a failover replacement with the same labels resumes the
+	// series and query-level stats stay cumulative across monitor restarts —
+	// the property the chaos ledger's tuple equation depends on.
+	tuples     *telemetry.Counter
 	batches    *telemetry.Counter
 	sinkErrors *telemetry.Counter
 }
@@ -809,6 +810,7 @@ func newOutputBatcher(batchSize int, interval time.Duration, sink Sink) *outputB
 		interval:   interval,
 		sink:       sink,
 		stop:       make(chan struct{}),
+		tuples:     &telemetry.Counter{},
 		batches:    &telemetry.Counter{},
 		sinkErrors: &telemetry.Counter{},
 	}
@@ -893,14 +895,6 @@ func (o *outputBatcher) perParserCounts() map[string]uint64 {
 	return out
 }
 
-func (o *outputBatcher) tuplesTotal() uint64 {
-	var total uint64
-	for _, s := range o.snapshotShards() {
-		total += s.count.Load()
-	}
-	return total
-}
-
 // flushAll steals every shard's pending tuples and ships them. Called by
 // the periodic flusher and on stop.
 func (o *outputBatcher) flushAll() {
@@ -917,6 +911,10 @@ func (o *outputBatcher) flushAll() {
 
 func (o *outputBatcher) ship(parser string, tuples []tuple.Tuple) {
 	b := &tuple.Batch{Parser: parser, Tuples: tuples}
+	// Counted whether or not the sink accepts: a rejected batch is still
+	// attributed downstream (the mq producer books it as dropped tuples), so
+	// shipped = appended + dropped holds across sink errors too.
+	o.tuples.Add(uint64(len(tuples)))
 	if err := o.sink.Deliver(b); err != nil {
 		o.sinkErrors.Add(1)
 		return

@@ -39,6 +39,22 @@ const (
 // ErrBufferFull is returned when a partition cannot absorb another batch.
 var ErrBufferFull = errors.New("mq: partition buffer full")
 
+// ErrUnavailable is returned when a partition rejects an operation because a
+// fault made it unavailable (broker down, injected produce error). Like
+// ErrBufferFull it is retryable; Producer.Send retries both up to
+// Config.ProduceRetries times before surfacing the error to the caller.
+var ErrUnavailable = errors.New("mq: partition unavailable")
+
+// FaultHook lets a fault-injection layer (internal/fault) fail produce and
+// consume operations. The cluster calls it on every partition append and pop;
+// returning true makes the operation fail with ErrUnavailable (produce) or
+// behave as if no data were ready (consume — offsets are untouched, so a
+// consumer simply resumes where it left off once the fault clears).
+type FaultHook interface {
+	ProduceUnavailable(topic string, partition int) bool
+	ConsumeUnavailable(topic string, partition int) bool
+}
+
 // PersistMode selects the durability/throughput trade-off of §6.1.
 type PersistMode int
 
@@ -69,9 +85,20 @@ type Config struct {
 	// 0 disables throttling (tests). The Fig. 6 harness sets it to model
 	// per-process capacity.
 	IngestBytesPerSec float64
+	// ProduceRetries is how many times Producer.Send retries a failed append
+	// (buffer full or partition unavailable) before counting the batch as
+	// dropped and returning the error. 0 (the default) fails immediately,
+	// preserving the pre-retry behavior.
+	ProduceRetries int
+	// RetryBackoff is the first retry's sleep; each subsequent retry doubles
+	// it up to RetryBackoffMax (defaults 1ms / 50ms).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 	// Metrics, when non-nil, registers per-topic counters (mq_appended,
-	// mq_consumed, mq_dropped, mq_bytes, mq_overloads) and occupancy/backlog
-	// gauges in the telemetry registry, labeled topic=<name>.
+	// mq_consumed, mq_dropped, mq_bytes, mq_overloads, mq_attempts,
+	// mq_retries and the tuple-granular mq_*_tuples series) and
+	// occupancy/backlog gauges in the telemetry registry, labeled
+	// topic=<name>.
 	Metrics *telemetry.Registry
 }
 
@@ -88,6 +115,15 @@ func (c Config) withDefaults() Config {
 	if c.DiskBytesPerSec <= 0 {
 		c.DiskBytesPerSec = DefaultDiskBytesPerSec
 	}
+	if c.ProduceRetries < 0 {
+		c.ProduceRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -98,7 +134,10 @@ type Status struct {
 	Occupancy  float64 // occupancy of the partition that transitioned
 }
 
-// TopicStats is a snapshot of a topic's counters.
+// TopicStats is a snapshot of a topic's counters. Appended/Consumed/Dropped
+// count batches; the *Tuples fields count the tuples inside them, which is
+// what the chaos harness's conservation ledger balances (a batch either lands
+// — possibly after retries — or is dropped with its tuple count attributed).
 type TopicStats struct {
 	Appended  uint64
 	Consumed  uint64
@@ -106,6 +145,12 @@ type TopicStats struct {
 	Buffered  int
 	Bytes     uint64 // wire bytes appended
 	Occupancy float64
+
+	Attempts       uint64 // Send calls (one per batch, regardless of retries)
+	Retries        uint64 // individual retry attempts across all Sends
+	AppendedTuples uint64
+	ConsumedTuples uint64
+	DroppedTuples  uint64
 }
 
 // broker models one aggregation-layer process; its throttle serializes
@@ -147,6 +192,7 @@ func (b *broker) write(n int, rate float64) {
 type partition struct {
 	topic  *topic
 	broker *broker
+	idx    int // ordinal within the topic, for fault targeting
 
 	mu      sync.Mutex
 	buf     []*tuple.Batch
@@ -191,7 +237,16 @@ func (p *partition) trim() {
 	}
 }
 
+// append pushes one batch into the partition's log. It returns a typed,
+// retryable error — ErrUnavailable (fault hook) or ErrBufferFull (back
+// pressure) — without counting drops: drop accounting belongs to
+// Producer.Send, which owns the retry policy and knows when a batch is
+// finally lost rather than merely deferred.
 func (p *partition) append(b *tuple.Batch) error {
+	if h := p.topic.cluster.faultHook(); h != nil && h.ProduceUnavailable(p.topic.name, p.idx) {
+		return fmt.Errorf("%w: topic %q partition %d", ErrUnavailable, p.topic.name, p.idx)
+	}
+
 	// Stamp the aggregation-layer arrival time for latency tracing. Written
 	// by the single producer before the batch becomes visible to consumers
 	// (publication happens under the lock below), so readers never race it.
@@ -208,8 +263,6 @@ func (p *partition) append(b *tuple.Batch) error {
 	p.mu.Lock()
 	if p.backlog() >= p.cap {
 		p.mu.Unlock()
-		p.dropped.Add(1)
-		p.topic.dropped.Add(1)
 		return fmt.Errorf("%w: topic %q", ErrBufferFull, p.topic.name)
 	}
 	p.buf = append(p.buf, b)
@@ -223,6 +276,7 @@ func (p *partition) append(b *tuple.Batch) error {
 	p.mu.Unlock()
 
 	p.topic.appended.Add(1)
+	p.topic.appendedTuples.Add(uint64(len(b.Tuples)))
 	p.topic.bytes.Add(uint64(size))
 	p.topic.signalData()
 	if transition {
@@ -244,6 +298,12 @@ func (p *partition) register(group string) {
 }
 
 func (p *partition) pop(group string) *tuple.Batch {
+	// An unavailable partition reads as empty. The group's offset is not
+	// advanced, so the consumer's reconnect after the fault clears resumes at
+	// exactly the next unread record — offset preservation by construction.
+	if h := p.topic.cluster.faultHook(); h != nil && h.ConsumeUnavailable(p.topic.name, p.idx) {
+		return nil
+	}
 	cfg := p.topic.cluster.cfg
 	p.mu.Lock()
 	off, ok := p.groups[group]
@@ -266,6 +326,7 @@ func (p *partition) pop(group string) *tuple.Batch {
 	p.mu.Unlock()
 
 	p.topic.consumed.Add(1)
+	p.topic.consumedTuples.Add(uint64(len(b.Tuples)))
 	if transition {
 		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: false, Occupancy: occ})
 	}
@@ -284,6 +345,15 @@ type topic struct {
 	dropped   *telemetry.Counter
 	bytes     *telemetry.Counter
 	overloads *telemetry.Counter // high-watermark transitions (back-pressure events)
+
+	// Retry/fault accounting (tentpole of the fault-injection PR): attempts
+	// and retries at batch granularity, plus tuple-granular appended /
+	// consumed / dropped counters for the chaos conservation ledger.
+	attempts       *telemetry.Counter // mq_attempts: Send calls
+	retries        *telemetry.Counter // mq_retries: retry attempts
+	appendedTuples *telemetry.Counter
+	consumedTuples *telemetry.Counter
+	droppedTuples  *telemetry.Counter
 
 	// Blocking-poll wakeup: PollWait parks on dataCh and append closes it,
 	// but only when someone is actually waiting — the waiters guard keeps
@@ -328,6 +398,25 @@ type Cluster struct {
 	topics map[string]*topic
 	subs   map[string][]chan Status
 	nextBk int
+
+	fault atomic.Pointer[FaultHook]
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+// Takes effect on the next produce/consume operation.
+func (c *Cluster) SetFaultHook(h FaultHook) {
+	if h == nil {
+		c.fault.Store(nil)
+		return
+	}
+	c.fault.Store(&h)
+}
+
+func (c *Cluster) faultHook() FaultHook {
+	if hp := c.fault.Load(); hp != nil {
+		return *hp
+	}
+	return nil
 }
 
 // NewCluster creates a cluster with the given number of brokers (minimum 1).
@@ -366,13 +455,18 @@ func (c *Cluster) getTopic(name string) *topic {
 	reg := c.cfg.Metrics
 	label := telemetry.L("topic", name)
 	cand := &topic{
-		name:      name,
-		cluster:   c,
-		appended:  reg.Counter("mq_appended", label),
-		consumed:  reg.Counter("mq_consumed", label),
-		dropped:   reg.Counter("mq_dropped", label),
-		bytes:     reg.Counter("mq_bytes", label),
-		overloads: reg.Counter("mq_overloads", label),
+		name:           name,
+		cluster:        c,
+		appended:       reg.Counter("mq_appended", label),
+		consumed:       reg.Counter("mq_consumed", label),
+		dropped:        reg.Counter("mq_dropped", label),
+		bytes:          reg.Counter("mq_bytes", label),
+		overloads:      reg.Counter("mq_overloads", label),
+		attempts:       reg.Counter("mq_attempts", label),
+		retries:        reg.Counter("mq_retries", label),
+		appendedTuples: reg.Counter("mq_appended_tuples", label),
+		consumedTuples: reg.Counter("mq_consumed_tuples", label),
+		droppedTuples:  reg.Counter("mq_dropped_tuples", label),
 	}
 	if reg != nil {
 		// Occupancy and backlog are sampled at snapshot time; Stats takes
@@ -396,6 +490,7 @@ func (c *Cluster) getTopic(name string) *topic {
 		cand.partitions = append(cand.partitions, &partition{
 			topic:  cand,
 			broker: bk,
+			idx:    i,
 			groups: make(map[string]uint64),
 			cap:    c.cfg.BufferBatches,
 		})
@@ -454,10 +549,15 @@ func (c *Cluster) Stats(topicName string) TopicStats {
 		return TopicStats{}
 	}
 	st := TopicStats{
-		Appended: t.appended.Value(),
-		Consumed: t.consumed.Value(),
-		Dropped:  t.dropped.Value(),
-		Bytes:    t.bytes.Value(),
+		Appended:       t.appended.Value(),
+		Consumed:       t.consumed.Value(),
+		Dropped:        t.dropped.Value(),
+		Bytes:          t.bytes.Value(),
+		Attempts:       t.attempts.Value(),
+		Retries:        t.retries.Value(),
+		AppendedTuples: t.appendedTuples.Value(),
+		ConsumedTuples: t.consumedTuples.Value(),
+		DroppedTuples:  t.droppedTuples.Value(),
 	}
 	maxOcc := 0.0
 	for _, p := range t.partitions {
@@ -484,11 +584,34 @@ func (c *Cluster) Producer(topicName string) *Producer {
 	return &Producer{t: c.getTopic(topicName)}
 }
 
-// Send appends a batch to the next partition round-robin.
+// Send appends a batch to the next partition round-robin. Retryable failures
+// (ErrBufferFull back pressure, ErrUnavailable faults) are retried against
+// the same partition up to Config.ProduceRetries times with bounded
+// exponential backoff; only when the budget is exhausted is the batch counted
+// as dropped — with its tuple count attributed — and the typed error
+// returned, so callers can distinguish deferred from lost.
 func (p *Producer) Send(b *tuple.Batch) error {
-	idx := p.next.Add(1)
-	parts := p.t.partitions
-	return parts[idx%uint64(len(parts))].append(b)
+	t := p.t
+	cfg := t.cluster.cfg
+	t.attempts.Add(1)
+	part := t.partitions[p.next.Add(1)%uint64(len(t.partitions))]
+
+	err := part.append(b)
+	backoff := cfg.RetryBackoff
+	for tries := 0; err != nil && tries < cfg.ProduceRetries; tries++ {
+		t.retries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > cfg.RetryBackoffMax {
+			backoff = cfg.RetryBackoffMax
+		}
+		err = part.append(b)
+	}
+	if err != nil {
+		part.dropped.Add(1)
+		t.dropped.Add(1)
+		t.droppedTuples.Add(uint64(len(b.Tuples)))
+	}
+	return err
 }
 
 // Deliver implements the monitor sink interface.

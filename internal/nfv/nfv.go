@@ -8,6 +8,7 @@ package nfv
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ type Instance struct {
 	Host    *topology.Host
 	Monitor *monitor.Monitor
 
+	query   string // owning query, for crash dispatch
 	tap     *vnet.Tap
 	packets atomic.Uint64
 	pumped  *telemetry.Counter // registry mirror of packets (nfv_pump_frames)
@@ -30,10 +32,24 @@ type Instance struct {
 	onLimit func()
 	limit   uint64
 	pumpWG  sync.WaitGroup
+
+	// Crash support: dead makes the pump swallow frames without delivering
+	// (the loss a dying NF takes with it, counted in crashLost); downOnce
+	// makes teardown idempotent so Crash racing StopQuery is safe.
+	dead      atomic.Bool
+	crashLost atomic.Uint64
+	downOnce  sync.Once
 }
 
 // Packets returns the number of mirrored frames pumped into the instance.
 func (in *Instance) Packets() uint64 { return in.packets.Load() }
+
+// Query returns the ID of the query that launched the instance.
+func (in *Instance) Query() string { return in.query }
+
+// CrashLost returns the frames the pump drained but discarded because the
+// instance had crashed — mirrored traffic the dead monitor never parsed.
+func (in *Instance) CrashLost() uint64 { return in.crashLost.Load() }
 
 // TapDrops returns the mirrored frames dropped at the instance's tap because
 // its queue was full — RX overruns the pump could not keep up with.
@@ -75,6 +91,14 @@ func (in *Instance) pump() {
 		if n == 0 {
 			return
 		}
+		if in.dead.Load() {
+			// Crashed: keep draining so the tap can close, but the frames
+			// never reach the monitor. They are attributed to crashLost and
+			// deliberately kept out of the delivered-frame counters — the
+			// chaos ledger accounts Mirrored = delivered + crashLost.
+			in.crashLost.Add(uint64(n))
+			continue
+		}
 		for start := 0; start < n; {
 			ts := buf[start].TS
 			end := start + 1
@@ -98,11 +122,15 @@ func (in *Instance) pump() {
 }
 
 // stop closes the tap, waits for the pump to drain, and stops the monitor
-// (flushing its parsers and final batches).
+// (flushing its parsers and final batches). Idempotent: StopQuery tearing
+// down a query and Crash killing one of its instances may both reach the same
+// instance, and exactly one of them performs the teardown.
 func (in *Instance) stop(net *vnet.Network) {
-	net.CloseTap(in.tap)
-	in.pumpWG.Wait()
-	in.Monitor.Stop()
+	in.downOnce.Do(func() {
+		net.CloseTap(in.tap)
+		in.pumpWG.Wait()
+		in.Monitor.Stop()
+	})
 }
 
 // Spec describes one monitor instance to launch.
@@ -136,6 +164,10 @@ type Orchestrator struct {
 
 	mu        sync.Mutex
 	instances map[string][]*Instance
+
+	crashes   atomic.Uint64
+	crashLost atomic.Uint64
+	onCrash   atomic.Pointer[func(queryID string, in *Instance)]
 }
 
 // New creates an orchestrator over the network.
@@ -158,6 +190,7 @@ func (o *Orchestrator) Launch(queryID string, spec Spec) (*Instance, error) {
 	in := &Instance{
 		Host:    spec.Host,
 		Monitor: mon,
+		query:   queryID,
 		tap:     o.net.OpenTap(spec.Host.ID, spec.TapBuffer),
 		pumped:  spec.Metrics.Counter("nfv_pump_frames", labels...),
 		counter: counter,
@@ -193,6 +226,85 @@ func (o *Orchestrator) InstanceCount() int {
 		n += len(list)
 	}
 	return n
+}
+
+// SetOnCrash installs the failover callback Crash invokes after tearing a
+// crashed instance down. It runs synchronously on the crashing goroutine —
+// the engine uses it to relaunch the monitor and re-install its mirror rules.
+func (o *Orchestrator) SetOnCrash(fn func(queryID string, in *Instance)) {
+	if fn == nil {
+		o.onCrash.Store(nil)
+		return
+	}
+	o.onCrash.Store(&fn)
+}
+
+// CrashStats reports how many instances were crashed and how many mirrored
+// frames those crashes discarded before their taps closed.
+func (o *Orchestrator) CrashStats() (crashes, lostFrames uint64) {
+	return o.crashes.Load(), o.crashLost.Load()
+}
+
+// Crash kills one instance: it is removed from the query's live set, its pump
+// discards everything still queued (counted as crash loss), its tap closes
+// and its monitor flushes what it had already parsed. Returns false when the
+// instance is no longer live — already crashed, or its query already stopped
+// — in which case nothing happens; racing StopQuery is safe either way
+// because instance teardown is once-guarded.
+func (o *Orchestrator) Crash(in *Instance) bool {
+	o.mu.Lock()
+	list := o.instances[in.query]
+	idx := -1
+	for i, have := range list {
+		if have == in {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		o.mu.Unlock()
+		return false
+	}
+	rest := make([]*Instance, 0, len(list)-1)
+	rest = append(rest, list[:idx]...)
+	rest = append(rest, list[idx+1:]...)
+	if len(rest) == 0 {
+		delete(o.instances, in.query)
+	} else {
+		o.instances[in.query] = rest
+	}
+	o.mu.Unlock()
+
+	in.dead.Store(true)
+	in.stop(o.net)
+	o.crashes.Add(1)
+	o.crashLost.Add(in.crashLost.Load())
+	if cb := o.onCrash.Load(); cb != nil {
+		(*cb)(in.query, in)
+	}
+	return true
+}
+
+// CrashOne crashes a deterministically chosen live instance: the victim is
+// pick modulo the live population, ordered by query ID then launch order.
+// Returns false when no instance is live. This is the entry point the fault
+// injector's MonitorCrash events use.
+func (o *Orchestrator) CrashOne(pick uint64) bool {
+	o.mu.Lock()
+	ids := make([]string, 0, len(o.instances))
+	for id := range o.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var flat []*Instance
+	for _, id := range ids {
+		flat = append(flat, o.instances[id]...)
+	}
+	o.mu.Unlock()
+	if len(flat) == 0 {
+		return false
+	}
+	return o.Crash(flat[pick%uint64(len(flat))])
 }
 
 // StopQuery reclaims every instance of a query: taps close, pumps drain,

@@ -165,3 +165,79 @@ func TestQueriesIsolated(t *testing.T) {
 	}
 	o.Close()
 }
+
+// TestCrashVsStopQueryRace hammers the teardown race: one goroutine crashes
+// an instance while another stops its whole query. Instance teardown is
+// once-guarded and roster removal is atomic, so whichever side wins, nothing
+// panics, no instance survives and no tap leaks.
+func TestCrashVsStopQueryRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		o, net, topo := testRig(t)
+		hosts := topo.Hosts()
+		sink := &memSink{}
+		ins := make([]*Instance, 2)
+		for i := range ins {
+			in, err := o.Launch("q", Spec{Host: hosts[i+1], Config: monitorConfig(sink)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins[i] = in
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			o.Crash(ins[0])
+		}()
+		go func() {
+			defer wg.Done()
+			o.StopQuery("q")
+		}()
+		wg.Wait()
+		if got := o.InstanceCount(); got != 0 {
+			t.Fatalf("round %d: %d instances survived", round, got)
+		}
+		if got := net.TapCount(); got != 0 {
+			t.Fatalf("round %d: %d taps leaked", round, got)
+		}
+	}
+}
+
+// TestCrashAccountsLostFrames closes the crash side of the chaos ledger at
+// the unit level: frames still queued in a crashed instance's tap are
+// drained into CrashLost, never into the delivered counters.
+func TestCrashAccountsLostFrames(t *testing.T) {
+	o, net, topo := testRig(t)
+	hosts := topo.Hosts()
+	monHost, target, src := hosts[1], hosts[0], hosts[4]
+	net.Controller().InstallMirror("q1", target.Edge, sdn.Match{DstIP: target.Addr}, monHost.ID, 10)
+	net.Endpoint(target)
+
+	sink := &memSink{}
+	in, err := o.Launch("q1", Spec{Host: monHost, Config: monitorConfig(sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := net.Inject(frameTo(target, src.Addr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.Crash(in) {
+		t.Fatal("Crash returned false for a live instance")
+	}
+	if o.Crash(in) {
+		t.Fatal("second Crash of the same instance reported success")
+	}
+	crashes, lost := o.CrashStats()
+	if crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", crashes)
+	}
+	st := net.Stats()
+	if in.Packets()+lost != st.Mirrored {
+		t.Fatalf("crash ledger: delivered %d + lost %d != mirrored %d", in.Packets(), lost, st.Mirrored)
+	}
+	if in.CrashLost() != lost {
+		t.Fatalf("instance lost %d, orchestrator booked %d", in.CrashLost(), lost)
+	}
+}

@@ -456,6 +456,14 @@ func (c *Controller) InstallMirror(queryID string, sw topology.NodeID, m Match, 
 	return r.ID
 }
 
+// RemoveRule uninstalls a single rule from one switch's table, bumping the
+// epoch so cached flow decisions re-resolve. Returns false when the rule was
+// not installed there. Monitor failover uses this to retire a crashed
+// instance's mirror rules before re-installing them at the replacement.
+func (c *Controller) RemoveRule(sw topology.NodeID, id uint64) bool {
+	return c.Table(sw).Remove(id)
+}
+
 // RemoveQuery uninstalls every rule belonging to a query across all
 // switches, returning the number removed.
 func (c *Controller) RemoveQuery(queryID string) int {

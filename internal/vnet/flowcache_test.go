@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"netalytics/internal/fault"
 	"netalytics/internal/packet"
 	"netalytics/internal/sdn"
 	"netalytics/internal/topology"
@@ -285,6 +286,97 @@ func TestFlowCacheConcurrentControlChurn(t *testing.T) {
 		n.Controller().SetQuerySampling("churn", 1)
 		n.Controller().RemoveQuery("churn")
 		n.CloseTap(tap)
+		<-drained
+	}
+}
+
+// TestChaosFlowCacheFaultChurnTapCloseMidBurst drives the cache through
+// fault-injected churn: loss windows open and close around tap/rule churn,
+// and each round closes its tap mid-burst — while injectors are in full
+// flight and the tap's small queue is backed up by a deliberately slow
+// drainer. Cached decisions holding the dead tap must be invalidated by the
+// epoch bump (no sends on a closed tap, no panics), and the frame ledger
+// must balance exactly: every injected frame is either forwarded or booked
+// as a fault drop.
+func TestChaosFlowCacheFaultChurnTapCloseMidBurst(t *testing.T) {
+	n, ft := newTestNet(t)
+	n.SetFlowCacheSize(64)
+	inj := fault.NewInjector(7, nil)
+	inj.SetPods(ft.K)
+	n.SetFaultHook(inj)
+	hosts := ft.Hosts()
+	server, monitor := hosts[0], hosts[1]
+	clients := []*topology.Host{hosts[2], hosts[4], hosts[len(hosts)-1]}
+	n.Endpoint(server)
+
+	// A standing loss window spans the whole churn so a steady fraction of
+	// frames is fault-dropped; the per-round windows below churn the active
+	// set on top of it.
+	standing := fault.Event{Kind: fault.LinkLoss, Param: 0.25, Duration: time.Hour}
+	inj.Apply(standing)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var injected atomic.Uint64
+	for i, client := range clients {
+		wg.Add(1)
+		go func(i int, client *topology.Host) {
+			defer wg.Done()
+			for p := 0; ; p++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := buildFlowFrame(client, server, uint16(21000+i*100+p%8), 80, packet.TCPFlagACK)
+				if err := n.Inject(raw); err != nil {
+					t.Errorf("Inject: %v", err)
+					return
+				}
+				injected.Add(1)
+			}
+		}(i, client)
+	}
+
+	m := sdn.Match{DstIP: server.Addr, DstPort: 80}
+	deadline := time.After(300 * time.Millisecond)
+	for round := 0; ; round++ {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			inj.ClearAll()
+			if injected.Load() == 0 {
+				t.Fatal("no frames injected during churn")
+			}
+			st := n.Stats()
+			if st.Frames+st.FaultDrops != injected.Load() {
+				t.Errorf("frame ledger: %d forwarded + %d fault drops != %d injected",
+					st.Frames, st.FaultDrops, injected.Load())
+			}
+			if st.FaultDrops == 0 {
+				t.Error("loss windows never dropped a frame")
+			}
+			return
+		default:
+		}
+		// A small tap with a slow drainer: the queue backs up, so the close
+		// below lands mid-burst with frames still queued and in flight.
+		tap := n.OpenTap(monitor.ID, 8)
+		drained := make(chan struct{})
+		go func() {
+			for range tap.C {
+				time.Sleep(50 * time.Microsecond)
+			}
+			close(drained)
+		}()
+		loss := fault.Event{Kind: fault.LinkLoss, Param: 0.6, Duration: time.Second}
+		inj.Apply(loss)
+		n.Controller().InstallMirror("churn", server.Edge, m, monitor.ID, 100)
+		n.Controller().InstallMirror("churn", clients[round%len(clients)].Edge, m, monitor.ID, 100)
+		n.CloseTap(tap)
+		inj.Clear(loss)
+		n.Controller().RemoveQuery("churn")
 		<-drained
 	}
 }

@@ -133,6 +133,7 @@ type Stats struct {
 	TapDrops      uint64 // mirror copies dropped at full taps
 	UnknownDst    uint64 // frames to hosts without an endpoint
 	InboxDrops    uint64 // messages dropped at full connection inboxes
+	FaultDrops    uint64 // frames dropped by the fault hook (loss, partition)
 
 	// Traffic locality: bytes whose path stayed inside one rack, one pod,
 	// or crossed the core — the link classes the paper's weighted
@@ -168,6 +169,11 @@ type Network struct {
 	// measurably slower than rack-local ones.
 	perHopDelay atomic.Int64
 
+	// faultHook, when set, intercedes on every forwarded frame (injected
+	// loss, latency, partitions). Nil in normal operation: the fast path pays
+	// one atomic load.
+	faultHook atomic.Pointer[FaultHook]
+
 	frames        atomic.Uint64
 	bytes         atomic.Uint64
 	mirrored      atomic.Uint64
@@ -175,9 +181,28 @@ type Network struct {
 	tapDrops      atomic.Uint64
 	unknownDst    atomic.Uint64
 	inboxDrops    atomic.Uint64
+	faultDrops    atomic.Uint64
 	bytesSameRack atomic.Uint64
 	bytesSamePod  atomic.Uint64
 	bytesCore     atomic.Uint64
+}
+
+// FaultHook lets a fault-injection layer (internal/fault) intercede on the
+// frame path. It is consulted once per forwarded frame with the flow's
+// resolved source and destination hosts; drop discards the frame (counted in
+// Stats.FaultDrops, not Frames), delay adds sender-side latency.
+type FaultHook interface {
+	FrameFault(src, dst *topology.Host) (drop bool, delay time.Duration)
+}
+
+// SetFaultHook installs (or, with nil, removes) the frame-path fault hook.
+// Takes effect on the next injected frame.
+func (n *Network) SetFaultHook(h FaultHook) {
+	if h == nil {
+		n.faultHook.Store(nil)
+		return
+	}
+	n.faultHook.Store(&h)
 }
 
 // New creates a network over the given topology and controller. The flow-
@@ -364,6 +389,20 @@ func (n *Network) forward(raw []byte, f *packet.Frame) error {
 		}
 	}
 
+	// Fault hook: injected loss and partitions drop the frame before any
+	// counter or tap sees it (a lost frame reaches nothing), so the chaos
+	// ledger's first equation holds exactly: injected = Frames + FaultDrops.
+	if hp := n.faultHook.Load(); hp != nil {
+		drop, delay := (*hp).FrameFault(dec.src, dec.dst)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if drop {
+			n.faultDrops.Add(1)
+			return nil
+		}
+	}
+
 	if d := n.perHopDelay.Load(); d > 0 {
 		// Links traversed: host->ToR, inter-switch hops, ToR->host.
 		time.Sleep(time.Duration(d) * time.Duration(dec.links))
@@ -457,6 +496,17 @@ func (n *Network) TapQueueDepth() int {
 	return total
 }
 
+// TapCount returns the number of open taps across all hosts — the leak
+// detector for crash/failover tests: after every query is stopped it must be
+// zero.
+func (n *Network) TapCount() int {
+	total := 0
+	for _, list := range *n.taps.Load() {
+		total += len(list)
+	}
+	return total
+}
+
 // RegisterMetrics publishes the network counters as gauges in the telemetry
 // registry, sampled lazily at snapshot time so the frame path pays nothing.
 // A nil registry is a no-op.
@@ -472,6 +522,7 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("vnet_tap_queue_depth", func() float64 { return float64(n.TapQueueDepth()) })
 	reg.GaugeFunc("vnet_unknown_dst", func() float64 { return float64(n.unknownDst.Load()) })
 	reg.GaugeFunc("vnet_inbox_drops", func() float64 { return float64(n.inboxDrops.Load()) })
+	reg.GaugeFunc("vnet_fault_drops", func() float64 { return float64(n.faultDrops.Load()) })
 	reg.GaugeFunc("vnet_flowcache_hits", func() float64 { return float64(n.FlowCacheStats().Hits) })
 	reg.GaugeFunc("vnet_flowcache_misses", func() float64 { return float64(n.FlowCacheStats().Misses) })
 	reg.GaugeFunc("vnet_flowcache_evictions", func() float64 { return float64(n.FlowCacheStats().Evictions) })
@@ -487,6 +538,7 @@ func (n *Network) Stats() Stats {
 		TapDrops:      n.tapDrops.Load(),
 		UnknownDst:    n.unknownDst.Load(),
 		InboxDrops:    n.inboxDrops.Load(),
+		FaultDrops:    n.faultDrops.Load(),
 		BytesSameRack: n.bytesSameRack.Load(),
 		BytesSamePod:  n.bytesSamePod.Load(),
 		BytesCore:     n.bytesCore.Load(),
