@@ -7,9 +7,13 @@ package netalytics
 // target so `go test -bench=.` sweeps the whole evaluation.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/netip"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -848,5 +852,167 @@ func BenchmarkVnetForward(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// --- Scale-out: per-core sharded ingest, GOMAXPROCS sweep 1 -> 32 ---
+//
+// A/B sweep of the two refactored datapaths, published by CI as
+// BENCH_scaleout.json:
+//
+//   mq/{legacy,sharded}       N producer threads hammer one topic while one
+//                             drainer per core polls a shared consumer group.
+//                             legacy serializes appends behind the partition
+//                             mutex; sharded gives each producer a home
+//                             single-writer ring.
+//   monitor/{channels,steal}  N delivery threads push one hot IP pair split
+//                             across 64 port flows. RSS by IP pair pins the
+//                             whole load to a single collector on the channel
+//                             path; the steal path fans the backlog out to
+//                             idle collectors.
+//
+// Each sub-bench pins GOMAXPROCS and verifies conservation (every accepted
+// batch/frame accounted for) before reporting, so a scheduling bug cannot
+// masquerade as throughput.
+
+func BenchmarkScaleout(b *testing.B) {
+	cores := []int{1, 2, 4, 8, 16, 32}
+	for _, path := range []string{"legacy", "sharded"} {
+		for _, n := range cores {
+			b.Run(fmt.Sprintf("mq/%s/cores=%d", path, n), func(b *testing.B) {
+				benchScaleoutMQ(b, path == "sharded", n)
+			})
+		}
+	}
+	for _, path := range []string{"channels", "steal"} {
+		for _, n := range cores {
+			b.Run(fmt.Sprintf("monitor/%s/cores=%d", path, n), func(b *testing.B) {
+				benchScaleoutMonitor(b, path == "steal", n)
+			})
+		}
+	}
+}
+
+func benchScaleoutMQ(b *testing.B, sharded bool, cores int) {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+
+	cfg := mq.Config{Partitions: 4, BufferBatches: 1 << 16}
+	if sharded {
+		cfg.IngestShards = cores
+	}
+	cluster := mq.NewCluster(2, cfg)
+
+	batch := &tuple.Batch{Parser: "p"}
+	for i := 0; i < 64; i++ {
+		batch.Tuples = append(batch.Tuples, tuple.Tuple{FlowID: uint64(i), Key: "/v"})
+	}
+
+	var produced, consumed atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < cores; i++ {
+		cons := cluster.GroupConsumer("scale", "bench")
+		cons.SetShardAffinity(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				got := cons.Poll(256)
+				if len(got) == 0 {
+					runtime.Gosched()
+					continue
+				}
+				consumed.Add(int64(len(got)))
+			}
+			for { // final sweep: claim whatever the producers left behind
+				got := cons.Poll(256)
+				if len(got) == 0 {
+					return
+				}
+				consumed.Add(int64(len(got)))
+			}
+		}()
+	}
+
+	b.SetBytes(int64(batch.WireSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		prod := cluster.Producer("scale")
+		for pb.Next() {
+			for {
+				err := prod.Send(batch)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, mq.ErrBufferFull) && !errors.Is(err, mq.ErrUnavailable) {
+					b.Error(err)
+					return
+				}
+				runtime.Gosched()
+			}
+			produced.Add(1)
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+	if got, want := consumed.Load(), produced.Load(); got != want {
+		b.Fatalf("tuple loss: produced %d batches, consumed %d", want, got)
+	}
+}
+
+func benchScaleoutMonitor(b *testing.B, steal bool, cores int) {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+
+	factory, err := parsers.Lookup("tcp_pkt_size")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := monitor.New(monitor.Config{
+		Parsers:    []monitor.Factory{factory},
+		Sink:       monitor.SinkFunc(func(*tuple.Batch) error { return nil }),
+		QueueDepth: 1 << 14,
+		Collectors: cores,
+		WorkSteal:  steal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// One hot IP pair, 64 port flows: the worst case for RSS-by-IP-pair.
+	var pb packet.Builder
+	frames := make([][]byte, 64)
+	for i := range frames {
+		frames[i] = pb.TCP(packet.TCPSpec{
+			Src:     netip.AddrFrom4([4]byte{10, 9, 0, 2}),
+			Dst:     netip.AddrFrom4([4]byte{10, 9, 0, 3}),
+			SrcPort: uint16(10000 + i),
+			DstPort: 80,
+			Flags:   packet.TCPFlagACK | packet.TCPFlagPSH,
+			Payload: make([]byte, 192),
+		})
+	}
+
+	mon.Start()
+	var accepted, idx atomic.Uint64
+	b.SetBytes(int64(len(frames[0])))
+	b.ResetTimer()
+	b.RunParallel(func(pbb *testing.PB) {
+		for pbb.Next() {
+			f := frames[idx.Add(1)&63]
+			for !mon.Deliver(f, time.Time{}) {
+				runtime.Gosched()
+			}
+			accepted.Add(1)
+		}
+	})
+	b.StopTimer()
+	mon.Stop()
+	st := mon.Stats()
+	if got := st.Received - st.CollectDrops; got != accepted.Load() {
+		b.Fatalf("frame loss: accepted %d, monitor accounts for %d", accepted.Load(), got)
 	}
 }

@@ -95,6 +95,7 @@ type runOpts struct {
 	traceEvery        int    // 0 = default, negative disables
 	streamBatch       int    // stream executor sub-batch size, 0 = default
 	vnetFlowCache     int    // forwarding-decision cache entries, <=0 disables
+	ingestShards      int    // per-core sharded ingest, 0 = legacy path
 	faultSpec         string // deterministic fault schedule, "" disables
 }
 
@@ -110,6 +111,7 @@ func main() {
 	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, negative disables)")
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "stream executor sub-batch size: tuples per channel send between tasks (0 = default 32, 1 disables batching)")
 	flag.IntVar(&o.vnetFlowCache, "vnet-flowcache", vnet.DefaultFlowCacheSize, "per-flow forwarding-decision cache entries (0 disables caching for A/B runs)")
+	flag.IntVar(&o.ingestShards, "ingest-shards", 0, "per-core sharded ingest: lock-free mq ring shards and work-stealing monitor collectors per instance (0 = legacy single-owner queues for A/B)")
 	flag.StringVar(&o.faultSpec, "fault-spec", "", `deterministic fault schedule, e.g. "seed=42,horizon=4s,events=8,kinds=loss+latency+mqdown+crash" (see DESIGN.md "Failure model & fault injection")`)
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
@@ -120,7 +122,7 @@ func main() {
 		if o.faultSpec != "" {
 			fmt.Fprintln(os.Stderr, "netalytics: -fault-spec is ignored in interactive mode")
 		}
-		err = runInteractive(o.traceEvery, o.streamBatch, o.vnetFlowCache)
+		err = runInteractive(o.traceEvery, o.streamBatch, o.vnetFlowCache, o.ingestShards)
 	} else {
 		err = run(o)
 	}
@@ -133,8 +135,8 @@ func main() {
 // runInteractive drives a REPL: continuous background traffic flows through
 // the demo app, and each line submits a query whose results stream until the
 // query's LIMIT fires or the user enters a blank line.
-func runInteractive(traceEvery, streamBatch, vnetFlowCache int) error {
-	d, err := buildDemo(traceEvery, streamBatch, vnetFlowCache, "")
+func runInteractive(traceEvery, streamBatch, vnetFlowCache, ingestShards int) error {
+	d, err := buildDemo(traceEvery, streamBatch, vnetFlowCache, ingestShards, "")
 	if err != nil {
 		return err
 	}
@@ -272,7 +274,7 @@ func (d *demo) close() {
 	d.tb.Close()
 }
 
-func buildDemo(traceEvery, streamBatch, vnetFlowCache int, faultSpec string) (*demo, error) {
+func buildDemo(traceEvery, streamBatch, vnetFlowCache, ingestShards int, faultSpec string) (*demo, error) {
 	// The flag's 0-disables contract maps onto Config's 0-means-default one.
 	if vnetFlowCache <= 0 {
 		vnetFlowCache = -1
@@ -281,6 +283,7 @@ func buildDemo(traceEvery, streamBatch, vnetFlowCache int, faultSpec string) (*d
 		TraceSampleEvery:  traceEvery,
 		StreamBatchSize:   streamBatch,
 		VnetFlowCacheSize: vnetFlowCache,
+		IngestShards:      ingestShards,
 	}
 	var inj *fault.Injector
 	var schedule []fault.Event
@@ -401,7 +404,7 @@ func printTelemetry(sess *netalytics.Session) {
 }
 
 func run(o runOpts) error {
-	d, err := buildDemo(o.traceEvery, o.streamBatch, o.vnetFlowCache, o.faultSpec)
+	d, err := buildDemo(o.traceEvery, o.streamBatch, o.vnetFlowCache, o.ingestShards, o.faultSpec)
 	if err != nil {
 		return err
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBuildDemoAndDescribe(t *testing.T) {
-	d, err := buildDemo(0, 0, 0, "")
+	d, err := buildDemo(0, 0, 0, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestRunWithTelemetryExports(t *testing.T) {
 }
 
 func TestServeMetrics(t *testing.T) {
-	d, err := buildDemo(0, 0, 0, "")
+	d, err := buildDemo(0, 0, 0, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,13 @@ type Config struct {
 	// (vnet.DefaultFlowCacheSize); negative disables the cache, the A/B
 	// baseline where every frame re-resolves its path and mirror targets.
 	VnetFlowCacheSize int
+	// IngestShards enables the per-core sharded ingest path (DESIGN.md
+	// "Sharded ingest & work-stealing"): each mq partition's log splits into
+	// this many lock-free single-writer rings, each monitor runs this many
+	// work-stealing collectors, and spout tasks get partition-to-core
+	// affinity hints. 0 (the default) keeps the legacy single-owner
+	// datapaths — the A/B baseline.
+	IngestShards int
 	// Policy selects the placement policy (default NetAlytics-Network).
 	Policy placement.Policy
 	// PlacementParams tunes capacities for placement.
@@ -139,6 +146,9 @@ func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 	}
 	net.RegisterMetrics(cfg.Metrics)
 	cfg.MQ.Metrics = cfg.Metrics
+	if cfg.IngestShards > 0 && cfg.MQ.IngestShards == 0 {
+		cfg.MQ.IngestShards = cfg.IngestShards
+	}
 	e := &Engine{
 		cfg:      cfg,
 		topo:     topo,

@@ -204,6 +204,10 @@ func (s *Session) start() error {
 			Host: proc.Host,
 			Config: monitor.Config{
 				Parsers:          factories,
+				// With sharded ingest, each monitor runs one collector per
+				// shard and idle collectors steal bursts from hot ones.
+				Collectors:       e.cfg.IngestShards,
+				WorkSteal:        e.cfg.IngestShards > 1,
 				WorkersPerParser: e.cfg.MonitorWorkers,
 				Sink:             sink,
 				SampleRate:       sampleRate,
@@ -252,10 +256,17 @@ func (s *Session) start() error {
 		for _, topic := range topicsCopy {
 			e.mq.GroupConsumer(topic, group)
 		}
+		// Partition-to-core affinity: spout task k starts its ring scans at
+		// shard k, so co-scheduled spouts drain "their" producers' shards
+		// first instead of all contending on ring 0 (no-op on legacy path).
+		var spoutSeq atomic.Uint64
 		spoutFactory := func() stream.Spout {
 			consumers := make([]stream.BatchPoller, len(topicsCopy))
+			hint := int(spoutSeq.Add(1) - 1)
 			for i, topic := range topicsCopy {
-				consumers[i] = e.mq.GroupConsumer(topic, group)
+				cs := e.mq.GroupConsumer(topic, group)
+				cs.SetShardAffinity(hint)
+				consumers[i] = cs
 			}
 			return &multiSpout{pollers: consumers}
 		}

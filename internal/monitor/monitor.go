@@ -127,6 +127,12 @@ type Config struct {
 	// per wakeup and how many descriptors travel per worker channel
 	// operation (default 32, mirroring DPDK's rx_burst).
 	BurstSize int
+	// WorkSteal replaces the per-collector RX channels with per-collector
+	// ring shards that idle collectors steal bursts from (steal.go), so one
+	// hot RSS bucket cannot starve the other collector cores. Only
+	// meaningful with Collectors > 1; the single-collector datapath is
+	// already steal-free.
+	WorkSteal bool
 	// BatchSize is the output batch size per parser.
 	BatchSize int
 	// FlushInterval bounds how long a non-full batch may wait.
@@ -163,6 +169,10 @@ type Stats struct {
 	Tuples       uint64 // tuples shipped to the sink (flushed parser output)
 	Batches      uint64 // batches delivered to the sink
 	SinkErrors   uint64
+	Steals       uint64 // successful steal operations (work-steal mode)
+	StealFrames  uint64 // frames drained by thieves from sibling shards
+	Redirects    uint64 // frames redirected to the least-loaded shard on overflow
+	HotFallbacks uint64 // hot-shard steering latches (pair hash → 5-tuple hash)
 }
 
 // Monitor is one NFV monitor instance.
@@ -171,10 +181,13 @@ type Monitor struct {
 	// inputs holds one RX queue per collector; Deliver steers frames by an
 	// RSS-style header hash so all packets of a flow stay in order on one
 	// collector.
-	inputs  []chan rawBurst
-	parsers []*parserRuntime
-	out     *outputBatcher
-	pool    sync.Pool
+	inputs []chan rawBurst
+	// stealRings replaces inputs in work-steal mode (Config.WorkSteal with
+	// Collectors > 1): one claimable ring shard per collector; see steal.go.
+	stealRings []*rxRing
+	parsers    []*parserRuntime
+	out        *outputBatcher
+	pool       sync.Pool
 	// burstPool recycles the []*Packet group slices that carry bursts over
 	// worker channels; workers return each slice after releasing its
 	// descriptors.
@@ -201,6 +214,22 @@ type Monitor struct {
 	malformed    *telemetry.Counter
 	dispatched   *telemetry.Counter
 	parserDrops  *telemetry.Counter
+	steals       *telemetry.Counter
+	stealFrames  *telemetry.Counter
+	redirects    *telemetry.Counter
+	hotFallbacks *telemetry.Counter
+
+	// hotSteer is the one-way RSS fallback latch: once the pair-hash
+	// steering is caught funneling traffic into one near-full shard while
+	// the least-loaded shard idles, steering switches to the port-aware
+	// canonical 5-tuple hash for the rest of the monitor's life (steal.go).
+	hotSteer atomic.Bool
+
+	// Steal-mode collector parking: rxWaiters counts parked collectors,
+	// rxCh is the broadcast channel the next publish closes.
+	rxWaiters atomic.Int32
+	rxMu      sync.Mutex
+	rxCh      chan struct{}
 
 	// deliverMu fences Deliver/DeliverBurst against Stop closing the input
 	// channels: senders hold the read side only around a non-blocking send,
@@ -274,8 +303,26 @@ func New(cfg Config) (*Monitor, error) {
 	m.malformed = cfg.Metrics.Counter("monitor_malformed", cfg.MetricLabels...)
 	m.dispatched = cfg.Metrics.Counter("monitor_dispatched", cfg.MetricLabels...)
 	m.parserDrops = cfg.Metrics.Counter("monitor_parser_drops", cfg.MetricLabels...)
-	for c := 0; c < cfg.Collectors; c++ {
-		m.inputs = append(m.inputs, make(chan rawBurst, cfg.QueueDepth))
+	m.steals = cfg.Metrics.Counter("monitor_steals", cfg.MetricLabels...)
+	m.stealFrames = cfg.Metrics.Counter("monitor_steal_frames", cfg.MetricLabels...)
+	m.redirects = cfg.Metrics.Counter("monitor_steal_redirects", cfg.MetricLabels...)
+	m.hotFallbacks = cfg.Metrics.Counter("monitor_hot_fallbacks", cfg.MetricLabels...)
+	if cfg.WorkSteal && cfg.Collectors > 1 {
+		for c := 0; c < cfg.Collectors; c++ {
+			m.stealRings = append(m.stealRings, newRXRing(cfg.QueueDepth))
+		}
+		if cfg.Metrics != nil {
+			for i := range m.stealRings {
+				r := m.stealRings[i]
+				cfg.Metrics.GaugeFunc("monitor_rx_backlog", func() float64 {
+					return float64(r.occupied())
+				}, append([]telemetry.Label{telemetry.L("shard", fmt.Sprintf("%d", i))}, cfg.MetricLabels...)...)
+			}
+		}
+	} else {
+		for c := 0; c < cfg.Collectors; c++ {
+			m.inputs = append(m.inputs, make(chan rawBurst, cfg.QueueDepth))
+		}
 	}
 	m.pool.New = func() any { return &Packet{mon: m} }
 	m.burstPool.New = func() any { return make([]*Packet, 0, cfg.BurstSize) }
@@ -355,7 +402,11 @@ func (m *Monitor) Start() {
 	m.collectorWG.Add(m.cfg.Collectors)
 	for c := 0; c < m.cfg.Collectors; c++ {
 		m.wg.Add(1)
-		go m.runCollector(m.inputs[c])
+		if m.stealRings != nil {
+			go m.runStealCollector(c)
+		} else {
+			go m.runCollector(m.inputs[c])
+		}
 	}
 	// Parser queues close once every collector has drained.
 	m.wg.Add(1)
@@ -385,6 +436,11 @@ func (m *Monitor) Stop() {
 		close(in)
 	}
 	m.deliverMu.Unlock()
+	// Steal-mode collectors park on the RX signal instead of a channel
+	// receive; wake them so they observe stopping and drain the rings.
+	if m.stealRings != nil {
+		m.rxBroadcast()
+	}
 	m.wg.Wait()
 }
 
@@ -400,6 +456,9 @@ func (m *Monitor) Deliver(data []byte, ts time.Time) bool {
 	if m.stopping.Load() {
 		m.collectDrops.Add(1)
 		return false
+	}
+	if m.stealRings != nil {
+		return m.stealDeliver(data, ts)
 	}
 	select {
 	case m.rxQueue(data) <- rawBurst{single: rawFrame{data: data, ts: ts}}:
@@ -429,6 +488,19 @@ func (m *Monitor) DeliverBurst(frames [][]byte, ts time.Time) int {
 		m.received.Add(uint64(len(frames)))
 		m.collectDrops.Add(uint64(len(frames)))
 		return 0
+	}
+	if m.stealRings != nil {
+		// Steering is per frame, like the multi-collector channel path; ring
+		// publishes are a mutex-guarded slot write, so there is no channel
+		// operation to amortize with chunking.
+		for i, data := range frames {
+			if !m.stealDeliver(data, ts) {
+				m.received.Add(uint64(i + 1))
+				return i
+			}
+		}
+		m.received.Add(uint64(len(frames)))
+		return len(frames)
 	}
 	if len(m.inputs) > 1 {
 		for i, data := range frames {
@@ -468,12 +540,36 @@ func (m *Monitor) DeliverBurst(frames [][]byte, ts time.Time) int {
 	return sent
 }
 
-// rxQueue steers a frame to its collector's RX queue by RSS hash.
+// rxQueue steers a frame to its collector's RX queue by RSS hash, with the
+// same hot-shard fallback as the steal path (steal.go steerIdx): when the
+// pair hash funnels traffic into one near-full queue while the least-loaded
+// queue sits nearly idle, steering latches to the port-aware canonical
+// 5-tuple hash so one elephant src/dst pair cannot idle every other
+// collector.
 func (m *Monitor) rxQueue(data []byte) chan rawBurst {
 	if len(m.inputs) == 1 {
 		return m.inputs[0]
 	}
-	return m.inputs[rssHash(data)%uint64(len(m.inputs))]
+	n := uint64(len(m.inputs))
+	if m.hotSteer.Load() {
+		return m.inputs[rss5Hash(data)%n]
+	}
+	q := m.inputs[rssHash(data)%n]
+	if occ := len(q); occ >= cap(q)/2 {
+		min := occ
+		for _, in := range m.inputs {
+			if l := len(in); l < min {
+				min = l
+			}
+		}
+		if min*8 <= occ {
+			if m.hotSteer.CompareAndSwap(false, true) {
+				m.hotFallbacks.Add(1)
+			}
+			return m.inputs[rss5Hash(data)%n]
+		}
+	}
+	return q
 }
 
 // rssHash hashes the IPv4 source/destination address bytes at their fixed
@@ -552,6 +648,10 @@ func (m *Monitor) Stats() Stats {
 		Malformed:    m.malformed.Value(),
 		Dispatched:   m.dispatched.Value(),
 		ParserDrops:  m.parserDrops.Value(),
+		Steals:       m.steals.Value(),
+		StealFrames:  m.stealFrames.Value(),
+		Redirects:    m.redirects.Value(),
+		HotFallbacks: m.hotFallbacks.Value(),
 	}
 	s.Tuples = m.out.tuples.Value()
 	s.Batches = m.out.batches.Value()

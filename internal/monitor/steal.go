@@ -1,0 +1,366 @@
+package monitor
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the monitor half of the sharded-ingest tentpole (DESIGN.md
+// "Sharded ingest & work-stealing"): with Config.WorkSteal and Collectors >
+// 1, the per-collector RX channels are replaced by per-collector ring
+// queues that idle collectors can steal from, so one hot RSS bucket no
+// longer pins every frame to a single core while the other collectors idle
+// — the non-linear many-core degradation retina documents for per-CPU
+// buffers drained by a single reader.
+//
+// Mechanics:
+//
+//   - Produce (Deliver): frames are steered to a ring by the symmetric RSS
+//     hash, written under a tiny per-ring mutex and published with an
+//     atomic head store. Rings are bounded; a full ring drops the frame
+//     (saturated NIC semantics), after one least-loaded redirect attempt.
+//   - Consume: collectors claim contiguous spans from the *oldest* end of a
+//     ring with a CAS on the ring's claim cursor — the owner drains its own
+//     ring first, and when empty steals up to half the backlog (capped at
+//     BurstSize) from the hottest sibling it finds.
+//   - Ordering invariant: decoding of claimed spans runs in parallel, but
+//     dispatch into the flow-affine parser worker queues is serialized per
+//     ring by a ticket (disp cursor): a claimer may only dispatch when
+//     every earlier span of that ring has dispatched. Flows are
+//     ring-sticky (the steering hash is deterministic per flow), so
+//     per-flow order into each parser worker is preserved no matter who
+//     stole what. FIFO-local *and* FIFO-steal, deliberately: a LIFO local
+//     end (classic Chase-Lev) would reorder a flow's frames against the
+//     thief's older span, which stateful parsers cannot tolerate.
+//   - Hot-shard fallback: when the pair-hash steering degenerates (one
+//     elephant src/dst pair fills one ring while the least-loaded ring
+//     idles), steering latches to a port-aware canonical 5-tuple hash that
+//     spreads the pair's many connections across all rings, each flow still
+//     sticky to one ring. Only a frame that would otherwise be *dropped* at
+//     a full ring is redirected to the least-loaded ring — trading order
+//     for delivery exactly where the legacy path would lose the frame.
+
+// stealParkTimeout bounds how long an idle steal-mode collector parks
+// before rescanning; the wakeup signal makes this a lost-signal backstop,
+// not the steady-state latency.
+const stealParkTimeout = 50 * time.Millisecond
+
+// paddedAtomic is an atomic.Uint64 padded to its own cache line: a ring's
+// three cursors are written by different cores (producers, claimers,
+// dispatchers) and must not false-share.
+type paddedAtomic struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// rxRing is one collector's RX shard: a bounded power-of-two ring of raw
+// frames with three cursors — head (published by producers), claim (taken
+// by collectors, owner or thief) and disp (dispatch ticket: spans below it
+// have entered the parser worker queues).
+type rxRing struct {
+	slots []rawFrame
+	mask  uint64
+
+	mu    sync.Mutex // producers only; held across one slot write
+	head  paddedAtomic
+	claim paddedAtomic
+	disp  paddedAtomic
+}
+
+func newRXRing(depth int) *rxRing {
+	capSlots := 1
+	for capSlots < depth {
+		capSlots <<= 1
+	}
+	return &rxRing{
+		slots: make([]rawFrame, capSlots),
+		mask:  uint64(capSlots - 1),
+	}
+}
+
+// push publishes one frame; false when the ring is full (the frame is the
+// caller's to drop-account). The mutex serializes producers only — consumers
+// synchronize through the atomic head.
+func (r *rxRing) push(rf rawFrame) bool {
+	r.mu.Lock()
+	h := r.head.Load()
+	if h-r.disp.Load() >= uint64(len(r.slots)) {
+		r.mu.Unlock()
+		return false
+	}
+	r.slots[h&r.mask] = rf
+	r.head.Store(h + 1) // publish: consumers acquire the slot write here
+	r.mu.Unlock()
+	return true
+}
+
+// backlog is the unclaimed depth — what a thief could take.
+func (r *rxRing) backlog() uint64 {
+	h, c := r.head.Load(), r.claim.Load()
+	if h < c {
+		return 0
+	}
+	return h - c
+}
+
+// occupied is the undisposed depth — what bounds producers.
+func (r *rxRing) occupied() uint64 {
+	return r.head.Load() - r.disp.Load()
+}
+
+// claimSpan claims up to max of the oldest unclaimed slots, returning the
+// span start and length (0 when empty). Contiguity is what lets the ticket
+// below serialize dispatch in arrival order.
+func (r *rxRing) claimSpan(max int) (uint64, int) {
+	for {
+		c := r.claim.Load()
+		h := r.head.Load()
+		if c >= h {
+			return 0, 0
+		}
+		take := h - c
+		if take > uint64(max) {
+			take = uint64(max)
+		}
+		if r.claim.CompareAndSwap(c, c+take) {
+			return c, int(take)
+		}
+	}
+}
+
+// awaitTicket spins (yielding) until every span before start has been
+// dispatched. The wait is bounded by a sibling's decode of at most
+// BurstSize frames, and dispatch itself never blocks (full worker queues
+// drop), so the ticket cannot deadlock.
+func (r *rxRing) awaitTicket(start uint64) {
+	for r.disp.Load() != start {
+		runtime.Gosched()
+	}
+}
+
+// drainSpan claims up to max frames from r, decodes them, and dispatches
+// the burst in ticket order. Returns the number of frames claimed (0 when
+// the ring was empty). scratch slices are collector-owned and reused.
+func (m *Monitor) drainSpan(r *rxRing, max int, scratch *[]*Packet, groups [][]*Packet) int {
+	start, n := r.claimSpan(max)
+	if n == 0 {
+		return 0
+	}
+	burst := (*scratch)[:0]
+	for off := start; off < start+uint64(n); off++ {
+		if pkt := m.decodeFrame(r.slots[off&r.mask]); pkt != nil {
+			burst = append(burst, pkt)
+		}
+	}
+	r.awaitTicket(start)
+	m.dispatchBurst(burst, groups)
+	r.disp.Store(start + uint64(n))
+	*scratch = burst
+	return n
+}
+
+// runStealCollector is the steal-mode collector loop for shard idx: drain
+// the home ring, then steal from the deepest sibling, then park on the RX
+// signal. Exit: once the monitor is stopping and every ring is fully
+// claimed and dispatched.
+func (m *Monitor) runStealCollector(idx int) {
+	defer m.wg.Done()
+	defer m.collectorWG.Done()
+
+	scratch := make([]*Packet, 0, 2*m.cfg.BurstSize)
+	groups := make([][]*Packet, m.cfg.WorkersPerParser)
+	rings := m.stealRings
+	own := rings[idx]
+	for {
+		if m.drainSpan(own, m.cfg.BurstSize, &scratch, groups) > 0 {
+			continue
+		}
+
+		// Steal: pick the deepest sibling and take half its backlog (capped
+		// at one burst), oldest-first. Half leaves the victim a working set
+		// and keeps a single thief from ping-ponging the whole queue.
+		victim, depth := -1, uint64(0)
+		for off := 1; off < len(rings); off++ {
+			v := (idx + off) % len(rings)
+			if bl := rings[v].backlog(); bl > depth {
+				victim, depth = v, bl
+			}
+		}
+		if victim >= 0 {
+			take := int((depth + 1) / 2)
+			if take > m.cfg.BurstSize {
+				take = m.cfg.BurstSize
+			}
+			if got := m.drainSpan(rings[victim], take, &scratch, groups); got > 0 {
+				m.steals.Add(1)
+				m.stealFrames.Add(uint64(got))
+				continue
+			}
+		}
+
+		if m.stopping.Load() {
+			if m.ringsDrained() {
+				return
+			}
+			// Another collector holds the last claims; let it finish.
+			runtime.Gosched()
+			continue
+		}
+
+		// Park until a producer publishes. Register as waiter first, then
+		// re-scan: a producer that raced the registration saw no waiters
+		// and skipped the signal.
+		m.rxWaiters.Add(1)
+		sig := m.rxSignal()
+		if m.anyRingBacklog() || m.stopping.Load() {
+			m.rxWaiters.Add(-1)
+			continue
+		}
+		timer := time.NewTimer(stealParkTimeout)
+		select {
+		case <-sig:
+		case <-timer.C:
+		}
+		timer.Stop()
+		m.rxWaiters.Add(-1)
+	}
+}
+
+// ringsDrained reports whether every ring's frames have been claimed and
+// dispatched — the steal-mode shutdown condition.
+func (m *Monitor) ringsDrained() bool {
+	for _, r := range m.stealRings {
+		if r.claim.Load() < r.head.Load() || r.disp.Load() < r.claim.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Monitor) anyRingBacklog() bool {
+	for _, r := range m.stealRings {
+		if r.backlog() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rxSignal returns the channel the next publish will close; the waiter
+// protocol mirrors mq's topic wakeup (register, re-poll, park).
+func (m *Monitor) rxSignal() <-chan struct{} {
+	m.rxMu.Lock()
+	if m.rxCh == nil {
+		m.rxCh = make(chan struct{})
+	}
+	ch := m.rxCh
+	m.rxMu.Unlock()
+	return ch
+}
+
+// rxSignalData wakes parked collectors after a publish; a single atomic
+// load on the producer hot path when nobody is parked.
+func (m *Monitor) rxSignalData() {
+	if m.rxWaiters.Load() == 0 {
+		return
+	}
+	m.rxBroadcast()
+}
+
+// rxBroadcast unconditionally wakes every parked collector (publishes and
+// Stop both use it).
+func (m *Monitor) rxBroadcast() {
+	m.rxMu.Lock()
+	if m.rxCh != nil {
+		close(m.rxCh)
+		m.rxCh = nil
+	}
+	m.rxMu.Unlock()
+}
+
+// stealDeliver is Deliver's steal-mode datapath: steer, push, and on a full
+// ring redirect once to the least-loaded ring before dropping. Caller holds
+// deliverMu read side and has checked stopping.
+func (m *Monitor) stealDeliver(data []byte, ts time.Time) bool {
+	r := m.stealRings[m.steerIdx(data)]
+	if r.push(rawFrame{data: data, ts: ts}) {
+		m.rxSignalData()
+		return true
+	}
+	// The steered ring is full: this frame is a goner on the legacy path.
+	// Redirect it to the least-loaded ring instead — per-flow order is
+	// sacrificed for this frame only in the regime where it would have been
+	// lost entirely.
+	if lr := m.stealRings[m.leastLoadedRing()]; lr != r && lr.push(rawFrame{data: data, ts: ts}) {
+		m.redirects.Add(1)
+		m.rxSignalData()
+		return true
+	}
+	m.collectDrops.Add(1)
+	return false
+}
+
+// leastLoadedRing returns the index of the shallowest RX ring.
+func (m *Monitor) leastLoadedRing() int {
+	best, bestOcc := 0, m.stealRings[0].occupied()
+	for i := 1; i < len(m.stealRings); i++ {
+		if occ := m.stealRings[i].occupied(); occ < bestOcc {
+			best, bestOcc = i, occ
+		}
+	}
+	return best
+}
+
+// steerIdx maps a frame to its RX shard. Normal steering is the symmetric
+// IP-pair RSS hash (what the hardware does). When that degenerates — the
+// steered shard at half capacity while the least-loaded shard sits nearly
+// idle, i.e. one elephant src/dst pair owns the hash bucket — steering
+// latches to the port-aware canonical 5-tuple hash, which spreads the
+// pair's connections across every shard while keeping each flow sticky to
+// exactly one (the ordering invariant). The latch is one-way: flapping
+// between hashes would re-home live flows on every transition.
+func (m *Monitor) steerIdx(data []byte) int {
+	n := len(m.stealRings)
+	if m.hotSteer.Load() {
+		return int(rss5Hash(data) % uint64(n))
+	}
+	idx := int(rssHash(data) % uint64(n))
+	if occ := m.stealRings[idx].occupied(); occ >= uint64(len(m.stealRings[idx].slots))/2 {
+		min := m.stealRings[m.leastLoadedRing()].occupied()
+		if min*8 <= occ {
+			if m.hotSteer.CompareAndSwap(false, true) {
+				m.hotFallbacks.Add(1)
+			}
+			return int(rss5Hash(data) % uint64(n))
+		}
+	}
+	return idx
+}
+
+// rss5Hash hashes the canonical 5-tuple of an untagged IPv4 TCP/UDP frame:
+// each (address, port) endpoint is one 48-bit word fed through a splitmix
+// finalizer, combined commutatively so both directions of a connection land
+// on the same shard. Frames too short for L4 ports fall back to fnv64.
+func rss5Hash(data []byte) uint64 {
+	const srcOff, dstOff, sportOff, dportOff = 26, 30, 34, 36
+	if len(data) < dportOff+2 {
+		return fnv64(data)
+	}
+	src := uint64(binary.BigEndian.Uint32(data[srcOff:srcOff+4]))<<16 |
+		uint64(binary.BigEndian.Uint16(data[sportOff:sportOff+2]))
+	dst := uint64(binary.BigEndian.Uint32(data[dstOff:dstOff+4]))<<16 |
+		uint64(binary.BigEndian.Uint16(data[dportOff:dportOff+2]))
+	return mix64(src) ^ mix64(dst)
+}
+
+// mix64 is splitmix64's finalizer over a full 64-bit word.
+func mix64(v uint64) uint64 {
+	v = (v + 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+	v ^= v >> 27
+	v *= 0x94D049BB133111EB
+	v ^= v >> 31
+	return v
+}

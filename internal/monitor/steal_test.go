@@ -1,0 +1,434 @@
+package monitor
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/tuple"
+)
+
+// stealFrame builds a TCP frame between two hosts of pair p with the given
+// ports — distinct p values land on distinct collector shards, distinct
+// ports within one pair are distinct flows on the same shard.
+func stealFrame(p int, srcPort, dstPort uint16) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src:     netip.AddrFrom4([4]byte{10, 1, byte(p), 2}),
+		Dst:     netip.AddrFrom4([4]byte{10, 1, byte(p), 3}),
+		SrcPort: srcPort, DstPort: dstPort,
+		Flags: packet.TCPFlagACK, Payload: []byte("data"),
+	})
+}
+
+// orderParser records the per-flow sequence numbers it observes, in Handle
+// order. Sequence numbers travel in the frame timestamp, so the test needs
+// no payload decoding. One flow maps to one worker, so append order is the
+// order the pipeline delivered that flow's frames.
+type orderParser struct {
+	mu  *sync.Mutex
+	seq map[uint64][]int64
+}
+
+func (p *orderParser) Name() string { return "order" }
+func (p *orderParser) Handle(pkt *Packet, emit EmitFunc) {
+	p.mu.Lock()
+	p.seq[pkt.FlowID] = append(p.seq[pkt.FlowID], pkt.TS.UnixNano())
+	p.mu.Unlock()
+	emit(tuple.Tuple{FlowID: pkt.FlowID, Val: 1})
+}
+
+// TestStealParityMultiset: satellite 3's parity test — a work-steal monitor
+// and a legacy monitor fed the same frames must ship identical tuple
+// multisets, with zero loss and zero leaked descriptors in both.
+func TestStealParityMultiset(t *testing.T) {
+	const pairs, flowsPerPair, framesPerFlow = 5, 4, 40
+	run := func(workSteal bool) map[uint64]int {
+		t.Helper()
+		sink := &memSink{}
+		m, err := New(Config{
+			Parsers:    []Factory{func() Parser { return &countParser{name: "count"} }},
+			Sink:       sink,
+			Collectors: 4,
+			WorkSteal:  workSteal,
+			QueueDepth: 8192,
+			BurstSize:  16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		for f := 0; f < framesPerFlow; f++ {
+			for p := 0; p < pairs; p++ {
+				for fl := 0; fl < flowsPerPair; fl++ {
+					if !m.Deliver(stealFrame(p, uint16(2000+fl), 80), time.Now()) {
+						t.Fatalf("Deliver rejected (pair %d flow %d frame %d)", p, fl, f)
+					}
+				}
+			}
+		}
+		m.Stop()
+		if n := m.live.Load(); n != 0 {
+			t.Fatalf("workSteal=%v leaked %d descriptors", workSteal, n)
+		}
+		st := m.Stats()
+		if st.CollectDrops != 0 || st.ParserDrops != 0 {
+			t.Fatalf("workSteal=%v dropped frames: %+v", workSteal, st)
+		}
+		got := make(map[uint64]int)
+		for _, tu := range sink.tuples() {
+			got[tu.FlowID]++
+		}
+		return got
+	}
+
+	legacy := run(false)
+	stolen := run(true)
+	if len(legacy) != pairs*flowsPerPair || len(stolen) != len(legacy) {
+		t.Fatalf("flow counts: legacy %d stolen %d, want %d", len(legacy), len(stolen), pairs*flowsPerPair)
+	}
+	for id, n := range legacy {
+		if stolen[id] != n {
+			t.Fatalf("flow %x: legacy %d stolen %d", id, n, stolen[id])
+		}
+	}
+}
+
+// TestStealFlowOrderPreserved: per-FiveTuple ordering must survive steals.
+// Every frame targets one src/dst pair, so all of them land on a single RX
+// ring; the other three collectors only ever get work by stealing, and the
+// dispatch ticket must still deliver each flow's frames in arrival order.
+// Per-flow order is asserted on every attempt; the steals-happened check
+// retries a few times because which collector the scheduler runs first is
+// not under the test's control (an owner that gets the first quantum can
+// drain a preloaded ring alone).
+func TestStealFlowOrderPreserved(t *testing.T) {
+	const flows, framesPerFlow = 8, 400
+	const preloadFrames = flows * framesPerFlow * 3 / 4
+	attempt := func() Stats {
+		t.Helper()
+		mu := &sync.Mutex{}
+		seqs := map[uint64][]int64{}
+		sink := &memSink{}
+		m, err := New(Config{
+			Parsers: []Factory{func() Parser {
+				return &orderParser{mu: mu, seq: seqs}
+			}},
+			Sink:             sink,
+			Collectors:       4,
+			WorkSteal:        true,
+			WorkersPerParser: 2,
+			// Ring capacity 8192: total load (3200) stays under the
+			// hot-steer trigger (half capacity), so steering stays pure
+			// pair-hash and the only balancing in play is stealing.
+			QueueDepth: 8192,
+			BurstSize:  16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Phase 1 preloads a deep backlog; phase 2 keeps delivering while
+		// the collectors run, so every publish wakes all parked collectors
+		// and thieves race the owner for the new frames.
+		seq := int64(0)
+		deliver := func() {
+			seq++
+			fl := seq % flows
+			if !m.Deliver(stealFrame(1, uint16(3000+fl), 80), time.Unix(0, seq)) {
+				t.Fatalf("Deliver rejected at seq %d", seq)
+			}
+		}
+		for i := 0; i < preloadFrames; i++ {
+			deliver()
+		}
+		m.Start()
+		for i := preloadFrames; i < flows*framesPerFlow; i++ {
+			deliver()
+		}
+		m.Stop()
+
+		st := m.Stats()
+		if st.CollectDrops != 0 || st.ParserDrops != 0 {
+			t.Fatalf("dropped frames: %+v", st)
+		}
+		if st.HotFallbacks != 0 {
+			t.Errorf("hot fallback latched (%d): load was sized to stay below the trigger", st.HotFallbacks)
+		}
+		if len(seqs) != flows {
+			t.Fatalf("observed %d flows, want %d", len(seqs), flows)
+		}
+		total := 0
+		for id, got := range seqs {
+			total += len(got)
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("flow %x reordered at %d: %d after %d", id, i, got[i], got[i-1])
+				}
+			}
+		}
+		if total != flows*framesPerFlow {
+			t.Errorf("total frames %d, want %d", total, flows*framesPerFlow)
+		}
+		return st
+	}
+
+	for i := 0; i < 5; i++ {
+		if attempt().Steals > 0 {
+			return
+		}
+	}
+	t.Error("no steals recorded in any attempt against a deep single-ring backlog")
+}
+
+// TestStealStarvationThroughput: satellite 3's starvation test — all
+// traffic on one hot shard with 7 idle collectors must reach at least 90%
+// of the throughput of the same load spread evenly over all 8 shards,
+// because the idle collectors steal the hot shard's backlog. Each variant
+// takes its best of three runs to keep scheduler noise out of the ratio.
+func TestStealStarvationThroughput(t *testing.T) {
+	const frames = 4096
+	elapsed := func(skewed bool) time.Duration {
+		t.Helper()
+		best := time.Duration(1<<63 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			sink := &memSink{}
+			m, err := New(Config{
+				Parsers:    []Factory{func() Parser { return &countParser{name: "count"} }},
+				Sink:       sink,
+				Collectors: 8,
+				WorkSteal:  true,
+				QueueDepth: 16384, // half-capacity trigger stays out of reach
+				BurstSize:  32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < frames; i++ {
+				pair := 1
+				if !skewed {
+					pair = i % 8
+				}
+				if !m.Deliver(stealFrame(pair, uint16(1024+i%512), 80), time.Now()) {
+					t.Fatal("Deliver rejected")
+				}
+			}
+			start := time.Now()
+			m.Start()
+			m.Stop() // waits for full drain and flush
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if got := m.Stats().Dispatched; got != frames {
+				t.Fatalf("skewed=%v dispatched %d, want %d", skewed, got, frames)
+			}
+		}
+		return best
+	}
+
+	balanced := elapsed(false)
+	skewed := elapsed(true)
+	// throughput_skewed >= 0.9 * throughput_balanced, i.e. the hot-shard run
+	// may take at most 1/0.9 of the balanced time (plus scheduling slack).
+	limit := balanced*10/9 + 20*time.Millisecond
+	if skewed > limit {
+		t.Errorf("hot shard starved: skewed %v vs balanced %v (limit %v)", skewed, balanced, limit)
+	}
+}
+
+// TestHotShardFallbackSteal: satellite 1 on the steal path — when one
+// elephant src/dst pair fills its ring while every other ring idles,
+// steering must latch to the 5-tuple hash and spread that pair's flows
+// across all shards. Collectors are deliberately not started so occupancy
+// is fully deterministic.
+func TestHotShardFallbackSteal(t *testing.T) {
+	m, err := New(Config{
+		Parsers:    []Factory{func() Parser { return &countParser{name: "count"} }},
+		Sink:       &memSink{},
+		Collectors: 4,
+		WorkSteal:  true,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 150 // < total ring capacity (4×64), so nothing can drop
+	for i := 0; i < frames; i++ {
+		if !m.Deliver(stealFrame(1, uint16(5000+i), 80), time.Now()) {
+			t.Fatalf("Deliver %d rejected", i)
+		}
+	}
+	st := m.Stats()
+	if st.HotFallbacks != 1 {
+		t.Fatalf("HotFallbacks = %d, want exactly 1 latch", st.HotFallbacks)
+	}
+	if st.CollectDrops != 0 {
+		t.Errorf("CollectDrops = %d, want 0", st.CollectDrops)
+	}
+	occupied := 0
+	for _, r := range m.stealRings {
+		if r.occupied() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Errorf("only %d rings occupied after fallback; elephant pair still owns one shard", occupied)
+	}
+}
+
+// TestHotShardFallbackLegacyChannels: the same pathology fix applies to the
+// legacy channel-steered path (WorkSteal off).
+func TestHotShardFallbackLegacyChannels(t *testing.T) {
+	m, err := New(Config{
+		Parsers:    []Factory{func() Parser { return &countParser{name: "count"} }},
+		Sink:       &memSink{},
+		Collectors: 4,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !m.Deliver(stealFrame(1, uint16(5000+i), 80), time.Now()) {
+			t.Fatalf("Deliver %d rejected", i)
+		}
+	}
+	if got := m.Stats().HotFallbacks; got != 1 {
+		t.Fatalf("HotFallbacks = %d, want exactly 1 latch", got)
+	}
+	occupied := 0
+	for _, in := range m.inputs {
+		if len(in) > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Errorf("only %d collector queues occupied after fallback", occupied)
+	}
+}
+
+// TestStealDeliverBurstShortWrite: the burst contract on the steal path —
+// frames land in order until the rings are genuinely full (steered ring
+// full AND least-loaded ring full means all full), then a short write.
+func TestStealDeliverBurstShortWrite(t *testing.T) {
+	m, err := New(Config{
+		Parsers:    []Factory{func() Parser { return &countParser{name: "count"} }},
+		Sink:       &memSink{},
+		Collectors: 4,
+		WorkSteal:  true,
+		QueueDepth: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, 300)
+	for i := range frames {
+		frames[i] = stealFrame(1, uint16(6000+i), 80)
+	}
+	sent := m.DeliverBurst(frames, time.Now())
+	if want := 4 * 16; sent != want {
+		t.Fatalf("short write sent %d, want full capacity %d", sent, want)
+	}
+	st := m.Stats()
+	if st.Received != uint64(sent+1) || st.CollectDrops != 1 {
+		t.Errorf("received %d drops %d, want %d/1", st.Received, st.CollectDrops, sent+1)
+	}
+	// Redirects must have kicked in once the steered ring filled.
+	if st.Redirects == 0 {
+		t.Error("no least-loaded redirects while filling all rings")
+	}
+}
+
+// TestStealRingClaimSpans exercises the rxRing cursor math directly:
+// claims are contiguous, exclusive and bounded by the published head.
+func TestStealRingClaimSpans(t *testing.T) {
+	r := newRXRing(8)
+	for i := 0; i < 5; i++ {
+		if !r.push(rawFrame{ts: time.Unix(0, int64(i))}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if got := r.backlog(); got != 5 {
+		t.Fatalf("backlog = %d, want 5", got)
+	}
+	s1, n1 := r.claimSpan(3)
+	s2, n2 := r.claimSpan(64)
+	if s1 != 0 || n1 != 3 || s2 != 3 || n2 != 2 {
+		t.Fatalf("spans = [%d,+%d) [%d,+%d), want [0,+3) [3,+2)", s1, n1, s2, n2)
+	}
+	if _, n := r.claimSpan(1); n != 0 {
+		t.Fatalf("empty ring claimed %d", n)
+	}
+	// Ring full until spans are dispatched.
+	for i := 0; i < 3; i++ {
+		r.push(rawFrame{})
+	}
+	if r.push(rawFrame{}) {
+		t.Fatal("push into full ring succeeded")
+	}
+	r.disp.Store(5)
+	if !r.push(rawFrame{}) {
+		t.Fatal("push after dispatch freed slots failed")
+	}
+}
+
+// TestRSS5HashFlowSticky: the fallback hash is symmetric per connection and
+// spreads distinct port pairs of one address pair.
+func TestRSS5HashFlowSticky(t *testing.T) {
+	fwd := stealFrame(1, 4000, 80)
+	rev := func() []byte {
+		var b packet.Builder
+		return b.TCP(packet.TCPSpec{
+			Src: netip.AddrFrom4([4]byte{10, 1, 1, 3}), Dst: netip.AddrFrom4([4]byte{10, 1, 1, 2}),
+			SrcPort: 80, DstPort: 4000,
+			Flags: packet.TCPFlagACK, Payload: []byte("data"),
+		})
+	}()
+	if rss5Hash(fwd) != rss5Hash(rev) {
+		t.Error("rss5Hash not symmetric: directions of one connection split across shards")
+	}
+	buckets := map[uint64]bool{}
+	for port := 0; port < 64; port++ {
+		buckets[rss5Hash(stealFrame(1, uint16(4000+port), 80))%8] = true
+	}
+	if len(buckets) < 4 {
+		t.Errorf("64 flows of one pair hit only %d/8 buckets", len(buckets))
+	}
+	if rss5Hash([]byte{1, 2, 3}) != fnv64([]byte{1, 2, 3}) {
+		t.Error("short frame did not fall back to fnv64")
+	}
+}
+
+// TestStealStopDrains: frames already accepted when Stop begins are still
+// parsed — steal-mode shutdown drains every ring before workers close.
+func TestStealStopDrains(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		sink := &memSink{}
+		m, err := New(Config{
+			Parsers:    []Factory{func() Parser { return &countParser{name: fmt.Sprintf("c%d", round)} }},
+			Sink:       sink,
+			Collectors: 3,
+			WorkSteal:  true,
+			QueueDepth: 4096,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		const n = 200
+		for i := 0; i < n; i++ {
+			if !m.Deliver(stealFrame(i%3, uint16(7000+i%16), 80), time.Now()) {
+				t.Fatalf("Deliver %d rejected", i)
+			}
+		}
+		m.Stop()
+		if got := len(sink.tuples()); got != n {
+			t.Fatalf("round %d: sink received %d tuples, want %d", round, got, n)
+		}
+		if live := m.live.Load(); live != 0 {
+			t.Fatalf("round %d: %d descriptors leaked", round, live)
+		}
+	}
+}

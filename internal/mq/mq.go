@@ -71,8 +71,15 @@ const (
 type Config struct {
 	// Partitions per topic (default 1).
 	Partitions int
-	// BufferBatches bounds each partition's buffer (default 1024).
+	// BufferBatches bounds each partition's buffer (default 1024). With
+	// IngestShards > 0 the budget is split across the shard rings.
 	BufferBatches int
+	// IngestShards, when > 0, replaces each partition's mutex-guarded log
+	// with that many single-writer ring segments appended lock-free and
+	// merged at consume time (see shard.go), so concurrent producers on one
+	// topic stop serializing on a partition lock. 0 keeps the legacy locked
+	// path — the A/B baseline.
+	IngestShards int
 	// HighWatermark is the occupancy fraction that triggers overload
 	// statuses (default 0.75). The low watermark is half of it.
 	HighWatermark float64
@@ -188,11 +195,15 @@ func (b *broker) write(n int, rate float64) {
 
 // partition is a bounded in-memory log segment with per-consumer-group
 // offsets, Kafka-style: every group reads the whole stream independently; a
-// record is retained until the slowest group has consumed it.
+// record is retained until the slowest group has consumed it. With ingest
+// sharding enabled, rings is non-nil and owns the data path; the mutex-
+// guarded fields below are the legacy single-owner log.
 type partition struct {
 	topic  *topic
 	broker *broker
 	idx    int // ordinal within the topic, for fault targeting
+
+	rings *shardedLog // non-nil when Config.IngestShards > 0
 
 	mu      sync.Mutex
 	buf     []*tuple.Batch
@@ -202,6 +213,11 @@ type partition struct {
 	cap     int
 	over    bool
 	dropped atomic.Uint64
+}
+
+// errBufferFull builds the typed, retryable full error for a topic.
+func errBufferFull(topic string) error {
+	return fmt.Errorf("%w: topic %q", ErrBufferFull, topic)
 }
 
 // backlog returns the records not yet consumed by the slowest group (or the
@@ -219,10 +235,14 @@ func (p *partition) backlog() int {
 	return int(p.next - slowest)
 }
 
-// trim drops records every group has consumed. Caller holds the lock.
-func (p *partition) trim() {
+// trim retires records every group has consumed, returning the dropped
+// prefix so the caller can nil its entries *outside* the critical section
+// (the compaction loop was the longest lock-held work on the legacy pop
+// path). The prefix's array region is unreachable through p.buf once
+// resliced, so clearing it after unlock races nothing. Caller holds the lock.
+func (p *partition) trim() []*tuple.Batch {
 	if len(p.groups) == 0 {
-		return
+		return nil
 	}
 	slowest := p.next
 	for _, off := range p.groups {
@@ -230,26 +250,38 @@ func (p *partition) trim() {
 			slowest = off
 		}
 	}
-	for p.base < slowest && len(p.buf) > 0 {
-		p.buf[0] = nil
-		p.buf = p.buf[1:]
-		p.base++
+	k := 0
+	for p.base+uint64(k) < slowest && k < len(p.buf) {
+		k++
 	}
+	if k == 0 {
+		return nil
+	}
+	drop := p.buf[:k]
+	p.buf = p.buf[k:]
+	p.base += uint64(k)
+	return drop
 }
 
 // append pushes one batch into the partition's log. It returns a typed,
 // retryable error — ErrUnavailable (fault hook) or ErrBufferFull (back
 // pressure) — without counting drops: drop accounting belongs to
 // Producer.Send, which owns the retry policy and knows when a batch is
-// finally lost rather than merely deferred.
-func (p *partition) append(b *tuple.Batch) error {
+// finally lost rather than merely deferred. hint is the producer's home
+// shard on the sharded path (ignored by the legacy path).
+//
+// The fault hook and the broker-throttle sleep are deliberately evaluated
+// before any lock or ring claim is taken, so injected faults and modeled
+// I/O never extend the producer-visible critical section.
+func (p *partition) append(b *tuple.Batch, hint int) error {
 	if h := p.topic.cluster.faultHook(); h != nil && h.ProduceUnavailable(p.topic.name, p.idx) {
 		return fmt.Errorf("%w: topic %q partition %d", ErrUnavailable, p.topic.name, p.idx)
 	}
 
 	// Stamp the aggregation-layer arrival time for latency tracing. Written
-	// by the single producer before the batch becomes visible to consumers
-	// (publication happens under the lock below), so readers never race it.
+	// by the appending producer before the batch becomes visible to
+	// consumers (publication is the locked append below, or the ring's
+	// atomic head store), so readers never race it.
 	b.ProduceNS = time.Now().UnixNano()
 	size := b.WireSize()
 	cfg := p.topic.cluster.cfg
@@ -260,29 +292,39 @@ func (p *partition) append(b *tuple.Batch) error {
 		p.broker.write(size, cfg.IngestBytesPerSec)
 	}
 
-	p.mu.Lock()
-	if p.backlog() >= p.cap {
+	if p.rings != nil {
+		if err := p.rings.append(b, hint); err != nil {
+			return err
+		}
+	} else {
+		lockStart := time.Now()
+		p.mu.Lock()
+		wait := time.Since(lockStart)
+		if p.backlog() >= p.cap {
+			p.mu.Unlock()
+			p.topic.lockWait.Observe(wait.Nanoseconds())
+			return errBufferFull(p.topic.name)
+		}
+		p.buf = append(p.buf, b)
+		p.next++
+		occ := float64(p.backlog()) / float64(p.cap)
+		transition := false
+		if !p.over && occ >= cfg.HighWatermark {
+			p.over = true
+			transition = true
+		}
 		p.mu.Unlock()
-		return fmt.Errorf("%w: topic %q", ErrBufferFull, p.topic.name)
+		p.topic.lockWait.Observe(wait.Nanoseconds())
+		if transition {
+			p.topic.overloads.Add(1)
+			p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: true, Occupancy: occ})
+		}
 	}
-	p.buf = append(p.buf, b)
-	p.next++
-	occ := float64(p.backlog()) / float64(p.cap)
-	transition := false
-	if !p.over && occ >= cfg.HighWatermark {
-		p.over = true
-		transition = true
-	}
-	p.mu.Unlock()
 
 	p.topic.appended.Add(1)
 	p.topic.appendedTuples.Add(uint64(len(b.Tuples)))
 	p.topic.bytes.Add(uint64(size))
 	p.topic.signalData()
-	if transition {
-		p.topic.overloads.Add(1)
-		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: true, Occupancy: occ})
-	}
 	return nil
 }
 
@@ -290,6 +332,10 @@ func (p *partition) append(b *tuple.Batch) error {
 // record (Kafka's earliest auto-offset policy) so a topology attaching just
 // after its query's monitors misses nothing.
 func (p *partition) register(group string) {
+	if p.rings != nil {
+		p.rings.cursors(group)
+		return
+	}
 	p.mu.Lock()
 	if _, ok := p.groups[group]; !ok {
 		p.groups[group] = p.base
@@ -297,39 +343,60 @@ func (p *partition) register(group string) {
 	p.mu.Unlock()
 }
 
-func (p *partition) pop(group string) *tuple.Batch {
+func (p *partition) pop(group string, hint int) *tuple.Batch {
 	// An unavailable partition reads as empty. The group's offset is not
 	// advanced, so the consumer's reconnect after the fault clears resumes at
 	// exactly the next unread record — offset preservation by construction.
+	// This holds identically on the sharded path: ring cursors only move on
+	// a successful claim, so a fault window leaves every cursor in place.
 	if h := p.topic.cluster.faultHook(); h != nil && h.ConsumeUnavailable(p.topic.name, p.idx) {
 		return nil
 	}
-	cfg := p.topic.cluster.cfg
-	p.mu.Lock()
-	off, ok := p.groups[group]
-	if !ok {
-		off = p.base
-	}
-	if off >= p.next {
+
+	var b *tuple.Batch
+	if p.rings != nil {
+		b = p.rings.pop(group, hint)
+		if b == nil {
+			return nil
+		}
+	} else {
+		cfg := p.topic.cluster.cfg
+		lockStart := time.Now()
+		p.mu.Lock()
+		wait := time.Since(lockStart)
+		off, ok := p.groups[group]
+		if !ok {
+			off = p.base
+		}
+		if off >= p.next {
+			p.mu.Unlock()
+			p.topic.lockWait.Observe(wait.Nanoseconds())
+			return nil
+		}
+		b = p.buf[off-p.base]
+		p.groups[group] = off + 1
+		drop := p.trim()
+		occ := float64(p.backlog()) / float64(p.cap)
+		transition := false
+		if p.over && occ <= cfg.HighWatermark/2 {
+			p.over = false
+			transition = true
+		}
 		p.mu.Unlock()
-		return nil
+		p.topic.lockWait.Observe(wait.Nanoseconds())
+		// Compaction outside the lock: the dropped prefix is unreachable
+		// through p.buf now, so clearing the references for the GC cannot
+		// race another append/pop.
+		for i := range drop {
+			drop[i] = nil
+		}
+		if transition {
+			p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: false, Occupancy: occ})
+		}
 	}
-	b := p.buf[off-p.base]
-	p.groups[group] = off + 1
-	p.trim()
-	occ := float64(p.backlog()) / float64(p.cap)
-	transition := false
-	if p.over && occ <= cfg.HighWatermark/2 {
-		p.over = false
-		transition = true
-	}
-	p.mu.Unlock()
 
 	p.topic.consumed.Add(1)
 	p.topic.consumedTuples.Add(uint64(len(b.Tuples)))
-	if transition {
-		p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: false, Occupancy: occ})
-	}
 	return b
 }
 
@@ -354,6 +421,16 @@ type topic struct {
 	appendedTuples *telemetry.Counter
 	consumedTuples *telemetry.Counter
 	droppedTuples  *telemetry.Counter
+
+	// lockWait records how long legacy-path producers and consumers waited
+	// for a partition lock (mq_partition_lock_wait_ns) — the contention the
+	// sharded ingest path exists to remove. Unused (zero observations) when
+	// IngestShards > 0.
+	lockWait *telemetry.Histogram
+
+	// nextShard hands each new producer a home shard round-robin, so N
+	// producers spread across the N rings before any claim contention.
+	nextShard atomic.Uint64
 
 	// Blocking-poll wakeup: PollWait parks on dataCh and append closes it,
 	// but only when someone is actually waiting — the waiters guard keeps
@@ -467,6 +544,7 @@ func (c *Cluster) getTopic(name string) *topic {
 		appendedTuples: reg.Counter("mq_appended_tuples", label),
 		consumedTuples: reg.Counter("mq_consumed_tuples", label),
 		droppedTuples:  reg.Counter("mq_dropped_tuples", label),
+		lockWait:       reg.Histogram("mq_partition_lock_wait_ns", label),
 	}
 	if reg != nil {
 		// Occupancy and backlog are sampled at snapshot time; Stats takes
@@ -477,6 +555,20 @@ func (c *Cluster) getTopic(name string) *topic {
 		reg.GaugeFunc("mq_buffered", func() float64 {
 			return float64(c.Stats(name).Buffered)
 		}, label)
+		// Per-shard occupancy, so a hot ring is visible even when the
+		// topic-level max hides which producer is responsible.
+		for s := 0; s < c.cfg.IngestShards; s++ {
+			shard := s
+			reg.GaugeFunc("mq_shard_occupancy", func() float64 {
+				maxOcc := 0.0
+				for _, ps := range c.ShardStats(name) {
+					if shard < len(ps) && ps[shard].Occupancy > maxOcc {
+						maxOcc = ps[shard].Occupancy
+					}
+				}
+				return maxOcc
+			}, label, telemetry.L("shard", fmt.Sprintf("%d", shard)))
+		}
 	}
 
 	c.mu.Lock()
@@ -487,16 +579,39 @@ func (c *Cluster) getTopic(name string) *topic {
 	for i := 0; i < c.cfg.Partitions; i++ {
 		bk := c.brokers[c.nextBk%len(c.brokers)]
 		c.nextBk++
-		cand.partitions = append(cand.partitions, &partition{
+		p := &partition{
 			topic:  cand,
 			broker: bk,
 			idx:    i,
 			groups: make(map[string]uint64),
 			cap:    c.cfg.BufferBatches,
-		})
+		}
+		if c.cfg.IngestShards > 0 {
+			p.rings = newShardedLog(p, c.cfg.IngestShards, c.cfg.BufferBatches)
+		}
+		cand.partitions = append(cand.partitions, p)
 	}
 	c.topics[name] = cand
 	return cand
+}
+
+// ShardStats snapshots each partition's per-shard ring telemetry for a
+// topic: one []ShardStats per partition. Nil for unknown topics or when
+// ingest sharding is off.
+func (c *Cluster) ShardStats(topicName string) [][]ShardStats {
+	c.mu.Lock()
+	t := c.topics[topicName]
+	c.mu.Unlock()
+	if t == nil {
+		return nil
+	}
+	var out [][]ShardStats
+	for _, p := range t.partitions {
+		if p.rings != nil {
+			out = append(out, p.rings.shardStats())
+		}
+	}
+	return out
 }
 
 // Topics lists existing topic names.
@@ -561,10 +676,16 @@ func (c *Cluster) Stats(topicName string) TopicStats {
 	}
 	maxOcc := 0.0
 	for _, p := range t.partitions {
-		p.mu.Lock()
-		st.Buffered += p.backlog()
-		occ := float64(p.backlog()) / float64(p.cap)
-		p.mu.Unlock()
+		var occ float64
+		if p.rings != nil {
+			st.Buffered += p.rings.backlogTotal()
+			occ = p.rings.maxOccupancy()
+		} else {
+			p.mu.Lock()
+			st.Buffered += p.backlog()
+			occ = float64(p.backlog()) / float64(p.cap)
+			p.mu.Unlock()
+		}
 		if occ > maxOcc {
 			maxOcc = occ
 		}
@@ -573,15 +694,26 @@ func (c *Cluster) Stats(topicName string) TopicStats {
 	return st
 }
 
+// LockWaitNS returns the topic's legacy-path partition lock-wait histogram
+// (mq_partition_lock_wait_ns): how long producers and consumers stalled
+// acquiring partition locks. Always non-nil; empty on the sharded path.
+func (c *Cluster) LockWaitNS(topicName string) *telemetry.Histogram {
+	return c.getTopic(topicName).lockWait
+}
+
 // Producer publishes batches to one topic. It implements monitor.Sink.
 type Producer struct {
-	t    *topic
-	next atomic.Uint64
+	t     *topic
+	next  atomic.Uint64
+	shard int // home shard on the sharded ingest path
 }
 
 // Producer creates a producer for a topic (creating the topic on demand).
+// Each producer gets a distinct home shard round-robin, so on the sharded
+// path concurrent producers start on disjoint rings.
 func (c *Cluster) Producer(topicName string) *Producer {
-	return &Producer{t: c.getTopic(topicName)}
+	t := c.getTopic(topicName)
+	return &Producer{t: t, shard: int(t.nextShard.Add(1) - 1)}
 }
 
 // Send appends a batch to the next partition round-robin. Retryable failures
@@ -596,7 +728,7 @@ func (p *Producer) Send(b *tuple.Batch) error {
 	t.attempts.Add(1)
 	part := t.partitions[p.next.Add(1)%uint64(len(t.partitions))]
 
-	err := part.append(b)
+	err := part.append(b, p.shard)
 	backoff := cfg.RetryBackoff
 	for tries := 0; err != nil && tries < cfg.ProduceRetries; tries++ {
 		t.retries.Add(1)
@@ -604,7 +736,7 @@ func (p *Producer) Send(b *tuple.Batch) error {
 		if backoff *= 2; backoff > cfg.RetryBackoffMax {
 			backoff = cfg.RetryBackoffMax
 		}
-		err = part.append(b)
+		err = part.append(b, p.shard)
 	}
 	if err != nil {
 		part.dropped.Add(1)
@@ -623,9 +755,22 @@ func (p *Producer) Deliver(b *tuple.Batch) error { return p.Send(b) }
 // stream — exactly Kafka's model, which lets several processing topologies
 // subscribe to one query's data independently.
 type Consumer struct {
-	t     *topic
-	group string
-	next  int
+	t        *topic
+	group    string
+	next     int
+	affinity int // shard scan start on the sharded ingest path
+}
+
+// SetShardAffinity gives the consumer a partition-to-core affinity hint: on
+// the sharded ingest path its pops scan the rings starting at this index, so
+// co-scheduled spout tasks drain the shards "their" producers fill before
+// touching anyone else's. Purely a preference — every ring is still visited,
+// so no data is stranded. No-op on the legacy path.
+func (cs *Consumer) SetShardAffinity(hint int) {
+	if hint < 0 {
+		hint = 0
+	}
+	cs.affinity = hint
 }
 
 // DefaultGroup is the consumer group used by Consumer.
@@ -660,7 +805,7 @@ func (cs *Consumer) Poll(max int) []*tuple.Batch {
 	for tries := 0; tries < len(parts) && len(out) < max; {
 		p := parts[cs.next%len(parts)]
 		cs.next++
-		b := p.pop(cs.group)
+		b := p.pop(cs.group, cs.affinity)
 		if b == nil {
 			tries++
 			continue

@@ -1,0 +1,304 @@
+package mq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"netalytics/internal/tuple"
+)
+
+// This file is the sharded ingest path of a partition (DESIGN.md "Sharded
+// ingest & work-stealing"). With Config.IngestShards > 0 a partition's
+// mutex-guarded log is replaced by IngestShards single-writer ring segments:
+//
+//   - Produce: a producer claims one ring with a CAS (the claim is held for
+//     a handful of instructions — no mutex, no parking), writes the batch
+//     into the ring's next slot and publishes it with an atomic store of the
+//     ring's head index. N producers on one topic append to N different
+//     rings and never serialize on a shared lock.
+//   - Consume: consumer groups keep one atomic cursor per ring; a pop scans
+//     the rings starting at the consumer's affinity hint, claims the next
+//     unread slot with a cursor CAS, and advances the ring's reclaim tail
+//     once every group has passed a slot. Merging is at consume time — the
+//     produce path never coordinates across rings.
+//   - Ordering: batches from one producer stay FIFO within the ring they
+//     landed in. A flow's tuples are emitted by a single monitor worker
+//     shard, which ships through a single producer, so per-flow order is
+//     preserved shard-locally — the same contract a Kafka partition gives.
+//   - Back pressure and retry semantics are unchanged: a full ring set
+//     returns ErrBufferFull (retryable, Producer.Send owns the policy), the
+//     fault hook can still make the partition unavailable, and watermark
+//     transitions fire exactly as on the legacy path.
+
+// minShardSlots floors each ring's capacity so tiny BufferBatches configs
+// still leave room for a burst per shard.
+const minShardSlots = 8
+
+// ring is one single-writer segment of a sharded partition log. Slots form a
+// power-of-two circular buffer; head counts published batches, tail counts
+// batches every consumer group has consumed (the reclaim horizon). The
+// writer claim is a CAS-held flag, not a mutex: a producer that loses the
+// claim moves to the next ring instead of blocking.
+type ring struct {
+	slots []atomic.Pointer[tuple.Batch]
+	mask  uint64
+
+	writer atomic.Bool   // CAS claim; held only across one push
+	head   atomic.Uint64 // batches published: slots[tail:head) are live
+	tail   atomic.Uint64 // min group cursor: slots below are reclaimable
+
+	appended atomic.Uint64 // per-shard produce counter (telemetry)
+}
+
+// full reports whether the ring has no free slot, against the possibly stale
+// tail — stale reads err toward "full", which is retryable and safe.
+func (r *ring) full() bool {
+	return r.head.Load()-r.tail.Load() >= uint64(len(r.slots))
+}
+
+// push appends one batch. Caller must hold the writer claim.
+func (r *ring) push(b *tuple.Batch) bool {
+	h := r.head.Load()
+	if h-r.tail.Load() >= uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[h&r.mask].Store(b)
+	// Publish: consumers acquire the slot write via this store (Go atomics
+	// establish happens-before), so the batch is never read half-written.
+	r.head.Store(h + 1)
+	r.appended.Add(1)
+	return true
+}
+
+// backlog is the ring's unconsumed depth (relative to the slowest group).
+func (r *ring) backlog() uint64 {
+	h, t := r.head.Load(), r.tail.Load()
+	if h < t {
+		return 0
+	}
+	return h - t
+}
+
+// groupCursors is one consumer group's read state: an atomic cursor per
+// ring. Cursors are claimed with CAS, so consumers in a group can pop
+// concurrently without a shared lock.
+type groupCursors struct {
+	offs []atomic.Uint64
+}
+
+// shardedLog replaces a partition's locked buffer when ingest sharding is
+// on. Producers touch only their claimed ring; the groups map is mutated
+// copy-on-write (cold path: group registration), so the pop path reads it
+// with a single atomic load.
+type shardedLog struct {
+	p     *partition
+	rings []*ring
+
+	groupsMu sync.Mutex // serializes registration (COW map swap)
+	groups   atomic.Pointer[map[string]*groupCursors]
+
+	over atomic.Bool // high-watermark state for back-pressure transitions
+}
+
+func newShardedLog(p *partition, shards, bufferBatches int) *shardedLog {
+	per := bufferBatches / shards
+	if per < minShardSlots {
+		per = minShardSlots
+	}
+	// Round up to a power of two so slot indexing is a mask.
+	capPer := 1
+	for capPer < per {
+		capPer <<= 1
+	}
+	s := &shardedLog{p: p}
+	for i := 0; i < shards; i++ {
+		s.rings = append(s.rings, &ring{
+			slots: make([]atomic.Pointer[tuple.Batch], capPer),
+			mask:  uint64(capPer - 1),
+		})
+	}
+	empty := make(map[string]*groupCursors)
+	s.groups.Store(&empty)
+	return s
+}
+
+// capacity is the log's total slot count (for occupancy fractions).
+func (s *shardedLog) capacity() int { return len(s.rings) * len(s.rings[0].slots) }
+
+// append publishes one batch into the first ring the producer can claim,
+// starting at its home-shard hint. Busy rings (another producer holds the
+// claim) are retried; only when every ring is genuinely full does the append
+// fail with ErrBufferFull, preserving the legacy path's retry contract.
+func (s *shardedLog) append(b *tuple.Batch, hint int) error {
+	n := len(s.rings)
+	for {
+		anyBusy := false
+		for i := 0; i < n; i++ {
+			r := s.rings[(hint+i)%n]
+			if r.full() {
+				continue
+			}
+			if !r.writer.CompareAndSwap(false, true) {
+				anyBusy = true
+				continue
+			}
+			ok := r.push(b)
+			r.writer.Store(false)
+			if ok {
+				s.checkOverload(r)
+				return nil
+			}
+		}
+		if !anyBusy {
+			return errBufferFull(s.p.topic.name)
+		}
+		runtime.Gosched()
+	}
+}
+
+// checkOverload raises the high-watermark transition when the just-written
+// ring crosses the threshold. Only the hot ring is inspected on the produce
+// path — recovery (which must observe *all* rings calming down) is checked
+// on pop, where a scan is already cheap.
+func (s *shardedLog) checkOverload(r *ring) {
+	cfg := s.p.topic.cluster.cfg
+	occ := float64(r.backlog()) / float64(len(r.slots))
+	if occ >= cfg.HighWatermark && s.over.CompareAndSwap(false, true) {
+		s.p.topic.overloads.Add(1)
+		s.p.topic.cluster.notify(Status{Topic: s.p.topic.name, Overloaded: true, Occupancy: occ})
+	}
+}
+
+// cursors returns the group's cursor set, registering it on first use at
+// each ring's current reclaim tail (the earliest retained record — Kafka's
+// earliest auto-offset policy, matching the legacy path).
+func (s *shardedLog) cursors(group string) *groupCursors {
+	if gc, ok := (*s.groups.Load())[group]; ok {
+		return gc
+	}
+	s.groupsMu.Lock()
+	defer s.groupsMu.Unlock()
+	old := *s.groups.Load()
+	if gc, ok := old[group]; ok {
+		return gc
+	}
+	gc := &groupCursors{offs: make([]atomic.Uint64, len(s.rings))}
+	for i, r := range s.rings {
+		gc.offs[i].Store(r.tail.Load())
+	}
+	next := make(map[string]*groupCursors, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[group] = gc
+	s.groups.Store(&next)
+	return gc
+}
+
+// pop claims the next unread batch for the group, scanning rings from the
+// consumer's affinity hint so co-located spout tasks drain "their" shards
+// first. Returns nil when every ring is drained for this group.
+func (s *shardedLog) pop(group string, hint int) *tuple.Batch {
+	gc := s.cursors(group)
+	n := len(s.rings)
+	for i := 0; i < n; i++ {
+		ri := (hint + i) % n
+		r := s.rings[ri]
+		for {
+			off := gc.offs[ri].Load()
+			if off >= r.head.Load() {
+				break
+			}
+			// Read the slot before claiming it: while our cursor is still at
+			// off, the reclaim tail cannot pass off, so the slot cannot be
+			// overwritten. If another consumer wins the claim first, the CAS
+			// below fails and the (possibly stale) read is discarded.
+			b := r.slots[off&r.mask].Load()
+			if !gc.offs[ri].CompareAndSwap(off, off+1) {
+				continue
+			}
+			s.advanceTail(ri)
+			s.checkRecovery()
+			return b
+		}
+	}
+	return nil
+}
+
+// advanceTail moves ring ri's reclaim tail to the slowest group cursor.
+// Monotonic CAS-max: concurrent pops may race, the tail only moves forward.
+func (s *shardedLog) advanceTail(ri int) {
+	groups := *s.groups.Load()
+	r := s.rings[ri]
+	slowest := r.head.Load()
+	for _, gc := range groups {
+		if off := gc.offs[ri].Load(); off < slowest {
+			slowest = off
+		}
+	}
+	for {
+		t := r.tail.Load()
+		if slowest <= t || r.tail.CompareAndSwap(t, slowest) {
+			return
+		}
+	}
+}
+
+// checkRecovery lowers the back-pressure flag once every ring has drained
+// below the low watermark. Scanned only while overloaded.
+func (s *shardedLog) checkRecovery() {
+	if !s.over.Load() {
+		return
+	}
+	cfg := s.p.topic.cluster.cfg
+	maxOcc := 0.0
+	for _, r := range s.rings {
+		if occ := float64(r.backlog()) / float64(len(r.slots)); occ > maxOcc {
+			maxOcc = occ
+		}
+	}
+	if maxOcc <= cfg.HighWatermark/2 && s.over.CompareAndSwap(true, false) {
+		s.p.topic.cluster.notify(Status{Topic: s.p.topic.name, Overloaded: false, Occupancy: maxOcc})
+	}
+}
+
+// backlogTotal sums unconsumed batches across rings (Stats.Buffered).
+func (s *shardedLog) backlogTotal() int {
+	total := 0
+	for _, r := range s.rings {
+		total += int(r.backlog())
+	}
+	return total
+}
+
+// maxOccupancy is the hottest ring's occupancy fraction.
+func (s *shardedLog) maxOccupancy() float64 {
+	maxOcc := 0.0
+	for _, r := range s.rings {
+		if occ := float64(r.backlog()) / float64(len(r.slots)); occ > maxOcc {
+			maxOcc = occ
+		}
+	}
+	return maxOcc
+}
+
+// ShardStats is one ring's telemetry snapshot.
+type ShardStats struct {
+	Appended  uint64
+	Backlog   int
+	Occupancy float64
+}
+
+// shardStats snapshots every ring.
+func (s *shardedLog) shardStats() []ShardStats {
+	out := make([]ShardStats, len(s.rings))
+	for i, r := range s.rings {
+		out[i] = ShardStats{
+			Appended:  r.appended.Load(),
+			Backlog:   int(r.backlog()),
+			Occupancy: float64(r.backlog()) / float64(len(r.slots)),
+		}
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package mq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shardedCluster is the sharded-ingest analogue of the default test cluster.
+func shardedCluster(shards int, cfg Config) *Cluster {
+	cfg.IngestShards = shards
+	return NewCluster(2, cfg)
+}
+
+// TestShardedParityWithLegacy: the sharded path must deliver the same tuple
+// multiset as the legacy path for the same workload — sharding changes who
+// holds which lock, never what arrives.
+func TestShardedParityWithLegacy(t *testing.T) {
+	workload := func(c *Cluster) map[uint64]int {
+		prod := c.Producer("t")
+		for i := 0; i < 100; i++ {
+			b := batchOf(1)
+			b.Tuples[0].FlowID = uint64(i)
+			if err := prod.Send(b); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		cons := c.Consumer("t")
+		got := make(map[uint64]int)
+		for {
+			bs := cons.Poll(16)
+			if len(bs) == 0 {
+				break
+			}
+			for _, b := range bs {
+				for _, tu := range b.Tuples {
+					got[tu.FlowID]++
+				}
+			}
+		}
+		return got
+	}
+	legacy := workload(NewCluster(2, Config{Partitions: 3}))
+	sharded := workload(shardedCluster(4, Config{Partitions: 3}))
+	if len(legacy) != 100 || len(sharded) != 100 {
+		t.Fatalf("multiset sizes: legacy %d sharded %d, want 100", len(legacy), len(sharded))
+	}
+	for id, n := range legacy {
+		if sharded[id] != n {
+			t.Fatalf("flow %d: legacy %d sharded %d", id, n, sharded[id])
+		}
+	}
+}
+
+// TestShardedConcurrentConservation: N producers and K group consumers
+// hammer one sharded topic concurrently; every batch must arrive exactly
+// once (run under -race in CI).
+func TestShardedConcurrentConservation(t *testing.T) {
+	c := shardedCluster(4, Config{Partitions: 2, BufferBatches: 1 << 14})
+	const producers, perProducer, consumers = 4, 300, 3
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prod := c.Producer("t")
+			for i := 0; i < perProducer; i++ {
+				b := batchOf(1)
+				b.Tuples[0].FlowID = uint64(g*perProducer + i)
+				if err := prod.Send(b); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var seen sync.Map
+	var total atomic.Int64
+	var dups atomic.Int64
+	var cwg sync.WaitGroup
+	stop := make(chan struct{})
+	for k := 0; k < consumers; k++ {
+		k := k
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			cons := c.GroupConsumer("t", "g")
+			cons.SetShardAffinity(k)
+			for {
+				bs := cons.Poll(32)
+				for _, b := range bs {
+					id := b.Tuples[0].FlowID
+					if _, loaded := seen.LoadOrStore(id, true); loaded {
+						dups.Add(1)
+					}
+					total.Add(1)
+				}
+				if len(bs) == 0 {
+					select {
+					case <-stop:
+						if len(cons.Poll(32)) == 0 {
+							return
+						}
+					default:
+						time.Sleep(100 * time.Microsecond)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	// Final sweep in case the last producer batch landed after every
+	// consumer's exit check.
+	cons := c.GroupConsumer("t", "g")
+	for {
+		bs := cons.Poll(32)
+		if len(bs) == 0 {
+			break
+		}
+		for _, b := range bs {
+			if _, loaded := seen.LoadOrStore(b.Tuples[0].FlowID, true); loaded {
+				dups.Add(1)
+			}
+			total.Add(1)
+		}
+	}
+
+	want := int64(producers * perProducer)
+	if total.Load() != want || dups.Load() != 0 {
+		t.Fatalf("consumed %d (dups %d), want %d with 0 dups", total.Load(), dups.Load(), want)
+	}
+	st := c.Stats("t")
+	if st.Appended != uint64(want) || st.Consumed != uint64(want) || st.Buffered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestShardedBufferFullRetryable: a full shard set returns the typed
+// ErrBufferFull (so Producer.Send's retry policy applies) and drains back to
+// health.
+func TestShardedBufferFullRetryable(t *testing.T) {
+	// 2 shards floored at minShardSlots slots each.
+	c := shardedCluster(2, Config{Partitions: 1, BufferBatches: 4})
+	prod := c.Producer("t")
+	capacity := 2 * minShardSlots
+	for i := 0; i < capacity; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := prod.Send(batchOf(1)); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+	st := c.Stats("t")
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+	cons := c.Consumer("t")
+	if len(cons.Poll(1)) != 1 {
+		t.Fatal("drain failed")
+	}
+	if err := prod.Send(batchOf(1)); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+}
+
+// TestShardedOffsetPreservingReconnect: PR 5's consume-outage semantics hold
+// on the sharded path — the group resumes at the exact next offset, in
+// order, with no loss or duplication.
+func TestShardedOffsetPreservingReconnect(t *testing.T) {
+	hook := &scriptedHook{}
+	c := shardedCluster(4, Config{Partitions: 1})
+	c.SetFaultHook(hook)
+	prod := c.Producer("t") // home shard 0; sole producer, so ring 0 FIFO
+	cons := c.GroupConsumer("t", "g")
+
+	for i := 0; i < 10; i++ {
+		b := batchOf(1)
+		b.Tuples[0].FlowID = uint64(i)
+		if err := prod.Send(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []uint64
+	drain := func(want int) {
+		t.Helper()
+		for _, b := range cons.Poll(want) {
+			seen = append(seen, b.Tuples[0].FlowID)
+		}
+	}
+	drain(4)
+	if len(seen) != 4 {
+		t.Fatalf("pre-fault consumed %d, want 4", len(seen))
+	}
+
+	hook.setConsumeDown(true)
+	if got := cons.Poll(4); len(got) != 0 {
+		t.Fatalf("unavailable partition returned %d batches", len(got))
+	}
+	hook.setConsumeDown(false)
+
+	drain(100)
+	if len(seen) != 10 {
+		t.Fatalf("total consumed %d, want 10 (offset lost or duplicated)", len(seen))
+	}
+	for i, id := range seen {
+		if id != uint64(i) {
+			t.Fatalf("order broken at %d: got flow %d; all=%v", i, id, seen)
+		}
+	}
+}
+
+// TestShardedBackPressureStatuses: the watermark transitions fire on the
+// sharded path too — overload when the hot ring crosses the high watermark,
+// recovery once every ring drains below half of it.
+func TestShardedBackPressureStatuses(t *testing.T) {
+	// 2 shards × 8 slots; high watermark 0.5 trips at 4 batches in one ring.
+	c := shardedCluster(2, Config{Partitions: 1, BufferBatches: 16, HighWatermark: 0.5})
+	sub := c.Subscribe("t")
+	prod := c.Producer("t")
+	cons := c.Consumer("t")
+
+	for i := 0; i < 4; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case s := <-sub:
+		if !s.Overloaded || s.Topic != "t" {
+			t.Errorf("status = %+v, want overloaded on t", s)
+		}
+	default:
+		t.Fatal("no overload status emitted")
+	}
+
+	for i := 0; i < 3; i++ {
+		if cons.Poll(1) == nil {
+			t.Fatal("unexpected empty poll")
+		}
+	}
+	select {
+	case s := <-sub:
+		if s.Overloaded {
+			t.Errorf("status = %+v, want recovery", s)
+		}
+	default:
+		t.Fatal("no recovery status emitted")
+	}
+}
+
+// TestLockWaitHistogramPaths: the legacy path records lock waits in
+// mq_partition_lock_wait_ns; the sharded path, having no partition lock on
+// the datapath, records none.
+func TestLockWaitHistogramPaths(t *testing.T) {
+	legacy := NewCluster(1, Config{Partitions: 1})
+	prod := legacy.Producer("t")
+	cons := legacy.Consumer("t")
+	for i := 0; i < 8; i++ {
+		if err := prod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons.Poll(8)
+	if n := legacy.LockWaitNS("t").Count(); n == 0 {
+		t.Error("legacy path recorded no lock waits")
+	}
+
+	sharded := shardedCluster(2, Config{Partitions: 1})
+	sprod := sharded.Producer("t")
+	scons := sharded.Consumer("t")
+	for i := 0; i < 8; i++ {
+		if err := sprod.Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scons.Poll(8)
+	if n := sharded.LockWaitNS("t").Count(); n != 0 {
+		t.Errorf("sharded path recorded %d lock waits, want 0", n)
+	}
+}
+
+// TestShardStatsSpread: each producer's batches land on its own home ring
+// when capacity allows — the telemetry view a hot-shard investigation needs.
+func TestShardStatsSpread(t *testing.T) {
+	c := shardedCluster(4, Config{Partitions: 1, BufferBatches: 1 << 10})
+	prods := make([]*Producer, 4)
+	for i := range prods {
+		prods[i] = c.Producer("t")
+	}
+	for i, p := range prods {
+		for j := 0; j <= i; j++ { // producer i sends i+1 batches
+			if err := p.Send(batchOf(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	per := c.ShardStats("t")
+	if len(per) != 1 || len(per[0]) != 4 {
+		t.Fatalf("ShardStats shape = %d partitions", len(per))
+	}
+	for shard, ss := range per[0] {
+		if ss.Appended != uint64(shard+1) {
+			t.Errorf("shard %d appended %d, want %d (home-shard spread broken)",
+				shard, ss.Appended, shard+1)
+		}
+	}
+	if got := c.ShardStats("missing"); got != nil {
+		t.Errorf("unknown topic ShardStats = %v, want nil", got)
+	}
+}
+
+// TestShardAffinityClamp: negative hints clamp to 0 and affinity never
+// strands data — an affine consumer still drains every ring.
+func TestShardAffinityClamp(t *testing.T) {
+	c := shardedCluster(4, Config{Partitions: 1})
+	prods := make([]*Producer, 4)
+	for i := range prods {
+		prods[i] = c.Producer("t")
+		if err := prods[i].Send(batchOf(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons := c.Consumer("t")
+	cons.SetShardAffinity(-5)
+	if cons.affinity != 0 {
+		t.Errorf("affinity = %d, want clamped 0", cons.affinity)
+	}
+	cons.SetShardAffinity(2)
+	total := 0
+	for {
+		bs := cons.Poll(8)
+		if len(bs) == 0 {
+			break
+		}
+		total += len(bs)
+	}
+	if total != 4 {
+		t.Errorf("affine consumer drained %d batches, want 4 (data stranded)", total)
+	}
+}
+
+// TestShardedRetentionWaitsForSlowestGroup: a ring slot is only reclaimed
+// once every registered group has consumed it, so a slow group never loses
+// data to a fast one.
+func TestShardedRetentionWaitsForSlowestGroup(t *testing.T) {
+	c := shardedCluster(2, Config{Partitions: 1, BufferBatches: 16})
+	fast := c.GroupConsumer("t", "fast")
+	slow := c.GroupConsumer("t", "slow")
+	prod := c.Producer("t")
+	const n = 8
+	for i := 0; i < n; i++ {
+		b := batchOf(1)
+		b.Tuples[0].FlowID = uint64(i)
+		if err := prod.Send(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(fast.Poll(n * 2)); got != n {
+		t.Fatalf("fast group consumed %d, want %d", got, n)
+	}
+	// Everything is still retained for the slow group.
+	got := make([]uint64, 0, n)
+	for _, b := range slow.Poll(n * 2) {
+		got = append(got, b.Tuples[0].FlowID)
+	}
+	if len(got) != n {
+		t.Fatalf("slow group consumed %d, want %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != uint64(i) {
+			t.Fatalf("slow group order broken at %d: %v", i, got)
+		}
+	}
+	if st := c.Stats("t"); st.Buffered != 0 {
+		t.Errorf("Buffered = %d after both groups drained", st.Buffered)
+	}
+}
+
+// BenchmarkShardedVsLegacyProduce: the contended produce path, for a quick
+// local A/B without the full scale-out sweep.
+func BenchmarkShardedVsLegacyProduce(b *testing.B) {
+	run := func(b *testing.B, c *Cluster) {
+		batch := batchOf(16)
+		b.SetBytes(int64(batch.WireSize()))
+		var drained atomic.Bool
+		go func() {
+			cons := c.Consumer("bench")
+			for !drained.Load() {
+				if len(cons.Poll(256)) == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			prod := c.Producer("bench")
+			for pb.Next() {
+				if err := prod.Send(batch); err != nil && !errors.Is(err, ErrBufferFull) {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		drained.Store(true)
+	}
+	b.Run("legacy", func(b *testing.B) {
+		run(b, NewCluster(2, Config{Partitions: 4, BufferBatches: 1 << 16}))
+	})
+	b.Run("sharded", func(b *testing.B) {
+		run(b, shardedCluster(8, Config{Partitions: 4, BufferBatches: 1 << 16}))
+	})
+}
