@@ -19,6 +19,7 @@ import (
 
 	"netalytics/internal/apps"
 	"netalytics/internal/core"
+	"netalytics/internal/insight"
 	"netalytics/internal/monitor"
 	"netalytics/internal/mq"
 	"netalytics/internal/packet"
@@ -664,6 +665,65 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 			b.StopTimer()
 			mon.Stop()
+		})
+	}
+}
+
+// --- Insight tier overhead: always-on detection vs the bare service ---
+
+// BenchmarkInsightOverhead measures end-to-end request latency through the
+// emulated service with the insight tier off and on. "insight-on" carries
+// the whole always-on stack — the standing observation queries with their
+// mirrored monitors, the registry feeder, per-series detectors and the
+// correlator — and must stay within ~5% of the bare path: the tier samples
+// on its own clock and adds no per-request work.
+func BenchmarkInsightOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"insight-off", false}, {"insight-on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			topo := topology.MustNew(4)
+			cfg := core.Config{TickInterval: 50 * time.Millisecond}
+			if mode.on {
+				cfg.Insight = &insight.Config{SnapshotPeriod: 100 * time.Millisecond}
+			}
+			engine := core.NewEngine(topo, cfg)
+			defer engine.Close()
+			hosts := topo.Hosts()
+			server, client := hosts[0], hosts[12]
+			web, err := apps.StartApp(engine.Network(), server, apps.AppConfig{
+				Routes: map[string]apps.Route{"/": {Cost: 100 * time.Microsecond}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer web.Stop()
+			if mode.on {
+				if err := engine.ObserveServices(); err != nil {
+					b.Fatal(err)
+				}
+				// Let the observation monitors place and the feeder take its
+				// first snapshot before timing starts.
+				time.Sleep(300 * time.Millisecond)
+			}
+			ep := engine.Network().Endpoint(client)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conn, err := ep.Dial(server.Addr, 80)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := conn.Request([]byte("GET / HTTP/1.1\r\nHost: h\r\n\r\n"), time.Second); err != nil {
+					b.Fatal(err)
+				}
+				conn.Close()
+			}
+			b.StopTimer()
+			if mode.on {
+				// A quiet benchmark run must not page anyone.
+				b.ReportMetric(float64(engine.Insight().Total()), "incidents")
+			}
 		})
 	}
 }

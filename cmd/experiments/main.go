@@ -62,6 +62,7 @@ func experimentsList() []experiment {
 		{"fig12", "use case 2: web response-time histogram", runFig12to14},
 		{"fig13", "use case 2: per-URL response-time CDFs (with fig12)", nil},
 		{"fig14", "use case 2: buggy vs correct page CDF (with fig12)", nil},
+		{"fig14auto", "use case 2: insight tier auto-detection, time-to-detect per injected bug", runFig14Auto},
 		{"fig15", "use case 2: per-SQL-query latency histogram", runFig15},
 		{"qlog", "use case 2: MySQL query-log overhead", runQueryLog},
 		{"fig16", "use case 3: video popularity over time", runFig16},

@@ -11,7 +11,15 @@
 // Telemetry: -metrics addr serves live registry snapshots at
 // http://addr/metrics, -telemetry-json path dumps them periodically to a
 // file, and -trace-every N sets the stage-latency trace sampling period
-// (0 = default 1-in-64, negative disables tracing).
+// (0 = default 1-in-64, 1 = every tuple, negative disables tracing).
+//
+// Insight: -insight runs the always-on anomaly-detection tier — it submits
+// its own observation queries, learns per-series baselines, and correlates
+// anomalies into rooted incidents served at http://addr/incidents (beside
+// /metrics) and printed at the end of the run. -insight-every N sets the
+// registry snapshot period in milliseconds with the same sampling contract
+// as -trace-every: 0 = default 1000, 1 = every millisecond, negative
+// disables the tier.
 //
 // Example queries against the demo testbed (hosts are named h<pod>-<rack>-<n>):
 //
@@ -97,6 +105,20 @@ type runOpts struct {
 	vnetFlowCache     int    // forwarding-decision cache entries, <=0 disables
 	ingestShards      int    // per-core sharded ingest, 0 = legacy path
 	faultSpec         string // deterministic fault schedule, "" disables
+	insight           bool   // run the always-on insight tier
+	insightEvery      int    // snapshot period in ms; 0 = default, negative disables
+}
+
+// insightPeriod resolves the -insight/-insight-every pair into a snapshot
+// period, 0 when the tier is off. -insight-every shares telemetry's sampling
+// contract (0 = default, negative disables), with the unit being
+// milliseconds between registry snapshots.
+func (o runOpts) insightPeriod() time.Duration {
+	if !o.insight {
+		return 0
+	}
+	ms := telemetry.SamplePeriod(o.insightEvery, 1000)
+	return time.Duration(ms) * time.Millisecond
 }
 
 func main() {
@@ -108,7 +130,9 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics", "", "serve live telemetry at http://<addr>/metrics (e.g. localhost:9090)")
 	flag.StringVar(&o.telemetryJSON, "telemetry-json", "", "periodically dump telemetry snapshots to this JSON file")
 	flag.DurationVar(&o.telemetryInterval, "telemetry-interval", telemetry.DefaultExportInterval, "period between telemetry JSON dumps")
-	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, negative disables)")
+	flag.IntVar(&o.traceEvery, "trace-every", 0, "stage-latency trace sampling period: trace 1-in-N tuples (0 = default 64, 1 = every tuple, negative disables)")
+	flag.BoolVar(&o.insight, "insight", false, "run the always-on insight tier: streaming baselines, anomaly detection, /incidents endpoint")
+	flag.IntVar(&o.insightEvery, "insight-every", 0, "insight registry snapshot period in ms (0 = default 1000, 1 = every ms, negative disables the tier)")
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "stream executor sub-batch size: tuples per channel send between tasks (0 = default 32, 1 disables batching)")
 	flag.IntVar(&o.vnetFlowCache, "vnet-flowcache", vnet.DefaultFlowCacheSize, "per-flow forwarding-decision cache entries (0 disables caching for A/B runs)")
 	flag.IntVar(&o.ingestShards, "ingest-shards", 0, "per-core sharded ingest: lock-free mq ring shards and work-stealing monitor collectors per instance (0 = legacy single-owner queues for A/B)")
@@ -121,8 +145,9 @@ func main() {
 	if *interactive {
 		if o.faultSpec != "" {
 			fmt.Fprintln(os.Stderr, "netalytics: -fault-spec is ignored in interactive mode")
+			o.faultSpec = ""
 		}
-		err = runInteractive(o.traceEvery, o.streamBatch, o.vnetFlowCache, o.ingestShards)
+		err = runInteractive(o)
 	} else {
 		err = run(o)
 	}
@@ -135,8 +160,8 @@ func main() {
 // runInteractive drives a REPL: continuous background traffic flows through
 // the demo app, and each line submits a query whose results stream until the
 // query's LIMIT fires or the user enters a blank line.
-func runInteractive(traceEvery, streamBatch, vnetFlowCache, ingestShards int) error {
-	d, err := buildDemo(traceEvery, streamBatch, vnetFlowCache, ingestShards, "")
+func runInteractive(o runOpts) error {
+	d, err := buildDemo(o)
 	if err != nil {
 		return err
 	}
@@ -196,6 +221,7 @@ func runInteractive(traceEvery, streamBatch, vnetFlowCache, ingestShards int) er
 			return nil
 		case "stats":
 			printStats(d.tb)
+			printIncidents(d.tb)
 			continue
 		}
 		sess, err := d.tb.Submit(line)
@@ -224,6 +250,20 @@ func runInteractive(traceEvery, streamBatch, vnetFlowCache, ingestShards int) er
 				fmt.Println("(finish the running query with a blank line first)")
 			}
 		}
+	}
+}
+
+// printIncidents summarizes what the insight tier detected; no-op when the
+// tier is off.
+func printIncidents(tb *netalytics.Testbed) {
+	t := tb.Engine().Insight()
+	if t == nil {
+		return
+	}
+	incidents := t.Incidents()
+	fmt.Printf("insight: %d incident(s) detected\n", t.Total())
+	for _, inc := range incidents {
+		fmt.Printf("  [%s] root=%-12s %s\n", inc.ID, inc.Root, inc.Summary)
 	}
 }
 
@@ -274,21 +314,25 @@ func (d *demo) close() {
 	d.tb.Close()
 }
 
-func buildDemo(traceEvery, streamBatch, vnetFlowCache, ingestShards int, faultSpec string) (*demo, error) {
+func buildDemo(o runOpts) (*demo, error) {
 	// The flag's 0-disables contract maps onto Config's 0-means-default one.
+	vnetFlowCache := o.vnetFlowCache
 	if vnetFlowCache <= 0 {
 		vnetFlowCache = -1
 	}
 	engCfg := netalytics.EngineConfig{
-		TraceSampleEvery:  traceEvery,
-		StreamBatchSize:   streamBatch,
+		TraceSampleEvery:  o.traceEvery,
+		StreamBatchSize:   o.streamBatch,
 		VnetFlowCacheSize: vnetFlowCache,
-		IngestShards:      ingestShards,
+		IngestShards:      o.ingestShards,
+	}
+	if period := o.insightPeriod(); period > 0 {
+		engCfg.Insight = &netalytics.InsightConfig{SnapshotPeriod: period}
 	}
 	var inj *fault.Injector
 	var schedule []fault.Event
-	if faultSpec != "" {
-		spec, err := fault.ParseSpec(faultSpec)
+	if o.faultSpec != "" {
+		spec, err := fault.ParseSpec(o.faultSpec)
 		if err != nil {
 			return nil, err
 		}
@@ -353,6 +397,15 @@ func buildDemo(traceEvery, streamBatch, vnetFlowCache, ingestShards int, faultSp
 		return nil, err
 	}
 	d.stops = append(d.stops, proxy.Stop)
+
+	// With the insight tier on, the engine observes the services it just
+	// discovered — no hand-written queries involved.
+	if tb.Engine().Insight() != nil {
+		if err := tb.Engine().ObserveServices(); err != nil {
+			d.close()
+			return nil, fmt.Errorf("insight observation: %w", err)
+		}
+	}
 	return d, nil
 }
 
@@ -366,18 +419,23 @@ func (d *demo) describe() {
 	fmt.Printf("  %-10s %-16s load client\n", d.client.Name, d.client.Addr)
 }
 
-// serveMetrics starts an HTTP server exposing the registry at /metrics,
-// returning the bound address and a shutdown func.
-func serveMetrics(addr string, reg *netalytics.MetricsRegistry) (bound string, stop func(), err error) {
+// serveMetrics starts an HTTP server exposing the registry at /metrics (and,
+// with the insight tier on, the incident stream at /incidents), returning the
+// bound address and a shutdown func.
+func serveMetrics(addr string, tb *netalytics.Testbed) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.Handler(reg))
+	mux.Handle("/metrics", telemetry.Handler(tb.Metrics()))
+	fmt.Printf("telemetry: serving http://%s/metrics\n", ln.Addr())
+	if t := tb.Engine().Insight(); t != nil {
+		mux.Handle("/incidents", t.Handler())
+		fmt.Printf("insight: serving http://%s/incidents\n", ln.Addr())
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("telemetry: serving http://%s/metrics\n", ln.Addr())
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
@@ -404,7 +462,7 @@ func printTelemetry(sess *netalytics.Session) {
 }
 
 func run(o runOpts) error {
-	d, err := buildDemo(o.traceEvery, o.streamBatch, o.vnetFlowCache, o.ingestShards, o.faultSpec)
+	d, err := buildDemo(o)
 	if err != nil {
 		return err
 	}
@@ -419,7 +477,7 @@ func run(o runOpts) error {
 	}
 
 	if o.metricsAddr != "" {
-		_, stop, err := serveMetrics(o.metricsAddr, d.tb.Metrics())
+		_, stop, err := serveMetrics(o.metricsAddr, d.tb)
 		if err != nil {
 			return err
 		}
@@ -511,6 +569,7 @@ func run(o runOpts) error {
 				fmt.Printf("session ended after %d results\n", results)
 				printTelemetry(sess)
 				printChaos()
+				printIncidents(d.tb)
 				return nil
 			}
 			results++
@@ -532,6 +591,7 @@ func run(o runOpts) error {
 				sess.Packets(), stats.Tuples, stats.Batches, results)
 			printTelemetry(sess)
 			printChaos()
+			printIncidents(d.tb)
 			return nil
 		}
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBuildDemoAndDescribe(t *testing.T) {
-	d, err := buildDemo(0, 0, 0, 0, "")
+	d, err := buildDemo(runOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +74,12 @@ func TestRunWithTelemetryExports(t *testing.T) {
 }
 
 func TestServeMetrics(t *testing.T) {
-	d, err := buildDemo(0, 0, 0, 0, "")
+	d, err := buildDemo(runOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d.close()
-	addr, stop, err := serveMetrics("127.0.0.1:0", d.tb.Metrics())
+	addr, stop, err := serveMetrics("127.0.0.1:0", d.tb)
 	if err != nil {
 		t.Fatalf("serveMetrics: %v", err)
 	}

@@ -47,6 +47,11 @@ type MySQLServer struct {
 	ln      *vnet.Listener
 	queries atomic.Uint64
 
+	// costOverride, when non-zero, replaces cfg.DefaultCost at runtime —
+	// the §7 bug-injection knob (a suddenly slow database) flipped while
+	// request handlers are reading costs concurrently.
+	costOverride atomic.Int64
+
 	logMu sync.Mutex
 }
 
@@ -110,11 +115,21 @@ func (s *MySQLServer) handle(c *vnet.Conn) {
 	}
 }
 
+// SetDefaultCost overrides the per-query execution time at runtime (0
+// restores the configured default). Safe to call while queries are in
+// flight.
+func (s *MySQLServer) SetDefaultCost(d time.Duration) {
+	s.costOverride.Store(int64(d))
+}
+
 func (s *MySQLServer) cost(sql string) time.Duration {
 	for substr, cost := range s.cfg.Costs {
 		if strings.Contains(sql, substr) {
 			return cost
 		}
+	}
+	if over := s.costOverride.Load(); over > 0 {
+		return time.Duration(over)
 	}
 	return s.cfg.DefaultCost
 }

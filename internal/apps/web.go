@@ -76,6 +76,10 @@ type AppServer struct {
 	ln       *vnet.Listener
 	requests atomic.Uint64
 
+	// routes/prefixes are guarded so SetRoute can rewrite behavior (e.g.
+	// breaking a page mid-run, §7.2) while handler goroutines match URLs.
+	routeMu  sync.RWMutex
+	routes   map[string]Route
 	prefixes []string // sorted longest-first for matching
 }
 
@@ -91,13 +95,27 @@ func StartApp(net *vnet.Network, host *topology.Host, cfg AppConfig) (*AppServer
 	if err != nil {
 		return nil, fmt.Errorf("apps: starting app on %s: %w", host.Name, err)
 	}
-	s := &AppServer{cfg: cfg, net: net, host: host, ln: ln}
-	for p := range cfg.Routes {
+	s := &AppServer{cfg: cfg, net: net, host: host, ln: ln, routes: make(map[string]Route, len(cfg.Routes))}
+	for p, r := range cfg.Routes {
+		s.routes[p] = r
 		s.prefixes = append(s.prefixes, p)
 	}
 	sort.Slice(s.prefixes, func(i, j int) bool { return len(s.prefixes[i]) > len(s.prefixes[j]) })
 	go ln.Serve(s.handle)
 	return s, nil
+}
+
+// SetRoute installs or replaces one route at runtime — the §7 bug-injection
+// knob (flipping a page to Broken, raising its cost) while requests are in
+// flight.
+func (s *AppServer) SetRoute(prefix string, r Route) {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	if _, exists := s.routes[prefix]; !exists {
+		s.prefixes = append(s.prefixes, prefix)
+		sort.Slice(s.prefixes, func(i, j int) bool { return len(s.prefixes[i]) > len(s.prefixes[j]) })
+	}
+	s.routes[prefix] = r
 }
 
 // Stop shuts the listener down.
@@ -133,9 +151,11 @@ func (s *AppServer) handle(c *vnet.Conn) {
 }
 
 func (s *AppServer) route(url string) (Route, bool) {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
 	for _, p := range s.prefixes {
 		if strings.HasPrefix(url, p) {
-			return s.cfg.Routes[p], true
+			return s.routes[p], true
 		}
 	}
 	return Route{}, false

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"netalytics/internal/fault"
+	"netalytics/internal/insight"
 	"netalytics/internal/mq"
 	"netalytics/internal/nfv"
 	"netalytics/internal/parsers"
@@ -74,9 +75,17 @@ type Config struct {
 	// Nil gets a fresh registry, so Engine.Metrics() is always usable.
 	Metrics *telemetry.Registry
 	// TraceSampleEvery sets the stage-latency trace sampling period: one
-	// traced tuple per N emitted. 0 means telemetry.DefaultSampleEvery;
-	// negative disables tracing entirely (zero hot-path cost).
+	// traced tuple per N emitted. It follows the telemetry.SamplePeriod
+	// contract — 0 means the default (telemetry.DefaultSampleEvery), 1
+	// traces every tuple, negative disables tracing entirely (zero hot-path
+	// cost). After withDefaults the field is fully resolved: a positive
+	// period or 0 for off.
 	TraceSampleEvery int
+	// Insight, when non-nil, runs the always-on insight tier beside the
+	// query pipelines: a registry-fed anomaly-detection topology publishing
+	// correlated incidents on the `_incidents` topic (see internal/insight).
+	// The engine fills in the config's Registry, Cluster and Graph.
+	Insight *insight.Config
 	// Faults, when non-nil, wires the deterministic fault injector into
 	// every layer: the vnet frame path (loss/latency/partitions), the mq
 	// produce/consume paths (unavailability, errors) and the NFV
@@ -110,9 +119,7 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
 	}
-	if c.TraceSampleEvery == 0 {
-		c.TraceSampleEvery = telemetry.DefaultSampleEvery
-	}
+	c.TraceSampleEvery = telemetry.SamplePeriod(c.TraceSampleEvery, telemetry.DefaultSampleEvery)
 	if c.VnetFlowCacheSize == 0 {
 		c.VnetFlowCacheSize = vnet.DefaultFlowCacheSize
 	}
@@ -121,17 +128,22 @@ func (c Config) withDefaults() Config {
 
 // Engine is a NetAlytics deployment over one data-center network.
 type Engine struct {
-	cfg  Config
-	topo *topology.FatTree
-	ctrl *sdn.Controller
-	net  *vnet.Network
-	mq   *mq.Cluster
-	nfv  *nfv.Orchestrator
+	cfg     Config
+	topo    *topology.FatTree
+	ctrl    *sdn.Controller
+	net     *vnet.Network
+	mq      *mq.Cluster
+	nfv     *nfv.Orchestrator
+	insight *insight.Tier // nil unless Config.Insight was set
 
 	mu       sync.Mutex
 	sessions map[string]*Session
 	nextID   int
 	closed   bool
+
+	obsMu       sync.Mutex
+	obsSessions []*Session // standing observation sessions feeding the tier
+	obsWG       sync.WaitGroup
 }
 
 // NewEngine creates an engine over the topology, with its own SDN
@@ -178,6 +190,25 @@ func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 		}
 		inj.SetMQPartitions(parts)
 	}
+	if cfg.Insight != nil {
+		icfg := *cfg.Insight
+		icfg.Registry = cfg.Metrics
+		icfg.Cluster = e.mq
+		if icfg.Graph == nil {
+			icfg.Graph = insight.NewServiceGraph(topo)
+		}
+		if icfg.Filter == nil {
+			icfg.Filter = insight.DefaultFilter
+		}
+		tier, err := insight.New(icfg)
+		if err != nil {
+			// Only reachable through an invalid hand-built topology; the
+			// engine-assembled one is statically correct.
+			panic("core: building insight tier: " + err.Error())
+		}
+		e.insight = tier
+		tier.Start()
+	}
 	return e
 }
 
@@ -199,6 +230,10 @@ func (e *Engine) Aggregation() *mq.Cluster { return e.mq }
 // Metrics returns the engine's telemetry registry (never nil).
 func (e *Engine) Metrics() *telemetry.Registry { return e.cfg.Metrics }
 
+// Insight returns the running insight tier, or nil when Config.Insight was
+// not set.
+func (e *Engine) Insight() *insight.Tier { return e.insight }
+
 // Sessions lists the currently running query sessions.
 func (e *Engine) Sessions() []*Session {
 	e.mu.Lock()
@@ -217,8 +252,10 @@ func (e *Engine) Session(id string) *Session {
 	return e.sessions[id]
 }
 
-// Close stops all sessions.
+// Close stops all sessions (observation sessions first) and the insight
+// tier.
 func (e *Engine) Close() {
+	e.StopObservation()
 	e.mu.Lock()
 	e.closed = true
 	sessions := make([]*Session, 0, len(e.sessions))
@@ -228,6 +265,9 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	for _, s := range sessions {
 		s.Stop()
+	}
+	if e.insight != nil {
+		e.insight.Stop()
 	}
 }
 

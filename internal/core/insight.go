@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"netalytics/internal/query"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+)
+
+// Insight-tier errors.
+var (
+	ErrNoInsight = errors.New("core: insight tier not enabled (Config.Insight)")
+	ErrNoService = errors.New("core: no services listening on the network")
+)
+
+// svcInfo is the observation layer's view of one discovered service.
+type svcInfo struct {
+	host *topology.Host
+	port uint16
+	tier string
+}
+
+// tierOf maps a well-known port to an application tier name.
+func tierOf(port uint16) string {
+	switch port {
+	case 3306:
+		return "db"
+	case 11211:
+		return "cache"
+	case 80, 8080:
+		return "web"
+	default:
+		return fmt.Sprintf("port%d", port)
+	}
+}
+
+// ObserveServices makes the insight tier self-sufficient: it discovers every
+// listening service on the virtual network and submits the standing
+// observation queries that feed the tier — zero hand-written queries. Two
+// sessions are launched:
+//
+//   - a connection-time query over every service, aggregated per service
+//     (rolling mean latency, keyed "ip:port") and per host pair (rolling
+//     connection counts, keyed "src->dst", which also teach the service
+//     graph who calls whom);
+//   - a URL-labeled connection-time query over the web-tier services, so
+//     per-page response times become host-labeled histogram series.
+//
+// Observer goroutines fold the result streams into registry series
+// (insight_svc_latency_ns, insight_conn_rate, insight_url_latency_ns) the
+// tier's feeder then samples like any other metric. Call it after the
+// application servers are listening; call StopObservation (or Close) to tear
+// the sessions down, which also retires the observer series.
+func (e *Engine) ObserveServices() error {
+	if e.insight == nil {
+		return ErrNoInsight
+	}
+	services := e.net.Services()
+	if len(services) == 0 {
+		return ErrNoService
+	}
+
+	index := make(map[string]svcInfo, len(services))
+	to := make([]query.Address, 0, len(services))
+	var webTo []query.Address
+	for _, svc := range services {
+		info := svcInfo{host: svc.Host, port: svc.Port, tier: tierOf(svc.Port)}
+		index[fmt.Sprintf("%s:%d", svc.Host.Addr, svc.Port)] = info
+		addr := query.Address{Host: svc.Host.Name, Port: svc.Port}
+		to = append(to, addr)
+		if info.tier == "web" {
+			webTo = append(webTo, addr)
+		}
+	}
+
+	connQ := &query.Query{
+		Parsers: []string{"tcp_conn_time"},
+		From:    []query.Address{{Any: true}},
+		To:      to,
+		Processors: []query.ProcessorSpec{
+			// Per-service mean connection time per window. Rolling, so each
+			// emitted value covers one window — a cumulative mean would
+			// dilute latency shifts toward invisibility.
+			{Name: "diff-group", Args: map[string]string{"group": "dst", "agg": "avg", "rolling": "true"}},
+			// Per host-pair connection counts per window: the communication
+			// edges (who talks to whom) plus a load signal per edge.
+			{Name: "diff-group", Args: map[string]string{"group": "ips", "agg": "count", "rolling": "true"}},
+		},
+	}
+	connS, err := e.SubmitQuery(connQ)
+	if err != nil {
+		return err
+	}
+	e.obsMu.Lock()
+	e.obsSessions = append(e.obsSessions, connS)
+	e.obsMu.Unlock()
+	e.obsWG.Add(1)
+	go e.observeConns(connS, index)
+
+	if len(webTo) > 0 {
+		urlQ := &query.Query{
+			Parsers: []string{"tcp_conn_time", "http_get"},
+			From:    []query.Address{{Any: true}},
+			To:      webTo,
+			// Raw per-connection durations, labeled by URL when the flow
+			// carried an HTTP GET.
+			Processors: []query.ProcessorSpec{{Name: "diff"}},
+		}
+		urlS, err := e.SubmitQuery(urlQ)
+		if err != nil {
+			connS.Stop()
+			return err
+		}
+		e.obsMu.Lock()
+		e.obsSessions = append(e.obsSessions, urlS)
+		e.obsMu.Unlock()
+		e.obsWG.Add(1)
+		go e.observeURLs(urlS)
+	}
+	return nil
+}
+
+// StopObservation stops the standing observation sessions (idempotent; also
+// run by Close). Session teardown drops the session-labeled observer series
+// from the registry.
+func (e *Engine) StopObservation() {
+	e.obsMu.Lock()
+	sessions := e.obsSessions
+	e.obsSessions = nil
+	e.obsMu.Unlock()
+	for _, s := range sessions {
+		s.Stop()
+	}
+	e.obsWG.Wait()
+}
+
+// hostByIP resolves an IP-literal string to its topology host, or nil.
+func (e *Engine) hostByIP(s string) *topology.Host {
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return nil
+	}
+	return e.topo.HostByAddr(addr)
+}
+
+// observeConns folds the connection-observation session's results into
+// registry gauges and the service graph. Result keys are either "ip:port"
+// (per-service rolling mean latency) or "srcIP->dstIP" (per-edge rolling
+// connection counts).
+func (e *Engine) observeConns(s *Session, index map[string]svcInfo) {
+	defer e.obsWG.Done()
+	reg := e.cfg.Metrics
+	graph := e.insight.Graph()
+	sessLabel := telemetry.L("session", s.ID)
+	for t := range s.Results() {
+		if src, dst, ok := strings.Cut(t.Key, "->"); ok {
+			sh, dh := e.hostByIP(src), e.hostByIP(dst)
+			if sh == nil || dh == nil {
+				continue
+			}
+			graph.Observe(sh.Name, dh.Name)
+			reg.Gauge("insight_conn_rate", sessLabel,
+				telemetry.L("src", sh.Name), telemetry.L("host", dh.Name)).Set(t.Val)
+			continue
+		}
+		if info, ok := index[t.Key]; ok {
+			reg.Gauge("insight_svc_latency_ns", sessLabel,
+				telemetry.L("host", info.host.Name),
+				telemetry.L("svc", fmt.Sprintf("%s:%d", info.host.Name, info.port)),
+				telemetry.L("tier", info.tier)).Set(t.Val)
+		}
+	}
+}
+
+// observeURLs folds the URL-observation session's results into per-URL,
+// per-host latency histograms. Each result is one connection's duration; its
+// DstIP is the server side (the client closes first, so the end tuple points
+// client -> server), giving URL anomalies the host label correlation needs.
+func (e *Engine) observeURLs(s *Session) {
+	defer e.obsWG.Done()
+	reg := e.cfg.Metrics
+	sessLabel := telemetry.L("session", s.ID)
+	for t := range s.Results() {
+		if !strings.HasPrefix(t.Key, "/") {
+			continue
+		}
+		h := e.hostByIP(t.DstIP)
+		if h == nil {
+			continue
+		}
+		reg.Histogram("insight_url_latency_ns", sessLabel,
+			telemetry.L("url", urlPath(t.Key)), telemetry.L("host", h.Name)).Observe(int64(t.Val))
+	}
+}
+
+// urlPath strips a query string so one page stays one series.
+func urlPath(url string) string {
+	if i := strings.IndexByte(url, '?'); i >= 0 {
+		return url[:i]
+	}
+	return url
+}

@@ -192,18 +192,16 @@ func (s *Session) start() error {
 	// monitor emit so Telemetry() can digest per-stage latencies.
 	reg := e.cfg.Metrics
 	sessLabel := telemetry.L("session", s.ID)
-	traceEvery := e.cfg.TraceSampleEvery
-	if traceEvery < 0 {
-		traceEvery = 0
-	}
-	s.tracer = telemetry.NewTracer(reg, traceEvery, sessLabel)
+	// TraceSampleEvery is resolved by Config.withDefaults (SamplePeriod
+	// contract): positive period or 0 for off.
+	s.tracer = telemetry.NewTracer(reg, e.cfg.TraceSampleEvery, sessLabel)
 	reg.GaugeFunc("session_result_drops", func() float64 { return float64(s.resultDrops.Load()) }, sessLabel)
 
 	for _, proc := range place.Monitors {
 		launchSpec := nfv.Spec{
 			Host: proc.Host,
 			Config: monitor.Config{
-				Parsers:          factories,
+				Parsers: factories,
 				// With sharded ingest, each monitor runs one collector per
 				// shard and idle collectors steal bursts from hot ones.
 				Collectors:       e.cfg.IngestShards,

@@ -1,0 +1,132 @@
+// Package insight is NetAlytics' always-on statistical layer (ROADMAP item
+// 3): a streaming anomaly-detection tier built from ordinary stream bolts.
+// A registry feeder snapshots the telemetry plane periodically and injects
+// each metric series as tuples; per-series adaptive baselines (EWMA and a
+// Holt-Winters-style seasonal variant) feed z-score and CUSUM detectors; a
+// topology-aware correlator collapses simultaneous per-tier anomalies into
+// rooted incidents, published on the `_incidents` mq topic and an
+// /incidents HTTP endpoint. The design follows the "statistical baselines
+// beat ML for 80% of the value" position: every series costs O(1) state and
+// every update is a handful of multiplications, so detection rides the
+// existing pipeline at streaming cost.
+package insight
+
+import "math"
+
+// Baseline is the adaptive model a detector compares samples against. N is
+// the number of samples absorbed (driving the learning period), Mean the
+// current expectation for the next sample, and Std the expected deviation.
+type Baseline interface {
+	// Update absorbs one sample.
+	Update(v float64)
+	// Mean predicts the next sample.
+	Mean() float64
+	// Std is the current estimate of sample standard deviation.
+	Std() float64
+	// N is the number of samples absorbed.
+	N() int
+}
+
+// EWMA tracks an exponentially weighted mean and variance with O(1) state.
+// The half-life H (in samples) sets the decay: alpha = 1 - 2^(-1/H), so a
+// sample's weight halves every H updates. Variance uses the standard
+// EW recurrence var' = (1-a)*(var + a*d^2) with d the pre-update residual,
+// which keeps mean and variance consistent in one pass.
+type EWMA struct {
+	alpha float64
+	mean  float64
+	vari  float64
+	n     int
+}
+
+// DefaultHalfLife is the default EWMA half-life in samples: long enough
+// that a single spike barely moves the baseline, short enough to track
+// diurnal drift across a few dozen snapshots.
+const DefaultHalfLife = 8
+
+// NewEWMA creates a baseline with the given half-life in samples (<=0 uses
+// DefaultHalfLife).
+func NewEWMA(halfLife float64) *EWMA {
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	return &EWMA{alpha: 1 - math.Exp2(-1/halfLife)}
+}
+
+// Update implements Baseline.
+func (e *EWMA) Update(v float64) {
+	if e.n == 0 {
+		e.mean = v
+		e.n = 1
+		return
+	}
+	d := v - e.mean
+	e.mean += e.alpha * d
+	e.vari = (1 - e.alpha) * (e.vari + e.alpha*d*d)
+	e.n++
+}
+
+// Mean implements Baseline.
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// Std implements Baseline.
+func (e *EWMA) Std() float64 { return math.Sqrt(e.vari) }
+
+// N implements Baseline.
+func (e *EWMA) N() int { return e.n }
+
+// Seasonal is the Holt-Winters-style variant: an additive seasonal model
+// with a fixed number of slots per season. The level is an EWMA of the
+// deseasonalized samples, each slot keeps an EW offset from the level, and
+// the residual variance is shared across slots — state stays O(slots),
+// fixed at construction, per series. It predicts level + offset[slot], so a
+// workload with a stable periodic shape (tick-aligned batch flushes, load
+// generator phases) does not look anomalous to the z-score detector.
+type Seasonal struct {
+	level   *EWMA
+	beta    float64 // seasonal-offset smoothing
+	offsets []float64
+	seen    []bool
+	slot    int
+	n       int
+}
+
+// NewSeasonal creates a seasonal baseline with the given slots per season
+// and half-life (in samples) for the level. Slots < 2 degrade to plain EWMA
+// behavior with one slot.
+func NewSeasonal(slots int, halfLife float64) *Seasonal {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Seasonal{
+		level:   NewEWMA(halfLife),
+		beta:    0.25,
+		offsets: make([]float64, slots),
+		seen:    make([]bool, slots),
+	}
+}
+
+// Update implements Baseline: deseasonalize, update the level and variance,
+// then refresh the slot's offset and advance the season.
+func (s *Seasonal) Update(v float64) {
+	i := s.slot
+	s.slot = (s.slot + 1) % len(s.offsets)
+	s.n++
+	deseason := v - s.offsets[i]
+	s.level.Update(deseason)
+	if !s.seen[i] {
+		s.offsets[i] = v - s.level.Mean()
+		s.seen[i] = true
+		return
+	}
+	s.offsets[i] += s.beta * (v - (s.level.Mean() + s.offsets[i]))
+}
+
+// Mean implements Baseline: the prediction for the next sample's slot.
+func (s *Seasonal) Mean() float64 { return s.level.Mean() + s.offsets[s.slot] }
+
+// Std implements Baseline.
+func (s *Seasonal) Std() float64 { return s.level.Std() }
+
+// N implements Baseline.
+func (s *Seasonal) N() int { return s.n }

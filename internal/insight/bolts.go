@@ -1,0 +1,286 @@
+package insight
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netalytics/internal/stream"
+	"netalytics/internal/tuple"
+)
+
+// DetectBolt defaults.
+const (
+	// DefaultMaxSeries caps the number of per-series detectors one DetectBolt
+	// task keeps; least-recently-fed series are evicted past the cap so state
+	// stays bounded no matter how much label churn the registry sees.
+	DefaultMaxSeries = 4096
+	// DefaultCooldown suppresses repeat anomalies from one series inside the
+	// window, so a sustained shift yields one anomaly per window instead of
+	// one per snapshot.
+	DefaultCooldown = 2 * time.Second
+)
+
+type seriesState struct {
+	det      *Detector
+	name     string
+	labels   map[string]string
+	lastSeen int64 // tuple TS, drives LRU eviction
+	lastFire int64
+}
+
+// DetectBolt runs one Detector per series. Field-group it on Key so every
+// series deterministically lands on one task; state is O(1) per series and
+// the series map is LRU-capped.
+type DetectBolt struct {
+	cfg       DetectorConfig
+	maxSeries int
+	cooldown  int64 // ns
+	series    map[string]*seriesState
+}
+
+// NewDetectBolt creates a detect bolt. maxSeries <= 0 and cooldown <= 0 use
+// the defaults.
+func NewDetectBolt(cfg DetectorConfig, maxSeries int, cooldown time.Duration) *DetectBolt {
+	if maxSeries <= 0 {
+		maxSeries = DefaultMaxSeries
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	return &DetectBolt{
+		cfg:       cfg,
+		maxSeries: maxSeries,
+		cooldown:  cooldown.Nanoseconds(),
+		series:    make(map[string]*seriesState),
+	}
+}
+
+// Len reports the number of live series (tests, introspection).
+func (b *DetectBolt) Len() int { return len(b.series) }
+
+// Execute implements stream.Bolt: feed the sample to its series detector and
+// emit anomaly tuples for whichever tests fired.
+func (b *DetectBolt) Execute(t tuple.Tuple, emit stream.EmitFunc) {
+	if t.SrcIP == AnomalyKey || t.SrcIP == IncidentKey || t.Key == "" {
+		return
+	}
+	st, ok := b.series[t.Key]
+	if !ok {
+		if len(b.series) >= b.maxSeries {
+			b.evict()
+		}
+		name, labels := ParseSeriesID(t.Key)
+		st = &seriesState{det: NewDetector(b.cfg), name: name, labels: labels}
+		b.series[t.Key] = st
+	}
+	st.lastSeen = t.TS
+	kinds, dev, mean := st.det.Observe(t.Val)
+	if len(kinds) == 0 {
+		return
+	}
+	if st.lastFire != 0 && t.TS-st.lastFire < b.cooldown {
+		return
+	}
+	st.lastFire = t.TS
+	for _, kind := range kinds {
+		emit(EncodeAnomaly(Anomaly{
+			Series:   t.Key,
+			Name:     st.name,
+			Labels:   st.labels,
+			Kind:     kind,
+			TS:       t.TS,
+			Value:    t.Val,
+			Baseline: mean,
+			Sigma:    dev,
+		}))
+	}
+}
+
+// evict drops the least-recently-fed series.
+func (b *DetectBolt) evict() {
+	var victim string
+	var oldest int64
+	for id, st := range b.series {
+		if victim == "" || st.lastSeen < oldest {
+			victim, oldest = id, st.lastSeen
+		}
+	}
+	if victim != "" {
+		delete(b.series, victim)
+	}
+}
+
+// DefaultCorrelationWindow bounds how far apart two anomalies can be and
+// still belong to one incident.
+const DefaultCorrelationWindow = 2 * time.Second
+
+// CorrelateBolt groups buffered anomalies into rooted incidents. Run it with
+// a global grouping (single task) so every anomaly meets every other. Groups
+// form by union-find over the service graph's Related relation; a group
+// flushes as one Incident once it has been quiet for a full window (or aged
+// out entirely), with its root picked by ServiceGraph.Root.
+type CorrelateBolt struct {
+	graph  *ServiceGraph
+	window int64 // ns
+	maxAge int64 // ns; force-flush bound for continuously refreshed groups
+	buf    []Anomaly
+	seq    int
+	now    func() int64 // overridable for tests
+
+	// MinSize gates incident emission on group size (<= 1 emits
+	// everything). A sub-size group is held past its quiet window — up to
+	// maxAge — waiting for corroboration: a real fault shifts several
+	// series, but detectors react asymmetrically (an elevated shift
+	// z-fires in a couple samples, a bounded depressed shift accumulates
+	// through CUSUM much later), so the first anomaly must wait for its
+	// partners. A group still alone at maxAge was a lone noisy series —
+	// one scheduler stall on a heavily shared machine — and is dropped,
+	// which is what turns "per-metric alerts" into incidents.
+	MinSize int
+}
+
+// NewCorrelateBolt creates a correlator over graph. window <= 0 uses the
+// default.
+func NewCorrelateBolt(graph *ServiceGraph, window time.Duration) *CorrelateBolt {
+	if window <= 0 {
+		window = DefaultCorrelationWindow
+	}
+	if graph == nil {
+		graph = NewServiceGraph(nil)
+	}
+	return &CorrelateBolt{
+		graph:  graph,
+		window: window.Nanoseconds(),
+		maxAge: 3 * window.Nanoseconds(),
+		now:    func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Execute implements stream.Bolt: buffer anomaly tuples until Tick.
+func (b *CorrelateBolt) Execute(t tuple.Tuple, emit stream.EmitFunc) {
+	if a, ok := DecodeAnomaly(t); ok {
+		b.buf = append(b.buf, a)
+	}
+}
+
+// related decides whether two anomalies belong to one incident: hosts on one
+// request path when both carry host labels, or the same metric when neither
+// does. A host-labeled and an unlabeled anomaly never merge.
+func (b *CorrelateBolt) related(x, y Anomaly) bool {
+	hx, hy := x.Host(), y.Host()
+	if hx != "" && hy != "" {
+		return b.graph.Related(hx, hy)
+	}
+	if hx == "" && hy == "" {
+		return x.Name == y.Name
+	}
+	return false
+}
+
+// Tick implements stream.Ticker: flush every group that has gone quiet for a
+// window (or exceeded the age bound) as one incident, keep the rest buffered.
+func (b *CorrelateBolt) Tick(emit stream.EmitFunc) {
+	b.flush(b.now(), emit)
+}
+
+// Cleanup implements stream.Cleaner: flush everything at shutdown.
+func (b *CorrelateBolt) Cleanup(emit stream.EmitFunc) {
+	b.flush(0, emit)
+}
+
+// flush groups the buffer by union-find and emits ripe groups. now == 0
+// means flush unconditionally.
+func (b *CorrelateBolt) flush(now int64, emit stream.EmitFunc) {
+	if len(b.buf) == 0 {
+		return
+	}
+	parent := make([]int, len(b.buf))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < len(b.buf); i++ {
+		for j := i + 1; j < len(b.buf); j++ {
+			if find(i) != find(j) && b.related(b.buf[i], b.buf[j]) {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	groups := make(map[int][]Anomaly)
+	for i, a := range b.buf {
+		r := find(i)
+		groups[r] = append(groups[r], a)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	var keep []Anomaly
+	for _, r := range roots {
+		members := groups[r]
+		newest, oldest := members[0].TS, members[0].TS
+		for _, a := range members {
+			if a.TS > newest {
+				newest = a.TS
+			}
+			if a.TS < oldest {
+				oldest = a.TS
+			}
+		}
+		ripe := now == 0 || now-newest >= b.window || now-oldest >= b.maxAge
+		if ripe && len(members) >= b.MinSize {
+			emit(EncodeIncident(b.incident(members)))
+			continue
+		}
+		if now != 0 && now-oldest < b.maxAge {
+			// Not quiet yet, or quiet but sub-size: hold for corroboration.
+			keep = append(keep, members...)
+			continue
+		}
+		// Aged out (or shutting down) still below MinSize: a lone blip,
+		// not a correlated incident — drop it.
+	}
+	b.buf = keep
+}
+
+// incident builds one Incident from a correlated group.
+func (b *CorrelateBolt) incident(members []Anomaly) Incident {
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].TS != members[j].TS {
+			return members[i].TS < members[j].TS
+		}
+		return members[i].Series < members[j].Series
+	})
+	root := b.graph.RootOf(members)
+	if root == "" {
+		// No host labels anywhere: root at the dominant series name.
+		counts := make(map[string]int)
+		for _, a := range members {
+			counts[a.Name]++
+		}
+		for name, n := range counts {
+			if root == "" || n > counts[root] || (n == counts[root] && name < root) {
+				root = name
+			}
+		}
+	}
+	b.seq++
+	return Incident{
+		ID:        fmt.Sprintf("inc%d", b.seq),
+		Root:      root,
+		Summary:   describe(root, members),
+		StartNS:   members[0].TS,
+		EndNS:     members[len(members)-1].TS,
+		Anomalies: members,
+	}
+}

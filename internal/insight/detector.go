@@ -1,0 +1,160 @@
+package insight
+
+import "math"
+
+// Detector defaults.
+const (
+	// DefaultSigma is the z-score sensitivity: a sample further than this
+	// many (floored) standard deviations from the baseline is anomalous.
+	DefaultSigma = 3.0
+	// DefaultCUSUMThreshold is the cumulative-sum trip level in sigma units.
+	DefaultCUSUMThreshold = 5.0
+	// DefaultCUSUMDrift is the per-sample slack k subtracted from each
+	// deviation before accumulation, so small sustained noise never trips.
+	DefaultCUSUMDrift = 0.5
+	// DefaultLearnSamples is the learning period: a series only alerts
+	// after its baseline has absorbed this many samples.
+	DefaultLearnSamples = 12
+	// DefaultCUSUMClamp winsorizes each sample's contribution to the CUSUM
+	// sums: one freak sample (a scheduler stall inflating a window's p95)
+	// contributes at most this many sigmas, so only *persistent* shifts
+	// accumulate to the threshold. The z-score test still sees the raw
+	// deviation.
+	DefaultCUSUMClamp = 4.0
+)
+
+// DetectorConfig tunes one series detector.
+type DetectorConfig struct {
+	Sigma          float64 // z-score sensitivity (default 3)
+	CUSUMThreshold float64 // CUSUM trip level in sigmas (default 5)
+	CUSUMDrift     float64 // CUSUM drift k in sigmas (default 0.5)
+	CUSUMClamp     float64 // per-sample winsorizing bound in sigmas (default 4)
+	LearnSamples   int     // samples before alerting (default 12)
+	HalfLife       float64 // baseline half-life in samples (default 8)
+	SeasonSlots    int     // >1 switches the baseline to Seasonal
+	// MinConsecutive is the z-score persistence requirement ("for:" in
+	// alerting-rule terms): the deviation must exceed Sigma on this many
+	// consecutive samples before the detector fires. Default 1 (fire on the
+	// first excursion); noisy heavy-tailed series want 2+ so an isolated
+	// freak window does not page anyone.
+	MinConsecutive int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Sigma <= 0 {
+		c.Sigma = DefaultSigma
+	}
+	if c.CUSUMThreshold <= 0 {
+		c.CUSUMThreshold = DefaultCUSUMThreshold
+	}
+	if c.CUSUMDrift <= 0 {
+		c.CUSUMDrift = DefaultCUSUMDrift
+	}
+	if c.CUSUMClamp <= 0 {
+		c.CUSUMClamp = DefaultCUSUMClamp
+	}
+	if c.LearnSamples <= 0 {
+		c.LearnSamples = DefaultLearnSamples
+	}
+	if c.MinConsecutive <= 0 {
+		c.MinConsecutive = 1
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = DefaultHalfLife
+	}
+	return c
+}
+
+// Detector runs the z-score and CUSUM tests for one series over one
+// baseline. O(1) state: the baseline plus two cumulative sums.
+type Detector struct {
+	cfg      DetectorConfig
+	baseline Baseline
+	posSum   float64 // CUSUM of positive deviations
+	negSum   float64 // CUSUM of negative deviations
+	streak   int     // consecutive samples past the z-score threshold
+}
+
+// NewDetector creates a detector with its baseline chosen from the config.
+func NewDetector(cfg DetectorConfig) *Detector {
+	cfg = cfg.withDefaults()
+	var b Baseline
+	if cfg.SeasonSlots > 1 {
+		b = NewSeasonal(cfg.SeasonSlots, cfg.HalfLife)
+	} else {
+		b = NewEWMA(cfg.HalfLife)
+	}
+	return &Detector{cfg: cfg, baseline: b}
+}
+
+// Baseline exposes the underlying model (tests, introspection endpoints).
+func (d *Detector) Baseline() Baseline { return d.baseline }
+
+// Learning reports whether the detector is still in its learning period.
+func (d *Detector) Learning() bool { return d.baseline.N() < d.cfg.LearnSamples }
+
+// sigmaFloor keeps the deviation denominator meaningful on quiet series: a
+// flat line's std is ~0, and without a floor the first wiggle would be an
+// "infinite sigma" anomaly. The floor is 5% of the baseline magnitude plus
+// an absolute epsilon.
+func (d *Detector) sigmaFloor() float64 {
+	m := math.Abs(d.baseline.Mean())
+	floor := 0.05*m + 1e-9
+	if s := d.baseline.Std(); s > floor {
+		return s
+	}
+	return floor
+}
+
+// Observe feeds one sample through both tests, then lets the baseline
+// absorb it (test-before-update, so a spike is judged against the baseline
+// it deviates from, not one it already contaminated). It returns the
+// detection kinds that fired ("" entries filtered out), the deviation in
+// floored sigmas, and the pre-update baseline mean.
+func (d *Detector) Observe(v float64) (kinds []string, dev, mean float64) {
+	mean = d.baseline.Mean()
+	if d.baseline.N() == 0 {
+		d.baseline.Update(v)
+		return nil, 0, v
+	}
+	dev = (v - mean) / d.sigmaFloor()
+	learning := d.Learning()
+	d.baseline.Update(v)
+
+	if math.Abs(dev) >= d.cfg.Sigma {
+		d.streak++
+	} else {
+		d.streak = 0
+	}
+	if !learning && d.streak >= d.cfg.MinConsecutive {
+		kinds = append(kinds, KindZScore)
+	}
+	// CUSUM accumulates deviations beyond the drift k; one-sided sums reset
+	// when they trip (standard change-point restart) or decay to zero. Each
+	// sample's contribution is winsorized so one freak window cannot trip
+	// the threshold alone — that is the z-score test's job, with its own
+	// persistence guard.
+	c := dev
+	if c > d.cfg.CUSUMClamp {
+		c = d.cfg.CUSUMClamp
+	} else if c < -d.cfg.CUSUMClamp {
+		c = -d.cfg.CUSUMClamp
+	}
+	d.posSum = math.Max(0, d.posSum+c-d.cfg.CUSUMDrift)
+	d.negSum = math.Max(0, d.negSum-c-d.cfg.CUSUMDrift)
+	if learning {
+		// Train only: keep the sums from tripping on startup transients.
+		if d.posSum > d.cfg.CUSUMThreshold {
+			d.posSum = 0
+		}
+		if d.negSum > d.cfg.CUSUMThreshold {
+			d.negSum = 0
+		}
+		return nil, dev, mean
+	}
+	if d.posSum > d.cfg.CUSUMThreshold || d.negSum > d.cfg.CUSUMThreshold {
+		kinds = append(kinds, KindCUSUM)
+		d.posSum, d.negSum = 0, 0
+	}
+	return kinds, dev, mean
+}

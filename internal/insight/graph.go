@@ -1,0 +1,275 @@
+package insight
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"netalytics/internal/topology"
+)
+
+// ServiceGraph is the observed communication graph between hosts: who talks
+// to whom, learned from the standing observation queries' (src -> dst)
+// connection counts rather than declared by hand. The correlator walks it
+// to decide which simultaneous anomalies are one incident and which host is
+// the root. Combined with the fat-tree topology (rack/pod proximity as a
+// fallback relation) this is the placement knowledge §4 gives the
+// controller, reused for diagnosis.
+type ServiceGraph struct {
+	mu   sync.RWMutex
+	out  map[string]map[string]bool // src host -> dst hosts
+	in   map[string]map[string]bool // dst host -> src hosts
+	topo *topology.FatTree
+}
+
+// NewServiceGraph creates an empty graph over the (optional) fat tree.
+func NewServiceGraph(topo *topology.FatTree) *ServiceGraph {
+	return &ServiceGraph{
+		out:  make(map[string]map[string]bool),
+		in:   make(map[string]map[string]bool),
+		topo: topo,
+	}
+}
+
+// Observe records one src -> dst communication edge.
+func (g *ServiceGraph) Observe(src, dst string) {
+	if src == "" || dst == "" || src == dst {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.out[src] == nil {
+		g.out[src] = make(map[string]bool)
+	}
+	g.out[src][dst] = true
+	if g.in[dst] == nil {
+		g.in[dst] = make(map[string]bool)
+	}
+	g.in[dst][src] = true
+}
+
+// Edge reports whether src -> dst was observed.
+func (g *ServiceGraph) Edge(src, dst string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.out[src][dst]
+}
+
+// Related reports whether two hosts are plausibly on one request path:
+// identical, directly connected (either direction), sharing a common
+// upstream caller (siblings behind one proxy), or — when a fat tree is
+// attached — in the same rack (the placement fallback for hosts whose
+// traffic the observers never sampled).
+func (g *ServiceGraph) Related(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	g.mu.RLock()
+	direct := g.out[a][b] || g.out[b][a]
+	shared := false
+	if !direct {
+		for src := range g.in[a] {
+			if g.in[b][src] {
+				shared = true
+				break
+			}
+		}
+	}
+	g.mu.RUnlock()
+	if direct || shared {
+		return true
+	}
+	if g.topo != nil {
+		ha, hb := g.topo.HostByName(a), g.topo.HostByName(b)
+		if ha != nil && hb != nil && g.topo.HopCount(ha, hb) <= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Root picks the root host for a set of anomalous hosts: the sink-most
+// host — one with no observed edge leading to another anomalous host — on
+// the intuition that latency propagates upstream (a slow database makes the
+// app and proxy slow, never the reverse). When several sinks remain and all
+// of them share one common upstream caller, that caller is the root even if
+// itself quiet: opposite-direction shifts on siblings (one backend's load
+// up, the other's down) point at the balancer above them. Ties break by
+// sorted order for determinism.
+func (g *ServiceGraph) Root(hosts []string) string {
+	return g.elect(hosts, nil)
+}
+
+// RootOf elects the root for a correlated anomaly group. It refines Root
+// with the anomalies' directions: the common-upstream promotion only kicks
+// in when the sinks genuinely diverge (the same metric shifted up on one
+// sink and down on another — the load-balancer signature). Sinks that all
+// shifted the same way are ranked by evidence instead, so a backend that
+// picked up one collateral blip can't drag the root onto its caller.
+func (g *ServiceGraph) RootOf(members []Anomaly) string {
+	var hosts []string
+	seen := make(map[string]bool)
+	for _, a := range members {
+		if h := a.Host(); h != "" && !seen[h] {
+			seen[h] = true
+			hosts = append(hosts, h)
+		}
+	}
+	return g.elect(hosts, members)
+}
+
+func (g *ServiceGraph) elect(hosts []string, members []Anomaly) string {
+	if len(hosts) == 0 {
+		return ""
+	}
+	set := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		set[h] = true
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var sinks []string
+	for h := range set {
+		downstream := false
+		for dst := range g.out[h] {
+			if set[dst] {
+				downstream = true
+				break
+			}
+		}
+		if !downstream {
+			sinks = append(sinks, h)
+		}
+	}
+	sort.Strings(sinks)
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	if len(sinks) == 0 {
+		// A cycle (mutual edges): fall back to deterministic member order.
+		all := make([]string, 0, len(set))
+		for h := range set {
+			all = append(all, h)
+		}
+		sort.Strings(all)
+		return all[0]
+	}
+	// Multiple sinks. With anomaly directions in hand, the caller is
+	// only implicated when divergence (same metric up on one sink, down
+	// on another) carries the *majority* of the sinks' evidence — the
+	// balancer signature is an opposite-sign load split and little else.
+	// A slow backend also skews sibling load as a side effect (starved
+	// workers free capacity for the others), but then its own latency
+	// shift dominates, and the strongest sink keeps the root.
+	if members != nil && !divergenceDominates(sinks, members) {
+		return strongestHost(sinks, members)
+	}
+	// A common upstream caller of every sink is the root.
+	var common map[string]bool
+	for _, s := range sinks {
+		ins := g.in[s]
+		if len(ins) == 0 {
+			common = nil
+			break
+		}
+		if common == nil {
+			common = make(map[string]bool, len(ins))
+			for src := range ins {
+				common[src] = true
+			}
+			continue
+		}
+		for src := range common {
+			if !ins[src] {
+				delete(common, src)
+			}
+		}
+		if len(common) == 0 {
+			break
+		}
+	}
+	if len(common) > 0 {
+		ups := make([]string, 0, len(common))
+		for src := range common {
+			ups = append(ups, src)
+		}
+		sort.Strings(ups)
+		return ups[0]
+	}
+	return sinks[0]
+}
+
+// divergenceDominates reports whether metrics that shifted in opposite
+// directions on two different sinks account for the majority of the sinks'
+// accumulated |sigma| — the signature of a misbehaving balancer above them,
+// and the only case where a quiet upstream outranks its sinks.
+func divergenceDominates(sinks []string, members []Anomaly) bool {
+	isSink := make(map[string]bool, len(sinks))
+	for _, s := range sinks {
+		isSink[s] = true
+	}
+	up := make(map[string]map[string]bool)
+	down := make(map[string]map[string]bool)
+	record := func(m map[string]map[string]bool, name, host string) {
+		if m[name] == nil {
+			m[name] = make(map[string]bool)
+		}
+		m[name][host] = true
+	}
+	for _, a := range members {
+		h := a.Host()
+		if !isSink[h] {
+			continue
+		}
+		if a.Sigma > 0 {
+			record(up, a.Name, h)
+		} else if a.Sigma < 0 {
+			record(down, a.Name, h)
+		}
+	}
+	diverging := make(map[string]bool)
+	for name, ups := range up {
+		for uh := range ups {
+			for dh := range down[name] {
+				if uh != dh {
+					diverging[name] = true
+				}
+			}
+		}
+	}
+	if len(diverging) == 0 {
+		return false
+	}
+	var wDiv, wOther float64
+	for _, a := range members {
+		if !isSink[a.Host()] {
+			continue
+		}
+		if diverging[a.Name] {
+			wDiv += math.Abs(a.Sigma)
+		} else {
+			wOther += math.Abs(a.Sigma)
+		}
+	}
+	return wDiv > wOther
+}
+
+// strongestHost picks the candidate with the largest accumulated |sigma|
+// across its anomalies; ties break by sorted order for determinism.
+func strongestHost(candidates []string, members []Anomaly) string {
+	weight := make(map[string]float64, len(candidates))
+	for _, a := range members {
+		weight[a.Host()] += math.Abs(a.Sigma)
+	}
+	sort.Strings(candidates)
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if weight[c] > weight[best] {
+			best = c
+		}
+	}
+	return best
+}

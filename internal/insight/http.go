@@ -1,0 +1,27 @@
+package insight
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the retained incidents as JSON beside /metrics. Query
+// parameter n limits to the newest n incidents.
+func (t *Tier) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		incidents := t.Incidents()
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(incidents) {
+				incidents = incidents[len(incidents)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total     int        `json:"total"`
+			Incidents []Incident `json:"incidents"`
+		}{Total: t.Total(), Incidents: incidents})
+	})
+}

@@ -1,0 +1,198 @@
+package insight
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"netalytics/internal/tuple"
+)
+
+// Detection kinds carried by Anomaly.Kind.
+const (
+	KindZScore = "zscore"
+	KindCUSUM  = "cusum"
+)
+
+// Anomaly is one detector firing on one series sample.
+type Anomaly struct {
+	// Series is the full series identity (name{labels} plus any derived
+	// suffix such as :rate or :p95).
+	Series string `json:"series"`
+	// Name and Labels are the parsed metric identity.
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Kind is the detector that fired (zscore, cusum).
+	Kind string `json:"kind"`
+	// TS is the sample timestamp in UnixNano.
+	TS int64 `json:"ts"`
+	// Value is the offending sample, Baseline the expectation it deviated
+	// from, and Sigma the deviation in floored standard deviations
+	// (negative = below baseline).
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	Sigma    float64 `json:"sigma"`
+}
+
+// Host returns the anomaly's host label, or "".
+func (a Anomaly) Host() string { return a.Labels["host"] }
+
+// Incident is a rooted group of correlated anomalies: what an operator gets
+// paged on instead of one alert per series.
+type Incident struct {
+	ID string `json:"id"`
+	// Root names the entity the correlation rooted the incident at — a
+	// host for topology-correlated groups (the sink-most anomalous tier, or
+	// a common upstream when siblings shifted in opposite directions), else
+	// the dominant series.
+	Root string `json:"root"`
+	// Summary is a one-line human description.
+	Summary string `json:"summary"`
+	// StartNS/EndNS bound the member anomalies' timestamps.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Anomalies are the correlated members, ordered by timestamp.
+	Anomalies []Anomaly `json:"anomalies"`
+}
+
+// Tuple markers: insight tuples ride ordinary stream topologies, flagged in
+// SrcIP the same way rankings tuples are (stream.RankingsKey).
+const (
+	// AnomalyKey marks tuples whose Key is a JSON-encoded Anomaly.
+	AnomalyKey = "__anomaly__"
+	// IncidentKey marks tuples whose Key is a JSON-encoded Incident.
+	IncidentKey = "__incident__"
+)
+
+// IncidentsTopic is the mq topic incidents are published to, consumable
+// like any query-result topic.
+const IncidentsTopic = "_incidents"
+
+// EncodeAnomaly packs an anomaly into a tuple.
+func EncodeAnomaly(a Anomaly) tuple.Tuple {
+	data, err := json.Marshal(a)
+	if err != nil {
+		panic("insight: encoding anomaly: " + err.Error())
+	}
+	return tuple.Tuple{SrcIP: AnomalyKey, Key: string(data), TS: a.TS, Val: a.Value}
+}
+
+// DecodeAnomaly unpacks an anomaly tuple; ok is false for other tuples.
+func DecodeAnomaly(t tuple.Tuple) (Anomaly, bool) {
+	if t.SrcIP != AnomalyKey {
+		return Anomaly{}, false
+	}
+	var a Anomaly
+	if err := json.Unmarshal([]byte(t.Key), &a); err != nil {
+		return Anomaly{}, false
+	}
+	return a, true
+}
+
+// EncodeIncident packs an incident into a tuple.
+func EncodeIncident(inc Incident) tuple.Tuple {
+	data, err := json.Marshal(inc)
+	if err != nil {
+		panic("insight: encoding incident: " + err.Error())
+	}
+	return tuple.Tuple{SrcIP: IncidentKey, Key: string(data), TS: inc.StartNS, Val: float64(len(inc.Anomalies))}
+}
+
+// DecodeIncident unpacks an incident tuple; ok is false for other tuples.
+func DecodeIncident(t tuple.Tuple) (Incident, bool) {
+	if t.SrcIP != IncidentKey {
+		return Incident{}, false
+	}
+	var inc Incident
+	if err := json.Unmarshal([]byte(t.Key), &inc); err != nil {
+		return Incident{}, false
+	}
+	return inc, true
+}
+
+// SeriesID builds the canonical series identity name{k=v,...}suffix with
+// sorted label keys — the same shape telemetry idents use, extended by a
+// derived-value suffix (":rate", ":p95", ...) for series the feeder
+// synthesizes from one instrument.
+func SeriesID(name string, labels map[string]string, suffix string) string {
+	if len(labels) == 0 {
+		return name + suffix
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	b.WriteByte('}')
+	b.WriteString(suffix)
+	return b.String()
+}
+
+// ParseSeriesID splits a series identity back into name and labels (the
+// derived suffix stays attached to the name, keeping distinct series
+// distinct). It inverts SeriesID for every identity SeriesID can produce.
+func ParseSeriesID(id string) (name string, labels map[string]string) {
+	open := strings.IndexByte(id, '{')
+	if open < 0 {
+		return id, nil
+	}
+	closeIdx := strings.LastIndexByte(id, '}')
+	if closeIdx < open {
+		return id, nil
+	}
+	name = id[:open] + id[closeIdx+1:]
+	body := id[open+1 : closeIdx]
+	if body == "" {
+		return name, nil
+	}
+	labels = make(map[string]string)
+	for _, part := range strings.Split(body, ",") {
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			labels[part[:eq]] = part[eq+1:]
+		}
+	}
+	return name, labels
+}
+
+// describe renders a compact human summary for an incident.
+func describe(root string, members []Anomaly) string {
+	names := make(map[string]int)
+	for _, a := range members {
+		names[a.Name]++
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dir := "shifted"
+	if len(members) > 0 {
+		up, down := 0, 0
+		for _, a := range members {
+			if a.Sigma >= 0 {
+				up++
+			} else {
+				down++
+			}
+		}
+		switch {
+		case down == 0:
+			dir = "elevated"
+		case up == 0:
+			dir = "depressed"
+		}
+	}
+	return fmt.Sprintf("%d anomalies rooted at %s: %s %s", len(members), root, strings.Join(keys, ", "), dir)
+}

@@ -1,0 +1,590 @@
+package insight
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+	"netalytics/internal/tuple"
+)
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(4)
+	e.Update(100)
+	if e.Mean() != 100 {
+		t.Fatalf("first sample should seed the mean, got %v", e.Mean())
+	}
+	for i := 0; i < 100; i++ {
+		e.Update(200)
+	}
+	if math.Abs(e.Mean()-200) > 1 {
+		t.Errorf("mean did not converge: %v", e.Mean())
+	}
+	if e.Std() > 5 {
+		t.Errorf("variance did not decay on a now-flat series: std=%v", e.Std())
+	}
+	if e.N() != 101 {
+		t.Errorf("N = %d, want 101", e.N())
+	}
+}
+
+func TestEWMAHalfLife(t *testing.T) {
+	// After exactly H updates toward a new level, the remaining gap should be
+	// half the original (that is what "half-life in samples" means).
+	const h = 8
+	e := NewEWMA(h)
+	e.Update(0)
+	for i := 0; i < h; i++ {
+		e.Update(100)
+	}
+	if math.Abs(e.Mean()-50) > 1 {
+		t.Errorf("after one half-life mean = %v, want ~50", e.Mean())
+	}
+}
+
+func TestSeasonalLearnsPattern(t *testing.T) {
+	// A period-4 sawtooth: plain EWMA sees it as noise, the seasonal model
+	// should predict each slot almost exactly after a few seasons.
+	pattern := []float64{10, 50, 10, 50}
+	s := NewSeasonal(4, 8)
+	for i := 0; i < 10*len(pattern); i++ {
+		s.Update(pattern[i%len(pattern)])
+	}
+	for i := 0; i < len(pattern); i++ {
+		want := pattern[(s.n)%len(pattern)]
+		if got := s.Mean(); math.Abs(got-want) > 3 {
+			t.Errorf("slot %d: predicted %v, want ~%v", i, got, want)
+		}
+		s.Update(want)
+	}
+}
+
+func TestDetectorLearningPeriod(t *testing.T) {
+	d := NewDetector(DetectorConfig{LearnSamples: 12})
+	for i := 0; i < 11; i++ {
+		// Wild swings during learning must not alert.
+		kinds, _, _ := d.Observe(float64(100 + 1000*(i%2)))
+		if len(kinds) != 0 {
+			t.Fatalf("alert during learning period at sample %d: %v", i, kinds)
+		}
+	}
+	if !d.Learning() {
+		t.Error("still inside the learning period, Learning() = false")
+	}
+}
+
+func TestDetectorZScore(t *testing.T) {
+	d := NewDetector(DetectorConfig{LearnSamples: 5})
+	for i := 0; i < 20; i++ {
+		if kinds, _, _ := d.Observe(100); len(kinds) != 0 {
+			t.Fatalf("flat series alerted: %v", kinds)
+		}
+	}
+	// Flat series: sigma floor is 5% of the mean, so 200 is a ~20-sigma spike.
+	kinds, dev, mean := d.Observe(200)
+	if !contains(kinds, KindZScore) {
+		t.Fatalf("20-sigma spike not flagged, kinds=%v dev=%v", kinds, dev)
+	}
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("reported baseline %v, want ~100 (test-before-update)", mean)
+	}
+	if dev < 10 {
+		t.Errorf("deviation %v, want >= 10 sigmas", dev)
+	}
+}
+
+func TestDetectorCUSUMCatchesSmallShift(t *testing.T) {
+	// A sustained +2-sigma shift never trips the 3-sigma z-score but must
+	// accumulate past the CUSUM threshold within a few samples.
+	d := NewDetector(DetectorConfig{LearnSamples: 5})
+	for i := 0; i < 20; i++ {
+		d.Observe(100)
+	}
+	var fired []string
+	for i := 0; i < 8; i++ {
+		kinds, _, _ := d.Observe(110)
+		if contains(kinds, KindZScore) {
+			t.Fatalf("z-score fired on a 2-sigma shift at step %d", i)
+		}
+		fired = append(fired, kinds...)
+	}
+	if !contains(fired, KindCUSUM) {
+		t.Error("CUSUM never fired on a sustained small shift")
+	}
+}
+
+func TestDetectorMinConsecutive(t *testing.T) {
+	d := NewDetector(DetectorConfig{Sigma: 3, LearnSamples: 4, MinConsecutive: 2, CUSUMThreshold: 1000})
+	for i := 0; i < 20; i++ {
+		d.Observe(100)
+	}
+	// One isolated excursion: below the persistence requirement, no alert.
+	if kinds, _, _ := d.Observe(500); len(kinds) != 0 {
+		t.Fatalf("single excursion fired %v with MinConsecutive=2", kinds)
+	}
+	// The excursion persists: second consecutive sample past the threshold
+	// fires. (The baseline absorbed one 500, but with a 100-level history the
+	// next 500 is still far out.)
+	if kinds, _, _ := d.Observe(500); len(kinds) != 1 || kinds[0] != KindZScore {
+		t.Fatalf("second consecutive excursion fired %v, want zscore", kinds)
+	}
+}
+
+func TestDetectorCUSUMClampsFreakSample(t *testing.T) {
+	// One enormous blip must not trip CUSUM by itself: its contribution is
+	// winsorized to CUSUMClamp sigmas.
+	d := NewDetector(DetectorConfig{Sigma: 1e9, CUSUMThreshold: 5, CUSUMDrift: 0.5, CUSUMClamp: 4, LearnSamples: 4})
+	for i := 0; i < 20; i++ {
+		d.Observe(100)
+	}
+	if kinds, dev, _ := d.Observe(10000); len(kinds) != 0 {
+		t.Fatalf("freak sample (dev %.0f) tripped %v despite clamp", dev, kinds)
+	}
+	// A second extreme sample accumulates past the threshold: persistence is
+	// what CUSUM is for.
+	if kinds, _, _ := d.Observe(10000); len(kinds) != 1 || kinds[0] != KindCUSUM {
+		t.Fatalf("persistent shift fired %v, want cusum", kinds)
+	}
+}
+
+func TestDetectorSeasonalSuppressesPattern(t *testing.T) {
+	cfgSeasonal := DetectorConfig{SeasonSlots: 4, LearnSamples: 16}
+	d := NewDetector(cfgSeasonal)
+	pattern := []float64{100, 500, 100, 500}
+	fired := 0
+	for i := 0; i < 100; i++ {
+		kinds, _, _ := d.Observe(pattern[i%4])
+		if i >= 16*2 { // well past learning and pattern acquisition
+			fired += len(kinds)
+		}
+	}
+	if fired != 0 {
+		t.Errorf("seasonal detector alerted %d times on its own learned pattern", fired)
+	}
+}
+
+func TestSeriesIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels map[string]string
+		suffix string
+	}{
+		{"plain", nil, ""},
+		{"gauge", map[string]string{"host": "h0-0-0"}, ""},
+		{"lat", map[string]string{"host": "h0-0-1", "url": "/db"}, ":p95"},
+		{"rate", map[string]string{"b": "2", "a": "1"}, ":rate"},
+	}
+	for _, c := range cases {
+		id := SeriesID(c.name, c.labels, c.suffix)
+		name, labels := ParseSeriesID(id)
+		if name != c.name+c.suffix {
+			t.Errorf("ParseSeriesID(%q) name = %q, want %q", id, name, c.name+c.suffix)
+		}
+		if len(labels) != len(c.labels) {
+			t.Errorf("ParseSeriesID(%q) labels = %v, want %v", id, labels, c.labels)
+			continue
+		}
+		for k, v := range c.labels {
+			if labels[k] != v {
+				t.Errorf("ParseSeriesID(%q) label %s = %q, want %q", id, k, labels[k], v)
+			}
+		}
+	}
+}
+
+// feederAt builds a feeder with a controllable clock.
+func feederAt(reg *telemetry.Registry, period time.Duration) (*Feeder, *time.Time) {
+	f := NewFeeder(reg, period, nil)
+	now := time.Unix(1000, 0)
+	f.now = func() time.Time { return now }
+	return f, &now
+}
+
+func tuplesByKey(ts []tuple.Tuple) map[string]float64 {
+	m := make(map[string]float64, len(ts))
+	for _, t := range ts {
+		m[t.Key] = t.Val
+	}
+	return m
+}
+
+func TestFeederDerivations(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("load").Set(7)
+	ctr := reg.Counter("requests")
+	ctr.Add(100)
+	h := reg.Histogram("lat")
+	h.Observe(1000)
+
+	f, now := feederAt(reg, time.Second)
+	first := tuplesByKey(f.Next())
+	if v, ok := first["load"]; !ok || v != 7 {
+		t.Errorf("first snapshot gauge = %v (ok=%v), want 7", v, ok)
+	}
+	if _, ok := first["requests:rate"]; ok {
+		t.Error("counter rate emitted on first snapshot (no previous sample)")
+	}
+	if _, ok := first["lat:mean"]; ok {
+		t.Error("histogram mean emitted on first snapshot")
+	}
+
+	ctr.Add(50)
+	h.Observe(3000)
+	*now = now.Add(time.Second)
+	second := tuplesByKey(f.Next())
+	if v := second["requests:rate"]; math.Abs(v-50) > 0.5 {
+		t.Errorf("counter rate = %v, want ~50/s", v)
+	}
+	if v, ok := second["lat:mean"]; !ok || math.Abs(v-3000) > 300 {
+		// Windowed delta: only the new observation counts, not the lifetime mean.
+		t.Errorf("histogram windowed mean = %v (ok=%v), want ~3000", v, ok)
+	}
+	if _, ok := second["lat:p95"]; !ok {
+		t.Error("histogram p95 missing")
+	}
+
+	// A window with no histogram observations must stay silent, not report 0.
+	ctr.Add(50)
+	*now = now.Add(time.Second)
+	third := tuplesByKey(f.Next())
+	if _, ok := third["lat:mean"]; ok {
+		t.Error("idle histogram emitted a mean (would train baseline toward zero)")
+	}
+	if _, ok := third["requests:rate"]; !ok {
+		t.Error("counter rate missing on third snapshot")
+	}
+}
+
+func TestFeederExcludesSelfAndFiltered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("insight_tier_incidents_gauge").Set(1) // self-prefix
+	reg.Gauge("wanted").Set(1)
+	reg.Gauge("unwanted").Set(1)
+	f := NewFeeder(reg, time.Second, func(name string) bool { return name == "wanted" })
+	now := time.Unix(1000, 0)
+	f.now = func() time.Time { return now }
+	got := tuplesByKey(f.Next())
+	if len(got) != 1 {
+		t.Fatalf("snapshot = %v, want only wanted", got)
+	}
+	if _, ok := got["wanted"]; !ok {
+		t.Fatalf("wanted series missing: %v", got)
+	}
+}
+
+func TestFeederForgetsRetiredSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("per_session", telemetry.L("session", "q1")).Add(5)
+	f, now := feederAt(reg, time.Second)
+	f.Next()
+	if len(f.prev) != 1 {
+		t.Fatalf("prev entries = %d, want 1", len(f.prev))
+	}
+	reg.DropLabeled("session", "q1")
+	*now = now.Add(time.Second)
+	f.Next()
+	if len(f.prev) != 0 {
+		t.Errorf("retired series still held: %v", f.prev)
+	}
+}
+
+func TestDefaultFilter(t *testing.T) {
+	for _, name := range []string{"insight_svc_latency_ns", "pipeline_latency_ns", "mq_dropped"} {
+		if !DefaultFilter(name) {
+			t.Errorf("DefaultFilter(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"vnet_frames", "monitor_tuples"} {
+		if DefaultFilter(name) {
+			t.Errorf("DefaultFilter(%q) = true, want false", name)
+		}
+	}
+}
+
+// collect is a test EmitFunc capturing tuples.
+type collect struct{ out []tuple.Tuple }
+
+func (c *collect) emit(t tuple.Tuple) { c.out = append(c.out, t) }
+
+func TestDetectBoltFiresAndCoolsDown(t *testing.T) {
+	b := NewDetectBolt(DetectorConfig{LearnSamples: 5}, 0, time.Second)
+	var c collect
+	ts := int64(0)
+	feed := func(v float64) {
+		ts += int64(100 * time.Millisecond)
+		b.Execute(tuple.Tuple{Key: "lat{host=h1}", Val: v, TS: ts}, c.emit)
+	}
+	for i := 0; i < 20; i++ {
+		feed(100)
+	}
+	if len(c.out) != 0 {
+		t.Fatalf("flat series produced %d anomalies", len(c.out))
+	}
+	feed(1000)
+	if len(c.out) == 0 {
+		t.Fatal("spike not detected")
+	}
+	a, ok := DecodeAnomaly(c.out[0])
+	if !ok {
+		t.Fatal("emitted tuple is not an anomaly")
+	}
+	if a.Name != "lat" || a.Labels["host"] != "h1" {
+		t.Errorf("anomaly identity = %q %v", a.Name, a.Labels)
+	}
+	// Cooldown: an immediate second spike within 1s must not re-fire.
+	n := len(c.out)
+	feed(1000)
+	if len(c.out) != n {
+		t.Errorf("cooldown violated: %d new anomalies", len(c.out)-n)
+	}
+}
+
+func TestDetectBoltEvictsPastCap(t *testing.T) {
+	b := NewDetectBolt(DetectorConfig{}, 8, 0)
+	var c collect
+	for i := 0; i < 100; i++ {
+		b.Execute(tuple.Tuple{Key: SeriesID("m", map[string]string{"i": string(rune('a' + i%26)), "j": string(rune('a' + i/26))}, ""), Val: 1, TS: int64(i)}, c.emit)
+	}
+	if b.Len() > 8 {
+		t.Errorf("series state grew past the cap: %d", b.Len())
+	}
+}
+
+func anomalyAt(host, name string, ts int64) tuple.Tuple {
+	labels := map[string]string{}
+	if host != "" {
+		labels["host"] = host
+	}
+	return EncodeAnomaly(Anomaly{
+		Series: SeriesID(name, labels, ""), Name: name, Labels: labels,
+		Kind: KindZScore, TS: ts, Value: 1, Baseline: 0, Sigma: 5,
+	})
+}
+
+func TestCorrelateBoltGroupsByTopology(t *testing.T) {
+	g := NewServiceGraph(nil)
+	g.Observe("proxy", "app1")
+	g.Observe("proxy", "app2")
+	g.Observe("app1", "db")
+	g.Observe("app2", "db")
+
+	b := NewCorrelateBolt(g, time.Second)
+	now := int64(10 * time.Second)
+	b.now = func() int64 { return now }
+
+	var c collect
+	// Simultaneous anomalies down one request path plus one unrelated
+	// hostless series: one rooted incident plus one standalone.
+	b.Execute(anomalyAt("app1", "insight_svc_latency_ns", now), c.emit)
+	b.Execute(anomalyAt("db", "insight_svc_latency_ns", now), c.emit)
+	b.Execute(anomalyAt("proxy", "insight_svc_latency_ns", now), c.emit)
+	b.Execute(anomalyAt("", "mq_dropped:rate", now), c.emit)
+
+	b.Tick(c.emit) // still inside the window: nothing flushes
+	if len(c.out) != 0 {
+		t.Fatalf("flushed %d incidents inside the quiet window", len(c.out))
+	}
+	now += 2 * time.Second.Nanoseconds()
+	b.Tick(c.emit)
+	if len(c.out) != 2 {
+		t.Fatalf("got %d incidents, want 2 (one correlated group + one standalone)", len(c.out))
+	}
+	var rooted, standalone *Incident
+	for i := range c.out {
+		inc, ok := DecodeIncident(c.out[i])
+		if !ok {
+			t.Fatal("non-incident tuple emitted")
+		}
+		if len(inc.Anomalies) == 3 {
+			rooted = &inc
+		} else {
+			standalone = &inc
+		}
+	}
+	if rooted == nil || standalone == nil {
+		t.Fatalf("expected a 3-member and a 1-member incident")
+	}
+	if rooted.Root != "db" {
+		t.Errorf("correlated incident rooted at %q, want db (the sink)", rooted.Root)
+	}
+	if standalone.Root != "mq_dropped:rate" {
+		t.Errorf("hostless incident rooted at %q, want its series name", standalone.Root)
+	}
+}
+
+func TestCorrelateBoltMinSizeSuppressesLoneBlips(t *testing.T) {
+	g := NewServiceGraph(nil)
+	g.Observe("proxy", "app1")
+
+	b := NewCorrelateBolt(g, time.Second)
+	b.MinSize = 2
+	now := int64(10 * time.Second)
+	b.now = func() int64 { return now }
+
+	var c collect
+	// A lone anomaly is held past its quiet window (waiting for
+	// corroboration), then dropped at the age bound — never emitted.
+	b.Execute(anomalyAt("app1", "insight_conn_rate", now), c.emit)
+	now += 2 * time.Second.Nanoseconds()
+	b.Tick(c.emit)
+	if len(c.out) != 0 {
+		t.Fatalf("lone blip emitted %d incidents inside the age bound", len(c.out))
+	}
+	now += 2 * time.Second.Nanoseconds() // past maxAge (3x window)
+	b.Tick(c.emit)
+	if len(c.out) != 0 {
+		t.Fatalf("aged-out lone blip emitted %d incidents, want suppression", len(c.out))
+	}
+
+	// Detectors react asymmetrically: a held singleton must still merge
+	// with a late partner arriving after the quiet window but before the
+	// age bound, and the pair clears the gate.
+	b.Execute(anomalyAt("proxy", "insight_svc_latency_ns", now), c.emit)
+	now += 15 * time.Second.Nanoseconds() / 10 // quiet > window, age < maxAge
+	b.Tick(c.emit)
+	if len(c.out) != 0 {
+		t.Fatalf("held singleton emitted %d incidents, want it kept", len(c.out))
+	}
+	b.Execute(anomalyAt("app1", "insight_svc_latency_ns", now), c.emit)
+	now += 2 * time.Second.Nanoseconds()
+	b.Tick(c.emit)
+	if len(c.out) != 1 {
+		t.Fatalf("correlated pair emitted %d incidents, want 1", len(c.out))
+	}
+	if inc, ok := DecodeIncident(c.out[0]); !ok || len(inc.Anomalies) != 2 {
+		t.Fatalf("emitted incident = %+v, want the 2-anomaly group", c.out[0])
+	}
+}
+
+func TestCorrelateBoltMaxAgeBoundsRefreshedGroups(t *testing.T) {
+	b := NewCorrelateBolt(NewServiceGraph(nil), time.Second)
+	now := int64(10 * time.Second)
+	b.now = func() int64 { return now }
+	var c collect
+	// Keep refreshing the group every half window: quiet-window flushing
+	// alone would hold it forever; maxAge must force it out.
+	for i := 0; i < 10 && len(c.out) == 0; i++ {
+		b.Execute(anomalyAt("h1", "m", now), c.emit)
+		now += time.Second.Nanoseconds() / 2
+		b.Tick(c.emit)
+	}
+	if len(c.out) == 0 {
+		t.Fatal("continuously refreshed group never flushed")
+	}
+}
+
+func TestServiceGraphRelatedAndRoot(t *testing.T) {
+	g := NewServiceGraph(nil)
+	g.Observe("proxy", "app1")
+	g.Observe("proxy", "app2")
+	g.Observe("app1", "db")
+
+	if !g.Related("proxy", "app1") || !g.Related("app1", "proxy") {
+		t.Error("direct edge not related (either direction)")
+	}
+	if !g.Related("app1", "app2") {
+		t.Error("siblings behind one proxy not related")
+	}
+	if g.Related("db", "app2") {
+		t.Error("db and app2 related without any path evidence")
+	}
+	if root := g.Root([]string{"proxy", "app1", "db"}); root != "db" {
+		t.Errorf("chain root = %q, want db", root)
+	}
+	// Opposite-direction sibling shifts: both sinks, common caller is root.
+	if root := g.Root([]string{"app1", "app2"}); root != "proxy" {
+		t.Errorf("sibling root = %q, want proxy", root)
+	}
+	if root := g.Root(nil); root != "" {
+		t.Errorf("empty root = %q", root)
+	}
+}
+
+func TestServiceGraphRootOfDirections(t *testing.T) {
+	g := NewServiceGraph(nil)
+	g.Observe("proxy", "app1")
+	g.Observe("proxy", "app2")
+	g.Observe("app1", "db")
+	g.Observe("app2", "db")
+	g.Observe("app1", "cache")
+	g.Observe("app2", "cache")
+
+	anom := func(host, name string, sigma float64) Anomaly {
+		return Anomaly{
+			Series: name + "{host=" + host + "}",
+			Name:   name,
+			Labels: map[string]string{"host": host},
+			Kind:   KindZScore,
+			Sigma:  sigma,
+		}
+	}
+
+	// Divergent sinks (conn rate up on one backend, down on its sibling):
+	// the quiet common caller is the root — the balancer signature.
+	diverged := []Anomaly{
+		anom("app1", "insight_conn_rate", 6),
+		anom("app2", "insight_conn_rate", -4),
+	}
+	if root := g.RootOf(diverged); root != "proxy" {
+		t.Errorf("divergent sibling root = %q, want proxy", root)
+	}
+
+	// Same-direction sinks (a slow db drags latency up everywhere, and the
+	// cache catches one collateral blip): the strongest sink keeps the
+	// root — its caller must NOT be promoted.
+	collateral := []Anomaly{
+		anom("db", "insight_svc_latency_ns", 9),
+		anom("db", "insight_svc_latency_ns", 7),
+		anom("cache", "insight_svc_latency_ns", 3),
+		anom("app1", "insight_svc_latency_ns", 5),
+	}
+	if root := g.RootOf(collateral); root != "db" {
+		t.Errorf("collateral-blip root = %q, want db", root)
+	}
+
+	// A slow db skews sibling load as a side effect (starved /db workers
+	// free capacity elsewhere): conn rate down on db, up on cache — a
+	// coincidental divergence. The latency evidence dominates, so the
+	// strongest sink keeps the root and the caller is NOT promoted.
+	sideEffect := []Anomaly{
+		anom("db", "insight_svc_latency_ns", 20),
+		anom("db", "insight_conn_rate", -4),
+		anom("cache", "insight_conn_rate", 3),
+		anom("app1", "insight_svc_latency_ns", 6),
+	}
+	if root := g.RootOf(sideEffect); root != "db" {
+		t.Errorf("side-effect divergence root = %q, want db", root)
+	}
+
+	if root := g.RootOf(nil); root != "" {
+		t.Errorf("empty RootOf = %q", root)
+	}
+}
+
+func TestServiceGraphTopologyFallback(t *testing.T) {
+	topo, err := topology.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewServiceGraph(topo)
+	hosts := topo.Hosts()
+	a, b := hosts[0], hosts[1] // same rack
+	far := hosts[len(hosts)-1] // other pod
+	if !g.Related(a.Name, b.Name) {
+		t.Error("same-rack hosts not related via topology fallback")
+	}
+	if g.Related(a.Name, far.Name) {
+		t.Error("cross-pod hosts related without observed edges")
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package insight
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"netalytics/internal/mq"
+	"netalytics/internal/stream"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/tuple"
+)
+
+// Tier defaults.
+const (
+	// DefaultSnapshotPeriod is how often the feeder samples the registry.
+	DefaultSnapshotPeriod = time.Second
+	// DefaultRingSize is how many recent incidents the tier retains for the
+	// /incidents endpoint.
+	DefaultRingSize = 256
+	// DefaultDetectTasks is the detect bolt's parallelism; series are
+	// fields-grouped so each lands deterministically on one task.
+	DefaultDetectTasks = 2
+)
+
+// Config parameterizes the insight tier.
+type Config struct {
+	// Registry is the telemetry registry the feeder snapshots (required).
+	Registry *telemetry.Registry
+	// Cluster, when non-nil, receives every incident on the `_incidents`
+	// topic (retain-latest, so a consumerless stream keeps the newest).
+	Cluster *mq.Cluster
+	// Graph is the service graph the correlator walks. Nil creates an empty
+	// one; the engine shares the graph its observation sessions populate.
+	Graph *ServiceGraph
+	// SnapshotPeriod is the feeder's sampling period (default 1s).
+	SnapshotPeriod time.Duration
+	// Window is the correlation window: anomalies closer than this merge
+	// into one incident. Default 3x SnapshotPeriod, floored at the package
+	// default.
+	Window time.Duration
+	// Cooldown suppresses repeat anomalies per series (default = Window).
+	Cooldown time.Duration
+	// Detector tunes the per-series detectors (zero values take defaults).
+	Detector DetectorConfig
+	// MaxSeries caps detector state per detect task (default 4096).
+	MaxSeries int
+	// MinAnomalies suppresses correlated groups with fewer anomalies at
+	// flush time (<= 1 emits everything). A real fault shifts several
+	// series at once; gating on group size keeps a lone noisy series from
+	// paging.
+	MinAnomalies int
+	// RingSize bounds the retained incident history (default 256).
+	RingSize int
+	// Filter, when non-nil, restricts which metric names are observed.
+	Filter func(name string) bool
+	// OnIncident, when non-nil, is called for every incident (after it is
+	// recorded and published). Called from the sink bolt's goroutine.
+	OnIncident func(Incident)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SnapshotPeriod <= 0 {
+		c.SnapshotPeriod = DefaultSnapshotPeriod
+	}
+	if c.Window <= 0 {
+		c.Window = 3 * c.SnapshotPeriod
+		if c.Window < DefaultCorrelationWindow {
+			c.Window = DefaultCorrelationWindow
+		}
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Window
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+	return c
+}
+
+// Tier is the always-on insight tier: a small stream topology
+// (registry feeder -> per-series detectors -> topology-aware correlator ->
+// incident sink) running beside the query pipelines on the same executor
+// machinery. It keeps a ring of recent incidents for the /incidents
+// endpoint and publishes each one to the `_incidents` mq topic.
+type Tier struct {
+	cfg      Config
+	graph    *ServiceGraph
+	exec     *stream.Executor
+	producer *mq.Producer
+
+	anomalies    *telemetry.Counter // insight_tier_anomalies
+	incidents    *telemetry.Counter // insight_tier_incidents
+	publishDrops *telemetry.Counter // insight_tier_publish_drops
+
+	mu      sync.Mutex
+	ring    []Incident
+	total   int
+	started bool
+	stopped bool
+}
+
+// New builds the tier's topology. Start it with Start.
+func New(cfg Config) (*Tier, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("insight: Config.Registry is required")
+	}
+	cfg = cfg.withDefaults()
+	t := &Tier{
+		cfg:          cfg,
+		graph:        cfg.Graph,
+		anomalies:    cfg.Registry.Counter("insight_tier_anomalies"),
+		incidents:    cfg.Registry.Counter("insight_tier_incidents"),
+		publishDrops: cfg.Registry.Counter("insight_tier_publish_drops"),
+	}
+	if t.graph == nil {
+		t.graph = NewServiceGraph(nil)
+	}
+	if cfg.Cluster != nil {
+		// Retain-latest before first use: a consumerless incident topic must
+		// keep the newest incidents, not fill once and reject forever.
+		cfg.Cluster.SetRetainLatest(IncidentsTopic)
+		t.producer = cfg.Cluster.Producer(IncidentsTopic)
+	}
+
+	topo := stream.NewTopology("_insight")
+	if err := topo.AddSpout("registry", func() stream.Spout {
+		return NewFeeder(cfg.Registry, cfg.SnapshotPeriod, cfg.Filter)
+	}, 1); err != nil {
+		return nil, err
+	}
+	err := topo.AddBolt("detect", func() stream.Bolt {
+		return NewDetectBolt(cfg.Detector, cfg.MaxSeries, cfg.Cooldown)
+	}, DefaultDetectTasks).FieldsFrom("registry", "").Err()
+	if err != nil {
+		return nil, err
+	}
+	err = topo.AddBolt("correlate", func() stream.Bolt {
+		cb := NewCorrelateBolt(t.graph, cfg.Window)
+		cb.MinSize = cfg.MinAnomalies
+		return cb
+	}, 1).GlobalFrom("detect").Err()
+	if err != nil {
+		return nil, err
+	}
+	err = topo.AddBolt("sink", func() stream.Bolt {
+		return stream.NewCallbackBolt(t.record)
+	}, 1).GlobalFrom("correlate").Err()
+	if err != nil {
+		return nil, err
+	}
+
+	// The correlator's window advances on executor ticks; keep ticks a few
+	// times finer than the snapshot period (bounded to the stream default)
+	// so flushes are not quantized to coarse ticks.
+	tick := cfg.SnapshotPeriod / 4
+	if tick > stream.DefaultTickInterval {
+		tick = stream.DefaultTickInterval
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	exec, err := stream.NewExecutor(topo, stream.WithTickInterval(tick))
+	if err != nil {
+		return nil, err
+	}
+	t.exec = exec
+	return t, nil
+}
+
+// Graph returns the service graph; the engine's observation sessions feed
+// communication edges into it.
+func (t *Tier) Graph() *ServiceGraph { return t.graph }
+
+// Start launches the tier's executor. Idempotent.
+func (t *Tier) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return
+	}
+	t.started = true
+	t.exec.Start()
+}
+
+// Stop flushes and stops the tier. Idempotent.
+func (t *Tier) Stop() {
+	t.mu.Lock()
+	if !t.started || t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	t.mu.Unlock()
+	t.exec.Stop()
+}
+
+// record is the sink: ring, counters, mq publication, callback.
+func (t *Tier) record(tp tuple.Tuple) {
+	inc, ok := DecodeIncident(tp)
+	if !ok {
+		return
+	}
+	t.incidents.Add(1)
+	t.anomalies.Add(uint64(len(inc.Anomalies)))
+	t.mu.Lock()
+	t.total++
+	t.ring = append(t.ring, inc)
+	if over := len(t.ring) - t.cfg.RingSize; over > 0 {
+		t.ring = append(t.ring[:0], t.ring[over:]...)
+	}
+	t.mu.Unlock()
+	if t.producer != nil {
+		if err := t.producer.Send(&tuple.Batch{Parser: "insight", Tuples: []tuple.Tuple{tp}}); err != nil {
+			t.publishDrops.Add(1)
+		}
+	}
+	if t.cfg.OnIncident != nil {
+		t.cfg.OnIncident(inc)
+	}
+}
+
+// Incidents snapshots the retained incidents, oldest first.
+func (t *Tier) Incidents() []Incident {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Incident, len(t.ring))
+	copy(out, t.ring)
+	return out
+}
+
+// Total is the number of incidents ever recorded (the ring may have evicted
+// older ones).
+func (t *Tier) Total() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

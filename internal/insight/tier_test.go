@@ -1,0 +1,121 @@
+package insight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"netalytics/internal/mq"
+	"netalytics/internal/telemetry"
+)
+
+// TestTierEndToEnd drives the full feeder -> detect -> correlate -> sink
+// topology against a live registry: train a gauge flat, spike it, and expect
+// one incident in the ring, on the mq topic, and from the HTTP handler.
+func TestTierEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cluster := mq.NewCluster(1, mq.Config{})
+	gauge := reg.Gauge("svc_latency", telemetry.L("host", "h1"))
+	gauge.Set(100)
+
+	got := make(chan Incident, 16)
+	tier, err := New(Config{
+		Registry:       reg,
+		Cluster:        cluster,
+		SnapshotPeriod: 10 * time.Millisecond,
+		Window:         40 * time.Millisecond,
+		Detector:       DetectorConfig{LearnSamples: 8},
+		OnIncident:     func(inc Incident) { got <- inc },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Start()
+	defer tier.Stop()
+
+	time.Sleep(300 * time.Millisecond) // learn the flat baseline
+	gauge.Set(10000)
+
+	var inc Incident
+	select {
+	case inc = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no incident within 5s of a 100x spike")
+	}
+	if len(inc.Anomalies) == 0 || inc.Anomalies[0].Name != "svc_latency" {
+		t.Fatalf("unexpected incident: %+v", inc)
+	}
+	if inc.Root != "h1" {
+		t.Errorf("incident root = %q, want h1", inc.Root)
+	}
+
+	if tier.Total() == 0 || len(tier.Incidents()) == 0 {
+		t.Error("incident not retained in the ring")
+	}
+
+	// Published to the mq topic, decodable like any consumed batch.
+	deadline := time.Now().Add(2 * time.Second)
+	consumer := cluster.Consumer(IncidentsTopic)
+	found := false
+	for !found && time.Now().Before(deadline) {
+		for _, b := range consumer.Poll(16) {
+			for _, tp := range b.Tuples {
+				if _, ok := DecodeIncident(tp); ok {
+					found = true
+				}
+			}
+		}
+		if !found {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !found {
+		t.Error("incident not published on the _incidents topic")
+	}
+
+	// Served over HTTP beside /metrics.
+	rec := httptest.NewRecorder()
+	tier.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/incidents?n=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/incidents status = %d", rec.Code)
+	}
+	var page struct {
+		Total     int        `json:"total"`
+		Incidents []Incident `json:"incidents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("/incidents not JSON: %v", err)
+	}
+	if page.Total == 0 || len(page.Incidents) != 1 {
+		t.Errorf("/incidents page = total %d, %d incidents; want total>0, 1 incident", page.Total, len(page.Incidents))
+	}
+}
+
+// TestTierQuietRegistryStaysSilent is the false-positive guard at tier level:
+// stable series must produce zero incidents after the learning period.
+func TestTierQuietRegistryStaysSilent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("a", telemetry.L("host", "h1")).Set(100)
+	reg.Counter("b").Add(1)
+	tier, err := New(Config{
+		Registry:       reg,
+		SnapshotPeriod: 5 * time.Millisecond,
+		Window:         20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Start()
+	time.Sleep(400 * time.Millisecond)
+	tier.Stop()
+	if n := tier.Total(); n != 0 {
+		t.Errorf("quiet registry produced %d incidents: %+v", n, tier.Incidents())
+	}
+}
+
+func TestNewRequiresRegistry(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted a nil registry")
+	}
+}

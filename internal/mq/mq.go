@@ -212,6 +212,7 @@ type partition struct {
 	groups  map[string]uint64
 	cap     int
 	over    bool
+	retain  bool // retain-latest: evict oldest on full instead of rejecting
 	dropped atomic.Uint64
 }
 
@@ -300,10 +301,30 @@ func (p *partition) append(b *tuple.Batch, hint int) error {
 		lockStart := time.Now()
 		p.mu.Lock()
 		wait := time.Since(lockStart)
+		var evicted, evictedTuples uint64
 		if p.backlog() >= p.cap {
-			p.mu.Unlock()
-			p.topic.lockWait.Observe(wait.Nanoseconds())
-			return errBufferFull(p.topic.name)
+			if !p.retain {
+				p.mu.Unlock()
+				p.topic.lockWait.Observe(wait.Nanoseconds())
+				return errBufferFull(p.topic.name)
+			}
+			// Retain-latest: evict the oldest records (bumping any group
+			// offset that pointed into the evicted prefix) so the newest
+			// record always lands. An incident stream with no consumer yet
+			// must keep the latest incidents, not the first N.
+			for p.backlog() >= p.cap && len(p.buf) > 0 {
+				old := p.buf[0]
+				p.buf[0] = nil
+				p.buf = p.buf[1:]
+				p.base++
+				evicted++
+				evictedTuples += uint64(len(old.Tuples))
+				for g, off := range p.groups {
+					if off < p.base {
+						p.groups[g] = p.base
+					}
+				}
+			}
 		}
 		p.buf = append(p.buf, b)
 		p.next++
@@ -315,6 +336,11 @@ func (p *partition) append(b *tuple.Batch, hint int) error {
 		}
 		p.mu.Unlock()
 		p.topic.lockWait.Observe(wait.Nanoseconds())
+		if evicted > 0 {
+			p.dropped.Add(evicted)
+			p.topic.dropped.Add(evicted)
+			p.topic.droppedTuples.Add(evictedTuples)
+		}
 		if transition {
 			p.topic.overloads.Add(1)
 			p.topic.cluster.notify(Status{Topic: p.topic.name, Overloaded: true, Occupancy: occ})
@@ -474,6 +500,7 @@ type Cluster struct {
 	mu     sync.Mutex
 	topics map[string]*topic
 	subs   map[string][]chan Status
+	retain map[string]bool // topics in retain-latest (drop-oldest) mode
 	nextBk int
 
 	fault atomic.Pointer[FaultHook]
@@ -514,6 +541,38 @@ func NewCluster(numBrokers int, cfg Config) *Cluster {
 
 // BrokerCount returns the number of brokers.
 func (c *Cluster) BrokerCount() int { return len(c.brokers) }
+
+// SetRetainLatest switches a topic to retain-latest mode: when its buffer
+// fills, the oldest record is evicted (and counted dropped) so the newest
+// always lands. Normal topics do the opposite — reject the new batch and
+// retain history — which is right for query pipelines with attached
+// consumers, but wrong for an always-on stream like `_incidents` that may
+// have no consumer at all: without eviction it would fill once and then
+// reject every incident after the first BufferBatches forever. Call before
+// the topic's first use; retain-latest topics always use the legacy locked
+// log (eviction needs the single-owner buffer), regardless of IngestShards.
+func (c *Cluster) SetRetainLatest(name string) {
+	c.mu.Lock()
+	if c.retain == nil {
+		c.retain = make(map[string]bool)
+	}
+	c.retain[name] = true
+	t := c.topics[name]
+	c.mu.Unlock()
+	if t == nil {
+		return
+	}
+	// Already-created topic: flip the flag on its legacy partitions (sharded
+	// partitions keep reject semantics — eviction needs the locked log).
+	for _, p := range t.partitions {
+		if p.rings != nil {
+			continue
+		}
+		p.mu.Lock()
+		p.retain = true
+		p.mu.Unlock()
+	}
+}
 
 // getTopic returns the topic, creating it with partitions spread across
 // brokers round-robin. Metric registration happens outside the cluster lock:
@@ -576,6 +635,7 @@ func (c *Cluster) getTopic(name string) *topic {
 	if t, ok = c.topics[name]; ok {
 		return t
 	}
+	retain := c.retain[name]
 	for i := 0; i < c.cfg.Partitions; i++ {
 		bk := c.brokers[c.nextBk%len(c.brokers)]
 		c.nextBk++
@@ -585,8 +645,9 @@ func (c *Cluster) getTopic(name string) *topic {
 			idx:    i,
 			groups: make(map[string]uint64),
 			cap:    c.cfg.BufferBatches,
+			retain: retain,
 		}
-		if c.cfg.IngestShards > 0 {
+		if c.cfg.IngestShards > 0 && !retain {
 			p.rings = newShardedLog(p, c.cfg.IngestShards, c.cfg.BufferBatches)
 		}
 		cand.partitions = append(cand.partitions, p)

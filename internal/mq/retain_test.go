@@ -1,0 +1,135 @@
+package mq
+
+import (
+	"testing"
+
+	"netalytics/internal/tuple"
+)
+
+// markedBatch carries an identifying FlowID so tests can tell which batches
+// survived eviction.
+func markedBatch(id uint64) *tuple.Batch {
+	return &tuple.Batch{Parser: "p", Tuples: []tuple.Tuple{{FlowID: id, Key: "k"}}}
+}
+
+func polledIDs(cs *Consumer) []uint64 {
+	var ids []uint64
+	for {
+		bs := cs.Poll(64)
+		if len(bs) == 0 {
+			return ids
+		}
+		for _, b := range bs {
+			ids = append(ids, b.Tuples[0].FlowID)
+		}
+	}
+}
+
+func TestRetainLatestKeepsNewest(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 4})
+	c.SetRetainLatest("_incidents")
+	prod := c.Producer("_incidents")
+	for i := uint64(0); i < 10; i++ {
+		if err := prod.Send(markedBatch(i)); err != nil {
+			t.Fatalf("retain-latest Send(%d) rejected: %v", i, err)
+		}
+	}
+	st := c.Stats("_incidents")
+	if st.Appended != 10 {
+		t.Errorf("appended = %d, want 10", st.Appended)
+	}
+	if st.Dropped != 6 {
+		t.Errorf("dropped = %d, want 6 (evictions are accounted)", st.Dropped)
+	}
+	if st.DroppedTuples != 6 {
+		t.Errorf("dropped tuples = %d, want 6", st.DroppedTuples)
+	}
+	// A consumer attaching late sees exactly the newest capacity's worth.
+	ids := polledIDs(c.Consumer("_incidents"))
+	if len(ids) != 4 {
+		t.Fatalf("late consumer got %d batches, want 4: %v", len(ids), ids)
+	}
+	for i, id := range ids {
+		if want := uint64(6 + i); id != want {
+			t.Errorf("retained[%d] = %d, want %d (newest survive, in order)", i, id, want)
+		}
+	}
+}
+
+func TestRetainLatestBumpsLaggingGroup(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 4})
+	c.SetRetainLatest("_incidents")
+	prod := c.Producer("_incidents")
+	cons := c.Consumer("_incidents") // registers at offset 0 before any data
+	if got := cons.Poll(4); len(got) != 0 {
+		t.Fatalf("empty topic polled %d batches", len(got))
+	}
+	for i := uint64(0); i < 12; i++ {
+		if err := prod.Send(markedBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The group's offset pointed into the evicted prefix; it must have been
+	// bumped to the new base, not left to stall or replay freed slots.
+	ids := polledIDs(cons)
+	if len(ids) != 4 {
+		t.Fatalf("lagging group got %d batches, want 4: %v", len(ids), ids)
+	}
+	if ids[0] != 8 || ids[3] != 11 {
+		t.Errorf("lagging group read %v, want [8 9 10 11]", ids)
+	}
+}
+
+func TestRetainLatestRetrofitsExistingTopic(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 2})
+	prod := c.Producer("late") // topic exists before the retain flag
+	if err := prod.Send(markedBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetainLatest("late")
+	for i := uint64(1); i < 6; i++ {
+		if err := prod.Send(markedBatch(i)); err != nil {
+			t.Fatalf("Send(%d) after retrofit: %v", i, err)
+		}
+	}
+	ids := polledIDs(c.Consumer("late"))
+	if len(ids) != 2 || ids[1] != 5 {
+		t.Errorf("retained %v, want the newest 2 ending in 5", ids)
+	}
+}
+
+func TestNonRetainTopicStillRejectsWhenFull(t *testing.T) {
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 2})
+	c.SetRetainLatest("_incidents") // a different topic
+	prod := c.Producer("normal")
+	var rejected bool
+	for i := uint64(0); i < 5; i++ {
+		if err := prod.Send(markedBatch(i)); err != nil {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("non-retain topic accepted past capacity")
+	}
+}
+
+func TestRetainLatestForcesLegacyLog(t *testing.T) {
+	// Sharded rings cannot evict; a retain topic must fall back to the
+	// locked log even when the cluster runs sharded ingest.
+	c := NewCluster(1, Config{Partitions: 1, BufferBatches: 4, IngestShards: 4})
+	c.SetRetainLatest("_incidents")
+	prod := c.Producer("_incidents")
+	for i := uint64(0); i < 20; i++ {
+		if err := prod.Send(markedBatch(i)); err != nil {
+			t.Fatalf("Send(%d) on sharded cluster: %v", i, err)
+		}
+	}
+	ids := polledIDs(c.Consumer("_incidents"))
+	if len(ids) != 4 || ids[3] != 19 {
+		t.Errorf("retained %v, want the newest 4 ending in 19", ids)
+	}
+	// Sanity: an ordinary topic on the same cluster still uses shards.
+	if c.Stats("_incidents").Dropped != 16 {
+		t.Errorf("dropped = %d, want 16", c.Stats("_incidents").Dropped)
+	}
+}

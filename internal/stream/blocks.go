@@ -543,6 +543,7 @@ func (b *JoinBolt) Cleanup(emit EmitFunc) {
 type PercentileBolt struct {
 	attr        string
 	percentiles []float64
+	rolling     bool
 	samples     map[string][]float64
 }
 
@@ -558,6 +559,13 @@ func NewPercentileBolt(attr string, percentiles []float64) *PercentileBolt {
 		samples:     make(map[string][]float64),
 	}
 }
+
+// SetRolling makes each tick's summary cover only that window's samples:
+// the sample buffers reset after every flush instead of accumulating for the
+// query's lifetime. Rolling mode also bounds memory — cumulative mode keeps
+// every sample ever seen, which is what long-lived standing queries must
+// avoid.
+func (b *PercentileBolt) SetRolling(rolling bool) { b.rolling = rolling }
 
 // Execute implements Bolt.
 func (b *PercentileBolt) Execute(t tuple.Tuple, emit EmitFunc) {
@@ -589,6 +597,9 @@ func (b *PercentileBolt) flush(emit EmitFunc) {
 				SrcPort: uint16(p),
 				Val:     percentileOf(sorted, p),
 			})
+		}
+		if b.rolling {
+			delete(b.samples, group)
 		}
 	}
 }

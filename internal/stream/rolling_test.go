@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"testing"
+
+	"netalytics/internal/tuple"
+)
+
+func TestBoolArg(t *testing.T) {
+	spec := ProcessorSpec{Args: map[string]string{"rolling": "true", "bad": "maybe", "zero": "0"}}
+	if v, err := spec.BoolArg("rolling", false); err != nil || !v {
+		t.Errorf("BoolArg(rolling) = %v, %v", v, err)
+	}
+	if v, err := spec.BoolArg("zero", true); err != nil || v {
+		t.Errorf("BoolArg(zero) = %v, %v", v, err)
+	}
+	if v, err := spec.BoolArg("missing", true); err != nil || !v {
+		t.Errorf("BoolArg(missing) = %v, %v (default must apply)", v, err)
+	}
+	if _, err := spec.BoolArg("bad", false); err == nil {
+		t.Error("BoolArg accepted a non-boolean value")
+	}
+}
+
+func TestGroupBoltRolling(t *testing.T) {
+	b := NewGroupBolt("", AggAvg, true)
+	var out []tuple.Tuple
+	emit := func(tp tuple.Tuple) { out = append(out, tp) }
+
+	b.Execute(tuple.Tuple{Val: 10}, emit)
+	b.Execute(tuple.Tuple{Val: 20}, emit)
+	b.Tick(emit)
+	if len(out) != 1 || out[0].Val != 15 {
+		t.Fatalf("first window = %v, want one avg of 15", out)
+	}
+	out = nil
+	// Rolling: the second window's average covers only its own samples. A
+	// cumulative bolt would report (10+20+100)/3 ≈ 43 and dilute the shift.
+	b.Execute(tuple.Tuple{Val: 100}, emit)
+	b.Tick(emit)
+	if len(out) != 1 || out[0].Val != 100 {
+		t.Fatalf("second window = %v, want one avg of 100", out)
+	}
+	out = nil
+	b.Tick(emit) // empty window emits nothing
+	if len(out) != 0 {
+		t.Fatalf("empty window emitted %v", out)
+	}
+}
+
+func TestGroupBoltCumulativeUnchanged(t *testing.T) {
+	b := NewGroupBolt("", AggAvg, false)
+	var out []tuple.Tuple
+	emit := func(tp tuple.Tuple) { out = append(out, tp) }
+	b.Execute(tuple.Tuple{Val: 10}, emit)
+	b.Tick(emit)
+	b.Execute(tuple.Tuple{Val: 20}, emit)
+	b.Tick(emit)
+	if len(out) != 2 || out[1].Val != 15 {
+		t.Fatalf("cumulative windows = %v, want second avg 15", out)
+	}
+}
+
+func TestPercentileBoltRolling(t *testing.T) {
+	b := NewPercentileBolt("", []float64{50})
+	b.SetRolling(true)
+	var out []tuple.Tuple
+	emit := func(tp tuple.Tuple) { out = append(out, tp) }
+	for i := 1; i <= 100; i++ {
+		b.Execute(tuple.Tuple{Val: float64(i)}, emit)
+	}
+	b.Tick(emit)
+	if len(out) != 1 || out[0].Val < 49 || out[0].Val > 52 {
+		t.Fatalf("first window p50 = %v", out)
+	}
+	if len(b.samples) != 0 {
+		t.Fatalf("rolling percentile bolt retained %d sample groups after flush", len(b.samples))
+	}
+	out = nil
+	b.Execute(tuple.Tuple{Val: 1000}, emit)
+	b.Tick(emit)
+	if len(out) != 1 || out[0].Val != 1000 {
+		t.Fatalf("second window p50 = %v, want 1000 (window-scoped)", out)
+	}
+}
+
+// TestRollingArgThreadsThroughBuild verifies the query-facing wiring: the
+// rolling argument parses through BuildTopology for the group-family
+// processors and a bad value is rejected at build time.
+func TestRollingArgThreadsThroughBuild(t *testing.T) {
+	for _, spec := range []ProcessorSpec{
+		{Name: "diff-group", Args: map[string]string{"group": "dst", "agg": "avg", "rolling": "true"}},
+		{Name: "diff-percentile", Args: map[string]string{"rolling": "true"}},
+		{Name: "group-avg", Args: map[string]string{"rolling": "1"}},
+	} {
+		if _, err := BuildTopology(spec, func() Spout { return &sliceSpout{} }, 1, func(tuple.Tuple) {}, 0); err != nil {
+			t.Errorf("BuildTopology(%s rolling): %v", spec.Name, err)
+		}
+	}
+	bad := ProcessorSpec{Name: "group-avg", Args: map[string]string{"rolling": "sideways"}}
+	if _, err := BuildTopology(bad, func() Spout { return &sliceSpout{} }, 1, func(tuple.Tuple) {}, 0); err == nil {
+		t.Error("BuildTopology accepted a non-boolean rolling arg")
+	}
+}

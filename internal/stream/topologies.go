@@ -37,6 +37,20 @@ func (s ProcessorSpec) IntArg(name string, def int) (int, error) {
 	return n, nil
 }
 
+// BoolArg returns a named boolean argument ("true"/"false", "1"/"0") or the
+// default.
+func (s ProcessorSpec) BoolArg(name string, def bool) (bool, error) {
+	v, ok := s.Args[name]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("stream: argument %s=%q is not a boolean", name, v)
+	}
+	return b, nil
+}
+
 // DurationArg returns a named duration argument (e.g. "10s") or the default.
 func (s ProcessorSpec) DurationArg(name string, def time.Duration) (time.Duration, error) {
 	v, ok := s.Args[name]
@@ -137,11 +151,18 @@ func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, 
 		if err != nil {
 			return nil, err
 		}
+		// rolling=true resets the aggregates every tick, turning the output
+		// into per-window values instead of cumulative ones — what a
+		// detector wants, since cumulative averages dilute shifts away.
+		rolling, err := spec.BoolArg("rolling", false)
+		if err != nil {
+			return nil, err
+		}
 		if err := topo.AddBolt("diff", func() Bolt { return NewDiffBolt("", "") }, tasks).
 			FieldsFrom("spout", "flow").Err(); err != nil {
 			return nil, err
 		}
-		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, false) }, tasks).
+		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, rolling) }, tasks).
 			FieldsFrom("diff", group).Err(); err != nil {
 			return nil, err
 		}
@@ -153,11 +174,19 @@ func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, 
 		// Connection durations reduced to per-group percentile summaries
 		// inside the topology, e.g. (diff-percentile: group=get).
 		group := spec.Arg("group", "dstIP")
+		rolling, err := spec.BoolArg("rolling", false)
+		if err != nil {
+			return nil, err
+		}
 		if err := topo.AddBolt("diff", func() Bolt { return NewDiffBolt("", "") }, tasks).
 			FieldsFrom("spout", "flow").Err(); err != nil {
 			return nil, err
 		}
-		if err := topo.AddBolt("pct", func() Bolt { return NewPercentileBolt(group, nil) }, tasks).
+		if err := topo.AddBolt("pct", func() Bolt {
+			b := NewPercentileBolt(group, nil)
+			b.SetRolling(rolling)
+			return b
+		}, tasks).
 			FieldsFrom("diff", group).Err(); err != nil {
 			return nil, err
 		}
@@ -185,7 +214,11 @@ func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, 
 		if err != nil {
 			return nil, err
 		}
-		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt("key", agg, false) }, tasks).
+		rolling, err := spec.BoolArg("rolling", false)
+		if err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt("key", agg, rolling) }, tasks).
 			FieldsFrom("join", "key").Err(); err != nil {
 			return nil, err
 		}
@@ -200,7 +233,11 @@ func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, 
 		if err != nil {
 			return nil, err
 		}
-		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, false) }, tasks).
+		rolling, err := spec.BoolArg("rolling", false)
+		if err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, rolling) }, tasks).
 			FieldsFrom("spout", group).Err(); err != nil {
 			return nil, err
 		}

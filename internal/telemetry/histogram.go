@@ -62,7 +62,81 @@ func (h *Histogram) Mean() float64 {
 // p99 stage breakdowns the exporter reports. Returns 0 for an empty
 // histogram.
 func (h *Histogram) Quantile(q float64) float64 {
-	n := h.count.Load()
+	return h.Snapshot().Quantile(q)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's buckets: the shape
+// consumers iterate, diff and derive quantiles from without re-reading the
+// live atomics. Count is always the sum of Buckets, so a snapshot is
+// internally consistent even when taken against concurrent Observes (the
+// live count atomic can momentarily disagree with the bucket totals).
+type HistSnapshot struct {
+	Count   uint64
+	Sum     float64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram's current buckets. Observes racing the copy
+// land in either the snapshot or the next one; the snapshot itself stays
+// consistent because Count is derived from the copied buckets.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.Sum = float64(h.sum.Load())
+	return s
+}
+
+// NumBuckets returns the fixed bucket count of every histogram; bucket i
+// covers values in [2^i, 2^(i+1)), with bucket 0 also absorbing zero.
+func NumBuckets() int { return histBuckets }
+
+// BucketBounds returns bucket i's value range [lo, hi).
+func BucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 2
+	}
+	lo = float64(uint64(1) << uint(i))
+	return lo, lo * 2
+}
+
+// Sub returns the bucket-wise difference s - prev: the distribution of
+// observations recorded between the two snapshots. Buckets that shrank
+// (prev taken after s, or different histograms) clamp to zero rather than
+// wrap, and Count is recomputed from the clamped buckets.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := 0; i < histBuckets; i++ {
+		if s.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+			d.Count += d.Buckets[i]
+		}
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	return d
+}
+
+// Mean returns the mean of the snapshotted observations, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile of the snapshot by linear
+// interpolation inside the bucket holding the target rank. Returns 0 for an
+// empty snapshot. This is the single quantile implementation: the live
+// histogram and every snapshot consumer (exporters, the insight feeder's
+// windowed deltas) share it, so nothing re-derives values from the pow2
+// buckets independently.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	n := s.Count
 	if n == 0 {
 		return 0
 	}
@@ -77,25 +151,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 		target = 1
 	}
 	var cum uint64
+	last := 0 // highest non-empty bucket, for the defensive fallback below
 	for i := 0; i < histBuckets; i++ {
-		c := h.buckets[i].Load()
+		c := s.Buckets[i]
 		if c == 0 {
 			continue
 		}
+		last = i
 		cum += c
 		if cum >= target {
-			lo := float64(uint64(1) << uint(i))
-			if i == 0 {
-				lo = 0
-			}
-			hi := lo * 2
-			if i == 0 {
-				hi = 2
-			}
+			lo, hi := BucketBounds(i)
 			// Position of the target rank within this bucket.
 			frac := float64(target-(cum-c)) / float64(c)
 			return lo + frac*(hi-lo)
 		}
 	}
-	return float64(uint64(1) << (histBuckets - 1))
+	// Unreachable when Count == sum(Buckets) (which Snapshot/Sub guarantee),
+	// but a hand-built snapshot with an inflated Count used to fall through
+	// to 2^63 here; answer with the top populated bucket's bound instead.
+	_, hi := BucketBounds(last)
+	return hi
 }

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.95); q != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", q)
+	}
+	var s HistSnapshot
+	if q := s.Quantile(0.5); q != 0 {
+		t.Errorf("empty snapshot Quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramQuantileInflatedCount(t *testing.T) {
+	// A hand-built snapshot whose Count exceeds the bucket sum must answer
+	// with the top populated bucket's bound, not fall through to 2^63.
+	var s HistSnapshot
+	s.Buckets[4] = 10 // values in [16, 32)
+	s.Count = 100
+	if q := s.Quantile(0.99); q > 32 {
+		t.Errorf("inflated-count Quantile = %v, want <= 32", q)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	h.Observe(100)
+	before := h.Snapshot()
+	h.Observe(10000)
+	h.Observe(12000)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", delta.Count)
+	}
+	if m := delta.Mean(); math.Abs(m-11000) > 1 {
+		t.Errorf("delta mean = %v, want 11000", m)
+	}
+	// The window's p95 reflects only the new observations, far from the
+	// lifetime distribution that still remembers the two 100s.
+	if q := delta.Quantile(0.95); q < 8192 {
+		t.Errorf("delta p95 = %v, want within the new observations' bucket range", q)
+	}
+	// Reversed operands (prev taken after s) clamp instead of wrapping.
+	rev := before.Sub(h.Snapshot())
+	if rev.Count != 0 || rev.Sum != 0 {
+		t.Errorf("reversed Sub = %+v, want zero", rev)
+	}
+}
+
+func TestHistSnapshotConsistentUnderConcurrentObserve(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			h.Observe(int64(i % 4096))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, b := range s.Buckets {
+			sum += b
+		}
+		if sum != s.Count {
+			t.Fatalf("snapshot count %d != bucket sum %d", s.Count, sum)
+		}
+	}
+	<-done
+}
+
+func TestBucketBounds(t *testing.T) {
+	if n := NumBuckets(); n != 64 {
+		t.Fatalf("NumBuckets = %d", n)
+	}
+	lo, hi := BucketBounds(0)
+	if lo != 0 || hi != 2 {
+		t.Errorf("bucket 0 = [%v, %v), want [0, 2)", lo, hi)
+	}
+	for i := 1; i < NumBuckets(); i++ {
+		lo, hi := BucketBounds(i)
+		if lo != math.Exp2(float64(i)) || hi != 2*lo {
+			t.Errorf("bucket %d = [%v, %v)", i, lo, hi)
+		}
+	}
+}
+
+func TestSamplePeriod(t *testing.T) {
+	cases := []struct{ flag, def, want int }{
+		{0, 64, 64},  // 0 = subsystem default
+		{1, 64, 1},   // 1 = every event
+		{10, 64, 10}, // N = 1-in-N
+		{-1, 64, 0},  // negative = off
+		{-99, 64, 0},
+	}
+	for _, c := range cases {
+		if got := SamplePeriod(c.flag, c.def); got != c.want {
+			t.Errorf("SamplePeriod(%d, %d) = %d, want %d", c.flag, c.def, got, c.want)
+		}
+	}
+}
+
+// TestSnapshotRacesRegistryMutation exercises Snapshot against concurrent
+// DropLabeled, GaugeFunc re-registration and histogram Observes; run under
+// -race this is the regression guard for the registry's lock discipline and
+// the gauge-func atomic.
+func TestSnapshotRacesRegistryMutation(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // churn labeled series in and out
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := string(rune('a' + i%8))
+			reg.Counter("churn", L("session", id)).Inc()
+			reg.Histogram("churn_lat", L("session", id)).Observe(int64(i))
+			if i%3 == 0 {
+				reg.DropLabeled("session", id)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // re-register gauge funcs over one name
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := float64(i)
+			reg.GaugeFunc("fn", func() float64 { return v })
+		}
+	}()
+	wg.Add(1)
+	go func() { // hammer one histogram the snapshots keep reading
+		defer wg.Done()
+		h := reg.Histogram("hot")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Observe(int64(i % 1000))
+		}
+	}()
+
+	for i := 0; i < 500; i++ {
+		for _, p := range reg.Snapshot() {
+			if p.Kind == KindHistogram && p.Hist == nil {
+				t.Fatal("histogram point without snapshot")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

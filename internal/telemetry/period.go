@@ -1,0 +1,27 @@
+package telemetry
+
+// Sampling-period flags (-trace-every, -insight-every and their Config
+// counterparts) share one tri-state contract, resolved by SamplePeriod:
+//
+//	 0  = default — use the subsystem's default period
+//	 1  = every   — sample every event / tick (no reduction)
+//	 N  = 1-in-N  — sample every N-th event / tick
+//	-1  = off     — disable the sampled subsystem entirely
+//
+// Any negative value means off. Resolution happens once at configuration
+// time (core.Config.withDefaults, flag parsing); downstream code only ever
+// sees the resolved period, where 0 now unambiguously means disabled.
+
+// SamplePeriod resolves a tri-state period flag against the subsystem's
+// default: 0 selects def, negative values resolve to 0 (disabled), and
+// positive values pass through unchanged.
+func SamplePeriod(flag, def int) int {
+	switch {
+	case flag < 0:
+		return 0
+	case flag == 0:
+		return def
+	default:
+		return flag
+	}
+}

@@ -76,7 +76,10 @@ const (
 )
 
 // Point is one metric in a registry snapshot. Counters and gauges carry
-// Value; histograms carry Count/Sum and the interpolated percentiles.
+// Value; histograms carry Count/Sum and the interpolated percentiles plus
+// the full bucket snapshot (Hist) for consumers that need the distribution
+// itself — e.g. the insight feeder diffing consecutive snapshots to detect
+// shape changes. Hist is excluded from JSON exports to keep dumps compact.
 type Point struct {
 	Name   string            `json:"name"`
 	Labels map[string]string `json:"labels,omitempty"`
@@ -87,17 +90,19 @@ type Point struct {
 	P50    float64           `json:"p50,omitempty"`
 	P95    float64           `json:"p95,omitempty"`
 	P99    float64           `json:"p99,omitempty"`
+	Hist   *HistSnapshot     `json:"-"`
 }
 
 // entry is one registered metric; exactly one of the instrument fields is
-// non-nil.
+// non-nil. fn is an atomic pointer because GaugeFunc re-registration races
+// concurrent Snapshots (which read fn after dropping the registry lock).
 type entry struct {
 	name    string
 	labels  []Label
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
-	fn      func() float64
+	fn      atomic.Pointer[func() float64]
 }
 
 // Registry holds metrics by name+label identity. Get-or-create accessors
@@ -210,10 +215,8 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	e := r.lookup(name, labels, func(e *entry) { e.fn = fn })
-	r.mu.Lock()
-	e.fn = fn
-	r.mu.Unlock()
+	e := r.lookup(name, labels, func(e *entry) {})
+	e.fn.Store(&fn)
 }
 
 // DropLabeled removes every metric carrying label key=value. Sessions use it
@@ -274,16 +277,22 @@ func (r *Registry) Snapshot() []Point {
 		case e.gauge != nil:
 			p.Kind = KindGauge
 			p.Value = e.gauge.Value()
-		case e.fn != nil:
-			p.Kind = KindGauge
-			p.Value = e.fn()
 		case e.hist != nil:
 			p.Kind = KindHistogram
-			p.Count = e.hist.Count()
-			p.Sum = e.hist.Sum()
-			p.P50 = e.hist.Quantile(0.50)
-			p.P95 = e.hist.Quantile(0.95)
-			p.P99 = e.hist.Quantile(0.99)
+			// One bucket copy serves the percentiles and the exported
+			// distribution, so all of the point's fields are consistent.
+			hs := e.hist.Snapshot()
+			p.Count = hs.Count
+			p.Sum = hs.Sum
+			p.P50 = hs.Quantile(0.50)
+			p.P95 = hs.Quantile(0.95)
+			p.P99 = hs.Quantile(0.99)
+			p.Hist = &hs
+		default:
+			if f := e.fn.Load(); f != nil {
+				p.Kind = KindGauge
+				p.Value = (*f)()
+			}
 		}
 		points = append(points, p)
 	}

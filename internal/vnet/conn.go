@@ -3,6 +3,7 @@ package vnet
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,18 @@ func (e *Endpoint) Refused() uint64 { return e.refused.Load() }
 
 // Orphaned returns the count of non-SYN segments with no matching connection.
 func (e *Endpoint) Orphaned() uint64 { return e.orphaned.Load() }
+
+// Ports lists the ports with live TCP-like listeners, sorted.
+func (e *Endpoint) Ports() []uint16 {
+	e.mu.Lock()
+	out := make([]uint16, 0, len(e.listeners))
+	for port := range e.listeners {
+		out = append(out, port)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Listen binds a TCP-like listener to a port.
 func (e *Endpoint) Listen(port uint16) (*Listener, error) {

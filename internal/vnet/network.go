@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -272,6 +273,34 @@ func (n *Network) EndpointByAddr(addr netip.Addr) *Endpoint {
 		return nil
 	}
 	return n.Endpoint(h)
+}
+
+// Service is one listening (host, port) pair — a discoverable server the
+// insight tier's observation queries can target without any hand-written
+// configuration.
+type Service struct {
+	Host *topology.Host
+	Port uint16
+}
+
+// Services enumerates every live listener across all endpoints, ordered by
+// host name then port. This is the network's own service inventory: whatever
+// is listening right now, learned from the datapath rather than declared.
+func (n *Network) Services() []Service {
+	eps := *n.endpoints.Load()
+	out := make([]Service, 0, len(eps))
+	for _, ep := range eps {
+		for _, port := range ep.Ports() {
+			out = append(out, Service{Host: ep.Host(), Port: port})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host.Name != out[j].Host.Name {
+			return out[i].Host.Name < out[j].Host.Name
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
 }
 
 // OpenTap registers a mirror tap on a monitor host. Mirror actions whose

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"netalytics/internal/core"
+	"netalytics/internal/insight"
 	"netalytics/internal/mq"
 	"netalytics/internal/placement"
 	"netalytics/internal/sdn"
@@ -68,6 +69,14 @@ type (
 	Telemetry = core.Telemetry
 	// MetricsRegistry is the telemetry registry every layer reports into.
 	MetricsRegistry = telemetry.Registry
+	// InsightConfig tunes the always-on insight tier (EngineConfig.Insight).
+	InsightConfig = insight.Config
+	// InsightTier is the running anomaly-detection tier; see Engine.Insight.
+	InsightTier = insight.Tier
+	// Incident is a rooted group of correlated anomalies.
+	Incident = insight.Incident
+	// Anomaly is one detector firing on one metric series.
+	Anomaly = insight.Anomaly
 )
 
 // The paper's placement policies (§4.1, §6.2).
