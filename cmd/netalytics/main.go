@@ -107,6 +107,9 @@ type runOpts struct {
 	faultSpec         string // deterministic fault schedule, "" disables
 	insight           bool   // run the always-on insight tier
 	insightEvery      int    // snapshot period in ms; 0 = default, negative disables
+	sketchAnalytics   bool   // compile top-k/count/distinct onto sketch bolts
+	sketchTopKCap     int    // space-saving counters per top-k sketch, 0 = default
+	adaptiveSample    bool   // backpressure-driven AIMD sampling controller
 }
 
 // insightPeriod resolves the -insight/-insight-every pair into a snapshot
@@ -137,6 +140,9 @@ func main() {
 	flag.IntVar(&o.vnetFlowCache, "vnet-flowcache", vnet.DefaultFlowCacheSize, "per-flow forwarding-decision cache entries (0 disables caching for A/B runs)")
 	flag.IntVar(&o.ingestShards, "ingest-shards", 0, "per-core sharded ingest: lock-free mq ring shards and work-stealing monitor collectors per instance (0 = legacy single-owner queues for A/B)")
 	flag.StringVar(&o.faultSpec, "fault-spec", "", `deterministic fault schedule, e.g. "seed=42,horizon=4s,events=8,kinds=loss+latency+mqdown+crash" (see DESIGN.md "Failure model & fault injection")`)
+	flag.BoolVar(&o.sketchAnalytics, "sketch-analytics", false, "compile top-k, group counts and distinct counts onto bounded-memory mergeable sketches (space-saving, count-min, HLL) instead of exact hash maps")
+	flag.IntVar(&o.sketchTopKCap, "sketch-topk-capacity", 0, "space-saving counters per top-k sketch instance (0 = 8*k; error bound is N/capacity)")
+	flag.BoolVar(&o.adaptiveSample, "adaptive-sample", false, "AIMD sampling controller for SAMPLE * queries: halve the monitor sample rate under mq backpressure, recover to 1.0 when it clears (rate and estimated error exported via /metrics)")
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
 	o.query = flag.Arg(0)
@@ -321,10 +327,13 @@ func buildDemo(o runOpts) (*demo, error) {
 		vnetFlowCache = -1
 	}
 	engCfg := netalytics.EngineConfig{
-		TraceSampleEvery:  o.traceEvery,
-		StreamBatchSize:   o.streamBatch,
-		VnetFlowCacheSize: vnetFlowCache,
-		IngestShards:      o.ingestShards,
+		TraceSampleEvery:   o.traceEvery,
+		StreamBatchSize:    o.streamBatch,
+		VnetFlowCacheSize:  vnetFlowCache,
+		IngestShards:       o.ingestShards,
+		SketchAnalytics:    o.sketchAnalytics,
+		SketchTopKCapacity: o.sketchTopKCap,
+		AdaptiveSample:     o.adaptiveSample,
 	}
 	if period := o.insightPeriod(); period > 0 {
 		engCfg.Insight = &netalytics.InsightConfig{SnapshotPeriod: period}

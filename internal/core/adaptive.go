@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"netalytics/internal/telemetry"
+)
+
+// Adaptive sampling (Config.AdaptiveSample) is the deployment-wide companion
+// to the per-query SAMPLE auto clause: every query that didn't pin its own
+// sampling policy gets a controller that watches the aggregation layer's
+// occupancy (mq.Pressure vs the cluster high watermark) and the topology's
+// queue lag (tuples in flight inside the executors), and trades accuracy for
+// headroom when either signals backpressure. The controller is AIMD like the
+// §4.2 feedback loop — halve under pressure, creep back up when clear — but
+// is driven by direct occupancy observation instead of overload statuses, so
+// it engages before the brokers start shedding, and it publishes what it is
+// doing: the effective rate and the estimated relative error it costs are
+// exported as adaptive_sample_rate / adaptive_sample_error gauges.
+const (
+	// adaptiveFloor is the minimum sample rate the controller will impose.
+	adaptiveFloor = 0.05
+	// adaptiveDecrease is the multiplicative backoff under backpressure.
+	adaptiveDecrease = 0.5
+	// adaptiveIncrease is the additive recovery step when pressure clears.
+	adaptiveIncrease = 0.1
+	// adaptiveLagHigh is the stream queue-lag threshold (tuples in flight)
+	// treated as backpressure; recovery requires dropping below half of it,
+	// the same hysteresis shape as the mq occupancy band.
+	adaptiveLagHigh = 8192
+)
+
+// adaptiveSampler is one query's controller. step() is the whole control law;
+// the observe seam exists so tests can inject backpressure deterministically.
+type adaptiveSampler struct {
+	s       *Session
+	observe func() (occupancy, highWater, queueLag float64)
+	rateG   *telemetry.Gauge // adaptive_sample_rate{session}: source of truth
+}
+
+func newAdaptiveSampler(s *Session) *adaptiveSampler {
+	a := &adaptiveSampler{s: s, observe: s.observePressure}
+	reg := s.engine.cfg.Metrics
+	sessLabel := telemetry.L("session", s.ID)
+	a.rateG = reg.Gauge("adaptive_sample_rate", sessLabel)
+	a.rateG.Set(1)
+	reg.GaugeFunc("adaptive_sample_error", a.estimatedError, sessLabel)
+	return a
+}
+
+// Rate returns the controller's current target sample rate.
+func (a *adaptiveSampler) Rate() float64 { return a.rateG.Value() }
+
+// estimatedError is the estimated relative standard error the current rate
+// imposes on scaled counts: sampling Bernoulli(r) over ~n frames and scaling
+// by 1/r gives a count estimator with relative stderr √((1−r)/(r·n)). n is
+// the session's delivered-frame counter, so the estimate tightens as the
+// query observes more traffic and is exactly 0 while sampling is off.
+func (a *adaptiveSampler) estimatedError() float64 {
+	r := a.rateG.Value()
+	if r >= 1 {
+		return 0
+	}
+	n := float64(a.s.Packets())
+	if n < 1 {
+		n = 1
+	}
+	return math.Sqrt((1 - r) / (r * n))
+}
+
+// step observes the pipeline once and applies one AIMD adjustment. Inside the
+// hysteresis band (pressure neither high nor clearly low) the rate holds.
+func (a *adaptiveSampler) step() {
+	occ, hw, lag := a.observe()
+	rate := a.rateG.Value()
+	switch {
+	case occ >= hw || lag >= adaptiveLagHigh:
+		rate *= adaptiveDecrease
+		if rate < adaptiveFloor {
+			rate = adaptiveFloor
+		}
+	case occ <= hw/2 && lag <= adaptiveLagHigh/2:
+		if rate >= 1 {
+			return
+		}
+		rate += adaptiveIncrease
+		if rate > 1 {
+			rate = 1
+		}
+	default:
+		return
+	}
+	a.apply(rate)
+}
+
+// apply pushes the rate to every monitor (under failMu — failover may be
+// swapping instances) and publishes it.
+func (a *adaptiveSampler) apply(rate float64) {
+	a.rateG.Set(rate)
+	a.s.failMu.Lock()
+	defer a.s.failMu.Unlock()
+	for _, in := range a.s.instances {
+		in.Monitor.SetSampleRate(rate)
+	}
+}
+
+// run drives step on a ticker until the session stops.
+func (a *adaptiveSampler) run(stop <-chan struct{}, every time.Duration) {
+	defer a.s.fbWG.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			a.step()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// observePressure is the production observe seam: the worst mq topic
+// occupancy, the cluster high watermark, and the worst executor queue lag.
+// topics and executors are append-only during start, so reads are safe.
+func (s *Session) observePressure() (occ, hw, lag float64) {
+	hw = s.engine.mq.HighWatermark()
+	for _, topic := range s.topics {
+		if p := s.engine.mq.Pressure(topic); p > occ {
+			occ = p
+		}
+	}
+	for _, ex := range s.executors {
+		if l := float64(ex.QueueLag()); l > lag {
+			lag = l
+		}
+	}
+	return occ, hw, lag
+}
+
+// AdaptiveRate returns the adaptive controller's current sample rate, or 1
+// when the session has no controller (knob off, or the query pinned its own
+// sampling policy).
+func (s *Session) AdaptiveRate() float64 {
+	if s.adaptive == nil {
+		return 1
+	}
+	return s.adaptive.Rate()
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netalytics/internal/topology"
+)
+
+// adaptiveSession submits a plain (no SAMPLE clause) query on an engine with
+// the adaptive-sampling knob on and a tick interval long enough that the
+// controller's own ticker never fires — tests drive step() by hand through
+// the observe seam, so backpressure injection is deterministic.
+func adaptiveSession(t *testing.T) (*Engine, *Session) {
+	t.Helper()
+	topo := topology.MustNew(4)
+	topo.RandomizeResources(rand.New(rand.NewSource(5)))
+	e := NewEngine(topo, Config{TickInterval: time.Hour, AdaptiveSample: true})
+	t.Cleanup(e.Close)
+	s, err := e.Submit("PARSE http_get FROM h0-0-0:80 PROCESS (passthrough)")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if s.adaptive == nil {
+		t.Fatal("AdaptiveSample on + unpinned query, but no controller attached")
+	}
+	return e, s
+}
+
+func TestAdaptiveSamplingEngagesAndRecovers(t *testing.T) {
+	e, s := adaptiveSession(t)
+
+	// Inject mq backpressure: occupancy at the high watermark.
+	pressure := 1.0
+	s.adaptive.observe = func() (float64, float64, float64) {
+		return pressure * e.mq.HighWatermark(), e.mq.HighWatermark(), 0
+	}
+
+	s.adaptive.step()
+	if r := s.AdaptiveRate(); r != 0.5 {
+		t.Fatalf("rate after one overloaded step = %v, want 0.5", r)
+	}
+	for i := 0; i < 20; i++ {
+		s.adaptive.step()
+	}
+	if r := s.AdaptiveRate(); r != adaptiveFloor {
+		t.Fatalf("sustained overload rate = %v, want floor %v", r, adaptiveFloor)
+	}
+	for _, mr := range s.SampleRates() {
+		// The monitor quantizes its admission threshold, so compare loosely.
+		if mr < adaptiveFloor-1e-3 || mr > adaptiveFloor+1e-3 {
+			t.Errorf("monitor rate = %v, want ~%v (controller must reach the monitors)", mr, adaptiveFloor)
+		}
+	}
+
+	// Hysteresis band: occupancy between hw/2 and hw holds the rate.
+	pressure = 0.75
+	s.adaptive.step()
+	if r := s.AdaptiveRate(); r != adaptiveFloor {
+		t.Fatalf("rate moved inside hysteresis band: %v", r)
+	}
+
+	// Pressure clears: the rate must creep back to exactly 1.0.
+	pressure = 0
+	for i := 0; i < 30; i++ {
+		s.adaptive.step()
+	}
+	if r := s.AdaptiveRate(); r != 1.0 {
+		t.Fatalf("recovered rate = %v, want 1.0", r)
+	}
+	for _, mr := range s.SampleRates() {
+		if mr < 1.0-1e-3 {
+			t.Errorf("monitor rate after recovery = %v, want 1.0", mr)
+		}
+	}
+}
+
+func TestAdaptiveSamplingQueueLagSignal(t *testing.T) {
+	_, s := adaptiveSession(t)
+	lag := float64(adaptiveLagHigh)
+	s.adaptive.observe = func() (float64, float64, float64) { return 0, 0.8, lag }
+	s.adaptive.step()
+	if r := s.AdaptiveRate(); r != 0.5 {
+		t.Fatalf("rate under queue lag = %v, want 0.5", r)
+	}
+	// Recovery needs the lag below half the threshold.
+	lag = adaptiveLagHigh * 0.75
+	s.adaptive.step()
+	if r := s.AdaptiveRate(); r != 0.5 {
+		t.Fatalf("rate moved while lag inside hysteresis band: %v", r)
+	}
+	lag = 0
+	s.adaptive.step()
+	if r := s.AdaptiveRate(); r != 0.6 {
+		t.Fatalf("recovery step rate = %v, want 0.6", r)
+	}
+}
+
+func TestAdaptiveSamplingMetricsExported(t *testing.T) {
+	e, s := adaptiveSession(t)
+	s.adaptive.observe = func() (float64, float64, float64) { return 1, 0.8, 0 }
+	s.adaptive.step()
+
+	points := map[string]float64{}
+	for _, p := range e.Metrics().Snapshot() {
+		if p.Labels["session"] == s.ID {
+			points[p.Name] = p.Value
+		}
+	}
+	if got, ok := points["adaptive_sample_rate"]; !ok || got != 0.5 {
+		t.Errorf("adaptive_sample_rate = %v (present=%v), want 0.5", got, ok)
+	}
+	if got, ok := points["adaptive_sample_error"]; !ok || got <= 0 {
+		t.Errorf("adaptive_sample_error = %v (present=%v), want > 0 while sampling", got, ok)
+	}
+
+	// Back at rate 1 the error estimate must read exactly 0.
+	s.adaptive.observe = func() (float64, float64, float64) { return 0, 0.8, 0 }
+	for i := 0; i < 10; i++ {
+		s.adaptive.step()
+	}
+	if err := s.adaptive.estimatedError(); err != 0 {
+		t.Errorf("estimated error at rate 1 = %v, want 0", err)
+	}
+}
+
+func TestAdaptiveSamplingRespectsPinnedPolicies(t *testing.T) {
+	topo := topology.MustNew(4)
+	topo.RandomizeResources(rand.New(rand.NewSource(5)))
+	e := NewEngine(topo, Config{TickInterval: time.Hour, AdaptiveSample: true})
+	t.Cleanup(e.Close)
+
+	for _, q := range []string{
+		"PARSE http_get FROM h0-0-0:80 SAMPLE 0.3 PROCESS (passthrough)",
+		"PARSE http_get FROM h0-0-0:80 SAMPLE auto PROCESS (passthrough)",
+	} {
+		s, err := e.Submit(q)
+		if err != nil {
+			t.Fatalf("Submit(%q): %v", q, err)
+		}
+		if s.adaptive != nil {
+			t.Errorf("query %q got an adaptive controller despite pinning its policy", q)
+		}
+		if r := s.AdaptiveRate(); r != 1 {
+			t.Errorf("AdaptiveRate without controller = %v, want 1", r)
+		}
+		s.Stop()
+	}
+}
+
+func TestSketchAnalyticsConfigReachesTopology(t *testing.T) {
+	topo := topology.MustNew(4)
+	topo.RandomizeResources(rand.New(rand.NewSource(5)))
+	e := NewEngine(topo, Config{TickInterval: time.Hour, SketchAnalytics: true, SketchTopKCapacity: 123})
+	t.Cleanup(e.Close)
+
+	s, err := e.Submit("PARSE http_get FROM h0-0-0:80 PROCESS (top-k: k=5)")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	defer s.Stop()
+	if len(s.executors) != 1 {
+		t.Fatalf("executors = %d, want 1", len(s.executors))
+	}
+	nodes := map[string]bool{}
+	for _, n := range s.executors[0].Nodes() {
+		nodes[n] = true
+	}
+	if !nodes["sketch"] || nodes["rank"] {
+		t.Errorf("SketchAnalytics topology nodes = %v, want sketch stage instead of exact rank", s.executors[0].Nodes())
+	}
+
+	// A per-query override must win over the deployment default.
+	s2, err := e.Submit("PARSE http_get FROM h0-0-0:80 PROCESS (top-k: k=5, sketch=false)")
+	if err != nil {
+		t.Fatalf("Submit override: %v", err)
+	}
+	defer s2.Stop()
+	nodes = map[string]bool{}
+	for _, n := range s2.executors[0].Nodes() {
+		nodes[n] = true
+	}
+	if nodes["sketch"] || !nodes["rank"] {
+		t.Errorf("sketch=false topology nodes = %v, want exact rank stage", s2.executors[0].Nodes())
+	}
+}

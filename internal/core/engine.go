@@ -63,6 +63,21 @@ type Config struct {
 	// affinity hints. 0 (the default) keeps the legacy single-owner
 	// datapaths — the A/B baseline.
 	IngestShards int
+	// SketchAnalytics switches query topologies from exact counting to the
+	// bounded-memory sketch pipelines of internal/sketch (space-saving top-k,
+	// count-min group counts, HyperLogLog distinct counts — see "Sketch
+	// analytics" in DESIGN.md). Individual queries can override with a
+	// sketch=true/false processor argument; exact stays the A/B baseline.
+	SketchAnalytics bool
+	// SketchTopKCapacity pins the space-saving counter budget for top-k
+	// queries. 0 derives it from each query's k (sketch.DefaultCapacity).
+	SketchTopKCapacity int
+	// AdaptiveSample enables the per-query adaptive sampling controller:
+	// queries that don't pin their own SAMPLE policy get an AIMD controller
+	// driven by mq occupancy and stream queue lag, exporting its effective
+	// rate and estimated error as adaptive_sample_rate /
+	// adaptive_sample_error gauges (see internal/core/adaptive.go).
+	AdaptiveSample bool
 	// Policy selects the placement policy (default NetAlytics-Network).
 	Policy placement.Policy
 	// PlacementParams tunes capacities for placement.

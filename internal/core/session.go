@@ -34,6 +34,7 @@ type Session struct {
 	instances []*nfv.Instance
 	executors []*stream.Executor
 	samplers  []*monitor.AIMDSampler
+	adaptive  *adaptiveSampler // non-nil when Config.AdaptiveSample engaged
 	topics    []string
 	tracer    *telemetry.Tracer
 
@@ -268,7 +269,11 @@ func (s *Session) start() error {
 			}
 			return &multiSpout{pollers: consumers}
 		}
-		topo, err := stream.BuildTopology(spec, spoutFactory, e.cfg.SpoutParallelism, s.deliver, e.cfg.TickInterval)
+		topo, err := stream.BuildTopologyOpts(spec, spoutFactory, e.cfg.SpoutParallelism, s.deliver, e.cfg.TickInterval,
+			stream.TopologyOptions{
+				Sketch:             e.cfg.SketchAnalytics,
+				SketchTopKCapacity: e.cfg.SketchTopKCapacity,
+			})
 		if err != nil {
 			return err
 		}
@@ -300,6 +305,15 @@ func (s *Session) start() error {
 			s.fbWG.Add(1)
 			go s.feedbackLoop(topic, statusCh)
 		}
+	}
+
+	// Adaptive sampling: queries that didn't pin a SAMPLE policy get the
+	// occupancy-driven controller when the deployment enables it (SAMPLE auto
+	// keeps the legacy status-driven loop; fixed rates are respected as-is).
+	if e.cfg.AdaptiveSample && s.Query.Sample.Mode == query.SampleAll {
+		s.adaptive = newAdaptiveSampler(s)
+		s.fbWG.Add(1)
+		go s.adaptive.run(s.fbStop, 2*e.cfg.TickInterval)
 	}
 
 	// LIMIT: stop after the duration elapses (packet limits are enforced
@@ -498,8 +512,14 @@ func (s *Session) drainTopics() {
 			}
 		}
 		if drained {
-			// One extra tick so windowed bolts flush downstream.
-			time.Sleep(s.engine.cfg.TickInterval)
+			// One extra tick so windowed bolts flush downstream — capped so a
+			// long-tick deployment doesn't stall Stop for a whole window (the
+			// executors' Cleanup pass flushes final windows regardless).
+			extra := s.engine.cfg.TickInterval
+			if extra > 100*time.Millisecond {
+				extra = 100 * time.Millisecond
+			}
+			time.Sleep(extra)
 			return
 		}
 		time.Sleep(2 * time.Millisecond)

@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CountMin is a count-min sketch over weighted string keys: a d×w grid of
+// counters where each row hashes the key independently and Estimate takes
+// the minimum over rows. Estimates only ever overestimate, and with
+// w = ⌈e/ε⌉, d = ⌈ln(1/δ)⌉ the overestimate exceeds ε·N with probability at
+// most δ (N = total offered weight). Merging is element-wise addition, so a
+// merged sketch is bit-identical to one built over the concatenated stream.
+type CountMin struct {
+	depth  int
+	width  int
+	cells  []float64 // depth rows × width columns, row-major
+	weight float64
+}
+
+// NewCountMin creates a sketch with the given depth (rows, ≥1) and width
+// (columns per row, ≥1). Width is rounded up to a power of two so row
+// indexing is a mask instead of a modulo.
+func NewCountMin(depth, width int) *CountMin {
+	if depth < 1 {
+		depth = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	return &CountMin{depth: depth, width: w, cells: make([]float64, depth*w)}
+}
+
+// NewCountMinWithError creates a sketch sized for relative error ε with
+// failure probability δ: width ⌈e/ε⌉ (rounded to a power of two), depth
+// ⌈ln(1/δ)⌉.
+func NewCountMinWithError(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.001
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(depth, width)
+}
+
+// Depth returns the number of hash rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Width returns the (power-of-two) columns per row.
+func (c *CountMin) Width() int { return c.width }
+
+// Weight returns the total offered weight N.
+func (c *CountMin) Weight() float64 { return c.weight }
+
+// Epsilon returns the additive error factor e/width: estimates exceed the
+// true count by more than Epsilon()·Weight() with probability ≤ Delta().
+func (c *CountMin) Epsilon() float64 { return math.E / float64(c.width) }
+
+// Delta returns the per-query failure probability e^-depth.
+func (c *CountMin) Delta() float64 { return math.Exp(-float64(c.depth)) }
+
+// rowIndexes derives the per-row cell indexes from one key hash using the
+// Kirsch–Mitzenmacher double-hashing construction h_i = h1 + i·h2.
+func (c *CountMin) rowIndex(h uint64, row int) int {
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
+	return int((h1 + uint32(row)*h2) & uint32(c.width-1))
+}
+
+// Offer adds weight w (≤0 counts as 1) for key.
+func (c *CountMin) Offer(key string, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	c.weight += w
+	h := mix64(hashString(key))
+	for row := 0; row < c.depth; row++ {
+		c.cells[row*c.width+c.rowIndex(h, row)] += w
+	}
+}
+
+// Estimate returns the count estimate for key: never below the true count,
+// above it by more than ε·N with probability at most δ.
+func (c *CountMin) Estimate(key string) float64 {
+	h := mix64(hashString(key))
+	est := math.Inf(1)
+	for row := 0; row < c.depth; row++ {
+		if v := c.cells[row*c.width+c.rowIndex(h, row)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Merge folds other into c by element-wise addition. The sketches must have
+// identical dimensions.
+func (c *CountMin) Merge(other *CountMin) error {
+	if other == nil {
+		return nil
+	}
+	if other.depth != c.depth || other.width != c.width {
+		return fmt.Errorf("sketch: count-min dimension mismatch: %dx%d vs %dx%d",
+			c.depth, c.width, other.depth, other.width)
+	}
+	for i, v := range other.cells {
+		c.cells[i] += v
+	}
+	c.weight += other.weight
+	return nil
+}
+
+// Reset zeroes the sketch for the next window, retaining its dimensions.
+func (c *CountMin) Reset() {
+	clear(c.cells)
+	c.weight = 0
+}
+
+// Bytes returns the fixed memory footprint in bytes.
+func (c *CountMin) Bytes() int { return len(c.cells) * 8 }
+
+// Encode serializes the sketch for transport between bolt tasks.
+func (c *CountMin) Encode() []byte {
+	b := make([]byte, 0, 1+8*3+len(c.cells)*8)
+	b = append(b, kindCountMin)
+	b = appendUint64(b, uint64(c.depth))
+	b = appendUint64(b, uint64(c.width))
+	b = appendFloat64(b, c.weight)
+	for _, v := range c.cells {
+		b = appendFloat64(b, v)
+	}
+	return b
+}
+
+// DecodeCountMin reconstructs a sketch produced by Encode.
+func DecodeCountMin(data []byte) (*CountMin, error) {
+	if len(data) < 1 || data[0] != kindCountMin {
+		return nil, errors.New("sketch: not a count-min encoding")
+	}
+	rest := data[1:]
+	depth, rest, ok := readUint64(rest)
+	if !ok {
+		return nil, errors.New("sketch: truncated count-min encoding")
+	}
+	width, rest, ok := readUint64(rest)
+	if !ok {
+		return nil, errors.New("sketch: truncated count-min encoding")
+	}
+	weight, rest, ok := readFloat64(rest)
+	if !ok || uint64(len(rest)) < depth*width*8 {
+		return nil, errors.New("sketch: truncated count-min cells")
+	}
+	c := NewCountMin(int(depth), int(width))
+	if c.width != int(width) {
+		return nil, fmt.Errorf("sketch: count-min encoding width %d is not a power of two", width)
+	}
+	c.weight = weight
+	for i := range c.cells {
+		c.cells[i], rest, _ = readFloat64(rest)
+	}
+	return c, nil
+}

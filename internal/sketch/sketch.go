@@ -1,0 +1,83 @@
+// Package sketch implements the bounded-memory, mergeable summaries the
+// analytics tier uses to survive million-key cardinality: space-saving top-k
+// (Metwally et al.), count-min (Cormode & Muthukrishnan) and HyperLogLog
+// distinct counting (Flajolet et al.).
+//
+// All three share two properties the stream engine leans on:
+//
+//   - Bounded memory. A sketch's footprint is fixed at construction — O(k)
+//     counters for top-k, d×w cells for count-min, 2^p registers for HLL —
+//     and independent of how many distinct keys the stream carries. Exact
+//     per-key state melts at 10M+ distinct URLs/flows; sketches don't.
+//
+//   - Mergeability. Merge(other) folds another sketch of the same shape into
+//     the receiver such that the result summarizes the union of both input
+//     streams, with the error bounds degrading no worse than additively.
+//     This is what converts the analytics tier's global-grouping shuffle
+//     (every tuple funneled through one bolt task) into partition-local
+//     sketching plus an O(parallelism) merge per tick.
+//
+// Sketches are not safe for concurrent use; the stream executor gives each
+// bolt task its own instance, which is the intended usage.
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// hashString is FNV-1a 64 over the key bytes — the same zero-allocation hash
+// the stream executor routes with, inlined to avoid a hasher allocation.
+func hashString(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 finalizes a hash with the splitmix64 mixer, giving count-min and HLL
+// well-distributed high bits even for short or structured keys (FNV alone is
+// weak in the high bits for small inputs).
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Binary encoding helpers shared by the sketches' Encode/Decode pairs. Every
+// encoding starts with a one-byte kind tag so a merging bolt can dispatch on
+// the payload alone.
+const (
+	kindTopK     = 1
+	kindCountMin = 2
+	kindHLL      = 3
+)
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func readUint64(b []byte) (uint64, []byte, bool) {
+	if len(b) < 8 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], true
+}
+
+func readFloat64(b []byte) (float64, []byte, bool) {
+	v, rest, ok := readUint64(b)
+	return math.Float64frombits(v), rest, ok
+}

@@ -1,0 +1,554 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"netalytics/internal/workload"
+)
+
+// zipfStream draws n keys from a Zipf law over `distinct` possible keys,
+// returning the stream and exact ground-truth counts.
+func zipfStream(n int, distinct uint64, seed int64) ([]string, map[string]float64) {
+	z := workload.NewZipfURLs(distinct, 1.2, uint64(seed), rand.New(rand.NewSource(seed)))
+	stream := make([]string, n)
+	truth := make(map[string]float64)
+	for i := range stream {
+		stream[i] = z.Next()
+		truth[stream[i]]++
+	}
+	return stream, truth
+}
+
+// adversarialStream is the space-saving worst case: a long run of equal-count
+// distinct keys (every insertion evicts), then a burst of moderately frequent
+// keys that must displace the noise.
+func adversarialStream(singletons, hot, hotCount int) ([]string, map[string]float64) {
+	var stream []string
+	truth := make(map[string]float64)
+	add := func(k string) {
+		stream = append(stream, k)
+		truth[k]++
+	}
+	for i := 0; i < singletons; i++ {
+		add("noise-" + strconv.Itoa(i))
+	}
+	for r := 0; r < hotCount; r++ {
+		for i := 0; i < hot; i++ {
+			add("hot-" + strconv.Itoa(i))
+		}
+	}
+	return stream, truth
+}
+
+// --- space-saving ----------------------------------------------------------
+
+func checkSpaceSavingInvariants(t *testing.T, sk *TopK, truth map[string]float64) {
+	t.Helper()
+	n := 0.0
+	for _, c := range truth {
+		n += c
+	}
+	if sk.Weight() != n {
+		t.Errorf("Weight = %v, want %v", sk.Weight(), n)
+	}
+	bound := n / float64(sk.Capacity())
+	if got := sk.ErrorBound(); math.Abs(got-bound) > 1e-9 {
+		t.Errorf("ErrorBound = %v, want %v", got, bound)
+	}
+	for _, it := range sk.Top(sk.Capacity()) {
+		true_ := truth[it.Key]
+		if it.Count < true_ {
+			t.Errorf("key %s: estimate %v underestimates true %v", it.Key, it.Count, true_)
+		}
+		if it.Count-true_ > it.Err+1e-9 {
+			t.Errorf("key %s: overestimate %v exceeds recorded err %v", it.Key, it.Count-true_, it.Err)
+		}
+		if it.Err > bound+1e-9 {
+			t.Errorf("key %s: err %v exceeds N/m = %v", it.Key, it.Err, bound)
+		}
+	}
+	// Completeness: every key with true count > N/m must be tracked.
+	for key, c := range truth {
+		if c > bound {
+			if _, _, ok := sk.Estimate(key); !ok {
+				t.Errorf("heavy key %s (count %v > bound %v) not tracked", key, c, bound)
+			}
+		}
+	}
+}
+
+func TestSpaceSavingZipfInvariants(t *testing.T) {
+	stream, truth := zipfStream(200_000, 1_000_000, 1)
+	sk := NewTopK(256)
+	for _, k := range stream {
+		sk.Offer(k, 1)
+	}
+	checkSpaceSavingInvariants(t, sk, truth)
+}
+
+func TestSpaceSavingAdversarialInvariants(t *testing.T) {
+	stream, truth := adversarialStream(50_000, 20, 100)
+	sk := NewTopK(64)
+	for _, k := range stream {
+		sk.Offer(k, 1)
+	}
+	checkSpaceSavingInvariants(t, sk, truth)
+	// The hot keys each have count 100; N/m = 52000/64 ≈ 812 > 100, so the
+	// bound alone doesn't force tracking — but with the hot burst last, all
+	// 20 must still be present (they displaced the stale singletons).
+	for i := 0; i < 20; i++ {
+		if _, _, ok := sk.Estimate("hot-" + strconv.Itoa(i)); !ok {
+			t.Errorf("hot-%d lost to adversarial noise", i)
+		}
+	}
+}
+
+func TestSpaceSavingWeightedOffers(t *testing.T) {
+	sk := NewTopK(8)
+	sk.Offer("a", 10)
+	sk.Offer("b", 3)
+	sk.Offer("a", 0) // ≤0 counts as 1
+	if c, _, _ := sk.Estimate("a"); c != 11 {
+		t.Errorf("a = %v, want 11", c)
+	}
+	if sk.Weight() != 14 {
+		t.Errorf("Weight = %v, want 14", sk.Weight())
+	}
+	top := sk.Top(1)
+	if len(top) != 1 || top[0].Key != "a" {
+		t.Errorf("Top(1) = %+v", top)
+	}
+}
+
+func TestSpaceSavingTopOrderingTieBreak(t *testing.T) {
+	sk := NewTopK(8)
+	for _, k := range []string{"b", "a", "c"} {
+		sk.Offer(k, 5)
+	}
+	top := sk.Top(3)
+	if top[0].Key != "a" || top[1].Key != "b" || top[2].Key != "c" {
+		t.Errorf("equal counts must tie-break by key asc: %+v", top)
+	}
+}
+
+func TestSpaceSavingMergeEquivalence(t *testing.T) {
+	stream, truth := zipfStream(120_000, 500_000, 2)
+	const parts = 6
+	const capacity = 256
+
+	whole := NewTopK(capacity)
+	partials := make([]*TopK, parts)
+	for i := range partials {
+		partials[i] = NewTopK(capacity)
+	}
+	for i, k := range stream {
+		whole.Offer(k, 1)
+		partials[i%parts].Offer(k, 1)
+	}
+	merged := NewTopK(capacity)
+	for _, p := range partials {
+		merged.Merge(p)
+	}
+	if merged.Weight() != whole.Weight() {
+		t.Errorf("merged weight %v != whole weight %v", merged.Weight(), whole.Weight())
+	}
+	// The merged sketch must satisfy the same space-saving guarantees as a
+	// single sketch over the union stream.
+	checkSpaceSavingInvariants(t, merged, truth)
+	// And the clear heavy hitters must agree with the single-sketch ranking.
+	wholeTop := whole.Top(10)
+	mergedSet := map[string]bool{}
+	for _, it := range merged.Top(20) {
+		mergedSet[it.Key] = true
+	}
+	for _, it := range wholeTop[:5] {
+		if !mergedSet[it.Key] {
+			t.Errorf("whole-stream top key %s missing from merged top 20", it.Key)
+		}
+	}
+}
+
+func TestSpaceSavingMergeNilAndEmpty(t *testing.T) {
+	sk := NewTopK(4)
+	sk.Offer("a", 2)
+	sk.Merge(nil)
+	sk.Merge(NewTopK(4))
+	if c, _, _ := sk.Estimate("a"); c != 2 || sk.Weight() != 2 {
+		t.Errorf("merge with nil/empty changed state: a=%v weight=%v", c, sk.Weight())
+	}
+}
+
+func TestSpaceSavingEncodeDecode(t *testing.T) {
+	stream, _ := zipfStream(10_000, 50_000, 3)
+	sk := NewTopK(128)
+	for _, k := range stream {
+		sk.Offer(k, 1)
+	}
+	dec, err := DecodeTopK(sk.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Weight() != sk.Weight() || dec.Capacity() != sk.Capacity() || dec.Len() != sk.Len() {
+		t.Fatalf("decode mismatch: weight %v/%v cap %d/%d len %d/%d",
+			dec.Weight(), sk.Weight(), dec.Capacity(), sk.Capacity(), dec.Len(), sk.Len())
+	}
+	for _, it := range sk.Top(sk.Len()) {
+		c, e, ok := dec.Estimate(it.Key)
+		if !ok || c != it.Count || e != it.Err {
+			t.Fatalf("key %s: decoded (%v,%v,%v), want (%v,%v,true)", it.Key, c, e, ok, it.Count, it.Err)
+		}
+	}
+}
+
+func TestDecodeTopKRejectsMalformed(t *testing.T) {
+	for _, data := range [][]byte{nil, {0xff}, {kindTopK}, {kindTopK, 1, 2, 3}} {
+		if _, err := DecodeTopK(data); err == nil {
+			t.Errorf("DecodeTopK(%v) accepted malformed input", data)
+		}
+	}
+	// An entry count beyond the declared capacity must be rejected. The
+	// capacity field is the little-endian uint64 at offset 1: patch 2 → 1.
+	sk := NewTopK(2)
+	sk.Offer("a", 1)
+	sk.Offer("b", 1)
+	enc := sk.Encode()
+	enc[1] = 1
+	if _, err := DecodeTopK(enc); err == nil {
+		t.Error("DecodeTopK accepted entry count beyond capacity")
+	}
+}
+
+// TestSpaceSavingTenMillionKeysBoundedMemory is the O(k)-memory acceptance
+// test: stream >10M distinct keys through a small sketch and assert the
+// retained footprint depends on the capacity, not the cardinality.
+func TestSpaceSavingTenMillionKeysBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-key stream")
+	}
+	const capacity = 80 // DefaultCapacity(10)
+	const distinct = 10_000_001
+
+	sk := NewTopK(capacity)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	// Keys 0..9 carry weight 200k — above the final N/m ≈ 150k, so the
+	// space-saving completeness guarantee (count > N/m ⇒ tracked) applies to
+	// them; the other 10M keys are singletons.
+	const heavy = 200_000.0
+	buf := make([]byte, 0, 32)
+	for i := 0; i < distinct; i++ {
+		buf = append(buf[:0], "key-"...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		w := 1.0
+		if i < 10 {
+			w = heavy
+		}
+		sk.Offer(string(buf), w)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if sk.Len() != capacity {
+		t.Errorf("Len = %d, want full capacity %d", sk.Len(), capacity)
+	}
+	if b := sk.Bytes(); b > 64*1024 {
+		t.Errorf("sketch reports %d bytes for %d keys; footprint must be O(k)", b, distinct)
+	}
+	// Heap growth across the whole stream must be nowhere near the ~600 MB an
+	// exact count map over 10M keys costs; allow generous slack for runtime
+	// noise.
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 16<<20 {
+		t.Errorf("heap grew %d bytes over a 10M-key stream; want O(k) retention", grew)
+	}
+	// The heavy keys must all be present with counts within the bound.
+	bound := sk.ErrorBound()
+	for i := 0; i < 10; i++ {
+		key := "key-" + strconv.Itoa(i)
+		c, _, ok := sk.Estimate(key)
+		if !ok {
+			t.Errorf("heavy key %s lost among 10M distinct keys", key)
+			continue
+		}
+		if c < heavy || c-heavy > bound+1e-6 {
+			t.Errorf("key %s estimate %v outside [%v, %v+bound]", key, c, heavy, heavy)
+		}
+	}
+	// And they must headline the reported top 10.
+	topSet := map[string]bool{}
+	for _, it := range sk.Top(10) {
+		topSet[it.Key] = true
+	}
+	for i := 0; i < 10; i++ {
+		if !topSet["key-"+strconv.Itoa(i)] {
+			t.Errorf("key-%d missing from Top(10): %v", i, sk.Top(10))
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if DefaultCapacity(10) != 80 || DefaultCapacity(0) != 8 {
+		t.Errorf("DefaultCapacity = %d, %d", DefaultCapacity(10), DefaultCapacity(0))
+	}
+}
+
+// --- count-min -------------------------------------------------------------
+
+func TestCountMinBoundsOnZipf(t *testing.T) {
+	stream, truth := zipfStream(200_000, 1_000_000, 4)
+	cm := NewCountMin(4, 2048)
+	for _, k := range stream {
+		cm.Offer(k, 1)
+	}
+	if cm.Weight() != float64(len(stream)) {
+		t.Fatalf("Weight = %v", cm.Weight())
+	}
+	epsN := cm.Epsilon() * cm.Weight()
+	violations := 0
+	for key, true_ := range truth {
+		est := cm.Estimate(key)
+		if est < true_ {
+			t.Fatalf("key %s: estimate %v underestimates %v (count-min must only overestimate)", key, est, true_)
+		}
+		if est-true_ > epsN {
+			violations++
+		}
+	}
+	// The ε·N bound fails per query with probability ≤ δ = e^-4 ≈ 1.8%.
+	// Allow 3× that for statistical slack.
+	if frac := float64(violations) / float64(len(truth)); frac > 3*cm.Delta() {
+		t.Errorf("%.4f of estimates exceeded εN, want ≤ ~δ = %.4f", frac, cm.Delta())
+	}
+}
+
+func TestCountMinWithErrorSizing(t *testing.T) {
+	cm := NewCountMinWithError(0.001, 0.01)
+	if cm.Epsilon() > 0.001 {
+		t.Errorf("Epsilon = %v, want ≤ 0.001", cm.Epsilon())
+	}
+	if cm.Delta() > 0.01 {
+		t.Errorf("Delta = %v, want ≤ 0.01", cm.Delta())
+	}
+	// Degenerate parameters fall back to defaults instead of exploding.
+	cm = NewCountMinWithError(-1, 2)
+	if cm.Width() < 1 || cm.Depth() < 1 {
+		t.Errorf("degenerate sizing: %dx%d", cm.Depth(), cm.Width())
+	}
+}
+
+func TestCountMinMergeEquivalence(t *testing.T) {
+	stream, _ := zipfStream(100_000, 200_000, 5)
+	const parts = 4
+	whole := NewCountMin(4, 1024)
+	partials := make([]*CountMin, parts)
+	for i := range partials {
+		partials[i] = NewCountMin(4, 1024)
+	}
+	for i, k := range stream {
+		whole.Offer(k, 1)
+		partials[i%parts].Offer(k, 1)
+	}
+	merged := NewCountMin(4, 1024)
+	for _, p := range partials {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unit weights sum exactly, so merge-of-parts must be bit-identical to
+	// the single sketch over the whole stream.
+	if !bytes.Equal(merged.Encode(), whole.Encode()) {
+		t.Error("merged count-min differs from single sketch over the union stream")
+	}
+}
+
+func TestCountMinMergeDimensionMismatch(t *testing.T) {
+	a := NewCountMin(4, 1024)
+	if err := a.Merge(NewCountMin(4, 2048)); err == nil {
+		t.Error("merge accepted mismatched width")
+	}
+	if err := a.Merge(NewCountMin(5, 1024)); err == nil {
+		t.Error("merge accepted mismatched depth")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merge nil: %v", err)
+	}
+}
+
+func TestCountMinEncodeDecode(t *testing.T) {
+	cm := NewCountMin(3, 64)
+	cm.Offer("x", 7)
+	cm.Offer("y", 2)
+	dec, err := DecodeCountMin(cm.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), cm.Encode()) {
+		t.Error("decode(encode) not idempotent")
+	}
+	if dec.Estimate("x") != cm.Estimate("x") {
+		t.Errorf("decoded estimate %v != %v", dec.Estimate("x"), cm.Estimate("x"))
+	}
+	for _, data := range [][]byte{nil, {0xff}, {kindCountMin}, {kindCountMin, 1, 2}} {
+		if _, err := DecodeCountMin(data); err == nil {
+			t.Errorf("DecodeCountMin(%v) accepted malformed input", data)
+		}
+	}
+}
+
+// --- hyperloglog -----------------------------------------------------------
+
+func TestHLLAccuracy(t *testing.T) {
+	h := NewHLL(DefaultHLLPrecision)
+	tolerance := 3 * h.StdError() // ~4.9% at p=12
+	for _, n := range []int{100, 10_000, 1_000_000} {
+		h.Reset()
+		buf := make([]byte, 0, 32)
+		for i := 0; i < n; i++ {
+			buf = append(buf[:0], "ip-"...)
+			buf = strconv.AppendInt(buf, int64(i), 10)
+			h.Offer(string(buf))
+		}
+		est := h.Estimate()
+		if rel := math.Abs(est-float64(n)) / float64(n); rel > tolerance {
+			t.Errorf("n=%d: estimate %.0f (%.2f%% off), want within %.2f%%", n, est, rel*100, tolerance*100)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHLL(12)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 500; i++ {
+			h.Offer("key-" + strconv.Itoa(i))
+		}
+	}
+	est := h.Estimate()
+	if math.Abs(est-500) > 500*3*h.StdError() {
+		t.Errorf("50k offers of 500 distinct keys estimated %.0f", est)
+	}
+}
+
+func TestHLLMergeEquivalence(t *testing.T) {
+	const parts = 5
+	whole := NewHLL(12)
+	partials := make([]*HLL, parts)
+	for i := range partials {
+		partials[i] = NewHLL(12)
+	}
+	for i := 0; i < 50_000; i++ {
+		key := "k-" + strconv.Itoa(i)
+		whole.Offer(key)
+		partials[i%parts].Offer(key)
+	}
+	merged := NewHLL(12)
+	for _, p := range partials {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Element-wise max: merged registers are bit-identical to the union's.
+	if !bytes.Equal(merged.Encode(), whole.Encode()) {
+		t.Error("merged HLL differs from single sketch over the union stream")
+	}
+}
+
+func TestHLLMergePrecisionMismatch(t *testing.T) {
+	if err := NewHLL(12).Merge(NewHLL(10)); err == nil {
+		t.Error("merge accepted mismatched precision")
+	}
+	if err := NewHLL(12).Merge(nil); err != nil {
+		t.Errorf("merge nil: %v", err)
+	}
+}
+
+func TestHLLPrecisionClampAndBytes(t *testing.T) {
+	if p := NewHLL(1).Precision(); p != 4 {
+		t.Errorf("low clamp = %d, want 4", p)
+	}
+	if p := NewHLL(30).Precision(); p != 18 {
+		t.Errorf("high clamp = %d, want 18", p)
+	}
+	if b := NewHLL(12).Bytes(); b != 4096 {
+		t.Errorf("Bytes = %d, want 4096", b)
+	}
+}
+
+func TestHLLEncodeDecode(t *testing.T) {
+	h := NewHLL(10)
+	for i := 0; i < 1000; i++ {
+		h.Offer(strconv.Itoa(i))
+	}
+	dec, err := DecodeHLL(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Estimate() != h.Estimate() {
+		t.Errorf("decoded estimate %v != %v", dec.Estimate(), h.Estimate())
+	}
+	for _, data := range [][]byte{nil, {0xff}, {kindHLL}, {kindHLL, 12, 0}, {kindHLL, 3}} {
+		if _, err := DecodeHLL(data); err == nil {
+			t.Errorf("DecodeHLL(%v) accepted malformed input", data)
+		}
+	}
+}
+
+// --- shared ----------------------------------------------------------------
+
+func TestResetClearsState(t *testing.T) {
+	sk := NewTopK(4)
+	sk.Offer("a", 5)
+	sk.Reset()
+	if sk.Len() != 0 || sk.Weight() != 0 {
+		t.Errorf("TopK reset left len=%d weight=%v", sk.Len(), sk.Weight())
+	}
+	cm := NewCountMin(2, 8)
+	cm.Offer("a", 5)
+	cm.Reset()
+	if cm.Weight() != 0 || cm.Estimate("a") != 0 {
+		t.Errorf("CountMin reset left weight=%v est=%v", cm.Weight(), cm.Estimate("a"))
+	}
+	h := NewHLL(4)
+	h.Offer("a")
+	h.Reset()
+	if h.Estimate() != 0 {
+		t.Errorf("HLL reset left estimate %v", h.Estimate())
+	}
+}
+
+// --- benchmarks (see bench_test.go at the repo root for exact-vs-sketch) ----
+
+func BenchmarkTopKOffer(b *testing.B) {
+	stream, _ := zipfStream(1<<16, 1_000_000, 9)
+	sk := NewTopK(800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Offer(stream[i&(1<<16-1)], 1)
+	}
+}
+
+func BenchmarkCountMinOffer(b *testing.B) {
+	stream, _ := zipfStream(1<<16, 1_000_000, 10)
+	cm := NewCountMin(4, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Offer(stream[i&(1<<16-1)], 1)
+	}
+}
+
+func BenchmarkHLLOffer(b *testing.B) {
+	stream, _ := zipfStream(1<<16, 1_000_000, 11)
+	h := NewHLL(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Offer(stream[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,333 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TopK is a space-saving (stream-summary) heavy-hitter sketch: it maintains
+// at most m counters and guarantees, after observing total weight N, that
+//
+//   - every reported estimate overestimates: count(x) ≤ Est(x), and
+//   - the overestimate is bounded: Est(x) − count(x) ≤ Err(x) ≤ N/m, and
+//   - every key with true count > N/m is present in the summary.
+//
+// Internally the counters form a min-heap on the estimate so an Offer that
+// must evict the minimum costs O(log m); keys are located through a map.
+// Weighted offers are supported (Val-carrying tuples add their value, not 1).
+type TopK struct {
+	capacity int
+	entries  []ssEntry      // heap-ordered: entries[0] has the min count
+	index    map[string]int // key -> position in entries
+	weight   float64        // total offered weight N (survives Merge)
+}
+
+type ssEntry struct {
+	key   string
+	count float64 // overestimated count
+	err   float64 // max overestimation: count - err ≤ true ≤ count
+}
+
+// Item is one reported heavy hitter.
+type Item struct {
+	Key   string
+	Count float64 // overestimate of the true count
+	Err   float64 // Count - Err is a lower bound on the true count
+}
+
+// NewTopK creates a space-saving sketch with the given counter capacity
+// (min 1). Capacity m bounds the per-key error by N/m, so tracking the top k
+// reliably wants m a few multiples of k (see DefaultCapacity).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{
+		capacity: capacity,
+		entries:  make([]ssEntry, 0, capacity),
+		index:    make(map[string]int, capacity),
+	}
+}
+
+// DefaultCapacity is the counter budget used for a top-k query when the
+// deployment doesn't pin one: 8× the requested k keeps the N/m error small
+// relative to the k-th count under Zipfian skew while staying O(k).
+func DefaultCapacity(k int) int {
+	if k < 1 {
+		k = 1
+	}
+	return 8 * k
+}
+
+// Capacity returns the counter budget m.
+func (t *TopK) Capacity() int { return t.capacity }
+
+// Len returns the number of keys currently tracked (≤ capacity).
+func (t *TopK) Len() int { return len(t.entries) }
+
+// Weight returns the total offered weight N (the error bound is N/m).
+func (t *TopK) Weight() float64 { return t.weight }
+
+// ErrorBound returns the worst-case overestimation N/m.
+func (t *TopK) ErrorBound() float64 { return t.weight / float64(t.capacity) }
+
+// Offer adds weight w (≤0 counts as 1) for key.
+func (t *TopK) Offer(key string, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	t.weight += w
+	if i, ok := t.index[key]; ok {
+		t.entries[i].count += w
+		t.siftDown(i)
+		return
+	}
+	if len(t.entries) < t.capacity {
+		t.entries = append(t.entries, ssEntry{key: key, count: w})
+		t.index[key] = len(t.entries) - 1
+		t.siftUp(len(t.entries) - 1)
+		return
+	}
+	// Space-saving eviction: the new key inherits the minimum counter, and
+	// the inherited value is recorded as its possible overestimation.
+	min := &t.entries[0]
+	delete(t.index, min.key)
+	t.index[key] = 0
+	min.err = min.count
+	min.count += w
+	min.key = key
+	t.siftDown(0)
+}
+
+// Estimate returns the tracked estimate for key and whether it is tracked.
+// Untracked keys have true count ≤ the sketch's minimum counter.
+func (t *TopK) Estimate(key string) (count, err float64, ok bool) {
+	i, ok := t.index[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return t.entries[i].count, t.entries[i].err, true
+}
+
+// minCount returns the smallest tracked estimate, or 0 while the sketch has
+// spare capacity (an absent key then truly has count 0 … minCount).
+func (t *TopK) minCount() float64 {
+	if len(t.entries) < t.capacity || len(t.entries) == 0 {
+		return 0
+	}
+	return t.entries[0].count
+}
+
+// Top returns the k largest estimates, ordered by count descending with keys
+// ascending as the tie-break (matching the exact ranker's ordering).
+func (t *TopK) Top(k int) []Item {
+	if k <= 0 || len(t.entries) == 0 {
+		return nil
+	}
+	items := make([]Item, len(t.entries))
+	for i, e := range t.entries {
+		items[i] = Item{Key: e.key, Count: e.count, Err: e.err}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// Merge folds other into t so the result summarizes the union of both input
+// streams. For keys both sketches track, counts and errors add; a key only
+// one side tracks picks up the other side's minimum counter as additional
+// (bounded) uncertainty — the space-saving invariant guarantees an untracked
+// key's true count never exceeds that minimum. The merged error bound stays
+// ≤ (N₁+N₂)/m. The merge is the standard mergeable-summaries construction
+// (Agarwal et al.), so merge-of-parts is equivalent, within bounds, to one
+// sketch over the concatenated stream.
+func (t *TopK) Merge(other *TopK) {
+	if other == nil || len(other.entries) == 0 {
+		t.weight += otherWeight(other)
+		return
+	}
+	minT := t.minCount()
+	minO := other.minCount()
+	merged := make([]ssEntry, 0, len(t.entries)+len(other.entries))
+	seen := make(map[string]bool, len(t.entries)+len(other.entries))
+	for _, e := range t.entries {
+		me := e
+		if oc, oe, ok := other.Estimate(e.key); ok {
+			me.count += oc
+			me.err += oe
+			seen[e.key] = true
+		} else {
+			me.count += minO
+			me.err += minO
+		}
+		merged = append(merged, me)
+	}
+	for _, e := range other.entries {
+		if seen[e.key] {
+			continue
+		}
+		me := e
+		me.count += minT
+		me.err += minT
+		merged = append(merged, me)
+	}
+	// Keep the m largest merged counters.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].count != merged[j].count {
+			return merged[i].count > merged[j].count
+		}
+		return merged[i].key < merged[j].key
+	})
+	if len(merged) > t.capacity {
+		merged = merged[:t.capacity]
+	}
+	t.entries = t.entries[:0]
+	clear(t.index)
+	for _, e := range merged {
+		t.entries = append(t.entries, e)
+	}
+	t.heapify()
+	t.weight += other.weight
+}
+
+func otherWeight(other *TopK) float64 {
+	if other == nil {
+		return 0
+	}
+	return other.weight
+}
+
+// Reset clears the sketch for the next window, retaining its capacity.
+func (t *TopK) Reset() {
+	t.entries = t.entries[:0]
+	clear(t.index)
+	t.weight = 0
+}
+
+// Bytes returns the fixed memory footprint in bytes: capacity counters plus
+// the index, independent of how many distinct keys the stream carried.
+func (t *TopK) Bytes() int {
+	// entry ≈ 16B header + 16B floats + key; index entry ≈ 48B. Keys are
+	// workload-dependent but bounded by capacity entries.
+	keyBytes := 0
+	for i := range t.entries {
+		keyBytes += len(t.entries[i].key)
+	}
+	return t.capacity*(32+48) + keyBytes
+}
+
+// heap maintenance (min-heap on count) --------------------------------------
+
+func (t *TopK) heapify() {
+	for i := len(t.entries)/2 - 1; i >= 0; i-- {
+		t.siftDown(i)
+	}
+	for i := range t.entries {
+		t.index[t.entries[i].key] = i
+	}
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.entries[parent].count <= t.entries[i].count {
+			break
+		}
+		t.swap(parent, i)
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && t.entries[l].count < t.entries[min].count {
+			min = l
+		}
+		if r < n && t.entries[r].count < t.entries[min].count {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.swap(min, i)
+		i = min
+	}
+}
+
+func (t *TopK) swap(i, j int) {
+	t.entries[i], t.entries[j] = t.entries[j], t.entries[i]
+	t.index[t.entries[i].key] = i
+	t.index[t.entries[j].key] = j
+}
+
+// Encode serializes the sketch for transport between bolt tasks.
+func (t *TopK) Encode() []byte {
+	size := 1 + 8*3 + len(t.entries)*24
+	for i := range t.entries {
+		size += len(t.entries[i].key)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, kindTopK)
+	b = appendUint64(b, uint64(t.capacity))
+	b = appendFloat64(b, t.weight)
+	b = appendUint64(b, uint64(len(t.entries)))
+	for i := range t.entries {
+		e := &t.entries[i]
+		b = appendUint64(b, uint64(len(e.key)))
+		b = append(b, e.key...)
+		b = appendFloat64(b, e.count)
+		b = appendFloat64(b, e.err)
+	}
+	return b
+}
+
+// DecodeTopK reconstructs a sketch produced by Encode.
+func DecodeTopK(data []byte) (*TopK, error) {
+	if len(data) < 1 || data[0] != kindTopK {
+		return nil, errors.New("sketch: not a top-k encoding")
+	}
+	rest := data[1:]
+	capU, rest, ok := readUint64(rest)
+	if !ok {
+		return nil, errors.New("sketch: truncated top-k encoding")
+	}
+	weight, rest, ok := readFloat64(rest)
+	if !ok {
+		return nil, errors.New("sketch: truncated top-k encoding")
+	}
+	n, rest, ok := readUint64(rest)
+	if !ok || n > uint64(capU) {
+		return nil, fmt.Errorf("sketch: top-k encoding carries %d entries for capacity %d", n, capU)
+	}
+	t := NewTopK(int(capU))
+	t.weight = weight
+	for i := uint64(0); i < n; i++ {
+		var klen uint64
+		klen, rest, ok = readUint64(rest)
+		if !ok || uint64(len(rest)) < klen+16 {
+			return nil, errors.New("sketch: truncated top-k entry")
+		}
+		key := string(rest[:klen])
+		rest = rest[klen:]
+		var count, errv float64
+		count, rest, _ = readFloat64(rest)
+		errv, rest, ok = readFloat64(rest)
+		if !ok {
+			return nil, errors.New("sketch: truncated top-k entry")
+		}
+		t.entries = append(t.entries, ssEntry{key: key, count: count, err: errv})
+	}
+	t.heapify()
+	return t, nil
+}

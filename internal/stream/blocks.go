@@ -190,21 +190,72 @@ func (b *RankBolt) flush(emit EmitFunc) {
 	if len(b.latest) == 0 {
 		return
 	}
-	entries := make([]RankEntry, 0, len(b.latest))
-	for key, count := range b.latest {
-		entries = append(entries, RankEntry{Key: key, Count: count})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Count != entries[j].Count {
-			return entries[i].Count > entries[j].Count
-		}
-		return entries[i].Key < entries[j].Key
-	})
-	if len(entries) > b.k {
-		entries = entries[:b.k]
-	}
-	emit(EncodeRankings(entries))
+	emit(EncodeRankings(topEntries(b.latest, b.k)))
 	clear(b.latest)
+}
+
+// rankWeaker orders rank entries by selection priority: a is weaker than b
+// when it ranks lower (smaller count, or equal count with the greater key —
+// the inverse of the emitted count-desc/key-asc order).
+func rankWeaker(a, b RankEntry) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	return a.Key > b.Key
+}
+
+// topEntries selects the k strongest entries of m in emission order. It
+// keeps a bounded min-heap of size k — the weakest retained entry at the
+// root — so selection costs O(n log k) instead of the O(n log n) full sort
+// that dominated rank flushes at large key counts.
+func topEntries(m map[string]float64, k int) []RankEntry {
+	if k > len(m) {
+		k = len(m)
+	}
+	heap := make([]RankEntry, 0, k)
+	for key, count := range m {
+		e := RankEntry{Key: key, Count: count}
+		if len(heap) < k {
+			heap = append(heap, e)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !rankWeaker(heap[i], heap[parent]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if !rankWeaker(heap[0], e) {
+			continue
+		}
+		// Replace the weakest retained entry and sift down.
+		heap[0] = e
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < k && rankWeaker(heap[l], heap[min]) {
+				min = l
+			}
+			if r < k && rankWeaker(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				break
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool {
+		if heap[i].Count != heap[j].Count {
+			return heap[i].Count > heap[j].Count
+		}
+		return heap[i].Key < heap[j].Key
+	})
+	return heap
 }
 
 // DatabaseBolt is Fig. 4's terminal bolt: it stores each global top-k into a
@@ -544,8 +595,17 @@ type PercentileBolt struct {
 	attr        string
 	percentiles []float64
 	rolling     bool
+	maxSamples  int
+	rngState    uint64
 	samples     map[string][]float64
+	seen        map[string]uint64 // samples offered per group (reservoir index)
 }
+
+// DefaultMaxPercentileSamples caps each group's sample buffer. Past the cap,
+// reservoir sampling (Vitter's Algorithm R) keeps a uniform sample of the
+// group's history, so percentiles stay unbiased estimates while memory stays
+// bounded — cumulative-mode bolts on long soaks used to grow without bound.
+const DefaultMaxPercentileSamples = 4096
 
 // NewPercentileBolt creates a percentile bolt over the given group attribute
 // ("" = one global group) and percentile list (default 50, 95, 99).
@@ -556,16 +616,36 @@ func NewPercentileBolt(attr string, percentiles []float64) *PercentileBolt {
 	return &PercentileBolt{
 		attr:        attr,
 		percentiles: percentiles,
+		maxSamples:  DefaultMaxPercentileSamples,
+		rngState:    0x9e3779b97f4a7c15,
 		samples:     make(map[string][]float64),
+		seen:        make(map[string]uint64),
 	}
 }
 
 // SetRolling makes each tick's summary cover only that window's samples:
 // the sample buffers reset after every flush instead of accumulating for the
-// query's lifetime. Rolling mode also bounds memory — cumulative mode keeps
-// every sample ever seen, which is what long-lived standing queries must
-// avoid.
+// query's lifetime.
 func (b *PercentileBolt) SetRolling(rolling bool) { b.rolling = rolling }
+
+// SetMaxSamples overrides the per-group reservoir capacity (min 1). Larger
+// reservoirs tighten tail percentiles at the cost of memory.
+func (b *PercentileBolt) SetMaxSamples(n int) {
+	if n >= 1 {
+		b.maxSamples = n
+	}
+}
+
+// nextRand is xorshift64*: deterministic, allocation-free randomness for the
+// reservoir (bolts are per-task, so no locking and no global rng contention).
+func (b *PercentileBolt) nextRand() uint64 {
+	x := b.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	b.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
 
 // Execute implements Bolt.
 func (b *PercentileBolt) Execute(t tuple.Tuple, emit EmitFunc) {
@@ -575,7 +655,17 @@ func (b *PercentileBolt) Execute(t tuple.Tuple, emit EmitFunc) {
 			group = g
 		}
 	}
-	b.samples[group] = append(b.samples[group], t.Val)
+	b.seen[group]++
+	buf := b.samples[group]
+	if len(buf) < b.maxSamples {
+		b.samples[group] = append(buf, t.Val)
+		return
+	}
+	// Reservoir full: replace a uniformly chosen slot with probability
+	// cap/seen, keeping the retained set a uniform sample of the history.
+	if j := b.nextRand() % b.seen[group]; j < uint64(b.maxSamples) {
+		buf[j] = t.Val
+	}
 }
 
 // Tick implements Ticker.
@@ -600,6 +690,7 @@ func (b *PercentileBolt) flush(emit EmitFunc) {
 		}
 		if b.rolling {
 			delete(b.samples, group)
+			delete(b.seen, group)
 		}
 	}
 }

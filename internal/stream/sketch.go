@@ -1,0 +1,565 @@
+package stream
+
+import (
+	"netalytics/internal/sketch"
+	"netalytics/internal/tuple"
+)
+
+// This file wires the bounded-memory sketches of internal/sketch into the
+// topology as drop-in bolt alternatives to the exact counting blocks. The
+// shape is the same for all three sketch families:
+//
+//	spout → [local sketch bolt × P, shuffle] → [merge bolt × 1] → sink
+//
+// Each local task keeps its own sketch over whatever share of the stream the
+// shuffle grouping hands it — no fields grouping, so no per-tuple key
+// hashing and no hot-key task imbalance — and on every tick it emits the
+// encoded sketch downstream and resets. The merge stage still runs with
+// global grouping, but it receives O(parallelism) sketch payloads per tick
+// instead of every tuple: the global-grouping shuffle that made the exact
+// pipeline's reducer a serial choke point becomes a lightweight combiner.
+// Windowing lives in the merge bolt as a ring of per-tick merged sketches
+// (merge-of-merges is sound because the sketches are mergeable).
+
+// SketchTupleKey marks tuples whose Key field carries an encoded sketch
+// payload from a partition-local sketch bolt. The payload is raw binary —
+// sketch tuples only ever travel in-process between bolt tasks, never
+// through the aggregation layer's JSON wire format.
+const SketchTupleKey = "__sketch__"
+
+// encodeSketchTuple packs an encoded sketch (and an optional group name for
+// group-keyed sketches) into a tuple for the merge stage.
+func encodeSketchTuple(payload []byte, group string) tuple.Tuple {
+	return tuple.Tuple{Key: string(payload), SrcIP: SketchTupleKey, DstIP: group}
+}
+
+// decodeSketchTuple recognizes sketch tuples; ok is false for other tuples.
+func decodeSketchTuple(t tuple.Tuple) (payload []byte, group string, ok bool) {
+	if t.SrcIP != SketchTupleKey {
+		return nil, "", false
+	}
+	return []byte(t.Key), t.DstIP, true
+}
+
+// windowRing is the merge stage's window state: one merged sketch slot per
+// tick, oldest slot cleared as the window advances — the sketch counterpart
+// of RollingCountBolt's per-key slot rings, except it holds W sketches total
+// instead of W floats per distinct key.
+type windowRing[S any] struct {
+	slots   []S
+	current int
+}
+
+func newWindowRing[S any](slots int) windowRing[S] {
+	if slots < 1 {
+		slots = 1
+	}
+	return windowRing[S]{slots: make([]S, slots)}
+}
+
+// advance steps the window one slot and returns the index whose content must
+// be cleared (the slot being reused).
+func (w *windowRing[S]) advance() int {
+	w.current = (w.current + 1) % len(w.slots)
+	return w.current
+}
+
+// SketchTopKBolt is the partition-local half of the sketch top-k pipeline: a
+// space-saving summary over this task's share of the stream, emitted and
+// reset on every tick.
+type SketchTopKBolt struct {
+	sk *sketch.TopK
+}
+
+// NewSketchTopKBolt creates a local top-k sketch bolt with the given counter
+// capacity (see sketch.DefaultCapacity).
+func NewSketchTopKBolt(capacity int) *SketchTopKBolt {
+	return &SketchTopKBolt{sk: sketch.NewTopK(capacity)}
+}
+
+// Execute implements Bolt.
+func (b *SketchTopKBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	if t.Key == "" {
+		return
+	}
+	b.sk.Offer(t.Key, t.Val)
+}
+
+// ExecuteBatch implements BatchBolt.
+func (b *SketchTopKBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	for i := range ts {
+		if ts[i].Key == "" {
+			continue
+		}
+		b.sk.Offer(ts[i].Key, ts[i].Val)
+	}
+}
+
+// Tick implements Ticker: ship this tick's local sketch to the merge stage
+// and start the next one.
+func (b *SketchTopKBolt) Tick(emit EmitFunc) { b.flush(emit) }
+
+// Cleanup implements Cleaner.
+func (b *SketchTopKBolt) Cleanup(emit EmitFunc) { b.flush(emit) }
+
+func (b *SketchTopKBolt) flush(emit EmitFunc) {
+	if b.sk.Len() == 0 {
+		return
+	}
+	emit(encodeSketchTuple(b.sk.Encode(), ""))
+	b.sk.Reset()
+}
+
+// SketchTopKMergeBolt is the combiner: it merges the per-task sketches of
+// each tick into a window ring and emits the window's top-k as encoded
+// rankings — the same output contract as the exact RankBolt, so DatabaseBolt
+// and result decoding are unchanged.
+type SketchTopKMergeBolt struct {
+	k        int
+	capacity int
+	ring     windowRing[*sketch.TopK]
+}
+
+// NewSketchTopKMergeBolt creates the merge stage for a top-k of k over a
+// window of the given tick slots.
+func NewSketchTopKMergeBolt(k, capacity, slots int) *SketchTopKMergeBolt {
+	if k < 1 {
+		k = 1
+	}
+	return &SketchTopKMergeBolt{k: k, capacity: capacity, ring: newWindowRing[*sketch.TopK](slots)}
+}
+
+// Execute implements Bolt: fold an arriving local sketch into the current
+// window slot. Non-sketch tuples are ignored.
+func (b *SketchTopKMergeBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	payload, _, ok := decodeSketchTuple(t)
+	if !ok {
+		return
+	}
+	sk, err := sketch.DecodeTopK(payload)
+	if err != nil {
+		return
+	}
+	slot := b.ring.slots[b.ring.current]
+	if slot == nil {
+		b.ring.slots[b.ring.current] = sk
+		return
+	}
+	slot.Merge(sk)
+}
+
+// Tick implements Ticker: emit the windowed top-k and advance the ring.
+func (b *SketchTopKMergeBolt) Tick(emit EmitFunc) {
+	b.emitWindow(emit)
+	b.ring.slots[b.ring.advance()] = nil
+}
+
+// Cleanup implements Cleaner.
+func (b *SketchTopKMergeBolt) Cleanup(emit EmitFunc) { b.emitWindow(emit) }
+
+func (b *SketchTopKMergeBolt) emitWindow(emit EmitFunc) {
+	window := sketch.NewTopK(b.capacity)
+	seen := false
+	for _, s := range b.ring.slots {
+		if s == nil {
+			continue
+		}
+		window.Merge(s)
+		seen = true
+	}
+	if !seen {
+		return
+	}
+	items := window.Top(b.k)
+	entries := make([]RankEntry, len(items))
+	for i, it := range items {
+		entries[i] = RankEntry{Key: it.Key, Count: it.Count}
+	}
+	if len(entries) > 0 {
+		emit(EncodeRankings(entries))
+	}
+}
+
+// SketchCountBolt is the partition-local half of the sketch counting
+// pipeline: a count-min sketch accumulates per-key weight while a small
+// space-saving summary tracks which keys are worth reporting. Count-min
+// gives much tighter estimates than space-saving counts on skewed streams;
+// space-saving supplies the candidate set count-min cannot enumerate.
+type SketchCountBolt struct {
+	attr   string // key attribute ("" = tuple Key)
+	useVal bool   // weight by Val (sum) instead of 1 (count)
+	cm     *sketch.CountMin
+	cands  *sketch.TopK
+}
+
+// NewSketchCountBolt creates a local counting sketch bolt keyed on attr (""
+// keys on the tuple Key). useVal weights each tuple by its Val — the sum
+// aggregation — instead of counting tuples. candidates bounds the reported
+// key set, depth/width size the count-min grid.
+func NewSketchCountBolt(attr string, useVal bool, candidates, depth, width int) *SketchCountBolt {
+	return &SketchCountBolt{
+		attr:   attr,
+		useVal: useVal,
+		cm:     sketch.NewCountMin(depth, width),
+		cands:  sketch.NewTopK(candidates),
+	}
+}
+
+// Execute implements Bolt.
+func (b *SketchCountBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	b.observe(&t)
+}
+
+// ExecuteBatch implements BatchBolt.
+func (b *SketchCountBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	for i := range ts {
+		b.observe(&ts[i])
+	}
+}
+
+func (b *SketchCountBolt) observe(t *tuple.Tuple) {
+	key := t.Key
+	if b.attr != "" {
+		key = t.Attr(b.attr)
+	}
+	if key == "" {
+		return
+	}
+	w := 1.0
+	if b.useVal {
+		w = t.Val
+	}
+	b.cm.Offer(key, w)
+	b.cands.Offer(key, w)
+}
+
+// Tick implements Ticker: ship both local sketches and reset.
+func (b *SketchCountBolt) Tick(emit EmitFunc) { b.flush(emit) }
+
+// Cleanup implements Cleaner.
+func (b *SketchCountBolt) Cleanup(emit EmitFunc) { b.flush(emit) }
+
+func (b *SketchCountBolt) flush(emit EmitFunc) {
+	if b.cands.Len() == 0 {
+		return
+	}
+	emit(encodeSketchTuple(b.cm.Encode(), ""))
+	emit(encodeSketchTuple(b.cands.Encode(), ""))
+	b.cm.Reset()
+	b.cands.Reset()
+}
+
+// countSlot pairs the window-slot sketches of the counting pipeline.
+type countSlot struct {
+	cm    *sketch.CountMin
+	cands *sketch.TopK
+}
+
+// SketchCountMergeBolt combines per-task counting sketches and emits one
+// (key, windowed count-min estimate) tuple per tracked candidate per tick —
+// the bounded-cardinality replacement for RollingCountBolt/GroupBolt output
+// at millions of distinct keys.
+type SketchCountMergeBolt struct {
+	candidates int
+	cumulative bool // slots ≤ 0: accumulate forever, like a non-rolling GroupBolt
+	ring       windowRing[countSlot]
+}
+
+// NewSketchCountMergeBolt creates the merge stage reporting up to candidates
+// keys over a window of the given tick slots. slots ≤ 0 makes the window
+// cumulative — estimates cover the whole stream, matching a non-rolling
+// GroupBolt — while memory stays bounded by the sketch sizes either way.
+func NewSketchCountMergeBolt(candidates, slots int) *SketchCountMergeBolt {
+	if candidates < 1 {
+		candidates = 1
+	}
+	return &SketchCountMergeBolt{
+		candidates: candidates,
+		cumulative: slots <= 0,
+		ring:       newWindowRing[countSlot](slots),
+	}
+}
+
+// Execute implements Bolt: sketch payloads dispatch on their kind byte.
+func (b *SketchCountMergeBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	payload, _, ok := decodeSketchTuple(t)
+	if !ok || len(payload) == 0 {
+		return
+	}
+	slot := &b.ring.slots[b.ring.current]
+	if cm, err := sketch.DecodeCountMin(payload); err == nil {
+		if slot.cm == nil {
+			slot.cm = cm
+		} else {
+			_ = slot.cm.Merge(cm) // same builder ⇒ same dimensions
+		}
+		return
+	}
+	if tk, err := sketch.DecodeTopK(payload); err == nil {
+		if slot.cands == nil {
+			slot.cands = tk
+		} else {
+			slot.cands.Merge(tk)
+		}
+	}
+}
+
+// Tick implements Ticker.
+func (b *SketchCountMergeBolt) Tick(emit EmitFunc) {
+	b.emitWindow(emit)
+	if !b.cumulative {
+		b.ring.slots[b.ring.advance()] = countSlot{}
+	}
+}
+
+// Cleanup implements Cleaner.
+func (b *SketchCountMergeBolt) Cleanup(emit EmitFunc) { b.emitWindow(emit) }
+
+func (b *SketchCountMergeBolt) emitWindow(emit EmitFunc) {
+	var cm *sketch.CountMin
+	var cands *sketch.TopK
+	for _, s := range b.ring.slots {
+		if s.cm != nil {
+			if cm == nil {
+				cm = sketch.NewCountMin(s.cm.Depth(), s.cm.Width())
+			}
+			_ = cm.Merge(s.cm)
+		}
+		if s.cands != nil {
+			if cands == nil {
+				cands = sketch.NewTopK(s.cands.Capacity())
+			}
+			cands.Merge(s.cands)
+		}
+	}
+	if cm == nil || cands == nil {
+		return
+	}
+	for _, it := range cands.Top(b.candidates) {
+		emit(tuple.Tuple{Key: it.Key, Val: cm.Estimate(it.Key)})
+	}
+}
+
+// DistinctCountBolt is the partition-local half of the distinct-count
+// pipeline: one HyperLogLog per group tracks the distinct values of an
+// attribute (e.g. distinct client IPs per service). Groups are expected to
+// be low-cardinality (the distinct explosion is on the value side, which is
+// exactly what the HLL bounds); maxGroups caps pathological group blowup.
+type DistinctCountBolt struct {
+	group     string // attribute naming the group ("" = one global group)
+	over      string // attribute whose distinct values are counted
+	precision int
+	maxGroups int
+	hlls      map[string]*sketch.HLL
+}
+
+// defaultMaxGroups bounds the per-task group map: past it, new groups are
+// dropped (existing groups keep counting) so a group-cardinality explosion
+// degrades coverage instead of memory.
+const defaultMaxGroups = 4096
+
+// NewDistinctCountBolt creates a local distinct-count bolt counting distinct
+// `over`-attribute values per `group`-attribute value.
+func NewDistinctCountBolt(group, over string, precision int) *DistinctCountBolt {
+	return &DistinctCountBolt{
+		group:     group,
+		over:      over,
+		precision: precision,
+		maxGroups: defaultMaxGroups,
+		hlls:      make(map[string]*sketch.HLL),
+	}
+}
+
+// Execute implements Bolt.
+func (b *DistinctCountBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	b.observe(&t)
+}
+
+// ExecuteBatch implements BatchBolt.
+func (b *DistinctCountBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	for i := range ts {
+		b.observe(&ts[i])
+	}
+}
+
+func (b *DistinctCountBolt) observe(t *tuple.Tuple) {
+	val := t.Attr(b.over)
+	if val == "" {
+		return
+	}
+	group := "all"
+	if b.group != "" {
+		if g := t.Attr(b.group); g != "" {
+			group = g
+		}
+	}
+	h, ok := b.hlls[group]
+	if !ok {
+		if len(b.hlls) >= b.maxGroups {
+			return
+		}
+		h = sketch.NewHLL(b.precision)
+		b.hlls[group] = h
+	}
+	h.Offer(val)
+}
+
+// Tick implements Ticker: ship one encoded HLL per group and reset.
+func (b *DistinctCountBolt) Tick(emit EmitFunc) { b.flush(emit) }
+
+// Cleanup implements Cleaner.
+func (b *DistinctCountBolt) Cleanup(emit EmitFunc) { b.flush(emit) }
+
+func (b *DistinctCountBolt) flush(emit EmitFunc) {
+	for group, h := range b.hlls {
+		emit(encodeSketchTuple(h.Encode(), group))
+		delete(b.hlls, group)
+	}
+}
+
+// DistinctCountMergeBolt combines per-task HLLs by group and emits one
+// (group, distinct-count estimate) tuple per group per tick, windowed over
+// the ring like the other merge stages.
+type DistinctCountMergeBolt struct {
+	precision int
+	maxGroups int
+	ring      windowRing[map[string]*sketch.HLL]
+}
+
+// NewDistinctCountMergeBolt creates the merge stage over a window of the
+// given tick slots.
+func NewDistinctCountMergeBolt(precision, slots int) *DistinctCountMergeBolt {
+	return &DistinctCountMergeBolt{
+		precision: precision,
+		maxGroups: defaultMaxGroups,
+		ring:      newWindowRing[map[string]*sketch.HLL](slots),
+	}
+}
+
+// Execute implements Bolt.
+func (b *DistinctCountMergeBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	payload, group, ok := decodeSketchTuple(t)
+	if !ok {
+		return
+	}
+	h, err := sketch.DecodeHLL(payload)
+	if err != nil {
+		return
+	}
+	slot := b.ring.slots[b.ring.current]
+	if slot == nil {
+		slot = make(map[string]*sketch.HLL)
+		b.ring.slots[b.ring.current] = slot
+	}
+	if cur, ok := slot[group]; ok {
+		_ = cur.Merge(h) // same precision by construction
+		return
+	}
+	if len(slot) >= b.maxGroups {
+		return
+	}
+	slot[group] = h
+}
+
+// Tick implements Ticker.
+func (b *DistinctCountMergeBolt) Tick(emit EmitFunc) {
+	b.emitWindow(emit)
+	b.ring.slots[b.ring.advance()] = nil
+}
+
+// Cleanup implements Cleaner.
+func (b *DistinctCountMergeBolt) Cleanup(emit EmitFunc) { b.emitWindow(emit) }
+
+func (b *DistinctCountMergeBolt) emitWindow(emit EmitFunc) {
+	window := make(map[string]*sketch.HLL)
+	for _, slot := range b.ring.slots {
+		for group, h := range slot {
+			if cur, ok := window[group]; ok {
+				_ = cur.Merge(h)
+				continue
+			}
+			merged := sketch.NewHLL(b.precision)
+			_ = merged.Merge(h)
+			window[group] = merged
+		}
+	}
+	for group, h := range window {
+		emit(tuple.Tuple{Key: group, Val: h.Estimate()})
+	}
+}
+
+// ExactDistinctBolt is the exact A/B baseline for distinct counting: a set
+// per group. Memory grows with the number of distinct values — the behavior
+// the sketch path exists to avoid — so it is only built when sketch
+// analytics is off.
+type ExactDistinctBolt struct {
+	group   string
+	over    string
+	rolling windowRing[map[string]map[string]struct{}]
+}
+
+// NewExactDistinctBolt creates the exact baseline over a window of the given
+// tick slots.
+func NewExactDistinctBolt(group, over string, slots int) *ExactDistinctBolt {
+	return &ExactDistinctBolt{group: group, over: over, rolling: newWindowRing[map[string]map[string]struct{}](slots)}
+}
+
+// Execute implements Bolt.
+func (b *ExactDistinctBolt) Execute(t tuple.Tuple, emit EmitFunc) {
+	val := t.Attr(b.over)
+	if val == "" {
+		return
+	}
+	group := "all"
+	if b.group != "" {
+		if g := t.Attr(b.group); g != "" {
+			group = g
+		}
+	}
+	slot := b.rolling.slots[b.rolling.current]
+	if slot == nil {
+		slot = make(map[string]map[string]struct{})
+		b.rolling.slots[b.rolling.current] = slot
+	}
+	set, ok := slot[group]
+	if !ok {
+		set = make(map[string]struct{})
+		slot[group] = set
+	}
+	set[val] = struct{}{}
+}
+
+// ExecuteBatch implements BatchBolt.
+func (b *ExactDistinctBolt) ExecuteBatch(ts []tuple.Tuple, emit EmitFunc) {
+	for i := range ts {
+		b.Execute(ts[i], emit)
+	}
+}
+
+// Tick implements Ticker.
+func (b *ExactDistinctBolt) Tick(emit EmitFunc) {
+	b.emitWindow(emit)
+	b.rolling.slots[b.rolling.advance()] = nil
+}
+
+// Cleanup implements Cleaner.
+func (b *ExactDistinctBolt) Cleanup(emit EmitFunc) { b.emitWindow(emit) }
+
+func (b *ExactDistinctBolt) emitWindow(emit EmitFunc) {
+	window := make(map[string]map[string]struct{})
+	for _, slot := range b.rolling.slots {
+		for group, set := range slot {
+			union, ok := window[group]
+			if !ok {
+				union = make(map[string]struct{}, len(set))
+				window[group] = union
+			}
+			for v := range set {
+				union[v] = struct{}{}
+			}
+		}
+	}
+	for group, set := range window {
+		emit(tuple.Tuple{Key: group, Val: float64(len(set))})
+	}
+}

@@ -1,0 +1,328 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"netalytics/internal/tuple"
+)
+
+// runTopology builds and drains a topology spec, returning the gathered sink
+// tuples.
+func runTopology(t *testing.T, spec ProcessorSpec, tuples []tuple.Tuple, opts TopologyOptions) []tuple.Tuple {
+	t.Helper()
+	spout := &sliceSpout{tuples: tuples}
+	g := &gather{}
+	topo, err := BuildTopologyOpts(spec, func() Spout { return spout }, 1, g.add, 10*time.Millisecond, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(topo, WithTickInterval(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	time.Sleep(150 * time.Millisecond)
+	ex.Stop()
+	return g.tuples()
+}
+
+func TestSketchTopKTopologyMatchesExact(t *testing.T) {
+	// Skewed stream: key-i appears (40-i) times, so the exact top 3 is
+	// unambiguous and well separated — the sketch must reproduce it.
+	var urls []string
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 40-i; j++ {
+			urls = append(urls, fmt.Sprintf("key-%02d", i))
+		}
+	}
+	got := runTopology(t,
+		ProcessorSpec{Name: "top-k", Args: map[string]string{"k": "3", "w": "1h", "sketch": "true"}},
+		keyed(urls...), TopologyOptions{})
+
+	var last []RankEntry
+	for _, tu := range got {
+		if entries, ok := DecodeRankings(tu); ok && len(entries) > 0 {
+			last = entries
+		}
+	}
+	if len(last) != 3 {
+		t.Fatalf("final ranking = %+v, want 3 entries", last)
+	}
+	for i, want := range []RankEntry{{Key: "key-00", Count: 40}, {Key: "key-01", Count: 39}, {Key: "key-02", Count: 38}} {
+		if last[i].Key != want.Key || last[i].Count != want.Count {
+			t.Errorf("rank[%d] = %+v, want %+v", i, last[i], want)
+		}
+	}
+}
+
+func TestSketchTopologyPerQueryOverride(t *testing.T) {
+	// Deployment default on, query arg off → exact pipeline (has a "rank"
+	// bolt); and the reverse → sketch pipeline (has a "merge" bolt).
+	spoutF := func() Spout { return &sliceSpout{} }
+	sink := func(tuple.Tuple) {}
+
+	topo, err := BuildTopologyOpts(
+		ProcessorSpec{Name: "top-k", Args: map[string]string{"sketch": "false"}},
+		spoutF, 1, sink, time.Second, TopologyOptions{Sketch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := topo.nodes["rank"]; !ok {
+		t.Errorf("sketch=false override: nodes = %v, want exact rank stage", topo.order)
+	}
+	if _, ok := topo.nodes["sketch"]; ok {
+		t.Errorf("sketch=false override still built a sketch stage: %v", topo.order)
+	}
+
+	topo, err = BuildTopologyOpts(
+		ProcessorSpec{Name: "top-k", Args: map[string]string{"sketch": "true"}},
+		spoutF, 1, sink, time.Second, TopologyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := topo.nodes["sketch"]; !ok {
+		t.Errorf("sketch=true override: nodes = %v, want sketch stage", topo.order)
+	}
+}
+
+func TestSketchGroupCountTopology(t *testing.T) {
+	var tuples []tuple.Tuple
+	for i := 0; i < 30; i++ {
+		tuples = append(tuples, tuple.Tuple{DstIP: "h1", Val: 2, FlowID: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		tuples = append(tuples, tuple.Tuple{DstIP: "h2", Val: 5, FlowID: uint64(100 + i)})
+	}
+
+	got := runTopology(t,
+		ProcessorSpec{Name: "group-sum", Args: map[string]string{"group": "dstIP", "sketch": "true"}},
+		tuples, TopologyOptions{})
+
+	sums := map[string]float64{}
+	for _, tu := range got {
+		sums[tu.Key] = tu.Val // cumulative: the last emission covers everything
+	}
+	if sums["h1"] != 60 || sums["h2"] != 50 {
+		t.Errorf("sketch group sums = %v, want h1:60 h2:50", sums)
+	}
+}
+
+func TestDistinctCountTopologySketchAndExact(t *testing.T) {
+	var tuples []tuple.Tuple
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, tuple.Tuple{
+			DstIP:  "svc-a",
+			SrcIP:  fmt.Sprintf("10.0.%d.%d", i/250, i%250),
+			FlowID: uint64(i),
+		})
+	}
+	for i := 0; i < 5; i++ {
+		tuples = append(tuples, tuple.Tuple{DstIP: "svc-b", SrcIP: "10.9.9.9", FlowID: uint64(1000 + i)})
+	}
+
+	for _, sk := range []string{"true", "false"} {
+		got := runTopology(t,
+			ProcessorSpec{Name: "distinct-count", Args: map[string]string{"group": "dstIP", "over": "srcIP", "w": "1h", "sketch": sk}},
+			tuples, TopologyOptions{})
+
+		counts := map[string]float64{}
+		for _, tu := range got {
+			counts[tu.Key] = tu.Val
+		}
+		if math.Abs(counts["svc-a"]-200) > 200*0.1 {
+			t.Errorf("sketch=%s: svc-a distinct = %v, want ~200", sk, counts["svc-a"])
+		}
+		if math.Abs(counts["svc-b"]-1) > 0.5 {
+			t.Errorf("sketch=%s: svc-b distinct = %v, want 1", sk, counts["svc-b"])
+		}
+	}
+}
+
+func TestSketchTopKMergeBoltWindow(t *testing.T) {
+	// Ring of 2 slots: a key offered two ticks ago must age out of the window.
+	local := NewSketchTopKBolt(16)
+	merge := NewSketchTopKMergeBolt(5, 16, 2)
+
+	var toMerge []tuple.Tuple
+	collect := func(t tuple.Tuple) { toMerge = append(toMerge, t) }
+	var ranked []tuple.Tuple
+	sink := func(t tuple.Tuple) { ranked = append(ranked, t) }
+
+	window := func() map[string]float64 {
+		out := map[string]float64{}
+		for _, tu := range ranked {
+			if entries, ok := DecodeRankings(tu); ok {
+				out = map[string]float64{}
+				for _, e := range entries {
+					out[e.Key] = e.Count
+				}
+			}
+		}
+		return out
+	}
+
+	step := func(keys ...string) {
+		for _, k := range keys {
+			local.Execute(tuple.Tuple{Key: k, Val: 1}, collect)
+		}
+		local.Tick(collect)
+		for _, tu := range toMerge {
+			merge.Execute(tu, sink)
+		}
+		toMerge = nil
+		ranked = nil
+		merge.Tick(sink)
+	}
+
+	step("old", "old", "old")
+	if w := window(); w["old"] != 3 {
+		t.Fatalf("tick 1 window = %v, want old:3", w)
+	}
+	step("new")
+	if w := window(); w["old"] != 3 || w["new"] != 1 {
+		t.Fatalf("tick 2 window = %v, want old:3 new:1", w)
+	}
+	step("new")
+	// "old" was offered in tick 1; a 2-slot window at tick 3 covers ticks 2-3.
+	if w := window(); w["old"] != 0 || w["new"] != 2 {
+		t.Errorf("tick 3 window = %v, want old aged out, new:2", w)
+	}
+}
+
+func TestSketchTupleRoundTrip(t *testing.T) {
+	tu := encodeSketchTuple([]byte{0x01, 0x02, 0xff}, "grp")
+	payload, group, ok := decodeSketchTuple(tu)
+	if !ok || group != "grp" || len(payload) != 3 || payload[2] != 0xff {
+		t.Errorf("round trip = (%v, %q, %v)", payload, group, ok)
+	}
+	if _, _, ok := decodeSketchTuple(tuple.Tuple{Key: "plain"}); ok {
+		t.Error("plain tuple decoded as sketch")
+	}
+}
+
+func TestDistinctCountProcessorListed(t *testing.T) {
+	for _, name := range ProcessorNames() {
+		if name == "distinct-count" {
+			return
+		}
+	}
+	t.Errorf("ProcessorNames() = %v, missing distinct-count", ProcessorNames())
+}
+
+// --- satellite: RankBolt bounded-heap flush ---------------------------------
+
+func TestTopEntriesMatchesSort(t *testing.T) {
+	m := map[string]float64{}
+	for i := 0; i < 500; i++ {
+		m[fmt.Sprintf("k%03d", i)] = float64((i * 37) % 101) // repeated counts exercise ties
+	}
+	want := make([]RankEntry, 0, len(m))
+	for k, v := range m {
+		want = append(want, RankEntry{Key: k, Count: v})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Count != want[j].Count {
+			return want[i].Count > want[j].Count
+		}
+		return want[i].Key < want[j].Key
+	})
+	for _, k := range []int{1, 3, 10, 100, 499, 500, 1000} {
+		got := topEntries(m, k)
+		expect := want
+		if len(expect) > k {
+			expect = expect[:k]
+		}
+		if len(got) != len(expect) {
+			t.Fatalf("k=%d: len = %d, want %d", k, len(got), len(expect))
+		}
+		for i := range got {
+			if got[i] != expect[i] {
+				t.Fatalf("k=%d: entry %d = %+v, want %+v", k, i, got[i], expect[i])
+			}
+		}
+	}
+}
+
+func BenchmarkRankBoltFlush(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		entries := map[string]float64{}
+		for i := 0; i < n; i++ {
+			entries[fmt.Sprintf("key-%07d", i)] = float64(i % 997)
+		}
+		b.Run(fmt.Sprintf("heap/n=%d/k=10", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topEntries(entries, 10)
+			}
+		})
+		b.Run(fmt.Sprintf("sort/n=%d/k=10", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				all := make([]RankEntry, 0, len(entries))
+				for k, v := range entries {
+					all = append(all, RankEntry{Key: k, Count: v})
+				}
+				sort.Slice(all, func(i, j int) bool {
+					if all[i].Count != all[j].Count {
+						return all[i].Count > all[j].Count
+					}
+					return all[i].Key < all[j].Key
+				})
+				_ = all[:10]
+			}
+		})
+	}
+}
+
+// --- satellite: PercentileBolt reservoir cap --------------------------------
+
+func TestPercentileBoltReservoirCap(t *testing.T) {
+	b := NewPercentileBolt("", []float64{50})
+	b.SetMaxSamples(256)
+	emit := func(tuple.Tuple) {}
+	for i := 0; i < 100000; i++ {
+		b.Execute(tuple.Tuple{Val: float64(i % 1000)}, emit)
+	}
+	if n := len(b.samples["all"]); n != 256 {
+		t.Fatalf("reservoir holds %d samples, want cap 256", n)
+	}
+	if b.seen["all"] != 100000 {
+		t.Errorf("seen = %d, want 100000", b.seen["all"])
+	}
+
+	var got []tuple.Tuple
+	b.Cleanup(func(t tuple.Tuple) { got = append(got, t) })
+	if len(got) != 1 {
+		t.Fatalf("emitted %d tuples, want 1", len(got))
+	}
+	// Uniform values in [0,1000): the reservoir median should land near 500.
+	// With 256 uniform samples the sample median's stderr is ~31, so ±150 is
+	// a >4σ allowance — deterministic rng makes this stable anyway.
+	if p50 := got[0].Val; p50 < 350 || p50 > 650 {
+		t.Errorf("reservoir p50 = %v, want ~500", p50)
+	}
+}
+
+func TestPercentileBoltRollingResetsReservoir(t *testing.T) {
+	b := NewPercentileBolt("", []float64{50})
+	b.SetRolling(true)
+	b.SetMaxSamples(8)
+	emit := func(tuple.Tuple) {}
+	for i := 0; i < 100; i++ {
+		b.Execute(tuple.Tuple{Val: 1}, emit)
+	}
+	b.Tick(emit)
+	if len(b.samples) != 0 || len(b.seen) != 0 {
+		t.Fatalf("rolling flush left samples=%v seen=%v", b.samples, b.seen)
+	}
+	// After the reset the reservoir must refill eagerly, not gate on the old
+	// seen count.
+	b.Execute(tuple.Tuple{Val: 42}, emit)
+	if len(b.samples["all"]) != 1 {
+		t.Errorf("post-reset reservoir = %v, want the new sample", b.samples["all"])
+	}
+}

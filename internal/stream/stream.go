@@ -386,6 +386,13 @@ func (e *Executor) TaskCount() int {
 	return n
 }
 
+// Nodes returns the topology's node names in declaration order — spouts
+// first, then bolts — so callers can introspect which pipeline variant a
+// query compiled to (e.g. the sketch merge stage vs the exact rank stage).
+func (e *Executor) Nodes() []string {
+	return append([]string(nil), e.topo.order...)
+}
+
 // QueueLag returns the number of tuples in flight inside the executor:
 // emitted into a downstream task queue (or being executed right now) but
 // not yet fully processed. Counting tuples rather than channel occupancy

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"netalytics/internal/sketch"
 	"netalytics/internal/tuple"
 )
 
@@ -66,7 +67,57 @@ func (s ProcessorSpec) DurationArg(name string, def time.Duration) (time.Duratio
 
 // ProcessorNames lists the prebuilt topologies a PROCESS clause may use.
 func ProcessorNames() []string {
-	return []string{"top-k", "diff", "diff-group", "diff-group-avg", "diff-percentile", "join", "join-group", "group-sum", "group-avg", "group-count", "passthrough"}
+	return []string{"top-k", "diff", "diff-group", "diff-group-avg", "diff-percentile", "join", "join-group", "group-sum", "group-avg", "group-count", "distinct-count", "passthrough"}
+}
+
+// TopologyOptions selects deployment-wide topology construction defaults —
+// today, whether the counting pipelines are built from bounded-memory
+// mergeable sketches instead of exact per-key state (see "Sketch analytics"
+// in DESIGN.md). A query can override the mode per processor with the
+// sketch=true/false argument.
+type TopologyOptions struct {
+	// Sketch builds top-k, group-sum/group-count and distinct-count from
+	// partition-local sketch bolts plus an O(parallelism) merge stage, in
+	// place of exact hash-map bolts behind a global-grouping shuffle.
+	Sketch bool
+	// SketchTopKCapacity is the space-saving counter budget for top-k
+	// pipelines; 0 derives sketch.DefaultCapacity(k) from the query's k.
+	SketchTopKCapacity int
+	// CountMinDepth/CountMinWidth size the count-min grid of counting
+	// pipelines; 0 uses DefaultCountMinDepth/DefaultCountMinWidth.
+	CountMinDepth int
+	CountMinWidth int
+	// HLLPrecision is the distinct-count register exponent; 0 uses
+	// sketch.DefaultHLLPrecision.
+	HLLPrecision int
+}
+
+// Count-min defaults: depth 4 → δ = e⁻⁴ ≈ 1.8%, width 2048 → ε ≈ 0.13% of
+// the window's total weight, 64 KB per task.
+const (
+	DefaultCountMinDepth = 4
+	DefaultCountMinWidth = 2048
+)
+
+func (o TopologyOptions) withDefaults() TopologyOptions {
+	if o.CountMinDepth <= 0 {
+		o.CountMinDepth = DefaultCountMinDepth
+	}
+	if o.CountMinWidth <= 0 {
+		o.CountMinWidth = DefaultCountMinWidth
+	}
+	if o.HLLPrecision <= 0 {
+		o.HLLPrecision = sketch.DefaultHLLPrecision
+	}
+	return o
+}
+
+// topKCapacity resolves the space-saving budget for a top-k of k.
+func (o TopologyOptions) topKCapacity(k int) int {
+	if o.SketchTopKCapacity > 0 {
+		return o.SketchTopKCapacity
+	}
+	return sketch.DefaultCapacity(k)
 }
 
 // BuildTopology assembles a named topology reading from spouts built by
@@ -81,11 +132,19 @@ func ProcessorNames() []string {
 // The built topologies need no batching awareness: the executor moves
 // sub-batches between tasks and unrolls them for bolts that only implement
 // Execute, while bolts with an ExecuteBatch fast path (the parsing,
-// counting, grouping, and callback blocks here) receive whole sub-batches.
+// counting, grouping, sketching, and callback blocks here) receive whole
+// sub-batches.
 func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, out func(tuple.Tuple), tick time.Duration) (*Topology, error) {
+	return BuildTopologyOpts(spec, spoutFactory, spoutPar, out, tick, TopologyOptions{})
+}
+
+// BuildTopologyOpts is BuildTopology with explicit construction options —
+// the entry point the engine uses to honor core.Config.SketchAnalytics.
+func BuildTopologyOpts(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, out func(tuple.Tuple), tick time.Duration, opts TopologyOptions) (*Topology, error) {
 	if tick <= 0 {
 		tick = DefaultTickInterval
 	}
+	opts = opts.withDefaults()
 	topo := NewTopology(spec.Name)
 	if err := topo.AddSpout("spout", spoutFactory, spoutPar); err != nil {
 		return nil, err
@@ -114,9 +173,35 @@ func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, 
 		if slots > 600 {
 			slots = 600
 		}
+		sketchOn, err := spec.BoolArg("sketch", opts.Sketch)
+		if err != nil {
+			return nil, err
+		}
 		if err := topo.AddBolt("parse", func() Bolt { return &ParseBolt{} }, tasks).
 			ShuffleFrom("spout").Err(); err != nil {
 			return nil, err
+		}
+		if sketchOn {
+			// Sketch pipeline: partition-local space-saving summaries over a
+			// shuffle (no per-key routing, no hot-key imbalance), merged per
+			// tick by a combiner that sees O(tasks) sketches instead of every
+			// tuple. O(capacity) memory regardless of distinct-key count.
+			capacity, err := spec.IntArg("cap", opts.topKCapacity(k))
+			if err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("sketch", func() Bolt { return NewSketchTopKBolt(capacity) }, tasks).
+				ShuffleFrom("parse").Err(); err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("merge", func() Bolt { return NewSketchTopKMergeBolt(k, capacity, slots) }, 1).
+				GlobalFrom("sketch").Err(); err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("sink", sink, 1).GlobalFrom("merge").Err(); err != nil {
+				return nil, err
+			}
+			break
 		}
 		if err := topo.AddBolt("count", func() Bolt { return NewRollingCountBolt(slots) }, tasks).
 			FieldsFrom("parse", "").Err(); err != nil {
@@ -237,11 +322,90 @@ func BuildTopology(spec ProcessorSpec, spoutFactory func() Spout, spoutPar int, 
 		if err != nil {
 			return nil, err
 		}
+		sketchOn, err := spec.BoolArg("sketch", opts.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		// Only sum and count have a count-min form; avg/max/min stay exact
+		// even in sketch mode (their group side is low-cardinality anyway).
+		if sketchOn && (agg == AggSum || agg == AggCount) {
+			candidates, err := spec.IntArg("cap", opts.topKCapacity(64))
+			if err != nil {
+				return nil, err
+			}
+			// rolling=true keeps per-tick windows (one slot); rolling=false
+			// matches the exact bolt's cumulative aggregates (slots ≤ 0).
+			slots := 0
+			if rolling {
+				slots = 1
+			}
+			if err := topo.AddBolt("sketch", func() Bolt {
+				return NewSketchCountBolt(group, agg == AggSum, candidates, opts.CountMinDepth, opts.CountMinWidth)
+			}, tasks).ShuffleFrom("spout").Err(); err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("merge", func() Bolt { return NewSketchCountMergeBolt(candidates, slots) }, 1).
+				GlobalFrom("sketch").Err(); err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("sink", sink, 1).GlobalFrom("merge").Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
 		if err := topo.AddBolt("group", func() Bolt { return NewGroupBolt(group, agg, rolling) }, tasks).
 			FieldsFrom("spout", group).Err(); err != nil {
 			return nil, err
 		}
 		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("group").Err(); err != nil {
+			return nil, err
+		}
+
+	case "distinct-count":
+		// Distinct values of one attribute per group of another — e.g.
+		// (distinct-count: group=dstIP, over=srcIP) tallies distinct clients
+		// per service. Sketch mode keeps one HLL per group per task; the
+		// exact baseline keeps a set per group behind fields grouping.
+		group := spec.Arg("group", "dstIP")
+		over := spec.Arg("over", "srcIP")
+		window, err := spec.DurationArg("w", 10*tick)
+		if err != nil {
+			return nil, err
+		}
+		slots := int(window / tick)
+		if slots < 1 {
+			slots = 1
+		}
+		if slots > 600 {
+			slots = 600
+		}
+		sketchOn, err := spec.BoolArg("sketch", opts.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		if sketchOn {
+			precision, err := spec.IntArg("p", opts.HLLPrecision)
+			if err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("sketch", func() Bolt { return NewDistinctCountBolt(group, over, precision) }, tasks).
+				ShuffleFrom("spout").Err(); err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("merge", func() Bolt { return NewDistinctCountMergeBolt(precision, slots) }, 1).
+				GlobalFrom("sketch").Err(); err != nil {
+				return nil, err
+			}
+			if err := topo.AddBolt("sink", sink, 1).GlobalFrom("merge").Err(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if err := topo.AddBolt("distinct", func() Bolt { return NewExactDistinctBolt(group, over, slots) }, tasks).
+			FieldsFrom("spout", group).Err(); err != nil {
+			return nil, err
+		}
+		if err := topo.AddBolt("sink", sink, 1).GlobalFrom("distinct").Err(); err != nil {
 			return nil, err
 		}
 

@@ -181,6 +181,63 @@ func (p *PopularityTrace) Interval(n int) []int {
 // URL renders a content ID as the video URL form used by the examples.
 func URL(id int) string { return fmt.Sprintf("/videos/%04d.mp4", id) }
 
+// ZipfURLs streams Zipf-popularity URLs over an arbitrarily large distinct-key
+// space — tens of millions of keys — without materializing a catalog. Where
+// PopularityTrace keeps a rank→id permutation array (fine at thousands of
+// items, hopeless at 10 M), ZipfURLs maps each drawn rank through the
+// splitmix64 finalizer, a bijection on uint64: distinct ranks yield distinct,
+// well-scattered key identities at zero memory. The same mapping is exposed
+// via URLOf, so tests and benchmarks know analytically which keys are heavy —
+// rank 0 is always the most popular URL — without tracking ground truth maps.
+type ZipfURLs struct {
+	zipf     *rand.Zipf
+	distinct uint64
+	salt     uint64
+}
+
+// NewZipfURLs creates a generator over `distinct` possible URLs (min 1) with
+// Zipf skew s (values ≤ 1 default to 1.2, matching NewPopularityTrace). salt
+// perturbs the rank→identity mapping so separate generators draw from
+// disjoint-looking key spaces.
+func NewZipfURLs(distinct uint64, s float64, salt uint64, rng *rand.Rand) *ZipfURLs {
+	if distinct < 1 {
+		distinct = 1
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	return &ZipfURLs{
+		zipf:     rand.NewZipf(rng, s, 1, distinct-1),
+		distinct: distinct,
+		salt:     salt,
+	}
+}
+
+// Distinct returns the size of the generator's URL space.
+func (z *ZipfURLs) Distinct() uint64 { return z.distinct }
+
+// Next draws one URL; popularity follows the Zipf law over ranks.
+func (z *ZipfURLs) Next() string { return z.URLOf(z.zipf.Uint64()) }
+
+// NextRank draws one popularity rank (0 = most popular).
+func (z *ZipfURLs) NextRank() uint64 { return z.zipf.Uint64() }
+
+// URLOf renders the URL at a popularity rank. The mapping is deterministic
+// per salt, so callers can enumerate the heavy hitters (ranks 0..k-1) that a
+// top-k over the stream must surface.
+func (z *ZipfURLs) URLOf(rank uint64) string {
+	return fmt.Sprintf("/videos/%016x.mp4", splitmix64(rank^z.salt))
+}
+
+// splitmix64 is the splitmix64 finalizer — a bijective avalanche mix on
+// uint64, so rank→identity never collides no matter the key-space size.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Blaster generates fixed-size TCP frames over a set of synthetic flows,
 // standing in for PktGen-DPDK.
 type Blaster struct {

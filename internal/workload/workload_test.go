@@ -246,3 +246,55 @@ func TestBlasterNextBurst(t *testing.T) {
 		t.Error("NextBurst allocated a fresh slice for a smaller burst")
 	}
 }
+
+func TestZipfURLsSkewAndDeterminism(t *testing.T) {
+	z := NewZipfURLs(10_000_000, 1.2, 7, rand.New(rand.NewSource(1)))
+	if z.Distinct() != 10_000_000 {
+		t.Fatalf("Distinct = %d", z.Distinct())
+	}
+	counts := map[string]int{}
+	for i := 0; i < 50_000; i++ {
+		counts[z.Next()]++
+	}
+	// Zipf skew: rank 0 must dominate, and be exactly URLOf(0).
+	top := z.URLOf(0)
+	if counts[top] < 5000 {
+		t.Errorf("rank-0 URL drawn %d/50000 times, want heavy dominance", counts[top])
+	}
+	for url, n := range counts {
+		if n > counts[top] {
+			t.Errorf("URL %s (%d draws) beats rank 0 (%d)", url, n, counts[top])
+		}
+	}
+	// URLOf is deterministic per salt and differs across salts.
+	z2 := NewZipfURLs(10_000_000, 1.2, 7, rand.New(rand.NewSource(99)))
+	if z2.URLOf(0) != top {
+		t.Error("URLOf not deterministic for equal salts")
+	}
+	if NewZipfURLs(10_000_000, 1.2, 8, rand.New(rand.NewSource(1))).URLOf(0) == top {
+		t.Error("different salts map rank 0 to the same URL")
+	}
+}
+
+func TestZipfURLsRankIdentitiesDistinct(t *testing.T) {
+	// splitmix64 is bijective: sequential ranks must render distinct URLs.
+	z := NewZipfURLs(1_000_000, 1.5, 0, rand.New(rand.NewSource(1)))
+	seen := map[string]uint64{}
+	for r := uint64(0); r < 100_000; r++ {
+		u := z.URLOf(r)
+		if prev, dup := seen[u]; dup {
+			t.Fatalf("ranks %d and %d both map to %s", prev, r, u)
+		}
+		seen[u] = r
+	}
+}
+
+func TestZipfURLsDefaults(t *testing.T) {
+	z := NewZipfURLs(0, 0.5, 0, rand.New(rand.NewSource(1)))
+	if z.Distinct() != 1 {
+		t.Errorf("Distinct = %d, want clamp to 1", z.Distinct())
+	}
+	if z.Next() != z.URLOf(0) {
+		t.Error("single-key space must always draw rank 0")
+	}
+}
