@@ -1080,6 +1080,119 @@ func benchScaleoutMonitor(b *testing.B, steal bool, cores int) {
 	}
 }
 
+// --- Shared-tap control plane: 1 -> 128 concurrent queries ---
+
+// BenchmarkMultiQuery sweeps concurrent query count over a k=8 fat tree (128
+// hosts) with ~50% demand overlap: even-numbered queries all demand the same
+// (server, port) pair, odd-numbered queries each demand their own server.
+// ns/op is the per-frame fabric cost of injecting traffic while n queries
+// hold their mirror rules — the legacy plane pays one tap delivery per
+// subscribed monitor on each mirror host, the shared plane one per merged
+// tap. The control-plane footprint lands as custom metrics: mirror-rules and
+// monitors installed for the query set, plus mirrored-per-frame (fabric
+// deliveries) and parsed-per-frame (monitor work) per injected frame. CI
+// publishes the sweep as BENCH_multiquery.json; the tentpole acceptance bound
+// (shared ≤ 0.6× legacy rules and parsed frames at 64 queries) is asserted in
+// TestSharedTapsMergeRatio — the bench shows the whole curve.
+func BenchmarkMultiQuery(b *testing.B) {
+	for _, shared := range []bool{false, true} {
+		mode := "legacy"
+		if shared {
+			mode = "shared"
+		}
+		for _, n := range []int{1, 8, 32, 64, 128} {
+			b.Run(fmt.Sprintf("%s/queries=%d", mode, n), func(b *testing.B) {
+				benchMultiQuery(b, shared, n)
+			})
+		}
+	}
+}
+
+func benchMultiQuery(b *testing.B, shared bool, queries int) {
+	topo := topology.MustNew(8)
+	engine := core.NewEngine(topo, core.Config{
+		TickInterval: 50 * time.Millisecond,
+		SharedTaps:   shared,
+	})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	client := hosts[len(hosts)-1]
+	overlapSrv := hosts[0]
+	// Distinct demands each get their own server host so the legacy plane
+	// places genuinely separate monitors; port stays 80 throughout.
+	distinct := hosts[1 : len(hosts)-1]
+
+	var sessions []*core.Session
+	demands := map[*topology.Host]bool{}
+	for i := 0; i < queries; i++ {
+		srv := overlapSrv
+		if i%2 == 1 {
+			srv = distinct[(i/2)%len(distinct)]
+		}
+		demands[srv] = true
+		sess, err := engine.Submit(fmt.Sprintf(
+			"PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", srv.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+		go func() {
+			for range sess.Results() {
+			}
+		}()
+	}
+
+	// One crafted GET frame per unique demand; the timed loop cycles them.
+	var pb packet.Builder
+	var frames [][]byte
+	sp := uint16(20000)
+	for srv := range demands {
+		sp++
+		frames = append(frames, pb.TCP(packet.TCPSpec{
+			Src: client.Addr, Dst: srv.Addr,
+			SrcPort: sp, DstPort: 80,
+			Flags:   packet.TCPFlagACK,
+			Payload: []byte("GET /bench HTTP/1.1\r\nHost: h\r\n\r\n"),
+		}))
+	}
+
+	parsed := func() uint64 {
+		var sum uint64
+		for _, in := range engine.Orchestrator().All() {
+			sum += in.Monitor.Stats().Received
+		}
+		return sum
+	}
+	startMirrored := engine.Network().Stats().Mirrored
+	b.SetBytes(int64(len(frames[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := engine.Network().Inject(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	// Quiesce: every mirrored frame pumped and parsed before counting.
+	prev := uint64(0)
+	for i := 0; i < 200; i++ {
+		cur := parsed()
+		if cur > 0 && cur == prev && engine.Network().TapQueueDepth() == 0 {
+			break
+		}
+		prev = cur
+		time.Sleep(10 * time.Millisecond)
+	}
+	injected := float64(b.N)
+	b.ReportMetric(float64(engine.Controller().RuleCount()), "mirror-rules")
+	b.ReportMetric(float64(engine.Orchestrator().InstanceCount()), "monitors")
+	b.ReportMetric(float64(engine.Network().Stats().Mirrored-startMirrored)/injected, "mirrored-per-frame")
+	b.ReportMetric(float64(parsed())/injected, "parsed-per-frame")
+	for _, sess := range sessions {
+		sess.Stop()
+	}
+}
+
 // --- Sketch analytics: exact vs sketch at high cardinality ---
 
 // sketchRetention is the untimed half of BenchmarkSketchTopKScaling: stream

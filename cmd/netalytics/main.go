@@ -13,6 +13,14 @@
 // file, and -trace-every N sets the stage-latency trace sampling period
 // (0 = default 1-in-64, 1 = every tuple, negative disables tracing).
 //
+// Multi-query: -queries-file path deploys every query in the file (one per
+// line, blank lines and #-comments skipped) against the same testbed.
+// Rejected queries are reported individually with their line number and the
+// rest of the batch still runs. -shared-taps turns on the shared-tap control
+// plane: overlapping queries merge onto one mirror rule, one monitor and one
+// parsed-tuple stream per demand, with demux fan-out to each subscriber (see
+// DESIGN.md "Shared-tap control plane").
+//
 // Insight: -insight runs the always-on anomaly-detection tier — it submits
 // its own observation queries, learns per-series baselines, and correlates
 // anomalies into rooted incidents served at http://addr/incidents (beside
@@ -110,6 +118,8 @@ type runOpts struct {
 	sketchAnalytics   bool   // compile top-k/count/distinct onto sketch bolts
 	sketchTopKCap     int    // space-saving counters per top-k sketch, 0 = default
 	adaptiveSample    bool   // backpressure-driven AIMD sampling controller
+	sharedTaps        bool   // demand-merging shared-tap control plane
+	queriesFile       string // deploy every query in this file concurrently
 }
 
 // insightPeriod resolves the -insight/-insight-every pair into a snapshot
@@ -143,18 +153,27 @@ func main() {
 	flag.BoolVar(&o.sketchAnalytics, "sketch-analytics", false, "compile top-k, group counts and distinct counts onto bounded-memory mergeable sketches (space-saving, count-min, HLL) instead of exact hash maps")
 	flag.IntVar(&o.sketchTopKCap, "sketch-topk-capacity", 0, "space-saving counters per top-k sketch instance (0 = 8*k; error bound is N/capacity)")
 	flag.BoolVar(&o.adaptiveSample, "adaptive-sample", false, "AIMD sampling controller for SAMPLE * queries: halve the monitor sample rate under mq backpressure, recover to 1.0 when it clears (rate and estimated error exported via /metrics)")
+	flag.BoolVar(&o.sharedTaps, "shared-taps", false, "demand-merging control plane: overlapping queries share one mirror rule, monitor and parsed-tuple stream per demand, demuxed per subscriber (0 queries = legacy A/B)")
+	flag.StringVar(&o.queriesFile, "queries-file", "", "deploy every query in this file (one per line, # comments) against the same testbed; rejected queries are reported per line and the rest still run")
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
 	o.query = flag.Arg(0)
 
 	var err error
-	if *interactive {
+	switch {
+	case *interactive:
 		if o.faultSpec != "" {
 			fmt.Fprintln(os.Stderr, "netalytics: -fault-spec is ignored in interactive mode")
 			o.faultSpec = ""
 		}
+		if o.queriesFile != "" {
+			fmt.Fprintln(os.Stderr, "netalytics: -queries-file is ignored in interactive mode")
+			o.queriesFile = ""
+		}
 		err = runInteractive(o)
-	} else {
+	case o.queriesFile != "":
+		err = runMulti(o)
+	default:
 		err = run(o)
 	}
 	if err != nil {
@@ -334,6 +353,7 @@ func buildDemo(o runOpts) (*demo, error) {
 		SketchAnalytics:    o.sketchAnalytics,
 		SketchTopKCapacity: o.sketchTopKCap,
 		AdaptiveSample:     o.adaptiveSample,
+		SharedTaps:         o.sharedTaps,
 	}
 	if period := o.insightPeriod(); period > 0 {
 		engCfg.Insight = &netalytics.InsightConfig{SnapshotPeriod: period}
@@ -468,6 +488,105 @@ func printTelemetry(sess *netalytics.Session) {
 			stage.Stage, stage.Count,
 			time.Duration(stage.P50NS), time.Duration(stage.P95NS), time.Duration(stage.P99NS))
 	}
+}
+
+// multiQuery is one deployed entry of a -queries-file batch. results is owned
+// by the drain goroutine until its WaitGroup slot is done.
+type multiQuery struct {
+	lineNo  int
+	line    string
+	sess    *netalytics.Session
+	results int
+}
+
+// runMulti deploys every query in o.queriesFile against one testbed, drives
+// the demo load while they all run, and reports each query's outcome
+// individually. A rejected query (parse error, unknown host, unplaceable
+// demand) is reported with its line number and does not abort the batch.
+func runMulti(o runOpts) error {
+	data, err := os.ReadFile(o.queriesFile)
+	if err != nil {
+		return err
+	}
+	d, err := buildDemo(o)
+	if err != nil {
+		return err
+	}
+	defer d.close()
+
+	if o.metricsAddr != "" {
+		_, stop, err := serveMetrics(o.metricsAddr, d.tb)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	var (
+		batch    []*multiQuery
+		rejected int
+		wg       sync.WaitGroup
+	)
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sess, err := d.tb.Submit(line)
+		if err != nil {
+			rejected++
+			fmt.Fprintf(os.Stderr, "query at line %d rejected: %v\n    %s\n", i+1, err, line)
+			continue
+		}
+		q := &multiQuery{lineNo: i + 1, line: line, sess: sess}
+		batch = append(batch, q)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range q.sess.Results() {
+				q.results++
+			}
+		}()
+	}
+	if len(batch) == 0 {
+		return fmt.Errorf("%s: no query deployed (%d rejected)", o.queriesFile, rejected)
+	}
+	eng := d.tb.Engine()
+	fmt.Printf("deployed %d/%d queries (%d rejected): %d mirror rules, %d monitor instances\n",
+		len(batch), len(batch)+rejected, rejected,
+		d.tb.Controller().RuleCount(), eng.Orchestrator().InstanceCount())
+	if merged := eng.SharedMonitorCount(); merged > 0 {
+		fmt.Printf("shared taps: %d merged monitors serve the batch\n", merged)
+	}
+
+	go apps.RunHTTPLoad(d.tb.Network(), d.client, apps.LoadConfig{
+		Requests: o.requests, Concurrency: 4, Target: d.proxy,
+		URL: func(i int) string {
+			switch i % 4 {
+			case 0:
+				return "/db"
+			case 1, 2:
+				return "/cache"
+			default:
+				return workload.URL(i % 25)
+			}
+		},
+	})
+
+	time.Sleep(o.duration)
+	for _, q := range batch {
+		q.sess.Stop()
+	}
+	wg.Wait()
+	for _, q := range batch {
+		line := q.line
+		if len(line) > 72 {
+			line = line[:69] + "..."
+		}
+		fmt.Printf("[%s] line %-3d results=%-6d packets=%-8d %s\n",
+			q.sess.ID, q.lineNo, q.results, q.sess.Packets(), line)
+	}
+	return nil
 }
 
 func run(o runOpts) error {

@@ -94,14 +94,15 @@ func (a *adaptiveSampler) step() {
 	a.apply(rate)
 }
 
-// apply pushes the rate to every monitor (under failMu — failover may be
-// swapping instances) and publishes it.
+// apply pushes the rate to every sampling control point — dedicated monitors,
+// or this query's demux subscriptions in shared-tap mode — under failMu
+// (failover may be swapping instances), and publishes it.
 func (a *adaptiveSampler) apply(rate float64) {
 	a.rateG.Set(rate)
 	a.s.failMu.Lock()
 	defer a.s.failMu.Unlock()
-	for _, in := range a.s.instances {
-		in.Monitor.SetSampleRate(rate)
+	for _, tgt := range a.s.rateTargets() {
+		tgt.SetSampleRate(rate)
 	}
 }
 

@@ -72,6 +72,15 @@ type Config struct {
 	// SketchTopKCapacity pins the space-saving counter budget for top-k
 	// queries. 0 derives it from each query's k (sketch.DefaultCapacity).
 	SketchTopKCapacity int
+	// SharedTaps enables the demand-merging shared-tap control plane
+	// (DESIGN.md "Shared-tap control plane"): overlapping queries share one
+	// refcounted SDN mirror rule, one monitor NF per host and one parse of
+	// the mirrored stream, with a demux fanning parsed tuples out to each
+	// subscribed query. false — the default — keeps the legacy
+	// one-query-one-monitor control plane, the A/B baseline. Queries with a
+	// packet LIMIT always take the legacy path (a shared monitor's frame
+	// count is not attributable to one query), even when SharedTaps is on.
+	SharedTaps bool
 	// AdaptiveSample enables the per-query adaptive sampling controller:
 	// queries that don't pin their own SAMPLE policy get an AIMD controller
 	// driven by mq occupancy and stream queue lag, exporting its effective
@@ -150,6 +159,7 @@ type Engine struct {
 	mq      *mq.Cluster
 	nfv     *nfv.Orchestrator
 	insight *insight.Tier // nil unless Config.Insight was set
+	shared  *sharedTaps   // nil unless Config.SharedTaps was set
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -185,11 +195,23 @@ func NewEngine(topo *topology.FatTree, cfg Config) *Engine {
 		nfv:      nfv.New(net),
 		sessions: make(map[string]*Session),
 	}
+	if cfg.SharedTaps {
+		e.shared = newSharedTaps(e)
+	}
 	// Monitor failover: a crashed instance dispatches to its session, which
 	// relaunches it and re-installs its mirror rules (see handleMonitorCrash).
-	// Wired unconditionally — Crash is also reachable directly through the
-	// orchestrator, not only through the fault injector.
+	// Shared-tap instances run under the synthetic sharedOwner query and
+	// dispatch to the registry instead, which relaunches the monitor and
+	// re-installs the rules of every subscribed query. Wired unconditionally —
+	// Crash is also reachable directly through the orchestrator, not only
+	// through the fault injector.
 	e.nfv.SetOnCrash(func(queryID string, in *nfv.Instance) {
+		if queryID == sharedOwner {
+			if e.shared != nil {
+				e.shared.handleCrash(in)
+			}
+			return
+		}
 		if s := e.Session(queryID); s != nil {
 			s.handleMonitorCrash(in)
 		}
@@ -248,6 +270,15 @@ func (e *Engine) Metrics() *telemetry.Registry { return e.cfg.Metrics }
 // Insight returns the running insight tier, or nil when Config.Insight was
 // not set.
 func (e *Engine) Insight() *insight.Tier { return e.insight }
+
+// SharedMonitorCount returns the number of live shared monitor instances,
+// 0 when Config.SharedTaps is off.
+func (e *Engine) SharedMonitorCount() int {
+	if e.shared == nil {
+		return 0
+	}
+	return e.shared.MonitorCount()
+}
 
 // Sessions lists the currently running query sessions.
 func (e *Engine) Sessions() []*Session {

@@ -31,12 +31,17 @@ type Session struct {
 
 	engine *Engine
 
-	instances []*nfv.Instance
-	executors []*stream.Executor
-	samplers  []*monitor.AIMDSampler
-	adaptive  *adaptiveSampler // non-nil when Config.AdaptiveSample engaged
-	topics    []string
-	tracer    *telemetry.Tracer
+	instances  []*nfv.Instance
+	sharedSubs []*sharedSub // shared-tap mode: one subscription per host
+	executors  []*stream.Executor
+	samplers   []*monitor.AIMDSampler
+	// sampleTargets parallels samplers: the control point each one drives
+	// (a dedicated Monitor, or this query's DemuxSub on a shared monitor).
+	sampleTargets []monitor.SampleTarget
+	adaptive      *adaptiveSampler // non-nil when Config.AdaptiveSample engaged
+	topics        []string
+	finalTopics   map[string]mq.TopicStats // topic stats frozen at Stop (guarded by failMu)
+	tracer        *telemetry.Tracer
 
 	// failMu guards the monitor roster (instances, samplers, slots) against
 	// concurrent mutation by monitor failover. Readers that walk the roster
@@ -66,8 +71,21 @@ func (s *Session) Results() <-chan tuple.Tuple { return s.results }
 func (s *Session) Done() <-chan struct{} { return s.done }
 
 // Packets returns the number of mirrored frames delivered to the session's
-// monitors.
-func (s *Session) Packets() uint64 { return s.packets.Load() }
+// monitors. In shared-tap mode it is the frames its shared monitors pumped
+// while this session was subscribed (deltas against attach-time baselines) —
+// overlapping queries on the same host observe the same shared stream.
+func (s *Session) Packets() uint64 {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if len(s.sharedSubs) > 0 {
+		var total uint64
+		for _, ss := range s.sharedSubs {
+			total += ss.mon.counter.Load() - ss.baseline
+		}
+		return total
+	}
+	return s.packets.Load()
+}
 
 // ResultDrops returns results discarded because the caller fell behind.
 func (s *Session) ResultDrops() uint64 { return s.resultDrops.Load() }
@@ -83,20 +101,32 @@ type monitorSlot struct {
 	ruleIDs []uint64
 }
 
-// MonitorCount returns how many NFV monitors the query deployed.
+// MonitorCount returns how many NFV monitors serve the query: dedicated
+// instances in legacy mode, subscribed shared monitors in shared-tap mode.
 func (s *Session) MonitorCount() int {
 	s.failMu.Lock()
 	defer s.failMu.Unlock()
+	if len(s.sharedSubs) > 0 {
+		return len(s.sharedSubs)
+	}
 	return len(s.instances)
 }
 
 // MonitorRestarts returns how many monitor failovers the session performed.
 func (s *Session) MonitorRestarts() uint64 { return s.restarts.Value() }
 
-// MonitorHosts returns the hosts running this session's monitors.
+// MonitorHosts returns the hosts running this session's monitors (dedicated
+// or shared).
 func (s *Session) MonitorHosts() []*topology.Host {
 	s.failMu.Lock()
 	defer s.failMu.Unlock()
+	if len(s.sharedSubs) > 0 {
+		hosts := make([]*topology.Host, len(s.sharedSubs))
+		for i, ss := range s.sharedSubs {
+			hosts[i] = ss.mon.host
+		}
+		return hosts
+	}
 	hosts := make([]*topology.Host, len(s.instances))
 	for i, in := range s.instances {
 		hosts[i] = in.Host
@@ -104,10 +134,19 @@ func (s *Session) MonitorHosts() []*topology.Host {
 	return hosts
 }
 
-// SampleRates returns each monitor's current sampling rate.
+// SampleRates returns the session's current sampling rates: per dedicated
+// monitor in legacy mode, per demux subscription in shared-tap mode (the
+// shared monitor itself runs at the max over its subscribers).
 func (s *Session) SampleRates() []float64 {
 	s.failMu.Lock()
 	defer s.failMu.Unlock()
+	if len(s.sharedSubs) > 0 {
+		rates := make([]float64, len(s.sharedSubs))
+		for i, ss := range s.sharedSubs {
+			rates[i] = ss.sub.SampleRate()
+		}
+		return rates
+	}
 	rates := make([]float64, len(s.instances))
 	for i, in := range s.instances {
 		rates[i] = in.Monitor.SampleRate()
@@ -123,7 +162,19 @@ func (s *Session) MonitorStats() monitor.Stats {
 	s.failMu.Lock()
 	defer s.failMu.Unlock()
 	var total monitor.Stats
-	for _, in := range s.instances {
+	instances := s.instances
+	if len(s.sharedSubs) > 0 {
+		// Shared-tap mode: the stats of every shared monitor this session
+		// subscribes to. Those monitors carry all subscribers' traffic, so
+		// the aggregate describes the shared datapath, not one query's slice.
+		instances = make([]*nfv.Instance, 0, len(s.sharedSubs))
+		for _, ss := range s.sharedSubs {
+			if in := ss.mon.inst.Load(); in != nil {
+				instances = append(instances, in)
+			}
+		}
+	}
+	for _, in := range instances {
 		st := in.Monitor.Stats()
 		total.Received += st.Received
 		total.CollectDrops += st.CollectDrops
@@ -160,11 +211,6 @@ func (s *Session) start() error {
 		}
 		flows[i] = placement.Flow{Src: src, Dst: dst}
 	}
-	rng := randFor(e.cfg.Seed, s.ID)
-	place, err := placement.Place(e.topo, flows, e.cfg.Policy, e.cfg.PlacementParams, rng)
-	if err != nil {
-		return err
-	}
 
 	// Topics: one per parser, namespaced by session.
 	sink := &routingSink{producers: make(map[string]*mq.Producer, len(s.Query.Parsers))}
@@ -198,49 +244,16 @@ func (s *Session) start() error {
 	s.tracer = telemetry.NewTracer(reg, e.cfg.TraceSampleEvery, sessLabel)
 	reg.GaugeFunc("session_result_drops", func() float64 { return float64(s.resultDrops.Load()) }, sessLabel)
 
-	for _, proc := range place.Monitors {
-		launchSpec := nfv.Spec{
-			Host: proc.Host,
-			Config: monitor.Config{
-				Parsers: factories,
-				// With sharded ingest, each monitor runs one collector per
-				// shard and idle collectors steal bursts from hot ones.
-				Collectors:       e.cfg.IngestShards,
-				WorkSteal:        e.cfg.IngestShards > 1,
-				WorkersPerParser: e.cfg.MonitorWorkers,
-				Sink:             sink,
-				SampleRate:       sampleRate,
-				Metrics:          reg,
-				MetricLabels:     []telemetry.Label{sessLabel, telemetry.L("host", proc.Host.Name)},
-				Tracer:           s.tracer,
-			},
-			Counter:      &s.packets,
-			PacketLimit:  uint64(s.Query.Limit.Packets),
-			OnLimit:      func() { go s.Stop() },
-			Metrics:      reg,
-			MetricLabels: []telemetry.Label{sessLabel},
-		}
-		in, err := e.nfv.Launch(s.ID, launchSpec)
-		if err != nil {
+	if e.cfg.SharedTaps && s.Query.Limit.Packets == 0 {
+		// Shared-tap control plane: attach to (or launch) the shared monitor
+		// of each covering host and install refcounted mirror rules. Queries
+		// with a packet LIMIT stay on the legacy path — a shared monitor's
+		// frame counter cannot be attributed to one query.
+		if err := s.startShared(specs, flows, factories, sink, sampleRate); err != nil {
 			return err
 		}
-		s.instances = append(s.instances, in)
-		// Retain the spec so monitor failover can relaunch an identical
-		// instance on the same host (same parsers, sink and shared counter).
-		s.slots = append(s.slots, &monitorSlot{host: proc.Host, spec: launchSpec})
-	}
-
-	// SDN rules: mirror each match (and its reverse, so monitors see both
-	// directions of the flows) at the assigned monitor's ToR switch. Each
-	// slot records its matches and live rule IDs so failover can retire and
-	// re-install exactly the rules pointing at a crashed monitor.
-	for i, spec := range specs {
-		slot := s.slots[place.FlowMonitor[i]]
-		for _, m := range []sdn.Match{spec.match, spec.match.Reverse()} {
-			id := e.ctrl.InstallMirror(s.ID, slot.host.Edge, m, slot.host.ID, 100)
-			slot.matches = append(slot.matches, m)
-			slot.ruleIDs = append(slot.ruleIDs, id)
-		}
+	} else if err := s.startDedicated(specs, flows, factories, sink, sampleRate, reg, sessLabel); err != nil {
+		return err
 	}
 
 	// Stream topologies: one executor per PROCESS entry, fed by spouts
@@ -297,8 +310,9 @@ func (s *Session) start() error {
 	// drive every monitor's AIMD controller.
 	s.fbStop = make(chan struct{})
 	if s.Query.Sample.Mode == query.SampleAuto {
-		for _, in := range s.instances {
-			s.samplers = append(s.samplers, monitor.NewAIMDSampler(in.Monitor))
+		for _, tgt := range s.rateTargets() {
+			s.samplers = append(s.samplers, monitor.NewAIMDSampler(tgt))
+			s.sampleTargets = append(s.sampleTargets, tgt)
 		}
 		for _, topic := range s.topics {
 			statusCh := e.mq.Subscribe(topic)
@@ -328,6 +342,152 @@ func (s *Session) start() error {
 			case <-s.fbStop:
 			}
 		}()
+	}
+	return nil
+}
+
+// rateTargets lists the session's sampling control points: each dedicated
+// monitor in legacy mode, each demux subscription in shared-tap mode (where
+// the shared monitor itself runs at the max over its subscribers, and each
+// query thins its own stream at the demux). Caller either holds failMu or is
+// still inside start (rosters are fixed by then).
+func (s *Session) rateTargets() []monitor.SampleTarget {
+	if len(s.sharedSubs) > 0 {
+		out := make([]monitor.SampleTarget, len(s.sharedSubs))
+		for i, ss := range s.sharedSubs {
+			out[i] = ss.sub
+		}
+		return out
+	}
+	out := make([]monitor.SampleTarget, len(s.instances))
+	for i, in := range s.instances {
+		out[i] = in.Monitor
+	}
+	return out
+}
+
+// startDedicated is the legacy control plane: one monitor NF per placed host
+// owned by this session, with exclusive mirror rules recorded per slot for
+// crash failover.
+func (s *Session) startDedicated(specs []matchSpec, flows []placement.Flow,
+	factories []monitor.Factory, sink monitor.Sink, sampleRate float64,
+	reg *telemetry.Registry, sessLabel telemetry.Label) error {
+
+	e := s.engine
+	rng := randFor(e.cfg.Seed, s.ID)
+	place, err := placement.Place(e.topo, flows, e.cfg.Policy, e.cfg.PlacementParams, rng)
+	if err != nil {
+		return err
+	}
+
+	for _, proc := range place.Monitors {
+		launchSpec := nfv.Spec{
+			Host: proc.Host,
+			Config: monitor.Config{
+				Parsers: factories,
+				// With sharded ingest, each monitor runs one collector per
+				// shard and idle collectors steal bursts from hot ones.
+				Collectors:       e.cfg.IngestShards,
+				WorkSteal:        e.cfg.IngestShards > 1,
+				WorkersPerParser: e.cfg.MonitorWorkers,
+				Sink:             sink,
+				SampleRate:       sampleRate,
+				Metrics:          reg,
+				MetricLabels:     []telemetry.Label{sessLabel, telemetry.L("host", proc.Host.Name)},
+				Tracer:           s.tracer,
+			},
+			Counter:      &s.packets,
+			PacketLimit:  uint64(s.Query.Limit.Packets),
+			OnLimit:      func() { go s.Stop() },
+			Metrics:      reg,
+			MetricLabels: []telemetry.Label{sessLabel},
+		}
+		in, err := e.nfv.Launch(s.ID, launchSpec)
+		if err != nil {
+			return err
+		}
+		s.instances = append(s.instances, in)
+		// Retain the spec so monitor failover can relaunch an identical
+		// instance on the same host (same parsers, sink and shared counter).
+		s.slots = append(s.slots, &monitorSlot{host: proc.Host, spec: launchSpec})
+	}
+
+	// SDN rules: mirror each match (and its reverse, so monitors see both
+	// directions of the flows) at the assigned monitor's ToR switch. Each
+	// slot records its matches and live rule IDs so failover can retire and
+	// re-install exactly the rules pointing at a crashed monitor.
+	for i, spec := range specs {
+		slot := s.slots[place.FlowMonitor[i]]
+		for _, m := range []sdn.Match{spec.match, spec.match.Reverse()} {
+			id := e.ctrl.InstallMirror(s.ID, slot.host.Edge, m, slot.host.ID, 100)
+			slot.matches = append(slot.matches, m)
+			slot.ruleIDs = append(slot.ruleIDs, id)
+		}
+	}
+	return nil
+}
+
+// startShared is the shared-tap control plane: the incremental planner lands
+// each match's flows on an existing shared monitor when one covers them
+// (residuals get fresh placements), the session subscribes to each chosen
+// host's demux with its match filter, and refcounted mirror rules merge with
+// any other query demanding the same (switch, match, tap). The session holds
+// no rule IDs: Stop's RemoveQuery releases its ownership share of every rule,
+// and the controller uninstalls only those left ownerless.
+func (s *Session) startShared(specs []matchSpec, flows []placement.Flow,
+	factories []monitor.Factory, sink monitor.Sink, sampleRate float64) error {
+
+	e := s.engine
+	existing, hosts := e.shared.existing()
+	assign, residual := placement.Incremental(existing, flows, e.cfg.PlacementParams)
+	hostFor := make([]*topology.Host, len(flows))
+	for i, mi := range assign {
+		if mi >= 0 {
+			hostFor[i] = hosts[mi]
+		}
+	}
+	if len(residual) > 0 {
+		resFlows := make([]placement.Flow, len(residual))
+		for j, fi := range residual {
+			resFlows[j] = flows[fi]
+		}
+		rng := randFor(e.cfg.Seed, s.ID)
+		place, err := placement.Place(e.topo, resFlows, e.cfg.Policy, e.cfg.PlacementParams, rng)
+		if err != nil {
+			return err
+		}
+		for j, fi := range residual {
+			hostFor[fi] = place.Monitors[place.FlowMonitor[j]].Host
+		}
+	}
+
+	// One subscription per distinct host, filtering on the union of the
+	// matches (and reverses) whose flows landed there — a tuple reaches this
+	// session exactly when one of its own mirror demands admits it, even
+	// when the shared monitor also carries other queries' traffic.
+	byHost := make(map[topology.NodeID][]sdn.Match)
+	hostOf := make(map[topology.NodeID]*topology.Host)
+	order := make([]topology.NodeID, 0, len(flows))
+	for i, spec := range specs {
+		h := hostFor[i]
+		if _, seen := byHost[h.ID]; !seen {
+			order = append(order, h.ID)
+			hostOf[h.ID] = h
+		}
+		byHost[h.ID] = append(byHost[h.ID], spec.match, spec.match.Reverse())
+	}
+
+	for _, hid := range order {
+		h := hostOf[hid]
+		matches := byHost[hid]
+		sub, err := e.shared.acquire(s, h, matches, factories, s.Query.Parsers, sink, sampleRate)
+		if err != nil {
+			return err
+		}
+		s.sharedSubs = append(s.sharedSubs, sub)
+		for _, m := range matches {
+			e.ctrl.InstallSharedMirror(s.ID, h.Edge, m, h.ID, 100)
+		}
 	}
 	return nil
 }
@@ -370,6 +530,7 @@ func (s *Session) handleMonitorCrash(dead *nfv.Instance) {
 	s.instances[idx] = in
 	if idx < len(s.samplers) {
 		s.samplers[idx] = monitor.NewAIMDSampler(in.Monitor)
+		s.sampleTargets[idx] = in.Monitor
 	}
 	slot.ruleIDs = slot.ruleIDs[:0]
 	for _, m := range slot.matches {
@@ -433,14 +594,14 @@ func (s *Session) feedbackLoop(topic string, statusCh <-chan mq.Status) {
 	}
 }
 
-// allSamplersFloored reports whether every monitor is already sampling at
-// the AIMD floor, i.e. local sampling is exhausted. Caller holds failMu.
+// allSamplersFloored reports whether every sampling control point is already
+// at the AIMD floor, i.e. local sampling is exhausted. Caller holds failMu.
 func (s *Session) allSamplersFloored() bool {
 	if len(s.samplers) == 0 {
 		return false
 	}
 	for i, a := range s.samplers {
-		if s.instances[i].Monitor.SampleRate() > a.MinRate+1e-9 {
+		if s.sampleTargets[i].SampleRate() > a.MinRate+1e-9 {
 			return false
 		}
 	}
@@ -473,8 +634,13 @@ func (s *Session) Stop() {
 		s.failMu.Lock()
 		s.stopped = true
 		s.failMu.Unlock()
+		// RemoveQuery releases this session's ownership share of every mirror
+		// rule; shared rules survive while other queries still own them.
 		e.ctrl.RemoveQuery(s.ID)
 		e.nfv.StopQuery(s.ID)
+		for _, ss := range s.sharedSubs {
+			e.shared.detach(ss)
+		}
 		if s.fbStop != nil {
 			close(s.fbStop)
 		}
@@ -483,6 +649,22 @@ func (s *Session) Stop() {
 		s.drainTopics()
 		for _, ex := range s.executors {
 			ex.Stop()
+		}
+		// Shared-taps deployments retire the session's topics, freezing their
+		// final stats first so Telemetry() keeps reporting them after the
+		// cluster forgets the topic. Without this a long-lived cluster
+		// accumulates one dead topic (and its registry series) per query ever
+		// run. The legacy mode keeps its historical leave-in-place behavior —
+		// post-stop Stats lookups on the cluster still see the topic.
+		if e.cfg.SharedTaps {
+			final := make(map[string]mq.TopicStats, len(s.topics))
+			for _, topic := range s.topics {
+				final[topic] = e.mq.Stats(topic)
+				e.mq.DeleteTopic(topic)
+			}
+			s.failMu.Lock()
+			s.finalTopics = final
+			s.failMu.Unlock()
 		}
 		close(s.results)
 		close(s.done)

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/nfv"
+	"netalytics/internal/placement"
+	"netalytics/internal/sdn"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+)
+
+// sharedOwner is the synthetic query ID shared monitor instances run under in
+// the NFV orchestrator. It never collides with session IDs (those are q<N>),
+// so crash dispatch can route shared-instance failures to the registry instead
+// of a session, and StopQuery(sessionID) never reclaims a shared monitor.
+const sharedOwner = "_shared"
+
+// sharedMon is one host's shared monitor: a single NFV instance running the
+// union of its subscribers' parser sets, delivering every parsed batch to a
+// demux that fans tuples out per subscriber. The instance pointer is atomic
+// because failover swaps it while the demux rate hook (called on subscriber
+// paths without the registry lock) needs the current monitor.
+type sharedMon struct {
+	host  *topology.Host
+	inst  atomic.Pointer[nfv.Instance]
+	demux *monitor.Demux
+
+	// counter accumulates pumped frames across failover relaunches; sessions
+	// snapshot it at attach and report deltas.
+	counter atomic.Uint64
+	// maxRate mirrors the demux's max subscriber rate (float bits) so a
+	// relaunched monitor resumes at the rate the hook last applied.
+	maxRate atomic.Uint64
+
+	// factoryNames/factories record every parser ever added, in order, so a
+	// failover relaunch starts with the full set (guarded by sharedTaps.mu).
+	factoryNames map[string]bool
+	factories    []monitor.Factory
+	retired      bool
+}
+
+// sharedSub is one session's attachment to one shared monitor.
+type sharedSub struct {
+	mon      *sharedMon
+	sub      *monitor.DemuxSub
+	baseline uint64 // mon.counter at attach, for per-session Packets deltas
+}
+
+// sharedTaps is the engine's shared-monitor registry (Config.SharedTaps): at
+// most one monitor NF per host, demand-merged across every query whose flows
+// a covering planner lands there. Sessions acquire subscriptions instead of
+// launching instances; the last subscriber leaving a host retires its monitor.
+type sharedTaps struct {
+	e      *Engine
+	fanout *telemetry.Counter // demux_fanout: tuples delivered across all subs
+
+	mu       sync.Mutex
+	mons     map[topology.NodeID]*sharedMon
+	restarts *telemetry.Counter // nfv_restarts{session=_shared}
+}
+
+func newSharedTaps(e *Engine) *sharedTaps {
+	return &sharedTaps{
+		e:        e,
+		fanout:   e.cfg.Metrics.Counter("demux_fanout"),
+		mons:     make(map[topology.NodeID]*sharedMon),
+		restarts: e.cfg.Metrics.Counter("nfv_restarts", telemetry.L("session", sharedOwner)),
+	}
+}
+
+// existing snapshots the live shared monitors as placement inputs for the
+// incremental (reuse-first) planner, plus the aligned host list.
+func (r *sharedTaps) existing() ([]*placement.ExistingMonitor, []*topology.Host) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mons := make([]*placement.ExistingMonitor, 0, len(r.mons))
+	hosts := make([]*topology.Host, 0, len(r.mons))
+	for _, m := range r.mons {
+		mons = append(mons, &placement.ExistingMonitor{Host: m.host})
+		hosts = append(hosts, m.host)
+	}
+	return mons, hosts
+}
+
+// MonitorCount returns the number of live shared monitor instances.
+func (r *sharedTaps) MonitorCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.mons)
+}
+
+// acquire attaches a session to the host's shared monitor, launching one if
+// the host has none and growing the parser set of an existing one. The demux
+// subscription filters by the session's matches and samples at rate; sink
+// receives the admitted tuples.
+func (r *sharedTaps) acquire(s *Session, host *topology.Host, matches []sdn.Match,
+	factories []monitor.Factory, parserNames []string, sink monitor.Sink, rate float64) (*sharedSub, error) {
+
+	e := r.e
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.mons[host.ID]
+	if m == nil {
+		m = &sharedMon{
+			host:         host,
+			factoryNames: make(map[string]bool),
+		}
+		m.demux = monitor.NewDemux(r.fanout)
+		// The hook runs on subscriber attach/detach/re-rate paths under the
+		// demux lock only; it reads the instance pointer atomically so it
+		// stays deadlock-free against this registry lock and correct across
+		// failover swaps.
+		mon := m
+		m.demux.SetRateHook(func(max float64) {
+			mon.maxRate.Store(math.Float64bits(max))
+			if in := mon.inst.Load(); in != nil {
+				in.Monitor.SetSampleRate(max)
+			}
+		})
+		m.addFactories(factories, parserNames)
+		in, err := e.nfv.Launch(sharedOwner, r.specFor(m))
+		if err != nil {
+			return nil, err
+		}
+		m.inst.Store(in)
+		r.mons[host.ID] = m
+		e.cfg.Metrics.GaugeFunc("monitor_subscribers",
+			func() float64 { return float64(mon.demux.Len()) },
+			telemetry.L("shared_host", host.Name))
+	} else {
+		if err := m.inst.Load().Monitor.AddParsers(factories...); err != nil {
+			return nil, err
+		}
+		m.addFactories(factories, parserNames)
+	}
+	sub := m.demux.Subscribe(s.ID, parserNames, matches, sink, rate)
+	return &sharedSub{mon: m, sub: sub, baseline: m.counter.Load()}, nil
+}
+
+func (m *sharedMon) addFactories(factories []monitor.Factory, names []string) {
+	for i, f := range factories {
+		if !m.factoryNames[names[i]] {
+			m.factoryNames[names[i]] = true
+			m.factories = append(m.factories, f)
+		}
+	}
+}
+
+// specFor builds the launch (and relaunch) spec for a shared monitor. Caller
+// holds r.mu. Instance metrics carry a shared_host label — not a session
+// label — so session teardown never drops them and monitor retirement can.
+func (r *sharedTaps) specFor(m *sharedMon) nfv.Spec {
+	e := r.e
+	label := telemetry.L("shared_host", m.host.Name)
+	return nfv.Spec{
+		Host: m.host,
+		Config: monitor.Config{
+			Parsers:          append([]monitor.Factory(nil), m.factories...),
+			Collectors:       e.cfg.IngestShards,
+			WorkSteal:        e.cfg.IngestShards > 1,
+			WorkersPerParser: e.cfg.MonitorWorkers,
+			Sink:             m.demux,
+			SampleRate:       math.Float64frombits(m.maxRate.Load()),
+			Metrics:          e.cfg.Metrics,
+			MetricLabels:     []telemetry.Label{label},
+		},
+		Counter:      &m.counter,
+		Metrics:      e.cfg.Metrics,
+		MetricLabels: []telemetry.Label{label},
+	}
+}
+
+// detach drops one session's subscription. The last subscriber leaving a
+// host stops its monitor (tap closed, pump drained, parsers flushed) and
+// retires its telemetry series.
+func (r *sharedTaps) detach(sub *sharedSub) {
+	m := sub.mon
+	r.mu.Lock()
+	m.demux.Unsubscribe(sub.sub)
+	var stop *nfv.Instance
+	if m.demux.Len() == 0 && !m.retired {
+		m.retired = true
+		delete(r.mons, m.host.ID)
+		stop = m.inst.Load()
+	}
+	r.mu.Unlock()
+	if stop != nil {
+		r.e.nfv.StopInstance(stop)
+		r.e.cfg.Metrics.DropLabeled("shared_host", m.host.Name)
+	}
+}
+
+// handleCrash is the shared-monitor failover path, dispatched by the engine's
+// crash callback for instances owned by sharedOwner. The orchestrator has
+// already torn the dead instance down; the registry relaunches on the same
+// host with the full accumulated parser set, the same demux sink and the same
+// cumulative frame counter, then re-installs every subscribed query's mirror
+// rules pointing at the host — fresh rule IDs, same owners and sampling.
+func (r *sharedTaps) handleCrash(dead *nfv.Instance) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var m *sharedMon
+	for _, have := range r.mons {
+		if have.inst.Load() == dead {
+			m = have
+			break
+		}
+	}
+	if m == nil {
+		return // already retired, or a stale crash for a replaced instance
+	}
+	in, err := r.e.nfv.Launch(sharedOwner, r.specFor(m))
+	if err != nil {
+		return // relaunch cannot fail on a spec the original launch accepted
+	}
+	m.inst.Store(in)
+	r.e.ctrl.ReinstallTapRules(m.host.ID)
+	r.restarts.Add(1)
+}

@@ -61,20 +61,38 @@ func (s *Session) Telemetry() Telemetry {
 	t := Telemetry{
 		SessionID:   s.ID,
 		TS:          time.Now(),
-		Packets:     s.packets.Load(),
+		Packets:     s.Packets(),
 		Monitor:     s.MonitorStats(),
 		Topics:      make(map[string]mq.TopicStats, len(s.topics)),
 		ResultDrops: s.ResultDrops(),
 		Stages:      s.tracer.StageSummaries(),
 	}
 	s.failMu.Lock()
+	if len(s.sharedSubs) > 0 {
+		// Shared-tap mode: tap counters of the shared monitors this session
+		// subscribes to (host-level — the taps carry all subscribers' flows).
+		for _, ss := range s.sharedSubs {
+			if in := ss.mon.inst.Load(); in != nil {
+				t.PumpFrames += in.Packets()
+				t.TapDrops += in.TapDrops()
+				t.TapDepth += in.TapDepth()
+			}
+		}
+	}
 	for _, in := range s.instances {
 		t.PumpFrames += in.Packets()
 		t.TapDrops += in.TapDrops()
 		t.TapDepth += in.TapDepth()
 	}
+	final := s.finalTopics
 	s.failMu.Unlock()
 	for _, topic := range s.topics {
+		if final != nil {
+			// Stopped: the cluster has forgotten the topics; report the stats
+			// frozen at teardown.
+			t.Topics[topic] = final[topic]
+			continue
+		}
 		t.Topics[topic] = s.engine.mq.Stats(topic)
 	}
 	for _, ex := range s.executors {

@@ -1,0 +1,267 @@
+// Shared-tap demux: one monitor's parsed-tuple stream fanned out to every
+// subscribed query.
+//
+// In the legacy control plane each query launches its own monitor, so two
+// queries watching the same service parse the same mirrored frames twice. A
+// shared monitor runs the union of the subscribers' parser sets once and
+// delivers each batch to the Demux, which routes every tuple to each
+// subscriber whose match filter admits it. Tuples are shared, not deep-
+// copied: each subscriber gets its own batch and tuple-header slice, but the
+// string payloads (URLs, SQL, keys) point at the same backing data, and
+// Trace records are cloned per additional subscriber exactly as the spout's
+// PropagateBatch clones them per consumer group — stamps never race.
+package monitor
+
+import (
+	"math"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/sdn"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/tuple"
+)
+
+// Demux is a monitor Sink that fans each parsed-tuple batch out to a dynamic
+// set of subscribers. The subscriber list is copy-on-write: Deliver loads one
+// snapshot per batch and never takes the mutex, so attach/detach of queries
+// does not stall the parse datapath.
+type Demux struct {
+	mu     sync.Mutex
+	subs   atomic.Pointer[[]*DemuxSub]
+	onRate func(max float64)
+	fanout *telemetry.Counter
+}
+
+// NewDemux returns an empty demux. fanout, when non-nil, counts every tuple
+// delivered to a subscriber (the same tuple reaching three queries counts
+// three times — fanout minus monitor_tuples is the sharing win made visible).
+func NewDemux(fanout *telemetry.Counter) *Demux {
+	d := &Demux{fanout: fanout}
+	empty := []*DemuxSub{}
+	d.subs.Store(&empty)
+	return d
+}
+
+// SetRateHook installs the callback invoked with the max sample rate over
+// all subscribers whenever that max changes (a subscriber joining, leaving
+// or re-rating). The shared monitor uses it to run at the most permissive
+// subscriber's rate; each subscriber then thins its own stream at the demux.
+func (d *Demux) SetRateHook(fn func(max float64)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onRate = fn
+}
+
+// DemuxSub is one query's subscription on a shared monitor: a parser set, a
+// match filter, and the sink its admitted tuples are delivered to. It
+// implements SampleTarget, so the session's AIMD feedback loop drives the
+// subscription exactly as it would drive a dedicated monitor.
+type DemuxSub struct {
+	id      string
+	parsers map[string]bool
+	matches []sdn.Match
+	sink    Sink
+	d       *Demux
+
+	// sampleThreshold mirrors Monitor's admission scheme: the top 32 bits
+	// of the tuple's flow ID (the canonical flow hash for per-flow parsers)
+	// are compared against rate*MaxUint32, so a subscriber sampled at the
+	// same rate admits exactly the flows a dedicated monitor would have.
+	sampleThreshold atomic.Uint64
+
+	tuples atomic.Uint64
+	rate   float64 // guarded by d.mu: last rate folded into the monitor max
+}
+
+// Subscribe attaches a query to the demux. parserNames selects which batches
+// the subscriber sees; matches (any-of, empty = all) filters tuples within
+// them; rate is the initial sample rate. Delivery to sink begins with the
+// next batch after Subscribe returns.
+func (d *Demux) Subscribe(id string, parserNames []string, matches []sdn.Match, sink Sink, rate float64) *DemuxSub {
+	sub := &DemuxSub{
+		id:      id,
+		parsers: make(map[string]bool, len(parserNames)),
+		matches: matches,
+		sink:    sink,
+		d:       d,
+	}
+	for _, p := range parserNames {
+		sub.parsers[p] = true
+	}
+	sub.storeRate(rate)
+	d.mu.Lock()
+	sub.rate = sub.SampleRate()
+	cur := *d.subs.Load()
+	next := append(append([]*DemuxSub(nil), cur...), sub)
+	d.subs.Store(&next)
+	d.recomputeRateLocked()
+	d.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe detaches a subscription; batches already being delivered may
+// still reach its sink. Idempotent.
+func (d *Demux) Unsubscribe(sub *DemuxSub) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := *d.subs.Load()
+	next := make([]*DemuxSub, 0, len(cur))
+	for _, s := range cur {
+		if s != sub {
+			next = append(next, s)
+		}
+	}
+	if len(next) == len(cur) {
+		return
+	}
+	d.subs.Store(&next)
+	d.recomputeRateLocked()
+}
+
+// Len returns the number of attached subscriptions.
+func (d *Demux) Len() int {
+	return len(*d.subs.Load())
+}
+
+// recomputeRateLocked folds subscriber rates into the monitor-level max.
+// Caller holds d.mu.
+func (d *Demux) recomputeRateLocked() {
+	if d.onRate == nil {
+		return
+	}
+	max := 0.0
+	for _, s := range *d.subs.Load() {
+		if s.rate > max {
+			max = s.rate
+		}
+	}
+	d.onRate(max)
+}
+
+func (sub *DemuxSub) storeRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	sub.sampleThreshold.Store(uint64(rate * math.MaxUint32))
+}
+
+// SetSampleRate updates the subscription's admitted fraction of flows and
+// re-folds the monitor-level max (SampleTarget).
+func (sub *DemuxSub) SetSampleRate(rate float64) {
+	sub.storeRate(rate)
+	sub.d.mu.Lock()
+	sub.rate = sub.SampleRate()
+	sub.d.recomputeRateLocked()
+	sub.d.mu.Unlock()
+}
+
+// SampleRate returns the subscription's current admitted fraction of flows
+// (SampleTarget).
+func (sub *DemuxSub) SampleRate() float64 {
+	return float64(sub.sampleThreshold.Load()) / math.MaxUint32
+}
+
+// Tuples returns how many tuples the subscription has been delivered.
+func (sub *DemuxSub) Tuples() uint64 { return sub.tuples.Load() }
+
+// ID returns the subscriber identifier passed to Subscribe.
+func (sub *DemuxSub) ID() string { return sub.id }
+
+// admits applies the subscription's sampling and match filter to one tuple.
+// ft is the tuple's endpoint five-tuple; ftOK is false when the tuple has no
+// parseable endpoints (a parser's cross-flow aggregate), in which case match
+// filtering cannot discriminate and the tuple is admitted to every
+// subscriber of its parser.
+func (sub *DemuxSub) admits(t *tuple.Tuple, ft packet.FiveTuple, ftOK bool) bool {
+	if thr := sub.sampleThreshold.Load(); t.FlowID>>32 > thr {
+		return false
+	}
+	if len(sub.matches) == 0 || !ftOK {
+		return true
+	}
+	for _, m := range sub.matches {
+		if m.Matches(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+// Deliver routes one batch to every subscriber whose parser set includes the
+// batch's parser and whose filter admits each tuple. The first subscriber to
+// take a batch receives the original Trace pointers; later subscribers get
+// clones, mirroring telemetry.PropagateBatch's per-consumer-group cloning.
+// Per-subscriber batch order is the monitor's ship order. Returns the first
+// sink error, after every subscriber has been offered the batch.
+func (d *Demux) Deliver(b *tuple.Batch) error {
+	subs := *d.subs.Load()
+	var firstErr error
+	// Endpoint five-tuples are parsed once per batch, shared by all
+	// subscribers' filters; skipped entirely when no subscriber filters.
+	var fts []packet.FiveTuple
+	var ftOKs []bool
+	needFT := false
+	for _, sub := range subs {
+		if sub.parsers[b.Parser] && len(sub.matches) > 0 {
+			needFT = true
+			break
+		}
+	}
+	if needFT {
+		fts = make([]packet.FiveTuple, len(b.Tuples))
+		ftOKs = make([]bool, len(b.Tuples))
+		for i := range b.Tuples {
+			t := &b.Tuples[i]
+			src, errS := netip.ParseAddr(t.SrcIP)
+			dst, errD := netip.ParseAddr(t.DstIP)
+			if errS != nil || errD != nil {
+				continue
+			}
+			fts[i] = packet.FiveTuple{Src: src, Dst: dst, SrcPort: t.SrcPort, DstPort: t.DstPort}
+			ftOKs[i] = true
+		}
+	}
+	shared := false // original Trace pointers handed to a subscriber already
+	for _, sub := range subs {
+		if !sub.parsers[b.Parser] {
+			continue
+		}
+		out := make([]tuple.Tuple, 0, len(b.Tuples))
+		for i := range b.Tuples {
+			var ft packet.FiveTuple
+			ftOK := false
+			if needFT {
+				ft, ftOK = fts[i], ftOKs[i]
+			}
+			if sub.admits(&b.Tuples[i], ft, ftOK) {
+				out = append(out, b.Tuples[i])
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		if shared {
+			for i := range out {
+				if tr := out[i].Trace; tr != nil {
+					clone := *tr
+					out[i].Trace = &clone
+				}
+			}
+		}
+		shared = true
+		sub.tuples.Add(uint64(len(out)))
+		if d.fanout != nil {
+			d.fanout.Add(uint64(len(out)))
+		}
+		if err := sub.sink.Deliver(&tuple.Batch{Parser: b.Parser, Tuples: out}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

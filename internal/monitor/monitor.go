@@ -185,8 +185,13 @@ type Monitor struct {
 	// stealRings replaces inputs in work-steal mode (Config.WorkSteal with
 	// Collectors > 1): one claimable ring shard per collector; see steal.go.
 	stealRings []*rxRing
-	parsers    []*parserRuntime
-	out        *outputBatcher
+	// parsers is a copy-on-write snapshot of the parser runtimes: collectors
+	// load it once per burst, AddParsers publishes an extended copy, so a
+	// shared monitor can grow its parser set while frames are in flight
+	// without a lock on the dispatch path. Within one burst every packet's
+	// refcount and fan-out use the same snapshot.
+	parsers atomic.Pointer[[]*parserRuntime]
+	out     *outputBatcher
 	pool       sync.Pool
 	// burstPool recycles the []*Packet group slices that carry bursts over
 	// worker channels; workers return each slice after releasing its
@@ -264,6 +269,20 @@ type parserRuntime struct {
 	insts   []Parser
 }
 
+// newParserRuntime builds one parser's worker instances and queues; probe is
+// the already-constructed first instance (its Name was just read).
+func newParserRuntime(probe Parser, factory Factory, cfg Config) *parserRuntime {
+	rt := &parserRuntime{name: probe.Name()}
+	rt.insts = append(rt.insts, probe)
+	for w := 1; w < cfg.WorkersPerParser; w++ {
+		rt.insts = append(rt.insts, factory())
+	}
+	for w := 0; w < cfg.WorkersPerParser; w++ {
+		rt.workers = append(rt.workers, make(chan []*Packet, cfg.QueueDepth))
+	}
+	return rt
+}
+
 // New builds a monitor from the config. Call Start to begin processing.
 func New(cfg Config) (*Monitor, error) {
 	if len(cfg.Parsers) == 0 {
@@ -330,22 +349,16 @@ func New(cfg Config) (*Monitor, error) {
 	m.SetSampleRate(cfg.SampleRate)
 
 	names := make(map[string]bool, len(cfg.Parsers))
+	var parsers []*parserRuntime
 	for _, factory := range cfg.Parsers {
 		probe := factory()
 		if names[probe.Name()] {
 			return nil, fmt.Errorf("monitor: duplicate parser %q", probe.Name())
 		}
 		names[probe.Name()] = true
-		rt := &parserRuntime{name: probe.Name()}
-		rt.insts = append(rt.insts, probe)
-		for w := 1; w < cfg.WorkersPerParser; w++ {
-			rt.insts = append(rt.insts, factory())
-		}
-		for w := 0; w < cfg.WorkersPerParser; w++ {
-			rt.workers = append(rt.workers, make(chan []*Packet, cfg.QueueDepth))
-		}
-		m.parsers = append(m.parsers, rt)
+		parsers = append(parsers, newParserRuntime(probe, factory, cfg))
 	}
+	m.parsers.Store(&parsers)
 	m.out = newOutputBatcher(cfg.BatchSize, cfg.FlushInterval, cfg.Sink)
 	m.out.tuples = cfg.Metrics.Counter("monitor_tuples", cfg.MetricLabels...)
 	m.out.batches = cfg.Metrics.Counter("monitor_batches", cfg.MetricLabels...)
@@ -392,12 +405,8 @@ func (m *Monitor) Start() {
 	m.started = true
 
 	m.out.start(&m.wg)
-	for _, rt := range m.parsers {
-		for w := range rt.workers {
-			shard := m.out.newShard(rt.name) // register writer before launch
-			m.wg.Add(1)
-			go m.runWorker(rt, w, shard.emit)
-		}
+	for _, rt := range *m.parsers.Load() {
+		m.startParserWorkers(rt)
 	}
 	m.collectorWG.Add(m.cfg.Collectors)
 	for c := 0; c < m.cfg.Collectors; c++ {
@@ -415,6 +424,65 @@ func (m *Monitor) Start() {
 		m.collectorWG.Wait()
 		m.shutdownWorkers()
 	}()
+}
+
+// startParserWorkers registers output shards and launches the workers of one
+// parser runtime. Caller holds m.mu with m.started set.
+func (m *Monitor) startParserWorkers(rt *parserRuntime) {
+	for w := range rt.workers {
+		shard := m.out.newShard(rt.name) // register writer before launch
+		m.wg.Add(1)
+		go m.runWorker(rt, w, shard.emit)
+	}
+}
+
+// AddParsers extends a running monitor with additional parsers, so a shared
+// monitor can serve a newly attached query whose parser set is not yet
+// running on this host. Parsers the monitor already runs are skipped by
+// name (attach is idempotent); new ones start receiving packets from the
+// next dispatched burst. Fails once the monitor has stopped.
+func (m *Monitor) AddParsers(factories ...Factory) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return errors.New("monitor: stopped")
+	}
+	cur := *m.parsers.Load()
+	have := make(map[string]bool, len(cur))
+	for _, rt := range cur {
+		have[rt.name] = true
+	}
+	next := cur
+	for _, factory := range factories {
+		probe := factory()
+		if have[probe.Name()] {
+			continue
+		}
+		have[probe.Name()] = true
+		rt := newParserRuntime(probe, factory, m.cfg)
+		if m.started {
+			m.startParserWorkers(rt)
+		}
+		if len(next) == len(cur) { // first addition: copy before appending
+			next = append(append([]*parserRuntime(nil), cur...), rt)
+		} else {
+			next = append(next, rt)
+		}
+	}
+	if len(next) != len(cur) {
+		m.parsers.Store(&next)
+	}
+	return nil
+}
+
+// ParserNames lists the parsers the monitor currently runs.
+func (m *Monitor) ParserNames() []string {
+	parsers := *m.parsers.Load()
+	out := make([]string, 0, len(parsers))
+	for _, rt := range parsers {
+		out = append(out, rt.name)
+	}
+	return out
 }
 
 // Stop drains in-flight packets, flushes parser state and output batches,
@@ -749,9 +817,12 @@ func (m *Monitor) dispatchBurst(burst []*Packet, groups [][]*Packet) {
 	if len(burst) == 0 {
 		return
 	}
+	// One parser-set snapshot covers the whole burst: refcounts and fan-out
+	// must agree even if AddParsers publishes a new set mid-burst.
+	parsers := *m.parsers.Load()
 	if m.cfg.CopyMode {
 		for _, pkt := range burst {
-			m.dispatchCopies(pkt)
+			m.dispatchCopies(pkt, parsers)
 		}
 		return
 	}
@@ -759,12 +830,12 @@ func (m *Monitor) dispatchBurst(burst []*Packet, groups [][]*Packet) {
 	// Shared-descriptor fast path: one refcount store per packet covers all
 	// parsers; the descriptor returns to the pool when the last worker is
 	// done with it.
-	nParsers := int32(len(m.parsers))
+	nParsers := int32(len(parsers))
 	if len(groups) == 1 {
 		for _, pkt := range burst {
 			pkt.refs.Store(nParsers)
 		}
-		for _, rt := range m.parsers {
+		for _, rt := range parsers {
 			m.sendGroup(rt.workers[0], burst)
 		}
 		return
@@ -778,7 +849,7 @@ func (m *Monitor) dispatchBurst(burst []*Packet, groups [][]*Packet) {
 		if len(group) == 0 {
 			continue
 		}
-		for _, rt := range m.parsers {
+		for _, rt := range parsers {
 			m.sendGroup(rt.workers[w], group)
 		}
 		groups[w] = group[:0]
@@ -806,9 +877,9 @@ func (m *Monitor) sendGroup(w chan []*Packet, group []*Packet) {
 // dispatchCopies is the ablation path: each parser receives its own decoded
 // copy of the frame, as a copying monitor design would. Copies that fail to
 // re-decode count as malformed, like any other undecodable frame.
-func (m *Monitor) dispatchCopies(pkt *Packet) {
+func (m *Monitor) dispatchCopies(pkt *Packet, parsers []*parserRuntime) {
 	raw := pkt.Frame.Raw
-	for _, rt := range m.parsers {
+	for _, rt := range parsers {
 		cp := m.getPacket()
 		data := make([]byte, len(raw))
 		copy(data, raw)
@@ -836,7 +907,7 @@ func (m *Monitor) dispatchCopies(pkt *Packet) {
 }
 
 func (m *Monitor) shutdownWorkers() {
-	for _, rt := range m.parsers {
+	for _, rt := range *m.parsers.Load() {
 		for _, w := range rt.workers {
 			close(w)
 		}
@@ -1027,15 +1098,23 @@ func (o *outputBatcher) ship(parser string, tuples []tuple.Tuple) {
 // (multiplicative decrease); on healthy reports it raises the rate additively
 // until sampling is effectively off again.
 type AIMDSampler struct {
-	mon *Monitor
+	mon SampleTarget
 	// MinRate floors the sample rate (default 0.01).
 	MinRate float64
 	// Step is the additive recovery increment (default 0.05).
 	Step float64
 }
 
-// NewAIMDSampler wraps a monitor with the feedback controller.
-func NewAIMDSampler(m *Monitor) *AIMDSampler {
+// SampleTarget is anything whose flow-sampling rate the AIMD controller can
+// drive: a Monitor in the dedicated-tap path, or one query's demux
+// subscription on a shared monitor.
+type SampleTarget interface {
+	SampleRate() float64
+	SetSampleRate(float64)
+}
+
+// NewAIMDSampler wraps a sample target with the feedback controller.
+func NewAIMDSampler(m SampleTarget) *AIMDSampler {
 	return &AIMDSampler{mon: m, MinRate: 0.01, Step: 0.05}
 }
 

@@ -686,6 +686,30 @@ func (c *Cluster) Topics() []string {
 	return out
 }
 
+// DeleteTopic removes a topic and unregisters its telemetry series (every
+// metric labeled topic=<name>). A session retiring its per-query topics calls
+// this after its executors stop, so a long-lived cluster hosting a churn of
+// queries does not accumulate dead topics and gauges forever. Back-pressure
+// subscriber channels for the topic are released (not closed: notify may hold
+// a reference concurrently, and receivers select with a default). Producers
+// or consumers still holding the old *topic keep working against the orphaned
+// partitions; a later getTopic(name) creates a fresh topic. Returns false for
+// unknown topics.
+func (c *Cluster) DeleteTopic(name string) bool {
+	c.mu.Lock()
+	_, ok := c.topics[name]
+	delete(c.topics, name)
+	delete(c.subs, name)
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.DropLabeled("topic", name)
+	}
+	return true
+}
+
 // Subscribe registers for back-pressure statuses on a topic. The channel is
 // buffered; statuses are dropped rather than blocking the data path.
 func (c *Cluster) Subscribe(topicName string) <-chan Status {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"netalytics/internal/telemetry"
 	"netalytics/internal/tuple"
 )
 
@@ -526,5 +527,50 @@ func TestConsumerOffsetPreservingReconnect(t *testing.T) {
 	st := c.Stats("t")
 	if st.Consumed != 10 || st.ConsumedTuples != 10 || st.Buffered != 0 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeleteTopic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCluster(1, Config{Partitions: 2, Metrics: reg})
+	prod := c.Producer("doomed")
+	if err := prod.Send(batchOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	c.Producer("survivor")
+	before := reg.Len()
+	if before == 0 {
+		t.Fatal("no metrics registered for topics")
+	}
+
+	if !c.DeleteTopic("doomed") {
+		t.Fatal("DeleteTopic(doomed) = false, want true")
+	}
+	if c.DeleteTopic("doomed") {
+		t.Error("second DeleteTopic(doomed) = true, want false")
+	}
+	for _, name := range c.Topics() {
+		if name == "doomed" {
+			t.Error("deleted topic still listed")
+		}
+	}
+	// Every topic=doomed series is gone; survivor's series remain.
+	for _, p := range reg.Snapshot() {
+		if p.Labels["topic"] == "doomed" {
+			t.Fatalf("leaked series %s{%v}", p.Name, p.Labels)
+		}
+	}
+	if reg.Len() >= before {
+		t.Errorf("registry len %d not reduced from %d", reg.Len(), before)
+	}
+	if got := c.Stats("survivor"); got.Appended != 0 {
+		t.Errorf("survivor stats disturbed: %+v", got)
+	}
+	// Recreating the name yields a fresh, working topic.
+	if err := c.Producer("doomed").Send(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats("doomed").Appended; got != 1 {
+		t.Errorf("recreated topic Appended = %d, want 1", got)
 	}
 }

@@ -307,6 +307,56 @@ func (o *Orchestrator) CrashOne(pick uint64) bool {
 	return o.Crash(flat[pick%uint64(len(flat))])
 }
 
+// StopInstance reclaims one instance without counting it as a crash: it is
+// removed from its query's live set, its tap closes, its pump drains every
+// queued frame into the monitor, and the monitor flushes and stops. Returns
+// false when the instance is no longer live. The shared-tap registry uses it
+// to retire a host's shared monitor when its last subscriber detaches while
+// the owning synthetic query keeps other hosts' monitors running.
+func (o *Orchestrator) StopInstance(in *Instance) bool {
+	o.mu.Lock()
+	list := o.instances[in.query]
+	idx := -1
+	for i, have := range list {
+		if have == in {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		o.mu.Unlock()
+		return false
+	}
+	rest := make([]*Instance, 0, len(list)-1)
+	rest = append(rest, list[:idx]...)
+	rest = append(rest, list[idx+1:]...)
+	if len(rest) == 0 {
+		delete(o.instances, in.query)
+	} else {
+		o.instances[in.query] = rest
+	}
+	o.mu.Unlock()
+	in.stop(o.net)
+	return true
+}
+
+// All returns every live instance across all queries, ordered by query ID
+// then launch order.
+func (o *Orchestrator) All() []*Instance {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids := make([]string, 0, len(o.instances))
+	for id := range o.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var flat []*Instance
+	for _, id := range ids {
+		flat = append(flat, o.instances[id]...)
+	}
+	return flat
+}
+
 // StopQuery reclaims every instance of a query: taps close, pumps drain,
 // monitors flush and stop. Idempotent.
 func (o *Orchestrator) StopQuery(queryID string) {

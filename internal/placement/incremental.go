@@ -1,0 +1,63 @@
+package placement
+
+import "netalytics/internal/topology"
+
+// ExistingMonitor describes a monitor that is already running, for
+// incremental re-planning: Host is where it runs and Load is the raw traffic
+// (bps) already assigned to it.
+type ExistingMonitor struct {
+	Host *topology.Host
+	Load float64
+}
+
+// Incremental is the shared-tap planner's reuse-first pass. Each flow is
+// assigned to an existing monitor when one covers it — the monitor's host sits
+// under one of the flow's endpoint racks — and still has capacity for the
+// flow's rate; among covering candidates the least-loaded monitor wins, so
+// reuse spreads instead of piling onto one instance. Flows no existing
+// monitor can absorb are returned as residuals for a fresh Place call.
+//
+// assign[i] is the index into existing for flow i, or -1 when the flow is a
+// residual. Loads in existing are updated in place as flows are packed, so a
+// caller can chain Incremental calls across arriving queries.
+func Incremental(existing []*ExistingMonitor, flows []Flow, params Params) (assign []int, residual []int) {
+	params = params.withDefaults()
+	assign = make([]int, len(flows))
+
+	// Index monitors by the rack they sit under.
+	byEdge := make(map[topology.NodeID][]int)
+	for i, m := range existing {
+		if m.Host != nil {
+			byEdge[m.Host.Edge] = append(byEdge[m.Host.Edge], i)
+		}
+	}
+
+	for i, f := range flows {
+		assign[i] = -1
+		if f.Src == nil || f.Dst == nil {
+			residual = append(residual, i)
+			continue
+		}
+		cands := byEdge[f.Src.Edge]
+		if f.Dst.Edge != f.Src.Edge {
+			cands = append(append([]int(nil), cands...), byEdge[f.Dst.Edge]...)
+		}
+		best := -1
+		for _, mi := range cands {
+			m := existing[mi]
+			if m.Load+f.Rate > params.MonitorCapacityBps {
+				continue
+			}
+			if best < 0 || m.Load < existing[best].Load {
+				best = mi
+			}
+		}
+		if best < 0 {
+			residual = append(residual, i)
+			continue
+		}
+		existing[best].Load += f.Rate
+		assign[i] = best
+	}
+	return assign, residual
+}

@@ -1,0 +1,95 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"netalytics/internal/topology"
+)
+
+func TestIncrementalReusesCoveringMonitors(t *testing.T) {
+	topo := testTopo(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	flows := uniformFlows(topo, 8, 1e9, rng)
+
+	// Seed monitors from a fresh placement of the first half of the flows.
+	seedFlows := flows[:4]
+	seed, err := Place(topo, seedFlows, NetalyticsNetwork, Params{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing := make([]*ExistingMonitor, len(seed.Monitors))
+	for i, m := range seed.Monitors {
+		existing[i] = &ExistingMonitor{Host: m.Host, Load: m.Load}
+	}
+
+	// Re-submitting the already-covered flows must reuse, not residual.
+	assign, residual := Incremental(existing, seedFlows, Params{})
+	if len(residual) != 0 {
+		t.Fatalf("covered flows produced residuals %v, want none", residual)
+	}
+	for i, mi := range assign {
+		f := seedFlows[i]
+		h := existing[mi].Host
+		if h.Edge != f.Src.Edge && h.Edge != f.Dst.Edge {
+			t.Errorf("flow %d assigned to monitor on edge %d, covers neither %d nor %d",
+				i, h.Edge, f.Src.Edge, f.Dst.Edge)
+		}
+	}
+}
+
+func TestIncrementalRespectsCapacityAndCoverage(t *testing.T) {
+	topo := testTopo(t, 4)
+	hosts := topo.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	mon := &ExistingMonitor{Host: src, Load: 0}
+
+	// A covering monitor at capacity cannot absorb the flow.
+	mon.Load = 10e9
+	assign, residual := Incremental([]*ExistingMonitor{mon}, []Flow{{Src: src, Dst: dst, Rate: 1e9}}, Params{})
+	if assign[0] != -1 || len(residual) != 1 {
+		t.Errorf("full monitor absorbed the flow: assign=%v residual=%v", assign, residual)
+	}
+
+	// With headroom it does, and its load advances for the next call.
+	mon.Load = 0
+	assign, residual = Incremental([]*ExistingMonitor{mon}, []Flow{{Src: src, Dst: dst, Rate: 1e9}}, Params{})
+	if assign[0] != 0 || len(residual) != 0 {
+		t.Fatalf("covering monitor not reused: assign=%v residual=%v", assign, residual)
+	}
+	if mon.Load != 1e9 {
+		t.Errorf("monitor load after packing = %v, want 1e9", mon.Load)
+	}
+
+	// A monitor in an unrelated rack never covers the flow.
+	var farHost *topology.Host
+	for _, h := range hosts {
+		if h.Edge != src.Edge && h.Edge != dst.Edge {
+			farHost = h
+			break
+		}
+	}
+	assign, residual = Incremental([]*ExistingMonitor{{Host: farHost}}, []Flow{{Src: src, Dst: dst, Rate: 1e9}}, Params{})
+	if assign[0] != -1 || len(residual) != 1 {
+		t.Errorf("non-covering monitor was reused: assign=%v residual=%v", assign, residual)
+	}
+}
+
+func TestIncrementalPrefersLeastLoaded(t *testing.T) {
+	topo := testTopo(t, 4)
+	hosts := topo.Hosts()
+	src := hosts[0]
+	var dst *topology.Host
+	for _, h := range hosts {
+		if h.Edge != src.Edge {
+			dst = h
+			break
+		}
+	}
+	heavy := &ExistingMonitor{Host: src, Load: 5e9}
+	light := &ExistingMonitor{Host: dst, Load: 1e9}
+	assign, _ := Incremental([]*ExistingMonitor{heavy, light}, []Flow{{Src: src, Dst: dst, Rate: 1e9}}, Params{})
+	if assign[0] != 1 {
+		t.Errorf("flow packed onto monitor %d, want the least-loaded (1)", assign[0])
+	}
+}

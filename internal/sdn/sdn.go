@@ -237,26 +237,6 @@ func (t *FlowTable) Remove(id uint64) bool {
 	return false
 }
 
-// removeByQuery deletes all rules tagged with queryID, returning the count.
-func (t *FlowTable) removeByQuery(queryID string) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	kept := t.rules[:0]
-	removed := 0
-	for _, r := range t.rules {
-		if r.QueryID == queryID {
-			removed++
-			continue
-		}
-		kept = append(kept, r)
-	}
-	t.rules = kept
-	if removed > 0 {
-		t.bumpEpoch()
-	}
-	return removed
-}
-
 // Lookup returns the highest-priority rule matching the tuple, or nil on a
 // table miss.
 func (t *FlowTable) Lookup(ft packet.FiveTuple) *Rule {
@@ -346,6 +326,46 @@ func (t *FlowTable) Len() int {
 // Misses returns the number of lookups that matched no rule.
 func (t *FlowTable) Misses() uint64 { return t.misses.Load() }
 
+// SharedRuleOwner is the QueryID stamped on rules installed through
+// InstallSharedMirror: a shared rule belongs to its owner set (see
+// RuleOwners), not to any single query, so its QueryID field is a sentinel.
+const SharedRuleOwner = "shared"
+
+// sharedKey identifies a mergeable mirror demand: two queries asking for the
+// same match mirrored from the same switch to the same tap at the same
+// priority share one installed rule. Match is comparable (netip types are),
+// so the key can index a map directly.
+type sharedKey struct {
+	sw       topology.NodeID
+	match    Match
+	tap      topology.NodeID
+	priority int
+}
+
+// ownerState is one query's stake in an installed rule: the mirror-sampling
+// rate it last asked for (1 = unsampled). A query that installs the same
+// shared demand twice (FROM/TO clauses compiling to duplicate matches, e.g.
+// a symmetric match equal to its own reverse) joins the owner set once and
+// releases once at RemoveQuery.
+type ownerState struct {
+	rate float64
+}
+
+// ruleRef is the controller's index entry for one installed rule. Exclusive
+// rules (InstallMirror) have exactly one owner; shared rules (
+// InstallSharedMirror) carry the full owner set and stay installed until the
+// last owner releases them. The rule's effective mirror sampling is the max
+// (most permissive) of the owners' requested rates, so no subscriber ever
+// loses flows another subscriber still wants.
+type ruleRef struct {
+	sw     topology.NodeID
+	rule   *Rule
+	owners map[string]*ownerState
+	shared bool
+	key    sharedKey // valid only when shared
+	eff    float64   // last applied effective sampling rate (1 = unsampled)
+}
+
 // Controller is the logically centralized SDN controller: it owns one flow
 // table per switch and provides the northbound API the query interpreter
 // talks to.
@@ -354,6 +374,16 @@ type Controller struct {
 	tables map[topology.NodeID]*FlowTable
 	nextID atomic.Uint64
 	reg    *telemetry.Registry
+
+	// byQuery, byID and shared form the rule index: every rule installed
+	// through the controller API (InstallMirror / InstallSharedMirror) is
+	// registered here, making RemoveQuery, QueryRules and SetQuerySampling
+	// O(rules-of-query) instead of a scan over every switch's full table.
+	// Rules installed directly via Table().Install bypass the index and the
+	// query-level API does not see them.
+	byQuery map[string][]*ruleRef
+	byID    map[uint64]*ruleRef
+	shared  map[sharedKey]*ruleRef
 
 	// epoch counts rule-set generations across every table the controller
 	// owns: it advances after each Install, Remove, RemoveQuery and
@@ -366,7 +396,12 @@ type Controller struct {
 
 // NewController returns an empty controller.
 func NewController() *Controller {
-	return &Controller{tables: make(map[topology.NodeID]*FlowTable)}
+	return &Controller{
+		tables:  make(map[topology.NodeID]*FlowTable),
+		byQuery: make(map[string][]*ruleRef),
+		byID:    make(map[uint64]*ruleRef),
+		shared:  make(map[sharedKey]*ruleRef),
+	}
 }
 
 // Epoch returns the controller's rule-generation counter. Read it before
@@ -417,6 +452,7 @@ func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
 	c.mu.Unlock()
 	reg.GaugeFunc("sdn_flowtable_misses", func() float64 { return float64(c.Misses()) })
 	reg.GaugeFunc("sdn_rules_total", func() float64 { return float64(c.RuleCount()) })
+	reg.GaugeFunc("sdn_shared_rules", func() float64 { return float64(c.SharedRuleCount()) })
 	for sw, t := range existing {
 		registerTable(reg, sw, t)
 	}
@@ -439,9 +475,53 @@ type InstalledRule struct {
 	Rule   *Rule
 }
 
+// indexRuleLocked registers a ref under every owner. Caller holds c.mu.
+func (c *Controller) indexRuleLocked(queryID string, ref *ruleRef) {
+	c.byQuery[queryID] = append(c.byQuery[queryID], ref)
+	c.byID[ref.rule.ID] = ref
+}
+
+// dropFromQueryLocked unlinks ref from one query's index slice.
+func (c *Controller) dropFromQueryLocked(queryID string, ref *ruleRef) {
+	refs := c.byQuery[queryID]
+	for i, r := range refs {
+		if r == ref {
+			refs[i] = refs[len(refs)-1]
+			refs = refs[:len(refs)-1]
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(c.byQuery, queryID)
+	} else {
+		c.byQuery[queryID] = refs
+	}
+}
+
+// applySamplingLocked recomputes a rule's effective mirror sampling as the
+// max of its owners' requested rates and applies it, reporting whether the
+// effective rate changed. Caller holds c.mu and bumps the epoch on change.
+func (c *Controller) applySamplingLocked(ref *ruleRef) bool {
+	eff := 0.0
+	for _, st := range ref.owners {
+		if st.rate > eff {
+			eff = st.rate
+		}
+	}
+	if ref.eff == eff {
+		return false
+	}
+	ref.eff = eff
+	ref.rule.SetMirrorSampling(eff)
+	return true
+}
+
 // InstallMirror installs a mirror rule on a switch: matched frames keep
 // their normal forwarding and a copy is sent to tap. Returns the rule ID.
+// The rule is exclusive to queryID; overlapping queries that want to share
+// one rule use InstallSharedMirror.
 func (c *Controller) InstallMirror(queryID string, sw topology.NodeID, m Match, tap topology.NodeID, priority int) uint64 {
+	t := c.Table(sw) // outside c.mu: first use registers telemetry
 	r := &Rule{
 		ID:       c.nextID.Add(1),
 		QueryID:  queryID,
@@ -452,7 +532,54 @@ func (c *Controller) InstallMirror(queryID string, sw topology.NodeID, m Match, 
 			{Type: ActionMirror, Dst: tap},
 		},
 	}
-	c.Table(sw).Install(r)
+	c.mu.Lock()
+	c.indexRuleLocked(queryID, &ruleRef{
+		sw: sw, rule: r, eff: 1,
+		owners: map[string]*ownerState{queryID: {rate: 1}},
+	})
+	t.Install(r)
+	c.mu.Unlock()
+	return r.ID
+}
+
+// InstallSharedMirror installs a refcounted mirror rule, merging the demand
+// with any query already mirroring the same (switch, match, tap, priority):
+// the first caller installs one rule, later callers join its owner set and
+// get the same rule ID back, and the rule stays installed until every owner
+// has released it (RemoveQuery decrements instead of deleting). The rule's
+// QueryID field carries the SharedRuleOwner sentinel.
+func (c *Controller) InstallSharedMirror(queryID string, sw topology.NodeID, m Match, tap topology.NodeID, priority int) uint64 {
+	t := c.Table(sw)
+	key := sharedKey{sw: sw, match: m, tap: tap, priority: priority}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ref, ok := c.shared[key]; ok {
+		if ref.owners[queryID] == nil {
+			ref.owners[queryID] = &ownerState{rate: 1}
+			c.byQuery[queryID] = append(c.byQuery[queryID], ref)
+			if c.applySamplingLocked(ref) {
+				c.epoch.Add(1)
+			}
+		}
+		return ref.rule.ID
+	}
+	r := &Rule{
+		ID:       c.nextID.Add(1),
+		QueryID:  SharedRuleOwner,
+		Priority: priority,
+		Match:    m,
+		Actions: []Action{
+			{Type: ActionForward, Dst: 0},
+			{Type: ActionMirror, Dst: tap},
+		},
+	}
+	ref := &ruleRef{
+		sw: sw, rule: r, shared: true, key: key, eff: 1,
+		owners: map[string]*ownerState{queryID: {rate: 1}},
+	}
+	c.indexRuleLocked(queryID, ref)
+	c.shared[key] = ref
+	t.Install(r)
 	return r.ID
 }
 
@@ -461,68 +588,170 @@ func (c *Controller) InstallMirror(queryID string, sw topology.NodeID, m Match, 
 // not installed there. Monitor failover uses this to retire a crashed
 // instance's mirror rules before re-installing them at the replacement.
 func (c *Controller) RemoveRule(sw topology.NodeID, id uint64) bool {
-	return c.Table(sw).Remove(id)
+	t := c.Table(sw)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ref, ok := c.byID[id]; ok {
+		delete(c.byID, id)
+		if ref.shared {
+			delete(c.shared, ref.key)
+		}
+		for q := range ref.owners {
+			c.dropFromQueryLocked(q, ref)
+		}
+	}
+	return t.Remove(id)
 }
 
-// RemoveQuery uninstalls every rule belonging to a query across all
-// switches, returning the number removed.
+// RemoveQuery releases every rule the query owns: exclusive rules are
+// uninstalled; shared rules lose this owner and are uninstalled only when no
+// other query still holds them. Returns the number of rules actually
+// uninstalled (a shared release that leaves owners behind counts zero).
+// O(rules-of-query) via the controller index.
 func (c *Controller) RemoveQuery(queryID string) int {
 	c.mu.Lock()
-	tables := make([]*FlowTable, 0, len(c.tables))
-	for _, t := range c.tables {
-		tables = append(tables, t)
-	}
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	refs := c.byQuery[queryID]
+	delete(c.byQuery, queryID)
 	removed := 0
-	for _, t := range tables {
-		removed += t.removeByQuery(queryID)
+	for _, ref := range refs {
+		if _, ok := ref.owners[queryID]; !ok {
+			continue
+		}
+		delete(ref.owners, queryID)
+		if len(ref.owners) > 0 {
+			if c.applySamplingLocked(ref) {
+				c.epoch.Add(1)
+			}
+			continue
+		}
+		delete(c.byID, ref.rule.ID)
+		if ref.shared {
+			delete(c.shared, ref.key)
+		}
+		if t := c.tables[ref.sw]; t != nil && t.Remove(ref.rule.ID) {
+			removed++
+		}
 	}
 	return removed
 }
 
-// QueryRules lists every installed rule belonging to a query.
+// QueryRules lists every installed rule the query owns (exclusively or as a
+// member of a shared rule's owner set), via the controller index.
 func (c *Controller) QueryRules(queryID string) []InstalledRule {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var out []InstalledRule
-	for sw, t := range c.tables {
-		t.mu.RLock()
-		for _, r := range t.rules {
-			if r.QueryID == queryID {
-				out = append(out, InstalledRule{Switch: sw, Rule: r})
-			}
-		}
-		t.mu.RUnlock()
+	refs := c.byQuery[queryID]
+	out := make([]InstalledRule, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, InstalledRule{Switch: ref.sw, Rule: ref.rule})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rule.ID < out[j].Rule.ID })
 	return out
 }
 
+// RuleOwners returns the sorted owner set of an installed rule: the single
+// owning query for exclusive rules, every subscribed query for shared ones.
+// Nil when the rule is not in the controller index.
+func (c *Controller) RuleOwners(id uint64) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, ok := c.byID[id]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(ref.owners))
+	for q := range ref.owners {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SharedRuleCount returns the number of installed rules currently carrying
+// more than one owner — the control plane's merge win. Exported to telemetry
+// as sdn_shared_rules.
+func (c *Controller) SharedRuleCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ref := range c.shared {
+		if len(ref.owners) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // SetQuerySampling applies switch-level mirror sampling to every rule of a
 // query (§4.2's controller escalation), returning the number of rules
-// updated. rate >= 1 disables sampling.
+// updated. rate >= 1 disables sampling. On shared rules the query's rate is
+// recorded in its owner state and the rule's effective rate becomes the max
+// over owners, so one overloaded query can never starve its co-subscribers.
+// O(rules-of-query) via the controller index.
 func (c *Controller) SetQuerySampling(queryID string, rate float64) int {
-	c.mu.Lock()
-	tables := make([]*FlowTable, 0, len(c.tables))
-	for _, t := range c.tables {
-		tables = append(tables, t)
+	if rate > 1 {
+		rate = 1
 	}
-	c.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	updated := 0
-	for _, t := range tables {
-		t.mu.RLock()
-		for _, r := range t.rules {
-			if r.QueryID == queryID {
-				r.SetMirrorSampling(rate)
-				updated++
-			}
+	for _, ref := range c.byQuery[queryID] {
+		st := ref.owners[queryID]
+		if st == nil {
+			continue
 		}
-		t.mu.RUnlock()
+		st.rate = rate
+		c.applySamplingLocked(ref)
+		updated++
 	}
 	if updated > 0 {
 		c.epoch.Add(1)
 	}
 	return updated
+}
+
+// ReinstallTapRules retires and freshly installs every indexed rule whose
+// mirror action targets tap, preserving match, priority, owner sets and
+// effective sampling. Shared-monitor failover uses this: when the instance
+// on a host crashes and a replacement is launched, one call re-installs the
+// mirror rules of *every* subscribed query (rule IDs change; the index and
+// owner sets carry over). Returns the number of rules reinstalled.
+func (c *Controller) ReinstallTapRules(tap topology.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var refs []*ruleRef
+	for _, ref := range c.byID {
+		for _, a := range ref.rule.Actions {
+			if a.Type == ActionMirror && a.Dst == tap {
+				refs = append(refs, ref)
+				break
+			}
+		}
+	}
+	for _, ref := range refs {
+		old := ref.rule
+		r := &Rule{
+			ID:       c.nextID.Add(1),
+			QueryID:  old.QueryID,
+			Priority: old.Priority,
+			Match:    old.Match,
+			Actions:  append([]Action(nil), old.Actions...),
+		}
+		r.SetMirrorSampling(ref.eff)
+		t := c.tables[ref.sw]
+		if t == nil || !t.Remove(old.ID) {
+			continue
+		}
+		delete(c.byID, old.ID)
+		ref.rule = r
+		c.byID[r.ID] = ref
+		t.Install(r)
+	}
+	return len(refs)
 }
 
 // RuleCount returns the total number of rules installed across all switches.

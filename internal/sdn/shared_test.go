@@ -1,0 +1,217 @@
+package sdn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"netalytics/internal/topology"
+)
+
+func TestInstallSharedMirrorMergesDemands(t *testing.T) {
+	c := NewController()
+	const sw, tap = topology.NodeID(1), topology.NodeID(99)
+	m := Match{DstIP: ipB, DstPort: 80}
+
+	id1 := c.InstallSharedMirror("q1", sw, m, tap, 100)
+	id2 := c.InstallSharedMirror("q2", sw, m, tap, 100)
+	if id1 != id2 {
+		t.Fatalf("shared installs returned different rule IDs: %d vs %d", id1, id2)
+	}
+	if got := c.Table(sw).Len(); got != 1 {
+		t.Fatalf("table has %d rules, want 1 merged rule", got)
+	}
+	if got := c.SharedRuleCount(); got != 1 {
+		t.Errorf("SharedRuleCount = %d, want 1", got)
+	}
+	if owners := c.RuleOwners(id1); len(owners) != 2 || owners[0] != "q1" || owners[1] != "q2" {
+		t.Errorf("RuleOwners = %v, want [q1 q2]", owners)
+	}
+
+	// A different demand is not merged.
+	other := c.InstallSharedMirror("q1", sw, Match{DstIP: ipC}, tap, 100)
+	if other == id1 {
+		t.Fatal("distinct match merged into the same rule")
+	}
+	if got := c.SharedRuleCount(); got != 1 {
+		t.Errorf("SharedRuleCount after single-owner install = %d, want 1", got)
+	}
+
+	// Same query re-installing the same demand is idempotent.
+	if again := c.InstallSharedMirror("q1", sw, m, tap, 100); again != id1 {
+		t.Fatalf("re-install by same owner returned %d, want %d", again, id1)
+	}
+	if owners := c.RuleOwners(id1); len(owners) != 2 {
+		t.Errorf("owners after idempotent re-install = %v, want 2 owners", owners)
+	}
+}
+
+func TestSharedMirrorRefcountedTeardown(t *testing.T) {
+	c := NewController()
+	const sw, tap = topology.NodeID(1), topology.NodeID(99)
+	m := Match{DstIP: ipB, DstPort: 80}
+
+	c.InstallSharedMirror("q1", sw, m, tap, 100)
+	id := c.InstallSharedMirror("q2", sw, m, tap, 100)
+	c.InstallMirror("q1", sw, Match{DstIP: ipC}, tap, 100) // exclusive rides along
+
+	// First owner out: the shared rule must survive, its exclusive must go.
+	if removed := c.RemoveQuery("q1"); removed != 1 {
+		t.Fatalf("RemoveQuery(q1) uninstalled %d rules, want 1 (exclusive only)", removed)
+	}
+	if got := c.Table(sw).Len(); got != 1 {
+		t.Fatalf("table has %d rules after first release, want the shared rule", got)
+	}
+	if owners := c.RuleOwners(id); len(owners) != 1 || owners[0] != "q2" {
+		t.Errorf("owners after q1 left = %v, want [q2]", owners)
+	}
+	if got := c.SharedRuleCount(); got != 0 {
+		t.Errorf("SharedRuleCount with one owner left = %d, want 0", got)
+	}
+
+	// Last owner out: now it is uninstalled.
+	if removed := c.RemoveQuery("q2"); removed != 1 {
+		t.Fatalf("RemoveQuery(q2) uninstalled %d rules, want 1", removed)
+	}
+	if got := c.Table(sw).Len(); got != 0 {
+		t.Errorf("table has %d rules after last release, want 0", got)
+	}
+	if got := c.RuleCount(); got != 0 {
+		t.Errorf("RuleCount = %d, want 0", got)
+	}
+	if owners := c.RuleOwners(id); owners != nil {
+		t.Errorf("RuleOwners after teardown = %v, want nil", owners)
+	}
+}
+
+func TestSharedMirrorSamplingMaxWins(t *testing.T) {
+	c := NewController()
+	const sw, tap = topology.NodeID(1), topology.NodeID(99)
+	m := Match{DstIP: ipB, DstPort: 80}
+	id := c.InstallSharedMirror("q1", sw, m, tap, 100)
+	c.InstallSharedMirror("q2", sw, m, tap, 100)
+	rule := c.QueryRules("q1")[0].Rule
+	if rule.ID != id {
+		t.Fatalf("QueryRules returned rule %d, want %d", rule.ID, id)
+	}
+
+	near := func(got, want float64) bool { return math.Abs(got-want) < 1e-6 }
+
+	// One overloaded owner cannot throttle the rule while the other still
+	// wants every flow: the effective rate is the max over owners.
+	if updated := c.SetQuerySampling("q1", 0.25); updated != 1 {
+		t.Fatalf("SetQuerySampling(q1) updated %d rules, want 1", updated)
+	}
+	if got := rule.MirrorSampling(); !near(got, 1) {
+		t.Errorf("effective rate with q2 unsampled = %v, want 1", got)
+	}
+
+	// Both throttled: the most permissive request wins.
+	c.SetQuerySampling("q2", 0.5)
+	if got := rule.MirrorSampling(); !near(got, 0.5) {
+		t.Errorf("effective rate = %v, want max(0.25, 0.5) = 0.5", got)
+	}
+
+	// The permissive owner leaving tightens the rule to the survivor's rate.
+	epochBefore := c.Epoch()
+	c.RemoveQuery("q2")
+	if got := rule.MirrorSampling(); !near(got, 0.25) {
+		t.Errorf("effective rate after q2 left = %v, want 0.25", got)
+	}
+	if c.Epoch() == epochBefore {
+		t.Error("tightening the effective rate did not bump the epoch")
+	}
+}
+
+func TestRemoveRuleDropsIndex(t *testing.T) {
+	c := NewController()
+	const sw, tap = topology.NodeID(1), topology.NodeID(99)
+	id := c.InstallMirror("q1", sw, Match{DstIP: ipB}, tap, 100)
+	sid := c.InstallSharedMirror("q1", sw, Match{DstIP: ipC}, tap, 100)
+	c.InstallSharedMirror("q2", sw, Match{DstIP: ipC}, tap, 100)
+
+	if !c.RemoveRule(sw, id) {
+		t.Fatal("RemoveRule(exclusive) = false, want true")
+	}
+	if !c.RemoveRule(sw, sid) {
+		t.Fatal("RemoveRule(shared) = false, want true")
+	}
+	if got := c.QueryRules("q1"); len(got) != 0 {
+		t.Errorf("QueryRules(q1) after RemoveRule = %d rules, want 0", len(got))
+	}
+	if got := c.QueryRules("q2"); len(got) != 0 {
+		t.Errorf("QueryRules(q2) after RemoveRule = %d rules, want 0", len(got))
+	}
+	// A fresh shared install must not resurrect the removed rule's ID.
+	if again := c.InstallSharedMirror("q3", sw, Match{DstIP: ipC}, tap, 100); again == sid {
+		t.Error("shared key still mapped to the removed rule")
+	}
+}
+
+func TestReinstallTapRules(t *testing.T) {
+	c := NewController()
+	const sw, tap, otherTap = topology.NodeID(1), topology.NodeID(99), topology.NodeID(98)
+	m := Match{DstIP: ipB, DstPort: 80}
+	shared := c.InstallSharedMirror("q1", sw, m, tap, 100)
+	c.InstallSharedMirror("q2", sw, m, tap, 100)
+	excl := c.InstallMirror("q3", sw, Match{DstIP: ipC}, tap, 100)
+	bystander := c.InstallMirror("q4", sw, Match{DstIP: ipA}, otherTap, 100)
+	c.SetQuerySampling("q3", 0.5)
+
+	epochBefore := c.Epoch()
+	if n := c.ReinstallTapRules(tap); n != 2 {
+		t.Fatalf("ReinstallTapRules = %d rules, want 2", n)
+	}
+	if c.Epoch() == epochBefore {
+		t.Error("reinstall did not bump the epoch")
+	}
+	if got := c.Table(sw).Len(); got != 3 {
+		t.Fatalf("table has %d rules after reinstall, want 3", got)
+	}
+
+	// Owner sets, sampling and the bystander survive; rule IDs change.
+	q1 := c.QueryRules("q1")
+	if len(q1) != 1 || q1[0].Rule.ID == shared {
+		t.Errorf("q1 rules after reinstall = %+v, want one fresh rule", q1)
+	}
+	if owners := c.RuleOwners(q1[0].Rule.ID); len(owners) != 2 {
+		t.Errorf("owners after reinstall = %v, want [q1 q2]", owners)
+	}
+	q3 := c.QueryRules("q3")
+	if len(q3) != 1 || q3[0].Rule.ID == excl {
+		t.Fatalf("q3 rules after reinstall = %+v, want one fresh rule", q3)
+	}
+	if got := q3[0].Rule.MirrorSampling(); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("q3 sampling after reinstall = %v, want 0.5", got)
+	}
+	q4 := c.QueryRules("q4")
+	if len(q4) != 1 || q4[0].Rule.ID != bystander {
+		t.Errorf("bystander on another tap was touched: %+v", q4)
+	}
+}
+
+// BenchmarkRemoveQueryTeardown measures the teardown path with 128 concurrent
+// queries installed across a large switch fabric: the controller index must
+// make each RemoveQuery O(rules-of-query), not O(switches×rules).
+func BenchmarkRemoveQueryTeardown(b *testing.B) {
+	const queries, switches, rulesPerQuery = 128, 80, 4
+	const tap = topology.NodeID(10_000)
+	for b.Loop() {
+		b.StopTimer()
+		c := NewController()
+		for q := 0; q < queries; q++ {
+			for r := 0; r < rulesPerQuery; r++ {
+				sw := topology.NodeID((q*rulesPerQuery + r) % switches)
+				m := Match{DstPort: uint16(1024 + q), SrcPort: uint16(1 + r)}
+				c.InstallMirror(fmt.Sprintf("q%03d", q), sw, m, tap, 100)
+			}
+		}
+		b.StartTimer()
+		for q := 0; q < queries; q++ {
+			if removed := c.RemoveQuery(fmt.Sprintf("q%03d", q)); removed != rulesPerQuery {
+				b.Fatalf("RemoveQuery removed %d, want %d", removed, rulesPerQuery)
+			}
+		}
+	}
+	b.ReportMetric(queries, "queries/op")
+}

@@ -6,6 +6,7 @@ package vnet
 // race-detector coverage of injection racing control-plane churn.
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -256,7 +257,11 @@ func TestFlowCacheConcurrentControlChurn(t *testing.T) {
 	}
 
 	// Control loop: open a tap, install mirrors, flip sampling, tear it
-	// all down — repeatedly, while frames are in flight.
+	// all down — repeatedly, while frames are in flight. Wait for the
+	// injectors to actually start before opening the churn window: on a
+	// single-core box the tight churn loop can otherwise ping-pong with its
+	// own drainer goroutines and starve the injectors for the whole window.
+	waitForInjection(t, &injected)
 	m := sdn.Match{DstIP: server.Addr, DstPort: 80}
 	deadline := time.After(300 * time.Millisecond)
 	for round := 0; ; round++ {
@@ -287,6 +292,19 @@ func TestFlowCacheConcurrentControlChurn(t *testing.T) {
 		n.Controller().RemoveQuery("churn")
 		n.CloseTap(tap)
 		<-drained
+	}
+}
+
+// waitForInjection blocks until at least one injector goroutine has pushed a
+// frame, yielding the processor so the injectors can get scheduled at all.
+func waitForInjection(t *testing.T, injected *atomic.Uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for injected.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("injectors never started")
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -338,6 +356,7 @@ func TestChaosFlowCacheFaultChurnTapCloseMidBurst(t *testing.T) {
 		}(i, client)
 	}
 
+	waitForInjection(t, &injected)
 	m := sdn.Match{DstIP: server.Addr, DstPort: 80}
 	deadline := time.After(300 * time.Millisecond)
 	for round := 0; ; round++ {
