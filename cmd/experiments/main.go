@@ -67,6 +67,7 @@ func experimentsList() []experiment {
 		{"qlog", "use case 2: MySQL query-log overhead", runQueryLog},
 		{"fig16", "use case 3: video popularity over time", runFig16},
 		{"fig17", "use case 3: autoscaling on popularity surges", runFig17},
+		{"sni", "per-SNI connection popularity over encrypted traffic (tls_sni)", runSNI},
 	}
 }
 

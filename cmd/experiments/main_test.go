@@ -45,7 +45,7 @@ func TestExperimentListWellFormed(t *testing.T) {
 	if runnable < 9 {
 		t.Errorf("only %d runnable experiments", runnable)
 	}
-	for _, want := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "fig15", "qlog", "fig16", "fig17"} {
+	for _, want := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "fig15", "qlog", "fig16", "fig17", "sni"} {
 		if !seen[want] {
 			t.Errorf("experiment %q missing", want)
 		}

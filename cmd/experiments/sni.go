@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"netalytics/internal/apps"
+	"netalytics/internal/core"
+	"netalytics/internal/topology"
+)
+
+// runSNI measures per-service connection popularity over encrypted traffic.
+// TLS hides the URLs that fig16/fig17 rely on, but the ClientHello's
+// server_name extension travels in cleartext: the tls_sni parser emits one
+// tuple per flow keyed by the requested name, and a group-count bolt tallies
+// connections per service — popularity monitoring with zero decryption.
+// Clients dial a Zipf-skewed mix of services; the measured tally is written
+// next to the servers' own ground-truth counters.
+func runSNI(ctx *runCtx) error {
+	topo := topology.MustNew(4)
+	engine := core.NewEngine(topo, core.Config{TickInterval: 50 * time.Millisecond})
+	defer engine.Close()
+	hosts := topo.Hosts()
+	server := hosts[0]
+	clients := hosts[12:16]
+	net := engine.Network()
+
+	srv, err := apps.StartTLS(net, server, apps.TLSConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+
+	sess, err := engine.Submit(fmt.Sprintf(
+		"PARSE tls_sni FROM * TO %s:443 PROCESS (group-count: group=key)", server.Name))
+	if err != nil {
+		return err
+	}
+
+	services := make([]string, 12)
+	for i := range services {
+		services[i] = fmt.Sprintf("svc-%02d.example.com", i)
+	}
+	dials := 400
+	if ctx.quick {
+		dials = 120
+	}
+	rng := rand.New(rand.NewSource(17))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(services)-1))
+	for i := 0; i < dials; i++ {
+		sni := services[zipf.Uint64()]
+		c, err := apps.DialTLS(net, clients[i%len(clients)], server, 0, sni)
+		if err != nil {
+			return fmt.Errorf("dial %d (%s): %w", i, sni, err)
+		}
+		if _, err := c.Request([]byte("hello"), time.Second); err != nil {
+			c.Close()
+			return fmt.Errorf("request %d (%s): %w", i, sni, err)
+		}
+		c.Close()
+	}
+
+	// Group-count emits cumulative per-key totals each tick ("last wins"),
+	// and executor cleanup flushes every group when the session stops — so
+	// let a tick drain, stop, and take the final value per service.
+	time.Sleep(200 * time.Millisecond)
+	measured := map[string]float64{}
+	deadline := time.After(2 * time.Second)
+collect:
+	for {
+		select {
+		case tu, ok := <-sess.Results():
+			if !ok {
+				break collect
+			}
+			measured[tu.Key] = tu.Val
+		case <-deadline:
+			break collect
+		}
+	}
+	sess.Stop()
+	for tu := range sess.Results() {
+		measured[tu.Key] = tu.Val
+	}
+
+	truth := srv.SNICounts()
+	sort.Slice(services, func(a, b int) bool {
+		if measured[services[a]] != measured[services[b]] {
+			return measured[services[a]] > measured[services[b]]
+		}
+		return services[a] < services[b]
+	})
+	rows := [][]string{{"rank", "sni", "connections_measured", "connections_actual", "share_pct"}}
+	mismatch := 0
+	for rank, sni := range services {
+		m, a := measured[sni], float64(truth[sni])
+		if m != a {
+			mismatch++
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(rank + 1), sni,
+			fmt.Sprintf("%.0f", m), fmt.Sprintf("%.0f", a),
+			fmt.Sprintf("%.1f", 100*m/float64(dials)),
+		})
+		if rank < 5 {
+			fmt.Printf("   #%d %-22s %4.0f conns (%4.1f%%)\n", rank+1, sni, m, 100*m/float64(dials))
+		}
+	}
+	if mismatch > 0 {
+		return fmt.Errorf("sni: %d services where measured tally != server ground truth", mismatch)
+	}
+	return ctx.writeTSV("sni_popularity", rows)
+}

@@ -98,6 +98,53 @@ func captureToPcap(tb *netalytics.Testbed, sess *netalytics.Session, path string
 	}, nil
 }
 
+// replayCapture injects a recorded capture into the testbed network until the
+// capture is exhausted (non-looping) or stop closes. Paced replay honors the
+// capture's own inter-frame gaps; max-rate replay injects in bursts with a
+// short breather so a looping capture cannot starve the pipeline's own
+// goroutines. Frames whose addresses the testbed cannot route (a capture from
+// a different topology) are counted as skipped rather than aborting the run.
+func replayCapture(n *vnet.Network, bl *workload.PcapBlaster, pace bool, stop <-chan struct{}) (injected, skipped uint64) {
+	for {
+		select {
+		case <-stop:
+			return injected, skipped
+		default:
+		}
+		if pace {
+			f, gap := bl.NextPaced()
+			if f == nil {
+				return injected, skipped
+			}
+			if gap > 0 {
+				select {
+				case <-stop:
+					return injected, skipped
+				case <-time.After(gap):
+				}
+			}
+			if n.Inject(f) != nil {
+				skipped++
+			} else {
+				injected++
+			}
+			continue
+		}
+		burst := bl.NextBurst(64)
+		if len(burst) == 0 {
+			return injected, skipped
+		}
+		for _, f := range burst {
+			if n.Inject(f) != nil {
+				skipped++
+			} else {
+				injected++
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
 // runOpts collects the command's knobs; flags fill one in main.
 type runOpts struct {
 	query             string
@@ -120,6 +167,9 @@ type runOpts struct {
 	adaptiveSample    bool   // backpressure-driven AIMD sampling controller
 	sharedTaps        bool   // demand-merging shared-tap control plane
 	queriesFile       string // deploy every query in this file concurrently
+	pcapSource        string // replay this capture as workload
+	pcapLoop          bool   // loop the capture until the run ends
+	pcapPace          bool   // pace replay by capture timestamps
 }
 
 // insightPeriod resolves the -insight/-insight-every pair into a snapshot
@@ -155,6 +205,9 @@ func main() {
 	flag.BoolVar(&o.adaptiveSample, "adaptive-sample", false, "AIMD sampling controller for SAMPLE * queries: halve the monitor sample rate under mq backpressure, recover to 1.0 when it clears (rate and estimated error exported via /metrics)")
 	flag.BoolVar(&o.sharedTaps, "shared-taps", false, "demand-merging control plane: overlapping queries share one mirror rule, monitor and parsed-tuple stream per demand, demuxed per subscriber (0 queries = legacy A/B)")
 	flag.StringVar(&o.queriesFile, "queries-file", "", "deploy every query in this file (one per line, # comments) against the same testbed; rejected queries are reported per line and the rest still run")
+	flag.StringVar(&o.pcapSource, "pcap-source", "", "replay this capture into the testbed as extra workload while the query runs (frames must use testbed addresses, e.g. a -pcap recording)")
+	flag.BoolVar(&o.pcapLoop, "pcap-loop", false, "loop the -pcap-source capture until the run ends instead of stopping at its last frame")
+	flag.BoolVar(&o.pcapPace, "pcap-pace", false, "pace -pcap-source replay by the capture's own timestamps (default: max rate)")
 	interactive := flag.Bool("interactive", false, "REPL: type queries against the demo testbed (blank line stops the running query)")
 	flag.Parse()
 	o.query = flag.Arg(0)
@@ -641,6 +694,33 @@ func run(o runOpts) error {
 		fmt.Printf(" %s", h.Name)
 	}
 	fmt.Printf("; %d mirror rules installed\n", len(d.tb.Controller().QueryRules(sess.ID)))
+
+	// Pcap workload: replay a recorded capture through the live mirror rules,
+	// started after Submit so the first frame already hits the query's taps.
+	if o.pcapSource != "" {
+		f, err := os.Open(o.pcapSource)
+		if err != nil {
+			return err
+		}
+		bl, err := workload.NewPcapBlaster(f, o.pcapLoop)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		mode := "max-rate"
+		if o.pcapPace {
+			mode = "timestamp-paced"
+		}
+		fmt.Printf("replaying %d-frame capture %s (%s, loop=%v)\n", bl.Len(), o.pcapSource, mode, o.pcapLoop)
+		replayStop := make(chan struct{})
+		replayDone := make(chan struct{})
+		go func() {
+			defer close(replayDone)
+			injected, skipped := replayCapture(d.tb.Network(), bl, o.pcapPace, replayStop)
+			fmt.Printf("replay: %d frames injected, %d unroutable\n", injected, skipped)
+		}()
+		defer func() { close(replayStop); <-replayDone }()
+	}
 
 	// Chaos mode: play the deterministic fault schedule against the live
 	// pipeline, narrating each window as it opens and closes.

@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os"
 	"testing"
 	"time"
+
+	"netalytics/internal/packet"
+	"netalytics/internal/pcap"
+	"netalytics/internal/proto"
 )
 
 func TestBuildDemoAndDescribe(t *testing.T) {
@@ -40,6 +45,63 @@ func TestRunWithPcap(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("run with pcap: %v", err)
+	}
+}
+
+// TestRunWithPcapSource records a small capture addressed to the demo proxy
+// and replays it as the run's workload, looping at max rate.
+func TestRunWithPcapSource(t *testing.T) {
+	d, err := buildDemo(runOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, client := d.proxy, d.client
+	d.close() // only needed the (deterministic) addresses
+
+	path := t.TempDir() + "/src.pcap"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b packet.Builder
+	base := time.Now()
+	for i := 0; i < 60; i++ {
+		raw := b.TCP(packet.TCPSpec{
+			Src: client.Addr, Dst: proxy.Addr,
+			SrcPort: uint16(25000 + i), DstPort: 80,
+			Flags:   packet.TCPFlagACK | packet.TCPFlagPSH,
+			Payload: proto.BuildHTTPGet(fmt.Sprintf("/p%d", i%4), proxy.Name),
+		})
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run(runOpts{
+		query:      fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", proxy.Name),
+		duration:   1200 * time.Millisecond,
+		requests:   1,
+		pcapSource: path,
+		pcapLoop:   true,
+	})
+	if err != nil {
+		t.Fatalf("run with pcap source: %v", err)
+	}
+
+	if err := run(runOpts{
+		query:      fmt.Sprintf("PARSE http_get FROM * TO %s:80 PROCESS (passthrough)", proxy.Name),
+		duration:   time.Second,
+		requests:   1,
+		pcapSource: t.TempDir() + "/missing.pcap",
+	}); err == nil {
+		t.Error("missing pcap source accepted")
 	}
 }
 

@@ -13,8 +13,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -88,9 +90,16 @@ func run(path string, parserNames []string, jsonOut bool) error {
 	}
 	mon.Start()
 	frames := 0
+	var readErr error
 	for {
 		pkt, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
 		if err != nil {
+			// A corrupt mid-file record must surface, not silently end the
+			// replay as if the capture were complete.
+			readErr = fmt.Errorf("after %d frames: %w", frames, err)
 			break
 		}
 		frames++
@@ -98,6 +107,9 @@ func run(path string, parserNames []string, jsonOut bool) error {
 		}
 	}
 	mon.Stop()
+	if readErr != nil {
+		return readErr
+	}
 
 	if jsonOut {
 		return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -68,5 +69,23 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(bad, []string{"http_get"}, false); err == nil {
 		t.Error("garbage capture accepted")
+	}
+}
+
+// A record truncated mid-file must surface as an error — the replay used to
+// stop silently, reporting a partial capture as a complete one.
+func TestRunTruncatedMidFile(t *testing.T) {
+	path := writeTestCapture(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.pcap")
+	if err := os.WriteFile(trunc, blob[:len(blob)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(trunc, []string{"http_get"}, false)
+	if !errors.Is(err, pcap.ErrTruncated) {
+		t.Errorf("truncated capture: err = %v, want ErrTruncated", err)
 	}
 }

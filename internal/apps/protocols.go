@@ -1,0 +1,407 @@
+package apps
+
+// The protocol-breadth application tier: a mini-Redis server, an
+// authoritative DNS server with a matching stub resolver, and a TLS
+// front-end that completes a ClientHello/ServerHello exchange. Like the
+// MySQL and memcached servers they speak the real wire encodings of
+// internal/proto over internal/vnet, so the resp_command, dns_query and
+// tls_sni parsers observe genuine traffic end to end.
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netalytics/internal/proto"
+	"netalytics/internal/topology"
+	"netalytics/internal/vnet"
+)
+
+// RedisConfig parameterizes a mini-Redis server.
+type RedisConfig struct {
+	// Port to listen on (default 6379).
+	Port uint16
+	// Cost is the simulated per-command execution time.
+	Cost time.Duration
+}
+
+// RedisServer is the emulated key-value tier. It implements GET, SET, DEL
+// and PING over RESP, enough for command-mix and latency monitoring.
+type RedisServer struct {
+	cfg      RedisConfig
+	ln       *vnet.Listener
+	commands atomic.Uint64
+
+	mu    sync.Mutex
+	store map[string]string
+}
+
+// StartRedis launches a mini-Redis server on the host.
+func StartRedis(net *vnet.Network, host *topology.Host, cfg RedisConfig) (*RedisServer, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 6379
+	}
+	ln, err := net.Endpoint(host).Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: starting redis on %s: %w", host.Name, err)
+	}
+	s := &RedisServer{cfg: cfg, ln: ln, store: make(map[string]string)}
+	go ln.Serve(s.handle)
+	return s, nil
+}
+
+// Stop shuts the listener down.
+func (s *RedisServer) Stop() { s.ln.Close() }
+
+// Commands returns the number of commands served.
+func (s *RedisServer) Commands() uint64 { return s.commands.Load() }
+
+func (s *RedisServer) handle(c *vnet.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv(serverRecvTimeout)
+		if err != nil {
+			return
+		}
+		// A message may carry several pipelined commands; each gets its own
+		// reply, in order.
+		var replies []byte
+		for len(msg) > 0 {
+			args, n, err := proto.ParseRESPCommand(msg)
+			if err != nil {
+				return
+			}
+			msg = msg[n:]
+			if s.cfg.Cost > 0 {
+				time.Sleep(s.cfg.Cost)
+			}
+			replies = append(replies, s.execute(args)...)
+			s.commands.Add(1)
+		}
+		if len(replies) > 0 {
+			if err := c.Send(replies); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *RedisServer) execute(args []string) []byte {
+	cmd := strings.ToUpper(args[0])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case cmd == "PING":
+		return proto.BuildRESPSimple("PONG")
+	case cmd == "GET" && len(args) == 2:
+		if v, ok := s.store[args[1]]; ok {
+			return proto.BuildRESPBulk([]byte(v))
+		}
+		return proto.BuildRESPBulk(nil)
+	case cmd == "SET" && len(args) == 3:
+		s.store[args[1]] = args[2]
+		return proto.BuildRESPSimple("OK")
+	case cmd == "DEL" && len(args) >= 2:
+		n := 0
+		for _, key := range args[1:] {
+			if _, ok := s.store[key]; ok {
+				delete(s.store, key)
+				n++
+			}
+		}
+		return proto.BuildRESPInteger(int64(n))
+	default:
+		return proto.BuildRESPError("ERR unknown command '" + args[0] + "'")
+	}
+}
+
+// RedisClient issues commands over one shared connection, the way real
+// clients pool connections — per-command latency is only visible to payload
+// inspection, not connection timing.
+type RedisClient struct {
+	conn *vnet.Conn
+}
+
+// DialRedis connects a client host to a mini-Redis server.
+func DialRedis(net *vnet.Network, from *topology.Host, server *topology.Host, port uint16) (*RedisClient, error) {
+	if port == 0 {
+		port = 6379
+	}
+	conn, err := net.Endpoint(from).Dial(server.Addr, port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: dialing redis: %w", err)
+	}
+	return &RedisClient{conn: conn}, nil
+}
+
+// Do executes one command and returns the server's reply.
+func (c *RedisClient) Do(timeout time.Duration, args ...string) (proto.RESPReply, error) {
+	resp, err := c.conn.Request(proto.BuildRESPCommand(args...), timeout)
+	if err != nil {
+		return proto.RESPReply{}, fmt.Errorf("apps: redis %s: %w", args[0], err)
+	}
+	reply, _, err := proto.ParseRESPReply(resp)
+	if err != nil {
+		return proto.RESPReply{}, fmt.Errorf("apps: redis reply: %w", err)
+	}
+	return reply, nil
+}
+
+// Close terminates the connection.
+func (c *RedisClient) Close() error { return c.conn.Close() }
+
+// DNSConfig parameterizes an authoritative DNS server.
+type DNSConfig struct {
+	// Port to listen on (default 53).
+	Port uint16
+	// Zone maps fully-qualified names to their addresses; names outside the
+	// zone resolve to NXDOMAIN.
+	Zone map[string][]netip.Addr
+}
+
+// DNSServer answers A/AAAA queries for its zone over UDP.
+type DNSServer struct {
+	cfg      DNSConfig
+	ep       *vnet.Endpoint
+	queries  atomic.Uint64
+	nxdomain atomic.Uint64
+}
+
+// StartDNS launches a DNS server on the host.
+func StartDNS(net *vnet.Network, host *topology.Host, cfg DNSConfig) (*DNSServer, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 53
+	}
+	s := &DNSServer{cfg: cfg, ep: net.Endpoint(host)}
+	if err := s.ep.HandleDatagram(cfg.Port, s.handle); err != nil {
+		return nil, fmt.Errorf("apps: starting dns on %s: %w", host.Name, err)
+	}
+	return s, nil
+}
+
+// Stop unregisters the UDP handler.
+func (s *DNSServer) Stop() { s.ep.StopDatagram(s.cfg.Port) }
+
+// Queries returns the number of queries answered.
+func (s *DNSServer) Queries() uint64 { return s.queries.Load() }
+
+// NXDomains returns how many of them were answered NXDOMAIN.
+func (s *DNSServer) NXDomains() uint64 { return s.nxdomain.Load() }
+
+func (s *DNSServer) handle(src netip.Addr, srcPort uint16, payload []byte) {
+	m, err := proto.ParseDNS(payload)
+	if err != nil || m.Response {
+		return
+	}
+	s.queries.Add(1)
+	addrs := s.cfg.Zone[m.Question.Name]
+	rcode := uint8(proto.DNSRCodeNoError)
+	if len(addrs) == 0 {
+		rcode = proto.DNSRCodeNXDomain
+		s.nxdomain.Add(1)
+	}
+	resp := proto.BuildDNSResponse(m.ID, m.Question.Name, m.Question.Type, rcode, addrs)
+	_ = s.ep.SendDatagram(src, s.cfg.Port, srcPort, resp)
+}
+
+// dnsResolverPort hands each resolver its own UDP client port, clear of the
+// TCP ephemeral range the endpoints use.
+var dnsResolverPort atomic.Uint32
+
+// DNSResolver is a stub resolver bound to one UDP client port; concurrent
+// queries are matched to responses by DNS transaction ID.
+type DNSResolver struct {
+	ep     *vnet.Endpoint
+	server netip.Addr
+	port   uint16 // server port
+	local  uint16 // our client port
+	nextID atomic.Uint32
+
+	mu      sync.Mutex
+	waiters map[uint16]chan proto.DNSMessage
+}
+
+// NewDNSResolver binds a resolver on the client host pointed at a DNS server.
+func NewDNSResolver(net *vnet.Network, from *topology.Host, server *topology.Host, port uint16) (*DNSResolver, error) {
+	if port == 0 {
+		port = 53
+	}
+	local := uint16(33000 + dnsResolverPort.Add(1)%16000)
+	r := &DNSResolver{
+		ep:      net.Endpoint(from),
+		server:  server.Addr,
+		port:    port,
+		local:   local,
+		waiters: make(map[uint16]chan proto.DNSMessage),
+	}
+	if err := r.ep.HandleDatagram(local, r.handle); err != nil {
+		return nil, fmt.Errorf("apps: binding resolver: %w", err)
+	}
+	return r, nil
+}
+
+// Close unregisters the resolver's UDP port.
+func (r *DNSResolver) Close() { r.ep.StopDatagram(r.local) }
+
+func (r *DNSResolver) handle(src netip.Addr, srcPort uint16, payload []byte) {
+	m, err := proto.ParseDNS(payload)
+	if err != nil || !m.Response {
+		return
+	}
+	r.mu.Lock()
+	ch, ok := r.waiters[m.ID]
+	if ok {
+		delete(r.waiters, m.ID)
+	}
+	r.mu.Unlock()
+	if ok {
+		// Buffered; never blocks the sender's goroutine.
+		ch <- m
+	}
+}
+
+// Resolve queries the server and waits for the matching response. The
+// returned message's RCode distinguishes NOERROR from NXDOMAIN and friends.
+func (r *DNSResolver) Resolve(name string, qtype uint16, timeout time.Duration) (proto.DNSMessage, error) {
+	id := uint16(r.nextID.Add(1))
+	ch := make(chan proto.DNSMessage, 1)
+	r.mu.Lock()
+	r.waiters[id] = ch
+	r.mu.Unlock()
+	if err := r.ep.SendDatagram(r.server, r.local, r.port, proto.BuildDNSQuery(id, name, qtype)); err != nil {
+		r.abandon(id)
+		return proto.DNSMessage{}, fmt.Errorf("apps: dns query: %w", err)
+	}
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-time.After(timeout):
+		r.abandon(id)
+		return proto.DNSMessage{}, fmt.Errorf("apps: dns query %q: timeout", name)
+	}
+}
+
+func (r *DNSResolver) abandon(id uint16) {
+	r.mu.Lock()
+	delete(r.waiters, id)
+	r.mu.Unlock()
+}
+
+// TLSConfig parameterizes a TLS front-end.
+type TLSConfig struct {
+	// Port to listen on (default 443).
+	Port uint16
+	// Cost is the simulated per-request handling time.
+	Cost time.Duration
+}
+
+// TLSServer terminates emulated TLS sessions: it answers ClientHellos with a
+// ServerHello and echoes application data records. Per-SNI connection counts
+// mirror what the tls_sni parser extracts from the same traffic.
+type TLSServer struct {
+	cfg TLSConfig
+	ln  *vnet.Listener
+
+	mu   sync.Mutex
+	snis map[string]uint64
+}
+
+// StartTLS launches a TLS front-end on the host.
+func StartTLS(net *vnet.Network, host *topology.Host, cfg TLSConfig) (*TLSServer, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 443
+	}
+	ln, err := net.Endpoint(host).Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: starting tls on %s: %w", host.Name, err)
+	}
+	s := &TLSServer{cfg: cfg, ln: ln, snis: make(map[string]uint64)}
+	go ln.Serve(s.handle)
+	return s, nil
+}
+
+// Stop shuts the listener down.
+func (s *TLSServer) Stop() { s.ln.Close() }
+
+// SNICounts returns a copy of the per-SNI connection counts.
+func (s *TLSServer) SNICounts() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.snis))
+	for k, v := range s.snis {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *TLSServer) handle(c *vnet.Conn) {
+	defer c.Close()
+	hello, err := c.Recv(serverRecvTimeout)
+	if err != nil {
+		return
+	}
+	ch, err := proto.ParseTLSClientHello(hello)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.snis[ch.SNI]++
+	s.mu.Unlock()
+	if err := c.Send(proto.BuildTLSServerHello()); err != nil {
+		return
+	}
+	for {
+		msg, err := c.Recv(serverRecvTimeout)
+		if err != nil {
+			return
+		}
+		if s.cfg.Cost > 0 {
+			time.Sleep(s.cfg.Cost)
+		}
+		if err := c.Send(proto.BuildTLSAppData(msg)); err != nil {
+			return
+		}
+	}
+}
+
+// TLSConn is a client-side emulated TLS session.
+type TLSConn struct {
+	conn *vnet.Conn
+}
+
+// DialTLS connects to a TLS front-end and completes the hello exchange,
+// offering the given SNI.
+func DialTLS(net *vnet.Network, from *topology.Host, server *topology.Host, port uint16, sni string) (*TLSConn, error) {
+	if port == 0 {
+		port = 443
+	}
+	conn, err := net.Endpoint(from).Dial(server.Addr, port)
+	if err != nil {
+		return nil, fmt.Errorf("apps: dialing tls: %w", err)
+	}
+	resp, err := conn.Request(proto.BuildTLSClientHello(sni), serverRecvTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("apps: tls handshake: %w", err)
+	}
+	if _, err := proto.ParseTLSServerHello(resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("apps: tls handshake: %w", err)
+	}
+	return &TLSConn{conn: conn}, nil
+}
+
+// Request sends one application-data record and waits for the echoed reply.
+func (c *TLSConn) Request(payload []byte, timeout time.Duration) ([]byte, error) {
+	resp, err := c.conn.Request(proto.BuildTLSAppData(payload), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("apps: tls request: %w", err)
+	}
+	return resp, nil
+}
+
+// Close terminates the session.
+func (c *TLSConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"netalytics/internal/proto"
+)
+
+func TestRedisServerCommands(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartRedis(net, hosts[0], RedisConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	cli, err := DialRedis(net, hosts[1], hosts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if r, err := cli.Do(time.Second, "PING"); err != nil || r.Text != "PONG" {
+		t.Fatalf("PING = %+v, %v", r, err)
+	}
+	if r, err := cli.Do(time.Second, "SET", "k", "v"); err != nil || r.Text != "OK" {
+		t.Fatalf("SET = %+v, %v", r, err)
+	}
+	if r, err := cli.Do(time.Second, "GET", "k"); err != nil || r.Text != "v" {
+		t.Fatalf("GET = %+v, %v", r, err)
+	}
+	if r, err := cli.Do(time.Second, "GET", "missing"); err != nil || !r.Nil {
+		t.Fatalf("GET missing = %+v, %v, want nil bulk", r, err)
+	}
+	if r, err := cli.Do(time.Second, "DEL", "k"); err != nil || r.Text != "1" {
+		t.Fatalf("DEL = %+v, %v", r, err)
+	}
+	if r, err := cli.Do(time.Second, "BOGUS"); err != nil || !r.IsError() {
+		t.Fatalf("BOGUS = %+v, %v, want error reply", r, err)
+	}
+	if srv.Commands() != 6 {
+		t.Errorf("Commands = %d, want 6", srv.Commands())
+	}
+}
+
+func TestDNSServerResolvesZone(t *testing.T) {
+	net, hosts := testNet(t)
+	zone := map[string][]netip.Addr{
+		"api.example.com": {netip.MustParseAddr("10.0.9.1")},
+	}
+	srv, err := StartDNS(net, hosts[0], DNSConfig{Zone: zone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	r, err := NewDNSResolver(net, hosts[1], hosts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	m, err := r.Resolve("api.example.com", proto.DNSTypeA, time.Second)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if m.RCode != proto.DNSRCodeNoError || len(m.Addrs) != 1 || m.Addrs[0].String() != "10.0.9.1" {
+		t.Fatalf("answer = %+v", m)
+	}
+
+	m, err = r.Resolve("nope.example.com", proto.DNSTypeA, time.Second)
+	if err != nil {
+		t.Fatalf("Resolve miss: %v", err)
+	}
+	if m.RCode != proto.DNSRCodeNXDomain {
+		t.Fatalf("miss rcode = %d, want NXDOMAIN", m.RCode)
+	}
+	if srv.Queries() != 2 || srv.NXDomains() != 1 {
+		t.Errorf("queries = %d nxdomain = %d, want 2/1", srv.Queries(), srv.NXDomains())
+	}
+}
+
+func TestDNSResolverConcurrentQueries(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartDNS(net, hosts[0], DNSConfig{Zone: map[string][]netip.Addr{
+		"a.example.com": {netip.MustParseAddr("10.0.9.1")},
+		"b.example.com": {netip.MustParseAddr("10.0.9.2")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	r, err := NewDNSResolver(net, hosts[1], hosts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		name := "a.example.com"
+		if i%2 == 1 {
+			name = "b.example.com"
+		}
+		go func(name string) {
+			_, err := r.Resolve(name, proto.DNSTypeA, time.Second)
+			errs <- err
+		}(name)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent resolve: %v", err)
+		}
+	}
+}
+
+func TestDNSStopFreesPort(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartDNS(net, hosts[0], DNSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+	srv2, err := StartDNS(net, hosts[0], DNSConfig{})
+	if err != nil {
+		t.Fatalf("port not freed after Stop: %v", err)
+	}
+	srv2.Stop()
+}
+
+func TestTLSServerCountsSNI(t *testing.T) {
+	net, hosts := testNet(t)
+	srv, err := StartTLS(net, hosts[0], TLSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	for _, sni := range []string{"shop.example.com", "shop.example.com", "api.example.com"} {
+		c, err := DialTLS(net, hosts[1], hosts[0], 0, sni)
+		if err != nil {
+			t.Fatalf("DialTLS(%s): %v", sni, err)
+		}
+		resp, err := c.Request([]byte("hello"), time.Second)
+		if err != nil {
+			t.Fatalf("Request: %v", err)
+		}
+		if len(resp) == 0 {
+			t.Error("empty app-data response")
+		}
+		c.Close()
+	}
+	counts := srv.SNICounts()
+	if counts["shop.example.com"] != 2 || counts["api.example.com"] != 1 {
+		t.Errorf("SNI counts = %v", counts)
+	}
+}

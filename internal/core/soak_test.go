@@ -1,0 +1,424 @@
+package core
+
+// Soak scenario: every registered application protocol runs through the full
+// capture→parse→mq→stream pipeline at once, under a diurnal (sinusoidal)
+// Zipf-skewed load curve, continuous query churn (sessions submitted and
+// retired while traffic flows — the on-demand NFV tier scaling monitors up
+// and down), and the same deterministic fault schedule the chaos harness
+// uses. At the end the conservation ledger must balance for every protocol
+// topic and nothing may leak: no goroutines, no mirror rules, no taps, no
+// monitor instances.
+//
+// The test is Soak-named so CI's soak job selects it with -run TestSoak; the
+// default horizon keeps `go test ./...` fast, and the CI job stretches it
+// with `-args -soak=45s` (hours-scale runs just pass a bigger value). Set
+// SOAK_LEDGER_FILE to append one JSON accounting line per run.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netalytics/internal/fault"
+	"netalytics/internal/mq"
+	"netalytics/internal/packet"
+	"netalytics/internal/proto"
+	"netalytics/internal/telemetry"
+	"netalytics/internal/topology"
+)
+
+var soakDur = flag.Duration("soak", 0, "soak horizon (0 = short default for tier-1 runs)")
+
+// soakProtocol is one protocol's slice of the soak: a steady-state frame
+// pool cycled for the duration, and a generator of fresh-flow frames for the
+// post-fault re-convergence probe (fresh flows so per-flow-deduplicating
+// parsers like tls_sni still emit).
+type soakProtocol struct {
+	parser string
+	port   uint16
+	server *topology.Host
+	frames [][]byte
+	next   int
+	fresh  func(i int) [][]byte
+}
+
+func (p *soakProtocol) nextFrame() []byte {
+	f := p.frames[p.next]
+	p.next = (p.next + 1) % len(p.frames)
+	return f
+}
+
+// soakProtocols builds the six per-protocol workloads. Keys, names, and SNIs
+// are drawn Zipf(1.2) over a 64-value space, so each protocol's key
+// popularity is skewed the way production traffic is. Request/response
+// protocols (resp, mysql) interleave the reply frame so the latency-pairing
+// parsers emit.
+func soakProtocols(servers, clients []*topology.Host, rng *rand.Rand) []*soakProtocol {
+	var b packet.Builder
+	zipf := rand.NewZipf(rng, 1.2, 1, 63)
+	key := func() int { return int(zipf.Uint64()) }
+
+	tcp := func(src, dst *topology.Host, sport, dport uint16, payload []byte) []byte {
+		return b.TCP(packet.TCPSpec{
+			Src: src.Addr, Dst: dst.Addr, SrcPort: sport, DstPort: dport,
+			Flags: packet.TCPFlagACK | packet.TCPFlagPSH, Payload: payload,
+		})
+	}
+	udp := func(src, dst *topology.Host, sport, dport uint16, payload []byte) []byte {
+		return b.UDP(packet.UDPSpec{
+			Src: src.Addr, Dst: dst.Addr, SrcPort: sport, DstPort: dport,
+			Payload: payload,
+		})
+	}
+
+	const pool = 256
+	protos := []*soakProtocol{
+		{parser: "http_get", port: 80, server: servers[0]},
+		{parser: "memcached_get", port: 11211, server: servers[1]},
+		{parser: "mysql_query", port: 3306, server: servers[2]},
+		{parser: "resp_command", port: 6379, server: servers[3]},
+		{parser: "dns_query", port: 53, server: servers[4]},
+		{parser: "tls_sni", port: 443, server: servers[5]},
+	}
+	for _, p := range protos {
+		p := p
+		srv := p.server
+		build := func(client *topology.Host, sport uint16, dnsID uint16) [][]byte {
+			switch p.parser {
+			case "http_get":
+				return [][]byte{tcp(client, srv, sport, p.port,
+					proto.BuildHTTPGet(fmt.Sprintf("/z%02d", key()), srv.Name))}
+			case "memcached_get":
+				return [][]byte{tcp(client, srv, sport, p.port,
+					proto.BuildMemcachedGet(fmt.Sprintf("obj:%02d", key())))}
+			case "mysql_query":
+				return [][]byte{
+					tcp(client, srv, sport, p.port,
+						proto.BuildMySQLQuery(0, fmt.Sprintf("SELECT v FROM t WHERE id=%d", key()))),
+					tcp(srv, client, p.port, sport, proto.BuildMySQLOK(1, nil)),
+				}
+			case "resp_command":
+				return [][]byte{
+					tcp(client, srv, sport, p.port,
+						proto.BuildRESPCommand("GET", fmt.Sprintf("key:%02d", key()))),
+					tcp(srv, client, p.port, sport, proto.BuildRESPBulk([]byte("v"))),
+				}
+			case "dns_query":
+				return [][]byte{udp(client, srv, sport, p.port,
+					proto.BuildDNSQuery(dnsID, fmt.Sprintf("h%02d.example.com", key()), proto.DNSTypeA))}
+			case "tls_sni":
+				return [][]byte{tcp(client, srv, sport, p.port,
+					proto.BuildTLSClientHello(fmt.Sprintf("svc-%02d.example.com", key())))}
+			}
+			return nil
+		}
+		for i := 0; i < pool; i++ {
+			p.frames = append(p.frames, build(clients[i%len(clients)], uint16(20000+i), uint16(i))...)
+		}
+		p.fresh = func(i int) [][]byte {
+			return build(clients[i%len(clients)], uint16(30000+i%4096), uint16(0x8000+i%4096))
+		}
+	}
+	return protos
+}
+
+// soakLedger is the run's conservation record, one JSON line appended to
+// SOAK_LEDGER_FILE per run so CI can publish the accounting.
+type soakLedger struct {
+	Horizon        string            `json:"horizon"`
+	Injected       uint64            `json:"injected"`
+	Frames         uint64            `json:"frames"`
+	FaultDrops     uint64            `json:"fault_drops"`
+	Mirrored       uint64            `json:"mirrored"`
+	TapDrops       uint64            `json:"tap_drops"`
+	Delivered      uint64            `json:"delivered"`
+	Crashes        uint64            `json:"crashes"`
+	CrashLost      uint64            `json:"crash_lost"`
+	Restarts       uint64            `json:"restarts"`
+	ChurnCycles    int               `json:"churn_cycles"`
+	TuplesByParser map[string]uint64 `json:"tuples_by_parser"`
+	Results        uint64            `json:"results"`
+}
+
+func (l soakLedger) append(t *testing.T) {
+	path := os.Getenv("SOAK_LEDGER_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("soak ledger: %v", err)
+		return
+	}
+	defer f.Close()
+	line, _ := json.Marshal(l)
+	f.Write(append(line, '\n'))
+}
+
+func TestSoakAllProtocols(t *testing.T) {
+	horizon := 1500 * time.Millisecond
+	if *soakDur > 0 {
+		horizon = *soakDur
+	}
+	const seed = 42
+	baseline := settleGoroutines(runtime.NumGoroutine(), 200*time.Millisecond)
+
+	reg := telemetry.NewRegistry()
+	inj := fault.NewInjector(seed, reg)
+	topo := topology.MustNew(4)
+	e := NewEngine(topo, Config{
+		TickInterval:     20 * time.Millisecond,
+		TraceSampleEvery: -1,
+		ResultBuffer:     1 << 16,
+		Seed:             seed,
+		Metrics:          reg,
+		Faults:           inj,
+		MQ: mq.Config{
+			Partitions:      2,
+			ProduceRetries:  6,
+			RetryBackoff:    200 * time.Microsecond,
+			RetryBackoffMax: 5 * time.Millisecond,
+		},
+	})
+	hosts := topo.Hosts()
+	protos := soakProtocols(hosts[:6], hosts[8:12], rand.New(rand.NewSource(seed)))
+
+	// One passthrough session per protocol: passthrough keeps the result
+	// ledger 1:1 so conservation is checkable end to end per topic.
+	type steady struct {
+		proto   *soakProtocol
+		sess    *Session
+		results atomic.Uint64
+		done    chan struct{}
+	}
+	steadies := make([]*steady, len(protos))
+	for i, p := range protos {
+		sess, err := e.Submit(fmt.Sprintf("PARSE %s FROM * TO %s:%d PROCESS (passthrough)",
+			p.parser, p.server.Name, p.port))
+		if err != nil {
+			t.Fatalf("Submit %s: %v", p.parser, err)
+		}
+		st := &steady{proto: p, sess: sess, done: make(chan struct{})}
+		go func() {
+			defer close(st.done)
+			for range sess.Results() {
+				st.results.Add(1)
+			}
+		}()
+		steadies[i] = st
+	}
+
+	// Deterministic fault schedule covering the whole horizon.
+	events := int(horizon / (150 * time.Millisecond))
+	if events < 10 {
+		events = 10
+	}
+	spec := fault.Spec{
+		Seed:             seed,
+		Horizon:          horizon,
+		Events:           events,
+		Kinds:            fault.AllKinds(),
+		LossRate:         0.2,
+		Latency:          100 * time.Microsecond,
+		ErrRate:          0.5,
+		MaxFaultDuration: 250 * time.Millisecond,
+	}
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		inj.Run(fault.RealClock{}, spec.Schedule(), nil)
+	}()
+
+	// Query churn: while traffic flows, short-lived queries arrive and
+	// retire, so the orchestrator keeps launching and tearing down monitor
+	// instances (with their mirror rules and taps) under the same faults.
+	// The churn query watches a port no soak traffic targets, so it perturbs
+	// the control plane without touching the data-plane ledger.
+	churnHost := hosts[6]
+	churnDwell := horizon / 20
+	if churnDwell < 25*time.Millisecond {
+		churnDwell = 25 * time.Millisecond
+	}
+	if churnDwell > 250*time.Millisecond {
+		churnDwell = 250 * time.Millisecond
+	}
+	start := time.Now()
+	var churnCycles atomic.Int64
+	var churnRestarts atomic.Uint64
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for time.Since(start) < horizon {
+			cs, err := e.Submit(fmt.Sprintf("PARSE tcp_flow_key FROM * TO %s:7070 PROCESS (passthrough)", churnHost.Name))
+			if err != nil {
+				t.Errorf("churn Submit: %v", err)
+				return
+			}
+			time.Sleep(churnDwell)
+			cs.Stop()
+			churnRestarts.Add(cs.MonitorRestarts())
+			if n := len(e.Controller().QueryRules(cs.ID)); n != 0 {
+				t.Errorf("churned session leaked %d mirror rules", n)
+			}
+			churnCycles.Add(1)
+		}
+	}()
+
+	// Diurnal load: the per-iteration burst follows one full sine period
+	// over the horizon — the compressed day/night cycle — while frame
+	// content follows each protocol's Zipf catalog. Inject is synchronous,
+	// so every accepted frame is accounted by the time the loop exits.
+	var injected uint64
+	for time.Since(start) < horizon {
+		phase := float64(time.Since(start)) / float64(horizon) * 2 * math.Pi
+		burst := 1 + int(2.5*(1+math.Sin(phase)))
+		for _, p := range protos {
+			for j := 0; j < burst; j++ {
+				if err := e.Network().Inject(p.nextFrame()); err != nil {
+					t.Fatalf("Inject %s: %v", p.parser, err)
+				}
+				injected++
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	<-runnerDone
+	<-churnDone
+	if churnCycles.Load() == 0 {
+		t.Error("no churn cycles completed")
+	}
+
+	// Failover coverage is mandatory: if the drawn schedule skipped
+	// MonitorCrash, kill a monitor directly through the injector.
+	if crashes, _ := e.Orchestrator().CrashStats(); crashes == 0 {
+		inj.Apply(fault.Event{Kind: fault.MonitorCrash, Pick: seed})
+	}
+	crashes, crashLost := e.Orchestrator().CrashStats()
+	if crashes == 0 {
+		t.Fatal("soak finished without a monitor crash")
+	}
+
+	// Re-convergence: with faults cleared, every protocol session must keep
+	// producing results on fresh flows with no operator intervention.
+	pre := make([]uint64, len(steadies))
+	for i, st := range steadies {
+		pre[i] = st.results.Load()
+	}
+	convergeBy := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		stuck := ""
+		for k, st := range steadies {
+			if st.results.Load() == pre[k] {
+				stuck = st.proto.parser
+				break
+			}
+		}
+		if stuck == "" {
+			break
+		}
+		if !time.Now().Before(convergeBy) {
+			t.Fatalf("%s did not re-converge after faults cleared", stuck)
+		}
+		for _, p := range protos {
+			for _, f := range p.fresh(i) {
+				if err := e.Network().Inject(f); err != nil {
+					t.Fatalf("Inject: %v", err)
+				}
+				injected++
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var delivered, restarts, results uint64
+	for _, st := range steadies {
+		st.sess.Stop()
+		<-st.done
+		delivered += st.sess.Packets()
+		restarts += st.sess.MonitorRestarts()
+		results += st.results.Load()
+	}
+	restarts += churnRestarts.Load()
+
+	vst := e.Network().Stats()
+	led := soakLedger{
+		Horizon:        horizon.String(),
+		Injected:       injected,
+		Frames:         vst.Frames,
+		FaultDrops:     vst.FaultDrops,
+		Mirrored:       vst.Mirrored,
+		TapDrops:       vst.TapDrops,
+		Delivered:      delivered,
+		Crashes:        crashes,
+		CrashLost:      crashLost,
+		Restarts:       restarts,
+		ChurnCycles:    int(churnCycles.Load()),
+		TuplesByParser: map[string]uint64{},
+		Results:        results,
+	}
+
+	// Global frame conservation: (1) a frame is forwarded or dropped by an
+	// injected fault; (2) a mirrored copy reaches a monitor or dies with a
+	// crashed tap.
+	if led.Injected != led.Frames+led.FaultDrops {
+		t.Errorf("frame ledger: injected %d != frames %d + fault drops %d",
+			led.Injected, led.Frames, led.FaultDrops)
+	}
+	if led.Mirrored != led.Delivered+led.CrashLost {
+		t.Errorf("mirror ledger: mirrored %d != delivered %d + crash lost %d",
+			led.Mirrored, led.Delivered, led.CrashLost)
+	}
+	if restarts != crashes {
+		t.Errorf("monitor restarts = %d, want %d (one failover per crash)", restarts, crashes)
+	}
+
+	// Per-protocol tuple conservation through the mq and stream tiers.
+	for _, st := range steadies {
+		p := st.proto.parser
+		mon := st.sess.MonitorStats()
+		ts := e.Aggregation().Stats(st.sess.ID + "/" + p)
+		led.TuplesByParser[p] = mon.Tuples
+		if mon.Received != st.sess.Packets() {
+			t.Errorf("%s: monitor received %d, pumps delivered %d", p, mon.Received, st.sess.Packets())
+		}
+		if mon.Tuples != ts.AppendedTuples+ts.DroppedTuples {
+			t.Errorf("%s: parsed %d != appended %d + dropped %d", p, mon.Tuples, ts.AppendedTuples, ts.DroppedTuples)
+		}
+		if ts.Attempts != ts.Appended+ts.Dropped {
+			t.Errorf("%s: attempts %d != appended %d + dropped %d batches", p, ts.Attempts, ts.Appended, ts.Dropped)
+		}
+		if ts.ConsumedTuples != ts.AppendedTuples || ts.Buffered != 0 {
+			t.Errorf("%s: consumed %d / appended %d, buffered %d", p, ts.ConsumedTuples, ts.AppendedTuples, ts.Buffered)
+		}
+		if got := st.results.Load() + st.sess.ResultDrops(); got != ts.ConsumedTuples {
+			t.Errorf("%s: results %d + drops %d != consumed %d", p, st.results.Load(), st.sess.ResultDrops(), ts.ConsumedTuples)
+		}
+		if mon.Tuples == 0 {
+			t.Errorf("%s: soak produced no tuples", p)
+		}
+		if n := len(e.Controller().QueryRules(st.sess.ID)); n != 0 {
+			t.Errorf("%s: session leaked %d mirror rules", p, n)
+		}
+	}
+	led.append(t)
+
+	// Nothing left behind: no monitor instances, no taps, no goroutines.
+	if n := e.Orchestrator().InstanceCount(); n != 0 {
+		t.Errorf("leaked %d monitor instances", n)
+	}
+	if n := e.Network().TapCount(); n != 0 {
+		t.Errorf("leaked %d taps", n)
+	}
+	e.Close()
+	if n := settleGoroutines(baseline, 5*time.Second); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -1,0 +1,66 @@
+package parsers
+
+// Per-protocol parse throughput over the conformance fixtures: each
+// sub-benchmark replays one parser's checked-in capture through a fresh
+// Handle loop, so `go test -bench BenchmarkProtocolParse` reports ns/frame
+// and MB/s for every registered parser — the numbers CI publishes as
+// BENCH_protocols.json. Iterating Names() keeps the benchmark complete by
+// construction: a new parser gets a sub-benchmark the moment its fixture
+// lands.
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netalytics/internal/pcap"
+	"netalytics/internal/tuple"
+)
+
+func BenchmarkProtocolParse(b *testing.B) {
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			pkts := readFixture(b, name)
+			if len(pkts) == 0 {
+				b.Fatalf("fixture for %q is empty", name)
+			}
+			var raw int64
+			f, err := os.Open(filepath.Join("testdata", name+".pcap"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := pcap.NewReader(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				p, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				raw += int64(len(p.Data))
+			}
+			f.Close()
+
+			factory, err := Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := factory()
+			emit := func(tuple.Tuple) {}
+			b.SetBytes(raw)
+			b.ReportMetric(float64(len(pkts)), "frames/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, pkt := range pkts {
+					p.Handle(pkt, emit)
+				}
+			}
+		})
+	}
+}

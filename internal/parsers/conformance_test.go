@@ -1,0 +1,149 @@
+package parsers
+
+// The parser conformance harness: every registered parser is run over a
+// checked-in pcap fixture (testdata/<name>.pcap, regenerated with
+// `go generate ./internal/parsers`) and its emitted tuples are compared
+// field-for-field against the checked-in golden JSON. The fixtures freeze
+// each parser's emission schema — keys, values, per-flow dedup behavior —
+// so a refactor that silently changes what a parser emits fails here, and a
+// parser added without a fixture fails TestEveryParserHasFixture.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/pcap"
+	"netalytics/internal/tuple"
+)
+
+// readFixture loads testdata/<name>.pcap into monitor packet descriptors.
+func readFixture(t testing.TB, name string) []*monitor.Packet {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name+".pcap"))
+	if err != nil {
+		t.Fatalf("fixture missing (run `go generate ./internal/parsers`): %v", err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []*monitor.Packet
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return pkts
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt := &monitor.Packet{TS: p.TS}
+		if err := pkt.Frame.Decode(p.Data); err != nil {
+			t.Fatalf("fixture frame %d: %v", len(pkts), err)
+		}
+		ft, ok := pkt.Frame.FlowTuple()
+		if !ok {
+			t.Fatalf("fixture frame %d: no flow tuple", len(pkts))
+		}
+		pkt.Tuple = ft
+		pkt.FlowID = ft.CanonicalHash()
+		pkts = append(pkts, pkt)
+	}
+}
+
+// sortTuplesCanonical mirrors the generator's ordering so parsers whose
+// Flush walks a map compare deterministically.
+func sortTuplesCanonical(ts []tuple.Tuple) {
+	sort.SliceStable(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.FlowID != b.FlowID {
+			return a.FlowID < b.FlowID
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Val < b.Val
+	})
+}
+
+func TestParserConformance(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			pkts := readFixture(t, name)
+			factory, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := factory()
+			got := []tuple.Tuple{}
+			emit := func(tu tuple.Tuple) { got = append(got, tu) }
+			for _, pkt := range pkts {
+				p.Handle(pkt, emit)
+			}
+			if fl, ok := p.(monitor.Flusher); ok {
+				fl.Flush(emit)
+			}
+			sortTuplesCanonical(got)
+
+			blob, err := os.ReadFile(filepath.Join("testdata", name+".golden.json"))
+			if err != nil {
+				t.Fatalf("golden missing (run `go generate ./internal/parsers`): %v", err)
+			}
+			want := []tuple.Tuple{}
+			if err := json.Unmarshal(blob, &want); err != nil {
+				t.Fatalf("golden unreadable: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("emitted %d tuples, golden has %d\ngot: %+v", len(got), len(want), got)
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("tuple %d:\n got  %+v\n want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEveryParserHasFixture is the registry-completeness check: registering
+// a parser without generating its conformance fixture is an error. This
+// replaces the old hand-counted name list — coverage is now derived from the
+// registry itself.
+func TestEveryParserHasFixture(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := os.Stat(filepath.Join("testdata", name+".pcap")); err != nil {
+			t.Errorf("parser %q has no pcap fixture — add a script to testdata/gen and run `go generate ./internal/parsers`", name)
+		}
+		if _, err := os.Stat(filepath.Join("testdata", name+".golden.json")); err != nil {
+			t.Errorf("parser %q has no golden file — run `go generate ./internal/parsers`", name)
+		}
+	}
+	// And the reverse: a fixture whose parser is gone is stale.
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		name := filepath.Base(m)
+		name = name[:len(name)-len(".pcap")]
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("fixture %s has no registered parser — delete it", m)
+		}
+	}
+	// Fixtures must contain traffic: an empty capture freezes nothing.
+	for _, name := range Names() {
+		if pkts := readFixture(t, name); len(pkts) == 0 {
+			t.Errorf("fixture for %q is empty", name)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package parsers
+
+// Native fuzz targets — one per registered parser, kept complete by
+// TestEveryParserHasFuzzTarget. Each target wraps the fuzzed bytes in a
+// well-formed frame, drives the parser in both flow directions on the same
+// canonical flow (so per-flow state and reply paths are exercised), and
+// asserts the two harness-wide properties:
+//
+//  1. the parser never panics, whatever the payload;
+//  2. a tuple is only emitted when the protocol codec accepts the payload —
+//     truncated or malformed messages emit nothing.
+//
+// Seeds come from the conformance fixture corpus (testdata/<name>.pcap), so
+// fuzzing starts from known-good protocol bytes and mutates outward. CI runs
+// each target briefly (-fuzztime) as a smoke test; run one longer locally
+// with e.g. `go test -fuzz FuzzDNSQuery -fuzztime 5m ./internal/parsers`.
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/packet"
+	"netalytics/internal/pcap"
+	"netalytics/internal/proto"
+	"netalytics/internal/tuple"
+)
+
+// maxFuzzPayload keeps frames within the IPv4 total-length field (uint16);
+// larger fuzz inputs are clipped rather than skipped so their prefixes still
+// exercise the parser.
+const maxFuzzPayload = 60000
+
+func clampFuzz(data []byte) []byte {
+	if len(data) > maxFuzzPayload {
+		return data[:maxFuzzPayload]
+	}
+	return data
+}
+
+// fixturePayloads returns the application payload (and TCP flags, zero for
+// UDP) of every frame in the parser's conformance fixture, for corpus seeds.
+func fixturePayloads(f *testing.F, name string) (payloads [][]byte, flags []uint8) {
+	f.Helper()
+	file, err := os.Open(filepath.Join("testdata", name+".pcap"))
+	if err != nil {
+		f.Fatalf("fixture missing (run `go generate ./internal/parsers`): %v", err)
+	}
+	defer file.Close()
+	r, err := pcap.NewReader(file)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return payloads, flags
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		var fr packet.Frame
+		if err := fr.Decode(p.Data); err != nil {
+			f.Fatal(err)
+		}
+		payloads = append(payloads, append([]byte(nil), fr.Payload...))
+		if fr.TCP != nil {
+			flags = append(flags, fr.TCP.Flags)
+		} else {
+			flags = append(flags, 0)
+		}
+	}
+}
+
+// seedFromFixture adds every non-empty fixture payload to the fuzz corpus.
+func seedFromFixture(f *testing.F, name string) {
+	f.Helper()
+	payloads, _ := fixturePayloads(f, name)
+	for _, p := range payloads {
+		if len(p) > 0 {
+			f.Add(p)
+		}
+	}
+}
+
+// fuzzRun drives a parser over the fuzzed payload: client->server, then
+// server->client, then client->server again, all on one canonical flow, with
+// a final Flush. Returns everything emitted.
+func fuzzRun(t *testing.T, p monitor.Parser, udp bool, cliPort, srvPort uint16, data []byte) []tuple.Tuple {
+	t.Helper()
+	data = clampFuzz(data)
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	ts := time.Unix(1000, 0)
+	var frames [][]byte
+	if udp {
+		frames = [][]byte{
+			udpFrame(cliPort, srvPort, data),
+			udpFrameRev(srvPort, cliPort, data),
+			udpFrame(cliPort, srvPort, data),
+		}
+	} else {
+		frames = [][]byte{
+			tcpFrame(packet.TCPFlagACK|packet.TCPFlagPSH, cliPort, srvPort, data),
+			tcpFrameRev(packet.TCPFlagACK|packet.TCPFlagPSH, srvPort, cliPort, data),
+			tcpFrame(packet.TCPFlagACK|packet.TCPFlagPSH, cliPort, srvPort, data),
+		}
+	}
+	for i, raw := range frames {
+		p.Handle(mkPacket(t, raw, ts.Add(time.Duration(i)*time.Millisecond)), emit)
+	}
+	if fl, ok := p.(monitor.Flusher); ok {
+		fl.Flush(emit)
+	}
+	return got
+}
+
+// checkTuples asserts invariants every emitted tuple must satisfy regardless
+// of payload: the frame's endpoint fields are filled in (the Parser field is
+// stamped later, by the monitor shard).
+func checkTuples(t *testing.T, got []tuple.Tuple) {
+	t.Helper()
+	for _, tu := range got {
+		if tu.FlowID == 0 || tu.SrcIP == "" || tu.DstIP == "" {
+			t.Fatalf("tuple missing flow fields: %+v", tu)
+		}
+	}
+}
+
+func FuzzTCPFlowKey(f *testing.F) {
+	seedFromFixture(f, "tcp_flow_key")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := fuzzRun(t, NewTCPFlowKey(), false, 5555, 80, data)
+		checkTuples(t, got)
+		if len(got) != 1 {
+			t.Fatalf("one canonical flow emitted %d flow keys, want 1", len(got))
+		}
+	})
+}
+
+func FuzzTCPConnTime(f *testing.F) {
+	payloads, seedFlags := fixturePayloads(f, "tcp_conn_time")
+	for i, p := range payloads {
+		f.Add(p, seedFlags[i])
+	}
+	f.Fuzz(func(t *testing.T, data []byte, flags uint8) {
+		p := NewTCPConnTime()
+		var got []tuple.Tuple
+		emit := func(tu tuple.Tuple) { got = append(got, tu) }
+		ts := time.Unix(1000, 0)
+		// Fuzzed flags walk the connection state machine in arbitrary order.
+		seq := []uint8{packet.TCPFlagSYN, flags, flags >> 4, packet.TCPFlagFIN}
+		for i, fl := range seq {
+			p.Handle(mkPacket(t, tcpFrame(fl, 5555, 80, clampFuzz(data)), ts.Add(time.Duration(i)*time.Millisecond)), emit)
+		}
+		checkTuples(t, got)
+		// A flow alternates strictly start, end, start, ... — an end can only
+		// close an open connection, and a new start (connection reuse after
+		// FIN/RST) requires the previous one to have ended.
+		for i, tu := range got {
+			want := KeyStart
+			if i%2 == 1 {
+				want = KeyEnd
+			}
+			if tu.Key != want {
+				t.Fatalf("tuple %d key %q, want %q (keys must alternate start/end)", i, tu.Key, want)
+			}
+		}
+	})
+}
+
+func FuzzTCPPktSize(f *testing.F) {
+	seedFromFixture(f, "tcp_pkt_size")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		data = clampFuzz(data)
+		got := fuzzRun(t, NewTCPPktSize(), false, 5555, 80, data)
+		checkTuples(t, got)
+		if len(got) != 3 {
+			t.Fatalf("3 frames emitted %d size tuples", len(got))
+		}
+		for _, tu := range got {
+			if tu.Val != float64(len(data)) {
+				t.Fatalf("size = %v, want %d", tu.Val, len(data))
+			}
+		}
+	})
+}
+
+func FuzzTCPFlowStats(f *testing.F) {
+	seedFromFixture(f, "tcp_flow_stats")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		data = clampFuzz(data)
+		got := fuzzRun(t, NewTCPFlowStats(), false, 5555, 80, data)
+		checkTuples(t, got)
+		byKey := map[string]float64{}
+		for _, tu := range got {
+			byKey[tu.Key] = tu.Val
+		}
+		if byKey[KeyPkts] != 3 || byKey[KeyBytes] != float64(3*len(data)) {
+			t.Fatalf("stats = %+v for 3 frames of %d bytes", byKey, len(data))
+		}
+	})
+}
+
+func FuzzHTTPGet(f *testing.F) {
+	seedFromFixture(f, "http_get")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := fuzzRun(t, NewHTTPGet(), false, 5555, 80, data)
+		checkTuples(t, got)
+		if len(got) > 0 {
+			_, reqErr := proto.ParseHTTPRequest(clampFuzz(data))
+			_, respErr := proto.ParseHTTPResponse(clampFuzz(data))
+			if reqErr != nil && respErr != nil {
+				t.Fatalf("emitted %d tuples for payload no codec accepts", len(got))
+			}
+		}
+	})
+}
+
+func FuzzMemcachedGet(f *testing.F) {
+	seedFromFixture(f, "memcached_get")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := fuzzRun(t, NewMemcachedGet(), false, 5555, 11211, data)
+		checkTuples(t, got)
+		if len(got) > 0 {
+			if _, err := proto.ParseMemcachedGet(clampFuzz(data)); err != nil {
+				t.Fatalf("emitted %d tuples for payload ParseMemcachedGet rejects", len(got))
+			}
+		}
+	})
+}
+
+func FuzzMySQLQuery(f *testing.F) {
+	seedFromFixture(f, "mysql_query")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewMySQLQuery()
+		var got []tuple.Tuple
+		emit := func(tu tuple.Tuple) { got = append(got, tu) }
+		ts := time.Unix(1000, 0)
+		// Prime a pending query so fuzzed bytes arriving server->client can
+		// exercise the response path against live per-flow state.
+		p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 3306, proto.BuildMySQLQuery(0, "SELECT 1")), ts), emit)
+		p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 3306, clampFuzz(data)), ts.Add(time.Millisecond)), emit)
+		p.Handle(mkPacket(t, tcpFrameRev(packet.TCPFlagPSH, 3306, 5555, clampFuzz(data)), ts.Add(2*time.Millisecond)), emit)
+		p.Flush(emit)
+		checkTuples(t, got)
+		if len(got) > 0 {
+			if _, _, err := proto.ParseMySQLFrame(clampFuzz(data)); err != nil {
+				t.Fatalf("emitted %d tuples but ParseMySQLFrame rejects the payload", len(got))
+			}
+		}
+	})
+}
+
+func FuzzRESPCommand(f *testing.F) {
+	seedFromFixture(f, "resp_command")
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewRESPCommand()
+		var got []tuple.Tuple
+		emit := func(tu tuple.Tuple) { got = append(got, tu) }
+		ts := time.Unix(1000, 0)
+		// Prime a pending command so a fuzzed payload that parses as a reply
+		// has something to pop.
+		p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 6379, proto.BuildRESPCommand("GET", "k")), ts), emit)
+		p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 6379, clampFuzz(data)), ts.Add(time.Millisecond)), emit)
+		p.Handle(mkPacket(t, tcpFrameRev(packet.TCPFlagPSH, 6379, 5555, clampFuzz(data)), ts.Add(2*time.Millisecond)), emit)
+		p.Flush(emit)
+		checkTuples(t, got)
+		if len(got) > 0 {
+			// Emission means the payload's first message parsed as a command
+			// or a reply; a payload both codecs reject must stay silent.
+			clamped := clampFuzz(data)
+			_, _, cmdErr := proto.ParseRESPCommand(clamped)
+			_, _, repErr := proto.ParseRESPReply(clamped)
+			if cmdErr != nil && repErr != nil {
+				t.Fatalf("emitted %d tuples for payload no RESP codec accepts", len(got))
+			}
+		}
+	})
+}
+
+func FuzzDNSQuery(f *testing.F) {
+	seedFromFixture(f, "dns_query")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := fuzzRun(t, NewDNSQuery(), true, 40000, 53, data)
+		checkTuples(t, got)
+		if len(got) > 0 {
+			if _, err := proto.ParseDNS(clampFuzz(data)); err != nil {
+				t.Fatalf("emitted %d tuples but ParseDNS rejects the payload", len(got))
+			}
+		}
+	})
+}
+
+func FuzzTLSSNI(f *testing.F) {
+	seedFromFixture(f, "tls_sni")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := fuzzRun(t, NewTLSSNI(), false, 5555, 443, data)
+		checkTuples(t, got)
+		if len(got) > 0 {
+			hello, err := proto.ParseTLSClientHello(clampFuzz(data))
+			if err != nil || hello.SNI == "" {
+				t.Fatalf("emitted %d tuples but payload is not a hello with SNI", len(got))
+			}
+		}
+	})
+}
+
+// fuzzTargets mirrors the Fuzz* functions above; TestEveryParserHasFuzzTarget
+// fails when a parser is registered without extending this file.
+var fuzzTargets = map[string]bool{
+	"tcp_flow_key":   true,
+	"tcp_conn_time":  true,
+	"tcp_pkt_size":   true,
+	"tcp_flow_stats": true,
+	"http_get":       true,
+	"memcached_get":  true,
+	"mysql_query":    true,
+	"resp_command":   true,
+	"dns_query":      true,
+	"tls_sni":        true,
+}
+
+func TestEveryParserHasFuzzTarget(t *testing.T) {
+	for _, name := range Names() {
+		if !fuzzTargets[name] {
+			t.Errorf("parser %q has no fuzz target — add a Fuzz* function to fuzz_test.go", name)
+		}
+	}
+	for name := range fuzzTargets {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("fuzz target for %q has no registered parser", name)
+		}
+	}
+}

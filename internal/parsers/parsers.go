@@ -7,8 +7,13 @@
 //	http_get        App  parse http get request and response
 //	mysql_query     App  parse mysql query and response
 //
-// plus tcp_flow_stats, a NetFlow-style per-flow accounting parser added as
-// an extension (§2's custom-parser interface makes this a few dozen lines).
+// plus extensions registered through the same §2 custom-parser interface
+// (each a few dozen lines):
+//
+//	tcp_flow_stats  Net  NetFlow-style per-flow packet/byte accounting
+//	resp_command    App  Redis RESP command + reply latency
+//	dns_query       App  DNS query name/type, rcode, resolution latency
+//	tls_sni         App  TLS ClientHello server_name (SNI) extraction
 //
 // Parsers are deliberately lightweight (§3.1): they extract a small amount
 // of data per packet and defer all heavier processing to the streaming
@@ -16,8 +21,13 @@
 // instance may keep per-flow state without locks.
 package parsers
 
+// Conformance fixtures (testdata/*.pcap + golden tuples) are regenerated
+// deterministically from the scripts in testdata/gen:
+//go:generate go run ./testdata/gen
+
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"netalytics/internal/monitor"
@@ -45,6 +55,9 @@ var Registry = map[string]monitor.Factory{
 	"memcached_get":  func() monitor.Parser { return NewMemcachedGet() },
 	"mysql_query":    func() monitor.Parser { return NewMySQLQuery() },
 	"tcp_flow_stats": func() monitor.Parser { return NewTCPFlowStats() },
+	"resp_command":   func() monitor.Parser { return NewRESPCommand() },
+	"dns_query":      func() monitor.Parser { return NewDNSQuery() },
+	"tls_sni":        func() monitor.Parser { return NewTLSSNI() },
 }
 
 // Lookup returns the factory for a parser name.
@@ -56,12 +69,14 @@ func Lookup(name string) (monitor.Factory, error) {
 	return f, nil
 }
 
-// Names lists the registered parser names.
+// Names lists the registered parser names, sorted, so PARSE error messages
+// and metric label sets are deterministic across runs.
 func Names() []string {
 	out := make([]string, 0, len(Registry))
 	for name := range Registry {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

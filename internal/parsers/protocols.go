@@ -1,0 +1,181 @@
+package parsers
+
+// The protocol-breadth parsers: Redis RESP command latency, DNS resolution
+// monitoring, and TLS SNI extraction. Each is the "few dozen lines" §2
+// promises a new protocol costs, layered on the internal/proto codecs, and
+// each keeps per-flow state without locks thanks to flow-affine dispatch.
+
+import (
+	"strings"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/proto"
+)
+
+// respMaxPipeline bounds the per-flow queue of commands awaiting replies, so
+// a flood of unanswered commands cannot grow parser state unboundedly.
+const respMaxPipeline = 32
+
+// RESPCommand pairs each Redis command with its reply on the same flow and
+// emits one latency tuple per command, keyed by the upper-cased command name
+// (GET, SET, ...) with Val carrying the reply latency in nanoseconds.
+// Pipelined commands are matched FIFO, the order Redis guarantees.
+type RESPCommand struct {
+	pending map[uint64][]respPending
+}
+
+type respPending struct {
+	cmd   string
+	start time.Time
+}
+
+// NewRESPCommand returns a resp_command parser instance.
+func NewRESPCommand() *RESPCommand {
+	return &RESPCommand{pending: make(map[uint64][]respPending)}
+}
+
+// Name implements monitor.Parser.
+func (p *RESPCommand) Name() string { return "resp_command" }
+
+// Handle implements monitor.Parser.
+func (p *RESPCommand) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	payload := pkt.Frame.Payload
+	if pkt.Frame.TCP == nil || len(payload) == 0 {
+		return
+	}
+	for len(payload) > 0 {
+		if payload[0] == '*' {
+			args, n, err := proto.ParseRESPCommand(payload)
+			if err != nil {
+				return
+			}
+			payload = payload[n:]
+			q := p.pending[pkt.FlowID]
+			if len(q) < respMaxPipeline {
+				p.pending[pkt.FlowID] = append(q, respPending{cmd: strings.ToUpper(args[0]), start: pkt.TS})
+			}
+			continue
+		}
+		_, n, err := proto.ParseRESPReply(payload)
+		if err != nil {
+			return
+		}
+		payload = payload[n:]
+		q := p.pending[pkt.FlowID]
+		if len(q) == 0 {
+			continue
+		}
+		head := q[0]
+		if len(q) == 1 {
+			delete(p.pending, pkt.FlowID)
+		} else {
+			p.pending[pkt.FlowID] = q[1:]
+		}
+		t := base(pkt)
+		t.Key = head.cmd
+		t.Val = float64(pkt.TS.Sub(head.start).Nanoseconds())
+		emit(t)
+	}
+}
+
+// Flush implements monitor.Flusher: commands still awaiting replies at
+// shutdown are dropped.
+func (p *RESPCommand) Flush(emit monitor.EmitFunc) {
+	clear(p.pending)
+}
+
+// DNSQuery monitors resolution traffic: each query emits a tuple keyed by
+// the question name (Val = query type), and each response that answers a
+// pending query emits a tuple keyed by the response code's name — NOERROR,
+// NXDOMAIN, SERVFAIL — with Val carrying the resolution latency in
+// nanoseconds. Counting the rcode keys yields failure rates; the latency
+// values feed percentile processors.
+type DNSQuery struct {
+	pending map[dnsTxn]time.Time
+}
+
+type dnsTxn struct {
+	flow uint64
+	id   uint16
+}
+
+// NewDNSQuery returns a dns_query parser instance.
+func NewDNSQuery() *DNSQuery {
+	return &DNSQuery{pending: make(map[dnsTxn]time.Time)}
+}
+
+// Name implements monitor.Parser.
+func (p *DNSQuery) Name() string { return "dns_query" }
+
+// Handle implements monitor.Parser.
+func (p *DNSQuery) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	payload := pkt.Frame.Payload
+	if len(payload) == 0 {
+		return
+	}
+	m, err := proto.ParseDNS(payload)
+	if err != nil {
+		return
+	}
+	txn := dnsTxn{flow: pkt.FlowID, id: m.ID}
+	if !m.Response {
+		p.pending[txn] = pkt.TS
+		t := base(pkt)
+		t.Key = m.Question.Name
+		t.Val = float64(m.Question.Type)
+		emit(t)
+		return
+	}
+	start, ok := p.pending[txn]
+	if !ok {
+		return // unsolicited response: nothing to time
+	}
+	delete(p.pending, txn)
+	t := base(pkt)
+	t.Key = proto.DNSRCodeName(m.RCode)
+	t.Val = float64(pkt.TS.Sub(start).Nanoseconds())
+	emit(t)
+}
+
+// Flush implements monitor.Flusher: unanswered queries are dropped.
+func (p *DNSQuery) Flush(emit monitor.EmitFunc) {
+	clear(p.pending)
+}
+
+// TLSSNI identifies services on encrypted flows: it extracts the server_name
+// extension from TLS ClientHellos and emits one tuple per flow keyed by the
+// SNI hostname (Val = offered protocol version). Nothing is decrypted — the
+// hello is the one cleartext message naming the contacted service, which is
+// all per-service connection counting needs.
+type TLSSNI struct {
+	seen map[uint64]struct{}
+}
+
+// NewTLSSNI returns a tls_sni parser instance.
+func NewTLSSNI() *TLSSNI {
+	return &TLSSNI{seen: make(map[uint64]struct{})}
+}
+
+// Name implements monitor.Parser.
+func (p *TLSSNI) Name() string { return "tls_sni" }
+
+// Handle implements monitor.Parser.
+func (p *TLSSNI) Handle(pkt *monitor.Packet, emit monitor.EmitFunc) {
+	payload := pkt.Frame.Payload
+	if pkt.Frame.TCP == nil || len(payload) == 0 {
+		return
+	}
+	if _, done := p.seen[pkt.FlowID]; done {
+		return
+	}
+	hello, err := proto.ParseTLSClientHello(payload)
+	if err != nil || hello.SNI == "" {
+		return
+	}
+	p.seen[pkt.FlowID] = struct{}{}
+	t := base(pkt)
+	t.Key = hello.SNI
+	t.Val = float64(hello.Version)
+	emit(t)
+}

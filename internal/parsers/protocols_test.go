@@ -1,0 +1,216 @@
+package parsers
+
+import (
+	"testing"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/packet"
+	"netalytics/internal/proto"
+	"netalytics/internal/tuple"
+)
+
+func udpFrame(srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.UDP(packet.UDPSpec{
+		Src: cliAddr, Dst: srvAddr,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	})
+}
+
+func udpFrameRev(srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.UDP(packet.UDPSpec{
+		Src: srvAddr, Dst: cliAddr,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload,
+	})
+}
+
+func TestRESPCommandLatency(t *testing.T) {
+	p := NewRESPCommand()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	q := mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 6379, proto.BuildRESPCommand("get", "user:7")), t0)
+	r := mkPacket(t, tcpFrameRev(packet.TCPFlagPSH, 6379, 5555, proto.BuildRESPBulk([]byte("v"))), t0.Add(3*time.Millisecond))
+	p.Handle(q, emit)
+	p.Handle(r, emit)
+	if len(got) != 1 {
+		t.Fatalf("emitted %d, want 1", len(got))
+	}
+	if got[0].Key != "GET" {
+		t.Errorf("key = %q, want GET (upper-cased)", got[0].Key)
+	}
+	if want := float64(3 * time.Millisecond); got[0].Val != want {
+		t.Errorf("latency = %v, want %v", got[0].Val, want)
+	}
+}
+
+func TestRESPPipelinedCommandsFIFO(t *testing.T) {
+	p := NewRESPCommand()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	// Two commands in one packet, two replies in one packet: FIFO pairing.
+	cmds := append(proto.BuildRESPCommand("SET", "k", "v"), proto.BuildRESPCommand("GET", "k")...)
+	replies := append(proto.BuildRESPSimple("OK"), proto.BuildRESPBulk([]byte("v"))...)
+	p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 6379, cmds), t0), emit)
+	p.Handle(mkPacket(t, tcpFrameRev(packet.TCPFlagPSH, 6379, 5555, replies), t0.Add(time.Millisecond)), emit)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d, want 2", len(got))
+	}
+	if got[0].Key != "SET" || got[1].Key != "GET" {
+		t.Errorf("keys = %q, %q, want SET then GET", got[0].Key, got[1].Key)
+	}
+}
+
+func TestRESPReplyWithoutCommandIgnored(t *testing.T) {
+	p := NewRESPCommand()
+	got := collect(t, p, tcpFrameRev(packet.TCPFlagPSH, 6379, 5555, proto.BuildRESPSimple("OK")))
+	if len(got) != 0 {
+		t.Errorf("emitted %+v, want nothing", got)
+	}
+}
+
+func TestRESPPipelineBounded(t *testing.T) {
+	p := NewRESPCommand()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < respMaxPipeline*2; i++ {
+		p.Handle(mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 6379, proto.BuildRESPCommand("GET", "k")), t0), emit)
+	}
+	if n := len(p.pending[mkPacket(t, tcpFrame(packet.TCPFlagPSH, 5555, 6379, []byte("x")), t0).FlowID]); n > respMaxPipeline {
+		t.Errorf("pending queue grew to %d, cap %d", n, respMaxPipeline)
+	}
+}
+
+func TestDNSQueryAndResponse(t *testing.T) {
+	p := NewDNSQuery()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	q := mkPacket(t, udpFrame(40000, 53, proto.BuildDNSQuery(7, "api.example.com", proto.DNSTypeA)), t0)
+	r := mkPacket(t, udpFrameRev(53, 40000, proto.BuildDNSResponse(7, "api.example.com", proto.DNSTypeA, proto.DNSRCodeNoError, nil)), t0.Add(2*time.Millisecond))
+	p.Handle(q, emit)
+	p.Handle(r, emit)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d, want 2 (query + response)", len(got))
+	}
+	if got[0].Key != "api.example.com" || got[0].Val != float64(proto.DNSTypeA) {
+		t.Errorf("query tuple = %+v", got[0])
+	}
+	if got[1].Key != "NOERROR" {
+		t.Errorf("response key = %q", got[1].Key)
+	}
+	if want := float64(2 * time.Millisecond); got[1].Val != want {
+		t.Errorf("latency = %v, want %v", got[1].Val, want)
+	}
+}
+
+func TestDNSNXDomainKey(t *testing.T) {
+	p := NewDNSQuery()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	p.Handle(mkPacket(t, udpFrame(40001, 53, proto.BuildDNSQuery(9, "nope.example.com", proto.DNSTypeA)), t0), emit)
+	p.Handle(mkPacket(t, udpFrameRev(53, 40001, proto.BuildDNSResponse(9, "nope.example.com", proto.DNSTypeA, proto.DNSRCodeNXDomain, nil)), t0.Add(time.Millisecond)), emit)
+	if len(got) != 2 || got[1].Key != "NXDOMAIN" {
+		t.Fatalf("tuples = %+v, want NXDOMAIN response", got)
+	}
+}
+
+func TestDNSUnsolicitedResponseIgnored(t *testing.T) {
+	p := NewDNSQuery()
+	got := collect(t, p, udpFrameRev(53, 40002, proto.BuildDNSResponse(1, "x.example.com", proto.DNSTypeA, proto.DNSRCodeNoError, nil)))
+	if len(got) != 0 {
+		t.Errorf("emitted %+v, want nothing", got)
+	}
+}
+
+func TestDNSTransactionsKeyedByID(t *testing.T) {
+	// Two outstanding queries on one flow resolve independently by DNS ID.
+	p := NewDNSQuery()
+	var got []tuple.Tuple
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	t0 := time.Unix(1000, 0)
+	p.Handle(mkPacket(t, udpFrame(40003, 53, proto.BuildDNSQuery(1, "a.example.com", proto.DNSTypeA)), t0), emit)
+	p.Handle(mkPacket(t, udpFrame(40003, 53, proto.BuildDNSQuery(2, "b.example.com", proto.DNSTypeA)), t0.Add(time.Millisecond)), emit)
+	// Answer the second query first.
+	p.Handle(mkPacket(t, udpFrameRev(53, 40003, proto.BuildDNSResponse(2, "b.example.com", proto.DNSTypeA, proto.DNSRCodeNoError, nil)), t0.Add(2*time.Millisecond)), emit)
+	p.Handle(mkPacket(t, udpFrameRev(53, 40003, proto.BuildDNSResponse(1, "a.example.com", proto.DNSTypeA, proto.DNSRCodeNoError, nil)), t0.Add(5*time.Millisecond)), emit)
+	if len(got) != 4 {
+		t.Fatalf("emitted %d, want 4", len(got))
+	}
+	if got[2].Val != float64(time.Millisecond) { // id=2: sent at 1ms, answered at 2ms
+		t.Errorf("id=2 latency = %v, want %v", got[2].Val, float64(time.Millisecond))
+	}
+	if got[3].Val != float64(5*time.Millisecond) { // id=1: sent at 0, answered at 5ms
+		t.Errorf("id=1 latency = %v, want %v", got[3].Val, float64(5*time.Millisecond))
+	}
+}
+
+func TestTLSSNIOncePerFlow(t *testing.T) {
+	p := NewTLSSNI()
+	hello := proto.BuildTLSClientHello("shop.example.com")
+	got := collect(t, p,
+		tcpFrame(packet.TCPFlagPSH, 5555, 443, hello),
+		tcpFrame(packet.TCPFlagPSH, 5555, 443, hello), // retransmit: ignored
+		tcpFrame(packet.TCPFlagPSH, 5556, 443, proto.BuildTLSClientHello("api.example.com")),
+		tcpFrame(packet.TCPFlagPSH, 5557, 443, proto.BuildTLSAppData([]byte("opaque"))), // not a hello
+	)
+	if len(got) != 2 {
+		t.Fatalf("emitted %d, want 2: %+v", len(got), got)
+	}
+	if got[0].Key != "shop.example.com" || got[1].Key != "api.example.com" {
+		t.Errorf("keys = %q, %q", got[0].Key, got[1].Key)
+	}
+	if got[0].Val != float64(0x0303) {
+		t.Errorf("version val = %v", got[0].Val)
+	}
+}
+
+func TestTLSSNIEmptyNotEmitted(t *testing.T) {
+	p := NewTLSSNI()
+	got := collect(t, p, tcpFrame(packet.TCPFlagPSH, 5555, 443, proto.BuildTLSClientHello("")))
+	if len(got) != 0 {
+		t.Errorf("SNI-less hello emitted %+v", got)
+	}
+}
+
+// TestTruncatedPayloadsEmitNothing feeds every strict prefix of well-formed
+// protocol messages to the framed-protocol parsers: a truncated message must
+// never produce a tuple.
+func TestTruncatedPayloadsEmitNothing(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory func() monitor.Parser
+		udp     bool
+		full    []byte
+	}{
+		{"resp_command", func() monitor.Parser { return NewRESPCommand() }, false,
+			append(proto.BuildRESPCommand("SET", "key", "value"), proto.BuildRESPSimple("OK")...)},
+		{"dns_query", func() monitor.Parser { return NewDNSQuery() }, true,
+			proto.BuildDNSQuery(3, "cut.example.com", proto.DNSTypeA)},
+		{"tls_sni", func() monitor.Parser { return NewTLSSNI() }, false,
+			proto.BuildTLSClientHello("cut.example.com")},
+		{"mysql_query", func() monitor.Parser { return NewMySQLQuery() }, false,
+			proto.BuildMySQLQuery(0, "SELECT 1")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for cut := 1; cut < len(tc.full); cut++ {
+				p := tc.factory()
+				frame := tcpFrame(packet.TCPFlagPSH, 5555, 443, tc.full[:cut])
+				if tc.udp {
+					frame = udpFrame(40000, 53, tc.full[:cut])
+				}
+				if got := collect(t, p, frame); len(got) != 0 {
+					t.Fatalf("prefix %d/%d emitted %+v", cut, len(tc.full), got)
+				}
+			}
+		})
+	}
+}

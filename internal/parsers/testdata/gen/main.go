@@ -1,0 +1,263 @@
+// Command gen deterministically regenerates the parser conformance fixtures:
+// for every parser registered in parsers.Registry it writes
+//
+//	internal/parsers/testdata/<name>.pcap        the input frames
+//	internal/parsers/testdata/<name>.golden.json the tuples the parser emits
+//
+// Run it via `go generate ./internal/parsers` after changing a parser's
+// emission schema or adding a parser (a new parser without a fixture fails
+// TestEveryParserHasFixture). Frames are scripted, timestamps fixed, and the
+// TLS/DNS builders use fixed randoms, so reruns are byte-identical.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/packet"
+	"netalytics/internal/parsers"
+	"netalytics/internal/pcap"
+	"netalytics/internal/proto"
+	"netalytics/internal/tuple"
+)
+
+var (
+	cli = netip.MustParseAddr("10.0.2.8")
+	srv = netip.MustParseAddr("10.0.2.9")
+
+	// fixtureBase is the first frame's capture timestamp; each subsequent
+	// frame is 1 ms later.
+	fixtureBase = time.Unix(1700000000, 0)
+)
+
+func tcp(flags uint8, srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: cli, Dst: srv, SrcPort: srcPort, DstPort: dstPort,
+		Flags: flags, Payload: payload,
+	})
+}
+
+func tcpRev(flags uint8, srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.TCP(packet.TCPSpec{
+		Src: srv, Dst: cli, SrcPort: srcPort, DstPort: dstPort,
+		Flags: flags, Payload: payload,
+	})
+}
+
+func udp(srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.UDP(packet.UDPSpec{
+		Src: cli, Dst: srv, SrcPort: srcPort, DstPort: dstPort, Payload: payload,
+	})
+}
+
+func udpRev(srcPort, dstPort uint16, payload []byte) []byte {
+	var b packet.Builder
+	return b.UDP(packet.UDPSpec{
+		Src: srv, Dst: cli, SrcPort: srcPort, DstPort: dstPort, Payload: payload,
+	})
+}
+
+const (
+	psh    = packet.TCPFlagACK | packet.TCPFlagPSH
+	syn    = packet.TCPFlagSYN
+	fin    = packet.TCPFlagFIN
+	finAck = packet.TCPFlagFIN | packet.TCPFlagACK
+)
+
+// scripts maps each registered parser to the frames its fixture contains.
+// Every script mixes well-formed traffic for the parser, traffic for other
+// protocols (which must not emit), and edge cases worth freezing.
+var scripts = map[string]func() [][]byte{
+	"tcp_flow_key": func() [][]byte {
+		return [][]byte{
+			tcp(syn, 5555, 80, nil),
+			tcp(psh, 5555, 80, []byte("data")), // same flow: no second tuple
+			tcp(syn, 5556, 80, nil),            // second flow
+		}
+	},
+	"tcp_conn_time": func() [][]byte {
+		return [][]byte{
+			tcp(syn, 5555, 80, nil),
+			tcp(syn, 5555, 80, nil), // retransmit: ignored
+			tcp(psh, 5555, 80, []byte("x")),
+			tcp(fin, 5555, 80, nil),
+			tcpRev(finAck, 80, 5555, nil), // post-end: ignored
+			tcp(syn, 5556, 80, nil),
+			tcp(packet.TCPFlagRST, 5556, 80, nil), // RST also ends
+		}
+	},
+	"tcp_pkt_size": func() [][]byte {
+		return [][]byte{
+			tcp(psh, 5555, 80, make([]byte, 100)),
+			tcp(psh, 5555, 80, make([]byte, 250)),
+			tcp(packet.TCPFlagACK, 5555, 80, nil), // zero payload still sized
+		}
+	},
+	"http_get": func() [][]byte {
+		return [][]byte{
+			tcp(psh, 5555, 80, proto.BuildHTTPGet("/films/a.php", "h1")),
+			tcpRev(psh, 80, 5555, proto.BuildHTTPResponse(200, []byte("ok"))),
+			tcp(psh, 5555, 80, []byte("POST / HTTP/1.1\r\n\r\n")), // non-GET: ignored
+			tcp(psh, 5556, 80, proto.BuildHTTPGet("/films/b.php", "h1")),
+			tcpRev(psh, 80, 5556, proto.BuildHTTPResponse(404, nil)),
+		}
+	},
+	"memcached_get": func() [][]byte {
+		return [][]byte{
+			tcp(psh, 5555, 11211, proto.BuildMemcachedGet("user:7")),
+			tcpRev(psh, 11211, 5555, proto.BuildMemcachedValue("user:7", []byte("v"))),
+			tcp(psh, 5555, 11211, proto.BuildMemcachedGet("session:9")),
+			tcpRev(psh, 11211, 5555, []byte("END\r\n")), // miss
+		}
+	},
+	"mysql_query": func() [][]byte {
+		return [][]byte{
+			tcp(psh, 5555, 3306, proto.BuildMySQLQuery(0, "SELECT a FROM t")),
+			tcpRev(psh, 3306, 5555, proto.BuildMySQLOK(1, []byte("rows"))),
+			tcp(psh, 5555, 3306, proto.BuildMySQLQuery(2, "UPDATE t SET x=1")),
+			tcpRev(psh, 3306, 5555, proto.BuildMySQLErr(3, "denied")), // ERR also resolves
+			tcpRev(psh, 3306, 5555, proto.BuildMySQLOK(4, nil)),       // response w/o query: ignored
+		}
+	},
+	"tcp_flow_stats": func() [][]byte {
+		return [][]byte{
+			tcp(syn, 5555, 80, nil),
+			tcp(psh, 5555, 80, make([]byte, 100)),
+			tcpRev(psh, 80, 5555, make([]byte, 400)),
+			tcp(fin, 5555, 80, nil),
+			tcp(psh, 5556, 80, make([]byte, 10)), // still open at shutdown: Flush exports
+		}
+	},
+	"resp_command": func() [][]byte {
+		return [][]byte{
+			tcp(psh, 5555, 6379, proto.BuildRESPCommand("get", "user:7")),
+			tcpRev(psh, 6379, 5555, proto.BuildRESPBulk([]byte("val"))),
+			// Two pipelined commands answered by two pipelined replies (FIFO).
+			tcp(psh, 5555, 6379, append(proto.BuildRESPCommand("SET", "k", "v"), proto.BuildRESPCommand("INCR", "n")...)),
+			tcpRev(psh, 6379, 5555, append(proto.BuildRESPSimple("OK"), proto.BuildRESPInteger(1)...)),
+			tcpRev(psh, 6379, 5555, proto.BuildRESPSimple("OK")), // reply w/o command: ignored
+		}
+	},
+	"dns_query": func() [][]byte {
+		return [][]byte{
+			udp(40000, 53, proto.BuildDNSQuery(1, "api.example.com", proto.DNSTypeA)),
+			udpRev(53, 40000, proto.BuildDNSResponse(1, "api.example.com", proto.DNSTypeA, proto.DNSRCodeNoError,
+				[]netip.Addr{netip.MustParseAddr("10.0.9.1")})),
+			udp(40000, 53, proto.BuildDNSQuery(2, "nope.example.com", proto.DNSTypeA)),
+			udpRev(53, 40000, proto.BuildDNSResponse(2, "nope.example.com", proto.DNSTypeA, proto.DNSRCodeNXDomain, nil)),
+			udpRev(53, 40000, proto.BuildDNSResponse(9, "spoof.example.com", proto.DNSTypeA, proto.DNSRCodeNoError, nil)), // unsolicited
+		}
+	},
+	"tls_sni": func() [][]byte {
+		return [][]byte{
+			tcp(psh, 5555, 443, proto.BuildTLSClientHello("shop.example.com")),
+			tcp(psh, 5555, 443, proto.BuildTLSClientHello("shop.example.com")), // retransmit: once per flow
+			tcp(psh, 5555, 443, proto.BuildTLSAppData([]byte("opaque"))),
+			tcp(psh, 5556, 443, proto.BuildTLSClientHello("api.example.com")),
+			tcp(psh, 5557, 443, proto.BuildTLSClientHello("")), // SNI-less: ignored
+		}
+	},
+}
+
+func main() {
+	// go:generate runs from the package directory; also allow the repo root.
+	dir := "testdata"
+	if _, err := os.Stat(dir); err != nil {
+		dir = "internal/parsers/testdata"
+	}
+	names := parsers.Names()
+	for _, name := range names {
+		script, ok := scripts[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gen: no fixture script for parser %q — add one to scripts\n", name)
+			os.Exit(1)
+		}
+		if err := writeFixture(dir, name, script()); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	for script := range scripts {
+		if _, err := parsers.Lookup(script); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: script %q has no registered parser\n", script)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("gen: wrote %d fixtures to %s\n", len(names), dir)
+}
+
+func writeFixture(dir, name string, frames [][]byte) error {
+	f, err := os.Create(filepath.Join(dir, name+".pcap"))
+	if err != nil {
+		return err
+	}
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for i, raw := range frames {
+		if err := w.WritePacket(fixtureBase.Add(time.Duration(i)*time.Millisecond), raw); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	factory, err := parsers.Lookup(name)
+	if err != nil {
+		return err
+	}
+	p := factory()
+	got := []tuple.Tuple{}
+	emit := func(tu tuple.Tuple) { got = append(got, tu) }
+	for i, raw := range frames {
+		pkt := &monitor.Packet{TS: fixtureBase.Add(time.Duration(i) * time.Millisecond)}
+		if err := pkt.Frame.Decode(raw); err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		ft, ok := pkt.Frame.FlowTuple()
+		if !ok {
+			return fmt.Errorf("frame %d: no flow tuple", i)
+		}
+		pkt.Tuple = ft
+		pkt.FlowID = ft.CanonicalHash()
+		p.Handle(pkt, emit)
+	}
+	if fl, ok := p.(monitor.Flusher); ok {
+		fl.Flush(emit)
+	}
+	sortTuples(got)
+	blob, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".golden.json"), append(blob, '\n'), 0o644)
+}
+
+// sortTuples orders tuples canonically; it must match the conformance test's
+// ordering (parsers that flush map-held state emit in nondeterministic order).
+func sortTuples(ts []tuple.Tuple) {
+	sort.SliceStable(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.FlowID != b.FlowID {
+			return a.FlowID < b.FlowID
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Val < b.Val
+	})
+}

@@ -43,19 +43,33 @@ type Writer struct {
 	hdr     [recordHeaderLen]byte
 }
 
-// NewWriter writes the global header and returns a packet writer.
+// NewWriter writes the global header and returns a packet writer capturing
+// full frames (DefaultSnapLen).
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterSnapLen(w, DefaultSnapLen)
+}
+
+// NewWriterSnapLen is NewWriter with an explicit per-packet capture limit,
+// recorded in the global header as a real capture tool would. Values outside
+// [1, DefaultSnapLen] are clamped.
+func NewWriterSnapLen(w io.Writer, snapLen int) (*Writer, error) {
+	if snapLen < 1 {
+		snapLen = 1
+	}
+	if snapLen > DefaultSnapLen {
+		snapLen = DefaultSnapLen
+	}
 	var hdr [globalHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], magicMicroseconds)
 	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
 	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
 	// thiszone (4) and sigfigs (4) stay zero.
-	binary.LittleEndian.PutUint32(hdr[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(snapLen))
 	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEthernet)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: writing header: %w", err)
 	}
-	return &Writer{w: w, snapLen: DefaultSnapLen}, nil
+	return &Writer{w: w, snapLen: uint32(snapLen)}, nil
 }
 
 // WritePacket appends one captured frame with the given timestamp. Frames
@@ -95,6 +109,9 @@ type Packet struct {
 // Reader consumes a pcap stream. Create one with NewReader.
 type Reader struct {
 	r io.Reader
+	// SnapLen is the capture limit recorded in the file's global header;
+	// records longer than it were truncated by the capturing tool.
+	SnapLen int
 }
 
 // NewReader validates the global header and returns a packet reader.
@@ -106,7 +123,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if binary.LittleEndian.Uint32(hdr[0:4]) != magicMicroseconds {
 		return nil, ErrBadMagic
 	}
-	return &Reader{r: r}, nil
+	return &Reader{r: r, SnapLen: int(binary.LittleEndian.Uint32(hdr[16:20]))}, nil
 }
 
 // Next returns the next packet, or io.EOF at the end of the capture.

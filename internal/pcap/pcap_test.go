@@ -196,6 +196,64 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+// Property: with an arbitrary snap length, every record's captured bytes are
+// the payload's prefix of min(len, snaplen) and OrigLen is always the
+// original wire length — truncation loses bytes, never accounting.
+func TestSnapLenTruncationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		snap := 1 + rng.Intn(300)
+		var buf bytes.Buffer
+		w, err := NewWriterSnapLen(&buf, snap)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(10)
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			payloads[i] = make([]byte, rng.Intn(2*snap))
+			rng.Read(payloads[i])
+			if err := w.WritePacket(time.Unix(int64(i), 0), payloads[i]); err != nil {
+				return false
+			}
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil || r.SnapLen != snap {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i, p := range got {
+			want := payloads[i]
+			if len(want) > snap {
+				want = want[:snap]
+			}
+			if !bytes.Equal(p.Data, want) || p.OrigLen != len(payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterSnapLenClamped(t *testing.T) {
+	for _, req := range []int{-5, 0, DefaultSnapLen + 1} {
+		var buf bytes.Buffer
+		if _, err := NewWriterSnapLen(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got := int(binary.LittleEndian.Uint32(buf.Bytes()[16:20]))
+		if got < 1 || got > DefaultSnapLen {
+			t.Errorf("requested snaplen %d recorded as %d, outside [1, %d]", req, got, DefaultSnapLen)
+		}
+	}
+}
+
 func BenchmarkWritePacket(b *testing.B) {
 	w, err := NewWriter(io.Discard)
 	if err != nil {

@@ -1,0 +1,245 @@
+package proto
+
+// DNS wire format (RFC 1035), the subset resolution monitoring needs: the
+// 12-byte header, the question section, and enough of the answer section to
+// build realistic responses. Name parsing follows compression pointers with
+// a jump guard, since a monitor must survive adversarial payloads.
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"strings"
+)
+
+// ErrNotDNS reports a payload that is not a DNS message.
+var ErrNotDNS = errors.New("proto: not a DNS message")
+
+// DNS query types and response codes.
+const (
+	DNSTypeA     uint16 = 1
+	DNSTypeCNAME uint16 = 5
+	DNSTypeAAAA  uint16 = 28
+
+	DNSRCodeNoError  uint8 = 0
+	DNSRCodeFormErr  uint8 = 1
+	DNSRCodeServFail uint8 = 2
+	DNSRCodeNXDomain uint8 = 3
+)
+
+const (
+	dnsHeaderLen   = 12
+	dnsMaxName     = 255
+	dnsMaxJumps    = 8
+	dnsClassIN     = 1
+	dnsAnswerTTL   = 60
+	dnsCompressPtr = 0xc00c // pointer to the name at offset 12 (the question)
+)
+
+// DNSRCodeName renders a response code the way dig does, so rcode tuples are
+// human-readable keys ("NOERROR", "NXDOMAIN", ...).
+func DNSRCodeName(rcode uint8) string {
+	switch rcode {
+	case DNSRCodeNoError:
+		return "NOERROR"
+	case DNSRCodeFormErr:
+		return "FORMERR"
+	case DNSRCodeServFail:
+		return "SERVFAIL"
+	case DNSRCodeNXDomain:
+		return "NXDOMAIN"
+	default:
+		return "RCODE" + string('0'+rune(rcode%10))
+	}
+}
+
+// DNSQuestion is the question section entry monitors extract.
+type DNSQuestion struct {
+	Name string
+	Type uint16
+}
+
+// DNSMessage is a decoded DNS query or response.
+type DNSMessage struct {
+	ID       uint16
+	Response bool
+	RCode    uint8
+	Question DNSQuestion
+	Answers  int
+	// Addrs are the A/AAAA answer addresses of a response.
+	Addrs []netip.Addr
+}
+
+// BuildDNSQuery encodes a standard recursive query with one question.
+func BuildDNSQuery(id uint16, name string, qtype uint16) []byte {
+	qname := encodeDNSName(name)
+	out := make([]byte, 0, dnsHeaderLen+len(qname)+4)
+	var hdr [dnsHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], id)
+	binary.BigEndian.PutUint16(hdr[2:4], 0x0100) // RD
+	binary.BigEndian.PutUint16(hdr[4:6], 1)      // QDCOUNT
+	out = append(out, hdr[:]...)
+	out = append(out, qname...)
+	out = binary.BigEndian.AppendUint16(out, qtype)
+	out = binary.BigEndian.AppendUint16(out, dnsClassIN)
+	return out
+}
+
+// BuildDNSResponse encodes a response echoing the question, with one A/AAAA
+// answer per address (compressed names, as real servers emit). A non-zero
+// rcode produces an answerless response.
+func BuildDNSResponse(id uint16, name string, qtype uint16, rcode uint8, addrs []netip.Addr) []byte {
+	if rcode != DNSRCodeNoError {
+		addrs = nil
+	}
+	qname := encodeDNSName(name)
+	out := make([]byte, 0, dnsHeaderLen+len(qname)+4+len(addrs)*28)
+	var hdr [dnsHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], id)
+	binary.BigEndian.PutUint16(hdr[2:4], 0x8180|uint16(rcode&0x0f)) // QR|RD|RA
+	binary.BigEndian.PutUint16(hdr[4:6], 1)                         // QDCOUNT
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(addrs)))        // ANCOUNT
+	out = append(out, hdr[:]...)
+	out = append(out, qname...)
+	out = binary.BigEndian.AppendUint16(out, qtype)
+	out = binary.BigEndian.AppendUint16(out, dnsClassIN)
+	for _, a := range addrs {
+		out = binary.BigEndian.AppendUint16(out, dnsCompressPtr)
+		rtype := DNSTypeA
+		if a.Is6() {
+			rtype = DNSTypeAAAA
+		}
+		out = binary.BigEndian.AppendUint16(out, rtype)
+		out = binary.BigEndian.AppendUint16(out, dnsClassIN)
+		out = binary.BigEndian.AppendUint32(out, dnsAnswerTTL)
+		raw := a.AsSlice()
+		out = binary.BigEndian.AppendUint16(out, uint16(len(raw)))
+		out = append(out, raw...)
+	}
+	return out
+}
+
+// ParseDNS decodes a DNS message: header, first question, and any A/AAAA
+// answer addresses. Messages without a question are rejected — resolution
+// monitoring has nothing to key on without one.
+func ParseDNS(payload []byte) (DNSMessage, error) {
+	if len(payload) < dnsHeaderLen {
+		return DNSMessage{}, ErrShortFrame
+	}
+	flags := binary.BigEndian.Uint16(payload[2:4])
+	qd := binary.BigEndian.Uint16(payload[4:6])
+	an := binary.BigEndian.Uint16(payload[6:8])
+	if qd < 1 {
+		return DNSMessage{}, ErrNotDNS
+	}
+	m := DNSMessage{
+		ID:       binary.BigEndian.Uint16(payload[0:2]),
+		Response: flags&0x8000 != 0,
+		RCode:    uint8(flags & 0x000f),
+		Answers:  int(an),
+	}
+	name, off, err := decodeDNSName(payload, dnsHeaderLen)
+	if err != nil {
+		return DNSMessage{}, err
+	}
+	if off+4 > len(payload) {
+		return DNSMessage{}, ErrShortFrame
+	}
+	m.Question = DNSQuestion{Name: name, Type: binary.BigEndian.Uint16(payload[off : off+2])}
+	off += 4
+	// Skip any remaining questions.
+	for i := 1; i < int(qd); i++ {
+		if _, off, err = decodeDNSName(payload, off); err != nil {
+			return DNSMessage{}, err
+		}
+		if off += 4; off > len(payload) {
+			return DNSMessage{}, ErrShortFrame
+		}
+	}
+	for i := 0; i < int(an); i++ {
+		if _, off, err = decodeDNSName(payload, off); err != nil {
+			return DNSMessage{}, err
+		}
+		if off+10 > len(payload) {
+			return DNSMessage{}, ErrShortFrame
+		}
+		rtype := binary.BigEndian.Uint16(payload[off : off+2])
+		rdlen := int(binary.BigEndian.Uint16(payload[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(payload) {
+			return DNSMessage{}, ErrShortFrame
+		}
+		switch {
+		case rtype == DNSTypeA && rdlen == 4:
+			m.Addrs = append(m.Addrs, netip.AddrFrom4([4]byte(payload[off:off+4])))
+		case rtype == DNSTypeAAAA && rdlen == 16:
+			m.Addrs = append(m.Addrs, netip.AddrFrom16([16]byte(payload[off:off+16])))
+		}
+		off += rdlen
+	}
+	return m, nil
+}
+
+// encodeDNSName renders a dotted name as length-prefixed labels. Labels
+// longer than 63 bytes are clipped (the encoding cannot express them).
+func encodeDNSName(name string) []byte {
+	out := make([]byte, 0, len(name)+2)
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" {
+			continue
+		}
+		if len(label) > 63 {
+			label = label[:63]
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0)
+}
+
+// decodeDNSName reads a possibly-compressed name starting at off, returning
+// the dotted name and the offset just past it. Pointer chains are bounded by
+// dnsMaxJumps and total name length by dnsMaxName, so hostile payloads
+// cannot loop or balloon the parser.
+func decodeDNSName(payload []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	pos, end := off, -1
+	for jumps := 0; ; {
+		if pos >= len(payload) {
+			return "", 0, ErrShortFrame
+		}
+		b := payload[pos]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = pos + 1
+			}
+			return sb.String(), end, nil
+		case b&0xc0 == 0xc0:
+			if pos+2 > len(payload) {
+				return "", 0, ErrShortFrame
+			}
+			if jumps++; jumps > dnsMaxJumps {
+				return "", 0, ErrNotDNS
+			}
+			if end < 0 {
+				end = pos + 2
+			}
+			pos = int(binary.BigEndian.Uint16(payload[pos:pos+2]) & 0x3fff)
+		case b&0xc0 != 0:
+			return "", 0, ErrNotDNS
+		default:
+			if pos+1+int(b) > len(payload) {
+				return "", 0, ErrShortFrame
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			if sb.Len()+int(b) > dnsMaxName {
+				return "", 0, ErrNotDNS
+			}
+			sb.Write(payload[pos+1 : pos+1+int(b)])
+			pos += 1 + int(b)
+		}
+	}
+}

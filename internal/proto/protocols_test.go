@@ -1,0 +1,237 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+// --- RESP ---
+
+func TestRESPCommandRoundTrip(t *testing.T) {
+	raw := BuildRESPCommand("SET", "user:7", "alice")
+	args, n, err := ParseRESPCommand(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d of %d", n, len(raw))
+	}
+	if len(args) != 3 || args[0] != "SET" || args[1] != "user:7" || args[2] != "alice" {
+		t.Errorf("args = %v", args)
+	}
+}
+
+func TestRESPPipelinedCommands(t *testing.T) {
+	raw := append(BuildRESPCommand("GET", "a"), BuildRESPCommand("GET", "b")...)
+	args1, n, err := ParseRESPCommand(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args2, m, err := ParseRESPCommand(raw[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+m != len(raw) {
+		t.Errorf("consumed %d+%d of %d", n, m, len(raw))
+	}
+	if args1[1] != "a" || args2[1] != "b" {
+		t.Errorf("args = %v, %v", args1, args2)
+	}
+}
+
+func TestRESPReplies(t *testing.T) {
+	tests := []struct {
+		raw  []byte
+		want RESPReply
+	}{
+		{BuildRESPSimple("OK"), RESPReply{Kind: '+', Text: "OK"}},
+		{BuildRESPError("ERR nope"), RESPReply{Kind: '-', Text: "ERR nope"}},
+		{BuildRESPInteger(42), RESPReply{Kind: ':', Text: "42"}},
+		{BuildRESPBulk([]byte("val")), RESPReply{Kind: '$', Text: "val"}},
+		{BuildRESPBulk(nil), RESPReply{Kind: '$', Nil: true}},
+	}
+	for _, tt := range tests {
+		got, n, err := ParseRESPReply(tt.raw)
+		if err != nil {
+			t.Errorf("ParseRESPReply(%q): %v", tt.raw, err)
+			continue
+		}
+		if n != len(tt.raw) {
+			t.Errorf("%q: consumed %d of %d", tt.raw, n, len(tt.raw))
+		}
+		if got != tt.want {
+			t.Errorf("%q: reply = %+v, want %+v", tt.raw, got, tt.want)
+		}
+	}
+	if got, _, err := ParseRESPReply(BuildRESPError("ERR x")); err != nil || !got.IsError() {
+		t.Errorf("IsError = false for error reply")
+	}
+}
+
+func TestRESPTruncatedIsShortFrame(t *testing.T) {
+	for _, full := range [][]byte{
+		BuildRESPCommand("SET", "key", "value"),
+		BuildRESPBulk([]byte("payload")),
+		BuildRESPInteger(1234),
+	} {
+		for cut := 1; cut < len(full); cut++ {
+			if _, _, err := ParseRESPCommand(full[:cut]); full[0] == '*' && err == nil {
+				t.Errorf("command prefix %d/%d parsed", cut, len(full))
+			}
+			if full[0] != '*' {
+				if _, _, err := ParseRESPReply(full[:cut]); err == nil {
+					t.Errorf("reply prefix %q parsed", full[:cut])
+				}
+			}
+		}
+	}
+}
+
+func TestRESPMalformed(t *testing.T) {
+	for _, raw := range [][]byte{
+		[]byte("hello"),
+		[]byte("*x\r\n"),
+		[]byte("*2\r\n+not-bulk\r\n+x\r\n"),
+		[]byte("*999999\r\n"),
+		[]byte("$5\r\nabcde??"), // bad bulk terminator
+	} {
+		if _, _, err := ParseRESPCommand(raw); err == nil {
+			t.Errorf("ParseRESPCommand(%q) accepted", raw)
+		}
+	}
+	if _, _, err := ParseRESPReply([]byte("?weird\r\n")); !errors.Is(err, ErrNotRESP) {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+	if _, _, err := ParseRESPReply([]byte(":notanint\r\n")); !errors.Is(err, ErrNotRESP) {
+		t.Errorf("bad integer: err = %v", err)
+	}
+}
+
+// --- DNS ---
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	raw := BuildDNSQuery(0x1234, "api.example.com", DNSTypeA)
+	m, err := ParseDNS(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 0x1234 || m.Response || m.Question.Name != "api.example.com" || m.Question.Type != DNSTypeA {
+		t.Errorf("message = %+v", m)
+	}
+}
+
+func TestDNSResponseRoundTrip(t *testing.T) {
+	addrs := []netip.Addr{netip.MustParseAddr("10.1.2.3"), netip.MustParseAddr("10.1.2.4")}
+	raw := BuildDNSResponse(7, "cdn.example.com", DNSTypeA, DNSRCodeNoError, addrs)
+	m, err := ParseDNS(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Response || m.RCode != DNSRCodeNoError || m.Question.Name != "cdn.example.com" {
+		t.Errorf("message = %+v", m)
+	}
+	if len(m.Addrs) != 2 || m.Addrs[0] != addrs[0] || m.Addrs[1] != addrs[1] {
+		t.Errorf("addrs = %v", m.Addrs)
+	}
+}
+
+func TestDNSNXDomain(t *testing.T) {
+	raw := BuildDNSResponse(9, "nope.example.com", DNSTypeA, DNSRCodeNXDomain,
+		[]netip.Addr{netip.MustParseAddr("10.0.0.1")})
+	m, err := ParseDNS(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RCode != DNSRCodeNXDomain || m.Answers != 0 || len(m.Addrs) != 0 {
+		t.Errorf("nxdomain response carried answers: %+v", m)
+	}
+	if DNSRCodeName(m.RCode) != "NXDOMAIN" || DNSRCodeName(DNSRCodeNoError) != "NOERROR" {
+		t.Errorf("rcode names wrong")
+	}
+}
+
+func TestDNSTruncatedIsError(t *testing.T) {
+	full := BuildDNSResponse(1, "a.example.com", DNSTypeA, DNSRCodeNoError,
+		[]netip.Addr{netip.MustParseAddr("10.9.9.9")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ParseDNS(full[:cut]); err == nil {
+			t.Errorf("prefix %d/%d parsed", cut, len(full))
+		}
+	}
+}
+
+func TestDNSPointerLoopRejected(t *testing.T) {
+	// A question name that is a compression pointer to itself.
+	raw := make([]byte, 18)
+	raw[4], raw[5] = 0, 1 // QDCOUNT=1
+	raw[12], raw[13] = 0xc0, 12
+	if _, err := ParseDNS(raw); err == nil {
+		t.Error("self-referential pointer accepted")
+	}
+}
+
+func TestDNSNoQuestionRejected(t *testing.T) {
+	raw := make([]byte, dnsHeaderLen)
+	if _, err := ParseDNS(raw); !errors.Is(err, ErrNotDNS) {
+		t.Errorf("questionless message: err = %v", err)
+	}
+}
+
+// --- TLS ---
+
+func TestTLSClientHelloRoundTrip(t *testing.T) {
+	raw := BuildTLSClientHello("shop.example.com")
+	hello, err := ParseTLSClientHello(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.SNI != "shop.example.com" {
+		t.Errorf("SNI = %q", hello.SNI)
+	}
+	if hello.Version != tlsVersion12 {
+		t.Errorf("version = %#x", hello.Version)
+	}
+}
+
+func TestTLSClientHelloNoSNI(t *testing.T) {
+	hello, err := ParseTLSClientHello(BuildTLSClientHello(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.SNI != "" {
+		t.Errorf("SNI = %q, want empty", hello.SNI)
+	}
+}
+
+func TestTLSServerHelloAndAppData(t *testing.T) {
+	v, err := ParseTLSServerHello(BuildTLSServerHello())
+	if err != nil || v != tlsVersion12 {
+		t.Errorf("server hello: v=%#x err=%v", v, err)
+	}
+	if _, err := ParseTLSClientHello(BuildTLSServerHello()); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("server hello parsed as client hello: %v", err)
+	}
+	if _, err := ParseTLSClientHello(BuildTLSAppData([]byte("ciphertext"))); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("app data parsed as client hello: %v", err)
+	}
+}
+
+func TestTLSTruncatedIsError(t *testing.T) {
+	full := BuildTLSClientHello("truncated.example.com")
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ParseTLSClientHello(full[:cut]); err == nil {
+			t.Errorf("prefix %d/%d parsed", cut, len(full))
+		}
+	}
+}
+
+func TestTLSNotHandshake(t *testing.T) {
+	if _, err := ParseTLSClientHello(BuildHTTPGet("/", "h")); !errors.Is(err, ErrNotTLS) {
+		t.Errorf("HTTP accepted as TLS: %v", err)
+	}
+	if !bytes.Equal(BuildTLSAppData(nil)[:1], []byte{0x17}) {
+		t.Error("app data record type wrong")
+	}
+}

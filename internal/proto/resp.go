@@ -1,0 +1,190 @@
+package proto
+
+// Redis RESP (REdis Serialization Protocol), the subset a monitoring parser
+// needs: commands are arrays of bulk strings; replies are simple strings,
+// errors, integers, or bulk strings. Multiple messages may share one packet
+// (pipelining), so parsers consume messages with the (value, consumed, err)
+// walking pattern used by ParseMySQLFrame.
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+)
+
+// ErrNotRESP reports a payload that is not a RESP message.
+var ErrNotRESP = errors.New("proto: not a RESP message")
+
+// RESP sanity bounds: a monitoring parser must not allocate unboundedly on
+// attacker-shaped lengths, so element counts and bulk sizes are capped far
+// above anything the emulated applications produce.
+const (
+	respMaxElements = 128
+	respMaxBulkLen  = 1 << 20
+)
+
+// BuildRESPCommand encodes a command and its arguments as an array of bulk
+// strings, the client->server form every Redis command uses.
+func BuildRESPCommand(args ...string) []byte {
+	var b bytes.Buffer
+	b.Grow(16 * (len(args) + 1))
+	b.WriteByte('*')
+	b.WriteString(strconv.Itoa(len(args)))
+	b.WriteString("\r\n")
+	for _, a := range args {
+		b.WriteByte('$')
+		b.WriteString(strconv.Itoa(len(a)))
+		b.WriteString("\r\n")
+		b.WriteString(a)
+		b.WriteString("\r\n")
+	}
+	return b.Bytes()
+}
+
+// ParseRESPCommand decodes one array-of-bulk-strings command from the front
+// of payload and returns the bytes consumed, so pipelined commands can be
+// walked. Incomplete data returns ErrShortFrame; anything that is not an
+// array of bulk strings returns ErrNotRESP.
+func ParseRESPCommand(payload []byte) (args []string, consumed int, err error) {
+	if len(payload) == 0 {
+		return nil, 0, ErrShortFrame
+	}
+	if payload[0] != '*' {
+		return nil, 0, ErrNotRESP
+	}
+	n, off, err := respLine(payload, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n < 1 || n > respMaxElements {
+		return nil, 0, ErrNotRESP
+	}
+	args = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if off >= len(payload) {
+			return nil, 0, ErrShortFrame
+		}
+		if payload[off] != '$' {
+			return nil, 0, ErrNotRESP
+		}
+		blen, next, err := respLine(payload, off+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if blen < 0 || blen > respMaxBulkLen {
+			return nil, 0, ErrNotRESP
+		}
+		if next+blen+2 > len(payload) {
+			return nil, 0, ErrShortFrame
+		}
+		if payload[next+blen] != '\r' || payload[next+blen+1] != '\n' {
+			return nil, 0, ErrNotRESP
+		}
+		args = append(args, string(payload[next:next+blen]))
+		off = next + blen + 2
+	}
+	return args, off, nil
+}
+
+// RESPReply is one decoded server->client reply.
+type RESPReply struct {
+	// Kind is the RESP type byte: '+' simple string, '-' error, ':' integer,
+	// '$' bulk string.
+	Kind byte
+	// Text is the reply payload: the simple/error line, the integer digits,
+	// or the bulk bytes.
+	Text string
+	// Nil marks the null bulk reply ($-1), a Redis cache miss.
+	Nil bool
+}
+
+// IsError reports whether the reply is a RESP error.
+func (r RESPReply) IsError() bool { return r.Kind == '-' }
+
+// BuildRESPSimple encodes a simple-string reply such as +OK.
+func BuildRESPSimple(s string) []byte { return []byte("+" + s + "\r\n") }
+
+// BuildRESPError encodes an error reply such as -ERR unknown command.
+func BuildRESPError(msg string) []byte { return []byte("-" + msg + "\r\n") }
+
+// BuildRESPInteger encodes an integer reply.
+func BuildRESPInteger(n int64) []byte {
+	return []byte(":" + strconv.FormatInt(n, 10) + "\r\n")
+}
+
+// BuildRESPBulk encodes a bulk-string reply; nil encodes the null bulk
+// (a miss).
+func BuildRESPBulk(val []byte) []byte {
+	if val == nil {
+		return []byte("$-1\r\n")
+	}
+	var b bytes.Buffer
+	b.Grow(len(val) + 16)
+	b.WriteByte('$')
+	b.WriteString(strconv.Itoa(len(val)))
+	b.WriteString("\r\n")
+	b.Write(val)
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// ParseRESPReply decodes one reply from the front of payload and returns the
+// bytes consumed, so pipelined replies can be walked.
+func ParseRESPReply(payload []byte) (RESPReply, int, error) {
+	if len(payload) == 0 {
+		return RESPReply{}, 0, ErrShortFrame
+	}
+	kind := payload[0]
+	switch kind {
+	case '+', '-', ':':
+		i := bytes.Index(payload, []byte("\r\n"))
+		if i < 0 {
+			return RESPReply{}, 0, ErrShortFrame
+		}
+		text := string(payload[1:i])
+		if kind == ':' {
+			if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+				return RESPReply{}, 0, ErrNotRESP
+			}
+		}
+		return RESPReply{Kind: kind, Text: text}, i + 2, nil
+	case '$':
+		blen, off, err := respLine(payload, 1)
+		if err != nil {
+			return RESPReply{}, 0, err
+		}
+		if blen == -1 {
+			return RESPReply{Kind: kind, Nil: true}, off, nil
+		}
+		if blen < 0 || blen > respMaxBulkLen {
+			return RESPReply{}, 0, ErrNotRESP
+		}
+		if off+blen+2 > len(payload) {
+			return RESPReply{}, 0, ErrShortFrame
+		}
+		if payload[off+blen] != '\r' || payload[off+blen+1] != '\n' {
+			return RESPReply{}, 0, ErrNotRESP
+		}
+		return RESPReply{Kind: kind, Text: string(payload[off : off+blen])}, off + blen + 2, nil
+	default:
+		return RESPReply{}, 0, ErrNotRESP
+	}
+}
+
+// respLine parses a decimal integer starting at off and terminated by CRLF,
+// returning the value and the offset just past the CRLF.
+func respLine(payload []byte, off int) (n, next int, err error) {
+	i := bytes.Index(payload[off:], []byte("\r\n"))
+	if i < 0 {
+		return 0, 0, ErrShortFrame
+	}
+	digits := payload[off : off+i]
+	if len(digits) == 0 || len(digits) > 10 {
+		return 0, 0, ErrNotRESP
+	}
+	v, err := strconv.Atoi(string(digits))
+	if err != nil {
+		return 0, 0, ErrNotRESP
+	}
+	return v, off + i + 2, nil
+}

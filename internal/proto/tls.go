@@ -1,0 +1,213 @@
+package proto
+
+// TLS ClientHello parsing, the slice of TLS a monitor needs to identify
+// services on encrypted flows: the handshake record framing and the
+// server_name (SNI) extension. Nothing is decrypted — the hello is the one
+// cleartext message that names the service being contacted.
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrNotTLS reports a payload that is not a TLS handshake record.
+var ErrNotTLS = errors.New("proto: not a TLS handshake")
+
+// TLS record and handshake constants.
+const (
+	tlsRecordHandshake   = 0x16
+	tlsRecordAppData     = 0x17
+	tlsHandshakeClient   = 0x01
+	tlsHandshakeServer   = 0x02
+	tlsExtServerName     = 0x0000
+	tlsSNIHostname       = 0
+	tlsRecordHeaderLen   = 5
+	tlsVersion12         = 0x0303
+	tlsLegacyRecordVer   = 0x0301
+	tlsMaxHelloLen       = 1 << 14
+	tlsClientCipherSuite = 0x1301 // TLS_AES_128_GCM_SHA256
+)
+
+// TLSClientHello is the monitored slice of a ClientHello.
+type TLSClientHello struct {
+	// Version is the client's offered protocol version.
+	Version uint16
+	// SNI is the server_name extension's hostname ("" when absent).
+	SNI string
+}
+
+// BuildTLSClientHello encodes a minimal ClientHello carrying the SNI. The
+// 32-byte random is a fixed pattern, keeping generated fixtures
+// deterministic; monitors never look at it.
+func BuildTLSClientHello(sni string) []byte {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, tlsVersion12)
+	for i := 0; i < 32; i++ { // client random
+		body = append(body, byte(i))
+	}
+	body = append(body, 0) // session id length
+	body = binary.BigEndian.AppendUint16(body, 2)
+	body = binary.BigEndian.AppendUint16(body, tlsClientCipherSuite)
+	body = append(body, 1, 0) // compression: null only
+
+	var ext []byte
+	if sni != "" {
+		var list []byte
+		list = binary.BigEndian.AppendUint16(list, uint16(len(sni)+3))
+		list = append(list, tlsSNIHostname)
+		list = binary.BigEndian.AppendUint16(list, uint16(len(sni)))
+		list = append(list, sni...)
+		ext = binary.BigEndian.AppendUint16(ext, tlsExtServerName)
+		ext = binary.BigEndian.AppendUint16(ext, uint16(len(list)))
+		ext = append(ext, list...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	return wrapTLSHandshake(tlsHandshakeClient, body)
+}
+
+// BuildTLSServerHello encodes a minimal ServerHello answering the hellos
+// BuildTLSClientHello produces.
+func BuildTLSServerHello() []byte {
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, tlsVersion12)
+	for i := 0; i < 32; i++ { // server random
+		body = append(body, byte(0xff-i))
+	}
+	body = append(body, 0) // session id length
+	body = binary.BigEndian.AppendUint16(body, tlsClientCipherSuite)
+	body = append(body, 0) // compression: null
+	return wrapTLSHandshake(tlsHandshakeServer, body)
+}
+
+// BuildTLSAppData wraps payload in an application-data record — opaque bytes
+// standing in for ciphertext.
+func BuildTLSAppData(payload []byte) []byte {
+	out := make([]byte, 0, tlsRecordHeaderLen+len(payload))
+	out = append(out, tlsRecordAppData)
+	out = binary.BigEndian.AppendUint16(out, tlsVersion12)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(payload)))
+	return append(out, payload...)
+}
+
+func wrapTLSHandshake(msgType byte, body []byte) []byte {
+	out := make([]byte, 0, tlsRecordHeaderLen+4+len(body))
+	out = append(out, tlsRecordHandshake)
+	out = binary.BigEndian.AppendUint16(out, tlsLegacyRecordVer)
+	out = binary.BigEndian.AppendUint16(out, uint16(4+len(body)))
+	out = append(out, msgType, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	return append(out, body...)
+}
+
+// ParseTLSClientHello decodes the version and SNI from a ClientHello at the
+// front of payload. Non-handshake records and non-ClientHello handshakes
+// return ErrNotTLS; records cut short by segmentation return ErrShortFrame.
+func ParseTLSClientHello(payload []byte) (TLSClientHello, error) {
+	body, err := tlsHandshakeBody(payload, tlsHandshakeClient)
+	if err != nil {
+		return TLSClientHello{}, err
+	}
+	if len(body) < 2+32+1 {
+		return TLSClientHello{}, ErrShortFrame
+	}
+	hello := TLSClientHello{Version: binary.BigEndian.Uint16(body[0:2])}
+	off := 2 + 32
+	sidLen := int(body[off])
+	off += 1 + sidLen
+	if off+2 > len(body) {
+		return TLSClientHello{}, ErrShortFrame
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2 + csLen
+	if off+1 > len(body) {
+		return TLSClientHello{}, ErrShortFrame
+	}
+	compLen := int(body[off])
+	off += 1 + compLen
+	if off+2 > len(body) {
+		// Extensions are optional; a hello may legitimately end here.
+		return hello, nil
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+extLen > len(body) {
+		return TLSClientHello{}, ErrShortFrame
+	}
+	ext := body[off : off+extLen]
+	for len(ext) >= 4 {
+		etype := binary.BigEndian.Uint16(ext[0:2])
+		elen := int(binary.BigEndian.Uint16(ext[2:4]))
+		if 4+elen > len(ext) {
+			return TLSClientHello{}, ErrShortFrame
+		}
+		if etype == tlsExtServerName {
+			hello.SNI = parseSNI(ext[4 : 4+elen])
+		}
+		ext = ext[4+elen:]
+	}
+	return hello, nil
+}
+
+// ParseTLSServerHello validates a ServerHello and returns its version.
+func ParseTLSServerHello(payload []byte) (uint16, error) {
+	body, err := tlsHandshakeBody(payload, tlsHandshakeServer)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) < 2 {
+		return 0, ErrShortFrame
+	}
+	return binary.BigEndian.Uint16(body[0:2]), nil
+}
+
+// tlsHandshakeBody peels the record and handshake headers, returning the
+// handshake body when the message type matches.
+func tlsHandshakeBody(payload []byte, msgType byte) ([]byte, error) {
+	if len(payload) < tlsRecordHeaderLen {
+		return nil, ErrShortFrame
+	}
+	if payload[0] != tlsRecordHandshake {
+		return nil, ErrNotTLS
+	}
+	recLen := int(binary.BigEndian.Uint16(payload[3:5]))
+	if recLen < 4 || recLen > tlsMaxHelloLen {
+		return nil, ErrNotTLS
+	}
+	if tlsRecordHeaderLen+recLen > len(payload) {
+		return nil, ErrShortFrame
+	}
+	rec := payload[tlsRecordHeaderLen : tlsRecordHeaderLen+recLen]
+	if rec[0] != msgType {
+		return nil, ErrNotTLS
+	}
+	bodyLen := int(rec[1])<<16 | int(rec[2])<<8 | int(rec[3])
+	if 4+bodyLen > len(rec) {
+		return nil, ErrShortFrame
+	}
+	return rec[4 : 4+bodyLen], nil
+}
+
+// parseSNI extracts the first hostname entry of a server_name list.
+func parseSNI(list []byte) string {
+	if len(list) < 2 {
+		return ""
+	}
+	listLen := int(binary.BigEndian.Uint16(list[0:2]))
+	entries := list[2:]
+	if listLen < len(entries) {
+		entries = entries[:listLen]
+	}
+	for len(entries) >= 3 {
+		nameType := entries[0]
+		nameLen := int(binary.BigEndian.Uint16(entries[1:3]))
+		if 3+nameLen > len(entries) {
+			return ""
+		}
+		if nameType == tlsSNIHostname {
+			return string(entries[3 : 3+nameLen])
+		}
+		entries = entries[3+nameLen:]
+	}
+	return ""
+}

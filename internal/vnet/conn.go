@@ -105,6 +105,14 @@ func (e *Endpoint) HandleDatagram(port uint16, h func(src netip.Addr, srcPort ui
 	return nil
 }
 
+// StopDatagram unregisters the UDP handler on a port, freeing it for reuse.
+// Unregistering a port with no handler is a no-op.
+func (e *Endpoint) StopDatagram(port uint16) {
+	e.mu.Lock()
+	delete(e.udp, port)
+	e.mu.Unlock()
+}
+
 // SendDatagram transmits a UDP frame.
 func (e *Endpoint) SendDatagram(dst netip.Addr, srcPort, dstPort uint16, payload []byte) error {
 	raw := e.builder.UDP(packet.UDPSpec{

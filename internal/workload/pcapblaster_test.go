@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netalytics/internal/monitor"
+	"netalytics/internal/parsers"
+	"netalytics/internal/pcap"
+	"netalytics/internal/tuple"
+)
+
+// recordBlaster captures n frames from a blaster into an in-memory pcap,
+// 1 ms apart.
+func recordBlaster(t *testing.T, bl *Blaster, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < n; i++ {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), bl.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &buf
+}
+
+func countTuples(t *testing.T, parserNames []string, deliver func(mon *monitor.Monitor)) uint64 {
+	t.Helper()
+	var tuples atomic.Uint64
+	sink := monitor.SinkFunc(func(b *tuple.Batch) error {
+		tuples.Add(uint64(len(b.Tuples)))
+		return nil
+	})
+	factories := make([]monitor.Factory, 0, len(parserNames))
+	for _, name := range parserNames {
+		f, err := parsers.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factories = append(factories, f)
+	}
+	mon, err := monitor.New(monitor.Config{Parsers: factories, Sink: sink, QueueDepth: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Start()
+	deliver(mon)
+	mon.Stop()
+	return tuples.Load()
+}
+
+// TestPcapBlasterParity is the acceptance check: replaying a recorded
+// capture of a synthetic blaster produces exactly the tuple counts the live
+// blaster produces.
+func TestPcapBlasterParity(t *testing.T) {
+	const frames = 400
+	cases := []struct {
+		name    string
+		blaster func() *Blaster
+		parser  string
+	}{
+		{"http", func() *Blaster { return NewHTTPGetBlaster(32, 10, rand.New(rand.NewSource(1))) }, "http_get"},
+		{"resp", func() *Blaster { return NewRESPBlaster(32, 10, rand.New(rand.NewSource(2))) }, "resp_command"},
+		{"mysql", func() *Blaster { return NewMySQLBlaster(32, 10, rand.New(rand.NewSource(7))) }, "mysql_query"},
+		{"memcached", func() *Blaster { return NewMemcachedBlaster(32, 10, rand.New(rand.NewSource(8))) }, "memcached_get"},
+		{"dns", func() *Blaster { return NewDNSBlaster(32, 10, rand.New(rand.NewSource(3))) }, "dns_query"},
+		{"tls", func() *Blaster { return NewTLSBlaster(32, 10, rand.New(rand.NewSource(4))) }, "tls_sni"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := recordBlaster(t, tc.blaster(), frames)
+
+			live := countTuples(t, []string{tc.parser}, func(mon *monitor.Monitor) {
+				bl := tc.blaster()
+				ts := time.Unix(1700000000, 0)
+				for i := 0; i < frames; i++ {
+					for !mon.Deliver(bl.Next(), ts.Add(time.Duration(i)*time.Millisecond)) {
+					}
+				}
+			})
+
+			replayed := countTuples(t, []string{tc.parser}, func(mon *monitor.Monitor) {
+				bl, err := NewPcapBlaster(bytes.NewReader(buf.Bytes()), false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := time.Unix(1700000000, 0)
+				i := 0
+				for {
+					burst := bl.NextBurst(64)
+					if len(burst) == 0 {
+						break
+					}
+					for _, f := range burst {
+						for !mon.Deliver(f, ts.Add(time.Duration(i)*time.Millisecond)) {
+						}
+						i++
+					}
+				}
+			})
+
+			if live == 0 {
+				t.Fatal("live blaster produced no tuples")
+			}
+			if live != replayed {
+				t.Errorf("replay produced %d tuples, live blaster %d", replayed, live)
+			}
+		})
+	}
+}
+
+func TestPcapBlasterExhaustionAndLoop(t *testing.T) {
+	bl := NewBlaster(BlasterConfig{Flows: 3, FrameSize: 80}, rand.New(rand.NewSource(5)))
+	buf := recordBlaster(t, bl, 3)
+
+	once, err := NewPcapBlaster(bytes.NewReader(buf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.Len() != 3 {
+		t.Fatalf("Len = %d", once.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if once.Next() == nil {
+			t.Fatalf("frame %d nil", i)
+		}
+	}
+	if once.Next() != nil {
+		t.Error("exhausted non-looping blaster returned a frame")
+	}
+	once.Rewind()
+	if once.Next() == nil {
+		t.Error("Rewind did not restart the replay")
+	}
+
+	loop, err := NewPcapBlaster(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := loop.Next()
+	loop.Next()
+	loop.Next()
+	again := loop.Next() // wrapped
+	if !bytes.Equal(first, again) {
+		t.Error("looping replay did not wrap to the first frame")
+	}
+	if got := loop.NextBurst(5); len(got) != 5 {
+		t.Errorf("looping burst returned %d frames, want 5", len(got))
+	}
+}
+
+func TestPcapBlasterPacing(t *testing.T) {
+	bl := NewBlaster(BlasterConfig{Flows: 4, FrameSize: 80}, rand.New(rand.NewSource(6)))
+	buf := recordBlaster(t, bl, 4) // 1 ms apart
+	p, err := NewPcapBlaster(bytes.NewReader(buf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, gap := p.NextPaced()
+	if f == nil || gap != 0 {
+		t.Errorf("first frame gap = %v, want 0", gap)
+	}
+	for i := 0; i < 3; i++ {
+		f, gap = p.NextPaced()
+		if f == nil || gap != time.Millisecond {
+			t.Errorf("frame %d gap = %v, want 1ms", i+2, gap)
+		}
+	}
+	if f, _ := p.NextPaced(); f != nil {
+		t.Error("exhausted paced replay returned a frame")
+	}
+}
+
+func TestPcapBlasterRejectsEmptyAndGarbage(t *testing.T) {
+	var empty bytes.Buffer
+	if _, err := pcap.NewWriter(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPcapBlaster(bytes.NewReader(empty.Bytes()), false); err == nil {
+		t.Error("empty capture accepted")
+	}
+	if _, err := NewPcapBlaster(bytes.NewReader([]byte("junk")), false); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -256,6 +256,11 @@ type BlasterConfig struct {
 	// PayloadFor, when non-nil, supplies application bytes per flow (e.g.
 	// an HTTP GET); the frame grows to fit it and FrameSize is ignored.
 	PayloadFor func(flow int) []byte
+	// DstPort is the destination port (default 80) — set it to the service
+	// port the exercised parser expects (6379, 53, 443, ...).
+	DstPort uint16
+	// UDP emits UDP frames instead of TCP, for datagram protocols like DNS.
+	UDP bool
 	// SrcNet/DstNet pick the address pools; defaults 10.200.0.0/16 and
 	// 10.201.0.0/16 so blaster traffic is outside fat-tree host ranges.
 	SrcBase, DstBase [4]byte
@@ -269,6 +274,9 @@ func NewBlaster(cfg BlasterConfig, rng *rand.Rand) *Blaster {
 	}
 	if cfg.Flows < 1 {
 		cfg.Flows = 1
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = 80
 	}
 	if cfg.SrcBase == ([4]byte{}) {
 		cfg.SrcBase = [4]byte{10, 200, 0, 0}
@@ -294,11 +302,21 @@ func NewBlaster(cfg BlasterConfig, rng *rand.Rand) *Blaster {
 		src[2], src[3] = byte(i>>8), byte(i)
 		dst := cfg.DstBase
 		dst[2], dst[3] = byte(i>>8), byte(i)
+		if cfg.UDP {
+			frames[i] = b.UDP(packet.UDPSpec{
+				Src:     netip.AddrFrom4(src),
+				Dst:     netip.AddrFrom4(dst),
+				SrcPort: uint16(10000 + i%50000),
+				DstPort: cfg.DstPort,
+				Payload: payload,
+			})
+			continue
+		}
 		frames[i] = b.TCP(packet.TCPSpec{
 			Src:     netip.AddrFrom4(src),
 			Dst:     netip.AddrFrom4(dst),
 			SrcPort: uint16(10000 + i%50000),
-			DstPort: 80,
+			DstPort: cfg.DstPort,
 			Flags:   packet.TCPFlagACK | packet.TCPFlagPSH,
 			Payload: payload,
 		})
@@ -316,6 +334,137 @@ func NewHTTPGetBlaster(flows, urls int, rng *rand.Rand) *Blaster {
 		Flows: flows,
 		PayloadFor: func(int) []byte {
 			return proto.BuildHTTPGet(URL(rng.Intn(urls)), "blast")
+		},
+	}
+	return NewBlaster(cfg, rng)
+}
+
+// NewFrameBlaster wraps pre-built frames in a Blaster cycling over them in
+// order, for workloads the per-flow template model can't express (e.g.
+// request/response exchanges).
+func NewFrameBlaster(frames [][]byte) *Blaster {
+	return &Blaster{frames: frames}
+}
+
+// NewRESPBlaster builds a blaster whose frames carry Redis command/reply
+// exchanges with a read-heavy mix over a bounded key space. Each flow
+// alternates a command frame and its reply frame, so the resp_command
+// parser — which emits on the reply — produces one latency tuple per pair.
+func NewRESPBlaster(flows, keys int, rng *rand.Rand) *Blaster {
+	if flows < 1 {
+		flows = 1
+	}
+	if keys < 1 {
+		keys = 1
+	}
+	var b packet.Builder
+	frames := make([][]byte, 0, 2*flows)
+	for i := 0; i < flows; i++ {
+		key := fmt.Sprintf("key:%04d", rng.Intn(keys))
+		var cmd, reply []byte
+		switch rng.Intn(10) {
+		case 0:
+			cmd, reply = proto.BuildRESPCommand("SET", key, "v"), proto.BuildRESPSimple("OK")
+		case 1:
+			cmd, reply = proto.BuildRESPCommand("DEL", key), proto.BuildRESPInteger(1)
+		default:
+			cmd, reply = proto.BuildRESPCommand("GET", key), proto.BuildRESPBulk([]byte("v"))
+		}
+		src := [4]byte{10, 200, byte(i >> 8), byte(i)}
+		dst := [4]byte{10, 201, byte(i >> 8), byte(i)}
+		sport := uint16(10000 + i%50000)
+		frames = append(frames, b.TCP(packet.TCPSpec{
+			Src: netip.AddrFrom4(src), Dst: netip.AddrFrom4(dst),
+			SrcPort: sport, DstPort: 6379,
+			Flags: packet.TCPFlagACK | packet.TCPFlagPSH, Payload: cmd,
+		}))
+		frames = append(frames, b.TCP(packet.TCPSpec{
+			Src: netip.AddrFrom4(dst), Dst: netip.AddrFrom4(src),
+			SrcPort: 6379, DstPort: sport,
+			Flags: packet.TCPFlagACK | packet.TCPFlagPSH, Payload: reply,
+		}))
+	}
+	return NewFrameBlaster(frames)
+}
+
+// NewMySQLBlaster builds a blaster whose frames carry MySQL query/OK
+// exchanges over a bounded statement catalog. Like NewRESPBlaster, each flow
+// alternates the COM_QUERY frame and its OK reply, so the mysql_query
+// parser — which emits on the reply — produces one latency tuple per pair.
+func NewMySQLBlaster(flows, queries int, rng *rand.Rand) *Blaster {
+	if flows < 1 {
+		flows = 1
+	}
+	if queries < 1 {
+		queries = 1
+	}
+	var b packet.Builder
+	frames := make([][]byte, 0, 2*flows)
+	for i := 0; i < flows; i++ {
+		sql := fmt.Sprintf("SELECT v FROM t WHERE id=%d", rng.Intn(queries))
+		src := [4]byte{10, 200, byte(i >> 8), byte(i)}
+		dst := [4]byte{10, 201, byte(i >> 8), byte(i)}
+		sport := uint16(10000 + i%50000)
+		frames = append(frames, b.TCP(packet.TCPSpec{
+			Src: netip.AddrFrom4(src), Dst: netip.AddrFrom4(dst),
+			SrcPort: sport, DstPort: 3306,
+			Flags: packet.TCPFlagACK | packet.TCPFlagPSH, Payload: proto.BuildMySQLQuery(0, sql),
+		}))
+		frames = append(frames, b.TCP(packet.TCPSpec{
+			Src: netip.AddrFrom4(dst), Dst: netip.AddrFrom4(src),
+			SrcPort: 3306, DstPort: sport,
+			Flags: packet.TCPFlagACK | packet.TCPFlagPSH, Payload: proto.BuildMySQLOK(1, nil),
+		}))
+	}
+	return NewFrameBlaster(frames)
+}
+
+// NewMemcachedBlaster builds a blaster whose frames carry memcached get
+// requests over a bounded key space, for exercising the memcached_get
+// parser at line rate.
+func NewMemcachedBlaster(flows, keys int, rng *rand.Rand) *Blaster {
+	if keys < 1 {
+		keys = 1
+	}
+	cfg := BlasterConfig{
+		Flows:   flows,
+		DstPort: 11211,
+		PayloadFor: func(int) []byte {
+			return proto.BuildMemcachedGet(fmt.Sprintf("obj:%04d", rng.Intn(keys)))
+		},
+	}
+	return NewBlaster(cfg, rng)
+}
+
+// NewDNSBlaster builds a blaster whose UDP frames carry DNS queries over a
+// name catalog, for exercising the dns_query parser at line rate.
+func NewDNSBlaster(flows, names int, rng *rand.Rand) *Blaster {
+	if names < 1 {
+		names = 1
+	}
+	cfg := BlasterConfig{
+		Flows:   flows,
+		DstPort: 53,
+		UDP:     true,
+		PayloadFor: func(flow int) []byte {
+			name := fmt.Sprintf("host-%04d.example.com", rng.Intn(names))
+			return proto.BuildDNSQuery(uint16(flow), name, proto.DNSTypeA)
+		},
+	}
+	return NewBlaster(cfg, rng)
+}
+
+// NewTLSBlaster builds a blaster whose frames carry TLS ClientHellos over an
+// SNI catalog, for exercising the tls_sni parser at line rate.
+func NewTLSBlaster(flows, snis int, rng *rand.Rand) *Blaster {
+	if snis < 1 {
+		snis = 1
+	}
+	cfg := BlasterConfig{
+		Flows:   flows,
+		DstPort: 443,
+		PayloadFor: func(int) []byte {
+			return proto.BuildTLSClientHello(fmt.Sprintf("svc-%03d.example.com", rng.Intn(snis)))
 		},
 	}
 	return NewBlaster(cfg, rng)
